@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks: wire-format codecs.
+//!
+//! These measure the per-message cost of the encoders/decoders on the hot
+//! paths: DNS messages (with name compression), MoQT control messages and
+//! objects, and QUIC varints/frames.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moqdns_core::mapping::{object_from_response, track_from_question, RequestFlags};
+use moqdns_dns::message::{Message, Question};
+use moqdns_dns::rdata::RData;
+use moqdns_dns::rr::{Record, RecordType};
+use moqdns_moqt::message::{ControlMessage, FilterType};
+use moqdns_wire::{varint, Reader, Writer};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn dns_response() -> Message {
+    let q = Question::new("www.example.com".parse().unwrap(), RecordType::A);
+    let mut m = Message::query(0x1234, q);
+    m.header.qr = true;
+    m.header.aa = true;
+    for i in 0..4 {
+        m.answers.push(Record::new(
+            "www.example.com".parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, i + 1)),
+        ));
+    }
+    m.authorities.push(Record::new(
+        "example.com".parse().unwrap(),
+        3600,
+        RData::NS("ns1.example.com".parse().unwrap()),
+    ));
+    m
+}
+
+fn bench_dns_codec(c: &mut Criterion) {
+    let msg = dns_response();
+    let wire = msg.encode();
+    c.bench_function("dns/encode_response", |b| {
+        b.iter(|| black_box(&msg).encode())
+    });
+    c.bench_function("dns/decode_response", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
+}
+
+fn bench_moqt_codec(c: &mut Criterion) {
+    let q = Question::new("www.example.com".parse().unwrap(), RecordType::A);
+    let track = track_from_question(&q, RequestFlags::recursive()).unwrap();
+    let sub = ControlMessage::Subscribe {
+        request_id: 2,
+        track_alias: 2,
+        track: track.clone(),
+        filter: FilterType::LatestObject,
+    };
+    let wire = sub.encode();
+    c.bench_function("moqt/encode_subscribe", |b| {
+        b.iter(|| black_box(&sub).encode())
+    });
+    c.bench_function("moqt/decode_subscribe", |b| {
+        b.iter(|| ControlMessage::decode(black_box(&wire)).unwrap())
+    });
+    let resp = dns_response();
+    c.bench_function("moqt/dns_object_wrap", |b| {
+        b.iter(|| object_from_response(black_box(&resp), 42))
+    });
+}
+
+fn bench_varint(c: &mut Criterion) {
+    c.bench_function("wire/varint_roundtrip", |b| {
+        b.iter(|| {
+            let mut w = Writer::with_capacity(64);
+            for v in [0u64, 63, 16_000, 1 << 29, 1 << 61] {
+                varint::put_varint(&mut w, black_box(v));
+            }
+            let buf = w.into_vec();
+            let mut r = Reader::new(&buf);
+            let mut sum = 0u64;
+            while !r.is_empty() {
+                sum = sum.wrapping_add(varint::get_varint(&mut r).unwrap());
+            }
+            sum
+        })
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let q = Question::new("www.some-long-domain-name.example.com".parse().unwrap(), RecordType::HTTPS);
+    c.bench_function("mapping/track_from_question", |b| {
+        b.iter(|| track_from_question(black_box(&q), RequestFlags::recursive()).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dns_codec,
+    bench_moqt_codec,
+    bench_varint,
+    bench_mapping
+);
+criterion_main!(benches);

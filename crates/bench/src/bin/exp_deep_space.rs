@@ -1,0 +1,126 @@
+//! E8 — §5.3 deep space: "a deep space network could benefit from the same
+//! push mechanisms to update domain information on other planets".
+//!
+//! A Mars-like topology: stub and recursive resolver on Mars, the DNS
+//! hierarchy on Earth, 8 minutes one-way light delay between them. First
+//! lookups pay interplanetary round trips; once records are replicated via
+//! subscriptions, lookups are local and updates arrive one OWD after they
+//! happen. High-churn (load-balancing) records are throttled per §5.3.
+
+use moqdns_bench::report;
+use moqdns_bench::worlds::{World, WorldSpec};
+use moqdns_core::recursive::UpstreamMode;
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_netsim::LinkConfig;
+use moqdns_stats::{format_bps, format_duration, Table};
+use moqdns_workload::scenarios::DeepSpaceScenario;
+use std::time::Duration;
+
+const OWD: Duration = Duration::from_secs(8 * 60); // Mars, mid-range
+
+fn build_mars(mode: UpstreamMode, stub_mode: StubMode, seed: u64) -> World {
+    let spec = WorldSpec {
+        seed,
+        mode,
+        stub_mode,
+        link_delay: Duration::from_millis(10),
+        // Interplanetary paths need interplanetary timers (the TIPTOP QUIC
+        // profile's transport-layer adaptations, §5.3).
+        moqt_step_timeout: Some(Duration::from_secs(3 * 3600)),
+        udp_rto: Some(Duration::from_secs(20 * 60)),
+        auth_transport: Some(
+            moqdns_quic::TransportConfig::default()
+                .idle_timeout(Duration::from_secs(24 * 3600)),
+        ),
+        ..WorldSpec::default()
+    };
+    let mut w = World::build(&spec);
+    // Interplanetary links: recursive (Mars) ↔ Earth servers.
+    let space = LinkConfig::with_delay(OWD);
+    for earth in [w.root, w.tld, w.auth] {
+        w.sim.set_link(w.recursive, earth, space);
+    }
+    w
+}
+
+fn main() {
+    report::heading("E8 / §5.3 — deep space DNS");
+
+    let mut t = Table::new(
+        format!("Mars scenario: one-way delay {}", format_duration(OWD.as_secs_f64())),
+        &["operation", "latency"],
+    );
+
+    // Classic first lookup: recursive walks root→TLD→auth over space.
+    let mut w = build_mars(UpstreamMode::Classic, StubMode::Classic, 81);
+    w.lookup(0, "www", Duration::from_secs(4 * 3600));
+    let l = w
+        .sim
+        .node_ref::<StubResolver>(w.stubs[0])
+        .metrics
+        .lookups[0]
+        .latency();
+    t.push(&[
+        "classic first lookup (3 interplanetary RTTs)".to_string(),
+        format_duration(l.as_secs_f64()),
+    ]);
+
+    // Replicated: the record was pushed ahead of time; lookup is local.
+    let mut w = build_mars(UpstreamMode::Moqt, StubMode::Moqt, 82);
+    w.lookup(0, "www", Duration::from_secs(12 * 3600)); // pays the cost once
+    w.lookup(0, "www", Duration::from_secs(60)); // now replicated
+    let stub = w.sim.node_ref::<StubResolver>(w.stubs[0]);
+    let first = stub.metrics.lookups[0].latency();
+    let second = stub.metrics.lookups[1].latency();
+    t.push(&[
+        "MoQT first lookup (pays interplanetary setup)".to_string(),
+        format_duration(first.as_secs_f64()),
+    ]);
+    t.push(&[
+        "MoQT lookup once replicated".to_string(),
+        format_duration(second.as_secs_f64()),
+    ]);
+
+    // Update propagation: a change on Earth reaches Mars in ~1 OWD.
+    let change = w.update_record("www", 99);
+    let deadline = w.sim.now() + Duration::from_secs(2 * 3600);
+    w.sim.run_until(deadline);
+    let stub = w.sim.node_ref::<StubResolver>(w.stubs[0]);
+    let arrival = stub
+        .metrics
+        .updates
+        .last()
+        .expect("update pushed to Mars")
+        .received;
+    t.push(&[
+        "record update Earth → Mars stub (push)".to_string(),
+        format_duration((arrival - change).as_secs_f64()),
+    ]);
+    report::emit(&t, "exp_deep_space");
+
+    // Throttling table (analytic, §5.3: load-balancing churn is pointless
+    // across interplanetary distances).
+    let mut t2 = Table::new(
+        "Update throttling on the deep-space link (10k replicated domains, 300 B updates)",
+        &["max updates/domain/hour", "link load"],
+    );
+    for cap in [60.0, 6.0, 1.0, 0.1] {
+        let s = DeepSpaceScenario {
+            max_updates_per_domain_per_hour: cap,
+            ..DeepSpaceScenario::default()
+        };
+        t2.push(&[format!("{cap}"), format_bps(s.link_bps())]);
+    }
+    report::emit(&t2, "exp_deep_space_throttle");
+
+    assert!(second < Duration::from_millis(1), "replicated lookup is local");
+    assert!(
+        (arrival - change) < OWD + Duration::from_secs(5),
+        "push arrives in ~one OWD"
+    );
+    println!(
+        "Replication turns a {} lookup into a local one; updates still arrive \
+         one light-delay after they happen.",
+        format_duration((2 * OWD).as_secs_f64())
+    );
+}

@@ -1,0 +1,212 @@
+//! E10 — §4.5 compatibility: mixed deployments where some authoritative
+//! servers do not speak MoQT.
+//!
+//! Topology: root and TLD delegate two zones — `fast.com` served by a
+//! MoQT-capable authoritative server, `legacy.com` by a **UDP-only** one.
+//! The recursive resolver uses the happy-eyeballs race (§4.5). We verify:
+//!
+//! * lookups succeed for both zones (UDP wins the race for legacy.com);
+//! * the stub's subscription for fast.com is accepted, while legacy.com's
+//!   is declined with SUBSCRIBE_ERROR (no updates available) — unless the
+//!   resolver runs in poll-proxy mode, where it re-requests at the TTL and
+//!   synthesizes pushes.
+
+use moqdns_bench::report;
+use moqdns_core::auth::AuthServer;
+use moqdns_core::recursive::{RecursiveConfig, RecursiveResolver, UpstreamMode};
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_core::{node_ip, DNS_PORT};
+use moqdns_dns::message::Question;
+use moqdns_dns::name::Name;
+use moqdns_dns::rdata::RData;
+use moqdns_dns::resolver::RootHint;
+use moqdns_dns::rr::{Record, RecordType};
+use moqdns_dns::server::Authority;
+use moqdns_dns::transport::serve_datagram;
+use moqdns_dns::zone::Zone;
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator};
+use moqdns_quic::TransportConfig;
+use moqdns_stats::Table;
+use std::any::Any;
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Duration;
+
+/// An authoritative server that ONLY speaks classic DNS-over-UDP —
+/// the pre-MoQT world §4.5 must interoperate with.
+struct UdpOnlyAuth {
+    authority: Authority,
+}
+
+impl Node for UdpOnlyAuth {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+        if to_port == DNS_PORT {
+            if let Ok(reply) = serve_datagram(&self.authority, &payload) {
+                ctx.send(DNS_PORT, from, reply);
+            }
+        }
+        // MoQT datagrams fall on deaf ears — exactly like a real legacy
+        // server with no QUIC listener.
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct MixedWorld {
+    sim: Simulator,
+    stub: NodeId,
+}
+
+fn build(poll_proxy: bool, seed: u64) -> MixedWorld {
+    let mut sim = Simulator::new(seed);
+    sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(10)));
+
+    let root_id = NodeId::from_index(0);
+    let tld_id = NodeId::from_index(1);
+    let fast_id = NodeId::from_index(2);
+    let legacy_id = NodeId::from_index(3);
+
+    let mut root_zone = Zone::with_default_soa(Name::root());
+    root_zone.add_record(Record::new(
+        "com".parse().unwrap(),
+        86_400,
+        RData::NS("ns.tld".parse().unwrap()),
+    ));
+    root_zone.add_record(Record::new(
+        "ns.tld".parse().unwrap(),
+        86_400,
+        RData::A(node_ip(tld_id)),
+    ));
+
+    let mut tld_zone = Zone::with_default_soa("com".parse().unwrap());
+    for (zone, id) in [("fast.com", fast_id), ("legacy.com", legacy_id)] {
+        let ns: Name = format!("ns1.{zone}").parse().unwrap();
+        tld_zone.add_record(Record::new(
+            zone.parse().unwrap(),
+            86_400,
+            RData::NS(ns.clone()),
+        ));
+        tld_zone.add_record(Record::new(ns, 86_400, RData::A(node_ip(id))));
+    }
+
+    let mut fast_zone = Zone::with_default_soa("fast.com".parse().unwrap());
+    fast_zone.add_record(Record::new(
+        "www.fast.com".parse().unwrap(),
+        300,
+        RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+    ));
+    let mut legacy_zone = Zone::with_default_soa("legacy.com".parse().unwrap());
+    legacy_zone.add_record(Record::new(
+        "www.legacy.com".parse().unwrap(),
+        60,
+        RData::A(Ipv4Addr::new(192, 0, 2, 2)),
+    ));
+
+    let root = sim.add_node(
+        "root",
+        Box::new(AuthServer::new(
+            Authority::single(root_zone),
+            TransportConfig::default(),
+            11,
+        )),
+    );
+    let _tld = sim.add_node(
+        "tld",
+        Box::new(AuthServer::new(
+            Authority::single(tld_zone),
+            TransportConfig::default(),
+            12,
+        )),
+    );
+    let _fast = sim.add_node(
+        "fast-auth (MoQT)",
+        Box::new(AuthServer::new(
+            Authority::single(fast_zone),
+            TransportConfig::default(),
+            13,
+        )),
+    );
+    let _legacy = sim.add_node(
+        "legacy-auth (UDP only)",
+        Box::new(UdpOnlyAuth {
+            authority: Authority::single(legacy_zone),
+        }),
+    );
+    assert_eq!(root, root_id);
+
+    let roots = vec![RootHint {
+        name: "a.root".parse().unwrap(),
+        addr: IpAddr::V4(node_ip(root_id)),
+    }];
+    let mut cfg = RecursiveConfig::new(UpstreamMode::HappyEyeballs, roots, 21);
+    cfg.poll_proxy = poll_proxy;
+    cfg.moqt_step_timeout = Duration::from_millis(500);
+    let recursive = sim.add_node("recursive", Box::new(RecursiveResolver::new(cfg)));
+    let stub = sim.add_node(
+        "stub",
+        Box::new(StubResolver::new(
+            StubMode::Moqt,
+            Addr::new(recursive, 0),
+            31,
+        )),
+    );
+    sim.run_until_idle();
+    MixedWorld { sim, stub }
+}
+
+fn main() {
+    report::heading("E10 / §4.5 — incremental deployment: happy-eyeballs fallback");
+
+    let mut t = Table::new(
+        "Mixed deployment (recursive races MoQT vs UDP per step)",
+        &["zone", "lookup ok", "answer latency ms", "subscription"],
+    );
+
+    for poll_proxy in [false, true] {
+        let mut w = build(poll_proxy, if poll_proxy { 102 } else { 101 });
+        for host in ["www.fast.com", "www.legacy.com"] {
+            let q = Question::new(host.parse().unwrap(), RecordType::A);
+            let stub = w.stub;
+            let qq = q.clone();
+            w.sim.with_node::<StubResolver, _>(stub, |s, ctx| {
+                s.lookup(ctx, qq);
+            });
+            let deadline = w.sim.now() + Duration::from_secs(10);
+            w.sim.run_until(deadline);
+        }
+        let stub_ref = w.sim.node_ref::<StubResolver>(w.stub);
+        let subscribed: Vec<String> = stub_ref
+            .subscribed_questions()
+            .iter()
+            .map(|q| q.qname.to_string())
+            .collect();
+        for (host, lookup) in ["www.fast.com", "www.legacy.com"]
+            .iter()
+            .zip(&stub_ref.metrics.lookups)
+        {
+            let has_sub = subscribed.iter().any(|s| s.starts_with(host));
+            t.push(&[
+                format!(
+                    "{host}{}",
+                    if poll_proxy { " (poll-proxy)" } else { "" }
+                ),
+                lookup.ok.to_string(),
+                format!("{:.0}", lookup.latency().as_secs_f64() * 1e3),
+                if has_sub {
+                    "accepted".to_string()
+                } else {
+                    "declined (SUBSCRIBE_ERROR)".to_string()
+                },
+            ]);
+        }
+    }
+    report::emit(&t, "exp_fallback");
+    println!(
+        "fast.com: MoQT wins the race and the subscription sticks. legacy.com: \
+         UDP answers, and the subscription is declined — unless poll-proxy mode \
+         re-requests at the TTL and keeps it alive (§4.5)."
+    );
+}

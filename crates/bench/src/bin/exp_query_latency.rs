@@ -1,0 +1,216 @@
+//! E3 — §5.2: first-lookup query latency in round trips.
+//!
+//! Measures, in the simulator (symmetric links, fixed one-way delay), the
+//! stub-observed latency of the first lookup under each transport
+//! configuration, and converts it to round trips on the stub↔recursive
+//! path. Expected (paper §5.2):
+//!
+//! * classic UDP:                       1 RTT
+//! * MoQT, cold (draft-12 strict):      3 RTT  (QUIC + SETUP + SUBSCRIBE)
+//! * MoQT, 0-RTT resumption:            2 RTT  (SETUP rides 0-RTT)
+//! * MoQT, 0-RTT + ALPN pipelining:     1 RTT  (future optimization)
+//! * MoQT, warm session:                1 RTT
+//! * MoQT, already subscribed:          0 RTT  (answer is local)
+//!
+//! The recursive resolver's cache is pre-warmed so the upstream chain does
+//! not add round trips; a second table reports the full cold chain
+//! (recursive also resolving root → TLD → auth).
+
+use moqdns_bench::report;
+use moqdns_bench::worlds::{World, WorldSpec};
+use moqdns_core::recursive::UpstreamMode;
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_stats::Table;
+use std::time::Duration;
+
+const OWD_MS: u64 = 25; // one-way delay → RTT = 50 ms.
+
+/// Runs one scenario and returns the latency (ms) of the *last* lookup
+/// issued by stub 0.
+fn last_lookup_ms(world: &mut World) -> f64 {
+    let stub = world.stubs[0];
+    let s = world.sim.node_ref::<StubResolver>(stub);
+    let l = s.metrics.lookups.last().expect("lookup recorded");
+    assert!(l.ok, "lookup must succeed");
+    l.latency().as_secs_f64() * 1e3
+}
+
+fn spec(stub_mode: StubMode, pipeline: bool) -> WorldSpec {
+    WorldSpec {
+        link_delay: Duration::from_millis(OWD_MS),
+        mode: UpstreamMode::Moqt,
+        stub_mode,
+        pipeline,
+        ..WorldSpec::default()
+    }
+}
+
+/// Pre-warms the recursive cache by issuing one classic query from a
+/// sacrificial stub... simpler: run one lookup from stub 0 in a classic
+/// world is not possible per-mode; instead run the lookup twice and use a
+/// *fresh stub* world where the recursive was already exercised.
+fn warmed_world(stub_mode: StubMode, pipeline: bool, seed: u64) -> World {
+    let mut s = spec(stub_mode, pipeline);
+    s.seed = seed;
+    s.n_stubs = 2;
+    let mut w = World::build(&s);
+    // Stub 1 warms the recursive's cache + upstream subscriptions.
+    w.lookup(1, "www", Duration::from_secs(5));
+    w
+}
+
+fn main() {
+    report::heading("E3 / §5.2 — first-lookup latency (RTT on the stub↔recursive path)");
+    let rtt = 2.0 * OWD_MS as f64;
+
+    let mut t = Table::new(
+        format!("First lookup, recursive cache warm (link RTT = {rtt} ms)"),
+        &["configuration", "latency_ms", "RTTs", "paper"],
+    );
+
+    // 1. Classic UDP.
+    let mut w = warmed_world(StubMode::Classic, false, 10);
+    w.lookup(0, "www", Duration::from_secs(5));
+    let ms = last_lookup_ms(&mut w);
+    t.push(&[
+        "classic UDP".to_string(),
+        format!("{ms:.1}"),
+        format!("{:.1}", ms / rtt),
+        "1".into(),
+    ]);
+
+    // 2. MoQT cold (strict draft-12: wait for SERVER_SETUP).
+    let mut w = warmed_world(StubMode::Moqt, false, 11);
+    w.lookup(0, "www", Duration::from_secs(5));
+    let ms = last_lookup_ms(&mut w);
+    t.push(&[
+        "MoQT cold (strict)".to_string(),
+        format!("{ms:.1}"),
+        format!("{:.1}", ms / rtt),
+        "3".into(),
+    ]);
+
+    // 3. MoQT with 0-RTT resumption: connect once, drop the connection by
+    //    looking up, then reconnect with a ticket. We emulate by doing a
+    //    first lookup (connection 1 stays, but we measure a *fresh* world
+    //    where the stub already holds a ticket). Simplest faithful route:
+    //    lookup once (cold), then force a second connection by a second
+    //    stub world is complex — instead reuse the same connection? The
+    //    paper's 2-RTT case is: new connection, ticket available. We get
+    //    that by doing lookup #1 (cold, establishes + stores ticket),
+    //    closing the connection via idle timeout, then lookup #2.
+    {
+        let mut s = spec(StubMode::Moqt, false);
+        s.seed = 12;
+        s.n_stubs = 2;
+        // Short idle timeout so the first connection dies between lookups.
+        let mut w = World::build(&s);
+        w.lookup(1, "www", Duration::from_secs(5));
+        w.lookup(0, "www", Duration::from_secs(5)); // cold + ticket stored
+        // Let the stub's connection idle out (transport idle = 3600 s in
+        // the default config, so instead simulate suspension: drop conn by
+        // waiting past idle). Use a direct approach: ask the stub to
+        // forget its connection state.
+        let stub = w.stubs[0];
+        w.sim.with_node::<StubResolver, _>(stub, |s, _| {
+            s.debug_drop_connection();
+        });
+        let q = World::question("www");
+        w.sim.with_node::<StubResolver, _>(stub, |s, ctx| {
+            s.debug_forget_subscriptions();
+            s.lookup(ctx, q);
+        });
+        let deadline = w.sim.now() + Duration::from_secs(5);
+        w.sim.run_until(deadline);
+        let ms = last_lookup_ms(&mut w);
+        t.push(&[
+            "MoQT 0-RTT resume (strict)".to_string(),
+            format!("{ms:.1}"),
+            format!("{:.1}", ms / rtt),
+            "2".into(),
+        ]);
+    }
+
+    // 4. MoQT 0-RTT + pipelined requests (ALPN future): same dance with
+    //    pipeline enabled.
+    {
+        let mut s = spec(StubMode::Moqt, true);
+        s.seed = 13;
+        s.n_stubs = 2;
+        let mut w = World::build(&s);
+        w.lookup(1, "www", Duration::from_secs(5));
+        w.lookup(0, "www", Duration::from_secs(5));
+        let stub = w.stubs[0];
+        let q = World::question("www");
+        w.sim.with_node::<StubResolver, _>(stub, |s, ctx| {
+            s.debug_drop_connection();
+            s.debug_forget_subscriptions();
+            s.lookup(ctx, q);
+        });
+        let deadline = w.sim.now() + Duration::from_secs(5);
+        w.sim.run_until(deadline);
+        let ms = last_lookup_ms(&mut w);
+        t.push(&[
+            "MoQT 0-RTT + ALPN pipelining".to_string(),
+            format!("{ms:.1}"),
+            format!("{:.1}", ms / rtt),
+            "1".into(),
+        ]);
+    }
+
+    // 5. Warm session: second lookup for a *different* name on the same
+    //    connection (no QUIC, no SETUP; one request round trip).
+    {
+        let mut s = spec(StubMode::Moqt, false);
+        s.seed = 14;
+        s.n_stubs = 2;
+        s.records = vec![("www".into(), 300), ("api".into(), 300)];
+        let mut w = World::build(&s);
+        w.lookup(1, "www", Duration::from_secs(5));
+        w.lookup(1, "api", Duration::from_secs(5));
+        w.lookup(0, "www", Duration::from_secs(5)); // establishes session
+        w.lookup(0, "api", Duration::from_secs(5)); // warm: 1 RTT
+        let ms = last_lookup_ms(&mut w);
+        t.push(&[
+            "MoQT warm session".to_string(),
+            format!("{ms:.1}"),
+            format!("{:.1}", ms / rtt),
+            "1".into(),
+        ]);
+    }
+
+    // 6. Already subscribed: repeat lookup of the same name.
+    {
+        let mut w = warmed_world(StubMode::Moqt, false, 15);
+        w.lookup(0, "www", Duration::from_secs(5));
+        w.lookup(0, "www", Duration::from_secs(1));
+        let ms = last_lookup_ms(&mut w);
+        t.push(&[
+            "MoQT subscribed (pushed)".to_string(),
+            format!("{ms:.1}"),
+            format!("{:.1}", ms / rtt),
+            "0".into(),
+        ]);
+    }
+
+    report::emit(&t, "exp_query_latency");
+
+    // Full cold chain: the recursive also resolves root → TLD → auth.
+    let mut t2 = Table::new(
+        "First lookup, everything cold (recursive resolves the full chain)",
+        &["configuration", "latency_ms", "RTTs"],
+    );
+    for (label, mode, stub_mode) in [
+        ("classic end-to-end", UpstreamMode::Classic, StubMode::Classic),
+        ("MoQT end-to-end (strict)", UpstreamMode::Moqt, StubMode::Moqt),
+    ] {
+        let mut s = spec(stub_mode, false);
+        s.seed = 20;
+        s.mode = mode;
+        let mut w = World::build(&s);
+        w.lookup(0, "www", Duration::from_secs(10));
+        let ms = last_lookup_ms(&mut w);
+        t2.push(&[label.to_string(), format!("{ms:.1}"), format!("{:.1}", ms / rtt)]);
+    }
+    report::emit(&t2, "exp_query_latency_cold_chain");
+}

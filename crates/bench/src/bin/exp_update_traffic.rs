@@ -1,0 +1,169 @@
+//! E5 — claim (§2): pub/sub "reduces the number of RR requests since
+//! updates are pushed to the subscribed resolvers, thereby limiting update
+//! traffic".
+//!
+//! N stubs stay interested in one record for a fixed horizon. Traditional
+//! DNS: every stub re-queries each TTL expiry. Pub/sub: one subscription
+//! each, updates pushed only when the record actually changes. We count
+//! *all* datagrams and bytes on the wire (including QUIC ACKs and
+//! keep-alives — the honest cost of holding state) and sweep both the TTL
+//! and the record change rate to find the crossover.
+
+use moqdns_bench::report;
+use moqdns_bench::worlds::{World, WorldSpec};
+use moqdns_core::recursive::UpstreamMode;
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_stats::Table;
+use std::time::Duration;
+
+const N_STUBS: usize = 10;
+const HORIZON_S: u64 = 1800; // 30 simulated minutes
+
+/// Runs one configuration; returns (datagrams, bytes, rr_requests)
+/// across all links — `rr_requests` counts application-level DNS queries
+/// issued by the stubs (the paper's "number of RR requests").
+fn run(
+    ttl: u32,
+    changes_per_hour: u32,
+    moqt: bool,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let spec = WorldSpec {
+        seed,
+        mode: if moqt {
+            UpstreamMode::Moqt
+        } else {
+            UpstreamMode::Classic
+        },
+        stub_mode: if moqt { StubMode::Moqt } else { StubMode::Classic },
+        n_stubs: N_STUBS,
+        records: vec![("www".into(), ttl)],
+        ..WorldSpec::default()
+    };
+    let mut w = World::build(&spec);
+
+    // Initial interest from every stub.
+    for i in 0..N_STUBS {
+        w.lookup(i, "www", Duration::from_millis(500));
+    }
+    w.sim.run_until(w.sim.now() + Duration::from_secs(5));
+    // Count only steady-state traffic.
+    w.sim.stats_mut().reset();
+    let t0 = w.sim.now();
+
+    // Schedule record changes at a fixed cadence.
+    if changes_per_hour > 0 {
+        let interval = Duration::from_secs(3600 / changes_per_hour as u64);
+        let mut at = t0 + interval;
+        let mut octet = 10u8;
+        while at < t0 + Duration::from_secs(HORIZON_S) {
+            let target = at;
+            let o = octet;
+            octet = octet.wrapping_add(1).max(1);
+            let auth = w.auth;
+            w.sim.schedule_at(target, move |sim| {
+                sim.with_node::<moqdns_core::auth::AuthServer, _>(auth, |a, ctx| {
+                    a.update_zone(ctx, |authority| {
+                        let name: moqdns_dns::name::Name =
+                            "www.example.com".parse().unwrap();
+                        if let Some(z) = authority.find_zone_mut(&name) {
+                            z.set_records(
+                                &name,
+                                moqdns_dns::rr::RecordType::A,
+                                vec![moqdns_dns::rr::Record::new(
+                                    name.clone(),
+                                    300,
+                                    moqdns_dns::rdata::RData::A(std::net::Ipv4Addr::new(
+                                        198, 51, 100, o,
+                                    )),
+                                )],
+                            );
+                        }
+                    });
+                });
+            });
+            at += interval;
+        }
+    }
+
+    // Traditional mode: every stub re-queries each TTL (staying "fresh").
+    if !moqt {
+        for i in 0..N_STUBS {
+            let stub = w.stubs[i];
+            let interval = Duration::from_secs(ttl as u64);
+            let mut at = t0 + interval;
+            while at < t0 + Duration::from_secs(HORIZON_S) {
+                w.sim.schedule_at(at, move |sim| {
+                    let q = World::question("www");
+                    sim.with_node::<StubResolver, _>(stub, |s, ctx| s.lookup(ctx, q));
+                });
+                at += interval;
+            }
+        }
+    }
+
+    let end = t0 + Duration::from_secs(HORIZON_S);
+    w.sim.run_until(end);
+    let rr_requests: u64 = (0..N_STUBS)
+        .map(|i| {
+            let s = w.sim.node_ref::<StubResolver>(w.stubs[i]);
+            s.metrics.classic_queries_sent + s.metrics.fetches_sent
+        })
+        .sum();
+    (
+        w.sim.stats().total_datagrams(),
+        w.sim.stats().total_bytes(),
+        rr_requests,
+    )
+}
+
+fn main() {
+    report::heading("E5 — update traffic: request/response vs publish/subscribe");
+
+    let mut t = Table::new(
+        format!("{N_STUBS} interested stubs, 30 min, 4 record changes/hour; total wire traffic"),
+        &[
+            "ttl_s",
+            "classic RR requests",
+            "moqt RR requests",
+            "classic bytes",
+            "moqt bytes",
+            "moqt/classic bytes",
+        ],
+    );
+    for (i, ttl) in [20u32, 60, 300, 600].iter().enumerate() {
+        let (_cd, cb, crr) = run(*ttl, 4, false, 300 + i as u64);
+        let (_md, mb, mrr) = run(*ttl, 4, true, 400 + i as u64);
+        t.push(&[
+            ttl.to_string(),
+            crr.to_string(),
+            mrr.to_string(),
+            cb.to_string(),
+            mb.to_string(),
+            format!("{:.2}", mb as f64 / cb as f64),
+        ]);
+    }
+    report::emit(&t, "exp_update_traffic_ttl");
+
+    let mut t2 = Table::new(
+        format!("{N_STUBS} stubs, TTL 60 s, 30 min; crossover vs change rate"),
+        &["changes_per_hour", "classic bytes", "moqt bytes", "moqt/classic"],
+    );
+    for (i, rate) in [0u32, 4, 12, 60, 240].iter().enumerate() {
+        let (_, cb, _) = run(60, *rate, false, 500 + i as u64);
+        let (_, mb, _) = run(60, *rate, true, 600 + i as u64);
+        t2.push(&[
+            rate.to_string(),
+            cb.to_string(),
+            mb.to_string(),
+            format!("{:.2}", mb as f64 / cb as f64),
+        ]);
+    }
+    report::emit(&t2, "exp_update_traffic_rate");
+    println!(
+        "Shape: pub/sub reduces RR requests to the initial subscription \
+         regardless of TTL (the paper's claim). Bytes tell the §5.1 caveat: \
+         QUIC keep-alives (every 25 s here) dominate when records change \
+         rarely, so pub/sub wins bytes only below the keep-alive crossover."
+    );
+}

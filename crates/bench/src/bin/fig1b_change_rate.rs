@@ -1,0 +1,63 @@
+//! E2 — Fig 1b: record change rate over 300 TTL-spaced observations.
+//!
+//! Replays the paper's §2 methodology on the synthetic churn model: for
+//! each TTL cluster, observe each domain 300 times at TTL intervals,
+//! compare lexicographically ordered samples, and report percentiles of
+//! the change count. Expected shape (paper): TTL ≤ 300 s shows ≥71 changes
+//! at the 90th percentile; TTL ≥ 600 s shows none up to the same
+//! percentile.
+
+use moqdns_bench::report;
+use moqdns_stats::{Summary, Table};
+use moqdns_workload::churn::ChurnModel;
+use moqdns_workload::ttl_model::TTL_CLUSTERS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const OBSERVATIONS: usize = 300;
+const DOMAINS_PER_CLUSTER: usize = 1000;
+
+fn main() {
+    report::heading("E2 / Fig 1b — change rate over 300 observations");
+
+    let model = ChurnModel::default();
+    let mut rng = StdRng::seed_from_u64(2025);
+
+    let mut t = Table::new(
+        format!(
+            "Changes per {OBSERVATIONS} observations ({DOMAINS_PER_CLUSTER} domains per cluster)"
+        ),
+        &["ttl_s", "p50", "p75", "p90", "p99", "max"],
+    );
+    let mut p90_by_ttl = Vec::new();
+    for ttl in TTL_CLUSTERS {
+        let samples: Vec<f64> = (0..DOMAINS_PER_CLUSTER)
+            .map(|_| model.simulate_observations(ttl, OBSERVATIONS, &mut rng) as f64)
+            .collect();
+        let s = Summary::from(samples);
+        p90_by_ttl.push((ttl, s.percentile(90.0)));
+        t.push(&[
+            ttl.to_string(),
+            format!("{:.0}", s.percentile(50.0)),
+            format!("{:.0}", s.percentile(75.0)),
+            format!("{:.0}", s.percentile(90.0)),
+            format!("{:.0}", s.percentile(99.0)),
+            format!("{:.0}", s.max()),
+        ]);
+    }
+    report::emit(&t, "fig1b_change_rate");
+
+    for (ttl, p90) in &p90_by_ttl {
+        if *ttl <= 300 {
+            assert!(
+                *p90 >= 71.0,
+                "paper shape violated: TTL {ttl} p90 {p90} < 71"
+            );
+        } else {
+            assert_eq!(*p90, 0.0, "paper shape violated: TTL {ttl} p90 {p90} != 0");
+        }
+    }
+    println!(
+        "Shape check passed: p90 ≥ 71 changes for TTL ≤ 300 s; p90 = 0 for TTL ≥ 600 s (Fig 1b)."
+    );
+}

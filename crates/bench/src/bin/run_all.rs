@@ -1,0 +1,56 @@
+//! Runs every experiment binary in sequence (E1–E10, A1–A3), regenerating
+//! all CSVs in `results/` and printing every table. See DESIGN.md §4 for
+//! the experiment index.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig1a_ttl_distribution",
+    "fig1b_change_rate",
+    "exp_query_latency",
+    "exp_update_latency",
+    "exp_update_traffic",
+    "exp_ddns",
+    "exp_cdn",
+    "exp_deep_space",
+    "exp_state_overhead",
+    "exp_fallback",
+    "abl_teardown",
+    "abl_streams_vs_datagrams",
+    "abl_relay_fanout",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir");
+    let mut failed = Vec::new();
+    for bin in BINS {
+        println!("\n===================== {bin} =====================");
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when the sibling binary is not built yet.
+            Command::new("cargo")
+                .args(["run", "-q", "-p", "moqdns-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to start: {e}");
+                failed.push(*bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments completed; CSVs are in results/.");
+    } else {
+        eprintln!("\nFailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

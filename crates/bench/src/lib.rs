@@ -1,0 +1,8 @@
+//! # moqdns-bench
+//!
+//! The experiment harness: one binary per paper figure/claim (see
+//! DESIGN.md §4 for the index) plus Criterion micro-benchmarks. This
+//! library holds the shared world-building and reporting helpers.
+
+pub mod report;
+pub mod worlds;

@@ -1,0 +1,28 @@
+//! Experiment output: markdown to stdout, CSV into `results/`.
+
+use moqdns_stats::Table;
+use std::path::PathBuf;
+
+/// Workspace-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results")
+}
+
+/// Prints the table as markdown and writes `results/<name>.csv`.
+pub fn emit(table: &Table, name: &str) {
+    println!("{}", table.to_markdown());
+    let path = results_dir().join(format!("{name}.csv"));
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv] {}\n", path.display());
+    }
+}
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!("\n== {title} ==\n");
+}

@@ -1,0 +1,246 @@
+//! Reusable simulated worlds for the experiments.
+
+use moqdns_core::auth::AuthServer;
+use moqdns_core::recursive::{RecursiveConfig, RecursiveResolver, UpstreamMode};
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_core::teardown::TeardownPolicy;
+use moqdns_core::node_ip;
+use moqdns_dns::message::Question;
+use moqdns_dns::name::Name;
+use moqdns_dns::rdata::RData;
+use moqdns_dns::resolver::RootHint;
+use moqdns_dns::rr::{Record, RecordType};
+use moqdns_dns::server::Authority;
+use moqdns_dns::zone::Zone;
+use moqdns_netsim::{Addr, LinkConfig, NodeId, Simulator};
+use moqdns_quic::TransportConfig;
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Duration;
+
+/// Parameters of the standard three-level hierarchy world.
+#[derive(Clone)]
+pub struct WorldSpec {
+    /// RNG seed.
+    pub seed: u64,
+    /// One-way delay of every link.
+    pub link_delay: Duration,
+    /// Recursive resolver upstream transport.
+    pub mode: UpstreamMode,
+    /// Stub transport.
+    pub stub_mode: StubMode,
+    /// Number of stub resolvers.
+    pub n_stubs: usize,
+    /// Host names (under example.com) with their TTLs.
+    pub records: Vec<(String, u32)>,
+    /// Enable §5.2 pipelined MoQT requests.
+    pub pipeline: bool,
+    /// Stub subscription teardown policy.
+    pub stub_policy: TeardownPolicy,
+    /// Recursive poll-proxy mode (§4.5).
+    pub poll_proxy: bool,
+    /// Override the recursive's MoQT step timeout (deep-space paths).
+    pub moqt_step_timeout: Option<Duration>,
+    /// Override the UDP retransmission timeout everywhere (deep space).
+    pub udp_rto: Option<Duration>,
+    /// Transport config for the authoritative servers (deep-space paths
+    /// need long idle timeouts — the TIPTOP QUIC profile).
+    pub auth_transport: Option<TransportConfig>,
+}
+
+impl Default for WorldSpec {
+    fn default() -> WorldSpec {
+        WorldSpec {
+            seed: 1,
+            link_delay: Duration::from_millis(10),
+            mode: UpstreamMode::Moqt,
+            stub_mode: StubMode::Moqt,
+            n_stubs: 1,
+            records: vec![("www".into(), 300)],
+            pipeline: false,
+            stub_policy: TeardownPolicy::Never,
+            poll_proxy: false,
+            moqt_step_timeout: None,
+            udp_rto: None,
+            auth_transport: None,
+        }
+    }
+}
+
+/// The built world.
+pub struct World {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Root nameserver node.
+    pub root: NodeId,
+    /// TLD (.com) nameserver node.
+    pub tld: NodeId,
+    /// example.com authoritative node.
+    pub auth: NodeId,
+    /// Recursive resolver node.
+    pub recursive: NodeId,
+    /// Stub resolver nodes.
+    pub stubs: Vec<NodeId>,
+}
+
+impl World {
+    /// Builds the standard world from `spec`.
+    pub fn build(spec: &WorldSpec) -> World {
+        let mut sim = Simulator::new(spec.seed);
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        // Dense ids: root=0, tld=1, auth=2, recursive=3, stubs=4…
+        let root_id = NodeId::from_index(0);
+        let tld_id = NodeId::from_index(1);
+        let auth_id = NodeId::from_index(2);
+
+        let mut root_zone = Zone::with_default_soa(Name::root());
+        root_zone.add_record(Record::new(
+            "com".parse().unwrap(),
+            86_400,
+            RData::NS("ns.tld".parse().unwrap()),
+        ));
+        root_zone.add_record(Record::new(
+            "ns.tld".parse().unwrap(),
+            86_400,
+            RData::A(node_ip(tld_id)),
+        ));
+
+        let mut tld_zone = Zone::with_default_soa("com".parse().unwrap());
+        tld_zone.add_record(Record::new(
+            "example.com".parse().unwrap(),
+            86_400,
+            RData::NS("ns1.example.com".parse().unwrap()),
+        ));
+        tld_zone.add_record(Record::new(
+            "ns1.example.com".parse().unwrap(),
+            86_400,
+            RData::A(node_ip(auth_id)),
+        ));
+
+        let mut ex_zone = Zone::with_default_soa("example.com".parse().unwrap());
+        for (i, (host, ttl)) in spec.records.iter().enumerate() {
+            let name: Name = format!("{host}.example.com").parse().unwrap();
+            let octet = (i % 250) as u8 + 1;
+            ex_zone.add_record(Record::new(
+                name,
+                *ttl,
+                RData::A(Ipv4Addr::new(192, 0, 2, octet)),
+            ));
+        }
+
+        let auth_transport = spec
+            .auth_transport
+            .clone()
+            .unwrap_or_else(TransportConfig::default);
+        let root = sim.add_node(
+            "root",
+            Box::new(AuthServer::new(
+                Authority::single(root_zone),
+                auth_transport.clone(),
+                11,
+            )),
+        );
+        let tld = sim.add_node(
+            "tld",
+            Box::new(AuthServer::new(
+                Authority::single(tld_zone),
+                auth_transport.clone(),
+                12,
+            )),
+        );
+        let auth = sim.add_node(
+            "auth",
+            Box::new(AuthServer::new(
+                Authority::single(ex_zone),
+                auth_transport,
+                13,
+            )),
+        );
+        assert_eq!((root, tld, auth), (root_id, tld_id, auth_id));
+
+        let roots = vec![RootHint {
+            name: "a.root-servers.net".parse().unwrap(),
+            addr: IpAddr::V4(node_ip(root)),
+        }];
+        let mut rec_cfg = RecursiveConfig::new(spec.mode, roots, 21);
+        rec_cfg.poll_proxy = spec.poll_proxy;
+        if let Some(t) = spec.moqt_step_timeout {
+            rec_cfg.moqt_step_timeout = t;
+        }
+        if let Some(r) = spec.udp_rto {
+            rec_cfg.udp_rto = r;
+        }
+        let mut rec = RecursiveResolver::new(rec_cfg);
+        rec.set_pipeline(spec.pipeline);
+        let recursive = sim.add_node("recursive", Box::new(rec));
+
+        let mut stubs = Vec::with_capacity(spec.n_stubs);
+        for i in 0..spec.n_stubs {
+            let mut stub = StubResolver::with_policy(
+                spec.stub_mode,
+                Addr::new(recursive, 0),
+                31 + i as u64,
+                spec.stub_policy,
+            );
+            stub.set_pipeline(spec.pipeline);
+            if let Some(r) = spec.udp_rto {
+                stub.set_udp_rto(r);
+            }
+            stubs.push(sim.add_node(format!("stub{i}"), Box::new(stub)));
+        }
+        // Nodes with periodic sweep timers never go idle; just run the
+        // start events.
+        sim.run_for(Duration::from_millis(1));
+        World {
+            sim,
+            root,
+            tld,
+            auth,
+            recursive,
+            stubs,
+        }
+    }
+
+    /// The question for host `host` (under example.com).
+    pub fn question(host: &str) -> Question {
+        Question::new(
+            format!("{host}.example.com").parse().unwrap(),
+            RecordType::A,
+        )
+    }
+
+    /// Issues a lookup from stub `i` and runs the sim for `settle`.
+    pub fn lookup(&mut self, stub_index: usize, host: &str, settle: Duration) {
+        let stub = self.stubs[stub_index];
+        let q = Self::question(host);
+        self.sim.with_node::<StubResolver, _>(stub, |s, ctx| {
+            s.lookup(ctx, q);
+        });
+        let deadline = self.sim.now() + settle;
+        self.sim.run_until(deadline);
+    }
+
+    /// Replaces host's A record at the authoritative server with a new
+    /// address, triggering pushes. Returns the change time.
+    pub fn update_record(&mut self, host: &str, new_octet: u8) -> moqdns_netsim::SimTime {
+        let change_time = self.sim.now();
+        let name: Name = format!("{host}.example.com").parse().unwrap();
+        let ttl = 300;
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |auth| {
+                if let Some(z) = auth.find_zone_mut(&name) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            ttl,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+        change_time
+    }
+}

@@ -1,0 +1,288 @@
+//! The forwarder (paper §5).
+//!
+//! "The forwarder only forwards DNS requests to recursive resolvers using
+//! MoQT. … the forwarder can provide DNS over MoQT functionality directly
+//! at the client when being operated on the same device, thereby also
+//! enabling backwards compatibility with traditional DNS stub resolvers."
+//!
+//! Front: classic DNS-over-UDP on port 53. Back: DNS-over-MoQT to the
+//! recursive resolver, with subscriptions retained so repeated queries for
+//! the same name are answered locally from pushed state.
+
+use crate::mapping::{response_from_object, track_from_question, RequestFlags};
+use crate::metrics::{AnswerSource, LookupSample, Metrics, UpdateSample};
+use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
+use crate::{DNS_PORT, MOQT_PORT};
+use moqdns_dns::message::{Message, Question, Rcode};
+use moqdns_moqt::session::SessionEvent;
+use moqdns_netsim::{Addr, Ctx, Node, SimTime};
+use moqdns_quic::{ConnHandle, TransportConfig};
+use std::any::Any;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A classic client waiting for an answer.
+struct ClientWaiter {
+    from: Addr,
+    query_id: u16,
+    started: SimTime,
+}
+
+/// Per-question forwarder state.
+struct TrackState {
+    /// Latest pushed/fetched response (id canonicalized to 0).
+    latest: Option<Message>,
+    /// Latest version (group id).
+    version: u64,
+    /// Whether a subscription is live for this question.
+    live: bool,
+    /// Waiters to answer once the first response arrives.
+    waiters: Vec<ClientWaiter>,
+}
+
+/// The forwarder node.
+pub struct Forwarder {
+    /// Recursive resolver node address.
+    upstream: Addr,
+    stack: MoqtStack,
+    conn: Option<ConnHandle>,
+    /// Question -> state.
+    tracks: HashMap<Question, TrackState>,
+    /// Our subscribe request id -> question.
+    subs: HashMap<u64, Question>,
+    /// Our fetch request id -> question.
+    fetches: HashMap<u64, Question>,
+    /// Lookups queued until the session is ready.
+    queued: Vec<Question>,
+    /// Raw measurements.
+    pub metrics: Metrics,
+}
+
+impl Forwarder {
+    /// Creates a forwarder using the recursive resolver at `upstream`.
+    pub fn new(upstream: Addr, seed: u64) -> Forwarder {
+        let transport = TransportConfig::default()
+            .idle_timeout(Duration::from_secs(3600))
+            .keep_alive(Duration::from_secs(25));
+        Forwarder {
+            upstream,
+            stack: MoqtStack::client(transport, seed),
+            conn: None,
+            tracks: HashMap::new(),
+            subs: HashMap::new(),
+            fetches: HashMap::new(),
+            queued: Vec::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Number of live upstream subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    fn on_classic_query(&mut self, ctx: &mut Ctx<'_>, from: Addr, data: &[u8]) {
+        let Ok(query) = Message::decode(data) else { return };
+        let Some(q) = query.question().cloned() else { return };
+        let started = ctx.now();
+
+        // Answer from pushed state when we have it (zero upstream traffic).
+        if let Some(state) = self.tracks.get(&q) {
+            if let Some(latest) = &state.latest {
+                let mut resp = latest.clone();
+                resp.header.id = query.header.id;
+                ctx.send(DNS_PORT, from, resp.encode());
+                self.metrics.lookups.push(LookupSample {
+                    question: q,
+                    started,
+                    finished: ctx.now(),
+                    source: AnswerSource::Cache,
+                    ok: true,
+                    version: Some(state.version),
+                });
+                return;
+            }
+        }
+
+        // Otherwise subscribe+fetch upstream (or join an in-flight one).
+        let state = self.tracks.entry(q.clone()).or_insert(TrackState {
+            latest: None,
+            version: 0,
+            live: false,
+            waiters: Vec::new(),
+        });
+        state.waiters.push(ClientWaiter {
+            from,
+            query_id: query.header.id,
+            started,
+        });
+        let in_flight = state.live || self.fetches.values().any(|qq| *qq == q);
+        if !in_flight {
+            self.subscribe_upstream(ctx, q);
+        }
+    }
+
+    fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, question: Question) {
+        if self.conn.is_none()
+            || self
+                .stack
+                .session(self.conn.unwrap())
+                .is_none()
+        {
+            let h = self
+                .stack
+                .connect(ctx.now(), Addr::new(self.upstream.node, MOQT_PORT), true);
+            self.conn = Some(h);
+        }
+        let h = self.conn.unwrap();
+        let track = track_from_question(&question, RequestFlags::recursive())
+            .expect("valid dns track");
+        let Some((session, conn)) = self.stack.session_conn(h) else {
+            self.queued.push(question);
+            return;
+        };
+        let (sub_id, fetch_id) = session.subscribe_with_joining_fetch(conn, track, 1);
+        self.metrics.subscribes_sent += 1;
+        self.metrics.fetches_sent += 1;
+        self.subs.insert(sub_id, question.clone());
+        self.fetches.insert(fetch_id, question);
+        let evs = self.stack.flush(ctx);
+        self.handle_events(ctx, evs);
+    }
+
+    fn answer_waiters(&mut self, ctx: &mut Ctx<'_>, question: &Question) {
+        let Some(state) = self.tracks.get_mut(question) else { return };
+        let Some(latest) = state.latest.clone() else { return };
+        let version = state.version;
+        let waiters = std::mem::take(&mut state.waiters);
+        for w in waiters {
+            let mut resp = latest.clone();
+            resp.header.id = w.query_id;
+            ctx.send(DNS_PORT, w.from, resp.encode());
+            self.metrics.lookups.push(LookupSample {
+                question: question.clone(),
+                started: w.started,
+                finished: ctx.now(),
+                source: AnswerSource::Moqt,
+                ok: latest.header.rcode == Rcode::NoError,
+                version: Some(version),
+            });
+        }
+    }
+
+    fn handle_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<StackEvent>) {
+        for ev in events {
+            match ev {
+                StackEvent::Session(_, SessionEvent::Ready { .. }) => {
+                    let queued = std::mem::take(&mut self.queued);
+                    for q in queued {
+                        self.subscribe_upstream(ctx, q);
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::SubscribeAccepted { request_id, .. }) => {
+                    if let Some(q) = self.subs.get(&request_id) {
+                        if let Some(state) = self.tracks.get_mut(q) {
+                            state.live = true;
+                        }
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::SubscribeRejected { request_id, .. }) => {
+                    if let Some(q) = self.subs.remove(&request_id) {
+                        if let Some(state) = self.tracks.get_mut(&q) {
+                            state.live = false;
+                        }
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::FetchObjects { request_id, objects }) => {
+                    if let Some(q) = self.fetches.remove(&request_id) {
+                        if let Some(object) = objects.first() {
+                            if let Ok(msg) = response_from_object(object) {
+                                let state = self.tracks.entry(q.clone()).or_insert(TrackState {
+                                    latest: None,
+                                    version: 0,
+                                    live: false,
+                                    waiters: Vec::new(),
+                                });
+                                state.latest = Some(msg);
+                                state.version = object.group_id;
+                                self.answer_waiters(ctx, &q);
+                            }
+                        }
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::FetchRejected { request_id, .. }) => {
+                    if let Some(q) = self.fetches.remove(&request_id) {
+                        // Fail pending waiters with SERVFAIL.
+                        if let Some(state) = self.tracks.get_mut(&q) {
+                            let waiters = std::mem::take(&mut state.waiters);
+                            for w in waiters {
+                                let mut resp =
+                                    Message::response_to(&Message::query(w.query_id, q.clone()));
+                                resp.header.rcode = Rcode::ServFail;
+                                ctx.send(DNS_PORT, w.from, resp.encode());
+                            }
+                        }
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::SubscriptionObject { request_id, object }) => {
+                    if let Some(q) = self.subs.get(&request_id).cloned() {
+                        if let Ok(msg) = response_from_object(&object) {
+                            if let Some(state) = self.tracks.get_mut(&q) {
+                                state.latest = Some(msg);
+                                state.version = object.group_id;
+                            }
+                            self.metrics.objects_received += 1;
+                            self.metrics.updates.push(UpdateSample {
+                                question: q,
+                                version: object.group_id,
+                                received: ctx.now(),
+                            });
+                        }
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::SubscriptionEnded { request_id, .. }) => {
+                    if let Some(q) = self.subs.remove(&request_id) {
+                        if let Some(state) = self.tracks.get_mut(&q) {
+                            state.live = false;
+                        }
+                    }
+                }
+                StackEvent::Closed(_) => {
+                    self.conn = None;
+                    self.subs.clear();
+                    for state in self.tracks.values_mut() {
+                        state.live = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Node for Forwarder {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+        match to_port {
+            DNS_PORT => self.on_classic_query(ctx, from, &payload),
+            MOQT_PORT => {
+                let evs = self.stack.on_datagram(ctx, from, &payload);
+                self.handle_events(ctx, evs);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_QUIC {
+            let evs = self.stack.on_timer(ctx);
+            self.handle_events(ctx, evs);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+}

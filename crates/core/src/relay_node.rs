@@ -1,0 +1,286 @@
+//! A MoQT relay wired into the simulator (paper §3, ablation A3).
+//!
+//! Downstream it is a MoQT server; upstream it is a MoQT client of a
+//! configured parent (an authoritative server or another relay). All
+//! routing decisions come from [`moqdns_moqt::relay::RelayCore`], which
+//! never inspects object payloads — the relay works for DNS objects
+//! because it works for *any* objects.
+
+use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
+use crate::MOQT_PORT;
+use moqdns_moqt::data::Object;
+use moqdns_moqt::relay::{RelayAction, RelayCore, RelayStats};
+use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
+use moqdns_moqt::track::FullTrackName;
+use moqdns_netsim::{Addr, Ctx, Node};
+use moqdns_quic::{ConnHandle, TransportConfig};
+use std::any::Any;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The relay node.
+pub struct RelayNode {
+    /// Upstream parent (authoritative server or another relay).
+    parent: Addr,
+    stack: MoqtStack,
+    core: RelayCore,
+    upstream_conn: Option<ConnHandle>,
+    /// Upstream subscribe request id -> track.
+    up_subs: HashMap<u64, FullTrackName>,
+    /// track -> upstream subscribe request id (for teardown).
+    up_by_track: HashMap<FullTrackName, u64>,
+    /// Upstream fetch request id -> (track, downstream session, downstream
+    /// fetch request).
+    up_fetches: HashMap<u64, (FullTrackName, u64, u64)>,
+    /// Tracks to subscribe upstream once the session is ready.
+    queued_tracks: Vec<FullTrackName>,
+    /// Downstream session key (we use the connection handle's raw value).
+    sessions: HashMap<u64, ConnHandle>,
+}
+
+impl RelayNode {
+    /// Creates a relay forwarding to `parent`, caching up to
+    /// `cache_per_track` objects per track.
+    pub fn new(parent: Addr, cache_per_track: usize, seed: u64) -> RelayNode {
+        let transport = TransportConfig::default()
+            .idle_timeout(Duration::from_secs(3600))
+            .keep_alive(Duration::from_secs(25));
+        RelayNode {
+            parent,
+            stack: MoqtStack::server(transport, seed),
+            core: RelayCore::new(cache_per_track),
+            upstream_conn: None,
+            up_subs: HashMap::new(),
+            up_by_track: HashMap::new(),
+            up_fetches: HashMap::new(),
+            queued_tracks: Vec::new(),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Relay effectiveness counters (ablation A3).
+    pub fn stats(&self) -> RelayStats {
+        self.core.stats()
+    }
+
+    /// Aggregation factor: downstream subscriptions per upstream one.
+    pub fn aggregation_factor(&self) -> f64 {
+        self.core.aggregation_factor()
+    }
+
+    fn ensure_upstream(&mut self, ctx: &mut Ctx<'_>) -> ConnHandle {
+        match self.upstream_conn {
+            Some(h) if self.stack.session(h).is_some() => h,
+            _ => {
+                let h = self
+                    .stack
+                    .connect(ctx.now(), Addr::new(self.parent.node, MOQT_PORT), true);
+                self.upstream_conn = Some(h);
+                h
+            }
+        }
+    }
+
+    fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, track: FullTrackName) {
+        let h = self.ensure_upstream(ctx);
+        let ready = self
+            .stack
+            .session(h)
+            .map(|s| s.is_ready())
+            .unwrap_or(false);
+        // CLIENT_SETUP may still be in flight; MoQT control messages queue
+        // on the stream, so subscribing immediately is safe either way —
+        // but we only subscribe once the session object exists.
+        let _ = ready;
+        let Some((session, conn)) = self.stack.session_conn(h) else {
+            self.queued_tracks.push(track);
+            return;
+        };
+        let sub_id = session.subscribe(conn, track.clone());
+        self.up_subs.insert(sub_id, track.clone());
+        self.up_by_track.insert(track, sub_id);
+    }
+
+    fn run_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<RelayAction>) {
+        for a in actions {
+            match a {
+                RelayAction::SubscribeUpstream { track } => {
+                    self.subscribe_upstream(ctx, track);
+                }
+                RelayAction::AcceptDownstream {
+                    session,
+                    request_id,
+                    largest,
+                } => {
+                    if let Some(&h) = self.sessions.get(&session) {
+                        if let Some((sess, conn)) = self.stack.session_conn(h) {
+                            sess.accept_subscribe(conn, request_id, largest);
+                        }
+                    }
+                }
+                RelayAction::Forward {
+                    session,
+                    request_id,
+                    object,
+                } => {
+                    if let Some(&h) = self.sessions.get(&session) {
+                        if let Some((sess, conn)) = self.stack.session_conn(h) {
+                            sess.publish(conn, request_id, object);
+                        }
+                    }
+                }
+                RelayAction::ServeFetch {
+                    session,
+                    request_id,
+                    largest,
+                    objects,
+                } => {
+                    if let Some(&h) = self.sessions.get(&session) {
+                        if let Some((sess, conn)) = self.stack.session_conn(h) {
+                            // DNS tracks: only the newest version matters.
+                            let newest: Vec<Object> =
+                                objects.into_iter().rev().take(1).collect();
+                            sess.respond_fetch(conn, request_id, largest, newest);
+                        }
+                    }
+                }
+                RelayAction::FetchUpstream {
+                    track,
+                    session,
+                    request_id,
+                    start_group,
+                    end_group,
+                } => {
+                    let h = self.ensure_upstream(ctx);
+                    if let Some((sess, conn)) = self.stack.session_conn(h) {
+                        let fid = sess.fetch(conn, track.clone(), start_group, end_group);
+                        self.up_fetches.insert(fid, (track, session, request_id));
+                    }
+                }
+                RelayAction::UnsubscribeUpstream { track } => {
+                    if let Some(sub_id) = self.up_by_track.remove(&track) {
+                        self.up_subs.remove(&sub_id);
+                        if let Some(h) = self.upstream_conn {
+                            if let Some((sess, conn)) = self.stack.session_conn(h) {
+                                sess.unsubscribe(conn, sub_id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let evs = self.stack.flush(ctx);
+        self.handle_events(ctx, evs);
+    }
+
+    fn handle_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<StackEvent>) {
+        for ev in events {
+            match ev {
+                StackEvent::Accepted(h) => {
+                    self.sessions.insert(h.0, h);
+                }
+                StackEvent::Session(h, sev) => {
+                    let is_upstream = Some(h) == self.upstream_conn;
+                    match sev {
+                        SessionEvent::Ready { .. } if is_upstream => {
+                            let queued = std::mem::take(&mut self.queued_tracks);
+                            for t in queued {
+                                self.subscribe_upstream(ctx, t);
+                            }
+                        }
+                        SessionEvent::SubscriptionObject { request_id, object }
+                            if is_upstream =>
+                        {
+                            if let Some(track) = self.up_subs.get(&request_id).cloned() {
+                                let actions = self.core.on_upstream_object(&track, object);
+                                self.run_actions(ctx, actions);
+                            }
+                        }
+                        SessionEvent::FetchObjects { request_id, objects } if is_upstream => {
+                            if let Some((track, session, down_req)) =
+                                self.up_fetches.remove(&request_id)
+                            {
+                                let actions = self.core.on_upstream_fetch_result(
+                                    &track, session, down_req, objects,
+                                );
+                                self.run_actions(ctx, actions);
+                            }
+                        }
+                        SessionEvent::FetchRejected { request_id, .. } if is_upstream => {
+                            if let Some((_, session, down_req)) =
+                                self.up_fetches.remove(&request_id)
+                            {
+                                if let Some(&dh) = self.sessions.get(&session) {
+                                    if let Some((sess, conn)) = self.stack.session_conn(dh) {
+                                        sess.reject_fetch(conn, down_req, 0x5, "upstream miss");
+                                    }
+                                }
+                            }
+                        }
+                        SessionEvent::IncomingSubscribe { request_id, track }
+                            if !is_upstream =>
+                        {
+                            let actions =
+                                self.core.on_downstream_subscribe(h.0, request_id, track);
+                            self.run_actions(ctx, actions);
+                        }
+                        SessionEvent::IncomingFetch { request_id, kind } if !is_upstream => {
+                            let track = match kind {
+                                IncomingFetchKind::StandAlone { track, .. } => track,
+                                IncomingFetchKind::Joining { track, .. } => track,
+                            };
+                            let actions = self.core.on_downstream_fetch(
+                                h.0,
+                                request_id,
+                                track,
+                                0,
+                                u64::MAX,
+                            );
+                            self.run_actions(ctx, actions);
+                        }
+                        SessionEvent::PeerUnsubscribed { request_id } if !is_upstream => {
+                            let actions = self.core.on_downstream_unsubscribe(h.0, request_id);
+                            self.run_actions(ctx, actions);
+                        }
+                        _ => {}
+                    }
+                }
+                StackEvent::Closed(h) => {
+                    if Some(h) == self.upstream_conn {
+                        self.upstream_conn = None;
+                        self.up_subs.clear();
+                        self.up_by_track.clear();
+                    } else {
+                        self.sessions.remove(&h.0);
+                        let actions = self.core.on_session_closed(h.0);
+                        self.run_actions(ctx, actions);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Node for RelayNode {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+        if to_port == MOQT_PORT {
+            let evs = self.stack.on_datagram(ctx, from, &payload);
+            self.handle_events(ctx, evs);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_QUIC {
+            let evs = self.stack.on_timer(ctx);
+            self.handle_events(ctx, evs);
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+}

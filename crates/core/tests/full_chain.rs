@@ -1,0 +1,303 @@
+//! Integration: the full DNS-over-MoQT hierarchy in one simulator —
+//! stub resolver → recursive resolver → root/TLD/authoritative servers —
+//! exercising the paper's Fig 2 lookup sequence, update push, fallback,
+//! and the classic baseline.
+
+use moqdns_core::auth::AuthServer;
+use moqdns_core::recursive::{RecursiveConfig, RecursiveResolver, UpstreamMode};
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_core::{node_ip, DNS_PORT};
+use moqdns_dns::message::Question;
+use moqdns_dns::name::Name;
+use moqdns_dns::rdata::RData;
+use moqdns_dns::resolver::RootHint;
+use moqdns_dns::rr::{Record, RecordType};
+use moqdns_dns::server::Authority;
+use moqdns_dns::zone::Zone;
+use moqdns_netsim::{Addr, LinkConfig, NodeId, Simulator};
+use moqdns_quic::TransportConfig;
+use std::net::{IpAddr, Ipv4Addr};
+use std::time::Duration;
+
+fn n(s: &str) -> Name {
+    s.parse().unwrap()
+}
+
+fn a(name: &str, ttl: u32, ip: [u8; 4]) -> Record {
+    Record::new(n(name), ttl, RData::A(Ipv4Addr::from(ip)))
+}
+
+/// A three-level hierarchy plus a recursive resolver and a stub.
+struct World {
+    sim: Simulator,
+    root: NodeId,
+    tld: NodeId,
+    auth: NodeId,
+    recursive: NodeId,
+    stub: NodeId,
+}
+
+/// Builds the world. Node ids are allocated in order, so the zones can
+/// reference each server's synthetic `10.x.y.z` address via glue records.
+fn build(mode: UpstreamMode, stub_mode: StubMode, seed: u64) -> World {
+    let mut sim = Simulator::new(seed);
+    sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(10)));
+
+    // Ids are dense: root=0, tld=1, auth=2, recursive=3, stub=4.
+    let root_id = NodeId::from_index(0);
+    let tld_id = NodeId::from_index(1);
+    let auth_id = NodeId::from_index(2);
+
+    let mut root_zone = Zone::with_default_soa(Name::root());
+    root_zone.add_record(Record::new(n("com"), 86_400, RData::NS(n("ns.tld"))));
+    root_zone.add_record(Record::new(
+        n("ns.tld"),
+        86_400,
+        RData::A(node_ip(tld_id)),
+    ));
+
+    let mut tld_zone = Zone::with_default_soa(n("com"));
+    tld_zone.add_record(Record::new(
+        n("example.com"),
+        86_400,
+        RData::NS(n("ns1.example.com")),
+    ));
+    tld_zone.add_record(Record::new(
+        n("ns1.example.com"),
+        86_400,
+        RData::A(node_ip(auth_id)),
+    ));
+
+    let mut ex_zone = Zone::with_default_soa(n("example.com"));
+    ex_zone.add_record(a("www.example.com", 300, [192, 0, 2, 1]));
+
+    let root = sim.add_node(
+        "root",
+        Box::new(AuthServer::new(
+            Authority::single(root_zone),
+            TransportConfig::default(),
+            11,
+        )),
+    );
+    let tld = sim.add_node(
+        "tld",
+        Box::new(AuthServer::new(
+            Authority::single(tld_zone),
+            TransportConfig::default(),
+            12,
+        )),
+    );
+    let auth = sim.add_node(
+        "auth",
+        Box::new(AuthServer::new(
+            Authority::single(ex_zone),
+            TransportConfig::default(),
+            13,
+        )),
+    );
+    assert_eq!(root, root_id);
+    assert_eq!(tld, tld_id);
+    assert_eq!(auth, auth_id);
+
+    let roots = vec![RootHint {
+        name: n("a.root-servers.net"),
+        addr: IpAddr::V4(node_ip(root)),
+    }];
+    let recursive = sim.add_node(
+        "recursive",
+        Box::new(RecursiveResolver::new(RecursiveConfig::new(
+            mode, roots, 21,
+        ))),
+    );
+    let stub = sim.add_node(
+        "stub",
+        Box::new(StubResolver::new(stub_mode, Addr::new(recursive, 0), 31)),
+    );
+    sim.run_until_idle();
+    World {
+        sim,
+        root,
+        tld,
+        auth,
+        recursive,
+        stub,
+    }
+}
+
+fn question() -> Question {
+    Question::new(n("www.example.com"), RecordType::A)
+}
+
+fn lookup_and_settle(w: &mut World, horizon_ms: u64) {
+    w.sim.with_node::<StubResolver, _>(w.stub, |s, ctx| {
+        s.lookup(ctx, question());
+    });
+    let deadline = w.sim.now() + Duration::from_millis(horizon_ms);
+    w.sim.run_until(deadline);
+}
+
+#[test]
+fn classic_end_to_end_lookup() {
+    let mut w = build(UpstreamMode::Classic, StubMode::Classic, 1);
+    lookup_and_settle(&mut w, 2000);
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert_eq!(stub.metrics.lookups.len(), 1);
+    let l = &stub.metrics.lookups[0];
+    assert!(l.ok, "lookup succeeded");
+    let answers = stub.answer(&question()).expect("answer stored");
+    assert_eq!(answers[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+    // stub->recursive 1 RTT + recursive does root, TLD, auth = 3 RTT.
+    // All links are 10 ms one-way, so total = 4 RTT = 80 ms.
+    assert_eq!(l.latency(), Duration::from_millis(80));
+}
+
+#[test]
+fn moqt_end_to_end_lookup_with_subscription() {
+    let mut w = build(UpstreamMode::Moqt, StubMode::Moqt, 2);
+    lookup_and_settle(&mut w, 5000);
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert_eq!(stub.metrics.lookups.len(), 1, "one lookup recorded");
+    let l = &stub.metrics.lookups[0];
+    assert!(l.ok, "MoQT lookup succeeded");
+    let answers = stub.answer(&question()).expect("answer stored");
+    assert_eq!(answers[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+    assert_eq!(stub.subscription_count(), 1, "stub holds a subscription");
+
+    // The recursive holds upstream subscriptions for each lookup step.
+    let rec = w.sim.node_ref::<RecursiveResolver>(w.recursive);
+    assert!(
+        rec.upstream_subscription_count() >= 1,
+        "recursive subscribed upstream"
+    );
+    assert_eq!(rec.downstream_subscriber_count(), 1);
+}
+
+#[test]
+fn update_is_pushed_all_the_way_to_the_stub() {
+    let mut w = build(UpstreamMode::Moqt, StubMode::Moqt, 3);
+    lookup_and_settle(&mut w, 5000);
+
+    // Change the record at the authoritative server.
+    let change_time = w.sim.now();
+    w.sim.with_node::<AuthServer, _>(w.auth, |a, ctx| {
+        a.update_zone(ctx, |auth| {
+            auth.find_zone_mut(&n("www.example.com"))
+                .unwrap()
+                .set_records(
+                    &n("www.example.com"),
+                    RecordType::A,
+                    vec![Record::new(
+                        n("www.example.com"),
+                        300,
+                        RData::A(Ipv4Addr::new(192, 0, 2, 200)),
+                    )],
+                );
+        });
+    });
+    let deadline = w.sim.now() + Duration::from_secs(2);
+    w.sim.run_until(deadline);
+
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert!(
+        !stub.metrics.updates.is_empty(),
+        "update pushed to the stub without any lookup"
+    );
+    let answers = stub.answer(&question()).expect("answer present");
+    assert_eq!(
+        answers[0].rdata,
+        RData::A(Ipv4Addr::new(192, 0, 2, 200)),
+        "stub holds the NEW record version"
+    );
+    // The push arrived within a handful of link delays — far below any TTL.
+    let arrival = stub.metrics.updates.last().unwrap().received;
+    assert!(
+        arrival - change_time < Duration::from_millis(200),
+        "push latency {:?}",
+        arrival - change_time
+    );
+}
+
+#[test]
+fn second_lookup_is_answered_locally() {
+    let mut w = build(UpstreamMode::Moqt, StubMode::Moqt, 4);
+    lookup_and_settle(&mut w, 5000);
+    lookup_and_settle(&mut w, 1000);
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert_eq!(stub.metrics.lookups.len(), 2);
+    let second = &stub.metrics.lookups[1];
+    assert_eq!(
+        second.latency(),
+        Duration::ZERO,
+        "subscribed record answered with zero network lookups (§5.2)"
+    );
+}
+
+#[test]
+fn happy_eyeballs_resolves() {
+    let mut w = build(UpstreamMode::HappyEyeballs, StubMode::Classic, 5);
+    lookup_and_settle(&mut w, 5000);
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert_eq!(stub.metrics.lookups.len(), 1);
+    assert!(stub.metrics.lookups[0].ok);
+}
+
+#[test]
+fn classic_stub_against_moqt_recursive() {
+    // Mixed deployment: stub stays classic, recursive uses MoQT upstream.
+    let mut w = build(UpstreamMode::Moqt, StubMode::Classic, 6);
+    lookup_and_settle(&mut w, 5000);
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert!(stub.metrics.lookups[0].ok);
+    let answers = stub.answer(&question()).unwrap();
+    assert_eq!(answers[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+}
+
+#[test]
+fn cached_second_classic_lookup_is_fast() {
+    let mut w = build(UpstreamMode::Classic, StubMode::Classic, 7);
+    lookup_and_settle(&mut w, 2000);
+    lookup_and_settle(&mut w, 2000);
+    let stub = w.sim.node_ref::<StubResolver>(w.stub);
+    assert_eq!(stub.metrics.lookups.len(), 2);
+    // Second lookup: 1 RTT to the recursive (cache hit there).
+    assert_eq!(stub.metrics.lookups[1].latency(), Duration::from_millis(20));
+    let rec = w.sim.node_ref::<RecursiveResolver>(w.recursive);
+    assert!(rec.cache().stats().hits >= 1);
+}
+
+#[test]
+fn deterministic_across_identical_seeds() {
+    let run = |seed| {
+        let mut w = build(UpstreamMode::Moqt, StubMode::Moqt, seed);
+        lookup_and_settle(&mut w, 5000);
+        let stub = w.sim.node_ref::<StubResolver>(w.stub);
+        stub.metrics.lookups[0].latency()
+    };
+    assert_eq!(run(42), run(42));
+}
+
+#[test]
+fn traffic_flows_where_expected() {
+    let mut w = build(UpstreamMode::Moqt, StubMode::Moqt, 8);
+    lookup_and_settle(&mut w, 5000);
+    let stats = w.sim.stats();
+    // Stub talked only to the recursive.
+    assert!(stats.between(w.stub, w.recursive).datagrams > 0);
+    assert_eq!(stats.between(w.stub, w.auth).datagrams, 0);
+    // The recursive talked to all three servers.
+    for server in [w.root, w.tld, w.auth] {
+        assert!(stats.between(w.recursive, server).datagrams > 0);
+    }
+}
+
+#[test]
+fn classic_query_to_auth_direct_still_works() {
+    // The auth servers answer plain UDP queries too (incremental deploy).
+    let mut w = build(UpstreamMode::Classic, StubMode::Classic, 9);
+    let q = moqdns_dns::message::Message::query(77, question());
+    w.sim.with_node::<StubResolver, _>(w.stub, |_, ctx| {
+        ctx.send(5353, Addr::new(NodeId::from_index(2), DNS_PORT), q.encode());
+    });
+    w.sim.run_until_idle();
+    assert!(w.sim.stats().between(w.auth, w.stub).delivered > 0);
+}

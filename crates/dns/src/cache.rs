@@ -1,0 +1,364 @@
+//! A TTL-driven record cache (positive and negative entries).
+//!
+//! This models the caching behaviour the paper's §2 analysis targets: "a
+//! record is requested from the next layer within the hierarchy only on
+//! cache misses, i.e., when the TTL has expired" — so in the worst case a
+//! record is as stale as the stacked TTLs along the lookup path. The
+//! pub/sub variant exists to beat exactly this.
+//!
+//! Time is supplied by the caller as a [`SimTime`]-compatible nanosecond
+//! instant so the cache works both in simulation and against a real clock.
+
+use crate::message::Rcode;
+use crate::name::Name;
+use crate::rr::{Record, RecordType};
+use moqdns_netsim::SimTime;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Key of a cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    name: Name,
+    rtype: RecordType,
+}
+
+/// A cached entry: either records or a negative result.
+#[derive(Debug, Clone)]
+enum Entry {
+    Positive {
+        records: Vec<Record>,
+        inserted: SimTime,
+        expires: SimTime,
+    },
+    Negative {
+        rcode: Rcode,
+        inserted: SimTime,
+        expires: SimTime,
+    },
+}
+
+impl Entry {
+    fn expires(&self) -> SimTime {
+        match self {
+            Entry::Positive { expires, .. } | Entry::Negative { expires, .. } => *expires,
+        }
+    }
+    fn inserted(&self) -> SimTime {
+        match self {
+            Entry::Positive { inserted, .. } | Entry::Negative { inserted, .. } => *inserted,
+        }
+    }
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheHit {
+    /// Valid records, with TTLs decremented by the time already spent in
+    /// this cache (what a resolver must serve downstream).
+    Records(Vec<Record>),
+    /// A cached negative answer (NXDOMAIN or NODATA as NoError).
+    Negative(Rcode),
+}
+
+/// Counters for cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing or only expired entries.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// A TTL cache for DNS record sets.
+pub struct Cache {
+    entries: HashMap<Key, Entry>,
+    max_entries: usize,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache holding at most `max_entries` record sets.
+    pub fn new(max_entries: usize) -> Cache {
+        Cache {
+            entries: HashMap::new(),
+            max_entries: max_entries.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live + expired entries currently stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn key(name: &Name, rtype: RecordType) -> Key {
+        Key {
+            name: name.to_lowercase(),
+            rtype,
+        }
+    }
+
+    /// Inserts a positive record set. The entry's lifetime is the minimum
+    /// TTL among `records`.
+    pub fn insert(&mut self, now: SimTime, name: &Name, rtype: RecordType, records: Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        let min_ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        let expires = now + Duration::from_secs(min_ttl as u64);
+        self.make_room(now);
+        self.entries.insert(
+            Self::key(name, rtype),
+            Entry::Positive {
+                records,
+                inserted: now,
+                expires,
+            },
+        );
+    }
+
+    /// Inserts a negative answer (RFC 2308) with lifetime `ttl` seconds.
+    pub fn insert_negative(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RecordType,
+        rcode: Rcode,
+        ttl: u32,
+    ) {
+        let expires = now + Duration::from_secs(ttl as u64);
+        self.make_room(now);
+        self.entries.insert(
+            Self::key(name, rtype),
+            Entry::Negative {
+                rcode,
+                inserted: now,
+                expires,
+            },
+        );
+    }
+
+    /// Looks up (name, type); returns a hit only if unexpired at `now`.
+    /// Positive hits have their TTLs reduced by the time spent cached.
+    pub fn get(&mut self, now: SimTime, name: &Name, rtype: RecordType) -> Option<CacheHit> {
+        let key = Self::key(name, rtype);
+        let hit = match self.entries.get(&key) {
+            Some(e) if e.expires() > now => match e {
+                Entry::Positive {
+                    records, inserted, ..
+                } => {
+                    let elapsed = (now - *inserted).as_secs() as u32;
+                    let adjusted = records
+                        .iter()
+                        .map(|r| {
+                            let mut r = r.clone();
+                            r.ttl = r.ttl.saturating_sub(elapsed);
+                            r
+                        })
+                        .collect();
+                    Some(CacheHit::Records(adjusted))
+                }
+                Entry::Negative { rcode, .. } => Some(CacheHit::Negative(*rcode)),
+            },
+            _ => None,
+        };
+        if hit.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            self.entries.remove(&key); // drop expired entry, if any
+        }
+        hit
+    }
+
+    /// Looks up without mutating stats or evicting (for introspection).
+    pub fn peek(&self, now: SimTime, name: &Name, rtype: RecordType) -> Option<&[Record]> {
+        match self.entries.get(&Self::key(name, rtype)) {
+            Some(Entry::Positive {
+                records, expires, ..
+            }) if *expires > now => Some(records),
+            _ => None,
+        }
+    }
+
+    /// Time at which the entry for (name, type) expires, if present.
+    pub fn expiry(&self, name: &Name, rtype: RecordType) -> Option<SimTime> {
+        self.entries
+            .get(&Self::key(name, rtype))
+            .map(|e| e.expires())
+    }
+
+    /// Removes the entry for (name, type) regardless of expiry.
+    pub fn remove(&mut self, name: &Name, rtype: RecordType) {
+        self.entries.remove(&Self::key(name, rtype));
+    }
+
+    /// Drops every expired entry.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, e| e.expires() > now);
+    }
+
+    /// Clears the whole cache.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Evicts to keep size under the cap: expired entries first, then the
+    /// oldest by insertion time.
+    fn make_room(&mut self, now: SimTime) {
+        if self.entries.len() < self.max_entries {
+            return;
+        }
+        let before = self.entries.len();
+        self.purge_expired(now);
+        let mut evicted = (before - self.entries.len()) as u64;
+        while self.entries.len() >= self.max_entries {
+            if let Some(key) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.inserted())
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&key);
+                evicted += 1;
+            } else {
+                break;
+            }
+        }
+        self.stats.evictions += evicted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn a(name: &str, ttl: u32) -> Record {
+        Record::new(n(name), ttl, RData::A(Ipv4Addr::new(192, 0, 2, 1)))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn hit_before_expiry_miss_after() {
+        let mut c = Cache::new(16);
+        c.insert(t(0), &n("x.com"), RecordType::A, vec![a("x.com", 300)]);
+        assert!(c.get(t(299), &n("x.com"), RecordType::A).is_some());
+        assert!(c.get(t(300), &n("x.com"), RecordType::A).is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn ttl_decrements_with_age() {
+        let mut c = Cache::new(16);
+        c.insert(t(0), &n("x.com"), RecordType::A, vec![a("x.com", 300)]);
+        match c.get(t(100), &n("x.com"), RecordType::A) {
+            Some(CacheHit::Records(rs)) => assert_eq!(rs[0].ttl, 200),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_ttl_governs_record_set() {
+        let mut c = Cache::new(16);
+        c.insert(
+            t(0),
+            &n("x.com"),
+            RecordType::A,
+            vec![a("x.com", 60), a("x.com", 300)],
+        );
+        assert!(c.get(t(59), &n("x.com"), RecordType::A).is_some());
+        assert!(c.get(t(61), &n("x.com"), RecordType::A).is_none());
+    }
+
+    #[test]
+    fn negative_caching() {
+        let mut c = Cache::new(16);
+        c.insert_negative(t(0), &n("gone.com"), RecordType::A, Rcode::NxDomain, 300);
+        assert_eq!(
+            c.get(t(10), &n("gone.com"), RecordType::A),
+            Some(CacheHit::Negative(Rcode::NxDomain))
+        );
+        assert!(c.get(t(301), &n("gone.com"), RecordType::A).is_none());
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let mut c = Cache::new(16);
+        c.insert(t(0), &n("X.CoM"), RecordType::A, vec![a("x.com", 300)]);
+        assert!(c.get(t(1), &n("x.com"), RecordType::A).is_some());
+    }
+
+    #[test]
+    fn eviction_prefers_expired_then_oldest() {
+        let mut c = Cache::new(2);
+        c.insert(t(0), &n("a.com"), RecordType::A, vec![a("a.com", 10)]);
+        c.insert(t(1), &n("b.com"), RecordType::A, vec![a("b.com", 1000)]);
+        // a.com expired at t=10; inserting at t=20 evicts it, not b.com.
+        c.insert(t(20), &n("c.com"), RecordType::A, vec![a("c.com", 1000)]);
+        assert!(c.peek(t(21), &n("b.com"), RecordType::A).is_some());
+        assert!(c.peek(t(21), &n("c.com"), RecordType::A).is_some());
+        assert!(c.peek(t(21), &n("a.com"), RecordType::A).is_none());
+        assert_eq!(c.len(), 2);
+
+        // All live: evicts the oldest (b.com, inserted at t=1).
+        c.insert(t(30), &n("d.com"), RecordType::A, vec![a("d.com", 1000)]);
+        assert!(c.peek(t(31), &n("b.com"), RecordType::A).is_none());
+        assert!(c.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn expiry_and_remove() {
+        let mut c = Cache::new(16);
+        c.insert(t(5), &n("x.com"), RecordType::A, vec![a("x.com", 100)]);
+        assert_eq!(c.expiry(&n("x.com"), RecordType::A), Some(t(105)));
+        c.remove(&n("x.com"), RecordType::A);
+        assert!(c.expiry(&n("x.com"), RecordType::A).is_none());
+    }
+
+    #[test]
+    fn purge_expired_removes_only_dead() {
+        let mut c = Cache::new(16);
+        c.insert(t(0), &n("a.com"), RecordType::A, vec![a("a.com", 10)]);
+        c.insert(t(0), &n("b.com"), RecordType::A, vec![a("b.com", 100)]);
+        c.purge_expired(t(50));
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(t(50), &n("b.com"), RecordType::A).is_some());
+    }
+
+    #[test]
+    fn types_are_separate_keys() {
+        let mut c = Cache::new(16);
+        c.insert(t(0), &n("x.com"), RecordType::A, vec![a("x.com", 100)]);
+        assert!(c.get(t(1), &n("x.com"), RecordType::AAAA).is_none());
+    }
+
+    #[test]
+    fn empty_insert_is_ignored() {
+        let mut c = Cache::new(16);
+        c.insert(t(0), &n("x.com"), RecordType::A, vec![]);
+        assert!(c.is_empty());
+    }
+}

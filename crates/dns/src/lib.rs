@@ -1,0 +1,42 @@
+//! # moqdns-dns
+//!
+//! A from-scratch DNS implementation: the substrate the paper's prototype
+//! took from `miekg/dns`, rebuilt in Rust.
+//!
+//! Contents:
+//!
+//! * [`name`] — domain names: labels, RFC 1035 length limits,
+//!   case-insensitive comparison, wire form;
+//! * [`rr`] / [`rdata`] — record types and typed RDATA for
+//!   A, AAAA, NS, CNAME, SOA, PTR, MX, TXT, SRV, OPT, SVCB and HTTPS
+//!   (RFC 9460), plus an opaque escape hatch;
+//! * [`message`] — the RFC 1035 §4 message codec with name compression;
+//! * [`zone`] — authoritative zones with the strictly monotonic **version
+//!   number** that DNS-over-MoQT uses as the MoQT group ID (paper §4.2);
+//! * [`server`] — authoritative answer logic (answers, referrals with glue,
+//!   CNAME chasing, NXDOMAIN/NODATA with SOA);
+//! * [`cache`] — a TTL cache with positive and negative entries;
+//! * [`resolver`] — the sans-io iterative resolution state machine
+//!   (root → TLD → authoritative);
+//! * [`transport`] — classic DNS-over-UDP client/server state machines with
+//!   retransmission, runnable over `moqdns-netsim` or real sockets.
+//!
+//! Everything is sans-io: no sockets, no clocks; callers feed in datagrams,
+//! timeouts and the current time.
+
+pub mod cache;
+pub mod message;
+pub mod name;
+pub mod rdata;
+pub mod resolver;
+pub mod rr;
+pub mod server;
+pub mod transport;
+pub mod zone;
+
+pub use cache::Cache;
+pub use message::{Header, Message, Opcode, Question, Rcode};
+pub use name::Name;
+pub use rdata::RData;
+pub use rr::{RClass, Record, RecordType};
+pub use zone::Zone;

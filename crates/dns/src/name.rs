@@ -1,0 +1,496 @@
+//! Domain names (RFC 1035 §3.1).
+//!
+//! A [`Name`] is a sequence of labels. Limits enforced: each label is 1–63
+//! bytes, and the wire form of the whole name (labels plus length octets
+//! plus the root terminator) is at most 255 bytes. Comparison and hashing
+//! are ASCII case-insensitive, as required for DNS names; the original
+//! spelling is preserved for display.
+
+use moqdns_wire::{Reader, WireError, WireResult, Writer};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+/// Maximum length of one label in bytes.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name's wire form in bytes.
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum pointer jumps followed while decompressing (loop guard).
+const MAX_POINTER_JUMPS: usize = 32;
+
+/// A fully-qualified domain name.
+///
+/// ```
+/// use moqdns_dns::Name;
+/// let n: Name = "www.Example.COM".parse().unwrap();
+/// assert_eq!(n.to_string(), "www.Example.COM.");
+/// assert_eq!(n, "WWW.example.com.".parse().unwrap()); // case-insensitive
+/// assert_eq!(n.num_labels(), 3);
+/// assert!(n.is_subdomain_of(&"example.com".parse().unwrap()));
+/// ```
+#[derive(Debug, Clone, Eq, Default)]
+pub struct Name {
+    /// Labels, leftmost first. Empty = the root.
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from raw label byte strings.
+    pub fn from_labels<I, L>(labels: I) -> Result<Name, NameError>
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<Vec<u8>>,
+    {
+        let labels: Vec<Vec<u8>> = labels.into_iter().map(Into::into).collect();
+        let name = Name { labels };
+        name.validate()?;
+        Ok(name)
+    }
+
+    fn validate(&self) -> Result<(), NameError> {
+        for l in &self.labels {
+            if l.is_empty() {
+                return Err(NameError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(NameError::LabelTooLong(l.len()));
+            }
+        }
+        if self.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong(self.wire_len()));
+        }
+        Ok(())
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The labels, leftmost first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// Length of the uncompressed wire form (length octets + labels + root).
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// The name with the leftmost label removed; `None` for the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.is_root() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Creates `child.self` by prepending a label.
+    pub fn prepend(&self, label: impl Into<Vec<u8>>) -> Result<Name, NameError> {
+        let mut labels = vec![label.into()];
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// True if `self` equals `ancestor` or is beneath it.
+    ///
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, ancestor: &Name) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - ancestor.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(&ancestor.labels)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// ASCII-lowercased copy (canonical form for keys).
+    pub fn to_lowercase(&self) -> Name {
+        Name {
+            labels: self
+                .labels
+                .iter()
+                .map(|l| l.to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Encodes the uncompressed wire form.
+    pub fn encode(&self, w: &mut Writer) {
+        for l in &self.labels {
+            w.put_u8(l.len() as u8);
+            w.put_slice(l);
+        }
+        w.put_u8(0);
+    }
+
+    /// The uncompressed wire form as a byte vector.
+    ///
+    /// This is exactly what DNS-over-MoQT uses as the MoQT **track name**
+    /// (paper §4.3, Fig 3).
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(self.wire_len());
+        self.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Decodes a name, following compression pointers (RFC 1035 §4.1.4).
+    ///
+    /// The reader must be positioned inside the full message buffer so that
+    /// pointers (absolute offsets) can be resolved; pointers must point
+    /// strictly backwards, and at most [`MAX_POINTER_JUMPS`] are followed.
+    pub fn decode(r: &mut Reader<'_>) -> WireResult<Name> {
+        let mut labels = Vec::new();
+        let mut jumps = 0usize;
+        // After the first pointer jump we stop advancing the real cursor.
+        let mut saved_pos: Option<usize> = None;
+        let mut wire_len = 1usize; // root terminator
+        let mut min_ptr = r.position(); // pointers must go strictly backwards
+
+        loop {
+            let len = r.get_u8()?;
+            match len {
+                0 => break,
+                1..=63 => {
+                    let l = r.get_vec(len as usize)?;
+                    wire_len += 1 + l.len();
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::Invalid { what: "name too long" });
+                    }
+                    labels.push(l);
+                }
+                _ if len & 0b1100_0000 == 0b1100_0000 => {
+                    let lo = r.get_u8()?;
+                    let target = ((len as usize & 0b0011_1111) << 8) | lo as usize;
+                    if target >= min_ptr {
+                        return Err(WireError::Invalid {
+                            what: "forward or self compression pointer",
+                        });
+                    }
+                    jumps += 1;
+                    if jumps > MAX_POINTER_JUMPS {
+                        return Err(WireError::Invalid {
+                            what: "compression pointer loop",
+                        });
+                    }
+                    if saved_pos.is_none() {
+                        saved_pos = Some(r.position());
+                    }
+                    min_ptr = target;
+                    r.seek(target)?;
+                }
+                _ => {
+                    return Err(WireError::Invalid {
+                        what: "label type (only 00/11 defined)",
+                    })
+                }
+            }
+        }
+        if let Some(p) = saved_pos {
+            r.seek(p)?;
+        }
+        Ok(Name { labels })
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.labels.len());
+        for l in &self.labels {
+            for b in l {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+            state.write_u8(0xFF); // label separator
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare by label from the
+    /// rightmost (closest to root), case-insensitively.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        for (la, lb) in a.zip(b) {
+            let la = la.to_ascii_lowercase();
+            let lb = lb.to_ascii_lowercase();
+            match la.cmp(&lb) {
+                std::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+
+    /// Parses dotted notation; a trailing dot is optional. The empty string
+    /// and `"."` are the root.
+    fn from_str(s: &str) -> Result<Name, NameError> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        let s = s.strip_suffix('.').unwrap_or(s);
+        let labels: Vec<Vec<u8>> = s.split('.').map(|l| l.as_bytes().to_vec()).collect();
+        Name::from_labels(labels)
+    }
+}
+
+impl fmt::Display for Name {
+    /// Dotted notation with a trailing dot (FQDN form); the root prints `.`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_root() {
+            return write!(f, ".");
+        }
+        for l in &self.labels {
+            for &b in l {
+                if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{b:03}")?;
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (e.g. `a..b`).
+    EmptyLabel,
+    /// A label exceeded 63 bytes.
+    LabelTooLong(usize),
+    /// The whole name exceeded 255 wire bytes.
+    NameTooLong(usize),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(n) => write!(f, "label too long ({n} > {MAX_LABEL_LEN})"),
+            NameError::NameTooLong(n) => write!(f, "name too long ({n} > {MAX_NAME_LEN})"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("example.com").to_string(), "example.com.");
+        assert_eq!(n("example.com.").to_string(), "example.com.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+        assert_eq!(n("a.b.c").num_labels(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_equality_and_hash() {
+        use std::collections::HashSet;
+        assert_eq!(n("Example.COM"), n("example.com"));
+        let mut set = HashSet::new();
+        set.insert(n("Example.COM"));
+        assert!(set.contains(&n("eXaMpLe.CoM")));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!("a..b".parse::<Name>(), Err(NameError::EmptyLabel));
+        let long = "x".repeat(64);
+        assert!(matches!(
+            long.parse::<Name>(),
+            Err(NameError::LabelTooLong(64))
+        ));
+        // 255-byte wire limit: 4 labels of 63 = 4*64 + 1 = 257 > 255.
+        let l63 = "y".repeat(63);
+        let too_long = format!("{l63}.{l63}.{l63}.{l63}");
+        assert!(matches!(
+            too_long.parse::<Name>(),
+            Err(NameError::NameTooLong(_))
+        ));
+        // 3 labels of 63 + 1 label of 61 = 3*64 + 62 + 1 = 255: exactly legal.
+        let l61 = "z".repeat(61);
+        let ok = format!("{l63}.{l63}.{l63}.{l61}");
+        assert_eq!(ok.parse::<Name>().unwrap().wire_len(), 255);
+    }
+
+    #[test]
+    fn wire_roundtrip_simple() {
+        let name = n("www.example.com");
+        let wire = name.to_wire();
+        assert_eq!(wire, b"\x03www\x07example\x03com\x00");
+        let mut r = Reader::new(&wire);
+        assert_eq!(Name::decode(&mut r).unwrap(), name);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn root_wire_form() {
+        assert_eq!(Name::root().to_wire(), vec![0]);
+        assert_eq!(Name::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn decode_with_compression_pointer() {
+        // Buffer: at 0: "example.com." ; at 13: "www" + pointer to 0.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"\x07example\x03com\x00"); // 13 bytes
+        buf.extend_from_slice(b"\x03www");
+        buf.extend_from_slice(&[0xC0, 0x00]); // pointer to offset 0
+        let mut r = Reader::new(&buf);
+        r.seek(13).unwrap();
+        let got = Name::decode(&mut r).unwrap();
+        assert_eq!(got, n("www.example.com"));
+        // Cursor continues after the pointer, not at the target.
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_pointer_loops() {
+        // Pointer at offset 2 pointing to itself via offset 0.
+        let buf = [0xC0u8, 0x02, 0xC0, 0x00];
+        let mut r = Reader::new(&buf);
+        r.seek(2).unwrap();
+        // 2 -> 0 -> 2 would loop; forward/self pointers are rejected.
+        assert!(Name::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        let buf = [0xC0u8, 0x02, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(Name::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_types() {
+        let buf = [0b1000_0001u8, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(Name::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        assert!(n("www.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("www.example.com")));
+        assert!(!n("anexample.com").is_subdomain_of(&n("example.com")));
+        assert!(n("WWW.EXAMPLE.COM").is_subdomain_of(&n("example.com")));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let name = n("a.b.c");
+        let p1 = name.parent().unwrap();
+        assert_eq!(p1, n("b.c"));
+        let p2 = p1.parent().unwrap().parent().unwrap();
+        assert!(p2.is_root());
+        assert!(p2.parent().is_none());
+    }
+
+    #[test]
+    fn prepend_builds_children() {
+        let base = n("example.com");
+        assert_eq!(base.prepend("www").unwrap(), n("www.example.com"));
+        assert!(base.prepend(vec![b'x'; 64]).is_err());
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        // RFC 4034 §6.1 example ordering.
+        let mut names = vec![
+            n("example.com"),
+            n("a.example.com"),
+            n("yljkjljk.a.example.com"),
+            n("z.a.example.com"),
+            n("zabc.a.example.com"),
+            n("z.example.com"),
+        ];
+        let sorted = names.clone();
+        names.reverse();
+        names.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn display_escapes_non_printable() {
+        let name = Name::from_labels([&b"a\x00b"[..]]).unwrap();
+        assert_eq!(name.to_string(), "a\\000b.");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wire_roundtrip(labels in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..=20), 0..6)
+        ) {
+            if let Ok(name) = Name::from_labels(labels) {
+                let wire = name.to_wire();
+                let mut r = Reader::new(&wire);
+                let back = Name::decode(&mut r).unwrap();
+                prop_assert_eq!(back, name);
+                prop_assert!(r.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(s in "[a-z0-9]{1,10}(\\.[a-z0-9]{1,10}){0,4}") {
+            let name: Name = s.parse().unwrap();
+            let redisplayed: Name = name.to_string().parse().unwrap();
+            prop_assert_eq!(name, redisplayed);
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut r = Reader::new(&bytes);
+            let _ = Name::decode(&mut r);
+        }
+    }
+}

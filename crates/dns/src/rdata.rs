@@ -1,0 +1,621 @@
+//! Typed RDATA for the record types the system models.
+//!
+//! Encoding writes names in RDATA uncompressed (always legal); decoding
+//! accepts compression pointers anywhere a name appears, since real
+//! responses compress NS/CNAME/SOA targets.
+
+use crate::name::Name;
+use crate::rr::RecordType;
+use moqdns_wire::{Reader, WireError, WireResult, Writer};
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Typed record data. The variant determines the record's TYPE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    AAAA(Ipv6Addr),
+    /// Authoritative nameserver for the owner.
+    NS(Name),
+    /// Alias target.
+    CNAME(Name),
+    /// Start of authority.
+    SOA(Soa),
+    /// Reverse-mapping pointer.
+    PTR(Name),
+    /// Mail exchange: preference and exchange host.
+    MX {
+        /// Lower is preferred.
+        preference: u16,
+        /// Mail server name.
+        exchange: Name,
+    },
+    /// One or more character strings.
+    TXT(Vec<Vec<u8>>),
+    /// Service locator.
+    SRV {
+        /// Lower is tried first.
+        priority: u16,
+        /// Relative weight among equal priorities.
+        weight: u16,
+        /// Service port.
+        port: u16,
+        /// Target host.
+        target: Name,
+    },
+    /// Service binding (RFC 9460), SVCB form.
+    SVCB(ServiceBinding),
+    /// Service binding (RFC 9460), HTTPS form — measured in Fig 1a.
+    HTTPS(ServiceBinding),
+    /// EDNS(0) pseudo-record payload (opaque options).
+    OPT(Vec<u8>),
+    /// Escape hatch for unmodeled types: raw RDATA bytes.
+    Unknown {
+        /// The wire TYPE value.
+        rtype: u16,
+        /// Raw RDATA.
+        data: Vec<u8>,
+    },
+}
+
+/// SOA RDATA fields (RFC 1035 §3.3.13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soa {
+    /// Primary nameserver.
+    pub mname: Name,
+    /// Responsible mailbox (encoded as a name).
+    pub rname: Name,
+    /// Zone serial. DNS-over-MoQT ties this to the zone version number
+    /// that becomes the MoQT group ID (paper §4.2).
+    pub serial: u32,
+    /// Secondary refresh interval, seconds.
+    pub refresh: u32,
+    /// Retry interval, seconds.
+    pub retry: u32,
+    /// Expiry, seconds.
+    pub expire: u32,
+    /// Minimum/negative-caching TTL, seconds (RFC 2308).
+    pub minimum: u32,
+}
+
+/// SVCB/HTTPS RDATA (RFC 9460): priority, target, and service parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceBinding {
+    /// 0 = AliasMode, >0 = ServiceMode priority.
+    pub priority: u16,
+    /// Target name (`.` means the owner itself).
+    pub target: Name,
+    /// Service parameters, sorted by key on the wire.
+    pub params: Vec<SvcParam>,
+}
+
+/// A single SVCB service parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvcParam {
+    /// `alpn` (key 1): protocol identifiers. The paper notes HTTPS records
+    /// signal ALPN support within DNS.
+    Alpn(Vec<Vec<u8>>),
+    /// `port` (key 3).
+    Port(u16),
+    /// `ipv4hint` (key 4).
+    Ipv4Hint(Vec<Ipv4Addr>),
+    /// `ipv6hint` (key 6).
+    Ipv6Hint(Vec<Ipv6Addr>),
+    /// Any other key, raw.
+    Unknown(u16, Vec<u8>),
+}
+
+impl SvcParam {
+    /// The parameter's wire key.
+    pub fn key(&self) -> u16 {
+        match self {
+            SvcParam::Alpn(_) => 1,
+            SvcParam::Port(_) => 3,
+            SvcParam::Ipv4Hint(_) => 4,
+            SvcParam::Ipv6Hint(_) => 6,
+            SvcParam::Unknown(k, _) => *k,
+        }
+    }
+
+    fn encode_value(&self, w: &mut Writer) {
+        match self {
+            SvcParam::Alpn(ids) => {
+                for id in ids {
+                    w.put_u8(id.len() as u8);
+                    w.put_slice(id);
+                }
+            }
+            SvcParam::Port(p) => w.put_u16(*p),
+            SvcParam::Ipv4Hint(addrs) => {
+                for a in addrs {
+                    w.put_slice(&a.octets());
+                }
+            }
+            SvcParam::Ipv6Hint(addrs) => {
+                for a in addrs {
+                    w.put_slice(&a.octets());
+                }
+            }
+            SvcParam::Unknown(_, data) => w.put_slice(data),
+        }
+    }
+
+    fn decode(key: u16, data: &[u8]) -> WireResult<SvcParam> {
+        let mut r = Reader::new(data);
+        let p = match key {
+            1 => {
+                let mut ids = Vec::new();
+                while !r.is_empty() {
+                    let len = r.get_u8()? as usize;
+                    ids.push(r.get_vec(len)?);
+                }
+                SvcParam::Alpn(ids)
+            }
+            3 => {
+                let p = r.get_u16()?;
+                r.expect_end()?;
+                SvcParam::Port(p)
+            }
+            4 => {
+                if data.len() % 4 != 0 {
+                    return Err(WireError::Invalid { what: "ipv4hint length" });
+                }
+                let mut addrs = Vec::new();
+                while !r.is_empty() {
+                    let b = r.get_bytes(4)?;
+                    addrs.push(Ipv4Addr::new(b[0], b[1], b[2], b[3]));
+                }
+                SvcParam::Ipv4Hint(addrs)
+            }
+            6 => {
+                if data.len() % 16 != 0 {
+                    return Err(WireError::Invalid { what: "ipv6hint length" });
+                }
+                let mut addrs = Vec::new();
+                while !r.is_empty() {
+                    let b = r.get_bytes(16)?;
+                    let mut o = [0u8; 16];
+                    o.copy_from_slice(b);
+                    addrs.push(Ipv6Addr::from(o));
+                }
+                SvcParam::Ipv6Hint(addrs)
+            }
+            k => SvcParam::Unknown(k, data.to_vec()),
+        };
+        Ok(p)
+    }
+}
+
+impl ServiceBinding {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.priority);
+        self.target.encode(w);
+        // Params must be sorted by key on the wire (RFC 9460 §2.2).
+        let mut params: Vec<&SvcParam> = self.params.iter().collect();
+        params.sort_by_key(|p| p.key());
+        for p in params {
+            w.put_u16(p.key());
+            let mut vw = Writer::new();
+            p.encode_value(&mut vw);
+            let v = vw.into_vec();
+            w.put_u16(v.len() as u16);
+            w.put_slice(&v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> WireResult<ServiceBinding> {
+        let priority = r.get_u16()?;
+        let target = Name::decode(r)?;
+        let mut params = Vec::new();
+        let mut last_key: Option<u16> = None;
+        while !r.is_empty() {
+            let key = r.get_u16()?;
+            if let Some(lk) = last_key {
+                if key <= lk {
+                    return Err(WireError::Invalid {
+                        what: "svc params not strictly ascending",
+                    });
+                }
+            }
+            last_key = Some(key);
+            let len = r.get_u16()? as usize;
+            let data = r.get_bytes(len)?;
+            params.push(SvcParam::decode(key, data)?);
+        }
+        Ok(ServiceBinding {
+            priority,
+            target,
+            params,
+        })
+    }
+}
+
+impl RData {
+    /// The record TYPE implied by this variant.
+    pub fn rtype(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::AAAA(_) => RecordType::AAAA,
+            RData::NS(_) => RecordType::NS,
+            RData::CNAME(_) => RecordType::CNAME,
+            RData::SOA(_) => RecordType::SOA,
+            RData::PTR(_) => RecordType::PTR,
+            RData::MX { .. } => RecordType::MX,
+            RData::TXT(_) => RecordType::TXT,
+            RData::SRV { .. } => RecordType::SRV,
+            RData::SVCB(_) => RecordType::SVCB,
+            RData::HTTPS(_) => RecordType::HTTPS,
+            RData::OPT(_) => RecordType::OPT,
+            RData::Unknown { rtype, .. } => RecordType::from_u16(*rtype),
+        }
+    }
+
+    /// Encodes the RDATA (without the length prefix; the message codec
+    /// writes that).
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            RData::A(a) => w.put_slice(&a.octets()),
+            RData::AAAA(a) => w.put_slice(&a.octets()),
+            RData::NS(n) | RData::CNAME(n) | RData::PTR(n) => n.encode(w),
+            RData::SOA(soa) => {
+                soa.mname.encode(w);
+                soa.rname.encode(w);
+                w.put_u32(soa.serial);
+                w.put_u32(soa.refresh);
+                w.put_u32(soa.retry);
+                w.put_u32(soa.expire);
+                w.put_u32(soa.minimum);
+            }
+            RData::MX {
+                preference,
+                exchange,
+            } => {
+                w.put_u16(*preference);
+                exchange.encode(w);
+            }
+            RData::TXT(strings) => {
+                for s in strings {
+                    w.put_u8(s.len() as u8);
+                    w.put_slice(s);
+                }
+            }
+            RData::SRV {
+                priority,
+                weight,
+                port,
+                target,
+            } => {
+                w.put_u16(*priority);
+                w.put_u16(*weight);
+                w.put_u16(*port);
+                target.encode(w);
+            }
+            RData::SVCB(sb) | RData::HTTPS(sb) => sb.encode(w),
+            RData::OPT(data) => w.put_slice(data),
+            RData::Unknown { data, .. } => w.put_slice(data),
+        }
+    }
+
+    /// Decodes RDATA of type `rtype`. `r` must be scoped to exactly the
+    /// RDLENGTH bytes, but positioned within the full message so that
+    /// compression pointers resolve (the message codec arranges this).
+    pub fn decode(rtype: RecordType, r: &mut Reader<'_>, rdlen: usize) -> WireResult<RData> {
+        let end = r.position() + rdlen;
+        let check_end = |r: &Reader<'_>| -> WireResult<()> {
+            if r.position() != end {
+                Err(WireError::Invalid { what: "rdata length mismatch" })
+            } else {
+                Ok(())
+            }
+        };
+        let rd = match rtype {
+            RecordType::A => {
+                let b = r.get_bytes(4)?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::AAAA => {
+                let b = r.get_bytes(16)?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                RData::AAAA(Ipv6Addr::from(o))
+            }
+            RecordType::NS => RData::NS(Name::decode(r)?),
+            RecordType::CNAME => RData::CNAME(Name::decode(r)?),
+            RecordType::PTR => RData::PTR(Name::decode(r)?),
+            RecordType::SOA => RData::SOA(Soa {
+                mname: Name::decode(r)?,
+                rname: Name::decode(r)?,
+                serial: r.get_u32()?,
+                refresh: r.get_u32()?,
+                retry: r.get_u32()?,
+                expire: r.get_u32()?,
+                minimum: r.get_u32()?,
+            }),
+            RecordType::MX => RData::MX {
+                preference: r.get_u16()?,
+                exchange: Name::decode(r)?,
+            },
+            RecordType::TXT => {
+                let mut strings = Vec::new();
+                while r.position() < end {
+                    let len = r.get_u8()? as usize;
+                    strings.push(r.get_vec(len)?);
+                }
+                RData::TXT(strings)
+            }
+            RecordType::SRV => RData::SRV {
+                priority: r.get_u16()?,
+                weight: r.get_u16()?,
+                port: r.get_u16()?,
+                target: Name::decode(r)?,
+            },
+            RecordType::SVCB | RecordType::HTTPS => {
+                // Scope the param loop to the RDATA slice. SVCB target names
+                // must not be compressed (RFC 9460 §2.2), so a sub-slice
+                // reader is safe here.
+                let bytes_left = end - r.position();
+                let slice = r.get_bytes(bytes_left)?;
+                let mut sub = Reader::new(slice);
+                let sb = ServiceBinding::decode(&mut sub)?;
+                sub.expect_end()?;
+                if rtype == RecordType::SVCB {
+                    RData::SVCB(sb)
+                } else {
+                    RData::HTTPS(sb)
+                }
+            }
+            RecordType::OPT => RData::OPT(r.get_vec(rdlen)?),
+            RecordType::Unknown(v) => RData::Unknown {
+                rtype: v,
+                data: r.get_vec(rdlen)?,
+            },
+        };
+        check_end(r)?;
+        Ok(rd)
+    }
+}
+
+impl fmt::Display for RData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RData::A(a) => write!(f, "{a}"),
+            RData::AAAA(a) => write!(f, "{a}"),
+            RData::NS(n) => write!(f, "{n}"),
+            RData::CNAME(n) => write!(f, "{n}"),
+            RData::PTR(n) => write!(f, "{n}"),
+            RData::SOA(s) => write!(
+                f,
+                "{} {} {} {} {} {} {}",
+                s.mname, s.rname, s.serial, s.refresh, s.retry, s.expire, s.minimum
+            ),
+            RData::MX {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
+            RData::TXT(strings) => {
+                for (i, s) in strings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "\"{}\"", String::from_utf8_lossy(s))?;
+                }
+                Ok(())
+            }
+            RData::SRV {
+                priority,
+                weight,
+                port,
+                target,
+            } => write!(f, "{priority} {weight} {port} {target}"),
+            RData::SVCB(sb) | RData::HTTPS(sb) => {
+                write!(f, "{} {}", sb.priority, sb.target)?;
+                for p in &sb.params {
+                    match p {
+                        SvcParam::Alpn(ids) => {
+                            let joined: Vec<String> = ids
+                                .iter()
+                                .map(|i| String::from_utf8_lossy(i).into_owned())
+                                .collect();
+                            write!(f, " alpn={}", joined.join(","))?;
+                        }
+                        SvcParam::Port(p) => write!(f, " port={p}")?,
+                        SvcParam::Ipv4Hint(a) => {
+                            let joined: Vec<String> =
+                                a.iter().map(|x| x.to_string()).collect();
+                            write!(f, " ipv4hint={}", joined.join(","))?;
+                        }
+                        SvcParam::Ipv6Hint(a) => {
+                            let joined: Vec<String> =
+                                a.iter().map(|x| x.to_string()).collect();
+                            write!(f, " ipv6hint={}", joined.join(","))?;
+                        }
+                        SvcParam::Unknown(k, v) => write!(f, " key{k}={}b", v.len())?,
+                    }
+                }
+                Ok(())
+            }
+            RData::OPT(d) => write!(f, "OPT({}b)", d.len()),
+            RData::Unknown { rtype, data } => write!(f, "\\# {} ({} bytes)", rtype, data.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(rd: &RData) -> RData {
+        let mut w = Writer::new();
+        rd.encode(&mut w);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        let back = RData::decode(rd.rtype(), &mut r, buf.len()).unwrap();
+        assert!(r.is_empty());
+        back
+    }
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn a_roundtrip() {
+        let rd = RData::A(Ipv4Addr::new(192, 0, 2, 7));
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn aaaa_roundtrip() {
+        let rd = RData::AAAA("2001:db8::1".parse().unwrap());
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn name_bearing_types_roundtrip() {
+        for rd in [
+            RData::NS(n("ns1.example.com")),
+            RData::CNAME(n("target.example.net")),
+            RData::PTR(n("host.example.org")),
+        ] {
+            assert_eq!(roundtrip(&rd), rd);
+        }
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        let rd = RData::SOA(Soa {
+            mname: n("ns1.example.com"),
+            rname: n("hostmaster.example.com"),
+            serial: 2025_06_24,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1_209_600,
+            minimum: 300,
+        });
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn mx_txt_srv_roundtrip() {
+        for rd in [
+            RData::MX {
+                preference: 10,
+                exchange: n("mail.example.com"),
+            },
+            RData::TXT(vec![b"v=spf1 -all".to_vec(), b"second".to_vec()]),
+            RData::SRV {
+                priority: 0,
+                weight: 5,
+                port: 443,
+                target: n("svc.example.com"),
+            },
+        ] {
+            assert_eq!(roundtrip(&rd), rd);
+        }
+    }
+
+    #[test]
+    fn https_roundtrip_with_params() {
+        let rd = RData::HTTPS(ServiceBinding {
+            priority: 1,
+            target: Name::root(),
+            params: vec![
+                SvcParam::Alpn(vec![b"h3".to_vec(), b"h2".to_vec()]),
+                SvcParam::Port(443),
+                SvcParam::Ipv4Hint(vec![Ipv4Addr::new(192, 0, 2, 1)]),
+                SvcParam::Ipv6Hint(vec!["2001:db8::1".parse().unwrap()]),
+            ],
+        });
+        assert_eq!(roundtrip(&rd), rd);
+    }
+
+    #[test]
+    fn svcb_params_must_ascend() {
+        // port (3) before alpn (1) on the wire → reject.
+        let mut w = Writer::new();
+        w.put_u16(1); // priority
+        Name::root().encode(&mut w);
+        w.put_u16(3);
+        w.put_u16(2);
+        w.put_u16(443);
+        w.put_u16(1);
+        w.put_u16(3);
+        w.put_u8(2);
+        w.put_slice(b"h2");
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf);
+        assert!(RData::decode(RecordType::SVCB, &mut r, buf.len()).is_err());
+    }
+
+    #[test]
+    fn unknown_type_is_opaque() {
+        let rd = RData::Unknown {
+            rtype: 999,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(roundtrip(&rd), rd);
+        assert_eq!(rd.rtype(), RecordType::Unknown(999));
+    }
+
+    #[test]
+    fn rdata_length_mismatch_rejected() {
+        // A record with 5 bytes of RDATA.
+        let buf = [1, 2, 3, 4, 5];
+        let mut r = Reader::new(&buf);
+        assert!(RData::decode(RecordType::A, &mut r, 5).is_err());
+    }
+
+    #[test]
+    fn truncated_rdata_rejected() {
+        let buf = [1, 2];
+        let mut r = Reader::new(&buf);
+        assert!(RData::decode(RecordType::A, &mut r, 4).is_err());
+    }
+
+    #[test]
+    fn display_samples() {
+        assert_eq!(RData::A(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
+        assert_eq!(
+            RData::MX {
+                preference: 5,
+                exchange: n("m.x")
+            }
+            .to_string(),
+            "5 m.x."
+        );
+        let https = RData::HTTPS(ServiceBinding {
+            priority: 1,
+            target: Name::root(),
+            params: vec![SvcParam::Alpn(vec![b"h3".to_vec()])],
+        });
+        assert_eq!(https.to_string(), "1 . alpn=h3");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_a_record_roundtrip(o in any::<[u8; 4]>()) {
+            let rd = RData::A(Ipv4Addr::from(o));
+            prop_assert_eq!(roundtrip(&rd), rd);
+        }
+
+        #[test]
+        fn prop_txt_roundtrip(strings in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..4)
+        ) {
+            let rd = RData::TXT(strings);
+            prop_assert_eq!(roundtrip(&rd), rd.clone());
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_never_panics(
+            t in any::<u16>(),
+            bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut r = Reader::new(&bytes);
+            let _ = RData::decode(RecordType::from_u16(t), &mut r, bytes.len());
+        }
+    }
+}

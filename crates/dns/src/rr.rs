@@ -1,0 +1,245 @@
+//! Record types, classes, and resource records.
+
+use crate::name::Name;
+use crate::rdata::RData;
+use std::fmt;
+
+/// A DNS record type (the TYPE/QTYPE field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RecordType {
+    /// IPv4 address (RFC 1035).
+    A,
+    /// Authoritative name server.
+    NS,
+    /// Canonical name (alias).
+    CNAME,
+    /// Start of authority.
+    SOA,
+    /// Domain name pointer.
+    PTR,
+    /// Mail exchange.
+    MX,
+    /// Text strings.
+    TXT,
+    /// IPv6 address (RFC 3596).
+    AAAA,
+    /// Service locator (RFC 2782).
+    SRV,
+    /// EDNS(0) pseudo-record (RFC 6891).
+    OPT,
+    /// Service binding (RFC 9460).
+    SVCB,
+    /// HTTPS service binding (RFC 9460) — the 2024-standardized type the
+    /// paper's Fig 1a measures.
+    HTTPS,
+    /// Any type we do not model explicitly.
+    Unknown(u16),
+}
+
+impl RecordType {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::NS => 2,
+            RecordType::CNAME => 5,
+            RecordType::SOA => 6,
+            RecordType::PTR => 12,
+            RecordType::MX => 15,
+            RecordType::TXT => 16,
+            RecordType::AAAA => 28,
+            RecordType::SRV => 33,
+            RecordType::OPT => 41,
+            RecordType::SVCB => 64,
+            RecordType::HTTPS => 65,
+            RecordType::Unknown(v) => v,
+        }
+    }
+
+    /// Parses the 16-bit wire value.
+    pub fn from_u16(v: u16) -> RecordType {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::NS,
+            5 => RecordType::CNAME,
+            6 => RecordType::SOA,
+            12 => RecordType::PTR,
+            15 => RecordType::MX,
+            16 => RecordType::TXT,
+            28 => RecordType::AAAA,
+            33 => RecordType::SRV,
+            41 => RecordType::OPT,
+            64 => RecordType::SVCB,
+            65 => RecordType::HTTPS,
+            other => RecordType::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::NS => write!(f, "NS"),
+            RecordType::CNAME => write!(f, "CNAME"),
+            RecordType::SOA => write!(f, "SOA"),
+            RecordType::PTR => write!(f, "PTR"),
+            RecordType::MX => write!(f, "MX"),
+            RecordType::TXT => write!(f, "TXT"),
+            RecordType::AAAA => write!(f, "AAAA"),
+            RecordType::SRV => write!(f, "SRV"),
+            RecordType::OPT => write!(f, "OPT"),
+            RecordType::SVCB => write!(f, "SVCB"),
+            RecordType::HTTPS => write!(f, "HTTPS"),
+            RecordType::Unknown(v) => write!(f, "TYPE{v}"),
+        }
+    }
+}
+
+/// A DNS class (almost always `IN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum RClass {
+    /// The Internet.
+    #[default]
+    IN,
+    /// Chaos (used for server identification).
+    CH,
+    /// Any class we do not model explicitly.
+    Unknown(u16),
+}
+
+impl RClass {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RClass::IN => 1,
+            RClass::CH => 3,
+            RClass::Unknown(v) => v,
+        }
+    }
+
+    /// Parses the 16-bit wire value.
+    pub fn from_u16(v: u16) -> RClass {
+        match v {
+            1 => RClass::IN,
+            3 => RClass::CH,
+            other => RClass::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for RClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RClass::IN => write!(f, "IN"),
+            RClass::CH => write!(f, "CH"),
+            RClass::Unknown(v) => write!(f, "CLASS{v}"),
+        }
+    }
+}
+
+/// A resource record: owner name, type, class, TTL and typed RDATA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (normally `IN`).
+    pub class: RClass,
+    /// Time to live in seconds. The paper's Fig 1a clusters observed TTLs
+    /// at {20, 60, 300, 600, 1200, 3600} s.
+    pub ttl: u32,
+    /// Typed record data; the record's TYPE is implied by the variant.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Record {
+        Record {
+            name,
+            class: RClass::IN,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record's type, derived from the RDATA variant.
+    pub fn rtype(&self) -> RecordType {
+        self.rdata.rtype()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.name,
+            self.ttl,
+            self.class,
+            self.rtype(),
+            self.rdata
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn type_wire_values_roundtrip() {
+        let all = [
+            RecordType::A,
+            RecordType::NS,
+            RecordType::CNAME,
+            RecordType::SOA,
+            RecordType::PTR,
+            RecordType::MX,
+            RecordType::TXT,
+            RecordType::AAAA,
+            RecordType::SRV,
+            RecordType::OPT,
+            RecordType::SVCB,
+            RecordType::HTTPS,
+            RecordType::Unknown(999),
+        ];
+        for t in all {
+            assert_eq!(RecordType::from_u16(t.to_u16()), t);
+        }
+        assert_eq!(RecordType::A.to_u16(), 1);
+        assert_eq!(RecordType::AAAA.to_u16(), 28);
+        assert_eq!(RecordType::HTTPS.to_u16(), 65);
+    }
+
+    #[test]
+    fn class_wire_values_roundtrip() {
+        for c in [RClass::IN, RClass::CH, RClass::Unknown(42)] {
+            assert_eq!(RClass::from_u16(c.to_u16()), c);
+        }
+    }
+
+    #[test]
+    fn record_type_derived_from_rdata() {
+        let r = Record::new(
+            "example.com".parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
+        assert_eq!(r.rtype(), RecordType::A);
+        assert_eq!(r.class, RClass::IN);
+    }
+
+    #[test]
+    fn display() {
+        let r = Record::new(
+            "example.com".parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        );
+        assert_eq!(r.to_string(), "example.com. 300 IN A 192.0.2.1");
+        assert_eq!(RecordType::Unknown(7).to_string(), "TYPE7");
+        assert_eq!(RClass::Unknown(7).to_string(), "CLASS7");
+    }
+}

@@ -1,0 +1,327 @@
+//! Object encodings on data streams and datagrams (draft-12 §9, subset).
+//!
+//! Objects travel outside the control stream:
+//!
+//! * **subgroup streams** — a unidirectional stream per (group, subgroup)
+//!   of a subscribed track, headed by the track alias and group id;
+//! * **fetch streams** — a unidirectional stream carrying a FETCH
+//!   response's objects, headed by the fetch request id;
+//! * **object datagrams** — unreliable delivery (RFC 9221), implemented
+//!   for the streams-vs-datagrams ablation only; the DNS mapping always
+//!   uses streams (§4.1).
+//!
+//! DNS-over-MoQT objects always have `object_id == 0` and
+//! `group_id == zone version` (§4.2/§4.3); groups contain exactly one
+//! object (§4.3, Fig 4).
+
+use moqdns_wire::{varint, Reader, WireError, WireResult, Writer};
+
+/// Stream type tag for subgroup streams.
+pub const STREAM_TYPE_SUBGROUP: u64 = 0x4;
+/// Stream type tag for fetch streams.
+pub const STREAM_TYPE_FETCH: u64 = 0x5;
+
+/// An object as delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// Group id. In DNS-over-MoQT this is the zone version.
+    pub group_id: u64,
+    /// Object id within the group. Always 0 in DNS-over-MoQT.
+    pub object_id: u64,
+    /// Payload bytes (a full DNS response message in DNS-over-MoQT).
+    pub payload: Vec<u8>,
+}
+
+/// Header of a subgroup data stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubgroupHeader {
+    /// Alias bound by the SUBSCRIBE.
+    pub track_alias: u64,
+    /// Group this stream carries.
+    pub group_id: u64,
+    /// Subgroup (always 0 in DNS-over-MoQT).
+    pub subgroup_id: u64,
+    /// Publisher priority (informational).
+    pub priority: u8,
+}
+
+impl SubgroupHeader {
+    /// Encodes the stream header.
+    pub fn encode(&self, w: &mut Writer) {
+        varint::put_varint(w, STREAM_TYPE_SUBGROUP);
+        varint::put_varint(w, self.track_alias);
+        varint::put_varint(w, self.group_id);
+        varint::put_varint(w, self.subgroup_id);
+        w.put_u8(self.priority);
+    }
+
+    fn decode_after_type(r: &mut Reader<'_>) -> WireResult<SubgroupHeader> {
+        Ok(SubgroupHeader {
+            track_alias: varint::get_varint(r)?,
+            group_id: varint::get_varint(r)?,
+            subgroup_id: varint::get_varint(r)?,
+            priority: r.get_u8()?,
+        })
+    }
+}
+
+/// A fully parsed unidirectional data stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataStream {
+    /// Subscription delivery: header + objects of one group.
+    Subgroup {
+        /// The stream header.
+        header: SubgroupHeader,
+        /// Objects, in order (object ids are explicit).
+        objects: Vec<Object>,
+    },
+    /// Fetch delivery: request id + objects (groups may vary per object).
+    Fetch {
+        /// The fetch's request id.
+        request_id: u64,
+        /// Objects, in fetch order.
+        objects: Vec<Object>,
+    },
+}
+
+/// Encodes a subgroup stream: header + objects (object id + length-prefixed
+/// payload each).
+pub fn encode_subgroup_stream(header: &SubgroupHeader, objects: &[Object]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64);
+    header.encode(&mut w);
+    for o in objects {
+        varint::put_varint(&mut w, o.object_id);
+        varint::put_varint(&mut w, o.payload.len() as u64);
+        w.put_slice(&o.payload);
+    }
+    w.into_vec()
+}
+
+/// Encodes a fetch stream: type + request id, then (group, object,
+/// payload-len, payload) per object.
+pub fn encode_fetch_stream(request_id: u64, objects: &[Object]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64);
+    varint::put_varint(&mut w, STREAM_TYPE_FETCH);
+    varint::put_varint(&mut w, request_id);
+    for o in objects {
+        varint::put_varint(&mut w, o.group_id);
+        varint::put_varint(&mut w, o.object_id);
+        varint::put_varint(&mut w, o.payload.len() as u64);
+        w.put_slice(&o.payload);
+    }
+    w.into_vec()
+}
+
+/// Decodes a complete unidirectional data stream (call once FIN arrives).
+pub fn decode_data_stream(buf: &[u8]) -> WireResult<DataStream> {
+    let mut r = Reader::new(buf);
+    match varint::get_varint(&mut r)? {
+        STREAM_TYPE_SUBGROUP => {
+            let header = SubgroupHeader::decode_after_type(&mut r)?;
+            let mut objects = Vec::new();
+            while !r.is_empty() {
+                let object_id = varint::get_varint(&mut r)?;
+                let len = varint::get_varint(&mut r)? as usize;
+                let payload = r.get_vec(len)?;
+                objects.push(Object {
+                    group_id: header.group_id,
+                    object_id,
+                    payload,
+                });
+            }
+            Ok(DataStream::Subgroup { header, objects })
+        }
+        STREAM_TYPE_FETCH => {
+            let request_id = varint::get_varint(&mut r)?;
+            let mut objects = Vec::new();
+            while !r.is_empty() {
+                let group_id = varint::get_varint(&mut r)?;
+                let object_id = varint::get_varint(&mut r)?;
+                let len = varint::get_varint(&mut r)? as usize;
+                let payload = r.get_vec(len)?;
+                objects.push(Object {
+                    group_id,
+                    object_id,
+                    payload,
+                });
+            }
+            Ok(DataStream::Fetch {
+                request_id,
+                objects,
+            })
+        }
+        _ => Err(WireError::Invalid { what: "data stream type" }),
+    }
+}
+
+/// An object datagram (RFC 9221 delivery; ablation A2 only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectDatagram {
+    /// Alias bound by the SUBSCRIBE.
+    pub track_alias: u64,
+    /// The contained object.
+    pub object: Object,
+}
+
+impl ObjectDatagram {
+    /// Encodes the datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(32 + self.object.payload.len());
+        varint::put_varint(&mut w, self.track_alias);
+        varint::put_varint(&mut w, self.object.group_id);
+        varint::put_varint(&mut w, self.object.object_id);
+        w.put_slice(&self.object.payload);
+        w.into_vec()
+    }
+
+    /// Decodes a datagram payload.
+    pub fn decode(buf: &[u8]) -> WireResult<ObjectDatagram> {
+        let mut r = Reader::new(buf);
+        let track_alias = varint::get_varint(&mut r)?;
+        let group_id = varint::get_varint(&mut r)?;
+        let object_id = varint::get_varint(&mut r)?;
+        let payload = r.take_rest().to_vec();
+        Ok(ObjectDatagram {
+            track_alias,
+            object: Object {
+                group_id,
+                object_id,
+                payload,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn subgroup_stream_roundtrip() {
+        let header = SubgroupHeader {
+            track_alias: 7,
+            group_id: 42,
+            subgroup_id: 0,
+            priority: 128,
+        };
+        let objects = vec![Object {
+            group_id: 42,
+            object_id: 0,
+            payload: b"dns response bytes".to_vec(),
+        }];
+        let buf = encode_subgroup_stream(&header, &objects);
+        match decode_data_stream(&buf).unwrap() {
+            DataStream::Subgroup {
+                header: h,
+                objects: o,
+            } => {
+                assert_eq!(h, header);
+                assert_eq!(o, objects);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_stream_roundtrip_multiple_groups() {
+        let objects = vec![
+            Object {
+                group_id: 10,
+                object_id: 0,
+                payload: vec![1, 2],
+            },
+            Object {
+                group_id: 11,
+                object_id: 0,
+                payload: vec![],
+            },
+        ];
+        let buf = encode_fetch_stream(99, &objects);
+        match decode_data_stream(&buf).unwrap() {
+            DataStream::Fetch {
+                request_id,
+                objects: o,
+            } => {
+                assert_eq!(request_id, 99);
+                assert_eq!(o, objects);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_fetch_stream() {
+        let buf = encode_fetch_stream(5, &[]);
+        match decode_data_stream(&buf).unwrap() {
+            DataStream::Fetch { objects, .. } => assert!(objects.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn datagram_roundtrip() {
+        let d = ObjectDatagram {
+            track_alias: 3,
+            object: Object {
+                group_id: 9,
+                object_id: 0,
+                payload: b"update".to_vec(),
+            },
+        };
+        assert_eq!(ObjectDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn unknown_stream_type_rejected() {
+        let mut w = Writer::new();
+        varint::put_varint(&mut w, 0x9);
+        assert!(decode_data_stream(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn truncated_object_rejected() {
+        let header = SubgroupHeader {
+            track_alias: 1,
+            group_id: 1,
+            subgroup_id: 0,
+            priority: 0,
+        };
+        let mut buf = encode_subgroup_stream(
+            &header,
+            &[Object {
+                group_id: 1,
+                object_id: 0,
+                payload: vec![1, 2, 3, 4],
+            }],
+        );
+        buf.truncate(buf.len() - 2);
+        assert!(decode_data_stream(&buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+            let _ = decode_data_stream(&bytes);
+            let _ = ObjectDatagram::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_subgroup_roundtrip(
+            alias in any::<u32>(),
+            group in any::<u32>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let header = SubgroupHeader {
+                track_alias: alias as u64,
+                group_id: group as u64,
+                subgroup_id: 0,
+                priority: 0,
+            };
+            let objects = vec![Object { group_id: group as u64, object_id: 0, payload }];
+            let buf = encode_subgroup_stream(&header, &objects);
+            let parsed = decode_data_stream(&buf).unwrap();
+            prop_assert_eq!(parsed, DataStream::Subgroup { header, objects });
+        }
+    }
+}

@@ -1,0 +1,712 @@
+//! Control messages (draft-ietf-moq-transport-12 §6, subset).
+//!
+//! All control messages flow on the single bidirectional control stream,
+//! framed as `type (varint) | length (varint) | payload`. The subset here
+//! is exactly what DNS-over-MoQT exercises: session setup, the SUBSCRIBE
+//! family, the FETCH family (including the relative joining fetch), the
+//! ANNOUNCE family (used by relays), GOAWAY and MAX_REQUEST_ID.
+
+use crate::track::FullTrackName;
+use moqdns_wire::{varint, Reader, WireError, WireResult, Writer};
+
+/// Subscription filter: where in the track the subscription starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterType {
+    /// Deliver objects from the next group onward (the DNS mapping's mode).
+    LatestObject,
+    /// Deliver from an absolute (group, object) position.
+    AbsoluteStart {
+        /// Starting group.
+        group: u64,
+        /// Starting object within the group.
+        object: u64,
+    },
+}
+
+/// How a FETCH names its range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchType {
+    /// Standalone fetch of an absolute range (inclusive start, exclusive
+    /// end group; end_group == 0 means "just start group").
+    StandAlone {
+        /// Track to fetch from.
+        track: FullTrackName,
+        /// First group.
+        start_group: u64,
+        /// First object.
+        start_object: u64,
+        /// Last group (inclusive).
+        end_group: u64,
+    },
+    /// Joining fetch relative to an existing subscription: fetch the
+    /// `joining_start` groups preceding the subscription's start. The DNS
+    /// lookup uses offset 1 — "the version immediately before the start of
+    /// the subscription" (paper §4.1).
+    RelativeJoining {
+        /// Request id of the subscription being joined.
+        joining_request_id: u64,
+        /// How many groups before the subscription start to fetch.
+        joining_start: u64,
+    },
+}
+
+/// A control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlMessage {
+    /// Client's session setup offer.
+    ClientSetup {
+        /// Supported protocol versions.
+        versions: Vec<u64>,
+        /// Maximum request id the peer may use.
+        max_request_id: u64,
+    },
+    /// Server's setup answer.
+    ServerSetup {
+        /// Selected version.
+        version: u64,
+        /// Maximum request id the peer may use.
+        max_request_id: u64,
+    },
+    /// Request ongoing delivery of a track.
+    Subscribe {
+        /// Request id (even = client-initiated, odd = server-initiated).
+        request_id: u64,
+        /// Subscriber-chosen alias used in data streams.
+        track_alias: u64,
+        /// The track.
+        track: FullTrackName,
+        /// Where to start.
+        filter: FilterType,
+    },
+    /// Accept a subscription.
+    SubscribeOk {
+        /// Request being answered.
+        request_id: u64,
+        /// Subscription expiry in milliseconds (0 = never).
+        expires_ms: u64,
+        /// Largest (group, object) the publisher has, if any.
+        largest: Option<(u64, u64)>,
+    },
+    /// Refuse a subscription — also the fallback signal when a recursive
+    /// resolver cannot provide updates for a record (paper §4.5).
+    SubscribeError {
+        /// Request being answered.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Subscriber ends a subscription.
+    Unsubscribe {
+        /// The subscription's request id.
+        request_id: u64,
+    },
+    /// Publisher ends a subscription.
+    SubscribeDone {
+        /// The subscription's request id.
+        request_id: u64,
+        /// Status code.
+        code: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Request past objects.
+    Fetch {
+        /// Request id.
+        request_id: u64,
+        /// What to fetch.
+        fetch: FetchType,
+    },
+    /// Accept a fetch; objects follow on a fetch stream.
+    FetchOk {
+        /// Request being answered.
+        request_id: u64,
+        /// Largest (group, object) available.
+        largest: (u64, u64),
+    },
+    /// Refuse a fetch.
+    FetchError {
+        /// Request being answered.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Cancel an in-progress fetch.
+    FetchCancel {
+        /// The fetch's request id.
+        request_id: u64,
+    },
+    /// Publisher advertises a namespace (relays use this upstream).
+    Announce {
+        /// Request id.
+        request_id: u64,
+        /// The namespace tuple being announced.
+        namespace: Vec<Vec<u8>>,
+    },
+    /// Accept an announcement.
+    AnnounceOk {
+        /// Request being answered.
+        request_id: u64,
+    },
+    /// Refuse an announcement.
+    AnnounceError {
+        /// Request being answered.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Withdraw an announcement.
+    Unannounce {
+        /// The announcement's namespace.
+        namespace: Vec<Vec<u8>>,
+    },
+    /// Raise the peer's allowed request id space.
+    MaxRequestId {
+        /// New maximum.
+        max: u64,
+    },
+    /// Ask the peer to move to another session.
+    GoAway {
+        /// Redirect URI (may be empty).
+        uri: String,
+    },
+}
+
+const T_CLIENT_SETUP: u64 = 0x20;
+const T_SERVER_SETUP: u64 = 0x21;
+const T_SUBSCRIBE: u64 = 0x03;
+const T_SUBSCRIBE_OK: u64 = 0x04;
+const T_SUBSCRIBE_ERROR: u64 = 0x05;
+const T_UNSUBSCRIBE: u64 = 0x0A;
+const T_SUBSCRIBE_DONE: u64 = 0x0B;
+const T_FETCH: u64 = 0x16;
+const T_FETCH_CANCEL: u64 = 0x17;
+const T_FETCH_OK: u64 = 0x18;
+const T_FETCH_ERROR: u64 = 0x19;
+const T_ANNOUNCE: u64 = 0x06;
+const T_ANNOUNCE_OK: u64 = 0x07;
+const T_ANNOUNCE_ERROR: u64 = 0x08;
+const T_UNANNOUNCE: u64 = 0x09;
+const T_MAX_REQUEST_ID: u64 = 0x15;
+const T_GOAWAY: u64 = 0x10;
+
+fn put_string(w: &mut Writer, s: &str) {
+    varint::put_varint(w, s.len() as u64);
+    w.put_slice(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> WireResult<String> {
+    let len = varint::get_varint(r)? as usize;
+    if len > 8192 {
+        return Err(WireError::Invalid { what: "string length" });
+    }
+    let bytes = r.get_vec(len)?;
+    String::from_utf8(bytes).map_err(|_| WireError::Invalid { what: "utf-8 string" })
+}
+
+fn put_namespace(w: &mut Writer, ns: &[Vec<u8>]) {
+    varint::put_varint(w, ns.len() as u64);
+    for e in ns {
+        varint::put_varint(w, e.len() as u64);
+        w.put_slice(e);
+    }
+}
+
+fn get_namespace(r: &mut Reader<'_>) -> WireResult<Vec<Vec<u8>>> {
+    let n = varint::get_varint(r)? as usize;
+    if n > crate::track::MAX_NAMESPACE_ELEMENTS {
+        return Err(WireError::Invalid { what: "namespace element count" });
+    }
+    let mut ns = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = varint::get_varint(r)? as usize;
+        ns.push(r.get_vec(len)?);
+    }
+    Ok(ns)
+}
+
+impl ControlMessage {
+    /// Message type code.
+    pub fn type_code(&self) -> u64 {
+        match self {
+            ControlMessage::ClientSetup { .. } => T_CLIENT_SETUP,
+            ControlMessage::ServerSetup { .. } => T_SERVER_SETUP,
+            ControlMessage::Subscribe { .. } => T_SUBSCRIBE,
+            ControlMessage::SubscribeOk { .. } => T_SUBSCRIBE_OK,
+            ControlMessage::SubscribeError { .. } => T_SUBSCRIBE_ERROR,
+            ControlMessage::Unsubscribe { .. } => T_UNSUBSCRIBE,
+            ControlMessage::SubscribeDone { .. } => T_SUBSCRIBE_DONE,
+            ControlMessage::Fetch { .. } => T_FETCH,
+            ControlMessage::FetchOk { .. } => T_FETCH_OK,
+            ControlMessage::FetchError { .. } => T_FETCH_ERROR,
+            ControlMessage::FetchCancel { .. } => T_FETCH_CANCEL,
+            ControlMessage::Announce { .. } => T_ANNOUNCE,
+            ControlMessage::AnnounceOk { .. } => T_ANNOUNCE_OK,
+            ControlMessage::AnnounceError { .. } => T_ANNOUNCE_ERROR,
+            ControlMessage::Unannounce { .. } => T_UNANNOUNCE,
+            ControlMessage::MaxRequestId { .. } => T_MAX_REQUEST_ID,
+            ControlMessage::GoAway { .. } => T_GOAWAY,
+        }
+    }
+
+    /// Encodes as a framed control-stream message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        match self {
+            ControlMessage::ClientSetup {
+                versions,
+                max_request_id,
+            } => {
+                varint::put_varint(&mut body, versions.len() as u64);
+                for v in versions {
+                    varint::put_varint(&mut body, *v);
+                }
+                varint::put_varint(&mut body, *max_request_id);
+            }
+            ControlMessage::ServerSetup {
+                version,
+                max_request_id,
+            } => {
+                varint::put_varint(&mut body, *version);
+                varint::put_varint(&mut body, *max_request_id);
+            }
+            ControlMessage::Subscribe {
+                request_id,
+                track_alias,
+                track,
+                filter,
+            } => {
+                varint::put_varint(&mut body, *request_id);
+                varint::put_varint(&mut body, *track_alias);
+                track.encode(&mut body);
+                match filter {
+                    FilterType::LatestObject => varint::put_varint(&mut body, 0x2),
+                    FilterType::AbsoluteStart { group, object } => {
+                        varint::put_varint(&mut body, 0x3);
+                        varint::put_varint(&mut body, *group);
+                        varint::put_varint(&mut body, *object);
+                    }
+                }
+            }
+            ControlMessage::SubscribeOk {
+                request_id,
+                expires_ms,
+                largest,
+            } => {
+                varint::put_varint(&mut body, *request_id);
+                varint::put_varint(&mut body, *expires_ms);
+                match largest {
+                    Some((g, o)) => {
+                        body.put_u8(1);
+                        varint::put_varint(&mut body, *g);
+                        varint::put_varint(&mut body, *o);
+                    }
+                    None => body.put_u8(0),
+                }
+            }
+            ControlMessage::SubscribeError {
+                request_id,
+                code,
+                reason,
+            }
+            | ControlMessage::FetchError {
+                request_id,
+                code,
+                reason,
+            }
+            | ControlMessage::SubscribeDone {
+                request_id,
+                code,
+                reason,
+            }
+            | ControlMessage::AnnounceError {
+                request_id,
+                code,
+                reason,
+            } => {
+                varint::put_varint(&mut body, *request_id);
+                varint::put_varint(&mut body, *code);
+                put_string(&mut body, reason);
+            }
+            ControlMessage::Unsubscribe { request_id }
+            | ControlMessage::FetchCancel { request_id }
+            | ControlMessage::AnnounceOk { request_id } => {
+                varint::put_varint(&mut body, *request_id);
+            }
+            ControlMessage::Fetch { request_id, fetch } => {
+                varint::put_varint(&mut body, *request_id);
+                match fetch {
+                    FetchType::StandAlone {
+                        track,
+                        start_group,
+                        start_object,
+                        end_group,
+                    } => {
+                        varint::put_varint(&mut body, 0x1);
+                        track.encode(&mut body);
+                        varint::put_varint(&mut body, *start_group);
+                        varint::put_varint(&mut body, *start_object);
+                        varint::put_varint(&mut body, *end_group);
+                    }
+                    FetchType::RelativeJoining {
+                        joining_request_id,
+                        joining_start,
+                    } => {
+                        varint::put_varint(&mut body, 0x2);
+                        varint::put_varint(&mut body, *joining_request_id);
+                        varint::put_varint(&mut body, *joining_start);
+                    }
+                }
+            }
+            ControlMessage::FetchOk {
+                request_id,
+                largest,
+            } => {
+                varint::put_varint(&mut body, *request_id);
+                varint::put_varint(&mut body, largest.0);
+                varint::put_varint(&mut body, largest.1);
+            }
+            ControlMessage::Announce {
+                request_id,
+                namespace,
+            } => {
+                varint::put_varint(&mut body, *request_id);
+                put_namespace(&mut body, namespace);
+            }
+            ControlMessage::Unannounce { namespace } => {
+                put_namespace(&mut body, namespace);
+            }
+            ControlMessage::MaxRequestId { max } => {
+                varint::put_varint(&mut body, *max);
+            }
+            ControlMessage::GoAway { uri } => {
+                put_string(&mut body, uri);
+            }
+        }
+        let body = body.into_vec();
+        let mut w = Writer::with_capacity(body.len() + 4);
+        varint::put_varint(&mut w, self.type_code());
+        varint::put_varint(&mut w, body.len() as u64);
+        w.put_slice(&body);
+        w.into_vec()
+    }
+
+    /// Tries to decode one framed message from the front of `buf`.
+    /// Returns `Ok(None)` if more bytes are needed, otherwise the message
+    /// and how many bytes it consumed.
+    pub fn decode(buf: &[u8]) -> WireResult<Option<(ControlMessage, usize)>> {
+        let mut r = Reader::new(buf);
+        let Ok(ty) = varint::get_varint(&mut r) else {
+            return Ok(None);
+        };
+        let Ok(len) = varint::get_varint(&mut r) else {
+            return Ok(None);
+        };
+        if len > 65_536 {
+            return Err(WireError::Invalid { what: "control message length" });
+        }
+        if r.remaining() < len as usize {
+            return Ok(None);
+        }
+        let body_start = r.position();
+        let msg = Self::decode_body(ty, &mut r)?;
+        let consumed = r.position();
+        if consumed - body_start != len as usize {
+            return Err(WireError::Invalid { what: "control message length mismatch" });
+        }
+        Ok(Some((msg, consumed)))
+    }
+
+    fn decode_body(ty: u64, r: &mut Reader<'_>) -> WireResult<ControlMessage> {
+        Ok(match ty {
+            T_CLIENT_SETUP => {
+                let n = varint::get_varint(r)? as usize;
+                if n == 0 || n > 32 {
+                    return Err(WireError::Invalid { what: "version count" });
+                }
+                let mut versions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    versions.push(varint::get_varint(r)?);
+                }
+                ControlMessage::ClientSetup {
+                    versions,
+                    max_request_id: varint::get_varint(r)?,
+                }
+            }
+            T_SERVER_SETUP => ControlMessage::ServerSetup {
+                version: varint::get_varint(r)?,
+                max_request_id: varint::get_varint(r)?,
+            },
+            T_SUBSCRIBE => {
+                let request_id = varint::get_varint(r)?;
+                let track_alias = varint::get_varint(r)?;
+                let track = FullTrackName::decode(r)?;
+                let filter = match varint::get_varint(r)? {
+                    0x2 => FilterType::LatestObject,
+                    0x3 => FilterType::AbsoluteStart {
+                        group: varint::get_varint(r)?,
+                        object: varint::get_varint(r)?,
+                    },
+                    _ => return Err(WireError::Invalid { what: "filter type" }),
+                };
+                ControlMessage::Subscribe {
+                    request_id,
+                    track_alias,
+                    track,
+                    filter,
+                }
+            }
+            T_SUBSCRIBE_OK => {
+                let request_id = varint::get_varint(r)?;
+                let expires_ms = varint::get_varint(r)?;
+                let largest = match r.get_u8()? {
+                    0 => None,
+                    1 => Some((varint::get_varint(r)?, varint::get_varint(r)?)),
+                    _ => return Err(WireError::Invalid { what: "content-exists flag" }),
+                };
+                ControlMessage::SubscribeOk {
+                    request_id,
+                    expires_ms,
+                    largest,
+                }
+            }
+            T_SUBSCRIBE_ERROR => ControlMessage::SubscribeError {
+                request_id: varint::get_varint(r)?,
+                code: varint::get_varint(r)?,
+                reason: get_string(r)?,
+            },
+            T_UNSUBSCRIBE => ControlMessage::Unsubscribe {
+                request_id: varint::get_varint(r)?,
+            },
+            T_SUBSCRIBE_DONE => ControlMessage::SubscribeDone {
+                request_id: varint::get_varint(r)?,
+                code: varint::get_varint(r)?,
+                reason: get_string(r)?,
+            },
+            T_FETCH => {
+                let request_id = varint::get_varint(r)?;
+                let fetch = match varint::get_varint(r)? {
+                    0x1 => FetchType::StandAlone {
+                        track: FullTrackName::decode(r)?,
+                        start_group: varint::get_varint(r)?,
+                        start_object: varint::get_varint(r)?,
+                        end_group: varint::get_varint(r)?,
+                    },
+                    0x2 => FetchType::RelativeJoining {
+                        joining_request_id: varint::get_varint(r)?,
+                        joining_start: varint::get_varint(r)?,
+                    },
+                    _ => return Err(WireError::Invalid { what: "fetch type" }),
+                };
+                ControlMessage::Fetch { request_id, fetch }
+            }
+            T_FETCH_OK => ControlMessage::FetchOk {
+                request_id: varint::get_varint(r)?,
+                largest: (varint::get_varint(r)?, varint::get_varint(r)?),
+            },
+            T_FETCH_ERROR => ControlMessage::FetchError {
+                request_id: varint::get_varint(r)?,
+                code: varint::get_varint(r)?,
+                reason: get_string(r)?,
+            },
+            T_FETCH_CANCEL => ControlMessage::FetchCancel {
+                request_id: varint::get_varint(r)?,
+            },
+            T_ANNOUNCE => ControlMessage::Announce {
+                request_id: varint::get_varint(r)?,
+                namespace: get_namespace(r)?,
+            },
+            T_ANNOUNCE_OK => ControlMessage::AnnounceOk {
+                request_id: varint::get_varint(r)?,
+            },
+            T_ANNOUNCE_ERROR => ControlMessage::AnnounceError {
+                request_id: varint::get_varint(r)?,
+                code: varint::get_varint(r)?,
+                reason: get_string(r)?,
+            },
+            T_UNANNOUNCE => ControlMessage::Unannounce {
+                namespace: get_namespace(r)?,
+            },
+            T_MAX_REQUEST_ID => ControlMessage::MaxRequestId {
+                max: varint::get_varint(r)?,
+            },
+            T_GOAWAY => ControlMessage::GoAway {
+                uri: get_string(r)?,
+            },
+            _ => return Err(WireError::Invalid { what: "control message type" }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn track() -> FullTrackName {
+        FullTrackName::new(
+            vec![vec![0x01], vec![0x00, 0x01], vec![0x00, 0x01]],
+            b"\x03www\x07example\x03com\x00".to_vec(),
+        )
+        .unwrap()
+    }
+
+    fn all_messages() -> Vec<ControlMessage> {
+        vec![
+            ControlMessage::ClientSetup {
+                versions: vec![crate::MOQT_VERSION, 0xff00_000b],
+                max_request_id: 256,
+            },
+            ControlMessage::ServerSetup {
+                version: crate::MOQT_VERSION,
+                max_request_id: 128,
+            },
+            ControlMessage::Subscribe {
+                request_id: 2,
+                track_alias: 2,
+                track: track(),
+                filter: FilterType::LatestObject,
+            },
+            ControlMessage::Subscribe {
+                request_id: 4,
+                track_alias: 4,
+                track: track(),
+                filter: FilterType::AbsoluteStart { group: 9, object: 0 },
+            },
+            ControlMessage::SubscribeOk {
+                request_id: 2,
+                expires_ms: 0,
+                largest: Some((17, 0)),
+            },
+            ControlMessage::SubscribeOk {
+                request_id: 2,
+                expires_ms: 60_000,
+                largest: None,
+            },
+            ControlMessage::SubscribeError {
+                request_id: 2,
+                code: 0x4,
+                reason: "no updates available".into(),
+            },
+            ControlMessage::Unsubscribe { request_id: 2 },
+            ControlMessage::SubscribeDone {
+                request_id: 2,
+                code: 0x0,
+                reason: "track ended".into(),
+            },
+            ControlMessage::Fetch {
+                request_id: 6,
+                fetch: FetchType::StandAlone {
+                    track: track(),
+                    start_group: 1,
+                    start_object: 0,
+                    end_group: 5,
+                },
+            },
+            ControlMessage::Fetch {
+                request_id: 8,
+                fetch: FetchType::RelativeJoining {
+                    joining_request_id: 2,
+                    joining_start: 1,
+                },
+            },
+            ControlMessage::FetchOk {
+                request_id: 6,
+                largest: (17, 0),
+            },
+            ControlMessage::FetchError {
+                request_id: 6,
+                code: 0x5,
+                reason: "no such track".into(),
+            },
+            ControlMessage::FetchCancel { request_id: 6 },
+            ControlMessage::Announce {
+                request_id: 10,
+                namespace: vec![vec![1], vec![2, 3]],
+            },
+            ControlMessage::AnnounceOk { request_id: 10 },
+            ControlMessage::AnnounceError {
+                request_id: 10,
+                code: 1,
+                reason: "not authorized".into(),
+            },
+            ControlMessage::Unannounce {
+                namespace: vec![vec![1]],
+            },
+            ControlMessage::MaxRequestId { max: 1024 },
+            ControlMessage::GoAway { uri: "".into() },
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for m in all_messages() {
+            let enc = m.encode();
+            let (dec, used) = ControlMessage::decode(&enc).unwrap().unwrap();
+            assert_eq!(dec, m);
+            assert_eq!(used, enc.len());
+        }
+    }
+
+    #[test]
+    fn streamed_messages_parse_sequentially() {
+        let msgs = all_messages();
+        let mut buf = Vec::new();
+        for m in &msgs {
+            buf.extend_from_slice(&m.encode());
+        }
+        let mut off = 0;
+        let mut out = Vec::new();
+        while off < buf.len() {
+            let (m, used) = ControlMessage::decode(&buf[off..]).unwrap().unwrap();
+            out.push(m);
+            off += used;
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn partial_message_needs_more_bytes() {
+        let enc = ControlMessage::MaxRequestId { max: 100_000 }.encode();
+        for cut in 0..enc.len() {
+            assert!(matches!(ControlMessage::decode(&enc[..cut]), Ok(None)));
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut enc = ControlMessage::MaxRequestId { max: 5 }.encode();
+        // Inflate the declared length.
+        enc[1] += 1;
+        enc.push(0);
+        assert!(ControlMessage::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut w = Writer::new();
+        varint::put_varint(&mut w, 0x3A);
+        varint::put_varint(&mut w, 0);
+        assert!(ControlMessage::decode(&w.into_vec()).is_err());
+    }
+
+    #[test]
+    fn giant_length_rejected() {
+        let mut w = Writer::new();
+        varint::put_varint(&mut w, T_GOAWAY);
+        varint::put_varint(&mut w, 1 << 30);
+        assert!(ControlMessage::decode(&w.into_vec()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = ControlMessage::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Relay core: subscription aggregation and object caching.
+//!
+//! Paper §3: "Relays are MoQT endpoints that do not publish or consume
+//! media but forward and route objects from publishers to subscribers.
+//! Relays can aggregate subscriptions of multiple subscribers to a single
+//! upstream subscription and cache objects without accessing the object
+//! payload."
+//!
+//! [`RelayCore`] is the pure logic of such a relay: it maps downstream
+//! subscriptions onto (at most) one upstream subscription per track, caches
+//! objects by `(track, group, object)` identity, and computes fan-out
+//! lists. It never parses payloads — there is no DNS dependency in this
+//! crate at all, which *proves* payload agnosticism at the type level.
+//! The surrounding node (in `moqdns-core`) owns the actual sessions and
+//! executes the actions this core emits.
+
+use crate::data::Object;
+use crate::track::FullTrackName;
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies one downstream session at the owning node.
+pub type SessionKey = u64;
+
+/// What the owning node must do after feeding the core an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayAction {
+    /// Open (or reuse) the upstream session and subscribe to `track`;
+    /// associate the upstream subscription with `track`.
+    SubscribeUpstream {
+        /// Track to subscribe to upstream.
+        track: FullTrackName,
+    },
+    /// Accept the downstream subscription with our current largest version.
+    AcceptDownstream {
+        /// Downstream session.
+        session: SessionKey,
+        /// Downstream request id.
+        request_id: u64,
+        /// Largest cached (group, object), if any.
+        largest: Option<(u64, u64)>,
+    },
+    /// Forward an object to a downstream subscriber.
+    Forward {
+        /// Downstream session.
+        session: SessionKey,
+        /// Downstream request id.
+        request_id: u64,
+        /// The object (payload untouched).
+        object: Object,
+    },
+    /// Answer a downstream fetch from cache.
+    ServeFetch {
+        /// Downstream session.
+        session: SessionKey,
+        /// Downstream fetch request id.
+        request_id: u64,
+        /// Largest cached (group, object).
+        largest: (u64, u64),
+        /// Cached objects in range.
+        objects: Vec<Object>,
+    },
+    /// Cache miss: the node must fetch upstream and then call
+    /// [`RelayCore::on_upstream_fetch_result`].
+    FetchUpstream {
+        /// Track to fetch.
+        track: FullTrackName,
+        /// Downstream session waiting.
+        session: SessionKey,
+        /// Downstream fetch request id waiting.
+        request_id: u64,
+        /// Start group requested.
+        start_group: u64,
+        /// End group requested (inclusive).
+        end_group: u64,
+    },
+    /// No downstream subscribers remain: drop the upstream subscription.
+    UnsubscribeUpstream {
+        /// Track to drop.
+        track: FullTrackName,
+    },
+}
+
+/// Per-track relay state.
+#[derive(Debug, Default)]
+struct TrackState {
+    /// Downstream subscribers: (session, request_id).
+    subscribers: Vec<(SessionKey, u64)>,
+    /// Whether an upstream subscription exists (or is being set up).
+    upstream_active: bool,
+    /// Object cache: (group, object) -> payload. BTreeMap gives range
+    /// queries for fetches.
+    cache: BTreeMap<(u64, u64), Vec<u8>>,
+}
+
+impl TrackState {
+    fn largest(&self) -> Option<(u64, u64)> {
+        self.cache.keys().next_back().copied()
+    }
+}
+
+/// Counters for relay effectiveness (ablation A3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Downstream subscription requests seen.
+    pub downstream_subscribes: u64,
+    /// Upstream subscriptions opened.
+    pub upstream_subscribes: u64,
+    /// Objects forwarded downstream.
+    pub objects_forwarded: u64,
+    /// Fetches served from cache.
+    pub fetch_cache_hits: u64,
+    /// Fetches requiring an upstream fetch.
+    pub fetch_cache_misses: u64,
+}
+
+/// The relay's track/subscription/cache bookkeeping.
+#[derive(Debug, Default)]
+pub struct RelayCore {
+    tracks: HashMap<FullTrackName, TrackState>,
+    /// Cap on cached objects per track (oldest groups evicted first).
+    cache_per_track: usize,
+    stats: RelayStats,
+}
+
+impl RelayCore {
+    /// Creates a relay core caching up to `cache_per_track` objects per
+    /// track (0 = unlimited).
+    pub fn new(cache_per_track: usize) -> RelayCore {
+        RelayCore {
+            tracks: HashMap::new(),
+            cache_per_track,
+            stats: RelayStats::default(),
+        }
+    }
+
+    /// Relay effectiveness counters.
+    pub fn stats(&self) -> RelayStats {
+        self.stats
+    }
+
+    /// Number of tracks with any state.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Total downstream subscriptions across tracks.
+    pub fn subscriber_count(&self) -> usize {
+        self.tracks.values().map(|t| t.subscribers.len()).sum()
+    }
+
+    /// Upstream aggregation factor: downstream subs per upstream sub
+    /// (the relay's whole point — N downstream cost 1 upstream).
+    pub fn aggregation_factor(&self) -> f64 {
+        let up = self
+            .tracks
+            .values()
+            .filter(|t| t.upstream_active)
+            .count();
+        if up == 0 {
+            0.0
+        } else {
+            self.subscriber_count() as f64 / up as f64
+        }
+    }
+
+    /// A downstream session subscribed to `track`.
+    pub fn on_downstream_subscribe(
+        &mut self,
+        session: SessionKey,
+        request_id: u64,
+        track: FullTrackName,
+    ) -> Vec<RelayAction> {
+        self.stats.downstream_subscribes += 1;
+        let st = self.tracks.entry(track.clone()).or_default();
+        st.subscribers.push((session, request_id));
+        let mut actions = vec![RelayAction::AcceptDownstream {
+            session,
+            request_id,
+            largest: st.largest(),
+        }];
+        if !st.upstream_active {
+            st.upstream_active = true;
+            self.stats.upstream_subscribes += 1;
+            actions.insert(0, RelayAction::SubscribeUpstream { track });
+        }
+        actions
+    }
+
+    /// A downstream session unsubscribed.
+    pub fn on_downstream_unsubscribe(
+        &mut self,
+        session: SessionKey,
+        request_id: u64,
+    ) -> Vec<RelayAction> {
+        let mut actions = Vec::new();
+        for (track, st) in self.tracks.iter_mut() {
+            st.subscribers
+                .retain(|&(s, r)| !(s == session && r == request_id));
+            if st.subscribers.is_empty() && st.upstream_active {
+                st.upstream_active = false;
+                actions.push(RelayAction::UnsubscribeUpstream {
+                    track: track.clone(),
+                });
+            }
+        }
+        actions
+    }
+
+    /// A whole downstream session died: drop all its subscriptions.
+    pub fn on_session_closed(&mut self, session: SessionKey) -> Vec<RelayAction> {
+        let mut actions = Vec::new();
+        for (track, st) in self.tracks.iter_mut() {
+            st.subscribers.retain(|&(s, _)| s != session);
+            if st.subscribers.is_empty() && st.upstream_active {
+                st.upstream_active = false;
+                actions.push(RelayAction::UnsubscribeUpstream {
+                    track: track.clone(),
+                });
+            }
+        }
+        actions
+    }
+
+    /// An object arrived from upstream on `track`: cache + fan out.
+    /// The payload is moved through untouched.
+    pub fn on_upstream_object(
+        &mut self,
+        track: &FullTrackName,
+        object: Object,
+    ) -> Vec<RelayAction> {
+        let Some(st) = self.tracks.get_mut(track) else {
+            return Vec::new();
+        };
+        st.cache
+            .insert((object.group_id, object.object_id), object.payload.clone());
+        if self.cache_per_track > 0 {
+            while st.cache.len() > self.cache_per_track {
+                let oldest = *st.cache.keys().next().unwrap();
+                st.cache.remove(&oldest);
+            }
+        }
+        let mut actions = Vec::with_capacity(st.subscribers.len());
+        for &(session, request_id) in &st.subscribers {
+            self.stats.objects_forwarded += 1;
+            actions.push(RelayAction::Forward {
+                session,
+                request_id,
+                object: object.clone(),
+            });
+        }
+        actions
+    }
+
+    /// A downstream fetch for groups `[start_group, end_group]` of `track`.
+    /// Served from cache when the range is present; otherwise escalated.
+    pub fn on_downstream_fetch(
+        &mut self,
+        session: SessionKey,
+        request_id: u64,
+        track: FullTrackName,
+        start_group: u64,
+        end_group: u64,
+    ) -> Vec<RelayAction> {
+        let st = self.tracks.entry(track.clone()).or_default();
+        let objects: Vec<Object> = st
+            .cache
+            .range((start_group, 0)..=(end_group, u64::MAX))
+            .map(|(&(g, o), payload)| Object {
+                group_id: g,
+                object_id: o,
+                payload: payload.clone(),
+            })
+            .collect();
+        if let (Some(largest), false) = (st.largest(), objects.is_empty()) {
+            self.stats.fetch_cache_hits += 1;
+            vec![RelayAction::ServeFetch {
+                session,
+                request_id,
+                largest,
+                objects,
+            }]
+        } else {
+            self.stats.fetch_cache_misses += 1;
+            vec![RelayAction::FetchUpstream {
+                track,
+                session,
+                request_id,
+                start_group,
+                end_group,
+            }]
+        }
+    }
+
+    /// The node completed an upstream fetch triggered by
+    /// [`RelayAction::FetchUpstream`]: cache the objects and serve the
+    /// waiting downstream fetch.
+    pub fn on_upstream_fetch_result(
+        &mut self,
+        track: &FullTrackName,
+        session: SessionKey,
+        request_id: u64,
+        objects: Vec<Object>,
+    ) -> Vec<RelayAction> {
+        let st = self.tracks.entry(track.clone()).or_default();
+        for o in &objects {
+            st.cache
+                .insert((o.group_id, o.object_id), o.payload.clone());
+        }
+        let largest = st.largest().unwrap_or((0, 0));
+        vec![RelayAction::ServeFetch {
+            session,
+            request_id,
+            largest,
+            objects,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track(n: u8) -> FullTrackName {
+        FullTrackName::new(vec![vec![n]], vec![n, n]).unwrap()
+    }
+
+    fn obj(group: u64, payload: &[u8]) -> Object {
+        Object {
+            group_id: group,
+            object_id: 0,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn first_subscriber_triggers_upstream() {
+        let mut r = RelayCore::new(0);
+        let a = r.on_downstream_subscribe(1, 2, track(1));
+        assert_eq!(a.len(), 2);
+        assert!(matches!(a[0], RelayAction::SubscribeUpstream { .. }));
+        assert!(matches!(
+            a[1],
+            RelayAction::AcceptDownstream {
+                largest: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aggregation_single_upstream_for_many_downstream() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        let a2 = r.on_downstream_subscribe(2, 2, track(1));
+        let a3 = r.on_downstream_subscribe(3, 4, track(1));
+        // Only accepts; no further upstream subscribes.
+        assert!(a2
+            .iter()
+            .all(|a| !matches!(a, RelayAction::SubscribeUpstream { .. })));
+        assert!(a3
+            .iter()
+            .all(|a| !matches!(a, RelayAction::SubscribeUpstream { .. })));
+        assert_eq!(r.stats().upstream_subscribes, 1);
+        assert_eq!(r.stats().downstream_subscribes, 3);
+        assert!((r.aggregation_factor() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objects_fan_out_to_all_subscribers() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_downstream_subscribe(2, 2, track(1));
+        let acts = r.on_upstream_object(&track(1), obj(7, b"payload"));
+        assert_eq!(acts.len(), 2);
+        for a in &acts {
+            match a {
+                RelayAction::Forward { object, .. } => {
+                    assert_eq!(object.group_id, 7);
+                    assert_eq!(object.payload, b"payload");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(r.stats().objects_forwarded, 2);
+    }
+
+    #[test]
+    fn late_subscriber_sees_cached_largest() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_upstream_object(&track(1), obj(9, b"v9"));
+        let a = r.on_downstream_subscribe(2, 2, track(1));
+        assert!(a.iter().any(|a| matches!(
+            a,
+            RelayAction::AcceptDownstream {
+                largest: Some((9, 0)),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn fetch_served_from_cache() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_upstream_object(&track(1), obj(5, b"v5"));
+        let a = r.on_downstream_fetch(2, 8, track(1), 5, 5);
+        match &a[0] {
+            RelayAction::ServeFetch {
+                objects, largest, ..
+            } => {
+                assert_eq!(objects.len(), 1);
+                assert_eq!(*largest, (5, 0));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.stats().fetch_cache_hits, 1);
+    }
+
+    #[test]
+    fn fetch_miss_escalates_upstream_then_serves() {
+        let mut r = RelayCore::new(0);
+        let a = r.on_downstream_fetch(2, 8, track(1), 5, 5);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+        assert_eq!(r.stats().fetch_cache_misses, 1);
+        let a = r.on_upstream_fetch_result(&track(1), 2, 8, vec![obj(5, b"v5")]);
+        match &a[0] {
+            RelayAction::ServeFetch { objects, .. } => assert_eq!(objects.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        // Now cached for the next fetch.
+        let a = r.on_downstream_fetch(3, 2, track(1), 5, 5);
+        assert!(matches!(a[0], RelayAction::ServeFetch { .. }));
+    }
+
+    #[test]
+    fn last_unsubscribe_drops_upstream() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_downstream_subscribe(2, 4, track(1));
+        assert!(r.on_downstream_unsubscribe(1, 2).is_empty());
+        let a = r.on_downstream_unsubscribe(2, 4);
+        assert!(matches!(a[0], RelayAction::UnsubscribeUpstream { .. }));
+    }
+
+    #[test]
+    fn session_close_drops_all_its_subscriptions() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_downstream_subscribe(1, 4, track(2));
+        r.on_downstream_subscribe(2, 2, track(1));
+        let a = r.on_session_closed(1);
+        // track(2) loses its last subscriber; track(1) still has session 2.
+        assert_eq!(a.len(), 1);
+        assert!(matches!(
+            &a[0],
+            RelayAction::UnsubscribeUpstream { track: t } if *t == track(2)
+        ));
+        assert_eq!(r.subscriber_count(), 1);
+    }
+
+    #[test]
+    fn cache_eviction_keeps_newest_groups() {
+        let mut r = RelayCore::new(2);
+        r.on_downstream_subscribe(1, 2, track(1));
+        for g in 1..=5 {
+            r.on_upstream_object(&track(1), obj(g, b"x"));
+        }
+        // Only groups 4 and 5 remain.
+        let a = r.on_downstream_fetch(2, 8, track(1), 4, 5);
+        match &a[0] {
+            RelayAction::ServeFetch { objects, .. } => {
+                assert_eq!(
+                    objects.iter().map(|o| o.group_id).collect::<Vec<_>>(),
+                    vec![4, 5]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let a = r.on_downstream_fetch(2, 10, track(1), 1, 3);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+    }
+
+    #[test]
+    fn payload_is_passed_through_byte_identical() {
+        // The relay never interprets payloads: any bytes survive intact.
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        let weird: Vec<u8> = (0..=255).collect();
+        let acts = r.on_upstream_object(&track(1), obj(1, &weird));
+        match &acts[0] {
+            RelayAction::Forward { object, .. } => assert_eq!(object.payload, weird),
+            other => panic!("{other:?}"),
+        }
+    }
+}

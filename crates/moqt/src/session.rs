@@ -1,0 +1,1283 @@
+//! The MoQT session state machine.
+//!
+//! A [`Session`] rides on exactly one `moqdns_quic::Connection` (which the
+//! caller owns — typically inside an `Endpoint`): the session never does io
+//! of its own. Drivers forward the connection's events into
+//! [`Session::on_conn_event`] and call the session's verbs (subscribe,
+//! fetch, publish, …) with a `&mut Connection` to write into.
+//!
+//! Protocol shape (draft-12 subset):
+//!
+//! * all control messages flow on the **first client-initiated
+//!   bidirectional stream** (the control stream, paper §3);
+//! * a client can send its CLIENT_SETUP in **0-RTT** data when it holds a
+//!   resumption ticket — collapsing QUIC + MoQT setup into one round trip
+//!   (the second optimization of paper §5.2);
+//! * objects travel on unidirectional subgroup/fetch streams, one group per
+//!   stream (or datagrams, for the ablation);
+//! * **joining fetch** (§4.1): SUBSCRIBE with the latest-object filter plus
+//!   a relative FETCH with offset 1 retrieves the current record version
+//!   while future updates arrive via the subscription.
+
+use crate::data::{
+    decode_data_stream, encode_fetch_stream, encode_subgroup_stream, DataStream, Object,
+    ObjectDatagram, SubgroupHeader,
+};
+use crate::message::{ControlMessage, FetchType, FilterType};
+use crate::track::FullTrackName;
+use moqdns_quic::{Connection, Dir, Event as QuicEvent, StreamId};
+use std::collections::{HashMap, VecDeque};
+
+/// Session-level configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Versions offered (client) / supported (server), preference order.
+    pub versions: Vec<u64>,
+    /// MAX_REQUEST_ID granted to the peer.
+    pub max_request_id: u64,
+    /// Send requests before SERVER_SETUP arrives. Draft-12 forbids this
+    /// (version negotiation must finish first → the 3-RTT cold path of
+    /// paper §5.2); `true` models the future "version negotiation in
+    /// ALPN" optimization that removes the extra round trip.
+    pub pipeline: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            versions: vec![crate::MOQT_VERSION],
+            max_request_id: 1 << 20,
+            pipeline: false,
+        }
+    }
+}
+
+/// How an incoming FETCH names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncomingFetchKind {
+    /// Standalone: explicit track + absolute range.
+    StandAlone {
+        /// The fetched track.
+        track: FullTrackName,
+        /// First group.
+        start_group: u64,
+        /// Last group (inclusive).
+        end_group: u64,
+    },
+    /// Joining: relative to one of *our* granted subscriptions.
+    Joining {
+        /// The peer's subscription this fetch joins.
+        joining_request_id: u64,
+        /// Groups before the subscription start to return (1 = latest
+        /// existing version, per the DNS mapping).
+        offset: u64,
+        /// The resolved track of that subscription.
+        track: FullTrackName,
+    },
+}
+
+/// Events a session surfaces to its application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// Setup handshake finished; the session is usable.
+    Ready {
+        /// Negotiated MoQT version.
+        version: u64,
+    },
+    /// The peer wants to subscribe to a track (we are the publisher).
+    /// Answer with [`Session::accept_subscribe`] or
+    /// [`Session::reject_subscribe`].
+    IncomingSubscribe {
+        /// Peer's request id.
+        request_id: u64,
+        /// The track.
+        track: FullTrackName,
+    },
+    /// The peer wants past objects. Answer with [`Session::respond_fetch`]
+    /// or [`Session::reject_fetch`].
+    IncomingFetch {
+        /// Peer's request id.
+        request_id: u64,
+        /// What is being fetched.
+        kind: IncomingFetchKind,
+    },
+    /// Our SUBSCRIBE was accepted.
+    SubscribeAccepted {
+        /// Our request id.
+        request_id: u64,
+        /// Publisher's largest (group, object), if the track has content.
+        largest: Option<(u64, u64)>,
+    },
+    /// Our SUBSCRIBE was refused (also the §4.5 fallback signal).
+    SubscribeRejected {
+        /// Our request id.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// Our FETCH was accepted; objects will arrive in [`SessionEvent::FetchObjects`].
+    FetchAccepted {
+        /// Our request id.
+        request_id: u64,
+        /// Publisher's largest (group, object).
+        largest: (u64, u64),
+    },
+    /// Our FETCH was refused.
+    FetchRejected {
+        /// Our request id.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// A complete fetch response stream arrived.
+    FetchObjects {
+        /// Our fetch request id.
+        request_id: u64,
+        /// The returned objects.
+        objects: Vec<Object>,
+    },
+    /// An object arrived on one of our subscriptions (a pushed update).
+    SubscriptionObject {
+        /// Our subscribe request id.
+        request_id: u64,
+        /// The object.
+        object: Object,
+    },
+    /// The publisher ended one of our subscriptions.
+    SubscriptionEnded {
+        /// Our subscribe request id.
+        request_id: u64,
+        /// Status code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// The peer dropped one of its subscriptions to us (stop publishing).
+    PeerUnsubscribed {
+        /// The peer's request id.
+        request_id: u64,
+    },
+    /// The peer asked us to move to another session.
+    GoAway {
+        /// Redirect URI.
+        uri: String,
+    },
+    /// The peer violated the protocol; the connection should be closed.
+    ProtocolViolation(&'static str),
+}
+
+/// Publisher-side record of a peer's subscription.
+#[derive(Debug, Clone)]
+struct PeerSub {
+    track: FullTrackName,
+    track_alias: u64,
+    accepted: bool,
+}
+
+/// Subscriber-side record of our own subscription.
+#[derive(Debug, Clone)]
+struct MySub {
+    #[allow(dead_code)]
+    track: FullTrackName,
+    track_alias: u64,
+}
+
+/// A MoQT session over one QUIC connection.
+pub struct Session {
+    is_client: bool,
+    config: SessionConfig,
+    control_stream: Option<StreamId>,
+    control_rx: Vec<u8>,
+    ready: bool,
+    version: Option<u64>,
+    next_request_id: u64,
+    my_subs: HashMap<u64, MySub>,
+    alias_to_sub: HashMap<u64, u64>,
+    peer_subs: HashMap<u64, PeerSub>,
+    my_fetches: HashMap<u64, ()>,
+    data_rx: HashMap<StreamId, Vec<u8>>,
+    events: VecDeque<SessionEvent>,
+    /// Control messages queued until SERVER_SETUP (strict draft-12 mode).
+    queued_control: Vec<ControlMessage>,
+}
+
+impl Session {
+    /// Creates the client side of a session.
+    pub fn client(config: SessionConfig) -> Session {
+        Session::new(true, config)
+    }
+
+    /// Creates the server side of a session.
+    pub fn server(config: SessionConfig) -> Session {
+        Session::new(false, config)
+    }
+
+    fn new(is_client: bool, config: SessionConfig) -> Session {
+        Session {
+            is_client,
+            config,
+            control_stream: None,
+            control_rx: Vec::new(),
+            ready: false,
+            version: None,
+            next_request_id: if is_client { 0 } else { 1 },
+            my_subs: HashMap::new(),
+            alias_to_sub: HashMap::new(),
+            peer_subs: HashMap::new(),
+            my_fetches: HashMap::new(),
+            data_rx: HashMap::new(),
+            events: VecDeque::new(),
+            queued_control: Vec::new(),
+        }
+    }
+
+    /// True once SETUP completed in both directions.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Negotiated version, once ready.
+    pub fn version(&self) -> Option<u64> {
+        self.version
+    }
+
+    /// Number of live subscriptions we hold (subscriber side).
+    pub fn subscription_count(&self) -> usize {
+        self.my_subs.len()
+    }
+
+    /// Number of live subscriptions peers hold on us (publisher side).
+    pub fn peer_subscription_count(&self) -> usize {
+        self.peer_subs.len()
+    }
+
+    /// Rough state size in bytes (paper §5.1 overhead accounting).
+    pub fn state_size_estimate(&self) -> usize {
+        std::mem::size_of::<Session>()
+            + self
+                .my_subs
+                .values()
+                .map(|s| 64 + s.track.total_len())
+                .sum::<usize>()
+            + self
+                .peer_subs
+                .values()
+                .map(|s| 64 + s.track.total_len())
+                .sum::<usize>()
+            + self.control_rx.len()
+            + self.data_rx.values().map(Vec::len).sum::<usize>()
+    }
+
+    fn alloc_request_id(&mut self) -> u64 {
+        let id = self.next_request_id;
+        self.next_request_id += 2;
+        id
+    }
+
+    /// Starts the session. Clients open the control stream and send
+    /// CLIENT_SETUP immediately — with a resumption ticket this rides 0-RTT.
+    pub fn start(&mut self, conn: &mut Connection) {
+        if self.is_client && self.control_stream.is_none() {
+            let id = conn.open_stream(Dir::Bi).expect("control stream");
+            self.control_stream = Some(id);
+            let setup = ControlMessage::ClientSetup {
+                versions: self.config.versions.clone(),
+                max_request_id: self.config.max_request_id,
+            };
+            self.send_control(conn, &setup);
+        }
+    }
+
+    /// Sends a request message, holding it back until the session is ready
+    /// unless pipelining is enabled (paper §5.2 RTT semantics).
+    fn send_request(&mut self, conn: &mut Connection, msg: ControlMessage) {
+        if self.ready || self.config.pipeline {
+            self.send_control(conn, &msg);
+        } else {
+            self.queued_control.push(msg);
+        }
+    }
+
+    fn send_control(&mut self, conn: &mut Connection, msg: &ControlMessage) {
+        let Some(cs) = self.control_stream else {
+            self.events
+                .push_back(SessionEvent::ProtocolViolation("no control stream"));
+            return;
+        };
+        let bytes = msg.encode();
+        let mut off = 0;
+        while off < bytes.len() {
+            match conn.send_stream(cs, &bytes[off..]) {
+                Ok(0) | Err(_) => break, // flow control stall: drop (tiny msgs never hit this)
+                Ok(n) => off += n,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriber-side verbs
+    // ------------------------------------------------------------------
+
+    /// SUBSCRIBEs to a track from the next group onward. Returns our
+    /// request id.
+    pub fn subscribe(&mut self, conn: &mut Connection, track: FullTrackName) -> u64 {
+        let request_id = self.alloc_request_id();
+        let track_alias = request_id;
+        self.my_subs.insert(
+            request_id,
+            MySub {
+                track: track.clone(),
+                track_alias,
+            },
+        );
+        self.alias_to_sub.insert(track_alias, request_id);
+        let msg = ControlMessage::Subscribe {
+            request_id,
+            track_alias,
+            track,
+            filter: FilterType::LatestObject,
+        };
+        self.send_request(conn, msg);
+        request_id
+    }
+
+    /// The paper's lookup operation (§4.1): SUBSCRIBE plus a joining FETCH
+    /// with `offset` (1 = the version immediately before the subscription).
+    /// Returns `(subscribe_request_id, fetch_request_id)`.
+    pub fn subscribe_with_joining_fetch(
+        &mut self,
+        conn: &mut Connection,
+        track: FullTrackName,
+        offset: u64,
+    ) -> (u64, u64) {
+        let sub_id = self.subscribe(conn, track);
+        let fetch_id = self.alloc_request_id();
+        self.my_fetches.insert(fetch_id, ());
+        let msg = ControlMessage::Fetch {
+            request_id: fetch_id,
+            fetch: FetchType::RelativeJoining {
+                joining_request_id: sub_id,
+                joining_start: offset,
+            },
+        };
+        self.send_request(conn, msg);
+        (sub_id, fetch_id)
+    }
+
+    /// Standalone FETCH of an absolute group range (used on reconnection to
+    /// recover updates missed since a stored group id, §4.4).
+    pub fn fetch(
+        &mut self,
+        conn: &mut Connection,
+        track: FullTrackName,
+        start_group: u64,
+        end_group: u64,
+    ) -> u64 {
+        // Group ids live in varint space (≤ 2^62-1); clamp open-ended
+        // ranges callers express with u64::MAX.
+        let start_group = start_group.min(moqdns_wire::varint::MAX_VARINT);
+        let end_group = end_group.min(moqdns_wire::varint::MAX_VARINT);
+        let request_id = self.alloc_request_id();
+        self.my_fetches.insert(request_id, ());
+        let msg = ControlMessage::Fetch {
+            request_id,
+            fetch: FetchType::StandAlone {
+                track,
+                start_group,
+                start_object: 0,
+                end_group,
+            },
+        };
+        self.send_request(conn, msg);
+        request_id
+    }
+
+    /// Drops one of our subscriptions (§4.4 teardown).
+    pub fn unsubscribe(&mut self, conn: &mut Connection, request_id: u64) {
+        if let Some(sub) = self.my_subs.remove(&request_id) {
+            self.alias_to_sub.remove(&sub.track_alias);
+            self.send_control(conn, &ControlMessage::Unsubscribe { request_id });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Publisher-side verbs
+    // ------------------------------------------------------------------
+
+    /// Accepts a peer's subscription, advertising our largest version.
+    pub fn accept_subscribe(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        largest: Option<(u64, u64)>,
+    ) {
+        if let Some(sub) = self.peer_subs.get_mut(&request_id) {
+            sub.accepted = true;
+            let msg = ControlMessage::SubscribeOk {
+                request_id,
+                expires_ms: 0,
+                largest,
+            };
+            self.send_control(conn, &msg);
+        }
+    }
+
+    /// Declines a peer's subscription — the §4.5 fallback path.
+    pub fn reject_subscribe(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        code: u64,
+        reason: &str,
+    ) {
+        self.peer_subs.remove(&request_id);
+        let msg = ControlMessage::SubscribeError {
+            request_id,
+            code,
+            reason: reason.to_string(),
+        };
+        self.send_control(conn, &msg);
+    }
+
+    /// Pushes an object to one accepted peer subscription: opens a fresh
+    /// unidirectional subgroup stream, writes the object, finishes the
+    /// stream (§4.1: streams, never datagrams, for reliability).
+    pub fn publish(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        object: Object,
+    ) -> bool {
+        let Some(sub) = self.peer_subs.get(&request_id) else {
+            return false;
+        };
+        if !sub.accepted {
+            return false;
+        }
+        let header = SubgroupHeader {
+            track_alias: sub.track_alias,
+            group_id: object.group_id,
+            subgroup_id: 0,
+            priority: 128,
+        };
+        let bytes = encode_subgroup_stream(&header, &[object]);
+        let Ok(sid) = conn.open_stream(Dir::Uni) else {
+            return false;
+        };
+        let mut off = 0;
+        while off < bytes.len() {
+            match conn.send_stream(sid, &bytes[off..]) {
+                Ok(0) | Err(_) => return false,
+                Ok(n) => off += n,
+            }
+        }
+        let _ = conn.finish_stream(sid);
+        true
+    }
+
+    /// Pushes an object as an unreliable datagram (ablation A2 only).
+    pub fn publish_datagram(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        object: Object,
+    ) -> bool {
+        let Some(sub) = self.peer_subs.get(&request_id) else {
+            return false;
+        };
+        if !sub.accepted {
+            return false;
+        }
+        let dg = ObjectDatagram {
+            track_alias: sub.track_alias,
+            object,
+        };
+        conn.send_datagram(dg.encode()).is_ok()
+    }
+
+    /// Ends a peer's subscription from the publisher side.
+    pub fn subscribe_done(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        code: u64,
+        reason: &str,
+    ) {
+        if self.peer_subs.remove(&request_id).is_some() {
+            let msg = ControlMessage::SubscribeDone {
+                request_id,
+                code,
+                reason: reason.to_string(),
+            };
+            self.send_control(conn, &msg);
+        }
+    }
+
+    /// Answers a peer's FETCH: FETCH_OK on the control stream plus a fetch
+    /// data stream carrying `objects`.
+    pub fn respond_fetch(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        largest: (u64, u64),
+        objects: Vec<Object>,
+    ) {
+        let msg = ControlMessage::FetchOk {
+            request_id,
+            largest,
+        };
+        self.send_control(conn, &msg);
+        let bytes = encode_fetch_stream(request_id, &objects);
+        let Ok(sid) = conn.open_stream(Dir::Uni) else {
+            return;
+        };
+        let mut off = 0;
+        while off < bytes.len() {
+            match conn.send_stream(sid, &bytes[off..]) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => off += n,
+            }
+        }
+        let _ = conn.finish_stream(sid);
+    }
+
+    /// Declines a peer's FETCH.
+    pub fn reject_fetch(
+        &mut self,
+        conn: &mut Connection,
+        request_id: u64,
+        code: u64,
+        reason: &str,
+    ) {
+        let msg = ControlMessage::FetchError {
+            request_id,
+            code,
+            reason: reason.to_string(),
+        };
+        self.send_control(conn, &msg);
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing
+    // ------------------------------------------------------------------
+
+    /// Next session event, if any.
+    pub fn poll_event(&mut self) -> Option<SessionEvent> {
+        self.events.pop_front()
+    }
+
+    /// Feeds a connection event into the session.
+    pub fn on_conn_event(&mut self, conn: &mut Connection, ev: &QuicEvent) {
+        match ev {
+            QuicEvent::StreamOpened { id } => {
+                if id.dir() == Dir::Bi && !self.is_client && self.control_stream.is_none() {
+                    // First peer bidi stream is the control stream.
+                    self.control_stream = Some(*id);
+                } else if id.dir() == Dir::Uni {
+                    self.data_rx.insert(*id, Vec::new());
+                }
+            }
+            QuicEvent::StreamReadable { id } => {
+                if Some(*id) == self.control_stream {
+                    self.pump_control(conn);
+                } else if self.data_rx.contains_key(id) {
+                    self.pump_data(conn, *id);
+                }
+            }
+            QuicEvent::DatagramReceived(d) => {
+                if let Ok(dg) = ObjectDatagram::decode(d) {
+                    if let Some(&sub) = self.alias_to_sub.get(&dg.track_alias) {
+                        self.events.push_back(SessionEvent::SubscriptionObject {
+                            request_id: sub,
+                            object: dg.object,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn pump_control(&mut self, conn: &mut Connection) {
+        let Some(cs) = self.control_stream else { return };
+        loop {
+            match conn.read_stream(cs, 65_536) {
+                Ok((data, _fin)) if !data.is_empty() => {
+                    self.control_rx.extend_from_slice(&data)
+                }
+                _ => break,
+            }
+        }
+        loop {
+            match ControlMessage::decode(&self.control_rx) {
+                Ok(Some((msg, used))) => {
+                    self.control_rx.drain(..used);
+                    self.handle_control(conn, msg);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.events
+                        .push_back(SessionEvent::ProtocolViolation("bad control message"));
+                    self.control_rx.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn handle_control(&mut self, conn: &mut Connection, msg: ControlMessage) {
+        match msg {
+            ControlMessage::ClientSetup { versions, .. } => {
+                if self.is_client || self.ready {
+                    self.events
+                        .push_back(SessionEvent::ProtocolViolation("unexpected CLIENT_SETUP"));
+                    return;
+                }
+                // Select the highest version both sides support.
+                let ours = &self.config.versions;
+                let Some(v) = versions.iter().filter(|v| ours.contains(v)).max().copied()
+                else {
+                    self.events
+                        .push_back(SessionEvent::ProtocolViolation("no common version"));
+                    return;
+                };
+                let reply = ControlMessage::ServerSetup {
+                    version: v,
+                    max_request_id: self.config.max_request_id,
+                };
+                self.send_control(conn, &reply);
+                self.ready = true;
+                self.version = Some(v);
+                self.events.push_back(SessionEvent::Ready { version: v });
+            }
+            ControlMessage::ServerSetup { version, .. } => {
+                if !self.is_client || self.ready {
+                    self.events
+                        .push_back(SessionEvent::ProtocolViolation("unexpected SERVER_SETUP"));
+                    return;
+                }
+                self.ready = true;
+                self.version = Some(version);
+                let queued = std::mem::take(&mut self.queued_control);
+                for msg in queued {
+                    self.send_control(conn, &msg);
+                }
+                self.events.push_back(SessionEvent::Ready { version });
+            }
+            ControlMessage::Subscribe {
+                request_id,
+                track_alias,
+                track,
+                filter: _,
+            } => {
+                self.peer_subs.insert(
+                    request_id,
+                    PeerSub {
+                        track: track.clone(),
+                        track_alias,
+                        accepted: false,
+                    },
+                );
+                self.events
+                    .push_back(SessionEvent::IncomingSubscribe { request_id, track });
+            }
+            ControlMessage::SubscribeOk {
+                request_id,
+                largest,
+                ..
+            } => {
+                self.events.push_back(SessionEvent::SubscribeAccepted {
+                    request_id,
+                    largest,
+                });
+            }
+            ControlMessage::SubscribeError {
+                request_id,
+                code,
+                reason,
+            } => {
+                if let Some(sub) = self.my_subs.remove(&request_id) {
+                    self.alias_to_sub.remove(&sub.track_alias);
+                }
+                self.events.push_back(SessionEvent::SubscribeRejected {
+                    request_id,
+                    code,
+                    reason,
+                });
+            }
+            ControlMessage::Unsubscribe { request_id } => {
+                self.peer_subs.remove(&request_id);
+                self.events
+                    .push_back(SessionEvent::PeerUnsubscribed { request_id });
+            }
+            ControlMessage::SubscribeDone {
+                request_id,
+                code,
+                reason,
+            } => {
+                if let Some(sub) = self.my_subs.remove(&request_id) {
+                    self.alias_to_sub.remove(&sub.track_alias);
+                }
+                self.events.push_back(SessionEvent::SubscriptionEnded {
+                    request_id,
+                    code,
+                    reason,
+                });
+            }
+            ControlMessage::Fetch { request_id, fetch } => {
+                let kind = match fetch {
+                    FetchType::StandAlone {
+                        track,
+                        start_group,
+                        end_group,
+                        ..
+                    } => IncomingFetchKind::StandAlone {
+                        track,
+                        start_group,
+                        end_group,
+                    },
+                    FetchType::RelativeJoining {
+                        joining_request_id,
+                        joining_start,
+                    } => {
+                        let Some(sub) = self.peer_subs.get(&joining_request_id) else {
+                            self.reject_fetch(conn, request_id, 0x8, "unknown joining subscription");
+                            return;
+                        };
+                        IncomingFetchKind::Joining {
+                            joining_request_id,
+                            offset: joining_start,
+                            track: sub.track.clone(),
+                        }
+                    }
+                };
+                self.events
+                    .push_back(SessionEvent::IncomingFetch { request_id, kind });
+            }
+            ControlMessage::FetchOk {
+                request_id,
+                largest,
+            } => {
+                self.events.push_back(SessionEvent::FetchAccepted {
+                    request_id,
+                    largest,
+                });
+            }
+            ControlMessage::FetchError {
+                request_id,
+                code,
+                reason,
+            } => {
+                self.my_fetches.remove(&request_id);
+                self.events.push_back(SessionEvent::FetchRejected {
+                    request_id,
+                    code,
+                    reason,
+                });
+            }
+            ControlMessage::FetchCancel { request_id: _ } => {}
+            ControlMessage::Announce { request_id, .. } => {
+                // Minimal handling: acknowledge (relays use this upstream).
+                self.send_control(conn, &ControlMessage::AnnounceOk { request_id });
+            }
+            ControlMessage::AnnounceOk { .. }
+            | ControlMessage::AnnounceError { .. }
+            | ControlMessage::Unannounce { .. }
+            | ControlMessage::MaxRequestId { .. } => {}
+            ControlMessage::GoAway { uri } => {
+                self.events.push_back(SessionEvent::GoAway { uri });
+            }
+        }
+    }
+
+    fn pump_data(&mut self, conn: &mut Connection, id: StreamId) {
+        let finished = loop {
+            match conn.read_stream(id, 65_536) {
+                Ok((data, fin)) => {
+                    if let Some(buf) = self.data_rx.get_mut(&id) {
+                        buf.extend_from_slice(&data);
+                    }
+                    if fin {
+                        break true;
+                    }
+                    if data.is_empty() {
+                        break false;
+                    }
+                }
+                Err(_) => break false,
+            }
+        };
+        if !finished {
+            return;
+        }
+        let Some(buf) = self.data_rx.remove(&id) else { return };
+        match decode_data_stream(&buf) {
+            Ok(DataStream::Subgroup { header, objects }) => {
+                if let Some(&sub) = self.alias_to_sub.get(&header.track_alias) {
+                    for object in objects {
+                        self.events.push_back(SessionEvent::SubscriptionObject {
+                            request_id: sub,
+                            object,
+                        });
+                    }
+                }
+            }
+            Ok(DataStream::Fetch {
+                request_id,
+                objects,
+            }) => {
+                if self.my_fetches.remove(&request_id).is_some() {
+                    self.events.push_back(SessionEvent::FetchObjects {
+                        request_id,
+                        objects,
+                    });
+                }
+            }
+            Err(_) => self
+                .events
+                .push_back(SessionEvent::ProtocolViolation("bad data stream")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqdns_netsim::SimTime;
+    use moqdns_quic::TransportConfig;
+    use std::time::Duration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn track() -> FullTrackName {
+        FullTrackName::new(
+            vec![vec![0x01], vec![0x00, 0x01], vec![0x00, 0x01]],
+            b"\x07example\x03com\x00".to_vec(),
+        )
+        .unwrap()
+    }
+
+    /// A test rig: two connections + two sessions shuttling datagrams.
+    struct Rig {
+        c_conn: Connection,
+        s_conn: Connection,
+        pub client: Session,
+        pub server: Session,
+        now: SimTime,
+    }
+
+    impl Rig {
+        fn new() -> Rig {
+            let alpn = vec![crate::MOQT_ALPN.to_vec()];
+            let mut c_conn =
+                Connection::client(1, TransportConfig::default(), alpn.clone(), None, t(0));
+            let s_conn = Connection::server(1, TransportConfig::default(), alpn, 7, t(0));
+            let mut client = Session::client(SessionConfig::default());
+            client.start(&mut c_conn);
+            let mut rig = Rig {
+                c_conn,
+                s_conn,
+                client,
+                server: Session::server(SessionConfig::default()),
+                now: t(0),
+            };
+            rig.run();
+            rig
+        }
+
+        /// Shuttles until both quiet, pumping events through the sessions.
+        fn run(&mut self) {
+            for _ in 0..64 {
+                let mut moved = false;
+                let mut c2s = Vec::new();
+                while let Some(d) = self.c_conn.poll_transmit(self.now) {
+                    c2s.push(d);
+                }
+                let mut s2c = Vec::new();
+                while let Some(d) = self.s_conn.poll_transmit(self.now) {
+                    s2c.push(d);
+                }
+                if !c2s.is_empty() || !s2c.is_empty() {
+                    moved = true;
+                    self.now = self.now + Duration::from_millis(10);
+                    for d in c2s {
+                        self.s_conn.handle_datagram(self.now, &d);
+                    }
+                    for d in s2c {
+                        self.c_conn.handle_datagram(self.now, &d);
+                    }
+                }
+                // Pump connection events into sessions.
+                while let Some(ev) = self.c_conn.poll_event() {
+                    self.client.on_conn_event(&mut self.c_conn, &ev);
+                }
+                while let Some(ev) = self.s_conn.poll_event() {
+                    self.server.on_conn_event(&mut self.s_conn, &ev);
+                }
+                if !moved {
+                    break;
+                }
+            }
+        }
+
+        fn client_events(&mut self) -> Vec<SessionEvent> {
+            let mut out = Vec::new();
+            while let Some(e) = self.client.poll_event() {
+                out.push(e);
+            }
+            out
+        }
+
+        fn server_events(&mut self) -> Vec<SessionEvent> {
+            let mut out = Vec::new();
+            while let Some(e) = self.server.poll_event() {
+                out.push(e);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn setup_negotiates_version() {
+        let mut rig = Rig::new();
+        assert!(rig.client.is_ready());
+        assert!(rig.server.is_ready());
+        assert_eq!(rig.client.version(), Some(crate::MOQT_VERSION));
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(e, SessionEvent::Ready { .. })));
+        let sev = rig.server_events();
+        assert!(sev.iter().any(|e| matches!(e, SessionEvent::Ready { .. })));
+    }
+
+    #[test]
+    fn subscribe_accept_publish_flow() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+
+        let sub_id = rig.client.subscribe(&mut rig.c_conn, track());
+        rig.run();
+        let sev = rig.server_events();
+        let req = sev
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingSubscribe { request_id, track: tr } => {
+                    assert_eq!(*tr, track());
+                    Some(*request_id)
+                }
+                _ => None,
+            })
+            .expect("incoming subscribe");
+
+        rig.server
+            .accept_subscribe(&mut rig.s_conn, req, Some((17, 0)));
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            SessionEvent::SubscribeAccepted { request_id, largest: Some((17, 0)) }
+            if *request_id == sub_id
+        )));
+
+        // Publish an update (a new group = new zone version).
+        let ok = rig.server.publish(
+            &mut rig.s_conn,
+            req,
+            Object {
+                group_id: 18,
+                object_id: 0,
+                payload: b"new dns response".to_vec(),
+            },
+        );
+        assert!(ok);
+        rig.run();
+        let cev = rig.client_events();
+        let got = cev
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::SubscriptionObject { request_id, object } if *request_id == sub_id => {
+                    Some(object.clone())
+                }
+                _ => None,
+            })
+            .expect("pushed object");
+        assert_eq!(got.group_id, 18);
+        assert_eq!(got.object_id, 0);
+        assert_eq!(got.payload, b"new dns response");
+    }
+
+    #[test]
+    fn joining_fetch_returns_current_version() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+
+        let (sub_id, fetch_id) =
+            rig.client
+                .subscribe_with_joining_fetch(&mut rig.c_conn, track(), 1);
+        rig.run();
+        let sev = rig.server_events();
+        let sub_req = sev
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingSubscribe { request_id, .. } => Some(*request_id),
+                _ => None,
+            })
+            .unwrap();
+        let (fetch_req, kind) = sev
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingFetch { request_id, kind } => {
+                    Some((*request_id, kind.clone()))
+                }
+                _ => None,
+            })
+            .unwrap();
+        match kind {
+            IncomingFetchKind::Joining {
+                joining_request_id,
+                offset,
+                track: tr,
+            } => {
+                assert_eq!(joining_request_id, sub_req);
+                assert_eq!(offset, 1);
+                assert_eq!(tr, track());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Server: accept subscription at version 5, answer fetch with v5.
+        rig.server
+            .accept_subscribe(&mut rig.s_conn, sub_req, Some((5, 0)));
+        rig.server.respond_fetch(
+            &mut rig.s_conn,
+            fetch_req,
+            (5, 0),
+            vec![Object {
+                group_id: 5,
+                object_id: 0,
+                payload: b"current record".to_vec(),
+            }],
+        );
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(
+            |e| matches!(e, SessionEvent::SubscribeAccepted { request_id, .. } if *request_id == sub_id)
+        ));
+        assert!(cev.iter().any(
+            |e| matches!(e, SessionEvent::FetchAccepted { request_id, largest: (5, 0) } if *request_id == fetch_id)
+        ));
+        let objs = cev
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::FetchObjects { request_id, objects } if *request_id == fetch_id => {
+                    Some(objects.clone())
+                }
+                _ => None,
+            })
+            .expect("fetch objects");
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].group_id, 5);
+        assert_eq!(objs[0].payload, b"current record");
+    }
+
+    #[test]
+    fn subscribe_rejection_surfaces() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        let sub_id = rig.client.subscribe(&mut rig.c_conn, track());
+        rig.run();
+        let req = rig
+            .server_events()
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingSubscribe { request_id, .. } => Some(*request_id),
+                _ => None,
+            })
+            .unwrap();
+        rig.server
+            .reject_subscribe(&mut rig.s_conn, req, 0x4, "no MoQT upstream");
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            SessionEvent::SubscribeRejected { request_id, code: 0x4, reason }
+            if *request_id == sub_id && reason == "no MoQT upstream"
+        )));
+        assert_eq!(rig.client.subscription_count(), 0);
+    }
+
+    #[test]
+    fn unsubscribe_notifies_publisher() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        let sub_id = rig.client.subscribe(&mut rig.c_conn, track());
+        rig.run();
+        let req = rig
+            .server_events()
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingSubscribe { request_id, .. } => Some(*request_id),
+                _ => None,
+            })
+            .unwrap();
+        rig.server.accept_subscribe(&mut rig.s_conn, req, None);
+        rig.run();
+        rig.client_events();
+
+        rig.client.unsubscribe(&mut rig.c_conn, sub_id);
+        rig.run();
+        let sev = rig.server_events();
+        assert!(sev
+            .iter()
+            .any(|e| matches!(e, SessionEvent::PeerUnsubscribed { request_id } if *request_id == req)));
+        assert_eq!(rig.server.peer_subscription_count(), 0);
+        // Publishing to a dead subscription fails.
+        assert!(!rig.server.publish(
+            &mut rig.s_conn,
+            req,
+            Object {
+                group_id: 1,
+                object_id: 0,
+                payload: vec![]
+            }
+        ));
+    }
+
+    #[test]
+    fn subscribe_done_ends_subscription() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        let sub_id = rig.client.subscribe(&mut rig.c_conn, track());
+        rig.run();
+        let req = rig
+            .server_events()
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingSubscribe { request_id, .. } => Some(*request_id),
+                _ => None,
+            })
+            .unwrap();
+        rig.server.accept_subscribe(&mut rig.s_conn, req, None);
+        rig.run();
+        rig.client_events();
+        rig.server.subscribe_done(&mut rig.s_conn, req, 0, "zone gone");
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            SessionEvent::SubscriptionEnded { request_id, .. } if *request_id == sub_id
+        )));
+        assert_eq!(rig.client.subscription_count(), 0);
+    }
+
+    #[test]
+    fn fetch_rejection_surfaces() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        let fetch_id = rig.client.fetch(&mut rig.c_conn, track(), 1, 5);
+        rig.run();
+        let req = rig
+            .server_events()
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingFetch { request_id, .. } => Some(*request_id),
+                _ => None,
+            })
+            .unwrap();
+        rig.server
+            .reject_fetch(&mut rig.s_conn, req, 0x5, "no such track");
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            SessionEvent::FetchRejected { request_id, .. } if *request_id == fetch_id
+        )));
+    }
+
+    #[test]
+    fn joining_fetch_for_unknown_subscription_rejected() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        // Forge a joining fetch with a bogus joining id.
+        let fetch_id = {
+            let id = rig.client.alloc_request_id();
+            rig.client.my_fetches.insert(id, ());
+            let msg = ControlMessage::Fetch {
+                request_id: id,
+                fetch: FetchType::RelativeJoining {
+                    joining_request_id: 999,
+                    joining_start: 1,
+                },
+            };
+            rig.client.send_control(&mut rig.c_conn, &msg);
+            id
+        };
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            SessionEvent::FetchRejected { request_id, .. } if *request_id == fetch_id
+        )));
+    }
+
+    #[test]
+    fn datagram_objects_for_ablation() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        let sub_id = rig.client.subscribe(&mut rig.c_conn, track());
+        rig.run();
+        let req = rig
+            .server_events()
+            .iter()
+            .find_map(|e| match e {
+                SessionEvent::IncomingSubscribe { request_id, .. } => Some(*request_id),
+                _ => None,
+            })
+            .unwrap();
+        rig.server.accept_subscribe(&mut rig.s_conn, req, None);
+        rig.run();
+        rig.client_events();
+        assert!(rig.server.publish_datagram(
+            &mut rig.s_conn,
+            req,
+            Object {
+                group_id: 3,
+                object_id: 0,
+                payload: b"dg".to_vec()
+            }
+        ));
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            SessionEvent::SubscriptionObject { request_id, object }
+            if *request_id == sub_id && object.payload == b"dg"
+        )));
+    }
+
+    #[test]
+    fn state_size_grows_with_subscriptions() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        let base = rig.client.state_size_estimate();
+        for _ in 0..10 {
+            rig.client.subscribe(&mut rig.c_conn, track());
+        }
+        assert!(rig.client.state_size_estimate() > base);
+        assert_eq!(rig.client.subscription_count(), 10);
+    }
+}

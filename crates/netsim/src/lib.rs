@@ -1,0 +1,32 @@
+//! # moqdns-netsim
+//!
+//! A deterministic discrete-event network simulator.
+//!
+//! Every protocol component in this workspace (QUIC-like transport, MoQT,
+//! DNS) is a sans-io state machine; this crate supplies the virtual world
+//! they run in for experiments and integration tests:
+//!
+//! * virtual time ([`SimTime`]) as nanoseconds since simulation start — no
+//!   wall-clock reads anywhere, so runs are exactly reproducible from a seed;
+//! * an event scheduler with timers and arbitrary scheduled closures;
+//! * nodes ([`Node`]) exchanging datagrams over configurable links
+//!   ([`LinkConfig`]: propagation delay, jitter, random loss, serialization
+//!   rate, MTU);
+//! * per-directed-pair traffic accounting ([`TrafficStats`]) used by the
+//!   update-traffic experiments.
+//!
+//! The design follows the event-driven idiom of stacks like smoltcp: nodes
+//! are polled with events (`on_datagram`, `on_timer`) and react by calling
+//! back into their [`Ctx`] to transmit or arm timers.
+
+pub mod link;
+pub mod node;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use link::LinkConfig;
+pub use node::{Addr, Ctx, Node, NodeId};
+pub use sim::Simulator;
+pub use stats::{LinkStats, TrafficStats};
+pub use time::SimTime;

@@ -1,0 +1,139 @@
+//! Node trait, addressing, and the per-event context handle.
+
+use crate::sim::SimCore;
+use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
+use std::time::Duration;
+
+/// Identifier of a node in the simulation (index into the node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds a `NodeId` from its raw index. Ids are dense indices handed
+    /// out by [`Simulator::add_node`](crate::Simulator::add_node); this
+    /// exists so higher layers can derive ids from synthetic IP addresses.
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A network address: node plus a 16-bit port.
+///
+/// Ports let one node host several independent endpoints (e.g. a resolver
+/// that speaks classic DNS on port 53 and MoQT-over-QUIC on port 853).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// Destination node.
+    pub node: NodeId,
+    /// Port on that node.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Convenience constructor.
+    pub fn new(node: NodeId, port: u16) -> Addr {
+        Addr { node, port }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:{}", self.node.0, self.port)
+    }
+}
+
+/// A simulated host. Implementations are event-driven state machines.
+///
+/// The simulator owns the node and calls it back with datagrams and timers;
+/// the node reacts through the supplied [`Ctx`]. Nodes must also expose
+/// themselves as `Any` so experiments can reach their concrete state between
+/// or after events (see [`Simulator::with_node`](crate::Simulator::with_node)).
+pub trait Node: Any {
+    /// Called once when the simulation starts running.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A datagram arrived, addressed to `to_port` on this node.
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>);
+
+    /// A timer armed via [`Ctx::set_timer`] fired. `token` is the caller's
+    /// value; spurious wakeups after re-arming are possible and must be
+    /// tolerated (check your own deadlines — the sans-io idiom).
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Upcast for experiment access to concrete node state.
+    fn as_any(&mut self) -> &mut dyn Any;
+    /// Shared upcast.
+    fn as_any_ref(&self) -> &dyn Any;
+}
+
+/// Handle given to a node while it processes an event.
+///
+/// All interaction with the world goes through this: sending datagrams,
+/// arming timers, reading the clock, drawing randomness.
+pub struct Ctx<'a> {
+    pub(crate) core: &'a mut SimCore,
+    pub(crate) node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The node this context belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Sends a datagram from `from_port` on this node to `to`.
+    ///
+    /// Delivery (or loss) is governed by the link configuration between the
+    /// two nodes; see [`LinkConfig`](crate::LinkConfig).
+    pub fn send(&mut self, from_port: u16, to: Addr, payload: Vec<u8>) {
+        let from = Addr::new(self.node, from_port);
+        self.core.transmit(from, to, payload);
+    }
+
+    /// Arms a timer to fire on this node after `after`, delivering `token`
+    /// to [`Node::on_timer`]. Returns an id usable with [`Ctx::cancel_timer`].
+    pub fn set_timer(&mut self, after: Duration, token: u64) -> u64 {
+        self.core.set_timer(self.node, after, token)
+    }
+
+    /// Cancels a previously armed timer. Cancelling an already-fired timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, timer_id: u64) {
+        self.core.cancel_timer(timer_id);
+    }
+
+    /// Draws a uniformly distributed `u64` from the simulation RNG.
+    pub fn random_u64(&mut self) -> u64 {
+        self.core.random_u64()
+    }
+
+    /// Draws a uniform float in `[0, 1)` from the simulation RNG.
+    pub fn random_f64(&mut self) -> f64 {
+        self.core.random_f64()
+    }
+
+    /// Records a trace line attributed to this node (no-op unless tracing
+    /// was enabled on the simulator).
+    pub fn trace(&mut self, msg: impl Into<String>) {
+        let node = self.node;
+        self.core.trace(node, msg.into());
+    }
+}

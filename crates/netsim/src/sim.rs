@@ -1,0 +1,607 @@
+//! The event loop: scheduler, link emulation, node dispatch.
+
+use crate::link::LinkConfig;
+use crate::node::{Addr, Ctx, Node, NodeId};
+use crate::stats::TrafficStats;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::time::Duration;
+
+/// What a scheduled event does when it fires.
+enum EventKind {
+    /// Deliver a datagram to `to.node`.
+    Deliver { from: Addr, to: Addr, payload: Vec<u8> },
+    /// Fire a timer on a node.
+    Timer { node: NodeId, token: u64, timer_id: u64 },
+    /// Run an arbitrary closure against the whole simulator (used by
+    /// experiment scripts: "at t=5s, update the zone").
+    Call(Box<dyn FnOnce(&mut Simulator)>),
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+// Order by (time, seq); seq breaks ties FIFO for determinism.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Everything the simulator owns except the nodes themselves. Nodes receive
+/// `&mut SimCore` through [`Ctx`] while they are temporarily detached from
+/// the node table, which is what makes mutable re-entrancy safe.
+pub(crate) struct SimCore {
+    pub(crate) now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    rng: StdRng,
+    default_link: LinkConfig,
+    links: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// FIFO serialization horizon per directed pair.
+    busy_until: HashMap<(NodeId, NodeId), SimTime>,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    pub(crate) stats: TrafficStats,
+    tracing: bool,
+    trace_log: Vec<(SimTime, NodeId, String)>,
+}
+
+impl SimCore {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    fn link_config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
+        self.links
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    pub(crate) fn transmit(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
+        let cfg = self.link_config(from.node, to.node);
+        let len = payload.len();
+        self.stats.record_sent(from.node, to.node, len);
+
+        if cfg.mtu != 0 && len > cfg.mtu {
+            self.stats.record_mtu_drop(from.node, to.node);
+            return;
+        }
+        if cfg.loss > 0.0 && self.rng.random::<f64>() < cfg.loss {
+            self.stats.record_loss(from.node, to.node);
+            return;
+        }
+
+        // Store-and-forward: serialization occupies the link FIFO.
+        let key = (from.node, to.node);
+        let free_at = self.busy_until.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let start = self.now.max(free_at);
+        let tx_done = start + cfg.serialization(len);
+        self.busy_until.insert(key, tx_done);
+
+        let jitter = if cfg.jitter > Duration::ZERO {
+            let ns = self.rng.random_range(0..=cfg.jitter.as_nanos() as u64);
+            Duration::from_nanos(ns)
+        } else {
+            Duration::ZERO
+        };
+        let arrival = tx_done + cfg.delay + jitter;
+        self.push(arrival, EventKind::Deliver { from, to, payload });
+    }
+
+    pub(crate) fn set_timer(&mut self, node: NodeId, after: Duration, token: u64) -> u64 {
+        let timer_id = self.next_timer_id;
+        self.next_timer_id += 1;
+        let at = self.now + after;
+        self.push(at, EventKind::Timer { node, token, timer_id });
+        timer_id
+    }
+
+    pub(crate) fn cancel_timer(&mut self, timer_id: u64) {
+        self.cancelled_timers.insert(timer_id);
+    }
+
+    pub(crate) fn random_u64(&mut self) -> u64 {
+        self.rng.random()
+    }
+
+    pub(crate) fn random_f64(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    pub(crate) fn trace(&mut self, node: NodeId, msg: String) {
+        if self.tracing {
+            self.trace_log.push((self.now, node, msg));
+        }
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// ```
+/// use moqdns_netsim::{Simulator, Node, Ctx, Addr, LinkConfig};
+/// use std::any::Any;
+/// use std::time::Duration;
+///
+/// /// Replies to every datagram with its payload reversed.
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, mut p: Vec<u8>) {
+///         p.reverse();
+///         ctx.send(to_port, from, p);
+///     }
+///     fn as_any(&mut self) -> &mut dyn Any { self }
+///     fn as_any_ref(&self) -> &dyn Any { self }
+/// }
+///
+/// /// Sends one probe and remembers the reply.
+/// struct Probe { peer: Option<Addr>, reply: Option<Vec<u8>> }
+/// impl Node for Probe {
+///     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+///         let peer = self.peer.unwrap();
+///         ctx.send(1000, peer, b"ping".to_vec());
+///     }
+///     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: Addr, _to: u16, p: Vec<u8>) {
+///         self.reply = Some(p);
+///     }
+///     fn as_any(&mut self) -> &mut dyn Any { self }
+///     fn as_any_ref(&self) -> &dyn Any { self }
+/// }
+///
+/// let mut sim = Simulator::new(7);
+/// sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(10)));
+/// let echo = sim.add_node("echo", Box::new(Echo));
+/// let probe = sim.add_node("probe", Box::new(Probe {
+///     peer: Some(Addr::new(echo, 53)), reply: None,
+/// }));
+/// sim.run_until_idle();
+/// assert_eq!(sim.now().as_millis(), 20); // one round trip
+/// let reply = sim.node_ref::<Probe>(probe).reply.clone();
+/// assert_eq!(reply.as_deref(), Some(&b"gnip"[..]));
+/// ```
+pub struct Simulator {
+    core: SimCore,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    names: Vec<String>,
+}
+
+impl Simulator {
+    /// Creates a simulator seeded with `seed`. Identical seeds and identical
+    /// event sequences produce bit-identical runs.
+    pub fn new(seed: u64) -> Simulator {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                rng: StdRng::seed_from_u64(seed),
+                default_link: LinkConfig::default(),
+                links: HashMap::new(),
+                busy_until: HashMap::new(),
+                cancelled_timers: HashSet::new(),
+                next_timer_id: 0,
+                stats: TrafficStats::default(),
+                tracing: false,
+                trace_log: Vec::new(),
+            },
+            nodes: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Enables in-memory event tracing (see [`Simulator::trace_log`]).
+    pub fn enable_tracing(&mut self) {
+        self.core.tracing = true;
+    }
+
+    /// The recorded trace: `(time, node, message)` triples.
+    pub fn trace_log(&self) -> &[(SimTime, NodeId, String)] {
+        &self.core.trace_log
+    }
+
+    /// Adds a node; its `on_start` runs at the current simulation time when
+    /// the event loop next executes.
+    pub fn add_node(&mut self, name: impl Into<String>, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.names.push(name.into());
+        // Defer on_start through the queue so ordering is deterministic.
+        self.core.push(
+            self.core.now,
+            EventKind::Call(Box::new(move |sim| {
+                sim.dispatch_start(id);
+            })),
+        );
+        id
+    }
+
+    /// Human-readable node name (for traces and experiment output).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Sets the link configuration used for pairs without an override.
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        self.core.default_link = cfg;
+    }
+
+    /// Sets the directed link `src -> dst`.
+    pub fn set_link_directed(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        self.core.links.insert((src, dst), cfg);
+    }
+
+    /// Sets both directions between `a` and `b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.set_link_directed(a, b, cfg);
+        self.set_link_directed(b, a, cfg);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Traffic counters for the run so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.core.stats
+    }
+
+    /// Mutable traffic counters (e.g. to reset after warm-up).
+    pub fn stats_mut(&mut self) -> &mut TrafficStats {
+        &mut self.core.stats
+    }
+
+    /// Schedules `f` to run against the simulator at absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulator) + 'static) {
+        let at = at.max(self.core.now);
+        self.core.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Schedules `f` to run `after` from now.
+    pub fn schedule_in(&mut self, after: Duration, f: impl FnOnce(&mut Simulator) + 'static) {
+        let at = self.core.now + after;
+        self.core.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Runs `f` with mutable access to the concrete node `T` at `id` plus a
+    /// [`Ctx`], letting experiments call directly into a node's API ("issue
+    /// this query now") as if an event had been delivered.
+    ///
+    /// Panics if `id` does not refer to a `T` or the node is mid-dispatch.
+    pub fn with_node<T: Node, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R) -> R {
+        let mut node = self.nodes[id.index()]
+            .take()
+            .expect("node is mid-dispatch or removed");
+        let result = {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: id,
+            };
+            let t = node
+                .as_any()
+                .downcast_mut::<T>()
+                .expect("node type mismatch");
+            f(t, &mut ctx)
+        };
+        self.nodes[id.index()] = Some(node);
+        result
+    }
+
+    /// Immutable access to the concrete node `T` at `id`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node is mid-dispatch or removed")
+            .as_any_ref()
+            .downcast_ref::<T>()
+            .expect("node type mismatch")
+    }
+
+    fn dispatch_start(&mut self, id: NodeId) {
+        if let Some(mut node) = self.nodes[id.index()].take() {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node: id,
+            };
+            node.on_start(&mut ctx);
+            self.nodes[id.index()] = Some(node);
+        }
+    }
+
+    /// Executes the next pending event. Returns `false` if the queue was
+    /// empty (time does not advance in that case).
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.core.now, "time went backwards");
+        self.core.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver { from, to, payload } => {
+                if let Some(mut node) = self.nodes[to.node.index()].take() {
+                    self.core
+                        .stats
+                        .record_delivered(from.node, to.node, payload.len());
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node: to.node,
+                    };
+                    node.on_datagram(&mut ctx, from, to.port, payload);
+                    self.nodes[to.node.index()] = Some(node);
+                }
+            }
+            EventKind::Timer { node, token, timer_id } => {
+                if self.core.cancelled_timers.remove(&timer_id) {
+                    return true;
+                }
+                if let Some(mut n) = self.nodes[node.index()].take() {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    n.on_timer(&mut ctx, token);
+                    self.nodes[node.index()] = Some(n);
+                }
+            }
+            EventKind::Call(f) => f(self),
+        }
+        true
+    }
+
+    /// Runs events until the queue is empty or `deadline` is reached; the
+    /// clock ends at the last executed event (or `deadline` if given and
+    /// reached). Returns the number of events executed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.core.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.core.now = self.core.now.max(deadline.min(SimTime::MAX));
+        n
+    }
+
+    /// Runs until no events remain. Returns the number executed. Protocols
+    /// with periodic timers (keep-alives) never go idle — use
+    /// [`Simulator::run_until`] for those.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: Duration) -> u64 {
+        let deadline = self.core.now + d;
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// Test node that records everything it hears and can send on demand.
+    #[derive(Default)]
+    struct Recorder {
+        heard: Vec<(SimTime, Addr, u16, Vec<u8>)>,
+        timer_tokens: Vec<(SimTime, u64)>,
+    }
+
+    impl Node for Recorder {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+            self.heard.push((ctx.now(), from, to_port, payload));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.timer_tokens.push((ctx.now(), token));
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn two_recorders(seed: u64, link: LinkConfig) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(seed);
+        sim.set_default_link(link);
+        let a = sim.add_node("a", Box::<Recorder>::default());
+        let b = sim.add_node("b", Box::<Recorder>::default());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn datagram_arrives_after_delay() {
+        let (mut sim, a, b) =
+            two_recorders(1, LinkConfig::with_delay(Duration::from_millis(30)));
+        sim.with_node::<Recorder, _>(a, |_, ctx| {
+            ctx.send(5, Addr::new(b, 9), vec![1, 2, 3]);
+        });
+        sim.run_until_idle();
+        let heard = &sim.node_ref::<Recorder>(b).heard;
+        assert_eq!(heard.len(), 1);
+        let (t, from, port, data) = &heard[0];
+        assert_eq!(t.as_millis(), 30);
+        assert_eq!(*from, Addr::new(a, 5));
+        assert_eq!(*port, 9);
+        assert_eq!(data, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_sends() {
+        // 1 Mbps: a 125-byte datagram takes 1 ms to serialize.
+        let link = LinkConfig::with_delay(Duration::from_millis(10)).rate_bps(1_000_000);
+        let (mut sim, a, b) = two_recorders(1, link);
+        sim.with_node::<Recorder, _>(a, |_, ctx| {
+            ctx.send(1, Addr::new(b, 1), vec![0; 125]);
+            ctx.send(1, Addr::new(b, 1), vec![0; 125]);
+        });
+        sim.run_until_idle();
+        let heard = &sim.node_ref::<Recorder>(b).heard;
+        assert_eq!(heard.len(), 2);
+        assert_eq!(heard[0].0.as_millis(), 11); // 1 ms tx + 10 ms prop
+        assert_eq!(heard[1].0.as_millis(), 12); // queued behind the first
+    }
+
+    #[test]
+    fn mtu_drops_oversized() {
+        let link = LinkConfig::instant().mtu(100);
+        let (mut sim, a, b) = two_recorders(1, link);
+        sim.with_node::<Recorder, _>(a, |_, ctx| {
+            ctx.send(1, Addr::new(b, 1), vec![0; 101]);
+            ctx.send(1, Addr::new(b, 1), vec![0; 100]);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Recorder>(b).heard.len(), 1);
+        let s = sim.stats().between(a, b);
+        assert_eq!(s.dropped_mtu, 1);
+        assert_eq!(s.delivered, 1);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let link = LinkConfig::instant().loss(1.0);
+        let (mut sim, a, b) = two_recorders(1, link);
+        sim.with_node::<Recorder, _>(a, |_, ctx| {
+            for _ in 0..10 {
+                ctx.send(1, Addr::new(b, 1), vec![0; 10]);
+            }
+        });
+        sim.run_until_idle();
+        assert!(sim.node_ref::<Recorder>(b).heard.is_empty());
+        assert_eq!(sim.stats().between(a, b).dropped_loss, 10);
+    }
+
+    #[test]
+    fn partial_loss_statistics() {
+        let link = LinkConfig::instant().loss(0.5);
+        let (mut sim, a, b) = two_recorders(42, link);
+        for _ in 0..1000 {
+            sim.with_node::<Recorder, _>(a, |_, ctx| {
+                ctx.send(1, Addr::new(b, 1), vec![0; 10]);
+            });
+        }
+        sim.run_until_idle();
+        let got = sim.node_ref::<Recorder>(b).heard.len();
+        // With p=0.5 and n=1000 the delivered count is within [400, 600]
+        // except with negligible probability; the seed makes it exact anyway.
+        assert!((400..=600).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tokens() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::<Recorder>::default());
+        sim.with_node::<Recorder, _>(a, |_, ctx| {
+            ctx.set_timer(Duration::from_millis(20), 2);
+            ctx.set_timer(Duration::from_millis(10), 1);
+            ctx.set_timer(Duration::from_millis(30), 3);
+        });
+        sim.run_until_idle();
+        let toks = &sim.node_ref::<Recorder>(a).timer_tokens;
+        assert_eq!(
+            toks.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(toks[0].0.as_millis(), 10);
+        assert_eq!(toks[2].0.as_millis(), 30);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::<Recorder>::default());
+        let id = sim.with_node::<Recorder, _>(a, |_, ctx| {
+            ctx.set_timer(Duration::from_millis(10), 7)
+        });
+        sim.with_node::<Recorder, _>(a, |_, ctx| ctx.cancel_timer(id));
+        sim.run_until_idle();
+        assert!(sim.node_ref::<Recorder>(a).timer_tokens.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::<Recorder>::default());
+        sim.with_node::<Recorder, _>(a, |_, ctx| {
+            ctx.set_timer(Duration::from_millis(10), 1);
+            ctx.set_timer(Duration::from_millis(50), 2);
+        });
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        assert_eq!(sim.node_ref::<Recorder>(a).timer_tokens.len(), 1);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Recorder>(a).timer_tokens.len(), 2);
+    }
+
+    #[test]
+    fn scheduled_calls_run_at_time() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::<Recorder>::default());
+        sim.schedule_in(Duration::from_secs(5), move |sim| {
+            sim.with_node::<Recorder, _>(a, |_, ctx| {
+                let now = ctx.now();
+                ctx.set_timer(Duration::ZERO, now.as_secs_f64() as u64);
+            });
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Recorder>(a).timer_tokens[0].1, 5);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        fn run(seed: u64) -> Vec<u64> {
+            let link = LinkConfig::with_delay(Duration::from_millis(5))
+                .jitter(Duration::from_millis(5))
+                .loss(0.3);
+            let (mut sim, a, b) = two_recorders(seed, link);
+            for _ in 0..100 {
+                sim.with_node::<Recorder, _>(a, |_, ctx| {
+                    ctx.send(1, Addr::new(b, 1), vec![0; 10]);
+                });
+            }
+            sim.run_until_idle();
+            sim.node_ref::<Recorder>(b)
+                .heard
+                .iter()
+                .map(|(t, ..)| t.as_nanos())
+                .collect()
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn node_names() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("alpha", Box::<Recorder>::default());
+        assert_eq!(sim.node_name(a), "alpha");
+    }
+}

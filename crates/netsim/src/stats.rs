@@ -1,0 +1,151 @@
+//! Traffic accounting.
+
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// Counters for one directed node pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Datagrams handed to the link (including ones later dropped).
+    pub datagrams: u64,
+    /// Payload bytes handed to the link (including ones later dropped).
+    pub bytes: u64,
+    /// Datagrams dropped by random loss.
+    pub dropped_loss: u64,
+    /// Datagrams dropped for exceeding the link MTU.
+    pub dropped_mtu: u64,
+    /// Datagrams actually delivered.
+    pub delivered: u64,
+    /// Payload bytes actually delivered.
+    pub delivered_bytes: u64,
+}
+
+/// Per-directed-pair traffic statistics for a simulation run.
+///
+/// The update-traffic experiments (E5–E7) read these to compare the bytes
+/// and message counts of request/response DNS against publish/subscribe.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    pairs: HashMap<(NodeId, NodeId), LinkStats>,
+}
+
+impl TrafficStats {
+    pub(crate) fn record_sent(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
+        let e = self.pairs.entry((src, dst)).or_default();
+        e.datagrams += 1;
+        e.bytes += bytes as u64;
+    }
+
+    pub(crate) fn record_loss(&mut self, src: NodeId, dst: NodeId) {
+        self.pairs.entry((src, dst)).or_default().dropped_loss += 1;
+    }
+
+    pub(crate) fn record_mtu_drop(&mut self, src: NodeId, dst: NodeId) {
+        self.pairs.entry((src, dst)).or_default().dropped_mtu += 1;
+    }
+
+    pub(crate) fn record_delivered(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
+        let e = self.pairs.entry((src, dst)).or_default();
+        e.delivered += 1;
+        e.delivered_bytes += bytes as u64;
+    }
+
+    /// Stats for the directed pair `src -> dst`.
+    pub fn between(&self, src: NodeId, dst: NodeId) -> LinkStats {
+        self.pairs.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes handed to all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.pairs.values().map(|s| s.bytes).sum()
+    }
+
+    /// Total datagrams handed to all links.
+    pub fn total_datagrams(&self) -> u64 {
+        self.pairs.values().map(|s| s.datagrams).sum()
+    }
+
+    /// Total bytes received by `dst` from anyone.
+    pub fn bytes_into(&self, dst: NodeId) -> u64 {
+        self.pairs
+            .iter()
+            .filter(|((_, d), _)| *d == dst)
+            .map(|(_, s)| s.delivered_bytes)
+            .sum()
+    }
+
+    /// Total bytes sent by `src` to anyone.
+    pub fn bytes_out_of(&self, src: NodeId) -> u64 {
+        self.pairs
+            .iter()
+            .filter(|((s, _), _)| *s == src)
+            .map(|(_, st)| st.bytes)
+            .sum()
+    }
+
+    /// Total datagrams received by `dst` from anyone.
+    pub fn datagrams_into(&self, dst: NodeId) -> u64 {
+        self.pairs
+            .iter()
+            .filter(|((_, d), _)| *d == dst)
+            .map(|(_, s)| s.delivered)
+            .sum()
+    }
+
+    /// Iterates over all directed pairs with their stats.
+    pub fn iter(&self) -> impl Iterator<Item = ((NodeId, NodeId), LinkStats)> + '_ {
+        self.pairs.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Resets all counters (e.g. after a warm-up phase).
+    pub fn reset(&mut self) {
+        self.pairs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn accumulates_per_pair() {
+        let mut t = TrafficStats::default();
+        t.record_sent(n(0), n(1), 100);
+        t.record_delivered(n(0), n(1), 100);
+        t.record_sent(n(0), n(1), 50);
+        t.record_loss(n(0), n(1));
+        t.record_sent(n(1), n(0), 10);
+        t.record_delivered(n(1), n(0), 10);
+
+        let s01 = t.between(n(0), n(1));
+        assert_eq!(s01.datagrams, 2);
+        assert_eq!(s01.bytes, 150);
+        assert_eq!(s01.delivered, 1);
+        assert_eq!(s01.delivered_bytes, 100);
+        assert_eq!(s01.dropped_loss, 1);
+
+        assert_eq!(t.total_bytes(), 160);
+        assert_eq!(t.total_datagrams(), 3);
+        assert_eq!(t.bytes_into(n(1)), 100);
+        assert_eq!(t.bytes_out_of(n(0)), 150);
+        assert_eq!(t.datagrams_into(n(0)), 1);
+    }
+
+    #[test]
+    fn unknown_pair_is_zero() {
+        let t = TrafficStats::default();
+        assert_eq!(t.between(n(3), n(4)), LinkStats::default());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut t = TrafficStats::default();
+        t.record_sent(n(0), n(1), 100);
+        t.reset();
+        assert_eq!(t.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Transport configuration.
+
+use std::time::Duration;
+
+/// Tunables for a connection/endpoint.
+///
+/// Defaults are chosen for the DNS-over-MoQT workloads: long-lived,
+/// low-bandwidth sessions that must stay alive across quiet periods
+/// (paper §5.1).
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// RTT estimate used before any sample exists.
+    pub initial_rtt: Duration,
+    /// Connection dies after this long without receiving anything
+    /// (QUIC `max_idle_timeout`).
+    pub max_idle_timeout: Duration,
+    /// If set, send a PING whenever the connection has been quiet this long
+    /// — the liveness testing §5.1 calls for. Must be well under
+    /// `max_idle_timeout` to be useful.
+    pub keep_alive_interval: Option<Duration>,
+    /// Maximum datagram (UDP payload) size we emit.
+    pub max_udp_payload: usize,
+    /// Connection-level flow control window (bytes).
+    pub max_data: u64,
+    /// Per-stream flow control window (bytes).
+    pub max_stream_data: u64,
+    /// How many concurrent streams the peer may open, per direction.
+    pub max_streams: u64,
+    /// Whether we accept DATAGRAM frames (RFC 9221).
+    pub datagrams_enabled: bool,
+    /// Initial congestion window in bytes.
+    pub initial_cwnd: u64,
+    /// Packet-threshold for loss declaration.
+    pub packet_threshold: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            initial_rtt: Duration::from_millis(100),
+            max_idle_timeout: Duration::from_secs(30),
+            keep_alive_interval: None,
+            max_udp_payload: 1350,
+            max_data: 4 * 1024 * 1024,
+            max_stream_data: 1024 * 1024,
+            max_streams: 1024,
+            datagrams_enabled: true,
+            initial_cwnd: 12_000,
+            packet_threshold: 3,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Sets the keep-alive interval (builder style).
+    pub fn keep_alive(mut self, every: Duration) -> Self {
+        self.keep_alive_interval = Some(every);
+        self
+    }
+
+    /// Sets the idle timeout (builder style).
+    pub fn idle_timeout(mut self, t: Duration) -> Self {
+        self.max_idle_timeout = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = TransportConfig::default();
+        assert!(c.max_udp_payload >= 1200);
+        assert!(c.max_stream_data <= c.max_data);
+        assert!(c.keep_alive_interval.is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let c = TransportConfig::default()
+            .keep_alive(Duration::from_secs(5))
+            .idle_timeout(Duration::from_secs(60));
+        assert_eq!(c.keep_alive_interval, Some(Duration::from_secs(5)));
+        assert_eq!(c.max_idle_timeout, Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,1421 @@
+//! The connection state machine.
+//!
+//! Sans-io, quinn-proto style: the driver feeds `handle_datagram` /
+//! `handle_timeout`, drains `poll_transmit` (each call yields one UDP
+//! datagram, possibly with coalesced packets), arms the timer returned by
+//! `poll_timeout`, and consumes application-visible [`Event`]s from
+//! `poll_event`.
+//!
+//! Handshake latency semantics (the properties the paper's §5.2 depends on):
+//!
+//! * fresh connection: ClientHello flies in an Initial packet; application
+//!   data waits for the ServerHello → exactly one RTT of setup;
+//! * resumption with 0-RTT: stream data written before the handshake
+//!   completes is sent in ZeroRtt packets coalesced with the ClientHello —
+//!   the server reads it in the same flight. If the server rejects early
+//!   data it simply never ACKs those packets; normal loss recovery
+//!   retransmits the data as 1-RTT after establishment;
+//! * keep-alives and idle timeout implement §5.1's liveness requirements.
+//!
+//! Transport parameters are not negotiated on the wire: both endpoints are
+//! assumed to run the same [`TransportConfig`] (true everywhere in this
+//! workspace), so each side grants the peer its own configured limits.
+
+use crate::config::TransportConfig;
+use crate::frame::Frame;
+use crate::handshake::{select_alpn, HandshakeMessage, Ticket};
+use crate::packet::{decode_datagram, encode_datagram, Packet, PacketType};
+use crate::recovery::{AckTracker, Recovery, RetxInfo, SentPacket};
+use crate::streams::{Dir, RecvStream, SendStream, StreamId};
+use moqdns_netsim::SimTime;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Which end of the connection we are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Initiator.
+    Client,
+    /// Acceptor.
+    Server,
+}
+
+/// Application-visible connection events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Handshake complete; application data may flow (client: ServerHello
+    /// processed; server: ClientHello processed).
+    Connected {
+        /// Negotiated ALPN protocol.
+        alpn: Vec<u8>,
+        /// For clients that attempted 0-RTT: whether the server accepted.
+        early_data_accepted: Option<bool>,
+    },
+    /// The peer opened a new stream.
+    StreamOpened {
+        /// The new stream's id.
+        id: StreamId,
+    },
+    /// A stream has data (or FIN) available to read.
+    StreamReadable {
+        /// The readable stream.
+        id: StreamId,
+    },
+    /// An unreliable datagram arrived (RFC 9221).
+    DatagramReceived(Vec<u8>),
+    /// The server issued a resumption ticket (client side).
+    TicketIssued(Ticket),
+    /// The connection terminated.
+    Closed {
+        /// Error code (0 = clean).
+        error_code: u64,
+        /// Reason phrase.
+        reason: String,
+        /// True if the peer initiated (or the idle timer fired remotely).
+        by_peer: bool,
+    },
+}
+
+/// Errors from application calls into the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionError {
+    /// The connection is closed.
+    Closed,
+    /// Peer's stream-count limit reached.
+    StreamLimit,
+    /// Unknown stream id.
+    UnknownStream,
+    /// Datagrams are disabled or the payload exceeds the MTU budget.
+    DatagramUnsupported,
+}
+
+impl std::fmt::Display for ConnectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectionError::Closed => write!(f, "connection closed"),
+            ConnectionError::StreamLimit => write!(f, "stream limit reached"),
+            ConnectionError::UnknownStream => write!(f, "unknown stream"),
+            ConnectionError::DatagramUnsupported => write!(f, "datagram unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectionError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Handshaking,
+    Established,
+    Closed,
+}
+
+/// Traffic counters for a connection (used by the overhead experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Packets transmitted.
+    pub packets_sent: u64,
+    /// Packets received (valid ones).
+    pub packets_received: u64,
+    /// UDP payload bytes transmitted.
+    pub bytes_sent: u64,
+    /// UDP payload bytes received.
+    pub bytes_received: u64,
+    /// PING frames sent (keep-alive traffic, §5.1).
+    pub pings_sent: u64,
+}
+
+/// A QUIC-like connection.
+pub struct Connection {
+    side: Side,
+    cid: u64,
+    config: TransportConfig,
+    state: State,
+    created_at: SimTime,
+
+    // --- handshake ---
+    /// Outbound handshake message (CH for clients, SH/Retry for servers).
+    crypto_out: Option<Vec<u8>>,
+    crypto_pending: bool,
+    handshake_processed: bool,
+    alpn_offer: Vec<Vec<u8>>,
+    alpn_supported: Vec<Vec<u8>>,
+    selected_alpn: Option<Vec<u8>>,
+    ticket: Option<Ticket>,
+    ticket_nonce: u64,
+    attempted_early_data: bool,
+    /// ZeroRtt packets that arrived before the ClientHello.
+    early_buffer: Vec<Packet>,
+    accept_early_data: bool,
+
+    // --- packet machinery ---
+    next_pn: u64,
+    recovery: Recovery,
+    acks: AckTracker,
+
+    // --- streams ---
+    send_streams: BTreeMap<StreamId, SendStream>,
+    recv_streams: BTreeMap<StreamId, RecvStream>,
+    next_bi_index: u64,
+    next_uni_index: u64,
+    /// Highest peer-initiated index seen, per direction (for accepting).
+    peer_opened_bi: u64,
+    peer_opened_uni: u64,
+
+    // --- flow control ---
+    /// Peer's connection-level credit for us.
+    peer_max_data: u64,
+    /// Stream bytes we have sent (connection level).
+    data_sent: u64,
+    /// Credit we granted the peer.
+    local_max_data: u64,
+    /// Bytes received (connection level, by highest offsets).
+    data_received: u64,
+    /// Bytes consumed by our application.
+    data_consumed: u64,
+    pending_max_data: bool,
+    pending_max_stream_data: HashSet<StreamId>,
+
+    // --- datagrams ---
+    datagram_queue_out: VecDeque<Vec<u8>>,
+
+    // --- liveness ---
+    last_rx: SimTime,
+    last_tx: SimTime,
+    ping_pending: bool,
+
+    // --- closing ---
+    close_frame: Option<(u64, Vec<u8>)>,
+    close_sent: bool,
+
+    events: VecDeque<Event>,
+    readable_notified: HashSet<StreamId>,
+    stats: ConnStats,
+}
+
+impl Connection {
+    /// Creates a client connection; its first `poll_transmit` emits the
+    /// ClientHello (plus any 0-RTT data written before that call).
+    pub fn client(
+        cid: u64,
+        config: TransportConfig,
+        alpn: Vec<Vec<u8>>,
+        ticket: Option<Ticket>,
+        now: SimTime,
+    ) -> Connection {
+        let attempted_early = ticket.is_some();
+        let ch = HandshakeMessage::ClientHello {
+            alpn: alpn.clone(),
+            ticket: ticket.clone(),
+            early_data: attempted_early,
+        };
+        let mut c = Connection::new(Side::Client, cid, config, now);
+        c.alpn_offer = alpn;
+        c.ticket = ticket;
+        c.attempted_early_data = attempted_early;
+        c.crypto_out = Some(ch.encode());
+        c.crypto_pending = true;
+        c
+    }
+
+    /// Creates a server connection for an incoming Initial packet's cid.
+    /// `ticket_nonce` seeds the resumption ticket this server will issue.
+    pub fn server(
+        cid: u64,
+        config: TransportConfig,
+        supported_alpn: Vec<Vec<u8>>,
+        ticket_nonce: u64,
+        now: SimTime,
+    ) -> Connection {
+        let mut c = Connection::new(Side::Server, cid, config, now);
+        c.alpn_supported = supported_alpn;
+        c.ticket_nonce = ticket_nonce;
+        c
+    }
+
+    fn new(side: Side, cid: u64, config: TransportConfig, now: SimTime) -> Connection {
+        let recovery = Recovery::new(
+            config.initial_rtt,
+            config.initial_cwnd,
+            config.packet_threshold,
+        );
+        Connection {
+            side,
+            cid,
+            state: State::Handshaking,
+            created_at: now,
+            crypto_out: None,
+            crypto_pending: false,
+            handshake_processed: false,
+            alpn_offer: Vec::new(),
+            alpn_supported: Vec::new(),
+            selected_alpn: None,
+            ticket: None,
+            ticket_nonce: 0,
+            attempted_early_data: false,
+            early_buffer: Vec::new(),
+            accept_early_data: true,
+            next_pn: 0,
+            recovery,
+            acks: AckTracker::default(),
+            send_streams: BTreeMap::new(),
+            recv_streams: BTreeMap::new(),
+            next_bi_index: 0,
+            next_uni_index: 0,
+            peer_opened_bi: 0,
+            peer_opened_uni: 0,
+            peer_max_data: config.max_data,
+            data_sent: 0,
+            local_max_data: config.max_data,
+            data_received: 0,
+            data_consumed: 0,
+            pending_max_data: false,
+            pending_max_stream_data: HashSet::new(),
+            datagram_queue_out: VecDeque::new(),
+            last_rx: now,
+            last_tx: now,
+            ping_pending: false,
+            close_frame: None,
+            close_sent: false,
+            events: VecDeque::new(),
+            readable_notified: HashSet::new(),
+            stats: ConnStats::default(),
+            config,
+        }
+    }
+
+    /// This connection's id.
+    pub fn cid(&self) -> u64 {
+        self.cid
+    }
+
+    /// Which side we are.
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == State::Established
+    }
+
+    /// True once the connection terminated.
+    pub fn is_closed(&self) -> bool {
+        self.state == State::Closed
+    }
+
+    /// Negotiated ALPN (after establishment).
+    pub fn alpn(&self) -> Option<&[u8]> {
+        self.selected_alpn.as_deref()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn rtt(&self) -> std::time::Duration {
+        self.recovery.rtt.srtt()
+    }
+
+    /// Server-side policy switch: refuse 0-RTT data (clients then fall back
+    /// to retransmitting it as 1-RTT data — used in tests and ablations).
+    pub fn set_accept_early_data(&mut self, accept: bool) {
+        self.accept_early_data = accept;
+    }
+
+    /// Rough bytes of connection state held (E9 state-overhead experiment):
+    /// stream buffers, recovery ledger, reassembly segments.
+    pub fn state_size_estimate(&self) -> usize {
+        let base = std::mem::size_of::<Connection>();
+        let send: usize = self.send_streams.len() * 256;
+        let recv: usize = self.recv_streams.len() * 256;
+        base + send + recv + self.recovery.tracked() * 64
+    }
+
+    /// Time since creation (diagnostics).
+    pub fn age(&self, now: SimTime) -> std::time::Duration {
+        now - self.created_at
+    }
+
+    // ------------------------------------------------------------------
+    // Application API
+    // ------------------------------------------------------------------
+
+    /// Opens a new locally-initiated stream.
+    pub fn open_stream(&mut self, dir: Dir) -> Result<StreamId, ConnectionError> {
+        if self.state == State::Closed {
+            return Err(ConnectionError::Closed);
+        }
+        let index = match dir {
+            Dir::Bi => &mut self.next_bi_index,
+            Dir::Uni => &mut self.next_uni_index,
+        };
+        if *index >= self.config.max_streams {
+            return Err(ConnectionError::StreamLimit);
+        }
+        let id = StreamId::new(self.side == Side::Client, dir, *index);
+        *index += 1;
+        self.send_streams
+            .insert(id, SendStream::new(self.config.max_stream_data));
+        if dir == Dir::Bi {
+            self.recv_streams
+                .insert(id, RecvStream::new(self.config.max_stream_data));
+        }
+        Ok(id)
+    }
+
+    /// Writes application data to a stream; returns bytes accepted (may be
+    /// short under flow control).
+    pub fn send_stream(&mut self, id: StreamId, data: &[u8]) -> Result<usize, ConnectionError> {
+        if self.state == State::Closed {
+            return Err(ConnectionError::Closed);
+        }
+        let s = self
+            .send_streams
+            .get_mut(&id)
+            .ok_or(ConnectionError::UnknownStream)?;
+        // Connection-level flow control caps total outstanding writes.
+        let conn_budget = self.peer_max_data.saturating_sub(self.data_sent) as usize;
+        let n = s.write(&data[..data.len().min(conn_budget)]);
+        self.data_sent += n as u64;
+        Ok(n)
+    }
+
+    /// Marks a stream finished (FIN).
+    pub fn finish_stream(&mut self, id: StreamId) -> Result<(), ConnectionError> {
+        self.send_streams
+            .get_mut(&id)
+            .ok_or(ConnectionError::UnknownStream)?
+            .finish();
+        Ok(())
+    }
+
+    /// Reads up to `max` bytes from a stream. Returns `(data, finished)`.
+    pub fn read_stream(
+        &mut self,
+        id: StreamId,
+        max: usize,
+    ) -> Result<(Vec<u8>, bool), ConnectionError> {
+        let s = self
+            .recv_streams
+            .get_mut(&id)
+            .ok_or(ConnectionError::UnknownStream)?;
+        let before = s.consumed();
+        let (data, fin) = s.read(max);
+        let delta = s.consumed() - before;
+        self.data_consumed += delta;
+        self.readable_notified.remove(&id);
+        // Replenish flow-control windows when half-consumed.
+        if s.max_stream_data - s.consumed() < self.config.max_stream_data / 2 {
+            s.max_stream_data = s.consumed() + self.config.max_stream_data;
+            self.pending_max_stream_data.insert(id);
+        }
+        if self.local_max_data - self.data_consumed < self.config.max_data / 2 {
+            self.local_max_data = self.data_consumed + self.config.max_data;
+            self.pending_max_data = true;
+        }
+        Ok((data, fin))
+    }
+
+    /// Queues an unreliable datagram (RFC 9221).
+    pub fn send_datagram(&mut self, data: Vec<u8>) -> Result<(), ConnectionError> {
+        if self.state == State::Closed {
+            return Err(ConnectionError::Closed);
+        }
+        if !self.config.datagrams_enabled || data.len() + 32 > self.config.max_udp_payload {
+            return Err(ConnectionError::DatagramUnsupported);
+        }
+        self.datagram_queue_out.push_back(data);
+        Ok(())
+    }
+
+    /// Closes the connection with an error code and reason.
+    pub fn close(&mut self, error_code: u64, reason: &str) {
+        if self.state == State::Closed {
+            return;
+        }
+        self.close_frame = Some((error_code, reason.as_bytes().to_vec()));
+        self.state = State::Closed;
+        self.events.push_back(Event::Closed {
+            error_code,
+            reason: reason.to_string(),
+            by_peer: false,
+        });
+    }
+
+    /// Next application event, if any.
+    pub fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    // ------------------------------------------------------------------
+    // Datagram ingest
+    // ------------------------------------------------------------------
+
+    /// Processes one incoming UDP datagram.
+    pub fn handle_datagram(&mut self, now: SimTime, data: &[u8]) {
+        if self.state == State::Closed && self.close_sent {
+            return;
+        }
+        let Ok(packets) = decode_datagram(data) else {
+            return; // garbage is dropped silently
+        };
+        self.stats.bytes_received += data.len() as u64;
+        self.last_rx = now;
+        for p in packets {
+            self.handle_packet(now, p);
+        }
+    }
+
+    fn handle_packet(&mut self, now: SimTime, p: Packet) {
+        if p.dcid != self.cid {
+            return;
+        }
+        // 0-RTT before the ClientHello: buffer (loss/reorder of the CH).
+        if self.side == Side::Server
+            && p.ty == PacketType::ZeroRtt
+            && !self.handshake_processed
+        {
+            self.early_buffer.push(p);
+            return;
+        }
+        if !self.acks.on_packet(p.pn) {
+            return; // duplicate packet
+        }
+        self.stats.packets_received += 1;
+        let mut ack_eliciting = false;
+        for f in p.frames {
+            if f.is_ack_eliciting() {
+                ack_eliciting = true;
+            }
+            self.handle_frame(now, f, p.ty);
+        }
+        if ack_eliciting {
+            self.acks.ack_pending = true;
+        }
+        // A freshly processed ClientHello unlocks buffered early data.
+        if self.handshake_processed && !self.early_buffer.is_empty() {
+            let buffered = std::mem::take(&mut self.early_buffer);
+            for p in buffered {
+                self.handle_packet(now, p);
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, now: SimTime, f: Frame, pty: PacketType) {
+        match f {
+            Frame::Padding | Frame::Ping => {}
+            Frame::Ack { ranges } => {
+                let ev = self.recovery.on_ack_received(now, &ranges);
+                self.requeue_lost(ev.lost);
+            }
+            Frame::Crypto { data, .. } => self.handle_crypto(&data),
+            Frame::Stream {
+                id,
+                offset,
+                fin,
+                data,
+            } => self.handle_stream_frame(id, offset, fin, &data, pty),
+            Frame::ResetStream { id, .. } => {
+                if let Some(s) = self.recv_streams.get_mut(&id) {
+                    s.reset = Some(0);
+                    if self.readable_notified.insert(id) {
+                        self.events.push_back(Event::StreamReadable { id });
+                    }
+                }
+            }
+            Frame::StopSending { id, .. } => {
+                if let Some(s) = self.send_streams.get_mut(&id) {
+                    s.reset = true;
+                }
+            }
+            Frame::MaxData { max } => {
+                self.peer_max_data = self.peer_max_data.max(max);
+            }
+            Frame::MaxStreamData { id, max } => {
+                if let Some(s) = self.send_streams.get_mut(&id) {
+                    s.max_stream_data = s.max_stream_data.max(max);
+                }
+            }
+            Frame::MaxStreams { .. } => { /* informational in this model */ }
+            Frame::HandshakeDone => {}
+            Frame::Datagram { data } => {
+                if self.config.datagrams_enabled {
+                    self.events.push_back(Event::DatagramReceived(data));
+                }
+            }
+            Frame::ConnectionClose { error_code, reason } => {
+                if self.state != State::Closed {
+                    self.state = State::Closed;
+                    self.close_sent = true; // drain: do not reply
+                    self.events.push_back(Event::Closed {
+                        error_code,
+                        reason: String::from_utf8_lossy(&reason).into_owned(),
+                        by_peer: true,
+                    });
+                }
+            }
+        }
+    }
+
+    fn handle_crypto(&mut self, data: &[u8]) {
+        if self.handshake_processed {
+            return; // retransmitted flight
+        }
+        let Ok(msg) = HandshakeMessage::decode(data) else {
+            self.close(0x1, "malformed handshake");
+            return;
+        };
+        match (self.side, msg) {
+            (
+                Side::Server,
+                HandshakeMessage::ClientHello {
+                    alpn,
+                    ticket,
+                    early_data,
+                },
+            ) => {
+                self.handshake_processed = true;
+                let Some(selected) = select_alpn(&alpn, &self.alpn_supported) else {
+                    self.crypto_out = Some(HandshakeMessage::HelloRetry { code: 0x178 }.encode());
+                    self.crypto_pending = true;
+                    self.state = State::Closed; // will emit retry then die
+                    self.close_frame = Some((0x178, b"no ALPN overlap".to_vec()));
+                    self.events.push_back(Event::Closed {
+                        error_code: 0x178,
+                        reason: "no ALPN overlap".into(),
+                        by_peer: false,
+                    });
+                    return;
+                };
+                let early_ok =
+                    early_data && ticket.as_ref().is_some_and(|t| !t.0.is_empty()) && self.accept_early_data;
+                if !early_ok {
+                    self.early_buffer.clear(); // reject any buffered 0-RTT
+                }
+                let mut ticket_bytes = self.ticket_nonce.to_be_bytes().to_vec();
+                ticket_bytes.extend_from_slice(&self.cid.to_be_bytes());
+                let sh = HandshakeMessage::ServerHello {
+                    alpn: selected.clone(),
+                    early_data_accepted: early_ok,
+                    new_ticket: Ticket(ticket_bytes),
+                };
+                self.crypto_out = Some(sh.encode());
+                self.crypto_pending = true;
+                self.selected_alpn = Some(selected.clone());
+                self.state = State::Established;
+                // If early data was rejected, drop it (never ACKed — the
+                // client's recovery will resend as 1-RTT).
+                if !early_ok {
+                    self.early_buffer.clear();
+                }
+                self.events.push_back(Event::Connected {
+                    alpn: selected,
+                    early_data_accepted: None,
+                });
+            }
+            (
+                Side::Client,
+                HandshakeMessage::ServerHello {
+                    alpn,
+                    early_data_accepted,
+                    new_ticket,
+                },
+            ) => {
+                self.handshake_processed = true;
+                self.selected_alpn = Some(alpn.clone());
+                self.state = State::Established;
+                self.events.push_back(Event::Connected {
+                    alpn,
+                    early_data_accepted: if self.attempted_early_data {
+                        Some(early_data_accepted)
+                    } else {
+                        None
+                    },
+                });
+                self.events.push_back(Event::TicketIssued(new_ticket));
+            }
+            (Side::Client, HandshakeMessage::HelloRetry { code }) => {
+                self.handshake_processed = true;
+                self.state = State::Closed;
+                self.close_sent = true;
+                self.events.push_back(Event::Closed {
+                    error_code: code,
+                    reason: "handshake refused".into(),
+                    by_peer: true,
+                });
+            }
+            _ => self.close(0x1, "unexpected handshake message"),
+        }
+    }
+
+    fn handle_stream_frame(
+        &mut self,
+        id: StreamId,
+        offset: u64,
+        fin: bool,
+        data: &[u8],
+        pty: PacketType,
+    ) {
+        // Server must not act on 1-RTT-style app data while handshaking
+        // (cannot happen with well-behaved peers; drop defensively).
+        if self.state == State::Handshaking && self.side == Side::Server && pty == PacketType::OneRtt
+        {
+            return;
+        }
+        let is_new_peer_stream = !self.recv_streams.contains_key(&id)
+            && id.initiated_by_client() != (self.side == Side::Client);
+        if is_new_peer_stream {
+            // Enforce our stream-count limit.
+            let counter = match id.dir() {
+                Dir::Bi => &mut self.peer_opened_bi,
+                Dir::Uni => &mut self.peer_opened_uni,
+            };
+            if id.index() >= self.config.max_streams {
+                self.close(0x4, "stream limit violated");
+                return;
+            }
+            *counter = (*counter).max(id.index() + 1);
+            self.recv_streams
+                .insert(id, RecvStream::new(self.config.max_stream_data));
+            if id.dir() == Dir::Bi {
+                self.send_streams
+                    .insert(id, SendStream::new(self.config.max_stream_data));
+            }
+            self.events.push_back(Event::StreamOpened { id });
+        }
+        let Some(s) = self.recv_streams.get_mut(&id) else {
+            return; // data for a stream we never knew (e.g. post-reset)
+        };
+        let before = s.highest_seen();
+        if !s.on_stream_frame(offset, data, fin) {
+            self.close(0x3, "flow control violation");
+            return;
+        }
+        self.data_received += s.highest_seen() - before;
+        if self.data_received > self.local_max_data {
+            self.close(0x3, "connection flow control violation");
+            return;
+        }
+        if s.is_readable() && self.readable_notified.insert(id) {
+            self.events.push_back(Event::StreamReadable { id });
+        }
+    }
+
+    fn requeue_lost(&mut self, lost: Vec<RetxInfo>) {
+        for r in lost {
+            match r {
+                RetxInfo::Crypto { .. } | RetxInfo::ServerHello => {
+                    if !self.handshake_acked() {
+                        self.crypto_pending = true;
+                    }
+                }
+                RetxInfo::Stream {
+                    id,
+                    offset,
+                    len,
+                    fin,
+                } => {
+                    if let Some(s) = self.send_streams.get_mut(&StreamId(id)) {
+                        s.on_loss(offset, len, fin);
+                    }
+                }
+                RetxInfo::MaxData => self.pending_max_data = true,
+                RetxInfo::MaxStreamData { id } => {
+                    self.pending_max_stream_data.insert(StreamId(id));
+                }
+                RetxInfo::HandshakeDone => {}
+            }
+        }
+    }
+
+    fn handshake_acked(&self) -> bool {
+        // Once established and our flight isn't pending, peer clearly has it;
+        // this only suppresses useless retransmits after establishment.
+        self.state == State::Established && self.handshake_processed && self.side == Side::Client
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission
+    // ------------------------------------------------------------------
+
+    /// Builds the next outgoing UDP datagram, or `None` if there is nothing
+    /// to send right now. Call repeatedly until `None`.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Vec<u8>> {
+        // Terminal close frame (sent exactly once).
+        if self.state == State::Closed {
+            if let Some((code, reason)) = self.close_frame.take() {
+                if !self.close_sent {
+                    self.close_sent = true;
+                    let mut frames = Vec::new();
+                    if self.crypto_pending {
+                        // A HelloRetry rides along with the close.
+                        if let Some(c) = &self.crypto_out {
+                            frames.push(Frame::Crypto {
+                                offset: 0,
+                                data: c.clone(),
+                            });
+                        }
+                        self.crypto_pending = false;
+                    }
+                    frames.push(Frame::ConnectionClose {
+                        error_code: code,
+                        reason,
+                    });
+                    let pkt = self.seal(PacketType::OneRtt, frames, vec![], false);
+                    return Some(self.finish_datagram(now, vec![pkt]));
+                }
+            }
+            return None;
+        }
+
+        let mut packets: Vec<Packet> = Vec::new();
+        let mut budget = self.config.max_udp_payload.saturating_sub(16);
+
+        // 1. Handshake flight (Initial packet).
+        if self.crypto_pending {
+            if let Some(c) = self.crypto_out.clone() {
+                let retx = if self.side == Side::Client {
+                    RetxInfo::Crypto {
+                        offset: 0,
+                        len: c.len() as u64,
+                    }
+                } else {
+                    RetxInfo::ServerHello
+                };
+                let frames = vec![Frame::Crypto {
+                    offset: 0,
+                    data: c,
+                }];
+                let pkt = self.seal(PacketType::Initial, frames, vec![retx], true);
+                budget = budget.saturating_sub(pkt.encode().len() + 4);
+                packets.push(pkt);
+                self.crypto_pending = false;
+            }
+        }
+
+        // 2. Application packet(s).
+        let can_send_app = self.state == State::Established
+            || (self.side == Side::Client && self.attempted_early_data);
+        let app_type = if self.state == State::Established {
+            PacketType::OneRtt
+        } else {
+            PacketType::ZeroRtt
+        };
+
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut retx: Vec<RetxInfo> = Vec::new();
+        let mut ack_eliciting = false;
+
+        if self.acks.ack_pending && self.acks.any() {
+            frames.push(Frame::Ack {
+                ranges: self.acks.ack_ranges(),
+            });
+            self.acks.ack_pending = false;
+        }
+        if self.ping_pending {
+            frames.push(Frame::Ping);
+            self.ping_pending = false;
+            self.stats.pings_sent += 1;
+            ack_eliciting = true;
+        }
+        if can_send_app {
+            if self.pending_max_data {
+                frames.push(Frame::MaxData {
+                    max: self.local_max_data,
+                });
+                retx.push(RetxInfo::MaxData);
+                self.pending_max_data = false;
+                ack_eliciting = true;
+            }
+            let msd: Vec<StreamId> = self.pending_max_stream_data.drain().collect();
+            for id in msd {
+                if let Some(s) = self.recv_streams.get(&id) {
+                    frames.push(Frame::MaxStreamData {
+                        id,
+                        max: s.max_stream_data,
+                    });
+                    retx.push(RetxInfo::MaxStreamData { id: id.0 });
+                    ack_eliciting = true;
+                }
+            }
+            // Unreliable datagrams (not retransmitted, not flow controlled).
+            while let Some(d) = self.datagram_queue_out.front() {
+                if d.len() + 8 > budget {
+                    break;
+                }
+                let d = self.datagram_queue_out.pop_front().unwrap();
+                budget -= d.len() + 8;
+                frames.push(Frame::Datagram { data: d });
+                ack_eliciting = true;
+            }
+            // Stream data, congestion + budget permitting.
+            if self.recovery.can_send(256) {
+                let ids: Vec<StreamId> = self
+                    .send_streams
+                    .iter()
+                    .filter(|(_, s)| s.has_pending())
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in ids {
+                    while budget > 32 && self.recovery.can_send(budget.min(1200)) {
+                        let s = self.send_streams.get_mut(&id).unwrap();
+                        let Some((offset, data, fin)) = s.pop_transmit(budget - 32) else {
+                            break;
+                        };
+                        budget = budget.saturating_sub(data.len() + 16);
+                        retx.push(RetxInfo::Stream {
+                            id: id.0,
+                            offset,
+                            len: data.len() as u64,
+                            fin,
+                        });
+                        frames.push(Frame::Stream {
+                            id,
+                            offset,
+                            fin,
+                            data,
+                        });
+                        ack_eliciting = true;
+                    }
+                }
+            }
+        }
+
+        if !frames.is_empty() {
+            let pkt = self.seal(app_type, frames, retx, ack_eliciting);
+            packets.push(pkt);
+        }
+
+        if packets.is_empty() {
+            return None;
+        }
+        Some(self.finish_datagram(now, packets))
+    }
+
+    fn seal(
+        &mut self,
+        ty: PacketType,
+        frames: Vec<Frame>,
+        retx: Vec<RetxInfo>,
+        ack_eliciting: bool,
+    ) -> Packet {
+        let pn = self.next_pn;
+        self.next_pn += 1;
+        let pkt = Packet {
+            ty,
+            dcid: self.cid,
+            pn,
+            frames,
+        };
+        let size = pkt.encode().len();
+        self.recovery.on_packet_sent(
+            pn,
+            SentPacket {
+                time_sent: self.last_tx, // refined in finish_datagram
+                size,
+                ack_eliciting,
+                retx,
+            },
+        );
+        self.stats.packets_sent += 1;
+        pkt
+    }
+
+    fn finish_datagram(&mut self, now: SimTime, packets: Vec<Packet>) -> Vec<u8> {
+        // Fix up sent-times to "now" (seal ran before we knew we'd send).
+        // BTreeMap makes the last `packets.len()` entries ours.
+        let dg = encode_datagram(&packets);
+        self.stats.bytes_sent += dg.len() as u64;
+        self.last_tx = now;
+        // Correct the sent time of the packets just sealed.
+        // (Recovery stores them keyed by pn; update in place.)
+        for p in &packets {
+            self.recovery.touch_sent_time(p.pn, now);
+        }
+        dg
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// The next instant `handle_timeout` should be called, if any.
+    pub fn poll_timeout(&self) -> Option<SimTime> {
+        if self.state == State::Closed {
+            return None;
+        }
+        let mut deadline: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            deadline = Some(match deadline {
+                Some(d) => d.min(t),
+                None => t,
+            });
+        };
+        if let Some(t) = self.recovery.next_timeout() {
+            consider(t);
+        }
+        consider(self.last_rx + self.config.max_idle_timeout);
+        if let Some(ka) = self.config.keep_alive_interval {
+            if self.state == State::Established {
+                consider(self.last_tx + ka);
+            }
+        }
+        deadline
+    }
+
+    /// Processes timer expiry at `now`: loss detection / PTO, idle timeout,
+    /// keep-alive. Spurious calls are harmless.
+    pub fn handle_timeout(&mut self, now: SimTime) {
+        if self.state == State::Closed {
+            return;
+        }
+        // Idle timeout: silent death (QUIC does not signal it on the wire).
+        if now >= self.last_rx + self.config.max_idle_timeout {
+            self.state = State::Closed;
+            self.close_sent = true;
+            self.events.push_back(Event::Closed {
+                error_code: 0,
+                reason: "idle timeout".into(),
+                by_peer: true,
+            });
+            return;
+        }
+        // Loss / PTO.
+        if let Some(t) = self.recovery.next_timeout() {
+            if now >= t {
+                let ev = self.recovery.on_timeout(now);
+                self.requeue_lost(ev.lost);
+            }
+        }
+        // Keep-alive.
+        if let Some(ka) = self.config.keep_alive_interval {
+            if self.state == State::Established && now >= self.last_tx + ka {
+                self.ping_pending = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const ALPN: &[u8] = b"moq-dns/1";
+
+    fn alpns() -> Vec<Vec<u8>> {
+        vec![ALPN.to_vec()]
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Shuttles datagrams between two connections with a fixed one-way
+    /// delay until both are quiet. Returns the virtual completion time.
+    fn shuttle(a: &mut Connection, b: &mut Connection, start: SimTime, owd_ms: u64) -> SimTime {
+        let mut now = start;
+        for _ in 0..64 {
+            let mut any = false;
+            let mut a2b = Vec::new();
+            while let Some(d) = a.poll_transmit(now) {
+                a2b.push(d);
+            }
+            let mut b2a = Vec::new();
+            while let Some(d) = b.poll_transmit(now) {
+                b2a.push(d);
+            }
+            if !a2b.is_empty() || !b2a.is_empty() {
+                any = true;
+                now = now + Duration::from_millis(owd_ms);
+                for d in a2b {
+                    b.handle_datagram(now, &d);
+                }
+                for d in b2a {
+                    a.handle_datagram(now, &d);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        now
+    }
+
+    fn pair(now: SimTime) -> (Connection, Connection) {
+        let client = Connection::client(7, TransportConfig::default(), alpns(), None, now);
+        let server = Connection::server(7, TransportConfig::default(), alpns(), 99, now);
+        (client, server)
+    }
+
+    fn drain_events(c: &mut Connection) -> Vec<Event> {
+        let mut out = Vec::new();
+        while let Some(e) = c.poll_event() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn fresh_handshake_takes_one_rtt() {
+        let (mut c, mut s) = pair(t(0));
+        // Client's first flight.
+        let flight1 = c.poll_transmit(t(0)).expect("client hello");
+        assert!(c.poll_transmit(t(0)).is_none(), "nothing else to send");
+        // Arrives at server at 50ms (OWD).
+        s.handle_datagram(t(50), &flight1);
+        let sev = drain_events(&mut s);
+        assert!(matches!(sev[0], Event::Connected { .. }));
+        assert!(s.is_established());
+        // Server flight back; client established at 100ms = 1 RTT.
+        let flight2 = s.poll_transmit(t(50)).expect("server hello");
+        c.handle_datagram(t(100), &flight2);
+        assert!(c.is_established());
+        let cev = drain_events(&mut c);
+        assert!(matches!(
+            &cev[0],
+            Event::Connected { alpn, early_data_accepted: None } if alpn == ALPN
+        ));
+        assert!(matches!(&cev[1], Event::TicketIssued(_)));
+    }
+
+    #[test]
+    fn client_app_data_waits_for_handshake_without_ticket() {
+        let (mut c, _s) = pair(t(0));
+        let id = c.open_stream(Dir::Bi).unwrap();
+        c.send_stream(id, b"too early").unwrap();
+        let flight = c.poll_transmit(t(0)).unwrap();
+        // Only the Initial packet — no 0-RTT without a ticket.
+        let pkts = decode_datagram(&flight).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].ty, PacketType::Initial);
+    }
+
+    #[test]
+    fn zero_rtt_data_rides_first_flight() {
+        let now = t(0);
+        let mut c = Connection::client(
+            8,
+            TransportConfig::default(),
+            alpns(),
+            Some(Ticket(vec![1; 16])),
+            now,
+        );
+        let mut s = Connection::server(8, TransportConfig::default(), alpns(), 99, now);
+        let id = c.open_stream(Dir::Bi).unwrap();
+        c.send_stream(id, b"early dns query").unwrap();
+        c.finish_stream(id).unwrap();
+
+        let flight = c.poll_transmit(now).unwrap();
+        let pkts = decode_datagram(&flight).unwrap();
+        assert_eq!(pkts[0].ty, PacketType::Initial);
+        assert!(pkts.iter().any(|p| p.ty == PacketType::ZeroRtt));
+
+        // Server receives the whole flight at 0.5 RTT and can read data.
+        s.handle_datagram(t(50), &flight);
+        let ev = drain_events(&mut s);
+        assert!(matches!(ev[0], Event::Connected { .. }));
+        assert!(ev.iter().any(|e| matches!(e, Event::StreamOpened { .. })));
+        let (data, fin) = s.read_stream(id, 1024).unwrap();
+        assert_eq!(data, b"early dns query");
+        assert!(fin);
+    }
+
+    #[test]
+    fn zero_rtt_rejection_falls_back_to_one_rtt() {
+        let now = t(0);
+        let mut c = Connection::client(
+            9,
+            TransportConfig::default(),
+            alpns(),
+            Some(Ticket(vec![1; 16])),
+            now,
+        );
+        let mut s = Connection::server(9, TransportConfig::default(), alpns(), 99, now);
+        s.set_accept_early_data(false);
+        let id = c.open_stream(Dir::Bi).unwrap();
+        c.send_stream(id, b"early").unwrap();
+        c.finish_stream(id).unwrap();
+
+        let end = shuttle(&mut c, &mut s, now, 50);
+        // Client learned rejection…
+        let cev = drain_events(&mut c);
+        assert!(cev.iter().any(|e| matches!(
+            e,
+            Event::Connected {
+                early_data_accepted: Some(false),
+                ..
+            }
+        )));
+        // …but the data still arrives via retransmission.
+        let (data, fin) = s.read_stream(id, 1024).unwrap();
+        assert_eq!(data, b"early");
+        assert!(fin);
+        assert!(end > t(100), "needed more than one round trip");
+    }
+
+    #[test]
+    fn bidirectional_stream_exchange() {
+        let (mut c, mut s) = pair(t(0));
+        shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        drain_events(&mut s);
+
+        let id = c.open_stream(Dir::Bi).unwrap();
+        assert_eq!(c.send_stream(id, b"question").unwrap(), 8);
+        c.finish_stream(id).unwrap();
+        shuttle(&mut c, &mut s, t(100), 10);
+
+        let sev = drain_events(&mut s);
+        assert!(sev.iter().any(|e| matches!(e, Event::StreamOpened { id: i } if *i == id)));
+        let (q, fin) = s.read_stream(id, 100).unwrap();
+        assert_eq!(q, b"question");
+        assert!(fin);
+
+        s.send_stream(id, b"answer").unwrap();
+        s.finish_stream(id).unwrap();
+        shuttle(&mut c, &mut s, t(200), 10);
+        let (a, fin) = c.read_stream(id, 100).unwrap();
+        assert_eq!(a, b"answer");
+        assert!(fin);
+    }
+
+    #[test]
+    fn server_opens_unidirectional_stream() {
+        let (mut c, mut s) = pair(t(0));
+        shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        drain_events(&mut s);
+
+        let id = s.open_stream(Dir::Uni).unwrap();
+        assert_eq!(id, StreamId::new(false, Dir::Uni, 0));
+        s.send_stream(id, b"pushed update").unwrap();
+        shuttle(&mut c, &mut s, t(100), 10);
+        let cev = drain_events(&mut c);
+        assert!(cev.iter().any(|e| matches!(e, Event::StreamOpened { .. })));
+        let (data, _) = c.read_stream(id, 100).unwrap();
+        assert_eq!(data, b"pushed update");
+    }
+
+    #[test]
+    fn datagrams_flow_after_establishment() {
+        let (mut c, mut s) = pair(t(0));
+        shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        drain_events(&mut s);
+        c.send_datagram(b"unreliable".to_vec()).unwrap();
+        shuttle(&mut c, &mut s, t(100), 10);
+        let ev = drain_events(&mut s);
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, Event::DatagramReceived(d) if d == b"unreliable")));
+    }
+
+    #[test]
+    fn oversized_datagram_rejected() {
+        let (mut c, _) = pair(t(0));
+        assert_eq!(
+            c.send_datagram(vec![0; 5000]),
+            Err(ConnectionError::DatagramUnsupported)
+        );
+    }
+
+    #[test]
+    fn alpn_mismatch_refuses_connection() {
+        let now = t(0);
+        let mut c = Connection::client(1, TransportConfig::default(), vec![b"foo".to_vec()], None, now);
+        let mut s = Connection::server(1, TransportConfig::default(), vec![b"bar".to_vec()], 99, now);
+        shuttle(&mut c, &mut s, now, 10);
+        assert!(c.is_closed());
+        let cev = drain_events(&mut c);
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, Event::Closed { by_peer: true, .. })));
+    }
+
+    #[test]
+    fn close_notifies_peer() {
+        let (mut c, mut s) = pair(t(0));
+        shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        drain_events(&mut s);
+        c.close(0, "done");
+        shuttle(&mut c, &mut s, t(100), 10);
+        let sev = drain_events(&mut s);
+        assert!(sev.iter().any(|e| matches!(
+            e,
+            Event::Closed {
+                by_peer: true,
+                reason,
+                ..
+            } if reason == "done"
+        )));
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn lost_client_hello_is_retransmitted() {
+        let (mut c, mut s) = pair(t(0));
+        // First flight vanishes.
+        let _lost = c.poll_transmit(t(0)).unwrap();
+        // PTO fires; retransmission reaches the server.
+        let deadline = c.poll_timeout().unwrap();
+        c.handle_timeout(deadline);
+        let flight = c.poll_transmit(deadline).expect("retransmit");
+        s.handle_datagram(deadline + Duration::from_millis(10), &flight);
+        assert!(s.is_established());
+    }
+
+    #[test]
+    fn lost_stream_data_recovers() {
+        let (mut c, mut s) = pair(t(0));
+        shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        drain_events(&mut s);
+        let id = c.open_stream(Dir::Bi).unwrap();
+        c.send_stream(id, b"will be lost").unwrap();
+        c.finish_stream(id).unwrap();
+        let _lost = c.poll_transmit(t(100)).unwrap();
+        // PTO recovers it.
+        let deadline = c.poll_timeout().unwrap();
+        c.handle_timeout(deadline);
+        shuttle(&mut c, &mut s, deadline, 10);
+        let (data, fin) = s.read_stream(id, 100).unwrap();
+        assert_eq!(data, b"will be lost");
+        assert!(fin);
+    }
+
+    #[test]
+    fn idle_timeout_closes_silently() {
+        let cfg = TransportConfig::default().idle_timeout(Duration::from_secs(5));
+        let mut c = Connection::client(1, cfg.clone(), alpns(), None, t(0));
+        let mut s = Connection::server(1, cfg, alpns(), 99, t(0));
+        let end = shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        let deadline = c.poll_timeout().unwrap();
+        assert!(deadline <= end + Duration::from_secs(5));
+        c.handle_timeout(t(6000));
+        assert!(c.is_closed());
+        let ev = drain_events(&mut c);
+        assert!(ev
+            .iter()
+            .any(|e| matches!(e, Event::Closed { reason, .. } if reason == "idle timeout")));
+    }
+
+    #[test]
+    fn keepalive_pings_prevent_idle_death() {
+        let cfg = TransportConfig::default()
+            .idle_timeout(Duration::from_secs(10))
+            .keep_alive(Duration::from_secs(2));
+        let mut c = Connection::client(1, cfg.clone(), alpns(), None, t(0));
+        let mut s = Connection::server(1, cfg, alpns(), 99, t(0));
+        let mut now = shuttle(&mut c, &mut s, t(0), 10);
+        drain_events(&mut c);
+        drain_events(&mut s);
+        // Run 30 virtual seconds of keep-alive cycles.
+        let end = now + Duration::from_secs(30);
+        let mut guard = 0;
+        while now < end && guard < 200 {
+            guard += 1;
+            let next = c
+                .poll_timeout()
+                .into_iter()
+                .chain(s.poll_timeout())
+                .min()
+                .unwrap();
+            now = next.max(now + Duration::from_millis(1));
+            c.handle_timeout(now);
+            s.handle_timeout(now);
+            now = shuttle(&mut c, &mut s, now, 10);
+        }
+        assert!(!c.is_closed());
+        assert!(!s.is_closed());
+        // At least one side pings; an endpoint whose ACK traffic keeps
+        // resetting its own keep-alive clock legitimately stays quiet.
+        assert!(
+            c.stats().pings_sent + s.stats().pings_sent > 0,
+            "keep-alives were sent"
+        );
+    }
+
+    #[test]
+    fn stream_limit_enforced() {
+        let mut cfg = TransportConfig::default();
+        cfg.max_streams = 2;
+        let mut c = Connection::client(1, cfg, alpns(), None, t(0));
+        c.open_stream(Dir::Bi).unwrap();
+        c.open_stream(Dir::Bi).unwrap();
+        assert_eq!(c.open_stream(Dir::Bi), Err(ConnectionError::StreamLimit));
+        // Different direction has its own counter.
+        c.open_stream(Dir::Uni).unwrap();
+    }
+
+    #[test]
+    fn large_transfer_with_flow_control_updates() {
+        let mut cfg = TransportConfig::default();
+        cfg.max_stream_data = 4096;
+        cfg.max_data = 8192;
+        let mut c = Connection::client(1, cfg.clone(), alpns(), None, t(0));
+        let mut s = Connection::server(1, cfg, alpns(), 99, t(0));
+        let mut now = shuttle(&mut c, &mut s, t(0), 5);
+        drain_events(&mut c);
+        drain_events(&mut s);
+
+        let id = c.open_stream(Dir::Bi).unwrap();
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let mut written = 0;
+        let mut received = Vec::new();
+        let mut guard = 0;
+        while received.len() < payload.len() && guard < 500 {
+            guard += 1;
+            if written < payload.len() {
+                written += c.send_stream(id, &payload[written..]).unwrap();
+                if written == payload.len() {
+                    c.finish_stream(id).unwrap();
+                }
+            }
+            now = shuttle(&mut c, &mut s, now, 5);
+            loop {
+                let (chunk, _fin) = s.read_stream(id, 65536).unwrap();
+                if chunk.is_empty() {
+                    break;
+                }
+                received.extend_from_slice(&chunk);
+            }
+        }
+        assert_eq!(received, payload, "after {guard} rounds");
+    }
+
+    #[test]
+    fn duplicate_datagrams_are_idempotent() {
+        let (mut c, mut s) = pair(t(0));
+        let flight = c.poll_transmit(t(0)).unwrap();
+        s.handle_datagram(t(10), &flight);
+        s.handle_datagram(t(11), &flight); // replay
+        let ev = drain_events(&mut s);
+        let connected = ev
+            .iter()
+            .filter(|e| matches!(e, Event::Connected { .. }))
+            .count();
+        assert_eq!(connected, 1);
+    }
+
+    #[test]
+    fn garbage_datagrams_ignored() {
+        let (mut c, _) = pair(t(0));
+        c.handle_datagram(t(0), b"\xFF\xFF\xFF");
+        c.handle_datagram(t(0), b"");
+        assert!(!c.is_closed());
+    }
+
+    #[test]
+    fn state_size_grows_with_streams() {
+        let (mut c, _) = pair(t(0));
+        let base = c.state_size_estimate();
+        for _ in 0..10 {
+            c.open_stream(Dir::Bi).unwrap();
+        }
+        assert!(c.state_size_estimate() > base);
+    }
+}

@@ -1,0 +1,420 @@
+//! Endpoint: connection demultiplexing, server accept, ticket store.
+//!
+//! An [`Endpoint`] owns many [`Connection`]s and routes datagrams to them by
+//! connection id. It is generic over the peer-address type `P` so the same
+//! code runs over `moqdns-netsim` addresses ([`moqdns_netsim::Addr`]) and
+//! real `std::net::SocketAddr`s.
+//!
+//! The client-side **ticket store** remembers the most recent resumption
+//! ticket per (server, ALPN) so later connections can attempt 0-RTT — the
+//! second latency optimization of paper §5.2.
+
+use crate::config::TransportConfig;
+use crate::connection::{Connection, Event, Side};
+use crate::handshake::Ticket;
+use crate::packet::decode_datagram;
+use moqdns_netsim::SimTime;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Re-exported ticket type for public API convenience.
+pub type SessionTicket = Ticket;
+
+/// Handle identifying a connection within an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnHandle(pub u64);
+
+/// A multi-connection QUIC endpoint.
+pub struct Endpoint<P> {
+    config: TransportConfig,
+    /// ALPNs a server accepts; ignored for pure clients.
+    server_alpn: Vec<Vec<u8>>,
+    /// Whether this endpoint accepts incoming connections.
+    is_server: bool,
+    connections: HashMap<ConnHandle, (Connection, P)>,
+    by_cid: HashMap<u64, ConnHandle>,
+    next_cid: u64,
+    /// Client ticket store: (peer, alpn) -> ticket.
+    tickets: HashMap<(P, Vec<u8>), Ticket>,
+    /// Pending (handle, event) pairs for the application.
+    events: VecDeque<(ConnHandle, Event)>,
+    /// Accepted-but-unreported incoming connections.
+    incoming: VecDeque<ConnHandle>,
+}
+
+impl<P: Copy + Eq + Hash> Endpoint<P> {
+    /// Creates a client-only endpoint.
+    pub fn client(config: TransportConfig, cid_seed: u64) -> Endpoint<P> {
+        Endpoint {
+            config,
+            server_alpn: Vec::new(),
+            is_server: false,
+            connections: HashMap::new(),
+            by_cid: HashMap::new(),
+            next_cid: cid_seed.wrapping_mul(2_654_435_761).max(1),
+            tickets: HashMap::new(),
+            events: VecDeque::new(),
+            incoming: VecDeque::new(),
+        }
+    }
+
+    /// Creates a server endpoint accepting the given ALPNs (it can still
+    /// open client connections of its own — resolvers do both).
+    pub fn server(config: TransportConfig, alpn: Vec<Vec<u8>>, cid_seed: u64) -> Endpoint<P> {
+        let mut e = Endpoint::client(config, cid_seed);
+        e.is_server = true;
+        e.server_alpn = alpn;
+        e
+    }
+
+    /// Opens a client connection to `peer`, optionally trying 0-RTT with a
+    /// stored ticket (`use_ticket`).
+    pub fn connect(
+        &mut self,
+        now: SimTime,
+        peer: P,
+        alpn: Vec<Vec<u8>>,
+        use_ticket: bool,
+    ) -> ConnHandle {
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1);
+        let ticket = if use_ticket {
+            alpn.iter()
+                .find_map(|a| self.tickets.get(&(peer, a.clone())).cloned())
+        } else {
+            None
+        };
+        let conn = Connection::client(cid, self.config.clone(), alpn, ticket, now);
+        let handle = ConnHandle(cid);
+        self.connections.insert(handle, (conn, peer));
+        self.by_cid.insert(cid, handle);
+        handle
+    }
+
+    /// True if a resumption ticket is stored for `peer` + `alpn` (0-RTT
+    /// possible on the next connect).
+    pub fn has_ticket(&self, peer: P, alpn: &[u8]) -> bool {
+        self.tickets.contains_key(&(peer, alpn.to_vec()))
+    }
+
+    /// Ingests a datagram that arrived from `from`. Unknown connection ids
+    /// create a new server connection when `is_server`.
+    pub fn handle_datagram(&mut self, now: SimTime, from: P, data: &[u8]) {
+        let Ok(packets) = decode_datagram(data) else {
+            return;
+        };
+        let Some(first) = packets.first() else { return };
+        let cid = first.dcid;
+        let handle = match self.by_cid.get(&cid) {
+            Some(h) => *h,
+            None => {
+                if !self.is_server {
+                    return;
+                }
+                let nonce = self
+                    .next_cid
+                    .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    .wrapping_add(cid);
+                let conn = Connection::server(
+                    cid,
+                    self.config.clone(),
+                    self.server_alpn.clone(),
+                    nonce,
+                    now,
+                );
+                let handle = ConnHandle(cid);
+                self.connections.insert(handle, (conn, from));
+                self.by_cid.insert(cid, handle);
+                self.incoming.push_back(handle);
+                handle
+            }
+        };
+        if let Some((conn, peer)) = self.connections.get_mut(&handle) {
+            *peer = from; // track migration
+            conn.handle_datagram(now, data);
+            Self::drain_conn_events(
+                handle,
+                conn,
+                *peer,
+                &mut self.tickets,
+                &mut self.events,
+            );
+        }
+    }
+
+    fn drain_conn_events(
+        handle: ConnHandle,
+        conn: &mut Connection,
+        peer: P,
+        tickets: &mut HashMap<(P, Vec<u8>), Ticket>,
+        events: &mut VecDeque<(ConnHandle, Event)>,
+    ) {
+        while let Some(ev) = conn.poll_event() {
+            if let Event::TicketIssued(t) = &ev {
+                if conn.side() == Side::Client {
+                    if let Some(alpn) = conn.alpn() {
+                        tickets.insert((peer, alpn.to_vec()), t.clone());
+                    }
+                }
+            }
+            events.push_back((handle, ev));
+        }
+    }
+
+    /// Next accepted incoming connection, if any.
+    pub fn poll_incoming(&mut self) -> Option<ConnHandle> {
+        self.incoming.pop_front()
+    }
+
+    /// Next application event across all connections.
+    pub fn poll_event(&mut self) -> Option<(ConnHandle, Event)> {
+        self.events.pop_front()
+    }
+
+    /// Builds the next outgoing `(peer, datagram)` pair across connections.
+    /// Call until `None`.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<(P, Vec<u8>)> {
+        // Deterministic iteration: sort handles.
+        let mut handles: Vec<ConnHandle> = self.connections.keys().copied().collect();
+        handles.sort();
+        for h in handles {
+            let (conn, peer) = self.connections.get_mut(&h).unwrap();
+            if let Some(dg) = conn.poll_transmit(now) {
+                let p = *peer;
+                Self::drain_conn_events(h, conn, p, &mut self.tickets, &mut self.events);
+                return Some((p, dg));
+            }
+        }
+        None
+    }
+
+    /// Earliest timer deadline across all connections.
+    pub fn poll_timeout(&self) -> Option<SimTime> {
+        self.connections
+            .values()
+            .filter_map(|(c, _)| c.poll_timeout())
+            .min()
+    }
+
+    /// Fires timer processing on every connection whose deadline passed,
+    /// then reaps closed connections.
+    pub fn handle_timeout(&mut self, now: SimTime) {
+        let handles: Vec<ConnHandle> = self.connections.keys().copied().collect();
+        for h in handles {
+            if let Some((conn, peer)) = self.connections.get_mut(&h) {
+                if conn.poll_timeout().map(|t| t <= now).unwrap_or(false) {
+                    conn.handle_timeout(now);
+                    let p = *peer;
+                    Self::drain_conn_events(h, conn, p, &mut self.tickets, &mut self.events);
+                }
+            }
+        }
+    }
+
+    /// Silently discards a connection without closing it on the wire —
+    /// models a device suspension/crash (paper §4.4: "stub resolvers
+    /// running on end-user devices also need to clean up subscriptions
+    /// after suspension or shutdowns").
+    pub fn abandon(&mut self, h: ConnHandle) {
+        if let Some((c, _)) = self.connections.remove(&h) {
+            self.by_cid.remove(&c.cid());
+        }
+    }
+
+    /// Drops connections that are fully closed and have nothing to send.
+    pub fn reap_closed(&mut self) {
+        let dead: Vec<ConnHandle> = self
+            .connections
+            .iter()
+            .filter(|(_, (c, _))| c.is_closed())
+            .map(|(h, _)| *h)
+            .collect();
+        for h in dead {
+            if let Some((c, _)) = self.connections.remove(&h) {
+                self.by_cid.remove(&c.cid());
+            }
+        }
+    }
+
+    /// Access a connection by handle.
+    pub fn conn_mut(&mut self, h: ConnHandle) -> Option<&mut Connection> {
+        self.connections.get_mut(&h).map(|(c, _)| c)
+    }
+
+    /// Immutable access to a connection.
+    pub fn conn(&self, h: ConnHandle) -> Option<&Connection> {
+        self.connections.get(&h).map(|(c, _)| c)
+    }
+
+    /// The peer address of a connection.
+    pub fn peer_of(&self, h: ConnHandle) -> Option<P> {
+        self.connections.get(&h).map(|(_, p)| *p)
+    }
+
+    /// Number of live connections (E9 state accounting).
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Sum of per-connection state estimates (E9).
+    pub fn state_size_estimate(&self) -> usize {
+        self.connections
+            .values()
+            .map(|(c, _)| c.state_size_estimate())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::streams::Dir;
+    use std::time::Duration;
+
+    type Peer = u32;
+
+    fn alpns() -> Vec<Vec<u8>> {
+        vec![b"moq-dns/1".to_vec()]
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Shuttles datagrams between two endpoints with fixed delay until quiet.
+    fn shuttle(
+        a: &mut Endpoint<Peer>,
+        a_addr: Peer,
+        b: &mut Endpoint<Peer>,
+        b_addr: Peer,
+        start: SimTime,
+        owd_ms: u64,
+    ) -> SimTime {
+        let mut now = start;
+        for _ in 0..128 {
+            let mut moved = false;
+            let mut from_a = Vec::new();
+            while let Some((to, dg)) = a.poll_transmit(now) {
+                assert_eq!(to, b_addr);
+                from_a.push(dg);
+            }
+            let mut from_b = Vec::new();
+            while let Some((to, dg)) = b.poll_transmit(now) {
+                assert_eq!(to, a_addr);
+                from_b.push(dg);
+            }
+            if !from_a.is_empty() || !from_b.is_empty() {
+                moved = true;
+                now = now + Duration::from_millis(owd_ms);
+                for d in from_a {
+                    b.handle_datagram(now, a_addr, &d);
+                }
+                for d in from_b {
+                    a.handle_datagram(now, b_addr, &d);
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn connect_accept_and_exchange() {
+        let mut client: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 1);
+        let mut server: Endpoint<Peer> = Endpoint::server(TransportConfig::default(), alpns(), 2);
+        let ch = client.connect(t(0), 20, alpns(), false);
+        shuttle(&mut client, 10, &mut server, 20, t(0), 25);
+
+        let sh = server.poll_incoming().expect("incoming connection");
+        assert!(server.conn(sh).unwrap().is_established());
+        assert!(client.conn(ch).unwrap().is_established());
+
+        // Client sends a request on a bidi stream; server answers.
+        let id = client.conn_mut(ch).unwrap().open_stream(Dir::Bi).unwrap();
+        client.conn_mut(ch).unwrap().send_stream(id, b"req").unwrap();
+        shuttle(&mut client, 10, &mut server, 20, t(100), 25);
+        let (data, _) = server.conn_mut(sh).unwrap().read_stream(id, 100).unwrap();
+        assert_eq!(data, b"req");
+    }
+
+    #[test]
+    fn ticket_store_enables_zero_rtt_on_reconnect() {
+        let mut client: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 1);
+        let mut server: Endpoint<Peer> = Endpoint::server(TransportConfig::default(), alpns(), 2);
+
+        // First connection: no ticket yet.
+        assert!(!client.has_ticket(20, b"moq-dns/1"));
+        let ch1 = client.connect(t(0), 20, alpns(), true);
+        shuttle(&mut client, 10, &mut server, 20, t(0), 25);
+        assert!(client.conn(ch1).unwrap().is_established());
+        assert!(client.has_ticket(20, b"moq-dns/1"), "ticket stored");
+        let _sh1 = server.poll_incoming().unwrap();
+
+        // Second connection: 0-RTT data reaches the server in 0.5 RTT.
+        let ch2 = client.connect(t(1000), 20, alpns(), true);
+        let id = client.conn_mut(ch2).unwrap().open_stream(Dir::Bi).unwrap();
+        client
+            .conn_mut(ch2)
+            .unwrap()
+            .send_stream(id, b"early")
+            .unwrap();
+        let (to, dg) = client.poll_transmit(t(1000)).unwrap();
+        assert_eq!(to, 20);
+        server.handle_datagram(t(1025), 20, &dg);
+        let sh2 = server.poll_incoming().unwrap();
+        let (data, _) = server.conn_mut(sh2).unwrap().read_stream(id, 100).unwrap();
+        assert_eq!(data, b"early", "0-RTT data readable after half RTT");
+    }
+
+    #[test]
+    fn multiple_connections_demultiplex() {
+        let mut c1: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 1);
+        let mut c2: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 7);
+        let mut server: Endpoint<Peer> = Endpoint::server(TransportConfig::default(), alpns(), 2);
+        c1.connect(t(0), 20, alpns(), false);
+        c2.connect(t(0), 20, alpns(), false);
+        shuttle(&mut c1, 11, &mut server, 20, t(0), 5);
+        shuttle(&mut c2, 12, &mut server, 20, t(0), 5);
+        assert_eq!(server.connection_count(), 2);
+        let h1 = server.poll_incoming().unwrap();
+        let h2 = server.poll_incoming().unwrap();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn non_server_drops_unknown_cids() {
+        let mut c: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 1);
+        let mut other: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 2);
+        other.connect(t(0), 99, alpns(), false);
+        let (_, dg) = other.poll_transmit(t(0)).unwrap();
+        c.handle_datagram(t(0), 99, &dg);
+        assert_eq!(c.connection_count(), 0);
+    }
+
+    #[test]
+    fn reap_closed_removes_connections() {
+        let mut client: Endpoint<Peer> = Endpoint::client(TransportConfig::default(), 1);
+        let mut server: Endpoint<Peer> = Endpoint::server(TransportConfig::default(), alpns(), 2);
+        let ch = client.connect(t(0), 20, alpns(), false);
+        shuttle(&mut client, 10, &mut server, 20, t(0), 5);
+        client.conn_mut(ch).unwrap().close(0, "bye");
+        shuttle(&mut client, 10, &mut server, 20, t(100), 5);
+        client.reap_closed();
+        server.reap_closed();
+        assert_eq!(client.connection_count(), 0);
+        assert_eq!(server.connection_count(), 0);
+    }
+
+    #[test]
+    fn endpoint_timeout_aggregation() {
+        let mut client: Endpoint<Peer> = Endpoint::client(
+            TransportConfig::default().idle_timeout(Duration::from_secs(3)),
+            1,
+        );
+        assert!(client.poll_timeout().is_none());
+        client.connect(t(0), 20, alpns(), false);
+        assert!(client.poll_timeout().is_some());
+    }
+}

@@ -1,0 +1,219 @@
+//! The simulated handshake ("TLS-shaped, crypto-free").
+//!
+//! The flights mirror TLS 1.3 over QUIC closely enough that every latency
+//! property the paper reasons about is preserved:
+//!
+//! * fresh connection: `ClientHello` → `ServerHello` (+ ticket) — the
+//!   client can send application data only after one round trip;
+//! * resumption: the client presents a [`Ticket`] in its `ClientHello` and
+//!   may send 0-RTT packets in the same flight; the server either accepts
+//!   (ticket it recognizes) or rejects early data;
+//! * ALPN: the client offers protocols, the server selects one (or fails
+//!   the handshake). DNS-over-MoQT's future "version negotiation in ALPN"
+//!   optimization (§5.2) is modelled by putting the MoQT version into the
+//!   ALPN string.
+//!
+//! Messages ride in CRYPTO frames, encoded with the same varint toolbox as
+//! everything else.
+
+use moqdns_wire::{varint, Reader, WireError, WireResult, Writer};
+
+/// An opaque resumption ticket (issued by a server, presented by a client).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ticket(pub Vec<u8>);
+
+/// A handshake message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMessage {
+    /// Client's first flight.
+    ClientHello {
+        /// Offered ALPN protocols, in preference order.
+        alpn: Vec<Vec<u8>>,
+        /// Resumption ticket, if any.
+        ticket: Option<Ticket>,
+        /// True if 0-RTT packets accompany this hello.
+        early_data: bool,
+    },
+    /// Server's reply; completes the handshake from the client's view.
+    ServerHello {
+        /// The selected ALPN protocol.
+        alpn: Vec<u8>,
+        /// Whether presented early data was accepted.
+        early_data_accepted: bool,
+        /// A fresh ticket for future resumption.
+        new_ticket: Ticket,
+    },
+    /// Server refuses the handshake (e.g. no ALPN overlap).
+    HelloRetry {
+        /// Reason code.
+        code: u64,
+    },
+}
+
+const M_CLIENT_HELLO: u64 = 1;
+const M_SERVER_HELLO: u64 = 2;
+const M_HELLO_RETRY: u64 = 3;
+
+impl HandshakeMessage {
+    /// Encodes to bytes (the CRYPTO stream content).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            HandshakeMessage::ClientHello {
+                alpn,
+                ticket,
+                early_data,
+            } => {
+                varint::put_varint(&mut w, M_CLIENT_HELLO);
+                varint::put_varint(&mut w, alpn.len() as u64);
+                for p in alpn {
+                    varint::put_varint(&mut w, p.len() as u64);
+                    w.put_slice(p);
+                }
+                match ticket {
+                    Some(t) => {
+                        w.put_u8(1);
+                        varint::put_varint(&mut w, t.0.len() as u64);
+                        w.put_slice(&t.0);
+                    }
+                    None => w.put_u8(0),
+                }
+                w.put_u8(*early_data as u8);
+            }
+            HandshakeMessage::ServerHello {
+                alpn,
+                early_data_accepted,
+                new_ticket,
+            } => {
+                varint::put_varint(&mut w, M_SERVER_HELLO);
+                varint::put_varint(&mut w, alpn.len() as u64);
+                w.put_slice(alpn);
+                w.put_u8(*early_data_accepted as u8);
+                varint::put_varint(&mut w, new_ticket.0.len() as u64);
+                w.put_slice(&new_ticket.0);
+            }
+            HandshakeMessage::HelloRetry { code } => {
+                varint::put_varint(&mut w, M_HELLO_RETRY);
+                varint::put_varint(&mut w, *code);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decodes one message from exactly `buf`.
+    pub fn decode(buf: &[u8]) -> WireResult<HandshakeMessage> {
+        let mut r = Reader::new(buf);
+        let m = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(m)
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> WireResult<HandshakeMessage> {
+        Ok(match varint::get_varint(r)? {
+            M_CLIENT_HELLO => {
+                let n = varint::get_varint(r)? as usize;
+                if n > 32 {
+                    return Err(WireError::Invalid { what: "alpn count" });
+                }
+                let mut alpn = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = varint::get_varint(r)? as usize;
+                    alpn.push(r.get_vec(len)?);
+                }
+                let ticket = match r.get_u8()? {
+                    0 => None,
+                    1 => {
+                        let len = varint::get_varint(r)? as usize;
+                        Some(Ticket(r.get_vec(len)?))
+                    }
+                    _ => return Err(WireError::Invalid { what: "ticket flag" }),
+                };
+                let early_data = r.get_u8()? != 0;
+                HandshakeMessage::ClientHello {
+                    alpn,
+                    ticket,
+                    early_data,
+                }
+            }
+            M_SERVER_HELLO => {
+                let len = varint::get_varint(r)? as usize;
+                let alpn = r.get_vec(len)?;
+                let early_data_accepted = r.get_u8()? != 0;
+                let tlen = varint::get_varint(r)? as usize;
+                HandshakeMessage::ServerHello {
+                    alpn,
+                    early_data_accepted,
+                    new_ticket: Ticket(r.get_vec(tlen)?),
+                }
+            }
+            M_HELLO_RETRY => HandshakeMessage::HelloRetry {
+                code: varint::get_varint(r)?,
+            },
+            _ => return Err(WireError::Invalid { what: "handshake message type" }),
+        })
+    }
+}
+
+/// Server-side ALPN selection: first client offer the server supports.
+pub fn select_alpn(offered: &[Vec<u8>], supported: &[Vec<u8>]) -> Option<Vec<u8>> {
+    offered.iter().find(|o| supported.contains(o)).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let m = HandshakeMessage::ClientHello {
+            alpn: vec![b"moqt-12".to_vec(), b"doq".to_vec()],
+            ticket: Some(Ticket(vec![9; 16])),
+            early_data: true,
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn client_hello_without_ticket() {
+        let m = HandshakeMessage::ClientHello {
+            alpn: vec![b"moqt-12".to_vec()],
+            ticket: None,
+            early_data: false,
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let m = HandshakeMessage::ServerHello {
+            alpn: b"moqt-12".to_vec(),
+            early_data_accepted: true,
+            new_ticket: Ticket(vec![1, 2, 3]),
+        };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn hello_retry_roundtrip() {
+        let m = HandshakeMessage::HelloRetry { code: 0x128 };
+        assert_eq!(HandshakeMessage::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn alpn_selection_prefers_client_order() {
+        let offered = vec![b"moqt-13".to_vec(), b"moqt-12".to_vec()];
+        let supported = vec![b"moqt-12".to_vec(), b"moqt-13".to_vec()];
+        assert_eq!(select_alpn(&offered, &supported), Some(b"moqt-13".to_vec()));
+        assert_eq!(select_alpn(&offered, &[]), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(HandshakeMessage::decode(&[0xFF, 0xFF]).is_err());
+        assert!(HandshakeMessage::decode(&[]).is_err());
+        // Trailing bytes rejected.
+        let mut b = HandshakeMessage::HelloRetry { code: 1 }.encode();
+        b.push(0);
+        assert!(HandshakeMessage::decode(&b).is_err());
+    }
+}

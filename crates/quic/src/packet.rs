@@ -1,0 +1,181 @@
+//! Packet framing.
+//!
+//! Simplifications versus RFC 9000: a single packet number space, cleartext
+//! payloads, and a fixed 8-byte connection id. Packet *types* are kept
+//! (Initial / ZeroRtt / OneRtt) because 0-RTT semantics — the server must
+//! not process early data before the ClientHello, and must be able to
+//! reject it — are load-bearing for the paper's latency analysis (§5.2).
+//!
+//! Several packets may be coalesced into one UDP datagram; each is
+//! length-prefixed.
+
+use crate::frame::Frame;
+use moqdns_wire::{varint, Reader, VarInt, WireError, WireResult, Writer};
+
+/// Packet type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// Carries handshake (CRYPTO) frames.
+    Initial,
+    /// Early application data sent alongside a resumed handshake.
+    ZeroRtt,
+    /// Ordinary application data after the handshake.
+    OneRtt,
+}
+
+impl PacketType {
+    fn to_u8(self) -> u8 {
+        match self {
+            PacketType::Initial => 0,
+            PacketType::ZeroRtt => 1,
+            PacketType::OneRtt => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> WireResult<PacketType> {
+        Ok(match v {
+            0 => PacketType::Initial,
+            1 => PacketType::ZeroRtt,
+            2 => PacketType::OneRtt,
+            _ => return Err(WireError::Invalid { what: "packet type" }),
+        })
+    }
+}
+
+/// A decoded packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Packet type (determines processing rules).
+    pub ty: PacketType,
+    /// Destination connection id.
+    pub dcid: u64,
+    /// Packet number (single space).
+    pub pn: u64,
+    /// Contained frames.
+    pub frames: Vec<Frame>,
+}
+
+impl Packet {
+    /// Encodes this packet (without the coalescing length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.put_u8(self.ty.to_u8());
+        w.put_u64(self.dcid);
+        varint::put_varint(&mut w, self.pn);
+        for f in &self.frames {
+            f.encode(&mut w);
+        }
+        w.into_vec()
+    }
+
+    /// Decodes one packet from exactly `buf`.
+    pub fn decode(buf: &[u8]) -> WireResult<Packet> {
+        let mut r = Reader::new(buf);
+        let ty = PacketType::from_u8(r.get_u8()?)?;
+        let dcid = r.get_u64()?;
+        let pn = varint::get_varint(&mut r)?;
+        let mut frames = Vec::new();
+        while !r.is_empty() {
+            frames.push(Frame::decode(&mut r)?);
+        }
+        Ok(Packet {
+            ty,
+            dcid,
+            pn,
+            frames,
+        })
+    }
+}
+
+/// Encodes `packets` into one UDP datagram (length-prefixed coalescing).
+pub fn encode_datagram(packets: &[Packet]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(256);
+    for p in packets {
+        let bytes = p.encode();
+        VarInt::try_from(bytes.len()).expect("packet fits varint").encode(&mut w);
+        w.put_slice(&bytes);
+    }
+    w.into_vec()
+}
+
+/// Decodes all coalesced packets in a datagram.
+pub fn decode_datagram(buf: &[u8]) -> WireResult<Vec<Packet>> {
+    let mut r = Reader::new(buf);
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        let len = varint::get_varint(&mut r)? as usize;
+        let bytes = r.get_bytes(len)?;
+        out.push(Packet::decode(bytes)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packet_roundtrip() {
+        let p = Packet {
+            ty: PacketType::OneRtt,
+            dcid: 0xDEAD_BEEF_0000_0001,
+            pn: 42,
+            frames: vec![Frame::Ping, Frame::MaxData { max: 65536 }],
+        };
+        assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn datagram_coalescing_roundtrip() {
+        let a = Packet {
+            ty: PacketType::Initial,
+            dcid: 7,
+            pn: 0,
+            frames: vec![Frame::Crypto {
+                offset: 0,
+                data: vec![1, 2, 3],
+            }],
+        };
+        let b = Packet {
+            ty: PacketType::ZeroRtt,
+            dcid: 7,
+            pn: 1,
+            frames: vec![Frame::Stream {
+                id: crate::streams::StreamId(0),
+                offset: 0,
+                fin: false,
+                data: vec![9, 9],
+            }],
+        };
+        let dg = encode_datagram(&[a.clone(), b.clone()]);
+        assert_eq!(decode_datagram(&dg).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let mut bytes = Packet {
+            ty: PacketType::OneRtt,
+            dcid: 1,
+            pn: 0,
+            frames: vec![],
+        }
+        .encode();
+        bytes[0] = 9;
+        assert!(Packet::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(Packet::decode(&[0, 1, 2]).is_err());
+        assert!(decode_datagram(&[5, 0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = decode_datagram(&bytes);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Empirical CDFs for plotting-style output.
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples.
+    pub fn from(samples: impl IntoIterator<Item = f64>) -> Cdf {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted }
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|v| *v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(value, fraction)` points for plotting/export.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let len = self.sorted.len();
+        (1..=n)
+            .map(|i| {
+                let idx = (i * len / n).max(1) - 1;
+                (self.sorted[idx], (idx + 1) as f64 / len as f64)
+            })
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let c = Cdf::from([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.5), 0.5);
+        assert_eq!(c.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn points_span_distribution() {
+        let c = Cdf::from((1..=100).map(|x| x as f64));
+        let pts = c.points(4);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[3], (100.0, 1.0));
+        assert_eq!(pts[1].1, 0.5);
+    }
+
+    #[test]
+    fn empty() {
+        let c = Cdf::from([]);
+        assert_eq!(c.at(1.0), 0.0);
+        assert!(c.points(5).is_empty());
+    }
+}

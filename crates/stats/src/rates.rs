@@ -1,0 +1,52 @@
+//! Human-readable rate and duration formatting for experiment output.
+
+/// Formats bits per second with a binary-free SI unit (kbps/Mbps/Gbps).
+pub fn format_bps(bps: f64) -> String {
+    let abs = bps.abs();
+    if abs >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2} kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+/// Formats seconds using the most readable unit.
+pub fn format_duration(secs: f64) -> String {
+    if secs >= 60.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2} s")
+    } else if secs >= 1e-3 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs > 0.0 {
+        format!("{:.0} us", secs * 1e6)
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bps_units() {
+        assert_eq!(format_bps(5.5e9), "5.50 Gbps");
+        assert_eq!(format_bps(240e3), "240.00 kbps");
+        assert_eq!(format_bps(1.2e6), "1.20 Mbps");
+        assert_eq!(format_bps(900.0), "900 bps");
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(format_duration(120.0), "2.0 min");
+        assert_eq!(format_duration(2.5), "2.50 s");
+        assert_eq!(format_duration(0.040), "40.00 ms");
+        assert_eq!(format_duration(25e-6), "25 us");
+        assert_eq!(format_duration(0.0), "0");
+    }
+}

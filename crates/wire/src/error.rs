@@ -1,0 +1,73 @@
+//! Common error type for encode/decode failures.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before a complete value could be read.
+    UnexpectedEnd {
+        /// How many more bytes were needed (best effort).
+        needed: usize,
+    },
+    /// A value was outside the range representable in the target encoding.
+    ValueTooLarge {
+        /// Human-readable description of the field.
+        what: &'static str,
+    },
+    /// The bytes read do not form a valid value for the expected type.
+    Invalid {
+        /// Human-readable description of what was being decoded.
+        what: &'static str,
+    },
+    /// Trailing bytes remained after a full message was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { needed } => {
+                write!(f, "unexpected end of input ({needed} more bytes needed)")
+            }
+            WireError::ValueTooLarge { what } => write!(f, "value too large for {what}"),
+            WireError::Invalid { what } => write!(f, "invalid {what}"),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            WireError::UnexpectedEnd { needed: 3 }.to_string(),
+            "unexpected end of input (3 more bytes needed)"
+        );
+        assert_eq!(
+            WireError::ValueTooLarge { what: "varint" }.to_string(),
+            "value too large for varint"
+        );
+        assert_eq!(WireError::Invalid { what: "frame" }.to_string(), "invalid frame");
+        assert_eq!(
+            WireError::TrailingBytes { remaining: 7 }.to_string(),
+            "7 trailing bytes after message"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(WireError::Invalid { what: "x" });
+    }
+}

@@ -1,0 +1,20 @@
+//! # moqdns-wire
+//!
+//! Shared wire-format primitives used by every protocol crate in the
+//! workspace: QUIC variable-length integers (RFC 9000 §16), bounded
+//! byte cursors for encoding and decoding, and a common error type.
+//!
+//! The cursors are deliberately minimal: they operate on plain byte
+//! slices / `Vec<u8>` so that protocol state machines stay sans-io and
+//! allocation patterns stay obvious.
+
+pub mod buf;
+pub mod error;
+pub mod varint;
+
+pub use buf::{Reader, Writer};
+pub use error::WireError;
+pub use varint::VarInt;
+
+/// Convenience result alias for wire-format operations.
+pub type WireResult<T> = Result<T, WireError>;

@@ -1,0 +1,184 @@
+//! The §5.3 use-case parameter sets, with the paper's back-of-envelope
+//! arithmetic reproduced exactly (experiments E6–E8).
+
+use std::time::Duration;
+
+/// Dynamic DNS (paper §5.3, first scenario).
+///
+/// "Let us assume 100M users worldwide with 1,000 other users each
+/// interested in their hosted services and involving 5 MoQ relays on
+/// average. At two IP address updates per day and 300 B update size, this
+/// would yield a globally distributed application layer update traffic of
+/// some 5.5 Gbps."
+#[derive(Debug, Clone, Copy)]
+pub struct DdnsScenario {
+    /// DDNS users hosting services.
+    pub users: u64,
+    /// Subscribers interested in each user's records.
+    pub interested_per_user: u64,
+    /// Average MoQ relays on each distribution path.
+    pub relays_per_path: u64,
+    /// Record updates per user per day.
+    pub updates_per_day: f64,
+    /// Bytes per pushed update.
+    pub update_size: u64,
+}
+
+impl Default for DdnsScenario {
+    fn default() -> DdnsScenario {
+        DdnsScenario {
+            users: 100_000_000,
+            interested_per_user: 1_000,
+            relays_per_path: 5,
+            updates_per_day: 2.0,
+            update_size: 300,
+        }
+    }
+}
+
+impl DdnsScenario {
+    /// Deliveries per day across the system: each update reaches every
+    /// interested party once (the relay tree aggregates the distribution,
+    /// so intermediate hops do not multiply delivered copies — this is the
+    /// paper's arithmetic, which lands at ≈5.5 Gbps).
+    pub fn messages_per_day(&self) -> f64 {
+        self.users as f64 * self.updates_per_day * self.interested_per_user as f64
+    }
+
+    /// Hop-count-weighted transmissions per day: the same traffic counted
+    /// at every relay hop (an upper bound on infrastructure load).
+    pub fn hop_transmissions_per_day(&self) -> f64 {
+        self.messages_per_day() * self.relays_per_path as f64
+    }
+
+    /// Global application-layer update traffic in bits per second — the
+    /// paper's ≈5.5 Gbps figure.
+    pub fn global_bps(&self) -> f64 {
+        self.messages_per_day() * self.update_size as f64 * 8.0 / 86_400.0
+    }
+}
+
+/// CDN load balancing via short-TTL records (paper §5.3, second scenario).
+///
+/// "Conservatively assuming that a stub resolver subscribes to 1,000
+/// different domains and all domains are updated at the lowest observed
+/// clustered TTL of 10 s with 300 B per update, we obtain a downstream
+/// update traffic of 240 kbps."
+#[derive(Debug, Clone, Copy)]
+pub struct CdnScenario {
+    /// Domains a stub resolver is subscribed to.
+    pub subscribed_domains: u64,
+    /// Update interval (the lowest observed clustered TTL).
+    pub update_interval: Duration,
+    /// Bytes per pushed update.
+    pub update_size: u64,
+}
+
+impl Default for CdnScenario {
+    fn default() -> CdnScenario {
+        CdnScenario {
+            subscribed_domains: 1_000,
+            update_interval: Duration::from_secs(10),
+            update_size: 300,
+        }
+    }
+}
+
+impl CdnScenario {
+    /// Downstream update traffic at one stub, bits per second — the
+    /// paper's 240 kbps figure.
+    pub fn stub_downstream_bps(&self) -> f64 {
+        self.subscribed_domains as f64 * self.update_size as f64 * 8.0
+            / self.update_interval.as_secs_f64()
+    }
+}
+
+/// Deep space DNS replication (paper §5.3, third scenario; TIPTOP WG).
+#[derive(Debug, Clone, Copy)]
+pub struct DeepSpaceScenario {
+    /// One-way light delay to the remote site (Mars: ~3 to ~22 minutes).
+    pub one_way_delay: Duration,
+    /// Domains replicated to the remote resolver.
+    pub replicated_domains: u64,
+    /// Update rate cap after throttling high-churn (load-balancing) records
+    /// (§5.3: "forwarding of records for domains observed to provide high
+    /// update rates could be throttled").
+    pub max_updates_per_domain_per_hour: f64,
+    /// Bytes per pushed update.
+    pub update_size: u64,
+}
+
+impl Default for DeepSpaceScenario {
+    fn default() -> DeepSpaceScenario {
+        DeepSpaceScenario {
+            one_way_delay: Duration::from_secs(8 * 60), // Mars, mid-range
+            replicated_domains: 10_000,
+            max_updates_per_domain_per_hour: 1.0,
+            update_size: 300,
+        }
+    }
+}
+
+impl DeepSpaceScenario {
+    /// Lookup latency without replication: a classic recursive lookup needs
+    /// at least one round trip to Earth.
+    pub fn lookup_latency_unreplicated(&self) -> Duration {
+        self.one_way_delay * 2
+    }
+
+    /// Lookup latency with pub/sub replication: the record is already on
+    /// the remote resolver.
+    pub fn lookup_latency_replicated(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Throttled update traffic on the deep-space link, bits per second.
+    pub fn link_bps(&self) -> f64 {
+        self.replicated_domains as f64 * self.max_updates_per_domain_per_hour
+            * self.update_size as f64
+            * 8.0
+            / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddns_matches_paper_5_5_gbps() {
+        let s = DdnsScenario::default();
+        let gbps = s.global_bps() / 1e9;
+        // 100e6 * 2 * 1000 * 5 * 300 B * 8 / 86400 s = 5.55… Gbps.
+        assert!((5.0..6.0).contains(&gbps), "{gbps} Gbps");
+        assert!((gbps - 5.555).abs() < 0.1);
+    }
+
+    #[test]
+    fn cdn_matches_paper_240_kbps() {
+        let s = CdnScenario::default();
+        let kbps = s.stub_downstream_bps() / 1e3;
+        // 1000 * 300 B * 8 / 10 s = 240 kbps exactly.
+        assert!((kbps - 240.0).abs() < 1e-9, "{kbps} kbps");
+    }
+
+    #[test]
+    fn deep_space_round_trip_vs_replicated() {
+        let s = DeepSpaceScenario::default();
+        assert_eq!(
+            s.lookup_latency_unreplicated(),
+            Duration::from_secs(16 * 60)
+        );
+        assert_eq!(s.lookup_latency_replicated(), Duration::ZERO);
+        // Throttled updates keep the link load tiny.
+        assert!(s.link_bps() < 10_000.0, "{} bps", s.link_bps());
+    }
+
+    #[test]
+    fn scaling_behaviour() {
+        let mut s = DdnsScenario::default();
+        let base = s.global_bps();
+        s.users *= 2;
+        assert!((s.global_bps() / base - 2.0).abs() < 1e-9, "linear in users");
+    }
+}

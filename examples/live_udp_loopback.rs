@@ -1,0 +1,168 @@
+//! The same protocol stack over **real UDP sockets** — proof the sans-io
+//! cores are a transport, not just a simulation artifact.
+//!
+//!     cargo run --example live_udp_loopback
+//!
+//! Starts a MoQT server endpoint and a client endpoint on 127.0.0.1,
+//! performs the QUIC-like handshake, MoQT session setup, a SUBSCRIBE +
+//! joining FETCH for a DNS question, and pushes one record update — all
+//! over the loopback interface with wall-clock time.
+
+use moqdns::core::mapping::{
+    object_from_response, question_from_track, track_from_question, RequestFlags,
+};
+use moqdns::dns::message::{Message, Question};
+use moqdns::dns::rdata::RData;
+use moqdns::dns::rr::{Record, RecordType};
+use moqdns::moqt::session::{Session, SessionConfig, SessionEvent};
+use moqdns::moqt::MOQT_ALPN;
+use moqdns::quic::udp_driver::UdpDriver;
+use moqdns::quic::{Endpoint, TransportConfig};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // --- server ---
+    let server_ep: Endpoint<SocketAddr> =
+        Endpoint::server(TransportConfig::default(), vec![MOQT_ALPN.to_vec()], 2);
+    let server = UdpDriver::start(server_ep, "127.0.0.1:0").expect("bind server");
+    let server_addr = server.local_addr();
+    println!("MoQT nameserver listening on {server_addr}");
+
+    let sessions: Arc<Mutex<HashMap<u64, Session>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    // --- client ---
+    let client_ep: Endpoint<SocketAddr> = Endpoint::client(TransportConfig::default(), 1);
+    let client = UdpDriver::start(client_ep, "127.0.0.1:0").expect("bind client");
+    let question = Question::new("www.example.com".parse().unwrap(), RecordType::A);
+    let track = track_from_question(&question, RequestFlags::recursive()).unwrap();
+
+    // Connect + start the session.
+    let (ch, mut client_session) = {
+        let ep = client.endpoint();
+        let mut ep = ep.lock();
+        let now = client.now();
+        let ch = ep.connect(now, server_addr, vec![MOQT_ALPN.to_vec()], false);
+        let mut session = Session::client(SessionConfig::default());
+        session.start(ep.conn_mut(ch).unwrap());
+        (ch, session)
+    };
+
+    // Event loops are just polling the shared endpoints; a real server
+    // would own this, but 60 lines of example must stay readable.
+    let serve = |sessions: &Arc<Mutex<HashMap<u64, Session>>>, server: &UdpDriver| {
+        let ep = server.endpoint();
+        let mut ep = ep.lock();
+        while let Some(h) = ep.poll_incoming() {
+            sessions
+                .lock()
+                .insert(h.0, Session::server(SessionConfig::default()));
+        }
+        let mut events = Vec::new();
+        while let Some((h, ev)) = ep.poll_event() {
+            events.push((h, ev));
+        }
+        for (h, ev) in events {
+            let mut sess_map = sessions.lock();
+            let (Some(session), Some(conn)) = (sess_map.get_mut(&h.0), ep.conn_mut(h)) else {
+                continue;
+            };
+            session.on_conn_event(conn, &ev);
+            while let Some(sev) = session.poll_event() {
+                match sev {
+                    SessionEvent::IncomingSubscribe { request_id, track } => {
+                        let (q, _) = question_from_track(&track).unwrap();
+                        println!("[server] SUBSCRIBE for {q}");
+                        session.accept_subscribe(conn, request_id, Some((1, 0)));
+                    }
+                    SessionEvent::IncomingFetch { request_id, .. } => {
+                        println!("[server] joining FETCH -> current record (v1)");
+                        let mut resp = Message::response_to(&Message::query(0, question.clone()));
+                        resp.answers.push(Record::new(
+                            question.qname.clone(),
+                            300,
+                            RData::A("192.0.2.1".parse().unwrap()),
+                        ));
+                        let obj = object_from_response(&resp, 1);
+                        session.respond_fetch(conn, request_id, (1, 0), vec![obj]);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    };
+
+    // Wait for the lookup to complete on the client side.
+    let mut got_initial = false;
+    let mut server_push_done = false;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        serve(&sessions, &server);
+        {
+            let ep = client.endpoint();
+            let mut ep = ep.lock();
+            let mut events = Vec::new();
+            while let Some((h, ev)) = ep.poll_event() {
+                if h == ch {
+                    events.push(ev);
+                }
+            }
+            for ev in events {
+                if let Some(conn) = ep.conn_mut(ch) {
+                    client_session.on_conn_event(conn, &ev);
+                }
+            }
+            if client_session.is_ready() && client_session.subscription_count() == 0 {
+                if let Some(conn) = ep.conn_mut(ch) {
+                    println!("[client] session ready; SUBSCRIBE + joining FETCH");
+                    client_session.subscribe_with_joining_fetch(conn, track.clone(), 1);
+                }
+            }
+            while let Some(sev) = client_session.poll_event() {
+                match sev {
+                    SessionEvent::FetchObjects { objects, .. } => {
+                        let m = moqdns::core::response_from_object(&objects[0]).unwrap();
+                        println!("[client] initial answer: {}", m.answers[0]);
+                        got_initial = true;
+                    }
+                    SessionEvent::SubscriptionObject { object, .. } => {
+                        let m = moqdns::core::response_from_object(&object).unwrap();
+                        println!(
+                            "[client] pushed update v{}: {}",
+                            object.group_id, m.answers[0]
+                        );
+                        println!("\nReal packets, real sockets, same state machines.");
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // After the initial answer, the server pushes one update.
+        if got_initial && !server_push_done {
+            server_push_done = true;
+            let ep = server.endpoint();
+            let mut ep = ep.lock();
+            let mut sess_map = sessions.lock();
+            for (hraw, session) in sess_map.iter_mut() {
+                if let Some(conn) = ep.conn_mut(moqdns::quic::ConnHandle(*hraw)) {
+                    let mut resp = Message::response_to(&Message::query(0, question.clone()));
+                    resp.answers.push(Record::new(
+                        question.qname.clone(),
+                        300,
+                        RData::A("192.0.2.99".parse().unwrap()),
+                    ));
+                    let obj = object_from_response(&resp, 2);
+                    // Publish to every accepted peer subscription (id 0).
+                    session.publish(conn, 0, obj);
+                    println!("[server] record changed -> pushing v2");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("live loopback example timed out");
+}
