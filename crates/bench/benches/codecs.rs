@@ -86,7 +86,10 @@ fn bench_varint(c: &mut Criterion) {
 }
 
 fn bench_mapping(c: &mut Criterion) {
-    let q = Question::new("www.some-long-domain-name.example.com".parse().unwrap(), RecordType::HTTPS);
+    let q = Question::new(
+        "www.some-long-domain-name.example.com".parse().unwrap(),
+        RecordType::HTTPS,
+    );
     c.bench_function("mapping/track_from_question", |b| {
         b.iter(|| track_from_question(black_box(&q), RequestFlags::recursive()).unwrap())
     });

@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks: the two hot paths the paper's experiments
+//! lean on — relay object fan-out (publish → N subscribers) and the DNS
+//! TTL cache under eviction pressure.
+//!
+//! The fan-out benchmark demonstrates that publish cost is O(1) in
+//! subscriber count for payload bytes copied: one encode per object,
+//! payload shared by reference across subscribers. The cache benchmark
+//! exercises insert-at-capacity, which must not do a full-map scan.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use moqdns_dns::cache::Cache;
+use moqdns_dns::message::Rcode;
+use moqdns_dns::name::Name;
+use moqdns_dns::rdata::RData;
+use moqdns_dns::rr::{Record, RecordType};
+use moqdns_moqt::data::Object;
+use moqdns_moqt::relay::RelayCore;
+use moqdns_moqt::track::FullTrackName;
+use moqdns_netsim::SimTime;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn track() -> FullTrackName {
+    FullTrackName::new(
+        vec![vec![0x02], vec![0x00, 0x01], vec![0x00, 0x01]],
+        b"\x03www\x07example\x03com\x00".to_vec(),
+    )
+    .unwrap()
+}
+
+/// A typical DNS response payload (~512 bytes of records).
+fn payload_bytes() -> Vec<u8> {
+    (0..512u32).map(|i| (i % 251) as u8).collect()
+}
+
+fn bench_relay_fanout(c: &mut Criterion) {
+    for subs in [1usize, 8, 64, 256] {
+        let mut g = c.benchmark_group("fanout/publish");
+        g.throughput(Throughput::Elements(subs as u64));
+        g.bench_function(format!("{subs}_subscribers"), |b| {
+            let mut relay = RelayCore::new(8);
+            for s in 0..subs {
+                relay.on_downstream_subscribe(s as u64, 2, track());
+            }
+            let data = payload_bytes();
+            let mut group = 0u64;
+            b.iter(|| {
+                group += 1;
+                let object = Object {
+                    group_id: group,
+                    object_id: 0,
+                    payload: data.clone().into(),
+                };
+                let actions = relay.on_upstream_object(&track(), object);
+                assert_eq!(actions.len(), subs);
+                black_box(actions)
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_cache_insert_at_capacity(c: &mut Criterion) {
+    const CAP: usize = 4096;
+    let names: Vec<Name> = (0..CAP + 1024)
+        .map(|i| format!("host-{i}.example.com").parse().unwrap())
+        .collect();
+    c.bench_function("fanout/cache_insert_at_capacity", |b| {
+        let mut cache = Cache::new(CAP);
+        let t0 = SimTime::from_secs(0);
+        for (i, n) in names.iter().take(CAP).enumerate() {
+            cache.insert(
+                t0 + Duration::from_millis(i as u64),
+                n,
+                RecordType::A,
+                vec![Record::new(
+                    n.clone(),
+                    3600,
+                    RData::A([192, 0, 2, 1].into()),
+                )],
+            );
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            // Every insert lands in a full cache and must evict.
+            i = (i + 1) % names.len();
+            let now = SimTime::from_secs(10) + Duration::from_millis(i as u64);
+            cache.insert(
+                now,
+                &names[i],
+                RecordType::A,
+                vec![Record::new(
+                    names[i].clone(),
+                    3600,
+                    RData::A([192, 0, 2, 2].into()),
+                )],
+            );
+            black_box(cache.len())
+        })
+    });
+}
+
+fn bench_cache_churn(c: &mut Criterion) {
+    // Mixed get/insert/expiry workload: the §2 TTL machinery under load.
+    const CAP: usize = 4096;
+    let names: Vec<Name> = (0..CAP)
+        .map(|i| format!("churn-{i}.example.com").parse().unwrap())
+        .collect();
+    c.bench_function("fanout/cache_mixed_churn", |b| {
+        let mut cache = Cache::new(CAP);
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            let now = SimTime::from_secs(tick / 64);
+            let n = &names[(tick as usize * 7) % names.len()];
+            if tick.is_multiple_of(4) {
+                cache.insert(
+                    now,
+                    n,
+                    RecordType::A,
+                    vec![Record::new(n.clone(), 30, RData::A([192, 0, 2, 3].into()))],
+                );
+            } else if tick.is_multiple_of(97) {
+                cache.insert_negative(now, n, RecordType::AAAA, Rcode::NxDomain, 30);
+            } else {
+                black_box(cache.get(now, n, RecordType::A));
+            }
+            black_box(cache.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_relay_fanout,
+    bench_cache_insert_at_capacity,
+    bench_cache_churn
+);
+criterion_main!(benches);

@@ -27,7 +27,7 @@ fn shuttle(a: &mut Connection, b: &mut Connection, start: SimTime) -> SimTime {
             moved = true;
             a.handle_datagram(now, &d);
         }
-        now = now + Duration::from_micros(10);
+        now += Duration::from_micros(10);
         if !moved {
             break;
         }
@@ -39,8 +39,7 @@ fn bench_handshake(c: &mut Criterion) {
     c.bench_function("quic/handshake_pair", |b| {
         b.iter(|| {
             let t0 = SimTime::ZERO;
-            let mut client =
-                Connection::client(1, TransportConfig::default(), alpns(), None, t0);
+            let mut client = Connection::client(1, TransportConfig::default(), alpns(), None, t0);
             let mut server = Connection::server(1, TransportConfig::default(), alpns(), 9, t0);
             shuttle(&mut client, &mut server, t0);
             assert!(client.is_established());
@@ -56,8 +55,7 @@ fn bench_stream_transfer(c: &mut Criterion) {
     g.bench_function("64KiB", |b| {
         b.iter(|| {
             let t0 = SimTime::ZERO;
-            let mut client =
-                Connection::client(1, TransportConfig::default(), alpns(), None, t0);
+            let mut client = Connection::client(1, TransportConfig::default(), alpns(), None, t0);
             let mut server = Connection::server(1, TransportConfig::default(), alpns(), 9, t0);
             let mut now = shuttle(&mut client, &mut server, t0);
             let id = client.open_stream(Dir::Uni).unwrap();

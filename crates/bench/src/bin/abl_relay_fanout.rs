@@ -168,7 +168,13 @@ fn main() {
     const UPDATES: u64 = 10;
     let mut t = Table::new(
         format!("{UPDATES} updates to S subscribers: authoritative egress bytes"),
-        &["S", "direct: auth egress", "via relay: auth egress", "relay egress", "agg factor"],
+        &[
+            "S",
+            "direct: auth egress",
+            "via relay: auth egress",
+            "relay egress",
+            "agg factor",
+        ],
     );
     for (i, s) in [1usize, 5, 20].iter().enumerate() {
         // Direct.
@@ -194,7 +200,10 @@ fn main() {
             .map(|n| relayed.sim.node_ref::<Sub>(*n).updates)
             .sum();
         assert_eq!(delivered, UPDATES * *s as u64, "relayed delivery complete");
-        let agg = relayed.sim.node_ref::<RelayNode>(relay_id).aggregation_factor();
+        let agg = relayed
+            .sim
+            .node_ref::<RelayNode>(relay_id)
+            .aggregation_factor();
 
         t.push(&[
             s.to_string(),
@@ -227,7 +236,11 @@ fn main() {
     b.sim.run_until(deadline);
     let fetched = b.sim.node_ref::<Sub>(late).fetched;
     let auth_touched = b.sim.stats().between(relay_id, b.auth).datagrams;
-    let hits = b.sim.node_ref::<RelayNode>(relay_id).stats().fetch_cache_hits;
+    let hits = b
+        .sim
+        .node_ref::<RelayNode>(relay_id)
+        .stats()
+        .fetch_cache_hits;
     println!(
         "Late joiner: fetch answered = {fetched}, relay cache hits = {hits}, \
          relay→auth datagrams during join = {auth_touched} (cache absorbed the fetch)."

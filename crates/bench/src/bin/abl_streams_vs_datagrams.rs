@@ -74,9 +74,7 @@ impl Sub {
 
 fn run(loss: f64, datagrams: bool, seed: u64) -> u64 {
     let mut sim = Simulator::new(seed);
-    sim.set_default_link(
-        LinkConfig::with_delay(Duration::from_millis(20)).loss(loss),
-    );
+    sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(20)).loss(loss));
     let name: moqdns_dns::name::Name = "lb.cdn.example".parse().unwrap();
     let mut zone = Zone::with_default_soa("cdn.example".parse().unwrap());
     zone.add_record(Record::new(
@@ -84,11 +82,7 @@ fn run(loss: f64, datagrams: bool, seed: u64) -> u64 {
         10,
         RData::A(Ipv4Addr::new(192, 0, 2, 1)),
     ));
-    let mut auth_node = AuthServer::new(
-        Authority::single(zone),
-        TransportConfig::default(),
-        1,
-    );
+    let mut auth_node = AuthServer::new(Authority::single(zone), TransportConfig::default(), 1);
     auth_node.set_use_datagrams(datagrams);
     let auth = sim.add_node("auth", Box::new(auth_node));
     let q = Question::new(name.clone(), RecordType::A);

@@ -68,7 +68,10 @@ fn main() {
 
     let policies: Vec<(&str, TeardownPolicy)> = vec![
         ("never", TeardownPolicy::Never),
-        ("idle 60 s", TeardownPolicy::IdleTimeout(Duration::from_secs(60))),
+        (
+            "idle 60 s",
+            TeardownPolicy::IdleTimeout(Duration::from_secs(60)),
+        ),
         ("LRU cap 10", TeardownPolicy::LruCap(10)),
         (
             "adaptive ≥6/h",
@@ -81,7 +84,12 @@ fn main() {
 
     let mut t = Table::new(
         format!("{LOOKUPS} Zipf lookups over {DOMAINS} domains"),
-        &["policy", "subs held at end", "SUBSCRIBEs sent", "answered locally %"],
+        &[
+            "policy",
+            "subs held at end",
+            "SUBSCRIBEs sent",
+            "answered locally %",
+        ],
     );
     for (i, (name, p)) in policies.into_iter().enumerate() {
         let (held, resubs, local) = run(p, 910 + i as u64);

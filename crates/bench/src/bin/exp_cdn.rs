@@ -23,7 +23,10 @@ fn main() {
     report::heading("E7 / §5.3 — CDN: stub downstream update traffic");
 
     let s = CdnScenario::default();
-    let mut t = Table::new("Analytic estimate (paper parameters)", &["parameter", "value"]);
+    let mut t = Table::new(
+        "Analytic estimate (paper parameters)",
+        &["parameter", "value"],
+    );
     t.push(&[
         "subscribed domains".to_string(),
         s.subscribed_domains.to_string(),
@@ -66,8 +69,7 @@ fn main() {
             version = version.wrapping_add(1).max(1);
             let v = version;
             w.sim.schedule_at(at, move |sim| {
-                let name: moqdns_dns::name::Name =
-                    format!("{host}.example.com").parse().unwrap();
+                let name: moqdns_dns::name::Name = format!("{host}.example.com").parse().unwrap();
                 sim.with_node::<AuthServer, _>(auth, |a, ctx| {
                     a.update_zone(ctx, |authority| {
                         if let Some(z) = authority.find_zone_mut(&name) {
@@ -108,14 +110,8 @@ fn main() {
         &["metric", "value"],
     );
     t2.push(&["updates received".to_string(), updates.to_string()]);
-    t2.push(&[
-        "stub downstream (measured)".to_string(),
-        format_bps(bps),
-    ]);
-    t2.push(&[
-        "per subscribed domain".to_string(),
-        format_bps(per_domain),
-    ]);
+    t2.push(&["stub downstream (measured)".to_string(), format_bps(bps)]);
+    t2.push(&["per subscribed domain".to_string(), format_bps(per_domain)]);
     t2.push(&[
         "extrapolated to 1000 domains (measured update size)".to_string(),
         format_bps(extrapolated),

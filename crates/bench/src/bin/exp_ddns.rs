@@ -9,9 +9,9 @@
 
 use moqdns_bench::report;
 use moqdns_core::auth::AuthServer;
+use moqdns_core::mapping::{track_from_question, RequestFlags};
 use moqdns_core::relay_node::RelayNode;
 use moqdns_core::stack::{MoqtStack, StackEvent};
-use moqdns_core::mapping::{track_from_question, RequestFlags};
 use moqdns_core::MOQT_PORT;
 use moqdns_dns::message::Question;
 use moqdns_dns::rdata::RData;
@@ -39,8 +39,7 @@ impl Node for Subscriber {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let server = self.server.unwrap();
         let h = self.stack.connect(ctx.now(), server, false);
-        let track =
-            track_from_question(&self.question, RequestFlags::iterative()).unwrap();
+        let track = track_from_question(&self.question, RequestFlags::iterative()).unwrap();
         if let Some((sess, conn)) = self.stack.session_conn(h) {
             sess.subscribe_with_joining_fetch(conn, track, 1);
         }
@@ -155,7 +154,11 @@ fn main() {
                         z.set_records(
                             &nm,
                             RecordType::A,
-                            vec![Record::new(nm.clone(), 60, RData::A(Ipv4Addr::new(203, 0, 113, o)))],
+                            vec![Record::new(
+                                nm.clone(),
+                                60,
+                                RData::A(Ipv4Addr::new(203, 0, 113, o)),
+                            )],
                         );
                     }
                 });
@@ -197,7 +200,11 @@ fn main() {
     ]);
     report::emit(&t2, "exp_ddns_sim");
 
-    assert_eq!(delivered, 2 * SUBS as u64, "every subscriber got both updates");
+    assert_eq!(
+        delivered,
+        2 * SUBS as u64,
+        "every subscriber got both updates"
+    );
     println!(
         "The relay turns 1 upstream update into {SUBS} downstream copies — the \
          aggregation the paper's 5.5 Gbps estimate assumes."

@@ -29,8 +29,7 @@ fn build_mars(mode: UpstreamMode, stub_mode: StubMode, seed: u64) -> World {
         moqt_step_timeout: Some(Duration::from_secs(3 * 3600)),
         udp_rto: Some(Duration::from_secs(20 * 60)),
         auth_transport: Some(
-            moqdns_quic::TransportConfig::default()
-                .idle_timeout(Duration::from_secs(24 * 3600)),
+            moqdns_quic::TransportConfig::default().idle_timeout(Duration::from_secs(24 * 3600)),
         ),
         ..WorldSpec::default()
     };
@@ -47,19 +46,17 @@ fn main() {
     report::heading("E8 / §5.3 — deep space DNS");
 
     let mut t = Table::new(
-        format!("Mars scenario: one-way delay {}", format_duration(OWD.as_secs_f64())),
+        format!(
+            "Mars scenario: one-way delay {}",
+            format_duration(OWD.as_secs_f64())
+        ),
         &["operation", "latency"],
     );
 
     // Classic first lookup: recursive walks root→TLD→auth over space.
     let mut w = build_mars(UpstreamMode::Classic, StubMode::Classic, 81);
     w.lookup(0, "www", Duration::from_secs(4 * 3600));
-    let l = w
-        .sim
-        .node_ref::<StubResolver>(w.stubs[0])
-        .metrics
-        .lookups[0]
-        .latency();
+    let l = w.sim.node_ref::<StubResolver>(w.stubs[0]).metrics.lookups[0].latency();
     t.push(&[
         "classic first lookup (3 interplanetary RTTs)".to_string(),
         format_duration(l.as_secs_f64()),
@@ -113,7 +110,10 @@ fn main() {
     }
     report::emit(&t2, "exp_deep_space_throttle");
 
-    assert!(second < Duration::from_millis(1), "replicated lookup is local");
+    assert!(
+        second < Duration::from_millis(1),
+        "replicated lookup is local"
+    );
     assert!(
         (arrival - change) < OWD + Duration::from_secs(5),
         "push arrives in ~one OWD"

@@ -189,10 +189,7 @@ fn main() {
         {
             let has_sub = subscribed.iter().any(|s| s.starts_with(host));
             t.push(&[
-                format!(
-                    "{host}{}",
-                    if poll_proxy { " (poll-proxy)" } else { "" }
-                ),
+                format!("{host}{}", if poll_proxy { " (poll-proxy)" } else { "" }),
                 lookup.ok.to_string(),
                 format!("{:.0}", lookup.latency().as_secs_f64() * 1e3),
                 if has_sub {

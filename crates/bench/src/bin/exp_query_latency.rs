@@ -107,10 +107,10 @@ fn main() {
         let mut w = World::build(&s);
         w.lookup(1, "www", Duration::from_secs(5));
         w.lookup(0, "www", Duration::from_secs(5)); // cold + ticket stored
-        // Let the stub's connection idle out (transport idle = 3600 s in
-        // the default config, so instead simulate suspension: drop conn by
-        // waiting past idle). Use a direct approach: ask the stub to
-        // forget its connection state.
+                                                    // Let the stub's connection idle out (transport idle = 3600 s in
+                                                    // the default config, so instead simulate suspension: drop conn by
+                                                    // waiting past idle). Use a direct approach: ask the stub to
+                                                    // forget its connection state.
         let stub = w.stubs[0];
         w.sim.with_node::<StubResolver, _>(stub, |s, _| {
             s.debug_drop_connection();
@@ -201,8 +201,16 @@ fn main() {
         &["configuration", "latency_ms", "RTTs"],
     );
     for (label, mode, stub_mode) in [
-        ("classic end-to-end", UpstreamMode::Classic, StubMode::Classic),
-        ("MoQT end-to-end (strict)", UpstreamMode::Moqt, StubMode::Moqt),
+        (
+            "classic end-to-end",
+            UpstreamMode::Classic,
+            StubMode::Classic,
+        ),
+        (
+            "MoQT end-to-end (strict)",
+            UpstreamMode::Moqt,
+            StubMode::Moqt,
+        ),
     ] {
         let mut s = spec(stub_mode, false);
         s.seed = 20;
@@ -210,7 +218,11 @@ fn main() {
         let mut w = World::build(&s);
         w.lookup(0, "www", Duration::from_secs(10));
         let ms = last_lookup_ms(&mut w);
-        t2.push(&[label.to_string(), format!("{ms:.1}"), format!("{:.1}", ms / rtt)]);
+        t2.push(&[
+            label.to_string(),
+            format!("{ms:.1}"),
+            format!("{:.1}", ms / rtt),
+        ]);
     }
     report::emit(&t2, "exp_query_latency_cold_chain");
 }

@@ -22,12 +22,7 @@ const HORIZON_S: u64 = 1800; // 30 simulated minutes
 /// Runs one configuration; returns (datagrams, bytes, rr_requests)
 /// across all links — `rr_requests` counts application-level DNS queries
 /// issued by the stubs (the paper's "number of RR requests").
-fn run(
-    ttl: u32,
-    changes_per_hour: u32,
-    moqt: bool,
-    seed: u64,
-) -> (u64, u64, u64) {
+fn run(ttl: u32, changes_per_hour: u32, moqt: bool, seed: u64) -> (u64, u64, u64) {
     let spec = WorldSpec {
         seed,
         mode: if moqt {
@@ -35,7 +30,11 @@ fn run(
         } else {
             UpstreamMode::Classic
         },
-        stub_mode: if moqt { StubMode::Moqt } else { StubMode::Classic },
+        stub_mode: if moqt {
+            StubMode::Moqt
+        } else {
+            StubMode::Classic
+        },
         n_stubs: N_STUBS,
         records: vec![("www".into(), ttl)],
         ..WorldSpec::default()
@@ -64,8 +63,7 @@ fn run(
             w.sim.schedule_at(target, move |sim| {
                 sim.with_node::<moqdns_core::auth::AuthServer, _>(auth, |a, ctx| {
                     a.update_zone(ctx, |authority| {
-                        let name: moqdns_dns::name::Name =
-                            "www.example.com".parse().unwrap();
+                        let name: moqdns_dns::name::Name = "www.example.com".parse().unwrap();
                         if let Some(z) = authority.find_zone_mut(&name) {
                             z.set_records(
                                 &name,
@@ -147,7 +145,12 @@ fn main() {
 
     let mut t2 = Table::new(
         format!("{N_STUBS} stubs, TTL 60 s, 30 min; crossover vs change rate"),
-        &["changes_per_hour", "classic bytes", "moqt bytes", "moqt/classic"],
+        &[
+            "changes_per_hour",
+            "classic bytes",
+            "moqt bytes",
+            "moqt/classic",
+        ],
     );
     for (i, rate) in [0u32, 4, 12, 60, 240].iter().enumerate() {
         let (_, cb, _) = run(60, *rate, false, 500 + i as u64);

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 fn main() {
     report::heading("E1 / Fig 1a — record counts and TTL distribution (top-10k)");
 
-    let toplist = Toplist::top10k(2025_06_24);
+    let toplist = Toplist::top10k(20_250_624);
     let (a, aaaa, https) = toplist.type_counts();
 
     let mut counts = Table::new(

@@ -1,10 +1,10 @@
 //! Reusable simulated worlds for the experiments.
 
 use moqdns_core::auth::AuthServer;
+use moqdns_core::node_ip;
 use moqdns_core::recursive::{RecursiveConfig, RecursiveResolver, UpstreamMode};
 use moqdns_core::stub::{StubMode, StubResolver};
 use moqdns_core::teardown::TeardownPolicy;
-use moqdns_core::node_ip;
 use moqdns_dns::message::Question;
 use moqdns_dns::name::Name;
 use moqdns_dns::rdata::RData;
@@ -128,10 +128,7 @@ impl World {
             ));
         }
 
-        let auth_transport = spec
-            .auth_transport
-            .clone()
-            .unwrap_or_else(TransportConfig::default);
+        let auth_transport = spec.auth_transport.clone().unwrap_or_default();
         let root = sim.add_node(
             "root",
             Box::new(AuthServer::new(

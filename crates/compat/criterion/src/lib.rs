@@ -1,0 +1,254 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses: [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark warms up for ~200 ms, then runs batches
+//! sized to ~50 ms until ~1 s of samples accumulate; the reported figure
+//! is the median batch mean with min/max spread. Results print as
+//!
+//! ```text
+//! bench <name> ... median <t> ns/iter (min <t>, max <t>[, <rate>/s])
+//! ```
+//!
+//! and, when `CRITERION_JSON` names a file, are appended there as JSON
+//! lines (`{"name":...,"median_ns":...}`) for scripted comparison.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Bencher {
+        Bencher {
+            warmup,
+            measure,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `f`, storing per-iteration nanosecond samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: discover a batch size that runs ~50 ms, JIT caches hot.
+        let mut batch: u64 = 1;
+        let warm_end = Instant::now() + self.warmup;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_end {
+                if dt < Duration::from_millis(40) && batch < 1 << 40 {
+                    let scale = (Duration::from_millis(50).as_nanos() as f64
+                        / dt.as_nanos().max(1) as f64)
+                        .clamp(1.0, 1024.0);
+                    batch = ((batch as f64) * scale) as u64;
+                    batch = batch.max(1);
+                }
+                break;
+            }
+            if dt < Duration::from_millis(40) && batch < 1 << 40 {
+                batch *= 2;
+            }
+        }
+        // Measurement batches.
+        let end = Instant::now() + self.measure;
+        while Instant::now() < end || self.samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / (median / 1e9) / (1024.0 * 1024.0);
+            format!(", {mibs:.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (median / 1e9);
+            format!(", {eps:.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!("bench {name} ... median {median:.1} ns/iter (min {min:.1}, max {max:.1}{rate})");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1}}}"
+            );
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes a substring filter; other
+        // harness flags (--bench, --exact, ...) are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(1000),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.selected(name) {
+            let mut b = Bencher::new(self.warmup, self.measure);
+            f(&mut b);
+            report(name, &mut b.samples, None);
+        }
+        self
+    }
+
+    /// Opens a named group (throughput/sample-size annotations).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group (named `<group>/<id>`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            let mut b = Bencher::new(self.criterion.warmup, self.criterion.measure);
+            f(&mut b);
+            report(&full, &mut b.samples, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+            filter: None,
+        };
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_filtering() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            filter: Some("nomatch".into()),
+        };
+        let mut ran = false;
+        c.bench_function("skipped/one", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filter must skip non-matching benchmarks");
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` fns whose arguments are
+//!   drawn from strategies (`arg in strategy`);
+//! * [`prelude::any`] for integers and bools;
+//! * [`collection::vec`] for vectors with a size range;
+//! * integer range strategies (`0u16..70`, `0u64..=MAX`);
+//! * string strategies from a regex subset (char classes, groups,
+//!   `{m,n}`/`{m}`/`*`/`+`/`?` quantifiers, `\`-escapes, `|` alternation);
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is no shrinking: a failing case reports the
+//! generated inputs and panics. Case count is fixed at
+//! [`CASES`] per property, seeded deterministically per test name, so
+//! failures reproduce.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Number of cases each property runs. Override with the
+/// `PROPTEST_CASES` environment variable.
+pub const CASES: u32 = 128;
+
+/// Deterministic per-test RNG handed to strategies.
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from the test's name so each property gets a
+    /// distinct but reproducible stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi.wrapping_sub(lo);
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
+    }
+}
+
+/// Effective case count (reads `PROPTEST_CASES` once per call; cheap).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CASES)
+}
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a property, reporting the expression text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn` runs [`CASES`] times with arguments
+/// drawn from the given strategies; a failing case prints its inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..$crate::cases() {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    let __report = format!(
+                        concat!("[", stringify!($name), " case {}]", $(" ", stringify!($arg), " = {:?}"),+),
+                        __case, $(&$arg),+
+                    );
+                    let __outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        move || { $body }
+                    ));
+                    if let Err(e) = __outcome {
+                        eprintln!("proptest failure: {__report}");
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+// Re-exported so the macro can call ranges/regex generically.
+impl<T: strategy::UniformInt> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(rng.between(lo, hi - 1))
+    }
+}
+
+impl<T: strategy::UniformInt> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "empty range strategy");
+        T::from_u64(rng.between(lo, hi))
+    }
+}

@@ -1,0 +1,391 @@
+//! Strategies: value generators driven by a [`TestRng`].
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Blanket impl so strategies can be passed by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Integers a range strategy can produce (lossless through u64).
+pub trait UniformInt: Copy {
+    /// Widens to u64.
+    fn to_u64(self) -> u64;
+    /// Narrows from u64 (caller guarantees range).
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Types with a whole-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection length bounds, inclusive on both ends.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Vector strategy from [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.between(self.size.min as u64, self.size.max as u64) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// String literals are regex strategies (subset: literals, `\`-escapes,
+/// `[...]` classes with ranges, `(...)` groups, `|` alternation, and
+/// `{m}`/`{m,n}`/`*`/`+`/`?` quantifiers).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = parse_seq(&mut Lexer::new(self), false);
+        let mut out = String::new();
+        gen_node(&ast, rng, &mut out);
+        out
+    }
+}
+
+enum Node {
+    /// Ordered parts, generated in sequence.
+    Seq(Vec<Node>),
+    /// One branch chosen uniformly.
+    Alt(Vec<Node>),
+    /// A literal character.
+    Char(char),
+    /// One character from the set.
+    Class(Vec<char>),
+    /// Inner node repeated between min and max times.
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Lexer {
+    fn new(s: &str) -> Lexer {
+        Lexer {
+            chars: s.chars().collect(),
+            pos: 0,
+        }
+    }
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+    fn expect(&mut self, c: char) {
+        match self.next() {
+            Some(got) if got == c => {}
+            other => panic!("regex strategy: expected {c:?}, got {other:?}"),
+        }
+    }
+}
+
+/// Parses a sequence (stops at `)` when `in_group`, or at `|`/end).
+fn parse_seq(lx: &mut Lexer, in_group: bool) -> Node {
+    let mut branches = Vec::new();
+    let mut parts = Vec::new();
+    loop {
+        match lx.peek() {
+            None => break,
+            Some(')') if in_group => break,
+            Some('|') => {
+                lx.next();
+                branches.push(Node::Seq(std::mem::take(&mut parts)));
+                continue;
+            }
+            _ => {}
+        }
+        let base = parse_base(lx);
+        let node = match lx.peek() {
+            Some('{') => {
+                let (m, n) = parse_counts(lx);
+                Node::Repeat(Box::new(base), m, n)
+            }
+            Some('*') => {
+                lx.next();
+                Node::Repeat(Box::new(base), 0, 8)
+            }
+            Some('+') => {
+                lx.next();
+                Node::Repeat(Box::new(base), 1, 8)
+            }
+            Some('?') => {
+                lx.next();
+                Node::Repeat(Box::new(base), 0, 1)
+            }
+            _ => base,
+        };
+        parts.push(node);
+    }
+    let tail = Node::Seq(parts);
+    if branches.is_empty() {
+        tail
+    } else {
+        branches.push(tail);
+        Node::Alt(branches)
+    }
+}
+
+fn parse_base(lx: &mut Lexer) -> Node {
+    match lx.next() {
+        Some('(') => {
+            let inner = parse_seq(lx, true);
+            lx.expect(')');
+            inner
+        }
+        Some('[') => {
+            let mut set = Vec::new();
+            loop {
+                match lx.next() {
+                    Some(']') => break,
+                    Some('\\') => set.push(lx.next().expect("regex strategy: dangling escape")),
+                    Some(a) => {
+                        if lx.peek() == Some('-')
+                            && lx.chars.get(lx.pos + 1).is_some_and(|&c| c != ']')
+                        {
+                            lx.next(); // '-'
+                            let b = lx.next().unwrap();
+                            for c in a..=b {
+                                set.push(c);
+                            }
+                        } else {
+                            set.push(a);
+                        }
+                    }
+                    None => panic!("regex strategy: unterminated class"),
+                }
+            }
+            assert!(!set.is_empty(), "regex strategy: empty class");
+            Node::Class(set)
+        }
+        Some('\\') => Node::Char(lx.next().expect("regex strategy: dangling escape")),
+        Some('.') => Node::Class(('a'..='z').chain('0'..='9').collect()),
+        Some(c) => Node::Char(c),
+        None => panic!("regex strategy: empty pattern atom"),
+    }
+}
+
+fn parse_counts(lx: &mut Lexer) -> (u32, u32) {
+    lx.expect('{');
+    let mut first = String::new();
+    let mut second = None::<String>;
+    loop {
+        match lx.next() {
+            Some('}') => break,
+            Some(',') => second = Some(String::new()),
+            Some(d) if d.is_ascii_digit() => match &mut second {
+                Some(s) => s.push(d),
+                None => first.push(d),
+            },
+            other => panic!("regex strategy: bad repetition {other:?}"),
+        }
+    }
+    let m: u32 = first.parse().expect("regex strategy: repetition min");
+    let n = match second {
+        None => m,
+        Some(s) if s.is_empty() => m + 8,
+        Some(s) => s.parse().expect("regex strategy: repetition max"),
+    };
+    assert!(m <= n, "regex strategy: inverted repetition");
+    (m, n)
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(parts) => {
+            for p in parts {
+                gen_node(p, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let i = rng.below(branches.len() as u64) as usize;
+            gen_node(&branches[i], rng, out);
+        }
+        Node::Char(c) => out.push(*c),
+        Node::Class(set) => {
+            let i = rng.below(set.len() as u64) as usize;
+            out.push(set[i]);
+        }
+        Node::Repeat(inner, m, n) => {
+            let k = rng.between(*m as u64, *n as u64);
+            for _ in 0..k {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn any_and_ranges() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v: u16 = (0u16..70).generate(&mut r);
+            assert!(v < 70);
+            let w: u64 = (0u64..=5).generate(&mut r);
+            assert!(w <= 5);
+            let _: bool = any::<bool>().generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut r = rng();
+        let s = crate::collection::vec(any::<u8>(), 2..5);
+        for _ in 0..500 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_domain_shape() {
+        let mut r = rng();
+        let pat = "[a-z0-9]{1,12}(\\.[a-z0-9]{1,12}){0,4}";
+        for _ in 0..500 {
+            let s = pat.generate(&mut r);
+            for label in s.split('.') {
+                assert!(!label.is_empty() && label.len() <= 12, "{s:?}");
+                assert!(
+                    label
+                        .bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()),
+                    "{s:?}"
+                );
+            }
+            assert!(s.split('.').count() <= 5, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_literal_suffix() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,10}\\.com".generate(&mut r);
+            assert!(s.ends_with(".com"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn regex_alternation_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "(ab|cd)+x?".generate(&mut r);
+            assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
+        }
+    }
+}

@@ -12,16 +12,20 @@
 //!   are subscribed to a track that includes the updated record in its
 //!   answer message" (§4.2).
 
-use crate::mapping::{object_from_response, question_from_track, track_from_question, RequestFlags};
+use crate::mapping::{
+    object_from_response, question_from_track, track_from_question, RequestFlags,
+};
 use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
 use crate::{DNS_PORT, MOQT_PORT};
 use moqdns_dns::message::Question;
 use moqdns_dns::server::Authority;
 use moqdns_dns::transport::serve_datagram;
+use moqdns_moqt::data::Object;
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
 use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::{Addr, Ctx, Node};
 use moqdns_quic::{ConnHandle, TransportConfig};
+use moqdns_wire::Payload;
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -44,7 +48,9 @@ pub struct AuthStats {
 struct SubEntry {
     question: Question,
     /// Last object payload pushed/advertised (suppresses no-op pushes).
-    last_payload: Vec<u8>,
+    /// A shared handle: comparing against the current object is a pointer
+    /// check when nothing changed since the last push.
+    last_payload: Payload,
 }
 
 /// Authoritative nameserver node: zones + classic UDP + MoQT publisher.
@@ -101,11 +107,7 @@ impl AuthServer {
 
     /// Applies a zone mutation and pushes resulting updates to subscribers
     /// (§4.2). Call through `Simulator::with_node`.
-    pub fn update_zone(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        f: impl FnOnce(&mut Authority),
-    ) {
+    pub fn update_zone(&mut self, ctx: &mut Ctx<'_>, f: impl FnOnce(&mut Authority)) {
         f(&mut self.authority);
         self.push_updates(ctx);
         let evs = self.stack.flush(ctx);
@@ -114,18 +116,17 @@ impl AuthServer {
 
     fn push_updates(&mut self, ctx: &mut Ctx<'_>) {
         let keys: Vec<(ConnHandle, u64)> = self.subs.keys().copied().collect();
+        // §4.2 fan-out, encoded once per track: subscribers to the same
+        // question share one object whose payload is cloned by reference,
+        // so push cost is O(1) in subscriber count for bytes copied.
+        let mut current: HashMap<Question, Option<Object>> = HashMap::new();
         for (h, req) in keys {
-            let entry = self.subs.get(&(h, req)).unwrap();
-            let question = entry.question.clone();
-            let Some(version) = self.authority.zone_version_for(&question.qname) else {
-                continue;
-            };
-            let response = self.authority.answer_question(&question);
-            let object = object_from_response(&response, version);
-            let changed = {
-                let entry = self.subs.get(&(h, req)).unwrap();
-                entry.last_payload != object.payload
-            };
+            let question = self.subs.get(&(h, req)).unwrap().question.clone();
+            let object = current
+                .entry(question)
+                .or_insert_with_key(|q| self.current_object(q).map(|(o, _)| o));
+            let Some(object) = object else { continue };
+            let changed = self.subs.get(&(h, req)).unwrap().last_payload != object.payload;
             if changed {
                 let use_dg = self.use_datagrams;
                 if let Some((session, conn)) = self.stack.session_conn(h) {
@@ -136,7 +137,7 @@ impl AuthServer {
                     };
                     if sent {
                         self.stats.updates_pushed += 1;
-                        self.subs.get_mut(&(h, req)).unwrap().last_payload = object.payload;
+                        self.subs.get_mut(&(h, req)).unwrap().last_payload = object.payload.clone();
                     }
                 }
             }
@@ -369,7 +370,9 @@ mod tests {
         let track = auth_track(&question);
 
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
-            let h = c.stack.connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+            let h = c
+                .stack
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -389,11 +392,7 @@ mod tests {
             StackEvent::Session(_, SessionEvent::SubscribeAccepted { largest, .. }) => *largest,
             _ => None,
         });
-        let zone_version = sim
-            .node_ref::<AuthServer>(auth)
-            .authority()
-            .zones()[0]
-            .version();
+        let zone_version = sim.node_ref::<AuthServer>(auth).authority().zones()[0].version();
         assert_eq!(accepted, Some((zone_version, 0)));
         // Fetch returned the current record.
         let fetched = client_ref.events.iter().find_map(|e| match e {
@@ -407,10 +406,7 @@ mod tests {
         assert_eq!(objects[0].group_id, zone_version);
         let resp = crate::mapping::response_from_object(&objects[0]).unwrap();
         assert_eq!(resp.answers.len(), 1);
-        assert_eq!(
-            resp.answers[0].rdata,
-            RData::A(Ipv4Addr::new(192, 0, 2, 1))
-        );
+        assert_eq!(resp.answers[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
     }
 
     #[test]
@@ -420,7 +416,9 @@ mod tests {
         let track = auth_track(&question);
 
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
-            let h = c.stack.connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+            let h = c
+                .stack
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -437,15 +435,17 @@ mod tests {
         // Update the record at the authoritative server.
         sim.with_node::<AuthServer, _>(auth, |a, ctx| {
             a.update_zone(ctx, |auth| {
-                auth.find_zone_mut(&n("www.example.com")).unwrap().set_records(
-                    &n("www.example.com"),
-                    RecordType::A,
-                    vec![Record::new(
-                        n("www.example.com"),
-                        30,
-                        RData::A(Ipv4Addr::new(192, 0, 2, 99)),
-                    )],
-                );
+                auth.find_zone_mut(&n("www.example.com"))
+                    .unwrap()
+                    .set_records(
+                        &n("www.example.com"),
+                        RecordType::A,
+                        vec![Record::new(
+                            n("www.example.com"),
+                            30,
+                            RData::A(Ipv4Addr::new(192, 0, 2, 99)),
+                        )],
+                    );
             });
         });
         sim.run_until(SimTime::from_millis(1000));
@@ -472,7 +472,9 @@ mod tests {
         let question = Question::new(n("www.example.com"), RecordType::A);
         let track = auth_track(&question);
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
-            let h = c.stack.connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+            let h = c
+                .stack
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -490,11 +492,13 @@ mod tests {
         // nothing must be pushed even though the zone version bumped.
         sim.with_node::<AuthServer, _>(auth, |a, ctx| {
             a.update_zone(ctx, |auth| {
-                auth.find_zone_mut(&n("example.com")).unwrap().add_record(Record::new(
-                    n("other.example.com"),
-                    30,
-                    RData::A(Ipv4Addr::new(192, 0, 2, 50)),
-                ));
+                auth.find_zone_mut(&n("example.com"))
+                    .unwrap()
+                    .add_record(Record::new(
+                        n("other.example.com"),
+                        30,
+                        RData::A(Ipv4Addr::new(192, 0, 2, 50)),
+                    ));
             });
         });
         sim.run_until(SimTime::from_millis(1000));
@@ -507,7 +511,9 @@ mod tests {
         let question = Question::new(n("www.other.org"), RecordType::A);
         let track = auth_track(&question);
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
-            let h = c.stack.connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+            let h = c
+                .stack
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -528,7 +534,9 @@ mod tests {
         });
         assert!(rejected);
         assert_eq!(
-            sim.node_ref::<AuthServer>(auth).stats.subscriptions_rejected,
+            sim.node_ref::<AuthServer>(auth)
+                .stats
+                .subscriptions_rejected,
             1
         );
     }
@@ -539,7 +547,9 @@ mod tests {
         let question = Question::new(n("www.example.com"), RecordType::A);
         let track = auth_track(&question);
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
-            let h = c.stack.connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+            let h = c
+                .stack
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h

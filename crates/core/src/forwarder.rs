@@ -8,11 +8,18 @@
 //! Front: classic DNS-over-UDP on port 53. Back: DNS-over-MoQT to the
 //! recursive resolver, with subscriptions retained so repeated queries for
 //! the same name are answered locally from pushed state.
+//!
+//! Header-flag handling (RFC 1035 §4.1.1): the client's OPCODE, RD and CD
+//! bits are propagated into the upstream track (they are part of the Fig 3
+//! namespace byte, so queries differing in RD land on different tracks),
+//! and responses echo the client's RD with RA set — the forwarder's
+//! upstream is a recursive resolver, so recursion *is* available.
 
 use crate::mapping::{response_from_object, track_from_question, RequestFlags};
 use crate::metrics::{AnswerSource, LookupSample, Metrics, UpdateSample};
 use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
 use crate::{DNS_PORT, MOQT_PORT};
+use moqdns_dns::message::Opcode;
 use moqdns_dns::message::{Message, Question, Rcode};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::{Addr, Ctx, Node, SimTime};
@@ -28,7 +35,11 @@ struct ClientWaiter {
     started: SimTime,
 }
 
-/// Per-question forwarder state.
+/// Key of forwarder-side track state: the question plus the header flags
+/// that participate in the Fig 3 mapping.
+type TrackKey = (Question, RequestFlags);
+
+/// Per-track forwarder state.
 struct TrackState {
     /// Latest pushed/fetched response (id canonicalized to 0).
     latest: Option<Message>,
@@ -46,14 +57,14 @@ pub struct Forwarder {
     upstream: Addr,
     stack: MoqtStack,
     conn: Option<ConnHandle>,
-    /// Question -> state.
-    tracks: HashMap<Question, TrackState>,
-    /// Our subscribe request id -> question.
-    subs: HashMap<u64, Question>,
-    /// Our fetch request id -> question.
-    fetches: HashMap<u64, Question>,
+    /// (question, flags) -> state.
+    tracks: HashMap<TrackKey, TrackState>,
+    /// Our subscribe request id -> track key.
+    subs: HashMap<u64, TrackKey>,
+    /// Our fetch request id -> track key.
+    fetches: HashMap<u64, TrackKey>,
     /// Lookups queued until the session is ready.
-    queued: Vec<Question>,
+    queued: Vec<TrackKey>,
     /// Raw measurements.
     pub metrics: Metrics,
 }
@@ -82,18 +93,36 @@ impl Forwarder {
     }
 
     fn on_classic_query(&mut self, ctx: &mut Ctx<'_>, from: Addr, data: &[u8]) {
-        let Ok(query) = Message::decode(data) else { return };
-        let Some(q) = query.question().cloned() else { return };
+        let Ok(query) = Message::decode(data) else {
+            return;
+        };
+        let Some(q) = query.question().cloned() else {
+            return;
+        };
+        // RFC 1035 §4.1.1: propagate the client's OPCODE/RD/CD upstream
+        // instead of assuming a recursion-desired QUERY.
+        let flags = RequestFlags::from_query(&query);
+        if flags.opcode != Opcode::Query {
+            // Only QUERY maps onto pub/sub tracks; anything else is
+            // NOTIMP rather than silently treated as a standard query.
+            let mut resp = Message::response(query);
+            resp.header.rcode = Rcode::NotImp;
+            ctx.send(DNS_PORT, from, resp.encode());
+            return;
+        }
+        let key = (q, flags);
         let started = ctx.now();
 
         // Answer from pushed state when we have it (zero upstream traffic).
-        if let Some(state) = self.tracks.get(&q) {
+        if let Some(state) = self.tracks.get(&key) {
             if let Some(latest) = &state.latest {
                 let mut resp = latest.clone();
                 resp.header.id = query.header.id;
+                resp.header.rd = flags.rd;
+                resp.header.ra = true;
                 ctx.send(DNS_PORT, from, resp.encode());
                 self.metrics.lookups.push(LookupSample {
-                    question: q,
+                    question: key.0,
                     started,
                     finished: ctx.now(),
                     source: AnswerSource::Cache,
@@ -105,7 +134,7 @@ impl Forwarder {
         }
 
         // Otherwise subscribe+fetch upstream (or join an in-flight one).
-        let state = self.tracks.entry(q.clone()).or_insert(TrackState {
+        let state = self.tracks.entry(key.clone()).or_insert(TrackState {
             latest: None,
             version: 0,
             live: false,
@@ -116,51 +145,51 @@ impl Forwarder {
             query_id: query.header.id,
             started,
         });
-        let in_flight = state.live || self.fetches.values().any(|qq| *qq == q);
+        let in_flight = state.live || self.fetches.values().any(|k| *k == key);
         if !in_flight {
-            self.subscribe_upstream(ctx, q);
+            self.subscribe_upstream(ctx, key);
         }
     }
 
-    fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, question: Question) {
-        if self.conn.is_none()
-            || self
-                .stack
-                .session(self.conn.unwrap())
-                .is_none()
-        {
+    fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, key: TrackKey) {
+        if self.conn.is_none() || self.stack.session(self.conn.unwrap()).is_none() {
             let h = self
                 .stack
                 .connect(ctx.now(), Addr::new(self.upstream.node, MOQT_PORT), true);
             self.conn = Some(h);
         }
         let h = self.conn.unwrap();
-        let track = track_from_question(&question, RequestFlags::recursive())
-            .expect("valid dns track");
+        let track = track_from_question(&key.0, key.1).expect("valid dns track");
         let Some((session, conn)) = self.stack.session_conn(h) else {
-            self.queued.push(question);
+            self.queued.push(key);
             return;
         };
         let (sub_id, fetch_id) = session.subscribe_with_joining_fetch(conn, track, 1);
         self.metrics.subscribes_sent += 1;
         self.metrics.fetches_sent += 1;
-        self.subs.insert(sub_id, question.clone());
-        self.fetches.insert(fetch_id, question);
+        self.subs.insert(sub_id, key.clone());
+        self.fetches.insert(fetch_id, key);
         let evs = self.stack.flush(ctx);
         self.handle_events(ctx, evs);
     }
 
-    fn answer_waiters(&mut self, ctx: &mut Ctx<'_>, question: &Question) {
-        let Some(state) = self.tracks.get_mut(question) else { return };
-        let Some(latest) = state.latest.clone() else { return };
+    fn answer_waiters(&mut self, ctx: &mut Ctx<'_>, key: &TrackKey) {
+        let Some(state) = self.tracks.get_mut(key) else {
+            return;
+        };
+        let Some(latest) = state.latest.clone() else {
+            return;
+        };
         let version = state.version;
         let waiters = std::mem::take(&mut state.waiters);
         for w in waiters {
             let mut resp = latest.clone();
             resp.header.id = w.query_id;
+            resp.header.rd = key.1.rd;
+            resp.header.ra = true;
             ctx.send(DNS_PORT, w.from, resp.encode());
             self.metrics.lookups.push(LookupSample {
-                question: question.clone(),
+                question: key.0.clone(),
                 started: w.started,
                 finished: ctx.now(),
                 source: AnswerSource::Moqt,
@@ -175,29 +204,35 @@ impl Forwarder {
             match ev {
                 StackEvent::Session(_, SessionEvent::Ready { .. }) => {
                     let queued = std::mem::take(&mut self.queued);
-                    for q in queued {
-                        self.subscribe_upstream(ctx, q);
+                    for key in queued {
+                        self.subscribe_upstream(ctx, key);
                     }
                 }
                 StackEvent::Session(_, SessionEvent::SubscribeAccepted { request_id, .. }) => {
-                    if let Some(q) = self.subs.get(&request_id) {
-                        if let Some(state) = self.tracks.get_mut(q) {
+                    if let Some(key) = self.subs.get(&request_id) {
+                        if let Some(state) = self.tracks.get_mut(key) {
                             state.live = true;
                         }
                     }
                 }
                 StackEvent::Session(_, SessionEvent::SubscribeRejected { request_id, .. }) => {
-                    if let Some(q) = self.subs.remove(&request_id) {
-                        if let Some(state) = self.tracks.get_mut(&q) {
+                    if let Some(key) = self.subs.remove(&request_id) {
+                        if let Some(state) = self.tracks.get_mut(&key) {
                             state.live = false;
                         }
                     }
                 }
-                StackEvent::Session(_, SessionEvent::FetchObjects { request_id, objects }) => {
-                    if let Some(q) = self.fetches.remove(&request_id) {
+                StackEvent::Session(
+                    _,
+                    SessionEvent::FetchObjects {
+                        request_id,
+                        objects,
+                    },
+                ) => {
+                    if let Some(key) = self.fetches.remove(&request_id) {
                         if let Some(object) = objects.first() {
                             if let Ok(msg) = response_from_object(object) {
-                                let state = self.tracks.entry(q.clone()).or_insert(TrackState {
+                                let state = self.tracks.entry(key.clone()).or_insert(TrackState {
                                     latest: None,
                                     version: 0,
                                     live: false,
@@ -205,35 +240,37 @@ impl Forwarder {
                                 });
                                 state.latest = Some(msg);
                                 state.version = object.group_id;
-                                self.answer_waiters(ctx, &q);
+                                self.answer_waiters(ctx, &key);
                             }
                         }
                     }
                 }
                 StackEvent::Session(_, SessionEvent::FetchRejected { request_id, .. }) => {
-                    if let Some(q) = self.fetches.remove(&request_id) {
+                    if let Some(key) = self.fetches.remove(&request_id) {
                         // Fail pending waiters with SERVFAIL.
-                        if let Some(state) = self.tracks.get_mut(&q) {
+                        if let Some(state) = self.tracks.get_mut(&key) {
                             let waiters = std::mem::take(&mut state.waiters);
                             for w in waiters {
                                 let mut resp =
-                                    Message::response_to(&Message::query(w.query_id, q.clone()));
+                                    Message::response(Message::query(w.query_id, key.0.clone()));
                                 resp.header.rcode = Rcode::ServFail;
+                                resp.header.rd = key.1.rd;
+                                resp.header.ra = true;
                                 ctx.send(DNS_PORT, w.from, resp.encode());
                             }
                         }
                     }
                 }
                 StackEvent::Session(_, SessionEvent::SubscriptionObject { request_id, object }) => {
-                    if let Some(q) = self.subs.get(&request_id).cloned() {
+                    if let Some(key) = self.subs.get(&request_id).cloned() {
                         if let Ok(msg) = response_from_object(&object) {
-                            if let Some(state) = self.tracks.get_mut(&q) {
+                            if let Some(state) = self.tracks.get_mut(&key) {
                                 state.latest = Some(msg);
                                 state.version = object.group_id;
                             }
                             self.metrics.objects_received += 1;
                             self.metrics.updates.push(UpdateSample {
-                                question: q,
+                                question: key.0,
                                 version: object.group_id,
                                 received: ctx.now(),
                             });
@@ -241,8 +278,8 @@ impl Forwarder {
                     }
                 }
                 StackEvent::Session(_, SessionEvent::SubscriptionEnded { request_id, .. }) => {
-                    if let Some(q) = self.subs.remove(&request_id) {
-                        if let Some(state) = self.tracks.get_mut(&q) {
+                    if let Some(key) = self.subs.remove(&request_id) {
+                        if let Some(state) = self.tracks.get_mut(&key) {
                             state.live = false;
                         }
                     }

@@ -27,7 +27,7 @@ use moqdns_wire::{Reader, WireError, WireResult};
 
 /// Fields of the request beyond the question that participate in the
 /// mapping (the first namespace byte).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RequestFlags {
     /// DNS OPCODE (4 bits).
     pub opcode: Opcode,
@@ -53,6 +53,17 @@ impl RequestFlags {
             opcode: Opcode::Query,
             rd: false,
             cd: false,
+        }
+    }
+
+    /// The flags a client's query actually carried (RFC 1035 §4.1.1) —
+    /// forwarders must propagate these upstream rather than assume
+    /// recursion-desired.
+    pub fn from_query(query: &Message) -> RequestFlags {
+        RequestFlags {
+            opcode: query.header.opcode,
+            rd: query.header.rd,
+            cd: query.header.cd,
         }
     }
 
@@ -96,13 +107,17 @@ pub fn question_from_track(t: &FullTrackName) -> WireResult<(Question, RequestFl
     }
     let f = &t.namespace[0];
     if f.len() != 1 {
-        return Err(WireError::Invalid { what: "flags element" });
+        return Err(WireError::Invalid {
+            what: "flags element",
+        });
     }
     let flags = RequestFlags::from_byte(f[0]);
     let ty = &t.namespace[1];
     let cl = &t.namespace[2];
     if ty.len() != 2 || cl.len() != 2 {
-        return Err(WireError::Invalid { what: "qtype/qclass element" });
+        return Err(WireError::Invalid {
+            what: "qtype/qclass element",
+        });
     }
     let qtype = RecordType::from_u16(u16::from_be_bytes([ty[0], ty[1]]));
     let qclass = RClass::from_u16(u16::from_be_bytes([cl[0], cl[1]]));
@@ -121,15 +136,20 @@ pub fn question_from_track(t: &FullTrackName) -> WireResult<(Question, RequestFl
 
 /// Wraps a DNS response message into a MoQT object (Fig 4): payload = the
 /// full encoded message, group = zone version, object id = 0.
+///
+/// The returned object's payload is a shared handle: publishing it to N
+/// subscribers (or caching it at a relay) clones a refcount, not bytes.
 pub fn object_from_response(response: &Message, zone_version: u64) -> Object {
+    let mut bytes = response.encode();
     // The transaction id is meaningless on a shared track (many subscribers
-    // receive the same object), so it is canonicalized to zero.
-    let mut canonical = response.clone();
-    canonical.header.id = 0;
+    // receive the same object), so it is canonicalized to zero — patched
+    // directly in the first two wire bytes rather than cloning the message.
+    bytes[0] = 0;
+    bytes[1] = 0;
     Object {
         group_id: zone_version,
         object_id: 0,
-        payload: canonical.encode(),
+        payload: bytes.into(),
     }
 }
 
@@ -179,7 +199,11 @@ mod tests {
         for (name, ty, fl) in [
             ("www.example.com", RecordType::A, RequestFlags::recursive()),
             ("example.com", RecordType::AAAA, RequestFlags::iterative()),
-            ("x.y.z.example.org", RecordType::HTTPS, RequestFlags::recursive()),
+            (
+                "x.y.z.example.org",
+                RecordType::HTTPS,
+                RequestFlags::recursive(),
+            ),
             (".", RecordType::NS, RequestFlags::iterative()),
         ] {
             let question = q(name, ty);
@@ -192,10 +216,16 @@ mod tests {
 
     #[test]
     fn mapping_is_case_canonical() {
-        let a = track_from_question(&q("WWW.Example.COM", RecordType::A), RequestFlags::recursive())
-            .unwrap();
-        let b = track_from_question(&q("www.example.com", RecordType::A), RequestFlags::recursive())
-            .unwrap();
+        let a = track_from_question(
+            &q("WWW.Example.COM", RecordType::A),
+            RequestFlags::recursive(),
+        )
+        .unwrap();
+        let b = track_from_question(
+            &q("www.example.com", RecordType::A),
+            RequestFlags::recursive(),
+        )
+        .unwrap();
         assert_eq!(a, b, "same track for differently-cased queries");
     }
 
@@ -205,7 +235,8 @@ mod tests {
         let t1 = track_from_question(&q("a.com", RecordType::A), fl).unwrap();
         let t2 = track_from_question(&q("b.com", RecordType::A), fl).unwrap();
         let t3 = track_from_question(&q("a.com", RecordType::AAAA), fl).unwrap();
-        let t4 = track_from_question(&q("a.com", RecordType::A), RequestFlags::iterative()).unwrap();
+        let t4 =
+            track_from_question(&q("a.com", RecordType::A), RequestFlags::iterative()).unwrap();
         assert_ne!(t1, t2);
         assert_ne!(t1, t3);
         assert_ne!(t1, t4, "RD bit distinguishes tracks");
@@ -262,7 +293,7 @@ mod tests {
         let obj = Object {
             group_id: 1,
             object_id: 1,
-            payload: vec![],
+            payload: vec![].into(),
         };
         assert!(response_from_object(&obj).is_err());
     }
@@ -273,18 +304,12 @@ mod tests {
         let t = FullTrackName::new(vec![vec![0]], b"\x00".to_vec()).unwrap();
         assert!(question_from_track(&t).is_err());
         // Bad qname bytes.
-        let t = FullTrackName::new(
-            vec![vec![0], vec![0, 1], vec![0, 1]],
-            b"\xFF\xFF".to_vec(),
-        )
-        .unwrap();
+        let t = FullTrackName::new(vec![vec![0], vec![0, 1], vec![0, 1]], b"\xFF\xFF".to_vec())
+            .unwrap();
         assert!(question_from_track(&t).is_err());
         // Trailing garbage after qname.
-        let t = FullTrackName::new(
-            vec![vec![0], vec![0, 1], vec![0, 1]],
-            b"\x00junk".to_vec(),
-        )
-        .unwrap();
+        let t = FullTrackName::new(vec![vec![0], vec![0, 1], vec![0, 1]], b"\x00junk".to_vec())
+            .unwrap();
         assert!(question_from_track(&t).is_err());
     }
 

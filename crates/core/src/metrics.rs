@@ -158,7 +158,7 @@ mod tests {
                 finished: SimTime::from_millis(ms),
                 source: AnswerSource::Moqt,
                 ok: true,
-            version: Some(1),
+                version: Some(1),
             });
         }
         // Failed lookups excluded from the mean.

@@ -291,9 +291,7 @@ impl RecursiveResolver {
 
     fn advance(&mut self, ctx: &mut Ctx<'_>, task_id: u64, action: IterAction) {
         match action {
-            IterAction::SendQuery { server, query } => {
-                self.start_step(ctx, task_id, server, query)
-            }
+            IterAction::SendQuery { server, query } => self.start_step(ctx, task_id, server, query),
             IterAction::Finished(res) => self.finish(ctx, task_id, Some(res)),
             IterAction::Failed(_) => self.finish(ctx, task_id, None),
         }
@@ -302,10 +300,7 @@ impl RecursiveResolver {
     fn start_step(&mut self, ctx: &mut Ctx<'_>, task_id: u64, server: IpAddr, query: Message) {
         let IpAddr::V4(v4) = server else {
             // v6 unmapped in the simulator; skip to the next server.
-            let next = self
-                .tasks
-                .get_mut(&task_id)
-                .map(|t| t.iter.on_timeout());
+            let next = self.tasks.get_mut(&task_id).map(|t| t.iter.on_timeout());
             if let Some(a) = next {
                 self.advance(ctx, task_id, a);
             }
@@ -393,7 +388,9 @@ impl RecursiveResolver {
 
     /// Sends SUBSCRIBE + joining FETCH for the current step's question.
     fn issue_step_fetch(&mut self, ctx: &mut Ctx<'_>, task_id: u64, conn: ConnHandle) {
-        let Some(task) = self.tasks.get(&task_id) else { return };
+        let Some(task) = self.tasks.get(&task_id) else {
+            return;
+        };
         // Guard against stale Ready events: the task may have advanced to a
         // later step (e.g. the UDP leg of a race already won this one).
         let waiting_here = matches!(
@@ -407,9 +404,11 @@ impl RecursiveResolver {
         // question (CNAME); the iterative machine re-sends the same
         // question per step in our design, so use the task question.
         let question = task.question.clone();
-        let track = track_from_question(&question, RequestFlags::iterative())
-            .expect("valid dns track");
-        let Some((session, c)) = self.stack.session_conn(conn) else { return };
+        let track =
+            track_from_question(&question, RequestFlags::iterative()).expect("valid dns track");
+        let Some((session, c)) = self.stack.session_conn(conn) else {
+            return;
+        };
         let (sub_id, fetch_id) = session.subscribe_with_joining_fetch(c, track.clone(), 1);
         self.metrics.subscribes_sent += 1;
         self.metrics.fetches_sent += 1;
@@ -435,7 +434,9 @@ impl RecursiveResolver {
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>, task_id: u64, res: Option<Resolution>) {
-        let Some(task) = self.tasks.remove(&task_id) else { return };
+        let Some(task) = self.tasks.remove(&task_id) else {
+            return;
+        };
         self.active_by_question.remove(&task.question);
 
         let (rcode, answers, soa, ok) = match &res {
@@ -511,7 +512,10 @@ impl RecursiveResolver {
                             if let Some((session, c)) = self.stack.session_conn(conn) {
                                 session.accept_subscribe(c, sr, Some((version, 0)));
                             }
-                            self.down_subs.entry(track.clone()).or_default().push((conn, sr));
+                            self.down_subs
+                                .entry(track.clone())
+                                .or_default()
+                                .push((conn, sr));
                             if self.config.poll_proxy && !task.answered_via_moqt {
                                 self.ensure_poll(ctx, &track, &answers);
                             }
@@ -555,7 +559,11 @@ impl RecursiveResolver {
             Some(old) => *old != key,
             None => true,
         };
-        let v = if fp_changed { current + 1 } else { current.max(1) };
+        let v = if fp_changed {
+            current + 1
+        } else {
+            current.max(1)
+        };
         self.versions.insert(track.clone(), v);
         self.fingerprints.insert(track.clone(), key);
         let _ = question;
@@ -569,8 +577,7 @@ impl RecursiveResolver {
         answers: &[Record],
         soa: &Option<Record>,
     ) -> Message {
-        let query = Message::query(0, question.clone());
-        let mut resp = Message::response_to(&query);
+        let mut resp = Message::response(Message::query(0, question.clone()));
         resp.header.rcode = rcode;
         resp.header.ra = true;
         resp.answers = answers.to_vec();
@@ -591,7 +598,9 @@ impl RecursiveResolver {
         response: &Message,
         version: u64,
     ) {
-        let Some(subs) = self.down_subs.get(track).cloned() else { return };
+        let Some(subs) = self.down_subs.get(track).cloned() else {
+            return;
+        };
         let object = object_from_response(response, version);
         for (conn, req) in subs {
             if let Some((session, c)) = self.stack.session_conn(conn) {
@@ -619,7 +628,9 @@ impl RecursiveResolver {
     // ------------------------------------------------------------------
 
     fn on_step_response(&mut self, ctx: &mut Ctx<'_>, task_id: u64, msg: &Message, via_moqt: bool) {
-        let Some(task) = self.tasks.get_mut(&task_id) else { return };
+        let Some(task) = self.tasks.get_mut(&task_id) else {
+            return;
+        };
         task.step = None;
         task.answered_via_moqt = via_moqt;
         let action = task.iter.on_response(msg);
@@ -627,7 +638,9 @@ impl RecursiveResolver {
     }
 
     fn on_step_timeout(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
-        let Some(task) = self.tasks.get_mut(&task_id) else { return };
+        let Some(task) = self.tasks.get_mut(&task_id) else {
+            return;
+        };
         task.step = None;
         let action = task.iter.on_timeout();
         self.advance(ctx, task_id, action);
@@ -700,8 +713,7 @@ impl RecursiveResolver {
             }
             SessionEvent::SubscribeAccepted { request_id, .. } => {
                 if let Some(up) = self.up_subs.get(&(h, request_id)) {
-                    self.live_tracks
-                        .insert(up.track.clone(), (h, request_id));
+                    self.live_tracks.insert(up.track.clone(), (h, request_id));
                 }
             }
             SessionEvent::SubscribeRejected { request_id, .. } => {
@@ -717,10 +729,7 @@ impl RecursiveResolver {
             }
             // --- downstream (we are the publisher) ---
             SessionEvent::IncomingSubscribe { request_id, track } => {
-                self.down_pending
-                    .entry((h, track))
-                    .or_default()
-                    .sub_request = Some(request_id);
+                self.down_pending.entry((h, track)).or_default().sub_request = Some(request_id);
                 self.try_serve_downstream(ctx, h);
             }
             SessionEvent::IncomingFetch { request_id, kind } => {
@@ -752,9 +761,13 @@ impl RecursiveResolver {
         request_id: u64,
         object: Object,
     ) {
-        let Some(up) = self.up_subs.get(&(h, request_id)) else { return };
+        let Some(up) = self.up_subs.get(&(h, request_id)) else {
+            return;
+        };
         let question = up.question.clone();
-        let Ok(msg) = crate::mapping::response_from_object(&object) else { return };
+        let Ok(msg) = crate::mapping::response_from_object(&object) else {
+            return;
+        };
         self.metrics.objects_received += 1;
         self.metrics.updates.push(UpdateSample {
             question: question.clone(),
@@ -772,8 +785,8 @@ impl RecursiveResolver {
         }
         // Fan out downstream under the *recursive* track identity, carrying
         // the upstream version through so group ids stay consistent (§4.2).
-        let down_track = track_from_question(&question, RequestFlags::recursive())
-            .expect("valid dns track");
+        let down_track =
+            track_from_question(&question, RequestFlags::recursive()).expect("valid dns track");
         self.versions.insert(down_track.clone(), object.group_id);
         self.fingerprints.insert(
             down_track.clone(),
@@ -834,7 +847,10 @@ impl RecursiveResolver {
                     }
                 }
                 if let Some(sr) = pending.sub_request {
-                    self.down_subs.entry(track.clone()).or_default().push((h, sr));
+                    self.down_subs
+                        .entry(track.clone())
+                        .or_default()
+                        .push((h, sr));
                 }
                 self.tracker.touch(
                     &track_from_question(&question, RequestFlags::iterative()).unwrap(),
@@ -863,11 +879,15 @@ impl RecursiveResolver {
     // ------------------------------------------------------------------
 
     fn on_classic_query(&mut self, ctx: &mut Ctx<'_>, from: Addr, data: &[u8]) {
-        let Ok(query) = Message::decode(data) else { return };
-        let Some(q) = query.question().cloned() else { return };
+        let Ok(query) = Message::decode(data) else {
+            return;
+        };
+        let Some(q) = query.question().cloned() else {
+            return;
+        };
         match self.cache.get(ctx.now(), &q.qname, q.qtype) {
             Some(CacheHit::Records(records)) => {
-                let mut resp = Message::response_to(&query);
+                let mut resp = Message::response(query);
                 resp.header.ra = true;
                 resp.answers = records;
                 ctx.send(DNS_PORT, from, resp.encode());
@@ -881,7 +901,7 @@ impl RecursiveResolver {
                 });
             }
             Some(CacheHit::Negative(rcode)) => {
-                let mut resp = Message::response_to(&query);
+                let mut resp = Message::response(query);
                 resp.header.ra = true;
                 resp.header.rcode = rcode;
                 ctx.send(DNS_PORT, from, resp.encode());
@@ -900,7 +920,9 @@ impl RecursiveResolver {
     }
 
     fn on_udp_timer(&mut self, ctx: &mut Ctx<'_>, task_id: u64) {
-        let Some(task) = self.tasks.get_mut(&task_id) else { return };
+        let Some(task) = self.tasks.get_mut(&task_id) else {
+            return;
+        };
         let (server, action) = match &mut task.step {
             Some(Step::Race {
                 server,
@@ -912,9 +934,10 @@ impl RecursiveResolver {
                 *udp_started = true;
                 (*server, exchange.start())
             }
-            Some(Step::Udp { server, exchange }) | Some(Step::Race { server, exchange, .. }) => {
-                (*server, exchange.on_timeout())
-            }
+            Some(Step::Udp { server, exchange })
+            | Some(Step::Race {
+                server, exchange, ..
+            }) => (*server, exchange.on_timeout()),
             _ => return,
         };
         match action {
@@ -938,14 +961,13 @@ impl RecursiveResolver {
     fn on_udp_response(&mut self, ctx: &mut Ctx<'_>, from: Addr, data: &[u8]) {
         // Find the task whose UDP step is waiting on this server.
         let task_id = self.tasks.iter_mut().find_map(|(id, t)| match &mut t.step {
-            Some(Step::Udp { server, exchange }) | Some(Step::Race { server, exchange, .. })
-                if *server == from =>
-            {
-                match exchange.on_datagram(data) {
-                    UdpAction::Complete(msg) => Some((*id, *msg)),
-                    _ => None,
-                }
-            }
+            Some(Step::Udp { server, exchange })
+            | Some(Step::Race {
+                server, exchange, ..
+            }) if *server == from => match exchange.on_datagram(data) {
+                UdpAction::Complete(msg) => Some((*id, *msg)),
+                _ => None,
+            },
             _ => None,
         });
         if let Some((id, msg)) = task_id {
@@ -955,7 +977,9 @@ impl RecursiveResolver {
     }
 
     fn on_poll_timer(&mut self, ctx: &mut Ctx<'_>, poll_id: u64) {
-        let Some((track, interval)) = self.polls.get(&poll_id).cloned() else { return };
+        let Some((track, interval)) = self.polls.get(&poll_id).cloned() else {
+            return;
+        };
         // Stop polling tracks nobody subscribes to anymore.
         let has_subs = self
             .down_subs

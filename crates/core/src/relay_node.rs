@@ -83,11 +83,7 @@ impl RelayNode {
 
     fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, track: FullTrackName) {
         let h = self.ensure_upstream(ctx);
-        let ready = self
-            .stack
-            .session(h)
-            .map(|s| s.is_ready())
-            .unwrap_or(false);
+        let ready = self.stack.session(h).map(|s| s.is_ready()).unwrap_or(false);
         // CLIENT_SETUP may still be in flight; MoQT control messages queue
         // on the stream, so subscribing immediately is safe either way —
         // but we only subscribe once the session object exists.
@@ -138,8 +134,7 @@ impl RelayNode {
                     if let Some(&h) = self.sessions.get(&session) {
                         if let Some((sess, conn)) = self.stack.session_conn(h) {
                             // DNS tracks: only the newest version matters.
-                            let newest: Vec<Object> =
-                                objects.into_iter().rev().take(1).collect();
+                            let newest: Vec<Object> = objects.into_iter().rev().take(1).collect();
                             sess.respond_fetch(conn, request_id, largest, newest);
                         }
                     }
@@ -188,21 +183,22 @@ impl RelayNode {
                                 self.subscribe_upstream(ctx, t);
                             }
                         }
-                        SessionEvent::SubscriptionObject { request_id, object }
-                            if is_upstream =>
-                        {
+                        SessionEvent::SubscriptionObject { request_id, object } if is_upstream => {
                             if let Some(track) = self.up_subs.get(&request_id).cloned() {
                                 let actions = self.core.on_upstream_object(&track, object);
                                 self.run_actions(ctx, actions);
                             }
                         }
-                        SessionEvent::FetchObjects { request_id, objects } if is_upstream => {
+                        SessionEvent::FetchObjects {
+                            request_id,
+                            objects,
+                        } if is_upstream => {
                             if let Some((track, session, down_req)) =
                                 self.up_fetches.remove(&request_id)
                             {
-                                let actions = self.core.on_upstream_fetch_result(
-                                    &track, session, down_req, objects,
-                                );
+                                let actions = self
+                                    .core
+                                    .on_upstream_fetch_result(&track, session, down_req, objects);
                                 self.run_actions(ctx, actions);
                             }
                         }
@@ -217,11 +213,8 @@ impl RelayNode {
                                 }
                             }
                         }
-                        SessionEvent::IncomingSubscribe { request_id, track }
-                            if !is_upstream =>
-                        {
-                            let actions =
-                                self.core.on_downstream_subscribe(h.0, request_id, track);
+                        SessionEvent::IncomingSubscribe { request_id, track } if !is_upstream => {
+                            let actions = self.core.on_downstream_subscribe(h.0, request_id, track);
                             self.run_actions(ctx, actions);
                         }
                         SessionEvent::IncomingFetch { request_id, kind } if !is_upstream => {
@@ -229,13 +222,9 @@ impl RelayNode {
                                 IncomingFetchKind::StandAlone { track, .. } => track,
                                 IncomingFetchKind::Joining { track, .. } => track,
                             };
-                            let actions = self.core.on_downstream_fetch(
-                                h.0,
-                                request_id,
-                                track,
-                                0,
-                                u64::MAX,
-                            );
+                            let actions =
+                                self.core
+                                    .on_downstream_fetch(h.0, request_id, track, 0, u64::MAX);
                             self.run_actions(ctx, actions);
                         }
                         SessionEvent::PeerUnsubscribed { request_id } if !is_upstream => {

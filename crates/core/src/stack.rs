@@ -88,10 +88,7 @@ impl MoqtStack {
     }
 
     /// Mutable session + connection access for issuing verbs.
-    pub fn session_conn(
-        &mut self,
-        h: ConnHandle,
-    ) -> Option<(&mut Session, &mut Connection)> {
+    pub fn session_conn(&mut self, h: ConnHandle) -> Option<(&mut Session, &mut Connection)> {
         let conn = self.endpoint.conn_mut(h)?;
         let session = self.sessions.get_mut(&h)?;
         Some((session, conn))
@@ -254,7 +251,9 @@ mod tests {
 
         // Client connects and subscribes.
         let h = sim.with_node::<StackNode, _>(client, |n, ctx| {
-            let h = n.stack.connect(ctx.now(), Addr::new(server, MOQT_PORT), false);
+            let h = n
+                .stack
+                .connect(ctx.now(), Addr::new(server, MOQT_PORT), false);
             let evs = n.stack.flush(ctx);
             n.events.extend(evs);
             h
@@ -292,7 +291,7 @@ mod tests {
                 moqdns_moqt::data::Object {
                     group_id: 2,
                     object_id: 0,
-                    payload: b"pushed".to_vec(),
+                    payload: b"pushed".to_vec().into(),
                 },
             );
             let evs = n.stack.flush(ctx);
@@ -363,10 +362,7 @@ mod tests {
         let base = stack.state_size_estimate();
         // Fabricate connections without a peer (no traffic flows).
         let mut sim = Simulator::new(1);
-        let peer = sim.add_node(
-            "x",
-            Box::new(StackNode::client(9)),
-        );
+        let peer = sim.add_node("x", Box::new(StackNode::client(9)));
         stack.connect(SimTime::ZERO, Addr::new(peer, MOQT_PORT), false);
         assert_eq!(stack.session_count(), 1);
         assert!(stack.state_size_estimate() > base);

@@ -212,12 +212,7 @@ impl StubResolver {
             }
         }
         let started = ctx.now();
-        if self.conn.is_none()
-            || self
-                .stack
-                .session(self.conn.unwrap())
-                .is_none()
-        {
+        if self.conn.is_none() || self.stack.session(self.conn.unwrap()).is_none() {
             let peer = Addr::new(self.server.node, MOQT_PORT);
             let h = self.stack.connect(ctx.now(), peer, true);
             self.conn = Some(h);
@@ -238,8 +233,8 @@ impl StubResolver {
         question: Question,
         started: SimTime,
     ) {
-        let track = track_from_question(&question, RequestFlags::recursive())
-            .expect("valid dns track");
+        let track =
+            track_from_question(&question, RequestFlags::recursive()).expect("valid dns track");
         let Some((session, conn)) = self.stack.session_conn(h) else {
             self.queued.push((question, started));
             return;
@@ -271,7 +266,13 @@ impl StubResolver {
                         }
                     }
                 }
-                StackEvent::Session(_, SessionEvent::FetchObjects { request_id, objects }) => {
+                StackEvent::Session(
+                    _,
+                    SessionEvent::FetchObjects {
+                        request_id,
+                        objects,
+                    },
+                ) => {
                     if let Some((question, started)) = self.fetches.remove(&request_id) {
                         let object = objects.first();
                         let (ok, version) = match object {
@@ -343,7 +344,9 @@ impl StubResolver {
     }
 
     fn on_udp_timer(&mut self, ctx: &mut Ctx<'_>, id: u16) {
-        let Some(p) = self.classic.get_mut(&id) else { return };
+        let Some(p) = self.classic.get_mut(&id) else {
+            return;
+        };
         match p.exchange.on_timeout() {
             UdpAction::Transmit { datagram, timeout } => {
                 self.metrics.classic_queries_sent += 1;
@@ -366,24 +369,26 @@ impl StubResolver {
     }
 
     fn on_udp_response(&mut self, ctx: &mut Ctx<'_>, data: &[u8]) {
-        let Ok(msg) = Message::decode(data) else { return };
+        let Ok(msg) = Message::decode(data) else {
+            return;
+        };
         let id = msg.header.id;
-        let Some(p) = self.classic.get_mut(&id) else { return };
-        match p.exchange.on_datagram(data) {
-            UdpAction::Complete(resp) => {
-                let p = self.classic.remove(&id).unwrap();
-                self.metrics.classic_responses_received += 1;
-                self.answers.insert(p.question.clone(), resp.answers.clone());
-                self.metrics.lookups.push(LookupSample {
-                    question: p.question,
-                    started: p.started,
-                    finished: ctx.now(),
-                    source: AnswerSource::ClassicUdp,
-                    ok: resp.header.rcode == Rcode::NoError,
-                    version: None,
-                });
-            }
-            _ => {}
+        let Some(p) = self.classic.get_mut(&id) else {
+            return;
+        };
+        if let UdpAction::Complete(resp) = p.exchange.on_datagram(data) {
+            let p = self.classic.remove(&id).unwrap();
+            self.metrics.classic_responses_received += 1;
+            self.answers
+                .insert(p.question.clone(), resp.answers.clone());
+            self.metrics.lookups.push(LookupSample {
+                question: p.question,
+                started: p.started,
+                finished: ctx.now(),
+                source: AnswerSource::ClassicUdp,
+                ok: resp.header.rcode == Rcode::NoError,
+                version: None,
+            });
         }
     }
 

@@ -207,8 +207,7 @@ mod tests {
 
     #[test]
     fn lru_cap_evicts_least_recent() {
-        let mut tr: SubscriptionTracker<u32> =
-            SubscriptionTracker::new(TeardownPolicy::LruCap(2));
+        let mut tr: SubscriptionTracker<u32> = SubscriptionTracker::new(TeardownPolicy::LruCap(2));
         tr.insert(1, t(0));
         tr.insert(2, t(1));
         tr.insert(3, t(2));

@@ -50,11 +50,7 @@ fn build(mode: UpstreamMode, stub_mode: StubMode, seed: u64) -> World {
 
     let mut root_zone = Zone::with_default_soa(Name::root());
     root_zone.add_record(Record::new(n("com"), 86_400, RData::NS(n("ns.tld"))));
-    root_zone.add_record(Record::new(
-        n("ns.tld"),
-        86_400,
-        RData::A(node_ip(tld_id)),
-    ));
+    root_zone.add_record(Record::new(n("ns.tld"), 86_400, RData::A(node_ip(tld_id))));
 
     let mut tld_zone = Zone::with_default_soa(n("com"));
     tld_zone.add_record(Record::new(

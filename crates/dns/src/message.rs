@@ -226,7 +226,28 @@ impl Message {
         }
     }
 
-    /// Starts a response to `query`: copies id, question, opcode, RD/CD.
+    /// Starts a response consuming `query`: moves the question section
+    /// instead of cloning it. Prefer this whenever the query is owned
+    /// (just decoded or just built); use [`Message::response_to`] only
+    /// when the query must stay borrowed.
+    pub fn response(query: Message) -> Message {
+        Message {
+            header: Header {
+                id: query.header.id,
+                qr: true,
+                opcode: query.header.opcode,
+                rd: query.header.rd,
+                cd: query.header.cd,
+                ..Header::default()
+            },
+            questions: query.questions,
+            ..Message::default()
+        }
+    }
+
+    /// Starts a response to a borrowed `query`: copies id, question,
+    /// opcode, RD/CD. (The question clone is unavoidable here; owned
+    /// callers should use [`Message::response`].)
     pub fn response_to(query: &Message) -> Message {
         Message {
             header: Header {
@@ -250,6 +271,15 @@ impl Message {
     /// Encodes to wire format with name compression.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(64);
+        self.encode_into(&mut w);
+        w.into_vec()
+    }
+
+    /// Encodes onto `w` (which must be positioned at a message start —
+    /// compression offsets are relative to it). Hot paths pass a recycled
+    /// writer (see [`moqdns_wire::BufPool`]) to skip per-message
+    /// allocation.
+    pub fn encode_into(&self, w: &mut Writer) {
         let mut compressor = Compressor::default();
         w.put_u16(self.header.id);
         w.put_u16(self.header.flags_to_u16());
@@ -258,7 +288,7 @@ impl Message {
         w.put_u16(self.authorities.len() as u16);
         w.put_u16(self.additionals.len() as u16);
         for q in &self.questions {
-            compressor.encode_name(&mut w, &q.qname);
+            compressor.encode_name(w, &q.qname);
             w.put_u16(q.qtype.to_u16());
             w.put_u16(q.qclass.to_u16());
         }
@@ -268,7 +298,7 @@ impl Message {
             .chain(&self.authorities)
             .chain(&self.additionals)
         {
-            compressor.encode_name(&mut w, &r.name);
+            compressor.encode_name(w, &r.name);
             w.put_u16(r.rtype().to_u16());
             w.put_u16(r.class.to_u16());
             w.put_u32(r.ttl);
@@ -278,11 +308,10 @@ impl Message {
             let len_pos = w.len();
             w.put_u16(0);
             let before = w.len();
-            r.rdata.encode(&mut w);
+            r.rdata.encode(w);
             let rdlen = w.len() - before;
             w.patch_u16(len_pos, rdlen as u16);
         }
-        w.into_vec()
     }
 
     /// Decodes a message from `buf`. The entire buffer must be consumed.
@@ -299,7 +328,9 @@ impl Message {
         // Sanity bound: each question needs ≥5 bytes, each record ≥11.
         let min_needed = qd * 5 + (an + ns + ar) * 11;
         if min_needed > r.remaining() {
-            return Err(WireError::Invalid { what: "section counts exceed buffer" });
+            return Err(WireError::Invalid {
+                what: "section counts exceed buffer",
+            });
         }
 
         let mut questions = Vec::with_capacity(qd);
@@ -451,7 +482,10 @@ mod tests {
         // Four mentions of (www.)example.com; with compression the message
         // must be much smaller than the naive encoding.
         let naive: usize = 12
-            + m.questions.iter().map(|q| q.qname.wire_len() + 4).sum::<usize>()
+            + m.questions
+                .iter()
+                .map(|q| q.qname.wire_len() + 4)
+                .sum::<usize>()
             + m.answers
                 .iter()
                 .chain(&m.authorities)
@@ -609,6 +643,51 @@ mod tests {
             };
             let m = Message::query(id, q);
             prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_compression_roundtrip(
+            apex in "[a-z]{1,8}\\.[a-z]{2,3}",
+            hosts in proptest::collection::vec("[a-z0-9]{1,10}", 1..6),
+            ttl in 1u32..86_400,
+        ) {
+            // Random shared-suffix names force the compressor to emit
+            // pointers; decompression must reconstruct every name exactly.
+            let qname: Name = format!("{}.{}", hosts[0], apex).parse().unwrap();
+            let mut m = Message::query(1, Question::new(qname, RecordType::A));
+            m.header.qr = true;
+            for h in &hosts {
+                let name: Name = format!("{h}.{apex}").parse().unwrap();
+                m.answers.push(Record::new(name, ttl, RData::A(Ipv4Addr::new(192, 0, 2, 7))));
+            }
+            let apex_name: Name = apex.parse().unwrap();
+            m.authorities.push(Record::new(
+                apex_name,
+                ttl,
+                RData::NS(format!("ns1.{apex}").parse().unwrap()),
+            ));
+            let wire = m.encode();
+            prop_assert_eq!(Message::decode(&wire).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_encode_into_matches_encode(
+            s in "[a-z]{1,10}(\\.[a-z]{1,10}){0,3}",
+            n_extra in 0usize..4,
+        ) {
+            // The reusable-writer path must be byte-identical to encode(),
+            // including when the writer is recycled between messages.
+            let mut m = Message::query(3, Question::new(s.parse().unwrap(), RecordType::A));
+            for _ in 0..n_extra {
+                m.answers.push(Record::new(
+                    s.parse().unwrap(),
+                    60,
+                    RData::A(Ipv4Addr::new(203, 0, 113, 9)),
+                ));
+            }
+            let mut w = Writer::reuse(vec![0xFF; 512]);
+            m.encode_into(&mut w);
+            prop_assert_eq!(w.as_slice(), &m.encode()[..]);
         }
     }
 }

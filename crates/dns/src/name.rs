@@ -122,11 +122,7 @@ impl Name {
     /// ASCII-lowercased copy (canonical form for keys).
     pub fn to_lowercase(&self) -> Name {
         Name {
-            labels: self
-                .labels
-                .iter()
-                .map(|l| l.to_ascii_lowercase())
-                .collect(),
+            labels: self.labels.iter().map(|l| l.to_ascii_lowercase()).collect(),
         }
     }
 
@@ -170,7 +166,9 @@ impl Name {
                     let l = r.get_vec(len as usize)?;
                     wire_len += 1 + l.len();
                     if wire_len > MAX_NAME_LEN {
-                        return Err(WireError::Invalid { what: "name too long" });
+                        return Err(WireError::Invalid {
+                            what: "name too long",
+                        });
                     }
                     labels.push(l);
                 }

@@ -159,8 +159,10 @@ impl SvcParam {
                 SvcParam::Port(p)
             }
             4 => {
-                if data.len() % 4 != 0 {
-                    return Err(WireError::Invalid { what: "ipv4hint length" });
+                if !data.len().is_multiple_of(4) {
+                    return Err(WireError::Invalid {
+                        what: "ipv4hint length",
+                    });
                 }
                 let mut addrs = Vec::new();
                 while !r.is_empty() {
@@ -170,8 +172,10 @@ impl SvcParam {
                 SvcParam::Ipv4Hint(addrs)
             }
             6 => {
-                if data.len() % 16 != 0 {
-                    return Err(WireError::Invalid { what: "ipv6hint length" });
+                if !data.len().is_multiple_of(16) {
+                    return Err(WireError::Invalid {
+                        what: "ipv6hint length",
+                    });
                 }
                 let mut addrs = Vec::new();
                 while !r.is_empty() {
@@ -305,7 +309,9 @@ impl RData {
         let end = r.position() + rdlen;
         let check_end = |r: &Reader<'_>| -> WireResult<()> {
             if r.position() != end {
-                Err(WireError::Invalid { what: "rdata length mismatch" })
+                Err(WireError::Invalid {
+                    what: "rdata length mismatch",
+                })
             } else {
                 Ok(())
             }
@@ -422,13 +428,11 @@ impl fmt::Display for RData {
                         }
                         SvcParam::Port(p) => write!(f, " port={p}")?,
                         SvcParam::Ipv4Hint(a) => {
-                            let joined: Vec<String> =
-                                a.iter().map(|x| x.to_string()).collect();
+                            let joined: Vec<String> = a.iter().map(|x| x.to_string()).collect();
                             write!(f, " ipv4hint={}", joined.join(","))?;
                         }
                         SvcParam::Ipv6Hint(a) => {
-                            let joined: Vec<String> =
-                                a.iter().map(|x| x.to_string()).collect();
+                            let joined: Vec<String> = a.iter().map(|x| x.to_string()).collect();
                             write!(f, " ipv6hint={}", joined.join(","))?;
                         }
                         SvcParam::Unknown(k, v) => write!(f, " key{k}={}b", v.len())?,
@@ -489,7 +493,7 @@ mod tests {
         let rd = RData::SOA(Soa {
             mname: n("ns1.example.com"),
             rname: n("hostmaster.example.com"),
-            serial: 2025_06_24,
+            serial: 20_250_624,
             refresh: 7200,
             retry: 3600,
             expire: 1_209_600,

@@ -280,7 +280,7 @@ impl Iterative {
             let glue: Vec<IpAddr> = response
                 .additionals
                 .iter()
-                .filter(|g| ns_names.iter().any(|n| *n == g.name))
+                .filter(|g| ns_names.contains(&g.name))
                 .filter_map(|g| match &g.rdata {
                     RData::A(a) => Some(IpAddr::V4(*a)),
                     RData::AAAA(a) => Some(IpAddr::V6(*a)),
@@ -558,9 +558,7 @@ mod tests {
         referral
             .authorities
             .push(Record::new(n("com"), 60, RData::NS(n("ns.com"))));
-        referral
-            .additionals
-            .push(a("ns.com", 60, [10, 0, 0, 1]));
+        referral.additionals.push(a("ns.com", 60, [10, 0, 0, 1]));
         // First referral is accepted and re-queries…
         let act = iter.on_response(&referral);
         assert!(matches!(act, IterAction::SendQuery { .. }));

@@ -147,15 +147,12 @@ impl Zone {
     /// True if any record set exists at `name` (any type).
     pub fn name_exists(&self, name: &Name) -> bool {
         let lname = name.to_lowercase();
-        self.records.keys().any(|(n, _)| *n == lname)
-            || lname == self.origin.to_lowercase()
+        self.records.keys().any(|(n, _)| *n == lname) || lname == self.origin.to_lowercase()
     }
 
     /// Iterates all record sets, deterministically ordered.
     pub fn iter(&self) -> impl Iterator<Item = (&Name, RecordType, &[Record])> {
-        self.records
-            .iter()
-            .map(|((n, t), v)| (n, *t, v.as_slice()))
+        self.records.iter().map(|((n, t), v)| (n, *t, v.as_slice()))
     }
 
     /// Total number of records in the zone.

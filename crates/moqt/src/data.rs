@@ -13,15 +13,21 @@
 //! DNS-over-MoQT objects always have `object_id == 0` and
 //! `group_id == zone version` (§4.2/§4.3); groups contain exactly one
 //! object (§4.3, Fig 4).
+//!
+//! Payloads are [`Payload`] handles: decoding a data stream carves
+//! zero-copy sub-views out of the stream buffer, and forwarding an object
+//! to N subscribers shares one backing allocation instead of copying the
+//! bytes N times.
 
-use moqdns_wire::{varint, Reader, WireError, WireResult, Writer};
+use moqdns_wire::{varint, Payload, Reader, WireError, WireResult, Writer};
 
 /// Stream type tag for subgroup streams.
 pub const STREAM_TYPE_SUBGROUP: u64 = 0x4;
 /// Stream type tag for fetch streams.
 pub const STREAM_TYPE_FETCH: u64 = 0x5;
 
-/// An object as delivered to the application.
+/// An object as delivered to the application. `Clone` is O(1): the
+/// payload is a shared handle, not a byte copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Object {
     /// Group id. In DNS-over-MoQT this is the zone version.
@@ -29,7 +35,7 @@ pub struct Object {
     /// Object id within the group. Always 0 in DNS-over-MoQT.
     pub object_id: u64,
     /// Payload bytes (a full DNS response message in DNS-over-MoQT).
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// Header of a subgroup data stream.
@@ -84,45 +90,67 @@ pub enum DataStream {
     },
 }
 
-/// Encodes a subgroup stream: header + objects (object id + length-prefixed
-/// payload each).
-pub fn encode_subgroup_stream(header: &SubgroupHeader, objects: &[Object]) -> Vec<u8> {
-    let mut w = Writer::with_capacity(64);
-    header.encode(&mut w);
+/// Encodes a subgroup stream onto `w`: header + objects (object id +
+/// length-prefixed payload each). Callers on hot paths pass a recycled
+/// [`Writer`] (see [`moqdns_wire::BufPool`]).
+pub fn encode_subgroup_stream_into(w: &mut Writer, header: &SubgroupHeader, objects: &[Object]) {
+    header.encode(w);
     for o in objects {
-        varint::put_varint(&mut w, o.object_id);
-        varint::put_varint(&mut w, o.payload.len() as u64);
+        varint::put_varint(w, o.object_id);
+        varint::put_varint(w, o.payload.len() as u64);
         w.put_slice(&o.payload);
     }
+}
+
+/// Encodes a subgroup stream into a fresh buffer.
+pub fn encode_subgroup_stream(header: &SubgroupHeader, objects: &[Object]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64);
+    encode_subgroup_stream_into(&mut w, header, objects);
     w.into_vec()
 }
 
-/// Encodes a fetch stream: type + request id, then (group, object,
-/// payload-len, payload) per object.
-pub fn encode_fetch_stream(request_id: u64, objects: &[Object]) -> Vec<u8> {
-    let mut w = Writer::with_capacity(64);
-    varint::put_varint(&mut w, STREAM_TYPE_FETCH);
-    varint::put_varint(&mut w, request_id);
+/// Encodes a fetch stream onto `w`: type + request id, then (group,
+/// object, payload-len, payload) per object.
+pub fn encode_fetch_stream_into(w: &mut Writer, request_id: u64, objects: &[Object]) {
+    varint::put_varint(w, STREAM_TYPE_FETCH);
+    varint::put_varint(w, request_id);
     for o in objects {
-        varint::put_varint(&mut w, o.group_id);
-        varint::put_varint(&mut w, o.object_id);
-        varint::put_varint(&mut w, o.payload.len() as u64);
+        varint::put_varint(w, o.group_id);
+        varint::put_varint(w, o.object_id);
+        varint::put_varint(w, o.payload.len() as u64);
         w.put_slice(&o.payload);
     }
+}
+
+/// Encodes a fetch stream into a fresh buffer.
+pub fn encode_fetch_stream(request_id: u64, objects: &[Object]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64);
+    encode_fetch_stream_into(&mut w, request_id, objects);
     w.into_vec()
 }
 
 /// Decodes a complete unidirectional data stream (call once FIN arrives).
-pub fn decode_data_stream(buf: &[u8]) -> WireResult<DataStream> {
-    let mut r = Reader::new(buf);
+///
+/// Takes the stream buffer as a [`Payload`] (pass the owned receive
+/// buffer via `.into()`); each object's payload is a zero-copy sub-view
+/// of it.
+pub fn decode_data_stream(buf: impl Into<Payload>) -> WireResult<DataStream> {
+    let buf = buf.into();
+    let mut r = Reader::new(buf.as_slice());
+    // Reads the next length-prefixed payload as a zero-copy slice.
+    let take_payload = |r: &mut Reader<'_>| -> WireResult<Payload> {
+        let len = varint::get_varint(r)? as usize;
+        let start = r.position();
+        r.skip(len)?;
+        Ok(buf.slice(start..start + len))
+    };
     match varint::get_varint(&mut r)? {
         STREAM_TYPE_SUBGROUP => {
             let header = SubgroupHeader::decode_after_type(&mut r)?;
             let mut objects = Vec::new();
             while !r.is_empty() {
                 let object_id = varint::get_varint(&mut r)?;
-                let len = varint::get_varint(&mut r)? as usize;
-                let payload = r.get_vec(len)?;
+                let payload = take_payload(&mut r)?;
                 objects.push(Object {
                     group_id: header.group_id,
                     object_id,
@@ -137,8 +165,7 @@ pub fn decode_data_stream(buf: &[u8]) -> WireResult<DataStream> {
             while !r.is_empty() {
                 let group_id = varint::get_varint(&mut r)?;
                 let object_id = varint::get_varint(&mut r)?;
-                let len = varint::get_varint(&mut r)? as usize;
-                let payload = r.get_vec(len)?;
+                let payload = take_payload(&mut r)?;
                 objects.push(Object {
                     group_id,
                     object_id,
@@ -150,7 +177,9 @@ pub fn decode_data_stream(buf: &[u8]) -> WireResult<DataStream> {
                 objects,
             })
         }
-        _ => Err(WireError::Invalid { what: "data stream type" }),
+        _ => Err(WireError::Invalid {
+            what: "data stream type",
+        }),
     }
 }
 
@@ -174,13 +203,15 @@ impl ObjectDatagram {
         w.into_vec()
     }
 
-    /// Decodes a datagram payload.
-    pub fn decode(buf: &[u8]) -> WireResult<ObjectDatagram> {
-        let mut r = Reader::new(buf);
+    /// Decodes a datagram payload; the object's payload is a zero-copy
+    /// sub-view of `buf`.
+    pub fn decode(buf: impl Into<Payload>) -> WireResult<ObjectDatagram> {
+        let buf = buf.into();
+        let mut r = Reader::new(buf.as_slice());
         let track_alias = varint::get_varint(&mut r)?;
         let group_id = varint::get_varint(&mut r)?;
         let object_id = varint::get_varint(&mut r)?;
-        let payload = r.take_rest().to_vec();
+        let payload = buf.slice(r.position()..buf.len());
         Ok(ObjectDatagram {
             track_alias,
             object: Object {
@@ -208,10 +239,10 @@ mod tests {
         let objects = vec![Object {
             group_id: 42,
             object_id: 0,
-            payload: b"dns response bytes".to_vec(),
+            payload: b"dns response bytes".to_vec().into(),
         }];
         let buf = encode_subgroup_stream(&header, &objects);
-        match decode_data_stream(&buf).unwrap() {
+        match decode_data_stream(buf).unwrap() {
             DataStream::Subgroup {
                 header: h,
                 objects: o,
@@ -224,21 +255,51 @@ mod tests {
     }
 
     #[test]
+    fn decoded_objects_share_stream_storage() {
+        // Zero-copy invariant: all objects decoded from one stream buffer
+        // are sub-views of it, not fresh allocations.
+        let objects = vec![
+            Object {
+                group_id: 1,
+                object_id: 0,
+                payload: vec![0xAA; 64].into(),
+            },
+            Object {
+                group_id: 2,
+                object_id: 0,
+                payload: vec![0xBB; 64].into(),
+            },
+        ];
+        let buf = moqdns_wire::Payload::new(encode_fetch_stream(9, &objects));
+        match decode_data_stream(buf.clone()).unwrap() {
+            DataStream::Fetch {
+                objects: decoded, ..
+            } => {
+                assert_eq!(decoded.len(), 2);
+                for o in &decoded {
+                    assert!(o.payload.shares_storage_with(&buf));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn fetch_stream_roundtrip_multiple_groups() {
         let objects = vec![
             Object {
                 group_id: 10,
                 object_id: 0,
-                payload: vec![1, 2],
+                payload: vec![1, 2].into(),
             },
             Object {
                 group_id: 11,
                 object_id: 0,
-                payload: vec![],
+                payload: vec![].into(),
             },
         ];
         let buf = encode_fetch_stream(99, &objects);
-        match decode_data_stream(&buf).unwrap() {
+        match decode_data_stream(buf).unwrap() {
             DataStream::Fetch {
                 request_id,
                 objects: o,
@@ -253,7 +314,7 @@ mod tests {
     #[test]
     fn empty_fetch_stream() {
         let buf = encode_fetch_stream(5, &[]);
-        match decode_data_stream(&buf).unwrap() {
+        match decode_data_stream(buf).unwrap() {
             DataStream::Fetch { objects, .. } => assert!(objects.is_empty()),
             other => panic!("{other:?}"),
         }
@@ -266,17 +327,17 @@ mod tests {
             object: Object {
                 group_id: 9,
                 object_id: 0,
-                payload: b"update".to_vec(),
+                payload: b"update".to_vec().into(),
             },
         };
-        assert_eq!(ObjectDatagram::decode(&d.encode()).unwrap(), d);
+        assert_eq!(ObjectDatagram::decode(d.encode()).unwrap(), d);
     }
 
     #[test]
     fn unknown_stream_type_rejected() {
         let mut w = Writer::new();
         varint::put_varint(&mut w, 0x9);
-        assert!(decode_data_stream(&w.into_vec()).is_err());
+        assert!(decode_data_stream(w.into_vec()).is_err());
     }
 
     #[test]
@@ -292,11 +353,11 @@ mod tests {
             &[Object {
                 group_id: 1,
                 object_id: 0,
-                payload: vec![1, 2, 3, 4],
+                payload: vec![1, 2, 3, 4].into(),
             }],
         );
         buf.truncate(buf.len() - 2);
-        assert!(decode_data_stream(&buf).is_err());
+        assert!(decode_data_stream(buf).is_err());
     }
 
     proptest! {
@@ -318,9 +379,9 @@ mod tests {
                 subgroup_id: 0,
                 priority: 0,
             };
-            let objects = vec![Object { group_id: group as u64, object_id: 0, payload }];
+            let objects = vec![Object { group_id: group as u64, object_id: 0, payload: payload.into() }];
             let buf = encode_subgroup_stream(&header, &objects);
-            let parsed = decode_data_stream(&buf).unwrap();
+            let parsed = decode_data_stream(buf).unwrap();
             prop_assert_eq!(parsed, DataStream::Subgroup { header, objects });
         }
     }

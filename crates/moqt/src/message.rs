@@ -203,10 +203,14 @@ fn put_string(w: &mut Writer, s: &str) {
 fn get_string(r: &mut Reader<'_>) -> WireResult<String> {
     let len = varint::get_varint(r)? as usize;
     if len > 8192 {
-        return Err(WireError::Invalid { what: "string length" });
+        return Err(WireError::Invalid {
+            what: "string length",
+        });
     }
     let bytes = r.get_vec(len)?;
-    String::from_utf8(bytes).map_err(|_| WireError::Invalid { what: "utf-8 string" })
+    String::from_utf8(bytes).map_err(|_| WireError::Invalid {
+        what: "utf-8 string",
+    })
 }
 
 fn put_namespace(w: &mut Writer, ns: &[Vec<u8>]) {
@@ -220,7 +224,9 @@ fn put_namespace(w: &mut Writer, ns: &[Vec<u8>]) {
 fn get_namespace(r: &mut Reader<'_>) -> WireResult<Vec<Vec<u8>>> {
     let n = varint::get_varint(r)? as usize;
     if n > crate::track::MAX_NAMESPACE_ELEMENTS {
-        return Err(WireError::Invalid { what: "namespace element count" });
+        return Err(WireError::Invalid {
+            what: "namespace element count",
+        });
     }
     let mut ns = Vec::with_capacity(n);
     for _ in 0..n {
@@ -256,24 +262,41 @@ impl ControlMessage {
 
     /// Encodes as a framed control-stream message.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Writer::new();
+        let mut w = Writer::with_capacity(64);
+        let mut scratch = Writer::new();
+        self.encode_into(&mut w, &mut scratch);
+        w.into_vec()
+    }
+
+    /// Encodes onto `w`, using `scratch` for the length-prefixed body.
+    /// Hot paths pass recycled writers (see [`moqdns_wire::BufPool`]) so
+    /// per-message encoding allocates nothing in steady state.
+    pub fn encode_into(&self, w: &mut Writer, scratch: &mut Writer) {
+        scratch.clear();
+        self.encode_body(scratch);
+        varint::put_varint(w, self.type_code());
+        varint::put_varint(w, scratch.len() as u64);
+        w.put_slice(scratch.as_slice());
+    }
+
+    fn encode_body(&self, body: &mut Writer) {
         match self {
             ControlMessage::ClientSetup {
                 versions,
                 max_request_id,
             } => {
-                varint::put_varint(&mut body, versions.len() as u64);
+                varint::put_varint(body, versions.len() as u64);
                 for v in versions {
-                    varint::put_varint(&mut body, *v);
+                    varint::put_varint(body, *v);
                 }
-                varint::put_varint(&mut body, *max_request_id);
+                varint::put_varint(body, *max_request_id);
             }
             ControlMessage::ServerSetup {
                 version,
                 max_request_id,
             } => {
-                varint::put_varint(&mut body, *version);
-                varint::put_varint(&mut body, *max_request_id);
+                varint::put_varint(body, *version);
+                varint::put_varint(body, *max_request_id);
             }
             ControlMessage::Subscribe {
                 request_id,
@@ -281,15 +304,15 @@ impl ControlMessage {
                 track,
                 filter,
             } => {
-                varint::put_varint(&mut body, *request_id);
-                varint::put_varint(&mut body, *track_alias);
-                track.encode(&mut body);
+                varint::put_varint(body, *request_id);
+                varint::put_varint(body, *track_alias);
+                track.encode(body);
                 match filter {
-                    FilterType::LatestObject => varint::put_varint(&mut body, 0x2),
+                    FilterType::LatestObject => varint::put_varint(body, 0x2),
                     FilterType::AbsoluteStart { group, object } => {
-                        varint::put_varint(&mut body, 0x3);
-                        varint::put_varint(&mut body, *group);
-                        varint::put_varint(&mut body, *object);
+                        varint::put_varint(body, 0x3);
+                        varint::put_varint(body, *group);
+                        varint::put_varint(body, *object);
                     }
                 }
             }
@@ -298,13 +321,13 @@ impl ControlMessage {
                 expires_ms,
                 largest,
             } => {
-                varint::put_varint(&mut body, *request_id);
-                varint::put_varint(&mut body, *expires_ms);
+                varint::put_varint(body, *request_id);
+                varint::put_varint(body, *expires_ms);
                 match largest {
                     Some((g, o)) => {
                         body.put_u8(1);
-                        varint::put_varint(&mut body, *g);
-                        varint::put_varint(&mut body, *o);
+                        varint::put_varint(body, *g);
+                        varint::put_varint(body, *o);
                     }
                     None => body.put_u8(0),
                 }
@@ -329,17 +352,17 @@ impl ControlMessage {
                 code,
                 reason,
             } => {
-                varint::put_varint(&mut body, *request_id);
-                varint::put_varint(&mut body, *code);
-                put_string(&mut body, reason);
+                varint::put_varint(body, *request_id);
+                varint::put_varint(body, *code);
+                put_string(body, reason);
             }
             ControlMessage::Unsubscribe { request_id }
             | ControlMessage::FetchCancel { request_id }
             | ControlMessage::AnnounceOk { request_id } => {
-                varint::put_varint(&mut body, *request_id);
+                varint::put_varint(body, *request_id);
             }
             ControlMessage::Fetch { request_id, fetch } => {
-                varint::put_varint(&mut body, *request_id);
+                varint::put_varint(body, *request_id);
                 match fetch {
                     FetchType::StandAlone {
                         track,
@@ -347,19 +370,19 @@ impl ControlMessage {
                         start_object,
                         end_group,
                     } => {
-                        varint::put_varint(&mut body, 0x1);
-                        track.encode(&mut body);
-                        varint::put_varint(&mut body, *start_group);
-                        varint::put_varint(&mut body, *start_object);
-                        varint::put_varint(&mut body, *end_group);
+                        varint::put_varint(body, 0x1);
+                        track.encode(body);
+                        varint::put_varint(body, *start_group);
+                        varint::put_varint(body, *start_object);
+                        varint::put_varint(body, *end_group);
                     }
                     FetchType::RelativeJoining {
                         joining_request_id,
                         joining_start,
                     } => {
-                        varint::put_varint(&mut body, 0x2);
-                        varint::put_varint(&mut body, *joining_request_id);
-                        varint::put_varint(&mut body, *joining_start);
+                        varint::put_varint(body, 0x2);
+                        varint::put_varint(body, *joining_request_id);
+                        varint::put_varint(body, *joining_start);
                     }
                 }
             }
@@ -367,33 +390,27 @@ impl ControlMessage {
                 request_id,
                 largest,
             } => {
-                varint::put_varint(&mut body, *request_id);
-                varint::put_varint(&mut body, largest.0);
-                varint::put_varint(&mut body, largest.1);
+                varint::put_varint(body, *request_id);
+                varint::put_varint(body, largest.0);
+                varint::put_varint(body, largest.1);
             }
             ControlMessage::Announce {
                 request_id,
                 namespace,
             } => {
-                varint::put_varint(&mut body, *request_id);
-                put_namespace(&mut body, namespace);
+                varint::put_varint(body, *request_id);
+                put_namespace(body, namespace);
             }
             ControlMessage::Unannounce { namespace } => {
-                put_namespace(&mut body, namespace);
+                put_namespace(body, namespace);
             }
             ControlMessage::MaxRequestId { max } => {
-                varint::put_varint(&mut body, *max);
+                varint::put_varint(body, *max);
             }
             ControlMessage::GoAway { uri } => {
-                put_string(&mut body, uri);
+                put_string(body, uri);
             }
         }
-        let body = body.into_vec();
-        let mut w = Writer::with_capacity(body.len() + 4);
-        varint::put_varint(&mut w, self.type_code());
-        varint::put_varint(&mut w, body.len() as u64);
-        w.put_slice(&body);
-        w.into_vec()
     }
 
     /// Tries to decode one framed message from the front of `buf`.
@@ -408,7 +425,9 @@ impl ControlMessage {
             return Ok(None);
         };
         if len > 65_536 {
-            return Err(WireError::Invalid { what: "control message length" });
+            return Err(WireError::Invalid {
+                what: "control message length",
+            });
         }
         if r.remaining() < len as usize {
             return Ok(None);
@@ -417,7 +436,9 @@ impl ControlMessage {
         let msg = Self::decode_body(ty, &mut r)?;
         let consumed = r.position();
         if consumed - body_start != len as usize {
-            return Err(WireError::Invalid { what: "control message length mismatch" });
+            return Err(WireError::Invalid {
+                what: "control message length mismatch",
+            });
         }
         Ok(Some((msg, consumed)))
     }
@@ -427,7 +448,9 @@ impl ControlMessage {
             T_CLIENT_SETUP => {
                 let n = varint::get_varint(r)? as usize;
                 if n == 0 || n > 32 {
-                    return Err(WireError::Invalid { what: "version count" });
+                    return Err(WireError::Invalid {
+                        what: "version count",
+                    });
                 }
                 let mut versions = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -452,7 +475,11 @@ impl ControlMessage {
                         group: varint::get_varint(r)?,
                         object: varint::get_varint(r)?,
                     },
-                    _ => return Err(WireError::Invalid { what: "filter type" }),
+                    _ => {
+                        return Err(WireError::Invalid {
+                            what: "filter type",
+                        })
+                    }
                 };
                 ControlMessage::Subscribe {
                     request_id,
@@ -467,7 +494,11 @@ impl ControlMessage {
                 let largest = match r.get_u8()? {
                     0 => None,
                     1 => Some((varint::get_varint(r)?, varint::get_varint(r)?)),
-                    _ => return Err(WireError::Invalid { what: "content-exists flag" }),
+                    _ => {
+                        return Err(WireError::Invalid {
+                            what: "content-exists flag",
+                        })
+                    }
                 };
                 ControlMessage::SubscribeOk {
                     request_id,
@@ -538,7 +569,11 @@ impl ControlMessage {
             T_GOAWAY => ControlMessage::GoAway {
                 uri: get_string(r)?,
             },
-            _ => return Err(WireError::Invalid { what: "control message type" }),
+            _ => {
+                return Err(WireError::Invalid {
+                    what: "control message type",
+                })
+            }
         })
     }
 }
@@ -576,7 +611,10 @@ mod tests {
                 request_id: 4,
                 track_alias: 4,
                 track: track(),
-                filter: FilterType::AbsoluteStart { group: 9, object: 0 },
+                filter: FilterType::AbsoluteStart {
+                    group: 9,
+                    object: 0,
+                },
             },
             ControlMessage::SubscribeOk {
                 request_id: 2,

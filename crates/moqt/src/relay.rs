@@ -16,6 +16,7 @@
 
 use crate::data::Object;
 use crate::track::FullTrackName;
+use moqdns_wire::Payload;
 use std::collections::{BTreeMap, HashMap};
 
 /// Identifies one downstream session at the owning node.
@@ -87,9 +88,10 @@ struct TrackState {
     subscribers: Vec<(SessionKey, u64)>,
     /// Whether an upstream subscription exists (or is being set up).
     upstream_active: bool,
-    /// Object cache: (group, object) -> payload. BTreeMap gives range
-    /// queries for fetches.
-    cache: BTreeMap<(u64, u64), Vec<u8>>,
+    /// Object cache: (group, object) -> payload handle. BTreeMap gives
+    /// range queries for fetches; storing [`Payload`] means caching an
+    /// object shares the publisher's bytes instead of copying them.
+    cache: BTreeMap<(u64, u64), Payload>,
 }
 
 impl TrackState {
@@ -151,11 +153,7 @@ impl RelayCore {
     /// Upstream aggregation factor: downstream subs per upstream sub
     /// (the relay's whole point — N downstream cost 1 upstream).
     pub fn aggregation_factor(&self) -> f64 {
-        let up = self
-            .tracks
-            .values()
-            .filter(|t| t.upstream_active)
-            .count();
+        let up = self.tracks.values().filter(|t| t.upstream_active).count();
         if up == 0 {
             0.0
         } else {
@@ -222,7 +220,10 @@ impl RelayCore {
     }
 
     /// An object arrived from upstream on `track`: cache + fan out.
-    /// The payload is moved through untouched.
+    /// The payload is moved through untouched, and *shared*: caching and
+    /// every per-subscriber [`RelayAction::Forward`] clone the payload
+    /// handle (a refcount bump), so publish cost is O(1) in subscriber
+    /// count for payload bytes copied.
     pub fn on_upstream_object(
         &mut self,
         track: &FullTrackName,
@@ -328,7 +329,7 @@ mod tests {
         Object {
             group_id: group,
             object_id: 0,
-            payload: payload.to_vec(),
+            payload: payload.into(),
         }
     }
 
@@ -340,10 +341,7 @@ mod tests {
         assert!(matches!(a[0], RelayAction::SubscribeUpstream { .. }));
         assert!(matches!(
             a[1],
-            RelayAction::AcceptDownstream {
-                largest: None,
-                ..
-            }
+            RelayAction::AcceptDownstream { largest: None, .. }
         ));
     }
 
@@ -490,6 +488,37 @@ mod tests {
         let acts = r.on_upstream_object(&track(1), obj(1, &weird));
         match &acts[0] {
             RelayAction::Forward { object, .. } => assert_eq!(object.payload, weird),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fanout_shares_payload_storage() {
+        // Zero-copy invariant: every Forward action and the cache entry
+        // reference the published object's backing bytes — no
+        // per-subscriber payload copies.
+        let mut r = RelayCore::new(0);
+        for s in 0..32 {
+            r.on_downstream_subscribe(s, 2, track(1));
+        }
+        let object = obj(3, &[0x5A; 600]);
+        let original = object.payload.clone();
+        let acts = r.on_upstream_object(&track(1), object);
+        assert_eq!(acts.len(), 32);
+        for a in &acts {
+            match a {
+                RelayAction::Forward { object, .. } => {
+                    assert!(object.payload.shares_storage_with(&original));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Cached fetch responses share it too.
+        let a = r.on_downstream_fetch(99, 1, track(1), 3, 3);
+        match &a[0] {
+            RelayAction::ServeFetch { objects, .. } => {
+                assert!(objects[0].payload.shares_storage_with(&original));
+            }
             other => panic!("{other:?}"),
         }
     }

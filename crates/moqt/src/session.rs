@@ -20,12 +20,13 @@
 //!   while future updates arrive via the subscription.
 
 use crate::data::{
-    decode_data_stream, encode_fetch_stream, encode_subgroup_stream, DataStream, Object,
+    decode_data_stream, encode_fetch_stream_into, encode_subgroup_stream_into, DataStream, Object,
     ObjectDatagram, SubgroupHeader,
 };
 use crate::message::{ControlMessage, FetchType, FilterType};
 use crate::track::FullTrackName;
 use moqdns_quic::{Connection, Dir, Event as QuicEvent, StreamId};
+use moqdns_wire::BufPool;
 use std::collections::{HashMap, VecDeque};
 
 /// Session-level configuration.
@@ -203,6 +204,8 @@ pub struct Session {
     events: VecDeque<SessionEvent>,
     /// Control messages queued until SERVER_SETUP (strict draft-12 mode).
     queued_control: Vec<ControlMessage>,
+    /// Recycled encode buffers for control/data-stream framing.
+    pool: BufPool,
 }
 
 impl Session {
@@ -232,6 +235,7 @@ impl Session {
             data_rx: HashMap::new(),
             events: VecDeque::new(),
             queued_control: Vec::new(),
+            pool: BufPool::default(),
         }
     }
 
@@ -308,7 +312,10 @@ impl Session {
                 .push_back(SessionEvent::ProtocolViolation("no control stream"));
             return;
         };
-        let bytes = msg.encode();
+        let mut w = self.pool.writer();
+        let mut scratch = self.pool.writer();
+        msg.encode_into(&mut w, &mut scratch);
+        let bytes = w.as_slice();
         let mut off = 0;
         while off < bytes.len() {
             match conn.send_stream(cs, &bytes[off..]) {
@@ -316,6 +323,8 @@ impl Session {
                 Ok(n) => off += n,
             }
         }
+        self.pool.recycle_writer(scratch);
+        self.pool.recycle_writer(w);
     }
 
     // ------------------------------------------------------------------
@@ -446,12 +455,7 @@ impl Session {
     /// Pushes an object to one accepted peer subscription: opens a fresh
     /// unidirectional subgroup stream, writes the object, finishes the
     /// stream (§4.1: streams, never datagrams, for reliability).
-    pub fn publish(
-        &mut self,
-        conn: &mut Connection,
-        request_id: u64,
-        object: Object,
-    ) -> bool {
+    pub fn publish(&mut self, conn: &mut Connection, request_id: u64, object: Object) -> bool {
         let Some(sub) = self.peer_subs.get(&request_id) else {
             return false;
         };
@@ -464,18 +468,25 @@ impl Session {
             subgroup_id: 0,
             priority: 128,
         };
-        let bytes = encode_subgroup_stream(&header, &[object]);
+        let mut w = self.pool.writer();
+        encode_subgroup_stream_into(&mut w, &header, &[object]);
+        let bytes = w.as_slice();
         let Ok(sid) = conn.open_stream(Dir::Uni) else {
+            self.pool.recycle_writer(w);
             return false;
         };
         let mut off = 0;
         while off < bytes.len() {
             match conn.send_stream(sid, &bytes[off..]) {
-                Ok(0) | Err(_) => return false,
+                Ok(0) | Err(_) => {
+                    self.pool.recycle_writer(w);
+                    return false;
+                }
                 Ok(n) => off += n,
             }
         }
         let _ = conn.finish_stream(sid);
+        self.pool.recycle_writer(w);
         true
     }
 
@@ -531,18 +542,25 @@ impl Session {
             largest,
         };
         self.send_control(conn, &msg);
-        let bytes = encode_fetch_stream(request_id, &objects);
+        let mut w = self.pool.writer();
+        encode_fetch_stream_into(&mut w, request_id, &objects);
+        let bytes = w.as_slice();
         let Ok(sid) = conn.open_stream(Dir::Uni) else {
+            self.pool.recycle_writer(w);
             return;
         };
         let mut off = 0;
         while off < bytes.len() {
             match conn.send_stream(sid, &bytes[off..]) {
-                Ok(0) | Err(_) => return,
+                Ok(0) | Err(_) => {
+                    self.pool.recycle_writer(w);
+                    return;
+                }
                 Ok(n) => off += n,
             }
         }
         let _ = conn.finish_stream(sid);
+        self.pool.recycle_writer(w);
     }
 
     /// Declines a peer's FETCH.
@@ -603,12 +621,12 @@ impl Session {
     }
 
     fn pump_control(&mut self, conn: &mut Connection) {
-        let Some(cs) = self.control_stream else { return };
+        let Some(cs) = self.control_stream else {
+            return;
+        };
         loop {
             match conn.read_stream(cs, 65_536) {
-                Ok((data, _fin)) if !data.is_empty() => {
-                    self.control_rx.extend_from_slice(&data)
-                }
+                Ok((data, _fin)) if !data.is_empty() => self.control_rx.extend_from_slice(&data),
                 _ => break,
             }
         }
@@ -639,8 +657,7 @@ impl Session {
                 }
                 // Select the highest version both sides support.
                 let ours = &self.config.versions;
-                let Some(v) = versions.iter().filter(|v| ours.contains(v)).max().copied()
-                else {
+                let Some(v) = versions.iter().filter(|v| ours.contains(v)).max().copied() else {
                     self.events
                         .push_back(SessionEvent::ProtocolViolation("no common version"));
                     return;
@@ -745,7 +762,12 @@ impl Session {
                         joining_start,
                     } => {
                         let Some(sub) = self.peer_subs.get(&joining_request_id) else {
-                            self.reject_fetch(conn, request_id, 0x8, "unknown joining subscription");
+                            self.reject_fetch(
+                                conn,
+                                request_id,
+                                0x8,
+                                "unknown joining subscription",
+                            );
                             return;
                         };
                         IncomingFetchKind::Joining {
@@ -814,8 +836,12 @@ impl Session {
         if !finished {
             return;
         }
-        let Some(buf) = self.data_rx.remove(&id) else { return };
-        match decode_data_stream(&buf) {
+        let Some(buf) = self.data_rx.remove(&id) else {
+            return;
+        };
+        // The owned receive buffer becomes shared storage: every decoded
+        // object's payload is a zero-copy sub-view of it.
+        match decode_data_stream(buf) {
             Ok(DataStream::Subgroup { header, objects }) => {
                 if let Some(&sub) = self.alias_to_sub.get(&header.track_alias) {
                     for object in objects {
@@ -905,7 +931,7 @@ mod tests {
                 }
                 if !c2s.is_empty() || !s2c.is_empty() {
                     moved = true;
-                    self.now = self.now + Duration::from_millis(10);
+                    self.now += Duration::from_millis(10);
                     for d in c2s {
                         self.s_conn.handle_datagram(self.now, &d);
                     }
@@ -967,7 +993,10 @@ mod tests {
         let req = sev
             .iter()
             .find_map(|e| match e {
-                SessionEvent::IncomingSubscribe { request_id, track: tr } => {
+                SessionEvent::IncomingSubscribe {
+                    request_id,
+                    track: tr,
+                } => {
                     assert_eq!(*tr, track());
                     Some(*request_id)
                 }
@@ -992,7 +1021,7 @@ mod tests {
             Object {
                 group_id: 18,
                 object_id: 0,
-                payload: b"new dns response".to_vec(),
+                payload: b"new dns response".to_vec().into(),
             },
         );
         assert!(ok);
@@ -1001,7 +1030,9 @@ mod tests {
         let got = cev
             .iter()
             .find_map(|e| match e {
-                SessionEvent::SubscriptionObject { request_id, object } if *request_id == sub_id => {
+                SessionEvent::SubscriptionObject { request_id, object }
+                    if *request_id == sub_id =>
+                {
                     Some(object.clone())
                 }
                 _ => None,
@@ -1062,7 +1093,7 @@ mod tests {
             vec![Object {
                 group_id: 5,
                 object_id: 0,
-                payload: b"current record".to_vec(),
+                payload: b"current record".to_vec().into(),
             }],
         );
         rig.run();
@@ -1076,9 +1107,10 @@ mod tests {
         let objs = cev
             .iter()
             .find_map(|e| match e {
-                SessionEvent::FetchObjects { request_id, objects } if *request_id == fetch_id => {
-                    Some(objects.clone())
-                }
+                SessionEvent::FetchObjects {
+                    request_id,
+                    objects,
+                } if *request_id == fetch_id => Some(objects.clone()),
                 _ => None,
             })
             .expect("fetch objects");
@@ -1136,9 +1168,9 @@ mod tests {
         rig.client.unsubscribe(&mut rig.c_conn, sub_id);
         rig.run();
         let sev = rig.server_events();
-        assert!(sev
-            .iter()
-            .any(|e| matches!(e, SessionEvent::PeerUnsubscribed { request_id } if *request_id == req)));
+        assert!(sev.iter().any(
+            |e| matches!(e, SessionEvent::PeerUnsubscribed { request_id } if *request_id == req)
+        ));
         assert_eq!(rig.server.peer_subscription_count(), 0);
         // Publishing to a dead subscription fails.
         assert!(!rig.server.publish(
@@ -1147,7 +1179,7 @@ mod tests {
             Object {
                 group_id: 1,
                 object_id: 0,
-                payload: vec![]
+                payload: vec![].into()
             }
         ));
     }
@@ -1170,7 +1202,8 @@ mod tests {
         rig.server.accept_subscribe(&mut rig.s_conn, req, None);
         rig.run();
         rig.client_events();
-        rig.server.subscribe_done(&mut rig.s_conn, req, 0, "zone gone");
+        rig.server
+            .subscribe_done(&mut rig.s_conn, req, 0, "zone gone");
         rig.run();
         let cev = rig.client_events();
         assert!(cev.iter().any(|e| matches!(
@@ -1256,7 +1289,7 @@ mod tests {
             Object {
                 group_id: 3,
                 object_id: 0,
-                payload: b"dg".to_vec()
+                payload: b"dg".to_vec().into()
             }
         ));
         rig.run();

@@ -129,10 +129,7 @@ mod tests {
     #[test]
     fn enforces_4096_limit() {
         // 3 namespace bytes + 4093 name bytes = 4096: legal.
-        let ok = FullTrackName::new(
-            vec![vec![1], vec![2], vec![3]],
-            vec![0; 4093],
-        );
+        let ok = FullTrackName::new(vec![vec![1], vec![2], vec![3]], vec![0; 4093]);
         assert!(ok.is_ok());
         assert_eq!(ok.unwrap().total_len(), MAX_FULL_NAME_LEN);
         // One more byte: rejected.

@@ -13,9 +13,17 @@ use std::time::Duration;
 /// What a scheduled event does when it fires.
 enum EventKind {
     /// Deliver a datagram to `to.node`.
-    Deliver { from: Addr, to: Addr, payload: Vec<u8> },
+    Deliver {
+        from: Addr,
+        to: Addr,
+        payload: Vec<u8>,
+    },
     /// Fire a timer on a node.
-    Timer { node: NodeId, token: u64, timer_id: u64 },
+    Timer {
+        node: NodeId,
+        token: u64,
+        timer_id: u64,
+    },
     /// Run an arbitrary closure against the whole simulator (used by
     /// experiment scripts: "at t=5s, update the zone").
     Call(Box<dyn FnOnce(&mut Simulator)>),
@@ -113,7 +121,14 @@ impl SimCore {
         let timer_id = self.next_timer_id;
         self.next_timer_id += 1;
         let at = self.now + after;
-        self.push(at, EventKind::Timer { node, token, timer_id });
+        self.push(
+            at,
+            EventKind::Timer {
+                node,
+                token,
+                timer_id,
+            },
+        );
         timer_id
     }
 
@@ -288,7 +303,11 @@ impl Simulator {
     /// this query now") as if an event had been delivered.
     ///
     /// Panics if `id` does not refer to a `T` or the node is mid-dispatch.
-    pub fn with_node<T: Node, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R) -> R {
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
         let mut node = self.nodes[id.index()]
             .take()
             .expect("node is mid-dispatch or removed");
@@ -350,7 +369,11 @@ impl Simulator {
                     self.nodes[to.node.index()] = Some(node);
                 }
             }
-            EventKind::Timer { node, token, timer_id } => {
+            EventKind::Timer {
+                node,
+                token,
+                timer_id,
+            } => {
                 if self.core.cancelled_timers.remove(&timer_id) {
                     return true;
                 }
@@ -439,8 +462,7 @@ mod tests {
 
     #[test]
     fn datagram_arrives_after_delay() {
-        let (mut sim, a, b) =
-            two_recorders(1, LinkConfig::with_delay(Duration::from_millis(30)));
+        let (mut sim, a, b) = two_recorders(1, LinkConfig::with_delay(Duration::from_millis(30)));
         sim.with_node::<Recorder, _>(a, |_, ctx| {
             ctx.send(5, Addr::new(b, 9), vec![1, 2, 3]);
         });
@@ -538,9 +560,8 @@ mod tests {
     fn cancelled_timer_does_not_fire() {
         let mut sim = Simulator::new(1);
         let a = sim.add_node("a", Box::<Recorder>::default());
-        let id = sim.with_node::<Recorder, _>(a, |_, ctx| {
-            ctx.set_timer(Duration::from_millis(10), 7)
-        });
+        let id =
+            sim.with_node::<Recorder, _>(a, |_, ctx| ctx.set_timer(Duration::from_millis(10), 7));
         sim.with_node::<Recorder, _>(a, |_, ctx| ctx.cancel_timer(id));
         sim.run_until_idle();
         assert!(sim.node_ref::<Recorder>(a).timer_tokens.is_empty());

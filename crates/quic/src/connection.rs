@@ -28,6 +28,7 @@ use crate::packet::{decode_datagram, encode_datagram, Packet, PacketType};
 use crate::recovery::{AckTracker, Recovery, RetxInfo, SentPacket};
 use crate::streams::{Dir, RecvStream, SendStream, StreamId};
 use moqdns_netsim::SimTime;
+use moqdns_wire::Payload;
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// Which end of the connection we are.
@@ -60,8 +61,9 @@ pub enum Event {
         /// The readable stream.
         id: StreamId,
     },
-    /// An unreliable datagram arrived (RFC 9221).
-    DatagramReceived(Vec<u8>),
+    /// An unreliable datagram arrived (RFC 9221). The payload is a
+    /// shared handle into the decoded packet's storage.
+    DatagramReceived(Payload),
     /// The server issued a resumption ticket (client side).
     TicketIssued(Ticket),
     /// The connection terminated.
@@ -175,7 +177,7 @@ pub struct Connection {
     pending_max_stream_data: HashSet<StreamId>,
 
     // --- datagrams ---
-    datagram_queue_out: VecDeque<Vec<u8>>,
+    datagram_queue_out: VecDeque<Payload>,
 
     // --- liveness ---
     last_rx: SimTime,
@@ -417,8 +419,12 @@ impl Connection {
         Ok((data, fin))
     }
 
-    /// Queues an unreliable datagram (RFC 9221).
-    pub fn send_datagram(&mut self, data: Vec<u8>) -> Result<(), ConnectionError> {
+    /// Queues an unreliable datagram (RFC 9221). Accepts anything
+    /// convertible to a [`Payload`]; passing a `Payload` (e.g. when
+    /// fanning one object out over many connections) shares the bytes
+    /// instead of copying them.
+    pub fn send_datagram(&mut self, data: impl Into<Payload>) -> Result<(), ConnectionError> {
+        let data = data.into();
         if self.state == State::Closed {
             return Err(ConnectionError::Closed);
         }
@@ -472,10 +478,7 @@ impl Connection {
             return;
         }
         // 0-RTT before the ClientHello: buffer (loss/reorder of the CH).
-        if self.side == Side::Server
-            && p.ty == PacketType::ZeroRtt
-            && !self.handshake_processed
-        {
+        if self.side == Side::Server && p.ty == PacketType::ZeroRtt && !self.handshake_processed {
             self.early_buffer.push(p);
             return;
         }
@@ -588,8 +591,9 @@ impl Connection {
                     });
                     return;
                 };
-                let early_ok =
-                    early_data && ticket.as_ref().is_some_and(|t| !t.0.is_empty()) && self.accept_early_data;
+                let early_ok = early_data
+                    && ticket.as_ref().is_some_and(|t| !t.0.is_empty())
+                    && self.accept_early_data;
                 if !early_ok {
                     self.early_buffer.clear(); // reject any buffered 0-RTT
                 }
@@ -659,7 +663,9 @@ impl Connection {
     ) {
         // Server must not act on 1-RTT-style app data while handshaking
         // (cannot happen with well-behaved peers; drop defensively).
-        if self.state == State::Handshaking && self.side == Side::Server && pty == PacketType::OneRtt
+        if self.state == State::Handshaking
+            && self.side == Side::Server
+            && pty == PacketType::OneRtt
         {
             return;
         }
@@ -783,12 +789,9 @@ impl Connection {
                 } else {
                     RetxInfo::ServerHello
                 };
-                let frames = vec![Frame::Crypto {
-                    offset: 0,
-                    data: c,
-                }];
+                let frames = vec![Frame::Crypto { offset: 0, data: c }];
                 let pkt = self.seal(PacketType::Initial, frames, vec![retx], true);
-                budget = budget.saturating_sub(pkt.encode().len() + 4);
+                budget = budget.saturating_sub(pkt.encoded_len() + 4);
                 packets.push(pkt);
                 self.crypto_pending = false;
             }
@@ -908,7 +911,7 @@ impl Connection {
             pn,
             frames,
         };
-        let size = pkt.encode().len();
+        let size = pkt.encoded_len();
         self.recovery.on_packet_sent(
             pn,
             SentPacket {
@@ -1028,7 +1031,7 @@ mod tests {
             }
             if !a2b.is_empty() || !b2a.is_empty() {
                 any = true;
-                now = now + Duration::from_millis(owd_ms);
+                now += Duration::from_millis(owd_ms);
                 for d in a2b {
                     b.handle_datagram(now, &d);
                 }
@@ -1168,7 +1171,9 @@ mod tests {
         shuttle(&mut c, &mut s, t(100), 10);
 
         let sev = drain_events(&mut s);
-        assert!(sev.iter().any(|e| matches!(e, Event::StreamOpened { id: i } if *i == id)));
+        assert!(sev
+            .iter()
+            .any(|e| matches!(e, Event::StreamOpened { id: i } if *i == id)));
         let (q, fin) = s.read_stream(id, 100).unwrap();
         assert_eq!(q, b"question");
         assert!(fin);
@@ -1224,8 +1229,20 @@ mod tests {
     #[test]
     fn alpn_mismatch_refuses_connection() {
         let now = t(0);
-        let mut c = Connection::client(1, TransportConfig::default(), vec![b"foo".to_vec()], None, now);
-        let mut s = Connection::server(1, TransportConfig::default(), vec![b"bar".to_vec()], 99, now);
+        let mut c = Connection::client(
+            1,
+            TransportConfig::default(),
+            vec![b"foo".to_vec()],
+            None,
+            now,
+        );
+        let mut s = Connection::server(
+            1,
+            TransportConfig::default(),
+            vec![b"bar".to_vec()],
+            99,
+            now,
+        );
         shuttle(&mut c, &mut s, now, 10);
         assert!(c.is_closed());
         let cev = drain_events(&mut c);
@@ -1341,8 +1358,10 @@ mod tests {
 
     #[test]
     fn stream_limit_enforced() {
-        let mut cfg = TransportConfig::default();
-        cfg.max_streams = 2;
+        let cfg = TransportConfig {
+            max_streams: 2,
+            ..TransportConfig::default()
+        };
         let mut c = Connection::client(1, cfg, alpns(), None, t(0));
         c.open_stream(Dir::Bi).unwrap();
         c.open_stream(Dir::Bi).unwrap();
@@ -1353,9 +1372,11 @@ mod tests {
 
     #[test]
     fn large_transfer_with_flow_control_updates() {
-        let mut cfg = TransportConfig::default();
-        cfg.max_stream_data = 4096;
-        cfg.max_data = 8192;
+        let cfg = TransportConfig {
+            max_stream_data: 4096,
+            max_data: 8192,
+            ..TransportConfig::default()
+        };
         let mut c = Connection::client(1, cfg.clone(), alpns(), None, t(0));
         let mut s = Connection::server(1, cfg, alpns(), 99, t(0));
         let mut now = shuttle(&mut c, &mut s, t(0), 5);

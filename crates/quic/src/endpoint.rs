@@ -132,13 +132,7 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
         if let Some((conn, peer)) = self.connections.get_mut(&handle) {
             *peer = from; // track migration
             conn.handle_datagram(now, data);
-            Self::drain_conn_events(
-                handle,
-                conn,
-                *peer,
-                &mut self.tickets,
-                &mut self.events,
-            );
+            Self::drain_conn_events(handle, conn, *peer, &mut self.tickets, &mut self.events);
         }
     }
 
@@ -305,7 +299,7 @@ mod tests {
             }
             if !from_a.is_empty() || !from_b.is_empty() {
                 moved = true;
-                now = now + Duration::from_millis(owd_ms);
+                now += Duration::from_millis(owd_ms);
                 for d in from_a {
                     b.handle_datagram(now, a_addr, &d);
                 }
@@ -333,7 +327,11 @@ mod tests {
 
         // Client sends a request on a bidi stream; server answers.
         let id = client.conn_mut(ch).unwrap().open_stream(Dir::Bi).unwrap();
-        client.conn_mut(ch).unwrap().send_stream(id, b"req").unwrap();
+        client
+            .conn_mut(ch)
+            .unwrap()
+            .send_stream(id, b"req")
+            .unwrap();
         shuttle(&mut client, 10, &mut server, 20, t(100), 25);
         let (data, _) = server.conn_mut(sh).unwrap().read_stream(id, 100).unwrap();
         assert_eq!(data, b"req");

@@ -3,7 +3,7 @@
 //! A recognizable subset of RFC 9000 §19 plus the RFC 9221 DATAGRAM frame.
 
 use crate::streams::StreamId;
-use moqdns_wire::{varint, Reader, WireError, WireResult, Writer};
+use moqdns_wire::{varint, Payload, Reader, WireError, WireResult, Writer};
 
 /// A QUIC frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,10 +70,11 @@ pub enum Frame {
     },
     /// Handshake confirmed (server → client).
     HandshakeDone,
-    /// Unreliable application datagram (RFC 9221).
+    /// Unreliable application datagram (RFC 9221). The payload is a
+    /// shared handle so queueing and packing never copy the bytes.
     Datagram {
         /// Payload.
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Connection close with an error code and reason.
     ConnectionClose {
@@ -103,7 +104,54 @@ const T_CONNECTION_CLOSE: u64 = 0x1c;
 impl Frame {
     /// True if this frame counts as "ack-eliciting" (RFC 9002 §2).
     pub fn is_ack_eliciting(&self) -> bool {
-        !matches!(self, Frame::Ack { .. } | Frame::Padding | Frame::ConnectionClose { .. })
+        !matches!(
+            self,
+            Frame::Ack { .. } | Frame::Padding | Frame::ConnectionClose { .. }
+        )
+    }
+
+    /// Exact encoded size in bytes, computed without encoding. Keeps the
+    /// packetizer's size accounting allocation-free.
+    pub fn encoded_len(&self) -> usize {
+        use moqdns_wire::varint::varint_len as vl;
+        match self {
+            Frame::Padding => vl(T_PADDING),
+            Frame::Ping => vl(T_PING),
+            Frame::Ack { ranges } => {
+                vl(T_ACK)
+                    + vl(ranges.len() as u64)
+                    + ranges.iter().map(|(s, e)| vl(*s) + vl(*e)).sum::<usize>()
+            }
+            Frame::Crypto { offset, data } => {
+                vl(T_CRYPTO) + vl(*offset) + vl(data.len() as u64) + data.len()
+            }
+            Frame::Stream {
+                id,
+                offset,
+                data,
+                fin: _,
+            } => vl(T_STREAM) + vl(id.0) + vl(*offset) + vl(data.len() as u64) + 1 + data.len(),
+            Frame::ResetStream { id, error_code } => {
+                vl(T_RESET_STREAM) + vl(id.0) + vl(*error_code)
+            }
+            Frame::StopSending { id, error_code } => {
+                vl(T_STOP_SENDING) + vl(id.0) + vl(*error_code)
+            }
+            Frame::MaxData { max } => vl(T_MAX_DATA) + vl(*max),
+            Frame::MaxStreamData { id, max } => vl(T_MAX_STREAM_DATA) + vl(id.0) + vl(*max),
+            Frame::MaxStreams { bidi, max } => {
+                vl(if *bidi {
+                    T_MAX_STREAMS_BIDI
+                } else {
+                    T_MAX_STREAMS_UNI
+                }) + vl(*max)
+            }
+            Frame::HandshakeDone => vl(T_HANDSHAKE_DONE),
+            Frame::Datagram { data } => vl(T_DATAGRAM) + vl(data.len() as u64) + data.len(),
+            Frame::ConnectionClose { error_code, reason } => {
+                vl(T_CONNECTION_CLOSE) + vl(*error_code) + vl(reason.len() as u64) + reason.len()
+            }
+        }
     }
 
     /// Encodes the frame onto `w`.
@@ -158,7 +206,14 @@ impl Frame {
                 varint::put_varint(w, *max);
             }
             Frame::MaxStreams { bidi, max } => {
-                varint::put_varint(w, if *bidi { T_MAX_STREAMS_BIDI } else { T_MAX_STREAMS_UNI });
+                varint::put_varint(
+                    w,
+                    if *bidi {
+                        T_MAX_STREAMS_BIDI
+                    } else {
+                        T_MAX_STREAMS_UNI
+                    },
+                );
                 varint::put_varint(w, *max);
             }
             Frame::HandshakeDone => varint::put_varint(w, T_HANDSHAKE_DONE),
@@ -185,14 +240,18 @@ impl Frame {
             T_ACK => {
                 let n = varint::get_varint(r)? as usize;
                 if n > 1024 {
-                    return Err(WireError::Invalid { what: "ack range count" });
+                    return Err(WireError::Invalid {
+                        what: "ack range count",
+                    });
                 }
                 let mut ranges = Vec::with_capacity(n);
                 for _ in 0..n {
                     let start = varint::get_varint(r)?;
                     let end = varint::get_varint(r)?;
                     if start > end {
-                        return Err(WireError::Invalid { what: "ack range order" });
+                        return Err(WireError::Invalid {
+                            what: "ack range order",
+                        });
                     }
                     ranges.push((start, end));
                 }
@@ -245,7 +304,7 @@ impl Frame {
             T_DATAGRAM => {
                 let len = varint::get_varint(r)? as usize;
                 Frame::Datagram {
-                    data: r.get_vec(len)?,
+                    data: r.get_vec(len)?.into(),
                 }
             }
             T_CONNECTION_CLOSE => {
@@ -317,7 +376,7 @@ mod tests {
             },
             Frame::HandshakeDone,
             Frame::Datagram {
-                data: vec![0xAB; 100],
+                data: vec![0xAB; 100].into(),
             },
             Frame::ConnectionClose {
                 error_code: 0x100,
@@ -325,6 +384,9 @@ mod tests {
             },
         ];
         for f in frames {
+            let mut w = Writer::new();
+            f.encode(&mut w);
+            assert_eq!(f.encoded_len(), w.len(), "size accounting for {f:?}");
             assert_eq!(roundtrip(&f), f);
         }
     }

@@ -126,7 +126,11 @@ impl HandshakeMessage {
                         let len = varint::get_varint(r)? as usize;
                         Some(Ticket(r.get_vec(len)?))
                     }
-                    _ => return Err(WireError::Invalid { what: "ticket flag" }),
+                    _ => {
+                        return Err(WireError::Invalid {
+                            what: "ticket flag",
+                        })
+                    }
                 };
                 let early_data = r.get_u8()? != 0;
                 HandshakeMessage::ClientHello {
@@ -149,7 +153,11 @@ impl HandshakeMessage {
             M_HELLO_RETRY => HandshakeMessage::HelloRetry {
                 code: varint::get_varint(r)?,
             },
-            _ => return Err(WireError::Invalid { what: "handshake message type" }),
+            _ => {
+                return Err(WireError::Invalid {
+                    what: "handshake message type",
+                })
+            }
         })
     }
 }

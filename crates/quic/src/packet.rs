@@ -37,7 +37,11 @@ impl PacketType {
             0 => PacketType::Initial,
             1 => PacketType::ZeroRtt,
             2 => PacketType::OneRtt,
-            _ => return Err(WireError::Invalid { what: "packet type" }),
+            _ => {
+                return Err(WireError::Invalid {
+                    what: "packet type",
+                })
+            }
         })
     }
 }
@@ -59,13 +63,26 @@ impl Packet {
     /// Encodes this packet (without the coalescing length prefix).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(64);
+        self.encode_into(&mut w);
+        w.into_vec()
+    }
+
+    /// Encodes this packet onto `w` (without the coalescing length
+    /// prefix). Hot paths pass a recycled writer.
+    pub fn encode_into(&self, w: &mut Writer) {
         w.put_u8(self.ty.to_u8());
         w.put_u64(self.dcid);
-        varint::put_varint(&mut w, self.pn);
+        varint::put_varint(w, self.pn);
         for f in &self.frames {
-            f.encode(&mut w);
+            f.encode(w);
         }
-        w.into_vec()
+    }
+
+    /// Exact encoded size in bytes, computed without encoding.
+    pub fn encoded_len(&self) -> usize {
+        1 + 8
+            + moqdns_wire::varint::varint_len(self.pn)
+            + self.frames.iter().map(Frame::encoded_len).sum::<usize>()
     }
 
     /// Decodes one packet from exactly `buf`.
@@ -88,12 +105,17 @@ impl Packet {
 }
 
 /// Encodes `packets` into one UDP datagram (length-prefixed coalescing).
+/// Each packet is encoded exactly once, directly into the output.
 pub fn encode_datagram(packets: &[Packet]) -> Vec<u8> {
     let mut w = Writer::with_capacity(256);
     for p in packets {
-        let bytes = p.encode();
-        VarInt::try_from(bytes.len()).expect("packet fits varint").encode(&mut w);
-        w.put_slice(&bytes);
+        let len = p.encoded_len();
+        VarInt::try_from(len)
+            .expect("packet fits varint")
+            .encode(&mut w);
+        let before = w.len();
+        p.encode_into(&mut w);
+        debug_assert_eq!(w.len() - before, len, "encoded_len mismatch");
     }
     w.into_vec()
 }

@@ -89,11 +89,7 @@ impl RttEstimator {
             self.rttvar = sample / 2;
             self.has_sample = true;
         } else {
-            let diff = if self.srtt > sample {
-                self.srtt - sample
-            } else {
-                sample - self.srtt
-            };
+            let diff = self.srtt.abs_diff(sample);
             self.rttvar = (self.rttvar * 3 + diff) / 4;
             self.srtt = (self.srtt * 7 + sample) / 8;
         }
@@ -311,8 +307,7 @@ impl Recovery {
             for pn in pns {
                 let pkt = self.sent.remove(&pn).unwrap();
                 if pkt.ack_eliciting {
-                    self.bytes_in_flight =
-                        self.bytes_in_flight.saturating_sub(pkt.size as u64);
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(pkt.size as u64);
                 }
                 ev.lost.extend(pkt.retx);
             }

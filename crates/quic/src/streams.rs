@@ -195,8 +195,7 @@ impl SendStream {
                 self.acked.get(&offset).copied().unwrap_or(end).max(end);
         }
         // Advance base over contiguously acked prefix.
-        loop {
-            let Some((&s, &e)) = self.acked.iter().next() else { break };
+        while let Some((&s, &e)) = self.acked.iter().next() {
             if s <= self.base {
                 if e > self.base {
                     let drop = (e - self.base) as usize;

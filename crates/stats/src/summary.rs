@@ -65,11 +65,7 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .sorted
-            .iter()
-            .map(|x| (x - m) * (x - m))
-            .sum::<f64>()
+        let var = self.sorted.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
             / (self.sorted.len() - 1) as f64;
         var.sqrt()
     }

@@ -114,7 +114,9 @@ impl<'a> Reader<'a> {
     /// decompression, which follows pointers backwards).
     pub fn seek(&mut self, pos: usize) -> WireResult<()> {
         if pos > self.buf.len() {
-            return Err(WireError::Invalid { what: "seek position" });
+            return Err(WireError::Invalid {
+                what: "seek position",
+            });
         }
         self.pos = pos;
         Ok(())
@@ -163,6 +165,24 @@ impl Writer {
         Writer {
             buf: Vec::with_capacity(cap),
         }
+    }
+
+    /// Creates a writer over a recycled buffer: the contents are cleared
+    /// but the allocation is kept, so hot encode paths that hand buffers
+    /// back (see [`crate::BufPool`]) stop paying per-message allocations.
+    pub fn reuse(mut buf: Vec<u8>) -> Writer {
+        buf.clear();
+        Writer { buf }
+    }
+
+    /// Clears the written bytes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Bytes of allocated capacity (diagnostics for pooling).
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Number of bytes written so far.
@@ -250,7 +270,10 @@ mod tests {
     fn underflow_is_error_not_panic() {
         let buf = [1u8, 2];
         let mut r = Reader::new(&buf);
-        assert!(matches!(r.get_u32(), Err(WireError::UnexpectedEnd { needed: 2 })));
+        assert!(matches!(
+            r.get_u32(),
+            Err(WireError::UnexpectedEnd { needed: 2 })
+        ));
         // Position must be unchanged after a failed read.
         assert_eq!(r.position(), 0);
         assert_eq!(r.get_u16().unwrap(), 0x0102);

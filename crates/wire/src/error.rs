@@ -58,7 +58,10 @@ mod tests {
             WireError::ValueTooLarge { what: "varint" }.to_string(),
             "value too large for varint"
         );
-        assert_eq!(WireError::Invalid { what: "frame" }.to_string(), "invalid frame");
+        assert_eq!(
+            WireError::Invalid { what: "frame" }.to_string(),
+            "invalid frame"
+        );
         assert_eq!(
             WireError::TrailingBytes { remaining: 7 }.to_string(),
             "7 trailing bytes after message"

@@ -2,18 +2,26 @@
 //!
 //! Shared wire-format primitives used by every protocol crate in the
 //! workspace: QUIC variable-length integers (RFC 9000 §16), bounded
-//! byte cursors for encoding and decoding, and a common error type.
+//! byte cursors for encoding and decoding, shared zero-copy payload
+//! handles ([`Payload`]), reusable buffer pools ([`BufPool`]), and a
+//! common error type.
 //!
 //! The cursors are deliberately minimal: they operate on plain byte
 //! slices / `Vec<u8>` so that protocol state machines stay sans-io and
-//! allocation patterns stay obvious.
+//! allocation patterns stay obvious. [`Payload`] is the one shared-
+//! ownership concession: an `Arc<[u8]>` slice handle so that object
+//! fan-out across N subscribers clones a refcount, not the bytes.
 
 pub mod buf;
 pub mod error;
+pub mod payload;
+pub mod pool;
 pub mod varint;
 
 pub use buf::{Reader, Writer};
 pub use error::WireError;
+pub use payload::Payload;
+pub use pool::BufPool;
 pub use varint::VarInt;
 
 /// Convenience result alias for wire-format operations.

@@ -1,0 +1,113 @@
+//! A small free-list of byte buffers for hot encode paths.
+//!
+//! Protocol state machines here are single-threaded per connection, so the
+//! pool is deliberately not synchronized: each `Connection`/`Session` owns
+//! one. `take` hands out a cleared buffer with its previous allocation
+//! intact; `recycle` returns it. Buffers that grew beyond
+//! [`BufPool::MAX_RETAINED_CAP`] are dropped instead of retained so one
+//! jumbo message cannot pin memory forever.
+
+use crate::buf::Writer;
+
+/// A bounded stack of reusable byte buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    max_buffers: usize,
+    default_capacity: usize,
+}
+
+impl BufPool {
+    /// Buffers that grew beyond this capacity are not retained.
+    pub const MAX_RETAINED_CAP: usize = 64 * 1024;
+
+    /// Creates a pool retaining at most `max_buffers` buffers, each
+    /// starting at `default_capacity` bytes.
+    pub fn new(max_buffers: usize, default_capacity: usize) -> BufPool {
+        BufPool {
+            free: Vec::new(),
+            max_buffers,
+            default_capacity,
+        }
+    }
+
+    /// Takes a cleared buffer (recycled allocation when available).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(self.default_capacity),
+        }
+    }
+
+    /// Takes a [`Writer`] over a recycled buffer.
+    pub fn writer(&mut self) -> Writer {
+        Writer::reuse(self.take())
+    }
+
+    /// Returns a buffer to the pool (dropped when full or oversized).
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.max_buffers && buf.capacity() <= Self::MAX_RETAINED_CAP {
+            self.free.push(buf);
+        }
+    }
+
+    /// Returns a writer's buffer to the pool.
+    pub fn recycle_writer(&mut self, w: Writer) {
+        self.recycle(w.into_vec());
+    }
+
+    /// Number of buffers currently retained.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> BufPool {
+        BufPool::new(8, 2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_allocations() {
+        let mut pool = BufPool::new(2, 64);
+        let mut a = pool.take();
+        a.extend_from_slice(&[1; 100]);
+        let cap = a.capacity();
+        let ptr = a.as_ptr() as usize;
+        pool.recycle(a);
+        let b = pool.take();
+        assert!(b.is_empty(), "recycled buffers are cleared");
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(b.as_ptr() as usize, ptr, "same allocation handed back");
+    }
+
+    #[test]
+    fn bounded_retention() {
+        let mut pool = BufPool::new(1, 16);
+        pool.recycle(vec![0; 8]);
+        pool.recycle(vec![0; 8]);
+        assert_eq!(pool.retained(), 1, "pool keeps at most max_buffers");
+        pool.recycle(Vec::with_capacity(BufPool::MAX_RETAINED_CAP + 1));
+        assert_eq!(pool.retained(), 1, "oversized buffers are dropped");
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut pool = BufPool::new(4, 32);
+        let mut w = pool.writer();
+        w.put_u32(0xAABB_CCDD);
+        assert_eq!(w.len(), 4);
+        pool.recycle_writer(w);
+        let w2 = pool.writer();
+        assert!(w2.is_empty());
+        assert!(w2.capacity() >= 32);
+    }
+}

@@ -143,6 +143,12 @@ impl From<VarInt> for u64 {
     }
 }
 
+/// Wire length of `v` as a varint (1, 2, 4 or 8 bytes). Lets encoders
+/// size packets arithmetically instead of encoding twice.
+pub fn varint_len(v: u64) -> usize {
+    VarInt::try_from(v).expect("varint fits").size()
+}
+
 /// Encodes `v` as a varint onto `w`, panicking if out of range.
 ///
 /// Convenience for call sites where the value is structurally bounded
@@ -177,7 +183,10 @@ mod tests {
     fn rfc9000_appendix_a_examples() {
         // Examples from RFC 9000 Appendix A.1.
         let cases: &[(&[u8], u64)] = &[
-            (&[0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c], 151_288_809_941_952_652),
+            (
+                &[0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c],
+                151_288_809_941_952_652,
+            ),
             (&[0x9d, 0x7f, 0x3e, 0x7d], 494_878_333),
             (&[0x7b, 0xbd], 15_293),
             (&[0x25], 37),
@@ -249,6 +258,15 @@ mod tests {
         #[test]
         fn prop_roundtrip(v in 0u64..=MAX_VARINT) {
             prop_assert_eq!(roundtrip(v), v);
+        }
+
+        #[test]
+        fn prop_varint_len_matches_encoding(v in 0u64..=MAX_VARINT) {
+            // The arithmetic size used by packet accounting must agree
+            // with the bytes actually produced.
+            let mut w = Writer::new();
+            put_varint(&mut w, v);
+            prop_assert_eq!(varint_len(v), w.len());
         }
 
         #[test]

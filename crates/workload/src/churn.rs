@@ -66,12 +66,7 @@ impl ChurnModel {
     /// Simulates the paper's §2 methodology for one domain: `observations`
     /// samples spaced one TTL apart, returning the number of changes
     /// between lexicographically ordered consecutive samples.
-    pub fn simulate_observations(
-        &self,
-        ttl: u32,
-        observations: usize,
-        rng: &mut StdRng,
-    ) -> usize {
+    pub fn simulate_observations(&self, ttl: u32, observations: usize, rng: &mut StdRng) -> usize {
         let rate = self.sample_rate(ttl, rng);
         let mut churner = RecordChurner::new(rng.random(), rate);
         let mut changes = 0;
@@ -171,7 +166,10 @@ mod tests {
             p90_low >= 71,
             "TTL ≤ 300: ≥71 changes at p90 (got {p90_low})"
         );
-        assert_eq!(p90_high, 0, "TTL ≥ 600: no changes up to p90 (got {p90_high})");
+        assert_eq!(
+            p90_high, 0,
+            "TTL ≥ 600: no changes up to p90 (got {p90_high})"
+        );
     }
 
     #[test]
@@ -191,10 +189,7 @@ mod tests {
         // Round-robin reordering must not register as churn (the paper's
         // lexicographic-comparison methodology).
         let mut churner = RecordChurner::new(7, 0.0);
-        churner.addrs = vec![
-            Ipv4Addr::new(1, 1, 1, 1),
-            Ipv4Addr::new(2, 2, 2, 2),
-        ];
+        churner.addrs = vec![Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2)];
         let mut rng = StdRng::seed_from_u64(0);
         let before = churner.canonical();
         let changed = churner.step(&mut rng);

@@ -88,7 +88,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let arrivals = p.arrivals_within(Duration::from_secs(1000), &mut rng);
         // Expect ~10_000 arrivals; ±5%.
-        assert!((9_500..=10_500).contains(&arrivals.len()), "{}", arrivals.len());
+        assert!(
+            (9_500..=10_500).contains(&arrivals.len()),
+            "{}",
+            arrivals.len()
+        );
         // Strictly increasing offsets.
         for w in arrivals.windows(2) {
             assert!(w[0] < w[1]);
@@ -115,8 +119,7 @@ mod tests {
         let week = Duration::from_secs(7 * 86_400);
         let qs = m.queries_within(&toplist, week, &mut rng);
         assert!((500..=900).contains(&qs.len()), "{} visits", qs.len());
-        let uniq: std::collections::HashSet<usize> =
-            qs.iter().map(|(_, d)| d.rank).collect();
+        let uniq: std::collections::HashSet<usize> = qs.iter().map(|(_, d)| d.rank).collect();
         assert!(uniq.len() > 100, "{} unique domains", uniq.len());
     }
 }

@@ -134,7 +134,8 @@ impl DeepSpaceScenario {
 
     /// Throttled update traffic on the deep-space link, bits per second.
     pub fn link_bps(&self) -> f64 {
-        self.replicated_domains as f64 * self.max_updates_per_domain_per_hour
+        self.replicated_domains as f64
+            * self.max_updates_per_domain_per_hour
             * self.update_size as f64
             * 8.0
             / 3600.0
@@ -179,6 +180,9 @@ mod tests {
         let mut s = DdnsScenario::default();
         let base = s.global_bps();
         s.users *= 2;
-        assert!((s.global_bps() / base - 2.0).abs() < 1e-9, "linear in users");
+        assert!(
+            (s.global_bps() / base - 2.0).abs() < 1e-9,
+            "linear in users"
+        );
     }
 }

@@ -154,7 +154,10 @@ mod tests {
         // Binomial sampling: within ±3σ of the published counts.
         assert!((a as i64 - A_COUNT as i64).abs() < 150, "A={a}");
         assert!((aaaa as i64 - AAAA_COUNT as i64).abs() < 200, "AAAA={aaaa}");
-        assert!((https as i64 - HTTPS_COUNT as i64).abs() < 200, "HTTPS={https}");
+        assert!(
+            (https as i64 - HTTPS_COUNT as i64).abs() < 200,
+            "HTTPS={https}"
+        );
         // Ordering from the paper: A >> AAAA > HTTPS.
         assert!(a > aaaa && aaaa > https);
     }

@@ -107,9 +107,8 @@ mod tests {
     #[test]
     fn a_records_have_dominant_300_and_low_ttl_mass() {
         let samples = sample_many(RecordType::A, 5000);
-        let frac = |ttl: u32| {
-            samples.iter().filter(|t| **t == ttl).count() as f64 / samples.len() as f64
-        };
+        let frac =
+            |ttl: u32| samples.iter().filter(|t| **t == ttl).count() as f64 / samples.len() as f64;
         assert!(frac(300) > 0.3, "300 s is the biggest cluster");
         assert!(frac(20) + frac(60) > 0.15, "CDN-style low TTLs present");
         assert!(frac(3600) > 0.1, "long-TTL tail present");

@@ -4,8 +4,8 @@
 //!
 //!     cargo run --example cdn_load_balancing
 
-use moqdns::core::stub::{StubMode, StubResolver};
 use moqdns::core::recursive::UpstreamMode;
+use moqdns::core::stub::{StubMode, StubResolver};
 use moqdns_bench::worlds::{World, WorldSpec};
 use std::time::Duration;
 
@@ -15,8 +15,16 @@ const FLIPS: u8 = 8;
 fn run(moqt: bool) -> (usize, f64) {
     let spec = WorldSpec {
         seed: if moqt { 1 } else { 2 },
-        mode: if moqt { UpstreamMode::Moqt } else { UpstreamMode::Classic },
-        stub_mode: if moqt { StubMode::Moqt } else { StubMode::Classic },
+        mode: if moqt {
+            UpstreamMode::Moqt
+        } else {
+            UpstreamMode::Classic
+        },
+        stub_mode: if moqt {
+            StubMode::Moqt
+        } else {
+            StubMode::Classic
+        },
         records: vec![("edge".into(), TTL)],
         ..WorldSpec::default()
     };

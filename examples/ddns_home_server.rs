@@ -17,8 +17,8 @@ use moqdns::dns::zone::Zone;
 use moqdns::moqt::session::SessionEvent;
 use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, SimTime, Simulator};
 use moqdns::quic::TransportConfig;
-use moqdns::workload::scenarios::DdnsScenario;
 use moqdns::stats::format_bps;
+use moqdns::workload::scenarios::DdnsScenario;
 use std::any::Any;
 use std::net::Ipv4Addr;
 use std::time::Duration;
@@ -67,15 +67,16 @@ impl Friend {
                 StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. }) => {
                     if let Some(o) = objects.first() {
                         if let Ok(m) = moqdns::core::response_from_object(o) {
-                            self.log
-                                .push((now, format!("initial: {}", m.answers[0])));
+                            self.log.push((now, format!("initial: {}", m.answers[0])));
                         }
                     }
                 }
                 StackEvent::Session(_, SessionEvent::SubscriptionObject { object, .. }) => {
                     if let Ok(m) = moqdns::core::response_from_object(&object) {
-                        self.log
-                            .push((now, format!("update v{}: {}", object.group_id, m.answers[0])));
+                        self.log.push((
+                            now,
+                            format!("update v{}: {}", object.group_id, m.answers[0]),
+                        ));
                     }
                 }
                 _ => {}
@@ -142,7 +143,14 @@ fn main() {
         let nm = name.clone();
         let ip = *ip;
         sim.schedule_at(at, move |sim| {
-            println!("[{}] home IP changed -> {}.{}.{}.{}", sim.now(), ip[0], ip[1], ip[2], ip[3]);
+            println!(
+                "[{}] home IP changed -> {}.{}.{}.{}",
+                sim.now(),
+                ip[0],
+                ip[1],
+                ip[2],
+                ip[3]
+            );
             sim.with_node::<AuthServer, _>(auth, |a, ctx| {
                 a.update_zone(ctx, |authority| {
                     if let Some(z) = authority.find_zone_mut(&nm) {

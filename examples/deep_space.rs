@@ -33,7 +33,8 @@ fn main() {
     let mut w = World::build(&spec);
     // Stub + recursive live on Mars; the hierarchy is on Earth.
     for earth in [w.root, w.tld, w.auth] {
-        w.sim.set_link(w.recursive, earth, LinkConfig::with_delay(OWD));
+        w.sim
+            .set_link(w.recursive, earth, LinkConfig::with_delay(OWD));
     }
 
     println!("resolving www.example.com from Mars (cold, full chain)...");

@@ -80,7 +80,7 @@ fn main() {
                     }
                     SessionEvent::IncomingFetch { request_id, .. } => {
                         println!("[server] joining FETCH -> current record (v1)");
-                        let mut resp = Message::response_to(&Message::query(0, question.clone()));
+                        let mut resp = Message::response(Message::query(0, question.clone()));
                         resp.answers.push(Record::new(
                             question.qname.clone(),
                             300,
@@ -149,7 +149,7 @@ fn main() {
             let mut sess_map = sessions.lock();
             for (hraw, session) in sess_map.iter_mut() {
                 if let Some(conn) = ep.conn_mut(moqdns::quic::ConnHandle(*hraw)) {
-                    let mut resp = Message::response_to(&Message::query(0, question.clone()));
+                    let mut resp = Message::response(Message::query(0, question.clone()));
                     resp.answers.push(Record::new(
                         question.qname.clone(),
                         300,

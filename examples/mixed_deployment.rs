@@ -44,7 +44,11 @@ impl Node for LegacyClient {
 impl LegacyClient {
     fn query(&self, ctx: &mut Ctx<'_>, id: u16, q: Question) {
         let msg = Message::query(id, q);
-        ctx.send(5353, Addr::new(self.forwarder.unwrap().node, DNS_PORT), msg.encode());
+        ctx.send(
+            5353,
+            Addr::new(self.forwarder.unwrap().node, DNS_PORT),
+            msg.encode(),
+        );
     }
 }
 

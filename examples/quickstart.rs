@@ -49,7 +49,10 @@ fn main() {
         "\nrecord update: pushed to the stub {:.1} ms after the zone changed",
         (update.received - change_time).as_secs_f64() * 1e3
     );
-    println!("new answer   : {}", stub.answer(&World::question("www")).unwrap()[0]);
+    println!(
+        "new answer   : {}",
+        stub.answer(&World::question("www")).unwrap()[0]
+    );
 
     let auth = world.sim.node_ref::<AuthServer>(world.auth);
     println!(

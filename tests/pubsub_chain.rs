@@ -22,7 +22,10 @@ use std::net::IpAddr;
 use std::time::Duration;
 
 fn question(host: &str) -> Question {
-    Question::new(format!("{host}.example.com").parse().unwrap(), RecordType::A)
+    Question::new(
+        format!("{host}.example.com").parse().unwrap(),
+        RecordType::A,
+    )
 }
 
 #[test]
@@ -131,6 +134,107 @@ fn forwarder_bridges_legacy_clients_into_pubsub() {
 }
 
 #[test]
+fn forwarder_propagates_client_header_flags() {
+    // RFC 1035 §4.1.1: the forwarder must carry the client's RD (and
+    // OPCODE/CD) upstream — RD is part of the Fig 3 namespace byte, so
+    // rd=0 and rd=1 queries must land on *different* tracks — and echo
+    // the client's RD with RA set in responses.
+    let mut sim = Simulator::new(31);
+    sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(10)));
+
+    let name: moqdns::dns::name::Name = "www.example.com".parse().unwrap();
+    let mut zone = Zone::with_default_soa("example.com".parse().unwrap());
+    zone.add_record(Record::new(
+        name.clone(),
+        300,
+        RData::A("192.0.2.1".parse().unwrap()),
+    ));
+    let auth = sim.add_node(
+        "auth",
+        Box::new(AuthServer::new(
+            Authority::single(zone),
+            TransportConfig::default(),
+            1,
+        )),
+    );
+    let roots = vec![RootHint {
+        name: "ns1.example.com".parse().unwrap(),
+        addr: IpAddr::V4(node_ip(auth)),
+    }];
+    let recursive = sim.add_node(
+        "recursive",
+        Box::new(RecursiveResolver::new(RecursiveConfig::new(
+            UpstreamMode::Moqt,
+            roots,
+            2,
+        ))),
+    );
+    let forwarder = sim.add_node(
+        "forwarder",
+        Box::new(Forwarder::new(Addr::new(recursive, 0), 3)),
+    );
+
+    struct Client {
+        replies: Vec<Message>,
+    }
+    impl Node for Client {
+        fn on_datagram(&mut self, _c: &mut Ctx<'_>, _f: Addr, _p: u16, d: Vec<u8>) {
+            if let Ok(m) = Message::decode(&d) {
+                self.replies.push(m);
+            }
+        }
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
+    }
+    let client = sim.add_node("client", Box::new(Client { replies: vec![] }));
+    sim.run_until_idle();
+
+    // rd=1 then rd=0 for the same question.
+    let q_rd = Message::query(7, Question::new(name.clone(), RecordType::A));
+    let mut q_nord = Message::query(8, Question::new(name.clone(), RecordType::A));
+    q_nord.header.rd = false;
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send(5353, Addr::new(forwarder, DNS_PORT), q_rd.encode());
+    });
+    sim.run_for(Duration::from_secs(5));
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send(5353, Addr::new(forwarder, DNS_PORT), q_nord.encode());
+    });
+    sim.run_for(Duration::from_secs(5));
+
+    {
+        let c = sim.node_ref::<Client>(client);
+        assert_eq!(c.replies.len(), 2);
+        let rd_reply = c.replies.iter().find(|m| m.header.id == 7).unwrap();
+        let nord_reply = c.replies.iter().find(|m| m.header.id == 8).unwrap();
+        assert!(rd_reply.header.rd, "rd=1 echoed");
+        assert!(!nord_reply.header.rd, "rd=0 echoed, not forced to 1");
+        assert!(rd_reply.header.ra && nord_reply.header.ra, "RA set");
+    }
+    // Distinct tracks → two upstream subscriptions at the forwarder.
+    assert_eq!(
+        sim.node_ref::<Forwarder>(forwarder).subscription_count(),
+        2,
+        "rd=0 and rd=1 map onto different tracks"
+    );
+
+    // Non-QUERY opcodes are answered NOTIMP, not silently forwarded.
+    let mut notify = Message::query(9, Question::new(name.clone(), RecordType::A));
+    notify.header.opcode = moqdns::dns::message::Opcode::Notify;
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send(5353, Addr::new(forwarder, DNS_PORT), notify.encode());
+    });
+    sim.run_for(Duration::from_secs(2));
+    let c = sim.node_ref::<Client>(client);
+    let notimp = c.replies.iter().find(|m| m.header.id == 9).unwrap();
+    assert_eq!(notimp.header.rcode, moqdns::dns::message::Rcode::NotImp);
+}
+
+#[test]
 fn teardown_then_resubscribe_on_next_lookup() {
     let spec = WorldSpec {
         seed: 11,
@@ -140,13 +244,17 @@ fn teardown_then_resubscribe_on_next_lookup() {
     let mut w = World::build(&spec);
     w.lookup(0, "www", Duration::from_secs(5));
     assert_eq!(
-        w.sim.node_ref::<StubResolver>(w.stubs[0]).subscription_count(),
+        w.sim
+            .node_ref::<StubResolver>(w.stubs[0])
+            .subscription_count(),
         1
     );
     // Idle long enough for the sweep to tear the subscription down (§4.4).
     w.sim.run_for(Duration::from_secs(180));
     assert_eq!(
-        w.sim.node_ref::<StubResolver>(w.stubs[0]).subscription_count(),
+        w.sim
+            .node_ref::<StubResolver>(w.stubs[0])
+            .subscription_count(),
         0,
         "idle subscription torn down"
     );
@@ -172,7 +280,9 @@ fn poll_proxy_synthesizes_updates_for_subscribers() {
     let mut w = World::build(&spec);
     w.lookup(0, "www", Duration::from_secs(5));
     assert_eq!(
-        w.sim.node_ref::<StubResolver>(w.stubs[0]).subscription_count(),
+        w.sim
+            .node_ref::<StubResolver>(w.stubs[0])
+            .subscription_count(),
         1,
         "poll-proxy mode accepts the subscription"
     );
@@ -223,12 +333,7 @@ fn suspension_reconnect_uses_ticket() {
     };
     let mut w = World::build(&spec);
     w.lookup(0, "www", Duration::from_secs(5));
-    let first_latency = w
-        .sim
-        .node_ref::<StubResolver>(w.stubs[0])
-        .metrics
-        .lookups[0]
-        .latency();
+    let first_latency = w.sim.node_ref::<StubResolver>(w.stubs[0]).metrics.lookups[0].latency();
 
     // Device suspends (§4.4): connection state vanishes silently.
     let stub_id = w.stubs[0];
