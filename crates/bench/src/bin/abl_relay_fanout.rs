@@ -5,76 +5,26 @@
 //! aggregate S downstream subscriptions into one upstream subscription,
 //! (b) keep the authoritative server's egress constant in S, and (c)
 //! serve late joiners' fetches from its object cache.
+//!
+//! Topologies come from `netsim::topo` (auth → relay → subs) instead of
+//! hand-wired node lists.
 
 use moqdns_bench::report;
+use moqdns_bench::worlds::TreeStub;
 use moqdns_core::auth::AuthServer;
-use moqdns_core::mapping::{track_from_question, RequestFlags};
 use moqdns_core::relay_node::RelayNode;
-use moqdns_core::stack::{MoqtStack, StackEvent};
 use moqdns_core::MOQT_PORT;
 use moqdns_dns::message::Question;
 use moqdns_dns::rdata::RData;
 use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
-use moqdns_moqt::session::SessionEvent;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, SimTime, Simulator};
+use moqdns_netsim::topo::TopoBuilder;
+use moqdns_netsim::{Addr, LinkConfig, NodeId, SimTime, Simulator};
 use moqdns_quic::TransportConfig;
 use moqdns_stats::Table;
-use std::any::Any;
 use std::net::Ipv4Addr;
 use std::time::Duration;
-
-struct Sub {
-    stack: MoqtStack,
-    server: Option<Addr>,
-    question: Question,
-    updates: u64,
-    fetched: bool,
-}
-
-impl Node for Sub {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let server = self.server.unwrap();
-        let h = self.stack.connect(ctx.now(), server, false);
-        let track = track_from_question(&self.question, RequestFlags::iterative()).unwrap();
-        if let Some((sess, conn)) = self.stack.session_conn(h) {
-            sess.subscribe_with_joining_fetch(conn, track, 1);
-        }
-        let evs = self.stack.flush(ctx);
-        self.collect(evs);
-    }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _p: u16, d: Vec<u8>) {
-        let evs = self.stack.on_datagram(ctx, from, &d);
-        self.collect(evs);
-    }
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
-        let evs = self.stack.on_timer(ctx);
-        self.collect(evs);
-    }
-    fn as_any(&mut self) -> &mut dyn Any {
-        self
-    }
-    fn as_any_ref(&self) -> &dyn Any {
-        self
-    }
-}
-
-impl Sub {
-    fn collect(&mut self, evs: Vec<StackEvent>) {
-        for e in evs {
-            match e {
-                StackEvent::Session(_, SessionEvent::SubscriptionObject { .. }) => {
-                    self.updates += 1
-                }
-                StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. }) => {
-                    self.fetched = !objects.is_empty();
-                }
-                _ => {}
-            }
-        }
-    }
-}
 
 struct Built {
     sim: Simulator,
@@ -83,9 +33,14 @@ struct Built {
     subs: Vec<NodeId>,
 }
 
+fn question() -> Question {
+    Question::new("www.pop.example".parse().unwrap(), RecordType::A)
+}
+
 fn build(n_subs: usize, via_relay: bool, seed: u64) -> Built {
     let mut sim = Simulator::new(seed);
-    sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(15)));
+    let link = LinkConfig::with_delay(Duration::from_millis(15));
+    sim.set_default_link(link);
     let name: moqdns_dns::name::Name = "www.pop.example".parse().unwrap();
     let mut zone = Zone::with_default_soa("pop.example".parse().unwrap());
     zone.add_record(Record::new(
@@ -93,43 +48,41 @@ fn build(n_subs: usize, via_relay: bool, seed: u64) -> Built {
         60,
         RData::A(Ipv4Addr::new(192, 0, 2, 1)),
     ));
-    let auth = sim.add_node(
-        "auth",
-        Box::new(AuthServer::new(
-            Authority::single(zone),
-            TransportConfig::default(),
-            1,
-        )),
-    );
-    let relay = if via_relay {
-        Some(sim.add_node(
-            "relay",
-            Box::new(RelayNode::new(Addr::new(auth, MOQT_PORT), 0, 2)),
-        ))
-    } else {
-        None
-    };
-    let upstream = relay.unwrap_or(auth);
-    let q = Question::new(name, RecordType::A);
-    let mut subs = Vec::new();
-    for i in 0..n_subs {
-        subs.push(sim.add_node(
-            format!("sub{i}"),
-            Box::new(Sub {
-                stack: MoqtStack::client(TransportConfig::default(), 100 + i as u64),
-                server: Some(Addr::new(upstream, MOQT_PORT)),
-                question: q.clone(),
-                updates: 0,
-                fetched: false,
-            }),
-        ));
+    let q = question();
+
+    let mut b = TopoBuilder::new().tier("auth", 1, 0, link);
+    if via_relay {
+        b = b.tier("relay", 1, 1, link);
     }
+    b = b.tier("sub", n_subs, 1, link);
+    let topo = b.build(&mut sim, |sim, ctx| match ctx.tier_name {
+        "auth" => sim.add_node(
+            ctx.name.clone(),
+            Box::new(AuthServer::new(
+                Authority::single(zone.clone()),
+                TransportConfig::default(),
+                1,
+            )),
+        ),
+        "relay" => sim.add_node(
+            ctx.name.clone(),
+            Box::new(RelayNode::new(Addr::new(ctx.parents[0], MOQT_PORT), 0, 2)),
+        ),
+        _ => sim.add_node(
+            ctx.name.clone(),
+            Box::new(TreeStub::new(
+                Addr::new(ctx.parents[0], MOQT_PORT),
+                vec![q.clone()],
+                100 + ctx.index as u64,
+            )),
+        ),
+    });
     sim.run_until(SimTime::from_secs(5));
     Built {
         sim,
-        auth,
-        relay,
-        subs,
+        auth: topo.tier_named("auth")[0],
+        relay: topo.tier_named("relay").first().copied(),
+        subs: topo.tier_named("sub").to_vec(),
     }
 }
 
@@ -184,7 +137,7 @@ fn main() {
         let delivered: u64 = direct
             .subs
             .iter()
-            .map(|n| direct.sim.node_ref::<Sub>(*n).updates)
+            .map(|n| direct.sim.node_ref::<TreeStub>(*n).updates)
             .sum();
         assert_eq!(delivered, UPDATES * *s as u64, "direct delivery complete");
 
@@ -197,7 +150,7 @@ fn main() {
         let delivered: u64 = relayed
             .subs
             .iter()
-            .map(|n| relayed.sim.node_ref::<Sub>(*n).updates)
+            .map(|n| relayed.sim.node_ref::<TreeStub>(*n).updates)
             .sum();
         assert_eq!(delivered, UPDATES * *s as u64, "relayed delivery complete");
         let agg = relayed
@@ -221,20 +174,17 @@ fn main() {
     push_updates(&mut b, 3);
     let relay_id = b.relay.unwrap();
     b.sim.stats_mut().reset();
-    let q = Question::new("www.pop.example".parse().unwrap(), RecordType::A);
     let late = b.sim.add_node(
         "late-joiner",
-        Box::new(Sub {
-            stack: MoqtStack::client(TransportConfig::default(), 999),
-            server: Some(Addr::new(relay_id, MOQT_PORT)),
-            question: q,
-            updates: 0,
-            fetched: false,
-        }),
+        Box::new(TreeStub::new(
+            Addr::new(relay_id, MOQT_PORT),
+            vec![question()],
+            999,
+        )),
     );
     let deadline = b.sim.now() + Duration::from_secs(5);
     b.sim.run_until(deadline);
-    let fetched = b.sim.node_ref::<Sub>(late).fetched;
+    let fetched = b.sim.node_ref::<TreeStub>(late).fetched > 0;
     let auth_touched = b.sim.stats().between(relay_id, b.auth).datagrams;
     let hits = b
         .sim

@@ -38,7 +38,9 @@ struct Sub {
 impl Node for Sub {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let server = self.server.unwrap();
-        let h = self.stack.connect(ctx.now(), server, false);
+        let Some(h) = self.stack.connect(ctx.now(), server, false) else {
+            return;
+        };
         let track = track_from_question(&self.question, RequestFlags::iterative()).unwrap();
         if let Some((sess, conn)) = self.stack.session_conn(h) {
             sess.subscribe_with_joining_fetch(conn, track, 1);

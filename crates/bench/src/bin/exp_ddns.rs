@@ -3,77 +3,29 @@
 //! scale."
 //!
 //! Two parts: (a) the paper's analytic estimate, reproduced from
-//! [`DdnsScenario`]; (b) a scaled micro-simulation — one DDNS authoritative
-//! server, one relay, S subscribers — validating the per-update byte count
-//! and the relay fan-out the analytic model assumes.
+//! [`DdnsScenario`]; (b) a scaled micro-simulation — one DDNS
+//! authoritative server, one relay, S subscribers, built via
+//! `netsim::topo` — validating the per-update byte count and the relay
+//! fan-out the analytic model assumes. (The full 3-tier tree version
+//! lives in `exp_tree_scenario`.)
 
 use moqdns_bench::report;
+use moqdns_bench::worlds::TreeStub;
 use moqdns_core::auth::AuthServer;
-use moqdns_core::mapping::{track_from_question, RequestFlags};
 use moqdns_core::relay_node::RelayNode;
-use moqdns_core::stack::{MoqtStack, StackEvent};
 use moqdns_core::MOQT_PORT;
 use moqdns_dns::message::Question;
 use moqdns_dns::rdata::RData;
 use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
-use moqdns_moqt::session::SessionEvent;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, SimTime, Simulator};
+use moqdns_netsim::topo::TopoBuilder;
+use moqdns_netsim::{Addr, LinkConfig, SimTime, Simulator};
 use moqdns_quic::TransportConfig;
 use moqdns_stats::{format_bps, Table};
 use moqdns_workload::scenarios::DdnsScenario;
-use std::any::Any;
 use std::net::Ipv4Addr;
 use std::time::Duration;
-
-/// Bare MoQT subscriber node for the micro-sim.
-struct Subscriber {
-    stack: MoqtStack,
-    server: Option<Addr>,
-    question: Question,
-    updates: u64,
-}
-
-impl Node for Subscriber {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let server = self.server.unwrap();
-        let h = self.stack.connect(ctx.now(), server, false);
-        let track = track_from_question(&self.question, RequestFlags::iterative()).unwrap();
-        if let Some((sess, conn)) = self.stack.session_conn(h) {
-            sess.subscribe_with_joining_fetch(conn, track, 1);
-        }
-        let evs = self.stack.flush(ctx);
-        self.count(evs);
-    }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
-        let evs = self.stack.on_datagram(ctx, from, &d);
-        self.count(evs);
-    }
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
-        let evs = self.stack.on_timer(ctx);
-        self.count(evs);
-    }
-    fn as_any(&mut self) -> &mut dyn Any {
-        self
-    }
-    fn as_any_ref(&self) -> &dyn Any {
-        self
-    }
-}
-
-impl Subscriber {
-    fn count(&mut self, evs: Vec<StackEvent>) {
-        for e in evs {
-            if matches!(
-                e,
-                StackEvent::Session(_, SessionEvent::SubscriptionObject { .. })
-            ) {
-                self.updates += 1;
-            }
-        }
-    }
-}
 
 fn main() {
     report::heading("E6 / §5.3 — Dynamic DNS update traffic");
@@ -105,7 +57,8 @@ fn main() {
     // subscribers, 2 updates.
     const SUBS: usize = 20;
     let mut sim = Simulator::new(61);
-    sim.set_default_link(LinkConfig::with_delay(Duration::from_millis(15)));
+    let link = LinkConfig::with_delay(Duration::from_millis(15));
+    sim.set_default_link(link);
     let name: moqdns_dns::name::Name = "home.ddns.example".parse().unwrap();
     let mut zone = Zone::with_default_soa("ddns.example".parse().unwrap());
     zone.add_record(Record::new(
@@ -113,31 +66,38 @@ fn main() {
         60,
         RData::A(Ipv4Addr::new(192, 0, 2, 1)),
     ));
-    let auth = sim.add_node(
-        "ddns-auth",
-        Box::new(AuthServer::new(
-            Authority::single(zone),
-            TransportConfig::default(),
-            1,
-        )),
-    );
-    let relay = sim.add_node(
-        "relay",
-        Box::new(RelayNode::new(Addr::new(auth, MOQT_PORT), 0, 2)),
-    );
     let q = Question::new(name.clone(), RecordType::A);
-    let mut subs = Vec::new();
-    for i in 0..SUBS {
-        subs.push(sim.add_node(
-            format!("sub{i}"),
-            Box::new(Subscriber {
-                stack: MoqtStack::client(TransportConfig::default(), 10 + i as u64),
-                server: Some(Addr::new(relay, MOQT_PORT)),
-                question: q.clone(),
-                updates: 0,
-            }),
-        ));
-    }
+
+    let topo = TopoBuilder::new()
+        .tier("ddns-auth", 1, 0, link)
+        .tier("relay", 1, 1, link)
+        .tier("sub", SUBS, 1, link)
+        .build(&mut sim, |sim, ctx| match ctx.tier_name {
+            "ddns-auth" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(AuthServer::new(
+                    Authority::single(zone.clone()),
+                    TransportConfig::default(),
+                    1,
+                )),
+            ),
+            "relay" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(RelayNode::new(Addr::new(ctx.parents[0], MOQT_PORT), 0, 2)),
+            ),
+            _ => sim.add_node(
+                ctx.name.clone(),
+                Box::new(TreeStub::new(
+                    Addr::new(ctx.parents[0], MOQT_PORT),
+                    vec![q.clone()],
+                    10 + ctx.index as u64,
+                )),
+            ),
+        });
+    let auth = topo.tier_named("ddns-auth")[0];
+    let relay = topo.tier_named("relay")[0];
+    let subs = topo.tier_named("sub").to_vec();
+
     sim.run_until(SimTime::from_secs(5));
     sim.stats_mut().reset();
     let t0 = sim.now();
@@ -169,7 +129,7 @@ fn main() {
 
     let delivered: u64 = subs
         .iter()
-        .map(|s| sim.node_ref::<Subscriber>(*s).updates)
+        .map(|s| sim.node_ref::<TreeStub>(*s).updates)
         .sum();
     let auth_egress = sim.stats().between(auth, relay);
     let relay_fanout: u64 = subs

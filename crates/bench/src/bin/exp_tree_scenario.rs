@@ -1,0 +1,247 @@
+//! E10 — §3 + §5.3: the paper's relay distribution trees, *simulated*.
+//!
+//! §5.3's DDNS/CDN arithmetic assumes "5 MoQ relays on average" per
+//! distribution path and relays that aggregate subscriptions so an update
+//! crosses each link once. The closed-form numbers live in
+//! `moqdns_workload::scenarios`; this binary instantiates the scaled-down
+//! tree worlds (auth → tier-1 relays → edge relays → stubs) in `netsim`
+//! and *measures* what the arithmetic assumes:
+//!
+//! 1. every stub receives every update (complete delivery),
+//! 2. each auth→tier1 and tier1→edge link carries ONE copy of each
+//!    update (the §3 aggregation invariant — intermediate hops must not
+//!    multiply delivered copies),
+//! 3. killing a tier-1 relay mid-run re-routes its edge relays to the
+//!    surviving tier-1 (failover policy) without losing later updates.
+//!
+//! Run with `--smoke` for the tiny CI variant.
+
+use moqdns_bench::report;
+use moqdns_bench::worlds::{TreeStub, TreeWorld};
+use moqdns_core::relay_node::RelayNode;
+use moqdns_stats::Table;
+use moqdns_workload::scenarios::TreeScenario;
+use std::time::Duration;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    report::heading("E10 / §3+§5.3 — simulated relay distribution trees");
+
+    for base in [TreeScenario::ddns_tree(), TreeScenario::cdn_tree()] {
+        let spec = if smoke { base.smoke() } else { base };
+        run_tree(&spec);
+    }
+    failover_drill(if smoke {
+        TreeScenario::ddns_tree().smoke()
+    } else {
+        TreeScenario::ddns_tree()
+    });
+}
+
+fn run_tree(spec: &TreeScenario) {
+    let mut w = TreeWorld::build(spec, 71);
+
+    // Settled: every stub's joining fetch was answered through the tree.
+    let fetched: u64 = w
+        .stubs
+        .iter()
+        .map(|&s| w.sim.node_ref::<TreeStub>(s).fetched)
+        .sum();
+    assert!(
+        fetched >= w.stubs.len() as u64,
+        "{}: joining fetches answered (got {fetched})",
+        spec.name
+    );
+
+    // Measured window: only update traffic from here on.
+    w.sim.stats_mut().reset();
+    let baseline = w.delivered_updates();
+
+    for round in 0..spec.updates_per_track {
+        for track in 0..spec.tracks {
+            w.update_track(track, (round as usize * spec.tracks + track) as u8 + 1);
+        }
+        let deadline = w.sim.now() + spec.update_interval;
+        w.sim.run_until(deadline);
+    }
+    let deadline = w.sim.now() + Duration::from_secs(5);
+    w.sim.run_until(deadline);
+
+    // (1) Complete delivery.
+    let delivered = w.delivered_updates() - baseline;
+    assert_eq!(
+        delivered,
+        spec.expected_deliveries(),
+        "{}: every stub sees every update",
+        spec.name
+    );
+
+    // (2) One copy per upstream link: each relay-to-relay link carried the
+    // same number of update datagrams (no multiplication down the tree),
+    // and the per-link payload is in the single-copy range.
+    let links = w.upstream_links();
+    let mut t_links = Table::new(
+        format!(
+            "{}: per-link update traffic ({} updates, {} stubs)",
+            spec.name,
+            spec.total_updates(),
+            spec.stub_count()
+        ),
+        &[
+            "link",
+            "delivered dgrams",
+            "delivered bytes",
+            "bytes/update",
+        ],
+    );
+    let mut per_link_bytes = Vec::new();
+    for &(parent, child) in &links {
+        let s = w.sim.stats().between(parent, child);
+        per_link_bytes.push(s.delivered_bytes);
+        t_links.push(&[
+            format!("{} -> {}", w.sim.node_name(parent), w.sim.node_name(child)),
+            s.delivered.to_string(),
+            s.delivered_bytes.to_string(),
+            format!(
+                "{:.0}",
+                s.delivered_bytes as f64 / spec.total_updates() as f64
+            ),
+        ]);
+    }
+    report::emit(&t_links, &format!("exp_tree_{}_links", spec.name));
+    let min = *per_link_bytes.iter().min().unwrap();
+    let max = *per_link_bytes.iter().max().unwrap();
+    assert!(
+        max < 2 * min,
+        "{}: per-link bytes uniform (one copy per link): min={min} max={max}",
+        spec.name
+    );
+
+    // The §3 invariant at the object level: relays opened exactly one
+    // upstream subscription per track, and forwarded exactly one copy per
+    // downstream subscriber.
+    for &id in &w.tier1 {
+        let r = w.sim.node_ref::<RelayNode>(id);
+        assert_eq!(
+            r.upstream_subscription_count(),
+            spec.tracks,
+            "tier1 aggregates to one upstream sub per track"
+        );
+    }
+    for &id in &w.edges {
+        let r = w.sim.node_ref::<RelayNode>(id);
+        assert_eq!(r.upstream_subscription_count(), spec.tracks);
+        assert_eq!(
+            r.stats().objects_forwarded,
+            spec.edge_forwards(),
+            "edge forwards one copy per stub per update"
+        );
+    }
+
+    // (3) Per-tier stats table (cache hits, aggregated subs, forwards).
+    let mut t_tiers = Table::new(
+        format!("{}: per-tier relay stats", spec.name),
+        &[
+            "tier",
+            "relays",
+            "policy",
+            "down subs",
+            "up subs (live)",
+            "objects fwd",
+            "cache hit",
+            "cache miss",
+            "reroutes",
+            "agg factor",
+        ],
+    );
+    for tier in w.tier_stats() {
+        let policy = match tier.tier.as_str() {
+            "edge" => w.sim.node_ref::<RelayNode>(w.edges[0]).policy_name(),
+            _ => w.sim.node_ref::<RelayNode>(w.tier1[0]).policy_name(),
+        };
+        t_tiers.push(&[
+            tier.tier.clone(),
+            tier.relays.to_string(),
+            policy.to_string(),
+            tier.totals.downstream_subscribes.to_string(),
+            tier.upstream_subscriptions.to_string(),
+            tier.totals.objects_forwarded.to_string(),
+            tier.totals.fetch_cache_hits.to_string(),
+            tier.totals.fetch_cache_misses.to_string(),
+            tier.totals.reroutes.to_string(),
+            format!("{:.1}", tier.aggregation_factor()),
+        ]);
+    }
+    report::emit(&t_tiers, &format!("exp_tree_{}_tiers", spec.name));
+
+    println!(
+        "{}: {} updates crossed every upstream link once; origin egress is {}x \
+         below per-stub unicast (the §5.3 aggregation saving).\n",
+        spec.name,
+        spec.total_updates(),
+        spec.origin_saving()
+    );
+}
+
+fn failover_drill(spec: TreeScenario) {
+    report::heading("Failover: killing tier1[0] mid-run");
+    let mut w = TreeWorld::build(&spec, 72);
+
+    // Phase 1: one update round with both tier-1 relays alive.
+    for track in 0..spec.tracks {
+        w.update_track(track, 211);
+    }
+    let deadline = w.sim.now() + Duration::from_secs(5);
+    w.sim.run_until(deadline);
+    let after_phase1 = w.delivered_updates();
+
+    // Kill the first tier-1 relay; its edge children must fail over.
+    w.kill_tier1(0);
+    let deadline = w.sim.now() + Duration::from_secs(5);
+    w.sim.run_until(deadline);
+
+    // Phase 2: another round, now on the degraded tree.
+    for track in 0..spec.tracks {
+        w.update_track(track, 212);
+    }
+    let deadline = w.sim.now() + Duration::from_secs(10);
+    w.sim.run_until(deadline);
+
+    let phase2 = w.delivered_updates() - after_phase1;
+    let expected = spec.tracks as u64 * w.stubs.len() as u64;
+    assert_eq!(
+        phase2,
+        expected,
+        "all {} stubs converged on the surviving tier-1 relay",
+        w.stubs.len()
+    );
+
+    let reroutes: u64 = w
+        .edges
+        .iter()
+        .map(|&e| w.sim.node_ref::<RelayNode>(e).stats().reroutes)
+        .sum();
+    // Half the edge relays had tier1[0] as primary; each re-routed every
+    // track.
+    let expected_reroutes = (w.edges.len() as u64 / 2) * spec.tracks as u64;
+    assert_eq!(reroutes, expected_reroutes, "edge relays re-routed");
+
+    let mut t = Table::new(
+        "Failover drill (1 tier-1 relay killed mid-run)",
+        &["metric", "value"],
+    );
+    t.push(&[
+        "updates delivered post-kill".to_string(),
+        format!("{phase2} (expected {expected})"),
+    ]);
+    t.push(&["edge reroutes".to_string(), reroutes.to_string()]);
+    t.push(&[
+        "surviving tier1 upstream subs".to_string(),
+        w.sim
+            .node_ref::<RelayNode>(w.tier1[1])
+            .upstream_subscription_count()
+            .to_string(),
+    ]);
+    report::emit(&t, "exp_tree_failover");
+    println!("Stubs converged on the surviving path; no update was lost after the kill.\n");
+}

@@ -1,10 +1,15 @@
 //! Reusable simulated worlds for the experiments.
 
 use moqdns_core::auth::AuthServer;
+use moqdns_core::mapping::{track_from_question, RequestFlags};
+use moqdns_core::metrics::TierRelayStats;
 use moqdns_core::node_ip;
 use moqdns_core::recursive::{RecursiveConfig, RecursiveResolver, UpstreamMode};
+use moqdns_core::relay_node::RelayNode;
+use moqdns_core::stack::{MoqtStack, StackEvent};
 use moqdns_core::stub::{StubMode, StubResolver};
 use moqdns_core::teardown::TeardownPolicy;
+use moqdns_core::MOQT_PORT;
 use moqdns_dns::message::Question;
 use moqdns_dns::name::Name;
 use moqdns_dns::rdata::RData;
@@ -12,8 +17,14 @@ use moqdns_dns::resolver::RootHint;
 use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
-use moqdns_netsim::{Addr, LinkConfig, NodeId, Simulator};
+use moqdns_moqt::relay::Failover;
+use moqdns_moqt::session::SessionEvent;
+use moqdns_netsim::topo::TopoBuilder;
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator, Topology};
 use moqdns_quic::TransportConfig;
+use moqdns_workload::scenarios::TreeScenario;
+use std::any::Any;
+use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::time::Duration;
 
@@ -239,5 +250,312 @@ impl World {
             });
         });
         change_time
+    }
+}
+
+/// A bare MoQT subscriber leaf for relay-tree worlds: connects to its
+/// parent (an edge relay or server), subscribes to every question with a
+/// joining fetch, and counts what arrives. Shared by the tree-scenario
+/// binaries and the relay ablations so each doesn't hand-roll its own.
+pub struct TreeStub {
+    stack: MoqtStack,
+    server: Option<Addr>,
+    questions: Vec<Question>,
+    /// Pushed updates received, total.
+    pub updates: u64,
+    /// Pushed updates received, per question index.
+    pub updates_by_track: Vec<u64>,
+    /// Joining fetches answered with at least one object.
+    pub fetched: u64,
+    /// Subscription request id -> question index.
+    sub_to_track: HashMap<u64, usize>,
+}
+
+impl TreeStub {
+    /// A stub that will subscribe to `questions` at `server`.
+    pub fn new(server: Addr, questions: Vec<Question>, seed: u64) -> TreeStub {
+        let n = questions.len();
+        TreeStub {
+            stack: MoqtStack::client(
+                TransportConfig::default()
+                    .idle_timeout(Duration::from_secs(3600))
+                    .keep_alive(Duration::from_secs(25)),
+                seed,
+            ),
+            server: Some(server),
+            questions,
+            updates: 0,
+            updates_by_track: vec![0; n],
+            fetched: 0,
+            sub_to_track: HashMap::new(),
+        }
+    }
+
+    /// Updates received for question `i`.
+    pub fn updates_for(&self, i: usize) -> u64 {
+        self.updates_by_track.get(i).copied().unwrap_or(0)
+    }
+
+    fn collect(&mut self, evs: Vec<StackEvent>) {
+        for e in evs {
+            match e {
+                StackEvent::Session(_, SessionEvent::SubscriptionObject { request_id, .. }) => {
+                    self.updates += 1;
+                    if let Some(&i) = self.sub_to_track.get(&request_id) {
+                        self.updates_by_track[i] += 1;
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. })
+                    if !objects.is_empty() =>
+                {
+                    self.fetched += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Node for TreeStub {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let server = self.server.unwrap();
+        let Some(h) = self.stack.connect(ctx.now(), server, false) else {
+            return;
+        };
+        for (i, q) in self.questions.clone().iter().enumerate() {
+            let track = track_from_question(q, RequestFlags::iterative()).unwrap();
+            if let Some((sess, conn)) = self.stack.session_conn(h) {
+                let (sub_id, _fetch_id) = sess.subscribe_with_joining_fetch(conn, track, 1);
+                self.sub_to_track.insert(sub_id, i);
+            }
+        }
+        let evs = self.stack.flush(ctx);
+        self.collect(evs);
+    }
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+        let evs = self.stack.on_datagram(ctx, from, &d);
+        self.collect(evs);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let evs = self.stack.on_timer(ctx);
+        self.collect(evs);
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A §5.3 world on a real 3-tier relay tree:
+///
+/// ```text
+///                    auth
+///                  /      \
+///             tier1[0]  tier1[1]        (StaticParent -> auth)
+///              /    \    /    \
+///          edge[0] edge[2] ...          (Failover: primary tier1,
+///             |       |                  secondary the other tier1)
+///          stubs   stubs   ...          (TreeStub leaves)
+/// ```
+///
+/// Built declaratively from a [`TreeScenario`] via `netsim::topo`; every
+/// tree link's traffic is observable through `sim.stats()`, which is how
+/// the §3 one-copy-per-link aggregation invariant gets asserted.
+pub struct TreeWorld {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Tier/parent bookkeeping from the builder.
+    pub topo: Topology,
+    /// Authoritative server node.
+    pub auth: NodeId,
+    /// Tier-1 relay nodes.
+    pub tier1: Vec<NodeId>,
+    /// Edge relay nodes.
+    pub edges: Vec<NodeId>,
+    /// Stub subscriber nodes.
+    pub stubs: Vec<NodeId>,
+    /// The questions (one per track) every stub subscribes to.
+    pub questions: Vec<Question>,
+    zone_apex: Name,
+}
+
+impl TreeWorld {
+    /// Record name for track `i`.
+    pub fn record_name(i: usize) -> Name {
+        format!("r{i}.tree.example").parse().unwrap()
+    }
+
+    /// Builds the tree world from `spec`, runs it until subscriptions are
+    /// settled (stubs fetched + subscribed through both relay tiers).
+    pub fn build(spec: &TreeScenario, seed: u64) -> TreeWorld {
+        let mut sim = Simulator::new(seed);
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        let zone_apex: Name = "tree.example".parse().unwrap();
+        let mut zone = Zone::with_default_soa(zone_apex.clone());
+        for i in 0..spec.tracks {
+            zone.add_record(Record::new(
+                Self::record_name(i),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let questions: Vec<Question> = (0..spec.tracks)
+            .map(|i| Question::new(Self::record_name(i), RecordType::A))
+            .collect();
+
+        let tier1_parents = if spec.tier1_relays > 1 { 2 } else { 1 };
+        let qs = questions.clone();
+        let topo = TopoBuilder::new()
+            .tier("auth", 1, 0, LinkConfig::with_delay(spec.link_delay))
+            .tier(
+                "tier1",
+                spec.tier1_relays,
+                1,
+                LinkConfig::with_delay(spec.link_delay),
+            )
+            .tier(
+                "edge",
+                spec.edge_relays(),
+                tier1_parents,
+                LinkConfig::with_delay(spec.link_delay),
+            )
+            .tier(
+                "stub",
+                spec.stub_count(),
+                1,
+                LinkConfig::with_delay(spec.link_delay),
+            )
+            .build(&mut sim, move |sim, ctx| match ctx.tier_name {
+                "auth" => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(AuthServer::new(
+                        Authority::single(zone.clone()),
+                        TransportConfig::default()
+                            .idle_timeout(Duration::from_secs(3600))
+                            .keep_alive(Duration::from_secs(25)),
+                        11,
+                    )),
+                ),
+                "tier1" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(RelayNode::new(parent, 0, 40 + ctx.index as u64).tier("tier1")),
+                    )
+                }
+                "edge" => {
+                    let parents: Vec<Addr> = ctx
+                        .parents
+                        .iter()
+                        .map(|&p| Addr::new(p, MOQT_PORT))
+                        .collect();
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(
+                            RelayNode::with_policy(
+                                parents,
+                                Box::new(Failover),
+                                0,
+                                60 + ctx.index as u64,
+                            )
+                            .tier("edge"),
+                        ),
+                    )
+                }
+                _ => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(TreeStub::new(
+                        Addr::new(ctx.parents[0], MOQT_PORT),
+                        qs.clone(),
+                        100 + ctx.index as u64,
+                    )),
+                ),
+            });
+
+        let auth = topo.tier_named("auth")[0];
+        let tier1 = topo.tier_named("tier1").to_vec();
+        let edges = topo.tier_named("edge").to_vec();
+        let stubs = topo.tier_named("stub").to_vec();
+        let mut world = TreeWorld {
+            sim,
+            topo,
+            auth,
+            tier1,
+            edges,
+            stubs,
+            questions,
+            zone_apex,
+        };
+        // Let connections, joining fetches, and the two relay tiers'
+        // upstream subscriptions settle before anyone measures.
+        world
+            .sim
+            .run_until(world.sim.now() + Duration::from_secs(5));
+        world
+    }
+
+    /// Replaces track `i`'s A record, triggering a push through the tree.
+    pub fn update_track(&mut self, i: usize, new_octet: u8) {
+        let name = Self::record_name(i);
+        let apex = self.zone_apex.clone();
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |authority| {
+                if let Some(z) = authority.find_zone_mut(&apex) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            60,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+    }
+
+    /// Takes tier-1 relay `i` out of service mid-run (failover drill).
+    pub fn kill_tier1(&mut self, i: usize) {
+        let id = self.tier1[i];
+        self.sim.with_node::<RelayNode, _>(id, |r, ctx| {
+            r.shutdown(ctx);
+        });
+    }
+
+    /// Total pushed updates received across all stubs.
+    pub fn delivered_updates(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Per-tier relay stats (tier1 first, then edge).
+    pub fn tier_stats(&self) -> Vec<TierRelayStats> {
+        let mut out = Vec::new();
+        for (label, ids) in [("tier1", &self.tier1), ("edge", &self.edges)] {
+            let mut tier = TierRelayStats::new(label);
+            for &id in ids {
+                let r = self.sim.node_ref::<RelayNode>(id);
+                tier.accumulate(r.stats(), r.upstream_subscription_count());
+            }
+            out.push(tier);
+        }
+        out
+    }
+
+    /// The tree's relay-to-relay links: (auth→tier1) and (tier1→edge)
+    /// primary attachments — the links the §3 one-copy invariant
+    /// constrains. Stub attachments are excluded (those carry the
+    /// fan-out, which legitimately scales with subscriber count).
+    pub fn upstream_links(&self) -> Vec<(NodeId, NodeId)> {
+        self.topo
+            .primary_edges()
+            .filter(|(_, child)| self.tier1.contains(child) || self.edges.contains(child))
+            .collect()
     }
 }

@@ -372,7 +372,8 @@ mod tests {
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
             let h = c
                 .stack
-                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false)
+                .expect("connect");
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -418,7 +419,8 @@ mod tests {
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
             let h = c
                 .stack
-                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false)
+                .expect("connect");
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -474,7 +476,8 @@ mod tests {
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
             let h = c
                 .stack
-                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false)
+                .expect("connect");
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -513,7 +516,8 @@ mod tests {
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
             let h = c
                 .stack
-                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false)
+                .expect("connect");
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h
@@ -549,7 +553,8 @@ mod tests {
         let h = sim.with_node::<Client, _>(client, |c, ctx| {
             let h = c
                 .stack
-                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false);
+                .connect(ctx.now(), Addr::new(auth, MOQT_PORT), false)
+                .expect("connect");
             let evs = c.stack.flush(ctx);
             c.events.extend(evs);
             h

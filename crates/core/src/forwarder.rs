@@ -152,13 +152,22 @@ impl Forwarder {
     }
 
     fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, key: TrackKey) {
-        if self.conn.is_none() || self.stack.session(self.conn.unwrap()).is_none() {
-            let h = self
-                .stack
-                .connect(ctx.now(), Addr::new(self.upstream.node, MOQT_PORT), true);
-            self.conn = Some(h);
+        // A key already subscribed or already queued must not be issued
+        // twice (a queued key could otherwise race a later direct
+        // subscribe and double the upstream subscription).
+        if self.subs.values().any(|k| *k == key) || self.queued.contains(&key) {
+            return;
         }
-        let h = self.conn.unwrap();
+        if self.conn.is_none() || self.stack.session(self.conn.unwrap()).is_none() {
+            self.conn =
+                self.stack
+                    .connect(ctx.now(), Addr::new(self.upstream.node, MOQT_PORT), true);
+        }
+        let Some(h) = self.conn else {
+            // Connect failed: keep the key queued; the next query retries.
+            self.queued.push(key);
+            return;
+        };
         let track = track_from_question(&key.0, key.1).expect("valid dns track");
         let Some((session, conn)) = self.stack.session_conn(h) else {
             self.queued.push(key);

@@ -4,6 +4,7 @@
 //! the tables of EXPERIMENTS.md.
 
 use moqdns_dns::message::Question;
+use moqdns_moqt::relay::RelayStats;
 use moqdns_netsim::SimTime;
 use std::time::Duration;
 
@@ -72,6 +73,64 @@ impl StalenessSample {
     /// this node holding the new version.
     pub fn staleness(&self) -> Duration {
         self.fresh_at - self.changed_at
+    }
+}
+
+/// Aggregated relay counters for one tier of a distribution tree
+/// (§3 aggregation, §5.3 relay paths). The tree-scenario binaries fold
+/// every relay's [`RelayStats`] into its tier and print the result as a
+/// `moqdns_stats::Table`.
+#[derive(Debug, Clone, Default)]
+pub struct TierRelayStats {
+    /// Tier label ("tier1", "edge", …).
+    pub tier: String,
+    /// Relays folded into this row.
+    pub relays: usize,
+    /// Summed relay counters.
+    pub totals: RelayStats,
+    /// Live upstream subscriptions summed across the tier's relays.
+    pub upstream_subscriptions: usize,
+}
+
+impl TierRelayStats {
+    /// An empty accumulator for `tier`.
+    pub fn new(tier: impl Into<String>) -> TierRelayStats {
+        TierRelayStats {
+            tier: tier.into(),
+            ..TierRelayStats::default()
+        }
+    }
+
+    /// Folds one relay's counters into the tier.
+    pub fn accumulate(&mut self, stats: RelayStats, live_upstream_subs: usize) {
+        self.relays += 1;
+        // Exhaustive destructuring: adding a field to RelayStats refuses
+        // to compile until it is folded here too.
+        let RelayStats {
+            downstream_subscribes,
+            upstream_subscribes,
+            objects_forwarded,
+            fetch_cache_hits,
+            fetch_cache_misses,
+            reroutes,
+        } = stats;
+        self.totals.downstream_subscribes += downstream_subscribes;
+        self.totals.upstream_subscribes += upstream_subscribes;
+        self.totals.objects_forwarded += objects_forwarded;
+        self.totals.fetch_cache_hits += fetch_cache_hits;
+        self.totals.fetch_cache_misses += fetch_cache_misses;
+        self.totals.reroutes += reroutes;
+        self.upstream_subscriptions += live_upstream_subs;
+    }
+
+    /// Tier-wide aggregation factor: downstream subscriptions per
+    /// upstream subscription opened.
+    pub fn aggregation_factor(&self) -> f64 {
+        if self.totals.upstream_subscribes == 0 {
+            0.0
+        } else {
+            self.totals.downstream_subscribes as f64 / self.totals.upstream_subscribes as f64
+        }
     }
 }
 
@@ -144,6 +203,33 @@ mod tests {
             fresh_at: SimTime::from_secs(70),
         };
         assert_eq!(s.staleness(), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn tier_relay_stats_fold() {
+        let mut tier = TierRelayStats::new("edge");
+        let a = RelayStats {
+            downstream_subscribes: 16,
+            upstream_subscribes: 1,
+            objects_forwarded: 32,
+            fetch_cache_hits: 3,
+            fetch_cache_misses: 1,
+            reroutes: 0,
+        };
+        let b = RelayStats {
+            downstream_subscribes: 16,
+            upstream_subscribes: 1,
+            objects_forwarded: 32,
+            fetch_cache_hits: 0,
+            fetch_cache_misses: 0,
+            reroutes: 1,
+        };
+        tier.accumulate(a, 1);
+        tier.accumulate(b, 1);
+        assert_eq!(tier.relays, 2);
+        assert_eq!(tier.totals.objects_forwarded, 64);
+        assert_eq!(tier.upstream_subscriptions, 2);
+        assert!((tier.aggregation_factor() - 16.0).abs() < 1e-9);
     }
 
     #[test]

@@ -337,15 +337,19 @@ impl RecursiveResolver {
         let moqt_part = if use_moqt {
             let peer = Addr::new(node, MOQT_PORT);
             let conn = match self.upstream_conns.get(&peer) {
-                Some(&h) if self.stack.session(h).is_some() => h,
+                Some(&h) if self.stack.session(h).is_some() => Some(h),
                 _ => {
                     let h = self.stack.connect(ctx.now(), peer, true);
-                    self.upstream_conns.insert(peer, h);
+                    if let Some(h) = h {
+                        self.upstream_conns.insert(peer, h);
+                    }
                     h
                 }
             };
-            ctx.set_timer(self.config.moqt_step_timeout, K_STEP | task_id);
-            Some(conn)
+            if conn.is_some() {
+                ctx.set_timer(self.config.moqt_step_timeout, K_STEP | task_id);
+            }
+            conn
         } else {
             None
         };
@@ -363,7 +367,12 @@ impl RecursiveResolver {
                 fetch_id: None,
                 udp_started: false,
             },
-            (None, None) => unreachable!("some transport is always enabled"),
+            // MoQT-only mode with a failed connect: no transport is left
+            // for this step, so the lookup fails instead of hanging.
+            (None, None) => {
+                self.finish(ctx, task_id, None);
+                return;
+            }
         };
         if let Some(t) = self.tasks.get_mut(&task_id) {
             t.step = Some(step);

@@ -1,17 +1,21 @@
-//! A MoQT relay wired into the simulator (paper §3, ablation A3).
+//! A MoQT relay wired into the simulator (paper §3, §5.3, ablation A3).
 //!
-//! Downstream it is a MoQT server; upstream it is a MoQT client of a
-//! configured parent (an authoritative server or another relay). All
-//! routing decisions come from [`moqdns_moqt::relay::RelayCore`], which
-//! never inspects object payloads — the relay works for DNS objects
-//! because it works for *any* objects.
+//! Downstream it is a MoQT server; upstream it is a MoQT client of one or
+//! more parents (authoritative servers or other relays). All routing
+//! decisions come from [`moqdns_moqt::relay::RelayCore`], which never
+//! inspects object payloads — the relay works for DNS objects because it
+//! works for *any* objects. The upstream connection plumbing (dialing,
+//! queue-until-ready, replay, reconnect) lives in [`crate::uplinks`]; the
+//! per-track uplink choice comes from the core's
+//! [`moqdns_moqt::relay::RoutePolicy`], so the same node
+//! serves single-parent chains, hash-sharded meshes, and failover pairs.
 
 use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
+use crate::uplinks::Uplinks;
 use crate::MOQT_PORT;
 use moqdns_moqt::data::Object;
-use moqdns_moqt::relay::{RelayAction, RelayCore, RelayStats};
+use moqdns_moqt::relay::{RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent};
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
-use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::{Addr, Ctx, Node};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
@@ -20,42 +24,60 @@ use std::time::Duration;
 
 /// The relay node.
 pub struct RelayNode {
-    /// Upstream parent (authoritative server or another relay).
-    parent: Addr,
     stack: MoqtStack,
     core: RelayCore,
-    upstream_conn: Option<ConnHandle>,
-    /// Upstream subscribe request id -> track.
-    up_subs: HashMap<u64, FullTrackName>,
-    /// track -> upstream subscribe request id (for teardown).
-    up_by_track: HashMap<FullTrackName, u64>,
-    /// Upstream fetch request id -> (track, downstream session, downstream
-    /// fetch request).
-    up_fetches: HashMap<u64, (FullTrackName, u64, u64)>,
-    /// Tracks to subscribe upstream once the session is ready.
-    queued_tracks: Vec<FullTrackName>,
+    uplinks: Uplinks,
     /// Downstream session key (we use the connection handle's raw value).
     sessions: HashMap<u64, ConnHandle>,
+    /// Tier label for stats tables ("tier1", "edge", …).
+    tier: String,
+    /// Taken down mid-run: ignore all further events.
+    dead: bool,
 }
 
 impl RelayNode {
-    /// Creates a relay forwarding to `parent`, caching up to
-    /// `cache_per_track` objects per track.
+    /// Creates a single-parent relay forwarding to `parent`, caching up
+    /// to `cache_per_track` objects per track — the classic chain shape.
     pub fn new(parent: Addr, cache_per_track: usize, seed: u64) -> RelayNode {
+        RelayNode::with_policy(vec![parent], Box::new(StaticParent), cache_per_track, seed)
+    }
+
+    /// Creates a relay with `parents` as its ordered uplink set and
+    /// `policy` choosing the uplink per track.
+    pub fn with_policy(
+        parents: Vec<Addr>,
+        policy: Box<dyn RoutePolicy>,
+        cache_per_track: usize,
+        seed: u64,
+    ) -> RelayNode {
         let transport = TransportConfig::default()
             .idle_timeout(Duration::from_secs(3600))
             .keep_alive(Duration::from_secs(25));
+        let n = parents.len();
         RelayNode {
-            parent,
             stack: MoqtStack::server(transport, seed),
-            core: RelayCore::new(cache_per_track),
-            upstream_conn: None,
-            up_subs: HashMap::new(),
-            up_by_track: HashMap::new(),
-            up_fetches: HashMap::new(),
-            queued_tracks: Vec::new(),
+            core: RelayCore::with_policy(cache_per_track, n, policy),
+            uplinks: Uplinks::new(parents),
             sessions: HashMap::new(),
+            tier: String::new(),
+            dead: false,
         }
+    }
+
+    /// Labels this relay's tier for per-tier stats aggregation.
+    pub fn tier(mut self, label: impl Into<String>) -> RelayNode {
+        self.tier = label.into();
+        self
+    }
+
+    /// The tier label (empty when unset).
+    pub fn tier_label(&self) -> &str {
+        &self.tier
+    }
+
+    /// The route policy's label.
+    pub fn policy_name(&self) -> &'static str {
+        self.core.policy_name()
     }
 
     /// Relay effectiveness counters (ablation A3).
@@ -68,40 +90,30 @@ impl RelayNode {
         self.core.aggregation_factor()
     }
 
-    fn ensure_upstream(&mut self, ctx: &mut Ctx<'_>) -> ConnHandle {
-        match self.upstream_conn {
-            Some(h) if self.stack.session(h).is_some() => h,
-            _ => {
-                let h = self
-                    .stack
-                    .connect(ctx.now(), Addr::new(self.parent.node, MOQT_PORT), true);
-                self.upstream_conn = Some(h);
-                h
-            }
-        }
+    /// Live upstream subscriptions across all uplinks.
+    pub fn upstream_subscription_count(&self) -> usize {
+        self.uplinks.total_subs()
     }
 
-    fn subscribe_upstream(&mut self, ctx: &mut Ctx<'_>, track: FullTrackName) {
-        let h = self.ensure_upstream(ctx);
-        let ready = self.stack.session(h).map(|s| s.is_ready()).unwrap_or(false);
-        // CLIENT_SETUP may still be in flight; MoQT control messages queue
-        // on the stream, so subscribing immediately is safe either way —
-        // but we only subscribe once the session object exists.
-        let _ = ready;
-        let Some((session, conn)) = self.stack.session_conn(h) else {
-            self.queued_tracks.push(track);
-            return;
-        };
-        let sub_id = session.subscribe(conn, track.clone());
-        self.up_subs.insert(sub_id, track.clone());
-        self.up_by_track.insert(track, sub_id);
+    /// Takes the relay out of service: closes every connection (peers see
+    /// a CONNECTION_CLOSE, not an idle timeout) and drops all state. Used
+    /// by the failover experiments to kill a tier mid-run.
+    pub fn shutdown(&mut self, ctx: &mut Ctx<'_>) {
+        self.stack.close_all(ctx, 0x0, "relay shutdown");
+        self.sessions.clear();
+        self.dead = true;
+    }
+
+    /// Whether [`RelayNode::shutdown`] was called.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     fn run_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<RelayAction>) {
         for a in actions {
             match a {
-                RelayAction::SubscribeUpstream { track } => {
-                    self.subscribe_upstream(ctx, track);
+                RelayAction::SubscribeUpstream { track, uplink } => {
+                    self.uplinks.subscribe(ctx, &mut self.stack, uplink, track);
                 }
                 RelayAction::AcceptDownstream {
                     session,
@@ -141,31 +153,40 @@ impl RelayNode {
                 }
                 RelayAction::FetchUpstream {
                     track,
+                    uplink,
                     session,
                     request_id,
                     start_group,
                     end_group,
                 } => {
-                    let h = self.ensure_upstream(ctx);
-                    if let Some((sess, conn)) = self.stack.session_conn(h) {
-                        let fid = sess.fetch(conn, track.clone(), start_group, end_group);
-                        self.up_fetches.insert(fid, (track, session, request_id));
+                    let ok = self.uplinks.fetch(
+                        ctx,
+                        &mut self.stack,
+                        uplink,
+                        track,
+                        start_group,
+                        end_group,
+                        (session, request_id),
+                    );
+                    if !ok {
+                        self.reject_downstream_fetch(session, request_id);
                     }
                 }
-                RelayAction::UnsubscribeUpstream { track } => {
-                    if let Some(sub_id) = self.up_by_track.remove(&track) {
-                        self.up_subs.remove(&sub_id);
-                        if let Some(h) = self.upstream_conn {
-                            if let Some((sess, conn)) = self.stack.session_conn(h) {
-                                sess.unsubscribe(conn, sub_id);
-                            }
-                        }
-                    }
+                RelayAction::UnsubscribeUpstream { track, uplink } => {
+                    self.uplinks.unsubscribe(&mut self.stack, uplink, &track);
                 }
             }
         }
         let evs = self.stack.flush(ctx);
         self.handle_events(ctx, evs);
+    }
+
+    fn reject_downstream_fetch(&mut self, session: u64, request_id: u64) {
+        if let Some(&dh) = self.sessions.get(&session) {
+            if let Some((sess, conn)) = self.stack.session_conn(dh) {
+                sess.reject_fetch(conn, request_id, 0x5, "upstream unavailable");
+            }
+        }
     }
 
     fn handle_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<StackEvent>) {
@@ -175,26 +196,30 @@ impl RelayNode {
                     self.sessions.insert(h.0, h);
                 }
                 StackEvent::Session(h, sev) => {
-                    let is_upstream = Some(h) == self.upstream_conn;
-                    match sev {
-                        SessionEvent::Ready { .. } if is_upstream => {
-                            let queued = std::mem::take(&mut self.queued_tracks);
-                            for t in queued {
-                                self.subscribe_upstream(ctx, t);
-                            }
+                    let uplink = self.uplinks.classify(h);
+                    match (uplink, sev) {
+                        (Some(u), SessionEvent::Ready { .. }) => {
+                            self.core.on_uplink_up(u);
+                            self.uplinks.on_session_ready(ctx, &mut self.stack, u);
+                            let evs = self.stack.flush(ctx);
+                            self.handle_events(ctx, evs);
                         }
-                        SessionEvent::SubscriptionObject { request_id, object } if is_upstream => {
-                            if let Some(track) = self.up_subs.get(&request_id).cloned() {
+                        (Some(u), SessionEvent::SubscriptionObject { request_id, object }) => {
+                            if let Some(track) = self.uplinks.track_for_sub(u, request_id).cloned()
+                            {
                                 let actions = self.core.on_upstream_object(&track, object);
                                 self.run_actions(ctx, actions);
                             }
                         }
-                        SessionEvent::FetchObjects {
-                            request_id,
-                            objects,
-                        } if is_upstream => {
+                        (
+                            Some(u),
+                            SessionEvent::FetchObjects {
+                                request_id,
+                                objects,
+                            },
+                        ) => {
                             if let Some((track, session, down_req)) =
-                                self.up_fetches.remove(&request_id)
+                                self.uplinks.take_fetch(u, request_id)
                             {
                                 let actions = self
                                     .core
@@ -202,22 +227,18 @@ impl RelayNode {
                                 self.run_actions(ctx, actions);
                             }
                         }
-                        SessionEvent::FetchRejected { request_id, .. } if is_upstream => {
+                        (Some(u), SessionEvent::FetchRejected { request_id, .. }) => {
                             if let Some((_, session, down_req)) =
-                                self.up_fetches.remove(&request_id)
+                                self.uplinks.take_fetch(u, request_id)
                             {
-                                if let Some(&dh) = self.sessions.get(&session) {
-                                    if let Some((sess, conn)) = self.stack.session_conn(dh) {
-                                        sess.reject_fetch(conn, down_req, 0x5, "upstream miss");
-                                    }
-                                }
+                                self.reject_downstream_fetch(session, down_req);
                             }
                         }
-                        SessionEvent::IncomingSubscribe { request_id, track } if !is_upstream => {
+                        (None, SessionEvent::IncomingSubscribe { request_id, track }) => {
                             let actions = self.core.on_downstream_subscribe(h.0, request_id, track);
                             self.run_actions(ctx, actions);
                         }
-                        SessionEvent::IncomingFetch { request_id, kind } if !is_upstream => {
+                        (None, SessionEvent::IncomingFetch { request_id, kind }) => {
                             let track = match kind {
                                 IncomingFetchKind::StandAlone { track, .. } => track,
                                 IncomingFetchKind::Joining { track, .. } => track,
@@ -227,7 +248,7 @@ impl RelayNode {
                                     .on_downstream_fetch(h.0, request_id, track, 0, u64::MAX);
                             self.run_actions(ctx, actions);
                         }
-                        SessionEvent::PeerUnsubscribed { request_id } if !is_upstream => {
+                        (None, SessionEvent::PeerUnsubscribed { request_id }) => {
                             let actions = self.core.on_downstream_unsubscribe(h.0, request_id);
                             self.run_actions(ctx, actions);
                         }
@@ -235,10 +256,14 @@ impl RelayNode {
                     }
                 }
                 StackEvent::Closed(h) => {
-                    if Some(h) == self.upstream_conn {
-                        self.upstream_conn = None;
-                        self.up_subs.clear();
-                        self.up_by_track.clear();
+                    if let Some(u) = self.uplinks.classify(h) {
+                        // Reject downstream fetches stranded on the dead
+                        // uplink, then let the core re-route its tracks.
+                        for (_, session, down_req) in self.uplinks.on_closed(u) {
+                            self.reject_downstream_fetch(session, down_req);
+                        }
+                        let actions = self.core.on_uplink_closed(u);
+                        self.run_actions(ctx, actions);
                     } else {
                         self.sessions.remove(&h.0);
                         let actions = self.core.on_session_closed(h.0);
@@ -253,6 +278,9 @@ impl RelayNode {
 
 impl Node for RelayNode {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+        if self.dead {
+            return;
+        }
         if to_port == MOQT_PORT {
             let evs = self.stack.on_datagram(ctx, from, &payload);
             self.handle_events(ctx, evs);
@@ -260,6 +288,9 @@ impl Node for RelayNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.dead {
+            return;
+        }
         if token == TOKEN_QUIC {
             let evs = self.stack.on_timer(ctx);
             self.handle_events(ctx, evs);

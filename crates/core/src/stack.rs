@@ -64,16 +64,37 @@ impl MoqtStack {
     /// Opens a MoQT connection to `peer` and starts the session (the
     /// CLIENT_SETUP rides 0-RTT when a ticket is available and
     /// `use_ticket`).
-    pub fn connect(&mut self, now: SimTime, peer: Addr, use_ticket: bool) -> ConnHandle {
+    ///
+    /// Returns `None` when the endpoint cannot produce a usable
+    /// connection; no session entry is kept in that case (a session that
+    /// never `start`ed would otherwise sit dead in the map forever).
+    pub fn connect(&mut self, now: SimTime, peer: Addr, use_ticket: bool) -> Option<ConnHandle> {
         let h = self
             .endpoint
             .connect(now, peer, vec![MOQT_ALPN.to_vec()], use_ticket);
+        let Some(conn) = self.endpoint.conn_mut(h) else {
+            self.endpoint.abandon(h);
+            return None;
+        };
         let mut session = Session::client(self.session_config.clone());
-        if let Some(conn) = self.endpoint.conn_mut(h) {
-            session.start(conn);
-        }
+        session.start(conn);
         self.sessions.insert(h, session);
-        h
+        Some(h)
+    }
+
+    /// Closes every live connection with `error_code`/`reason` (the
+    /// CONNECTION_CLOSE goes out on the next flush). Used to simulate a
+    /// node being taken down mid-run: peers observe a close instead of an
+    /// hours-long idle timeout.
+    pub fn close_all(&mut self, ctx: &mut Ctx<'_>, error_code: u64, reason: &str) {
+        let handles: Vec<ConnHandle> = self.sessions.keys().copied().collect();
+        for h in handles {
+            if let Some(conn) = self.endpoint.conn_mut(h) {
+                conn.close(error_code, reason);
+            }
+        }
+        let _ = self.pump(ctx);
+        self.sessions.clear();
     }
 
     /// Enables request pipelining (the §5.2 "version negotiation in ALPN"
@@ -253,7 +274,8 @@ mod tests {
         let h = sim.with_node::<StackNode, _>(client, |n, ctx| {
             let h = n
                 .stack
-                .connect(ctx.now(), Addr::new(server, MOQT_PORT), false);
+                .connect(ctx.now(), Addr::new(server, MOQT_PORT), false)
+                .expect("connect");
             let evs = n.stack.flush(ctx);
             n.events.extend(evs);
             h
@@ -324,7 +346,9 @@ mod tests {
 
         // First connection establishes + stores a ticket.
         sim.with_node::<StackNode, _>(client, |n, ctx| {
-            n.stack.connect(ctx.now(), server_addr, true);
+            n.stack
+                .connect(ctx.now(), server_addr, true)
+                .expect("connect");
             let evs = n.stack.flush(ctx);
             n.events.extend(evs);
         });
@@ -336,7 +360,10 @@ mod tests {
         // Second connection: session setup + subscribe in the first flight.
         let t0 = sim.now();
         sim.with_node::<StackNode, _>(client, |n, ctx| {
-            let h2 = n.stack.connect(ctx.now(), server_addr, true);
+            let h2 = n
+                .stack
+                .connect(ctx.now(), server_addr, true)
+                .expect("connect");
             let (sess, conn) = n.stack.session_conn(h2).unwrap();
             sess.subscribe(conn, track());
             let evs = n.stack.flush(ctx);
@@ -363,7 +390,9 @@ mod tests {
         // Fabricate connections without a peer (no traffic flows).
         let mut sim = Simulator::new(1);
         let peer = sim.add_node("x", Box::new(StackNode::client(9)));
-        stack.connect(SimTime::ZERO, Addr::new(peer, MOQT_PORT), false);
+        stack
+            .connect(SimTime::ZERO, Addr::new(peer, MOQT_PORT), false)
+            .expect("connect");
         assert_eq!(stack.session_count(), 1);
         assert!(stack.state_size_estimate() > base);
     }

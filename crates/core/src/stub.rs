@@ -214,10 +214,21 @@ impl StubResolver {
         let started = ctx.now();
         if self.conn.is_none() || self.stack.session(self.conn.unwrap()).is_none() {
             let peer = Addr::new(self.server.node, MOQT_PORT);
-            let h = self.stack.connect(ctx.now(), peer, true);
-            self.conn = Some(h);
+            self.conn = self.stack.connect(ctx.now(), peer, true);
         }
-        let h = self.conn.unwrap();
+        let Some(h) = self.conn else {
+            // Connect failed: record the lookup as failed instead of
+            // leaving it silently unaccounted.
+            self.metrics.lookups.push(LookupSample {
+                question,
+                started,
+                finished: ctx.now(),
+                source: AnswerSource::Moqt,
+                ok: false,
+                version: None,
+            });
+            return;
+        };
         // Always safe to issue immediately: in strict mode the session
         // holds the request until SERVER_SETUP; with a 0-RTT ticket and
         // pipelining it rides the first flight (§5.2).

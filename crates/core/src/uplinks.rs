@@ -1,0 +1,262 @@
+//! Upstream connection management for relays: N parents, one
+//! [`MoqtStack`] connection each, with reconnect and subscription replay.
+//!
+//! [`RelayCore`](moqdns_moqt::relay::RelayCore) decides *which* uplink a
+//! track should ride (via its `RoutePolicy`); this module owns the *how*:
+//! dialing the parent, queueing subscriptions until the session is ready,
+//! replaying the queue on `Ready`, tracking upstream request ids, and
+//! clearing everything when a connection dies so the next subscribe
+//! redials. It is deliberately independent of `RelayNode` so any future
+//! node that needs several upstreams (multi-homed recursive resolvers,
+//! inter-region bridges) can reuse it.
+
+use crate::stack::MoqtStack;
+use crate::MOQT_PORT;
+use moqdns_moqt::relay::UplinkId;
+use moqdns_moqt::track::FullTrackName;
+use moqdns_netsim::{Addr, Ctx};
+use moqdns_quic::ConnHandle;
+use std::collections::HashMap;
+
+/// A pending upstream fetch: the downstream (session, request) waiting on
+/// it, keyed by the upstream fetch request id.
+type PendingFetch = (FullTrackName, u64, u64);
+
+/// State for one upstream parent.
+#[derive(Debug)]
+struct UplinkState {
+    /// Parent node address (the MoQT port is applied when dialing).
+    parent: Addr,
+    /// Live (or in-progress) connection to the parent.
+    conn: Option<ConnHandle>,
+    /// Upstream subscribe request id -> track.
+    subs: HashMap<u64, FullTrackName>,
+    /// track -> upstream subscribe request id (for teardown).
+    by_track: HashMap<FullTrackName, u64>,
+    /// Upstream fetch request id -> waiting downstream fetch.
+    fetches: HashMap<u64, PendingFetch>,
+    /// Tracks to subscribe once the session object exists.
+    queued: Vec<FullTrackName>,
+}
+
+impl UplinkState {
+    fn new(parent: Addr) -> UplinkState {
+        UplinkState {
+            parent,
+            conn: None,
+            subs: HashMap::new(),
+            by_track: HashMap::new(),
+            fetches: HashMap::new(),
+            queued: Vec::new(),
+        }
+    }
+}
+
+/// Manager for a relay's (or any multi-homed node's) upstream
+/// connections: one slot per parent, addressed by [`UplinkId`].
+#[derive(Debug)]
+pub struct Uplinks {
+    links: Vec<UplinkState>,
+}
+
+impl Uplinks {
+    /// One uplink slot per parent, in route-policy index order.
+    pub fn new(parents: Vec<Addr>) -> Uplinks {
+        Uplinks {
+            links: parents.into_iter().map(UplinkState::new).collect(),
+        }
+    }
+
+    /// Number of configured uplinks.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when no uplinks are configured.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Which uplink (if any) owns connection `h`.
+    pub fn classify(&self, h: ConnHandle) -> Option<UplinkId> {
+        self.links.iter().position(|l| l.conn == Some(h))
+    }
+
+    /// Live upstream subscriptions on `id`.
+    pub fn sub_count(&self, id: UplinkId) -> usize {
+        self.links.get(id).map(|l| l.subs.len()).unwrap_or(0)
+    }
+
+    /// Live upstream subscriptions across all uplinks (§3 aggregation:
+    /// this is the relay's total upstream cost).
+    pub fn total_subs(&self) -> usize {
+        self.links.iter().map(|l| l.subs.len()).sum()
+    }
+
+    /// The track an upstream subscription id on `id` belongs to.
+    pub fn track_for_sub(&self, id: UplinkId, request_id: u64) -> Option<&FullTrackName> {
+        self.links.get(id)?.subs.get(&request_id)
+    }
+
+    /// Removes and returns the downstream fetch waiting on upstream fetch
+    /// `request_id` of uplink `id`.
+    pub fn take_fetch(&mut self, id: UplinkId, request_id: u64) -> Option<PendingFetch> {
+        self.links.get_mut(id)?.fetches.remove(&request_id)
+    }
+
+    fn ensure_conn(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stack: &mut MoqtStack,
+        id: UplinkId,
+    ) -> Option<ConnHandle> {
+        let link = self.links.get_mut(id)?;
+        match link.conn {
+            Some(h) if stack.session(h).is_some() => Some(h),
+            _ => {
+                let parent = link.parent;
+                let h = stack.connect(ctx.now(), Addr::new(parent.node, MOQT_PORT), true)?;
+                link.conn = Some(h);
+                Some(h)
+            }
+        }
+    }
+
+    /// Subscribes to `track` on uplink `id`, dialing the parent if needed.
+    /// If the session object is not available yet the track is queued and
+    /// replayed from [`Uplinks::on_session_ready`].
+    pub fn subscribe(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stack: &mut MoqtStack,
+        id: UplinkId,
+        track: FullTrackName,
+    ) {
+        let Some(h) = self.ensure_conn(ctx, stack, id) else {
+            if let Some(link) = self.links.get_mut(id) {
+                link.queued.push(track);
+            }
+            return;
+        };
+        let link = &mut self.links[id];
+        if link.by_track.contains_key(&track) {
+            return;
+        }
+        // CLIENT_SETUP may still be in flight; MoQT control messages queue
+        // on the stream, so subscribing immediately is safe either way —
+        // but we only subscribe once the session object exists.
+        let Some((session, conn)) = stack.session_conn(h) else {
+            link.queued.push(track);
+            return;
+        };
+        let sub_id = session.subscribe(conn, track.clone());
+        link.subs.insert(sub_id, track.clone());
+        link.by_track.insert(track, sub_id);
+    }
+
+    /// Drops the upstream subscription for `track` on uplink `id`.
+    pub fn unsubscribe(&mut self, stack: &mut MoqtStack, id: UplinkId, track: &FullTrackName) {
+        let Some(link) = self.links.get_mut(id) else {
+            return;
+        };
+        link.queued.retain(|t| t != track);
+        if let Some(sub_id) = link.by_track.remove(track) {
+            link.subs.remove(&sub_id);
+            if let Some(h) = link.conn {
+                if let Some((session, conn)) = stack.session_conn(h) {
+                    session.unsubscribe(conn, sub_id);
+                }
+            }
+        }
+    }
+
+    /// Issues an upstream fetch for `track` on uplink `id`, remembering
+    /// the downstream `(session, request)` waiting on it. Returns false
+    /// when no connection could be established (the caller should reject
+    /// the downstream fetch).
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stack: &mut MoqtStack,
+        id: UplinkId,
+        track: FullTrackName,
+        start_group: u64,
+        end_group: u64,
+        downstream: (u64, u64),
+    ) -> bool {
+        let Some(h) = self.ensure_conn(ctx, stack, id) else {
+            return false;
+        };
+        let Some((session, conn)) = stack.session_conn(h) else {
+            return false;
+        };
+        let fid = session.fetch(conn, track.clone(), start_group, end_group);
+        self.links[id]
+            .fetches
+            .insert(fid, (track, downstream.0, downstream.1));
+        true
+    }
+
+    /// The session on uplink `id` became ready: replays queued
+    /// subscriptions.
+    pub fn on_session_ready(&mut self, ctx: &mut Ctx<'_>, stack: &mut MoqtStack, id: UplinkId) {
+        let Some(link) = self.links.get_mut(id) else {
+            return;
+        };
+        let queued = std::mem::take(&mut link.queued);
+        for track in queued {
+            self.subscribe(ctx, stack, id, track);
+        }
+    }
+
+    /// The connection on uplink `id` closed: forgets it and every
+    /// subscription/fetch riding it. Returns the downstream fetches that
+    /// were in flight (the owning node rejects them); the tracks
+    /// themselves are re-routed by `RelayCore::on_uplink_closed`, whose
+    /// `SubscribeUpstream` actions land back here and redial.
+    pub fn on_closed(&mut self, id: UplinkId) -> Vec<PendingFetch> {
+        let Some(link) = self.links.get_mut(id) else {
+            return Vec::new();
+        };
+        link.conn = None;
+        link.subs.clear();
+        link.by_track.clear();
+        link.queued.clear();
+        link.fetches.drain().map(|(_, f)| f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moqdns_netsim::NodeId;
+
+    fn addr(i: usize) -> Addr {
+        Addr::new(NodeId::from_index(i), MOQT_PORT)
+    }
+
+    #[test]
+    fn classify_and_counts_empty() {
+        let up = Uplinks::new(vec![addr(1), addr(2)]);
+        assert_eq!(up.len(), 2);
+        assert!(!up.is_empty());
+        assert_eq!(up.total_subs(), 0);
+        assert_eq!(up.sub_count(0), 0);
+        assert_eq!(up.classify(moqdns_quic::ConnHandle(77)), None);
+    }
+
+    #[test]
+    fn on_closed_clears_and_returns_fetches() {
+        let mut up = Uplinks::new(vec![addr(1)]);
+        let t = FullTrackName::new(vec![vec![1]], vec![2]).unwrap();
+        up.links[0].fetches.insert(9, (t.clone(), 5, 6));
+        up.links[0].subs.insert(1, t.clone());
+        up.links[0].by_track.insert(t, 1);
+        let pending = up.on_closed(0);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].1, 5);
+        assert_eq!(up.total_subs(), 0);
+        assert!(up.links[0].conn.is_none());
+    }
+}

@@ -149,7 +149,7 @@ impl Name {
     ///
     /// The reader must be positioned inside the full message buffer so that
     /// pointers (absolute offsets) can be resolved; pointers must point
-    /// strictly backwards, and at most [`MAX_POINTER_JUMPS`] are followed.
+    /// strictly backwards, and at most `MAX_POINTER_JUMPS` (32) are followed.
     pub fn decode(r: &mut Reader<'_>) -> WireResult<Name> {
         let mut labels = Vec::new();
         let mut jumps = 0usize;

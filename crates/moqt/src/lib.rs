@@ -31,6 +31,9 @@ pub mod session;
 pub mod track;
 
 pub use message::ControlMessage;
+pub use relay::{
+    Failover, HashShard, RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent, UplinkId,
+};
 pub use session::{Session, SessionConfig, SessionEvent};
 pub use track::FullTrackName;
 

@@ -1,4 +1,5 @@
-//! Relay core: subscription aggregation and object caching.
+//! Relay core: subscription aggregation, object caching, and
+//! topology-aware upstream routing.
 //!
 //! Paper §3: "Relays are MoQT endpoints that do not publish or consume
 //! media but forward and route objects from publishers to subscribers.
@@ -7,12 +8,33 @@
 //! payload."
 //!
 //! [`RelayCore`] is the pure logic of such a relay: it maps downstream
-//! subscriptions onto (at most) one upstream subscription per track, caches
-//! objects by `(track, group, object)` identity, and computes fan-out
-//! lists. It never parses payloads — there is no DNS dependency in this
-//! crate at all, which *proves* payload agnosticism at the type level.
-//! The surrounding node (in `moqdns-core`) owns the actual sessions and
-//! executes the actions this core emits.
+//! subscriptions onto (at most) one upstream subscription per track,
+//! caches objects by `(track, group, object)` identity, and computes
+//! fan-out lists. It never parses payloads — there is no DNS dependency in
+//! this crate at all, which *proves* payload agnosticism at the type
+//! level. The surrounding node (in `moqdns-core`) owns the actual sessions
+//! and executes the actions this core emits.
+//!
+//! ## Routing
+//!
+//! The paper's §5.3 scenarios assume distribution paths of several relays
+//! ("involving 5 MoQ relays on average"), so a relay is not limited to one
+//! upstream parent: it holds an ordered set of *uplinks* and a
+//! [`RoutePolicy`] that picks, per track, which uplink serves the upstream
+//! subscription. The policy only ever sees the track identity and the
+//! current uplink health — never payloads — so routing stays
+//! payload-agnostic too. Three policies cover the §5.3 topologies:
+//!
+//! * [`StaticParent`] — the classic single-parent chain (uplink 0 always);
+//! * [`HashShard`] — deterministic track-hash sharding across K parents,
+//!   spreading distinct tracks over a multi-relay mesh;
+//! * [`Failover`] — primary-first with fail-over to the next healthy
+//!   uplink when the upstream connection closes.
+//!
+//! Every [`RelayAction::SubscribeUpstream`] carries the chosen
+//! [`UplinkId`]; when an uplink dies the owning node reports it via
+//! [`RelayCore::on_uplink_closed`] and executes the re-subscribe actions
+//! the core emits (the re-route is where fail-over actually happens).
 
 use crate::data::Object;
 use crate::track::FullTrackName;
@@ -22,14 +44,161 @@ use std::collections::{BTreeMap, HashMap};
 /// Identifies one downstream session at the owning node.
 pub type SessionKey = u64;
 
+/// Index of one upstream parent in the relay's ordered uplink set.
+pub type UplinkId = usize;
+
+/// Liveness of each uplink, as reported by the owning node.
+///
+/// The core marks an uplink down in [`RelayCore::on_uplink_closed`] and up
+/// again in [`RelayCore::on_uplink_up`]; policies consult this view when
+/// choosing where a track's upstream subscription should live.
+#[derive(Debug, Clone)]
+pub struct UplinkHealth {
+    up: Vec<bool>,
+}
+
+impl UplinkHealth {
+    /// All `n` uplinks start healthy.
+    pub fn new(n: usize) -> UplinkHealth {
+        UplinkHealth { up: vec![true; n] }
+    }
+
+    /// Number of configured uplinks.
+    pub fn len(&self) -> usize {
+        self.up.len()
+    }
+
+    /// True when no uplinks are configured.
+    pub fn is_empty(&self) -> bool {
+        self.up.is_empty()
+    }
+
+    /// Whether uplink `i` is currently believed healthy.
+    pub fn is_up(&self, i: UplinkId) -> bool {
+        self.up.get(i).copied().unwrap_or(false)
+    }
+
+    fn set(&mut self, i: UplinkId, up: bool) {
+        if let Some(slot) = self.up.get_mut(i) {
+            *slot = up;
+        }
+    }
+
+    /// First healthy uplink in index order, if any.
+    pub fn first_up(&self) -> Option<UplinkId> {
+        self.up.iter().position(|&u| u)
+    }
+}
+
+/// Per-track upstream selection. Implementations must be deterministic:
+/// the same track and the same health view always yield the same uplink,
+/// so a simulation replays identically from its seed.
+pub trait RoutePolicy: std::fmt::Debug {
+    /// Chooses the uplink that should carry `track`'s upstream
+    /// subscription. `None` means no uplink can serve it (e.g. zero
+    /// uplinks configured).
+    fn route(&self, track: &FullTrackName, health: &UplinkHealth) -> Option<UplinkId>;
+
+    /// Short label for stats tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The classic single-parent chain: every track routes to uplink 0, even
+/// when it is marked down (routing to a down uplink makes the owning node
+/// redial it — the reconnect semantics a single-parent relay needs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticParent;
+
+impl RoutePolicy for StaticParent {
+    fn route(&self, _track: &FullTrackName, health: &UplinkHealth) -> Option<UplinkId> {
+        (!health.is_empty()).then_some(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Deterministic track-hash sharding across K uplinks: a track's home
+/// shard is `track_hash % K`; when the home shard is down the policy walks
+/// the ring to the next healthy uplink, and when everything is down it
+/// returns the home shard (forcing a redial there).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashShard;
+
+impl RoutePolicy for HashShard {
+    fn route(&self, track: &FullTrackName, health: &UplinkHealth) -> Option<UplinkId> {
+        let k = health.len();
+        if k == 0 {
+            return None;
+        }
+        let home = (track_hash(track) % k as u64) as usize;
+        for step in 0..k {
+            let cand = (home + step) % k;
+            if health.is_up(cand) {
+                return Some(cand);
+            }
+        }
+        Some(home)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash-shard"
+    }
+}
+
+/// Primary-first with fail-over: tracks ride the lowest-index healthy
+/// uplink; when the primary's connection closes everything re-routes to
+/// the next healthy one. With all uplinks down it falls back to uplink 0.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Failover;
+
+impl RoutePolicy for Failover {
+    fn route(&self, _track: &FullTrackName, health: &UplinkHealth) -> Option<UplinkId> {
+        if health.is_empty() {
+            return None;
+        }
+        Some(health.first_up().unwrap_or(0))
+    }
+
+    fn name(&self) -> &'static str {
+        "failover"
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of a track identity (namespace tuple +
+/// name, length-delimited so distinct tuples never collide by
+/// concatenation). Independent of process, seed, and run — the property
+/// the sharding determinism tests pin down.
+pub fn track_hash(track: &FullTrackName) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = OFFSET;
+    for part in &track.namespace {
+        h = eat(h, &(part.len() as u64).to_le_bytes());
+        h = eat(h, part);
+    }
+    h = eat(h, &(track.name.len() as u64).to_le_bytes());
+    eat(h, &track.name)
+}
+
 /// What the owning node must do after feeding the core an input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RelayAction {
-    /// Open (or reuse) the upstream session and subscribe to `track`;
-    /// associate the upstream subscription with `track`.
+    /// Open (or reuse) the upstream session on `uplink` and subscribe to
+    /// `track`; associate the upstream subscription with `track`.
     SubscribeUpstream {
         /// Track to subscribe to upstream.
         track: FullTrackName,
+        /// Which uplink the route policy chose.
+        uplink: UplinkId,
     },
     /// Accept the downstream subscription with our current largest version.
     AcceptDownstream {
@@ -60,11 +229,13 @@ pub enum RelayAction {
         /// Cached objects in range.
         objects: Vec<Object>,
     },
-    /// Cache miss: the node must fetch upstream and then call
+    /// Cache miss: the node must fetch on `uplink` and then call
     /// [`RelayCore::on_upstream_fetch_result`].
     FetchUpstream {
         /// Track to fetch.
         track: FullTrackName,
+        /// Which uplink to fetch from.
+        uplink: UplinkId,
         /// Downstream session waiting.
         session: SessionKey,
         /// Downstream fetch request id waiting.
@@ -78,6 +249,8 @@ pub enum RelayAction {
     UnsubscribeUpstream {
         /// Track to drop.
         track: FullTrackName,
+        /// Uplink that carried the subscription.
+        uplink: UplinkId,
     },
 }
 
@@ -86,8 +259,9 @@ pub enum RelayAction {
 struct TrackState {
     /// Downstream subscribers: (session, request_id).
     subscribers: Vec<(SessionKey, u64)>,
-    /// Whether an upstream subscription exists (or is being set up).
-    upstream_active: bool,
+    /// Uplink carrying the upstream subscription, when one exists (or is
+    /// being set up).
+    upstream: Option<UplinkId>,
     /// Object cache: (group, object) -> payload handle. BTreeMap gives
     /// range queries for fetches; storing [`Payload`] means caching an
     /// object shares the publisher's bytes instead of copying them.
@@ -100,12 +274,13 @@ impl TrackState {
     }
 }
 
-/// Counters for relay effectiveness (ablation A3).
+/// Counters for relay effectiveness (ablation A3, §3 aggregation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RelayStats {
     /// Downstream subscription requests seen.
     pub downstream_subscribes: u64,
-    /// Upstream subscriptions opened.
+    /// Upstream subscriptions opened (including re-subscribes after an
+    /// uplink loss).
     pub upstream_subscribes: u64,
     /// Objects forwarded downstream.
     pub objects_forwarded: u64,
@@ -113,24 +288,40 @@ pub struct RelayStats {
     pub fetch_cache_hits: u64,
     /// Fetches requiring an upstream fetch.
     pub fetch_cache_misses: u64,
+    /// Tracks moved to a *different* uplink after their uplink closed.
+    pub reroutes: u64,
 }
 
 /// The relay's track/subscription/cache bookkeeping.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RelayCore {
     tracks: HashMap<FullTrackName, TrackState>,
     /// Cap on cached objects per track (oldest groups evicted first).
     cache_per_track: usize,
+    policy: Box<dyn RoutePolicy>,
+    health: UplinkHealth,
     stats: RelayStats,
 }
 
 impl RelayCore {
-    /// Creates a relay core caching up to `cache_per_track` objects per
-    /// track (0 = unlimited).
+    /// Creates a single-uplink relay core caching up to `cache_per_track`
+    /// objects per track (0 = unlimited) — the classic single-parent chain.
     pub fn new(cache_per_track: usize) -> RelayCore {
+        RelayCore::with_policy(cache_per_track, 1, Box::new(StaticParent))
+    }
+
+    /// Creates a relay core routing across `n_uplinks` upstream parents
+    /// according to `policy`.
+    pub fn with_policy(
+        cache_per_track: usize,
+        n_uplinks: usize,
+        policy: Box<dyn RoutePolicy>,
+    ) -> RelayCore {
         RelayCore {
             tracks: HashMap::new(),
             cache_per_track,
+            policy,
+            health: UplinkHealth::new(n_uplinks),
             stats: RelayStats::default(),
         }
     }
@@ -138,6 +329,16 @@ impl RelayCore {
     /// Relay effectiveness counters.
     pub fn stats(&self) -> RelayStats {
         self.stats
+    }
+
+    /// The route policy's label (for stats tables).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current uplink health view.
+    pub fn health(&self) -> &UplinkHealth {
+        &self.health
     }
 
     /// Number of tracks with any state.
@@ -150,10 +351,18 @@ impl RelayCore {
         self.tracks.values().map(|t| t.subscribers.len()).sum()
     }
 
+    /// Number of live upstream subscriptions.
+    pub fn upstream_count(&self) -> usize {
+        self.tracks
+            .values()
+            .filter(|t| t.upstream.is_some())
+            .count()
+    }
+
     /// Upstream aggregation factor: downstream subs per upstream sub
     /// (the relay's whole point — N downstream cost 1 upstream).
     pub fn aggregation_factor(&self) -> f64 {
-        let up = self.tracks.values().filter(|t| t.upstream_active).count();
+        let up = self.upstream_count();
         if up == 0 {
             0.0
         } else {
@@ -176,10 +385,12 @@ impl RelayCore {
             request_id,
             largest: st.largest(),
         }];
-        if !st.upstream_active {
-            st.upstream_active = true;
-            self.stats.upstream_subscribes += 1;
-            actions.insert(0, RelayAction::SubscribeUpstream { track });
+        if st.upstream.is_none() {
+            if let Some(uplink) = self.policy.route(&track, &self.health) {
+                st.upstream = Some(uplink);
+                self.stats.upstream_subscribes += 1;
+                actions.insert(0, RelayAction::SubscribeUpstream { track, uplink });
+            }
         }
         actions
     }
@@ -194,11 +405,13 @@ impl RelayCore {
         for (track, st) in self.tracks.iter_mut() {
             st.subscribers
                 .retain(|&(s, r)| !(s == session && r == request_id));
-            if st.subscribers.is_empty() && st.upstream_active {
-                st.upstream_active = false;
-                actions.push(RelayAction::UnsubscribeUpstream {
-                    track: track.clone(),
-                });
+            if st.subscribers.is_empty() {
+                if let Some(uplink) = st.upstream.take() {
+                    actions.push(RelayAction::UnsubscribeUpstream {
+                        track: track.clone(),
+                        uplink,
+                    });
+                }
             }
         }
         actions
@@ -209,14 +422,56 @@ impl RelayCore {
         let mut actions = Vec::new();
         for (track, st) in self.tracks.iter_mut() {
             st.subscribers.retain(|&(s, _)| s != session);
-            if st.subscribers.is_empty() && st.upstream_active {
-                st.upstream_active = false;
-                actions.push(RelayAction::UnsubscribeUpstream {
-                    track: track.clone(),
-                });
+            if st.subscribers.is_empty() {
+                if let Some(uplink) = st.upstream.take() {
+                    actions.push(RelayAction::UnsubscribeUpstream {
+                        track: track.clone(),
+                        uplink,
+                    });
+                }
             }
         }
         actions
+    }
+
+    /// The connection behind `uplink` closed. Marks it down and re-routes
+    /// every track whose upstream subscription lived there: each gets a
+    /// fresh [`RelayAction::SubscribeUpstream`] on the uplink the policy
+    /// now picks (possibly the same one — that makes the node redial).
+    pub fn on_uplink_closed(&mut self, uplink: UplinkId) -> Vec<RelayAction> {
+        self.health.set(uplink, false);
+        let mut actions = Vec::new();
+        for (track, st) in self.tracks.iter_mut() {
+            if st.upstream != Some(uplink) {
+                continue;
+            }
+            if st.subscribers.is_empty() {
+                st.upstream = None;
+                continue;
+            }
+            match self.policy.route(track, &self.health) {
+                Some(new) => {
+                    if new != uplink {
+                        self.stats.reroutes += 1;
+                    }
+                    self.stats.upstream_subscribes += 1;
+                    st.upstream = Some(new);
+                    actions.push(RelayAction::SubscribeUpstream {
+                        track: track.clone(),
+                        uplink: new,
+                    });
+                }
+                None => st.upstream = None,
+            }
+        }
+        actions
+    }
+
+    /// A connection to `uplink` is live again: mark it healthy. Existing
+    /// subscriptions stay where they are (no rebalancing churn); only new
+    /// routes see the recovered uplink.
+    pub fn on_uplink_up(&mut self, uplink: UplinkId) {
+        self.health.set(uplink, true);
     }
 
     /// An object arrived from upstream on `track`: cache + fan out.
@@ -253,7 +508,8 @@ impl RelayCore {
     }
 
     /// A downstream fetch for groups `[start_group, end_group]` of `track`.
-    /// Served from cache when the range is present; otherwise escalated.
+    /// Served from cache when the range is present; otherwise escalated on
+    /// the track's current uplink (or the policy's pick for it).
     pub fn on_downstream_fetch(
         &mut self,
         session: SessionKey,
@@ -282,8 +538,13 @@ impl RelayCore {
             }]
         } else {
             self.stats.fetch_cache_misses += 1;
+            let uplink = st
+                .upstream
+                .or_else(|| self.policy.route(&track, &self.health))
+                .unwrap_or(0);
             vec![RelayAction::FetchUpstream {
                 track,
+                uplink,
                 session,
                 request_id,
                 start_group,
@@ -338,7 +599,10 @@ mod tests {
         let mut r = RelayCore::new(0);
         let a = r.on_downstream_subscribe(1, 2, track(1));
         assert_eq!(a.len(), 2);
-        assert!(matches!(a[0], RelayAction::SubscribeUpstream { .. }));
+        assert!(matches!(
+            a[0],
+            RelayAction::SubscribeUpstream { uplink: 0, .. }
+        ));
         assert!(matches!(
             a[1],
             RelayAction::AcceptDownstream { largest: None, .. }
@@ -419,7 +683,7 @@ mod tests {
     fn fetch_miss_escalates_upstream_then_serves() {
         let mut r = RelayCore::new(0);
         let a = r.on_downstream_fetch(2, 8, track(1), 5, 5);
-        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+        assert!(matches!(a[0], RelayAction::FetchUpstream { uplink: 0, .. }));
         assert_eq!(r.stats().fetch_cache_misses, 1);
         let a = r.on_upstream_fetch_result(&track(1), 2, 8, vec![obj(5, b"v5")]);
         match &a[0] {
@@ -439,6 +703,7 @@ mod tests {
         assert!(r.on_downstream_unsubscribe(1, 2).is_empty());
         let a = r.on_downstream_unsubscribe(2, 4);
         assert!(matches!(a[0], RelayAction::UnsubscribeUpstream { .. }));
+        assert_eq!(r.upstream_count(), 0);
     }
 
     #[test]
@@ -452,7 +717,7 @@ mod tests {
         assert_eq!(a.len(), 1);
         assert!(matches!(
             &a[0],
-            RelayAction::UnsubscribeUpstream { track: t } if *t == track(2)
+            RelayAction::UnsubscribeUpstream { track: t, .. } if *t == track(2)
         ));
         assert_eq!(r.subscriber_count(), 1);
     }
@@ -521,5 +786,114 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    // ---- routing ----
+
+    fn subscribed_uplink(actions: &[RelayAction]) -> Option<UplinkId> {
+        actions.iter().find_map(|a| match a {
+            RelayAction::SubscribeUpstream { uplink, .. } => Some(*uplink),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn hash_shard_spreads_tracks_across_uplinks() {
+        let mut r = RelayCore::with_policy(0, 4, Box::new(HashShard));
+        let mut used = [false; 4];
+        for t in 0..32u8 {
+            let a = r.on_downstream_subscribe(t as u64, 2, track(t));
+            let u = subscribed_uplink(&a).expect("routed");
+            assert!(u < 4);
+            used[u] = true;
+        }
+        // 32 distinct tracks over 4 shards: every shard sees traffic.
+        assert!(used.iter().all(|&u| u), "all shards used: {used:?}");
+    }
+
+    #[test]
+    fn hash_shard_same_track_same_uplink() {
+        let route = |r: &mut RelayCore, t: u8| {
+            let a = r.on_downstream_subscribe(t as u64, 2, track(t));
+            subscribed_uplink(&a).unwrap()
+        };
+        let mut r1 = RelayCore::with_policy(0, 3, Box::new(HashShard));
+        let mut r2 = RelayCore::with_policy(0, 3, Box::new(HashShard));
+        for t in 0..16u8 {
+            assert_eq!(route(&mut r1, t), route(&mut r2, t), "track {t}");
+        }
+    }
+
+    #[test]
+    fn failover_moves_tracks_to_surviving_uplink() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(Failover));
+        let a = r.on_downstream_subscribe(1, 2, track(1));
+        assert_eq!(subscribed_uplink(&a), Some(0), "primary first");
+        let a = r.on_uplink_closed(0);
+        assert_eq!(a.len(), 1, "one re-subscribe per affected track");
+        assert_eq!(subscribed_uplink(&a), Some(1), "failed over");
+        assert_eq!(r.stats().reroutes, 1);
+        // Upstream objects keep flowing to the same downstream set.
+        let acts = r.on_upstream_object(&track(1), obj(3, b"x"));
+        assert_eq!(acts.len(), 1);
+    }
+
+    #[test]
+    fn failover_back_pressure_when_all_down() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(Failover));
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_uplink_closed(0);
+        let a = r.on_uplink_closed(1);
+        // Everything down: policy falls back to uplink 0 (redial).
+        assert_eq!(subscribed_uplink(&a), Some(0));
+        // Recovery marks it healthy again for future routes.
+        r.on_uplink_up(1);
+        assert!(r.health().is_up(1));
+    }
+
+    #[test]
+    fn static_parent_redials_same_uplink() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_subscribe(1, 2, track(1));
+        let a = r.on_uplink_closed(0);
+        // Single parent: re-subscribe on uplink 0 (the node reconnects).
+        assert_eq!(subscribed_uplink(&a), Some(0));
+        assert_eq!(r.stats().reroutes, 0, "same uplink is not a reroute");
+    }
+
+    #[test]
+    fn uplink_close_skips_subscriberless_tracks() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(Failover));
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_downstream_unsubscribe(1, 2);
+        // Cache/track state may remain, but nothing re-subscribes.
+        assert!(r.on_uplink_closed(0).is_empty());
+    }
+
+    #[test]
+    fn hash_shard_walks_ring_past_down_uplink() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(HashShard));
+        // Find a track whose home shard is 0.
+        let t_home0 = (0..64u8)
+            .find(|&t| track_hash(&track(t)).is_multiple_of(2))
+            .expect("some track hashes to shard 0");
+        let a = r.on_downstream_subscribe(1, 2, track(t_home0));
+        assert_eq!(subscribed_uplink(&a), Some(0));
+        let a = r.on_uplink_closed(0);
+        assert_eq!(subscribed_uplink(&a), Some(1), "ring walk to healthy");
+    }
+
+    #[test]
+    fn track_hash_is_stable() {
+        // Pin the hash so accidental algorithm changes (which would
+        // re-shard every deployed track) fail loudly.
+        let t = FullTrackName::new(vec![b"ns".to_vec()], b"name".to_vec()).unwrap();
+        assert_eq!(track_hash(&t), track_hash(&t));
+        let t2 = FullTrackName::new(vec![b"ns2".to_vec()], b"name".to_vec()).unwrap();
+        assert_ne!(track_hash(&t), track_hash(&t2));
+        // Length-delimited: ["ab","c"] and ["a","bc"] must differ.
+        let ab_c = FullTrackName::new(vec![b"ab".to_vec(), b"c".to_vec()], vec![]).unwrap();
+        let a_bc = FullTrackName::new(vec![b"a".to_vec(), b"bc".to_vec()], vec![]).unwrap();
+        assert_ne!(track_hash(&ab_c), track_hash(&a_bc));
     }
 }

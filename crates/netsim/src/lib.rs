@@ -13,7 +13,10 @@
 //!   ([`LinkConfig`]: propagation delay, jitter, random loss, serialization
 //!   rate, MTU);
 //! * per-directed-pair traffic accounting ([`TrafficStats`]) used by the
-//!   update-traffic experiments.
+//!   update-traffic experiments;
+//! * declarative tiered topologies ([`topo`]): k-ary relay trees and
+//!   multi-parent meshes with per-tier link configs, built once and
+//!   reused by every experiment binary.
 //!
 //! The design follows the event-driven idiom of stacks like smoltcp: nodes
 //! are polled with events (`on_datagram`, `on_timer`) and react by calling
@@ -24,9 +27,11 @@ pub mod node;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod topo;
 
 pub use link::LinkConfig;
 pub use node::{Addr, Ctx, Node, NodeId};
 pub use sim::Simulator;
 pub use stats::{LinkStats, TrafficStats};
 pub use time::SimTime;
+pub use topo::{TopoBuilder, Topology};

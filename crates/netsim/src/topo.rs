@@ -1,0 +1,361 @@
+//! Declarative topology construction: k-ary relay trees and multi-region
+//! meshes with per-tier link configurations.
+//!
+//! Experiment binaries used to hand-wire every node and link; this module
+//! turns a topology into data. A [`TopoBuilder`] describes tiers — node
+//! count, how many parents each node attaches to in the tier above, and
+//! the [`LinkConfig`] of those attachments — and [`TopoBuilder::build`]
+//! instantiates it against a [`Simulator`], calling a caller-supplied
+//! factory for each node (the simulator neither knows nor cares what the
+//! nodes *are*; protocol crates layer meaning on top). The result is a
+//! [`Topology`] handle that remembers tiers, parent sets, and edges so
+//! tests can iterate `edges()` and assert per-link traffic invariants
+//! (e.g. the §3 one-copy-per-link aggregation claim).
+//!
+//! Parent assignment is deterministic: child `j` of a tier with `M`
+//! parents above it attaches to `j % M`, `(j/M + j) % M`… — fixed
+//! round-robin, so identical specs always produce identical wiring and a
+//! seeded simulation replays bit-identically.
+//!
+//! ```
+//! use moqdns_netsim::{topo::TopoBuilder, LinkConfig, Simulator, Node, Ctx, Addr};
+//! use std::any::Any;
+//! use std::time::Duration;
+//!
+//! struct Silent;
+//! impl Node for Silent {
+//!     fn on_datagram(&mut self, _: &mut Ctx<'_>, _: Addr, _: u16, _: Vec<u8>) {}
+//!     fn as_any(&mut self) -> &mut dyn Any { self }
+//!     fn as_any_ref(&self) -> &dyn Any { self }
+//! }
+//!
+//! let mut sim = Simulator::new(1);
+//! // 1 root, 2 mid relays, 4 leaves: a binary tree.
+//! let topo = TopoBuilder::new()
+//!     .tier("root", 1, 0, LinkConfig::instant())
+//!     .tier("mid", 2, 1, LinkConfig::with_delay(Duration::from_millis(10)))
+//!     .tier("leaf", 4, 1, LinkConfig::with_delay(Duration::from_millis(5)))
+//!     .build(&mut sim, |sim, ctx| sim.add_node(ctx.name.clone(), Box::new(Silent)));
+//! assert_eq!(topo.tier_named("mid").len(), 2);
+//! assert_eq!(topo.edges().count(), 2 + 4);
+//! let leaf = topo.tier_named("leaf")[3];
+//! assert_eq!(topo.parents_of(leaf), &[topo.tier_named("mid")[1]]);
+//! ```
+
+use crate::link::LinkConfig;
+use crate::node::NodeId;
+use crate::sim::Simulator;
+use std::collections::HashMap;
+
+/// One tier of the topology.
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// Label ("root", "tier1", "edge", …).
+    pub name: String,
+    /// Number of nodes at this tier.
+    pub count: usize,
+    /// How many parents in the tier above each node attaches to
+    /// (0 for the top tier; >1 builds a mesh for sharding/failover).
+    pub parents_per_node: usize,
+    /// Link configuration applied in both directions between a node and
+    /// each of its parents.
+    pub link: LinkConfig,
+}
+
+/// Context handed to the node factory for each node being created.
+#[derive(Debug)]
+pub struct TopoCtx<'a> {
+    /// Tier index (0 = top).
+    pub tier: usize,
+    /// Tier label.
+    pub tier_name: &'a str,
+    /// Index of this node within its tier.
+    pub index: usize,
+    /// Parents this node attaches to (already created, in preference
+    /// order: `parents[0]` is the primary).
+    pub parents: &'a [NodeId],
+    /// Suggested simulator node name (`"<tier><index>"`).
+    pub name: String,
+}
+
+/// Declarative builder for tiered topologies.
+#[derive(Debug, Default)]
+pub struct TopoBuilder {
+    tiers: Vec<TierSpec>,
+}
+
+impl TopoBuilder {
+    /// An empty topology.
+    pub fn new() -> TopoBuilder {
+        TopoBuilder::default()
+    }
+
+    /// Appends a tier below the previously added ones.
+    pub fn tier(
+        mut self,
+        name: impl Into<String>,
+        count: usize,
+        parents_per_node: usize,
+        link: LinkConfig,
+    ) -> TopoBuilder {
+        self.tiers.push(TierSpec {
+            name: name.into(),
+            count,
+            parents_per_node,
+            link,
+        });
+        self
+    }
+
+    /// Convenience: a k-ary tree — one root, then each subsequent tier
+    /// multiplies the node count by its fan-out, every node attaching to
+    /// exactly one parent over `link`. `fanouts = [2, 4]` gives
+    /// 1 root → 2 mid → 8 leaves.
+    pub fn k_ary(root_name: impl Into<String>, fanouts: &[usize], link: LinkConfig) -> TopoBuilder {
+        let mut b = TopoBuilder::new().tier(root_name, 1, 0, link);
+        let mut count = 1;
+        for (i, f) in fanouts.iter().enumerate() {
+            count *= f;
+            b = b.tier(format!("tier{}", i + 1), count, 1, link);
+        }
+        b
+    }
+
+    /// Instantiates the topology: calls `factory` once per node
+    /// (top tier first, then tier by tier, index order within a tier) and
+    /// wires each node to its parents with the tier's link config.
+    ///
+    /// The factory receives a [`TopoCtx`] naming the node's tier, index,
+    /// and parents, and must add exactly one node to `sim` and return its
+    /// id.
+    pub fn build(
+        self,
+        sim: &mut Simulator,
+        mut factory: impl FnMut(&mut Simulator, &TopoCtx<'_>) -> NodeId,
+    ) -> Topology {
+        let mut tiers: Vec<(String, Vec<NodeId>)> = Vec::with_capacity(self.tiers.len());
+        let mut parents_map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (ti, spec) in self.tiers.iter().enumerate() {
+            let above: &[NodeId] = if ti == 0 { &[] } else { &tiers[ti - 1].1 };
+            let mut ids = Vec::with_capacity(spec.count);
+            for j in 0..spec.count {
+                let parents = assign_parents(j, spec.parents_per_node, above);
+                let ctx = TopoCtx {
+                    tier: ti,
+                    tier_name: &spec.name,
+                    index: j,
+                    parents: &parents,
+                    name: format!("{}{}", spec.name, j),
+                };
+                let id = factory(sim, &ctx);
+                for &p in &parents {
+                    sim.set_link(id, p, spec.link);
+                }
+                parents_map.insert(id, parents);
+                ids.push(id);
+            }
+            tiers.push((spec.name.clone(), ids));
+        }
+        Topology {
+            tiers,
+            parents: parents_map,
+        }
+    }
+}
+
+/// Deterministic parent pick: primary is round-robin (`j % M`), extra
+/// parents walk forward from the primary, never repeating.
+fn assign_parents(j: usize, want: usize, above: &[NodeId]) -> Vec<NodeId> {
+    let m = above.len();
+    if m == 0 || want == 0 {
+        return Vec::new();
+    }
+    let take = want.min(m);
+    (0..take).map(|s| above[(j + s) % m]).collect()
+}
+
+/// The built topology: tier membership, parent sets, and edges.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    tiers: Vec<(String, Vec<NodeId>)>,
+    parents: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Number of tiers.
+    pub fn depth(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.tiers.iter().map(|(_, t)| t.len()).sum()
+    }
+
+    /// Nodes at tier `i` (0 = top).
+    pub fn tier(&self, i: usize) -> &[NodeId] {
+        &self.tiers[i].1
+    }
+
+    /// Nodes of the tier labelled `name` (empty slice when absent).
+    pub fn tier_named(&self, name: &str) -> &[NodeId] {
+        self.tiers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The parents of `node`, primary first.
+    pub fn parents_of(&self, node: NodeId) -> &[NodeId] {
+        self.parents.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The primary (first) parent of `node`.
+    pub fn primary_parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parents_of(node).first().copied()
+    }
+
+    /// Every (parent, child) attachment in the topology, top-down.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.tiers.iter().flat_map(move |(_, tier)| {
+            tier.iter()
+                .flat_map(move |&child| self.parents_of(child).iter().map(move |&p| (p, child)))
+        })
+    }
+
+    /// Every *primary* (parent, child) edge — the distribution tree used
+    /// by single-parent routing even when extra failover parents exist.
+    pub fn primary_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.tiers.iter().flat_map(move |(_, tier)| {
+            tier.iter()
+                .filter_map(move |&child| self.primary_parent(child).map(|p| (p, child)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Addr, Ctx, Node};
+    use std::any::Any;
+    use std::time::Duration;
+
+    struct Silent;
+    impl Node for Silent {
+        fn on_datagram(&mut self, _: &mut Ctx<'_>, _: Addr, _: u16, _: Vec<u8>) {}
+        fn as_any(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any_ref(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn silent(sim: &mut Simulator, ctx: &TopoCtx<'_>) -> NodeId {
+        sim.add_node(ctx.name.clone(), Box::new(Silent))
+    }
+
+    #[test]
+    fn three_tier_tree_shape() {
+        let mut sim = Simulator::new(1);
+        let topo = TopoBuilder::new()
+            .tier("auth", 1, 0, LinkConfig::instant())
+            .tier(
+                "tier1",
+                2,
+                1,
+                LinkConfig::with_delay(Duration::from_millis(10)),
+            )
+            .tier(
+                "edge",
+                4,
+                1,
+                LinkConfig::with_delay(Duration::from_millis(5)),
+            )
+            .build(&mut sim, silent);
+        assert_eq!(topo.depth(), 3);
+        assert_eq!(topo.node_count(), 7);
+        assert_eq!(topo.tier(0).len(), 1);
+        assert_eq!(topo.tier_named("edge").len(), 4);
+        assert!(topo.tier_named("nope").is_empty());
+        // Round-robin: edges 0,2 under tier1[0]; edges 1,3 under tier1[1].
+        let t1 = topo.tier_named("tier1");
+        let edge = topo.tier_named("edge");
+        assert_eq!(topo.primary_parent(edge[0]), Some(t1[0]));
+        assert_eq!(topo.primary_parent(edge[1]), Some(t1[1]));
+        assert_eq!(topo.primary_parent(edge[2]), Some(t1[0]));
+        assert_eq!(topo.primary_parent(edge[3]), Some(t1[1]));
+        // The root has no parents.
+        assert!(topo.parents_of(topo.tier(0)[0]).is_empty());
+        assert_eq!(topo.edges().count(), 6);
+        assert_eq!(topo.primary_edges().count(), 6);
+    }
+
+    #[test]
+    fn mesh_tier_gets_multiple_parents() {
+        let mut sim = Simulator::new(1);
+        let topo = TopoBuilder::new()
+            .tier("core", 3, 0, LinkConfig::instant())
+            .tier("edge", 4, 2, LinkConfig::instant())
+            .build(&mut sim, silent);
+        for &e in topo.tier_named("edge") {
+            let ps = topo.parents_of(e);
+            assert_eq!(ps.len(), 2);
+            assert_ne!(ps[0], ps[1], "distinct parents");
+        }
+        // parents_per_node is clamped to the tier-above size.
+        let mut sim2 = Simulator::new(1);
+        let topo2 = TopoBuilder::new()
+            .tier("core", 1, 0, LinkConfig::instant())
+            .tier("edge", 2, 5, LinkConfig::instant())
+            .build(&mut sim2, silent);
+        assert_eq!(topo2.parents_of(topo2.tier_named("edge")[0]).len(), 1);
+    }
+
+    #[test]
+    fn k_ary_convenience() {
+        let mut sim = Simulator::new(1);
+        let topo =
+            TopoBuilder::k_ary("root", &[2, 4], LinkConfig::instant()).build(&mut sim, silent);
+        assert_eq!(topo.tier(0).len(), 1);
+        assert_eq!(topo.tier(1).len(), 2);
+        assert_eq!(topo.tier(2).len(), 8);
+        // Every non-root node has exactly one parent.
+        assert_eq!(topo.edges().count(), 10);
+    }
+
+    #[test]
+    fn deterministic_wiring() {
+        let build = || {
+            let mut sim = Simulator::new(9);
+            let topo = TopoBuilder::new()
+                .tier("a", 2, 0, LinkConfig::instant())
+                .tier("b", 5, 2, LinkConfig::instant())
+                .build(&mut sim, silent);
+            topo.edges().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn factory_sees_context() {
+        let mut sim = Simulator::new(1);
+        let mut seen = Vec::new();
+        TopoBuilder::new()
+            .tier("x", 1, 0, LinkConfig::instant())
+            .tier("y", 2, 1, LinkConfig::instant())
+            .build(&mut sim, |sim, ctx| {
+                seen.push((ctx.tier, ctx.index, ctx.name.clone(), ctx.parents.len()));
+                sim.add_node(ctx.name.clone(), Box::new(Silent))
+            });
+        assert_eq!(
+            seen,
+            vec![
+                (0, 0, "x0".into(), 0),
+                (1, 0, "y0".into(), 1),
+                (1, 1, "y1".into(), 1),
+            ]
+        );
+    }
+}

@@ -1,5 +1,8 @@
 //! The §5.3 use-case parameter sets, with the paper's back-of-envelope
-//! arithmetic reproduced exactly (experiments E6–E8).
+//! arithmetic reproduced exactly (experiments E6–E8), plus
+//! [`TreeScenario`]: scaled-down versions of those worlds that run as
+//! *simulated* multi-relay distribution trees instead of closed-form
+//! arithmetic.
 
 use std::time::Duration;
 
@@ -142,9 +145,160 @@ impl DeepSpaceScenario {
     }
 }
 
+/// A scaled-down §5.3 world instantiated on a real 3-tier relay tree
+/// (auth → tier-1 relays → edge relays → stubs) inside `netsim`.
+///
+/// The paper's 5.5 Gbps DDNS estimate and 240 kbps CDN estimate both rest
+/// on one structural assumption: relays aggregate subscriptions, so an
+/// update crosses each tree link **once** no matter how many subscribers
+/// sit below it. This scenario type carries the tree shape and update
+/// schedule; `moqdns-bench` builds the matching simulation and checks the
+/// measured per-link traffic against [`TreeScenario::copies_per_link`]
+/// (always 1) and the fan-out arithmetic below.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeScenario {
+    /// Scenario label ("ddns-tree", "cdn-tree", …).
+    pub name: &'static str,
+    /// Tier-1 relays attached to the authoritative server.
+    pub tier1_relays: usize,
+    /// Edge relays attached to each tier-1 relay.
+    pub edges_per_tier1: usize,
+    /// Stub subscribers attached to each edge relay.
+    pub stubs_per_edge: usize,
+    /// Distinct records (tracks); every stub subscribes to all of them.
+    pub tracks: usize,
+    /// Updates pushed per track during the measured window.
+    pub updates_per_track: u64,
+    /// Gap between update rounds.
+    pub update_interval: Duration,
+    /// One-way delay of every tree link.
+    pub link_delay: Duration,
+}
+
+impl TreeScenario {
+    /// DDNS flavour (§5.3 first scenario, scaled down): few records with
+    /// a burst of address changes, fanned out through the tree.
+    pub fn ddns_tree() -> TreeScenario {
+        TreeScenario {
+            name: "ddns-tree",
+            tier1_relays: 2,
+            edges_per_tier1: 2,
+            stubs_per_edge: 16,
+            tracks: 2,
+            updates_per_track: 3,
+            update_interval: Duration::from_secs(5),
+            link_delay: Duration::from_millis(15),
+        }
+    }
+
+    /// CDN flavour (§5.3 second scenario, scaled down): more records on a
+    /// short-TTL update cadence.
+    pub fn cdn_tree() -> TreeScenario {
+        TreeScenario {
+            name: "cdn-tree",
+            tier1_relays: 2,
+            edges_per_tier1: 2,
+            stubs_per_edge: 8,
+            tracks: 8,
+            updates_per_track: 2,
+            update_interval: Duration::from_secs(10),
+            link_delay: Duration::from_millis(15),
+        }
+    }
+
+    /// A tiny variant for CI smoke runs.
+    pub fn smoke(self) -> TreeScenario {
+        TreeScenario {
+            stubs_per_edge: self.stubs_per_edge.min(2),
+            tracks: self.tracks.min(2),
+            updates_per_track: self.updates_per_track.min(2),
+            ..self
+        }
+    }
+
+    /// Total edge relays.
+    pub fn edge_relays(&self) -> usize {
+        self.tier1_relays * self.edges_per_tier1
+    }
+
+    /// Total relays across both tiers.
+    pub fn relay_count(&self) -> usize {
+        self.tier1_relays + self.edge_relays()
+    }
+
+    /// Total stub subscribers.
+    pub fn stub_count(&self) -> usize {
+        self.edge_relays() * self.stubs_per_edge
+    }
+
+    /// Updates pushed at the authoritative server over the whole run.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// §3 aggregation invariant: copies of one update crossing any single
+    /// upstream (auth→tier1 or tier1→edge) link. Relays aggregate, so
+    /// this is 1 — intermediate hops must not multiply delivered copies.
+    pub fn copies_per_link(&self) -> u64 {
+        1
+    }
+
+    /// Deliveries the run must produce: every stub sees every update of
+    /// every track exactly once.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.total_updates() * self.stub_count() as u64
+    }
+
+    /// Copies of one update a *naive* (relay-free) deployment would send
+    /// from the authoritative server: one per stub. The tree sends
+    /// [`TreeScenario::tier1_relays`] instead; the ratio is the paper's
+    /// aggregation saving at the origin.
+    pub fn origin_saving(&self) -> f64 {
+        self.stub_count() as f64 / self.tier1_relays as f64
+    }
+
+    /// Update objects any single tier-1 relay forwards over the run:
+    /// its share of the tracks' updates, one copy per attached edge relay.
+    pub fn tier1_forwards(&self) -> u64 {
+        self.total_updates() * self.edges_per_tier1 as u64
+    }
+
+    /// Update objects any single edge relay forwards over the run.
+    pub fn edge_forwards(&self) -> u64 {
+        self.total_updates() * self.stubs_per_edge as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tree_scenario_arithmetic() {
+        let s = TreeScenario::ddns_tree();
+        assert_eq!(s.edge_relays(), 4);
+        assert_eq!(s.relay_count(), 6);
+        assert_eq!(s.stub_count(), 64);
+        assert_eq!(s.total_updates(), 6);
+        assert_eq!(s.expected_deliveries(), 6 * 64);
+        assert_eq!(s.copies_per_link(), 1);
+        // Origin egress shrinks from 64 copies to 2 per update.
+        assert!((s.origin_saving() - 32.0).abs() < 1e-9);
+        // Per-relay forward arithmetic: each tier-1 serves 2 edges, each
+        // edge serves 16 stubs.
+        assert_eq!(s.tier1_forwards(), 12);
+        assert_eq!(s.edge_forwards(), 96);
+    }
+
+    #[test]
+    fn tree_scenario_smoke_shrinks() {
+        let s = TreeScenario::cdn_tree().smoke();
+        assert!(s.stub_count() <= 8);
+        assert!(s.total_updates() <= 4);
+        // Shape is preserved — only volume shrinks.
+        assert_eq!(s.tier1_relays, 2);
+        assert_eq!(s.edges_per_tier1, 2);
+    }
 
     #[test]
     fn ddns_matches_paper_5_5_gbps() {

@@ -34,7 +34,9 @@ struct Friend {
 impl Node for Friend {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let relay = self.relay.unwrap();
-        let h = self.stack.connect(ctx.now(), relay, false);
+        let Some(h) = self.stack.connect(ctx.now(), relay, false) else {
+            return;
+        };
         let track = track_from_question(&self.question, RequestFlags::iterative()).unwrap();
         if let Some((sess, conn)) = self.stack.session_conn(h) {
             sess.subscribe_with_joining_fetch(conn, track, 1);
