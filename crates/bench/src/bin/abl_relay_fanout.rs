@@ -8,7 +8,11 @@
 //!
 //! Topologies come from `netsim::topo` (auth → relay → subs) instead of
 //! hand-wired node lists.
+//!
+//! Run with `--smoke` for a scaled-down CI variant (fewer subscriber
+//! counts, fewer updates).
 
+use moqdns_bench::cli::BenchOpts;
 use moqdns_bench::report;
 use moqdns_bench::worlds::TreeStub;
 use moqdns_core::auth::AuthServer;
@@ -116,11 +120,13 @@ fn push_updates(b: &mut Built, n: u64) {
 }
 
 fn main() {
+    let opts = BenchOpts::from_args();
     report::heading("A3 / §3 — relay fan-out: aggregation and caching");
 
-    const UPDATES: u64 = 10;
+    let updates: u64 = if opts.smoke { 3 } else { 10 };
+    let sub_counts: &[usize] = if opts.smoke { &[1, 5] } else { &[1, 5, 20] };
     let mut t = Table::new(
-        format!("{UPDATES} updates to S subscribers: authoritative egress bytes"),
+        format!("{updates} updates to S subscribers: authoritative egress bytes"),
         &[
             "S",
             "direct: auth egress",
@@ -129,21 +135,21 @@ fn main() {
             "agg factor",
         ],
     );
-    for (i, s) in [1usize, 5, 20].iter().enumerate() {
+    for (i, s) in sub_counts.iter().enumerate() {
         // Direct.
         let mut direct = build(*s, false, 300 + i as u64);
-        push_updates(&mut direct, UPDATES);
+        push_updates(&mut direct, updates);
         let direct_egress = direct.sim.stats().bytes_out_of(direct.auth);
         let delivered: u64 = direct
             .subs
             .iter()
             .map(|n| direct.sim.node_ref::<TreeStub>(*n).updates)
             .sum();
-        assert_eq!(delivered, UPDATES * *s as u64, "direct delivery complete");
+        assert_eq!(delivered, updates * *s as u64, "direct delivery complete");
 
         // Via relay.
         let mut relayed = build(*s, true, 400 + i as u64);
-        push_updates(&mut relayed, UPDATES);
+        push_updates(&mut relayed, updates);
         let relay_id = relayed.relay.unwrap();
         let auth_egress = relayed.sim.stats().bytes_out_of(relayed.auth);
         let relay_egress = relayed.sim.stats().bytes_out_of(relay_id);
@@ -152,7 +158,7 @@ fn main() {
             .iter()
             .map(|n| relayed.sim.node_ref::<TreeStub>(*n).updates)
             .sum();
-        assert_eq!(delivered, UPDATES * *s as u64, "relayed delivery complete");
+        assert_eq!(delivered, updates * *s as u64, "relayed delivery complete");
         let agg = relayed
             .sim
             .node_ref::<RelayNode>(relay_id)

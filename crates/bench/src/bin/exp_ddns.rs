@@ -8,7 +8,13 @@
 //! `netsim::topo` — validating the per-update byte count and the relay
 //! fan-out the analytic model assumes. (The full 3-tier tree version
 //! lives in `exp_tree_scenario`.)
+//!
+//! Run with `--smoke` for a scaled-down CI variant and `--check` to emit
+//! the machine-readable invariant summary (`results/ci_ddns.json`) and
+//! exit nonzero on any violation.
 
+use moqdns_bench::cli::BenchOpts;
+use moqdns_bench::gate::InvariantGate;
 use moqdns_bench::report;
 use moqdns_bench::worlds::TreeStub;
 use moqdns_core::auth::AuthServer;
@@ -28,6 +34,8 @@ use std::net::Ipv4Addr;
 use std::time::Duration;
 
 fn main() {
+    let opts = BenchOpts::from_args();
+    let mut gate = InvariantGate::new("ddns", opts);
     report::heading("E6 / §5.3 — Dynamic DNS update traffic");
 
     // (a) The paper's arithmetic.
@@ -53,9 +61,9 @@ fn main() {
     ]);
     report::emit(&t, "exp_ddns_analytic");
 
-    // (b) Micro-simulation: 1 DDNS zone behind a relay, 20 interested
+    // (b) Micro-simulation: 1 DDNS zone behind a relay, S interested
     // subscribers, 2 updates.
-    const SUBS: usize = 20;
+    let subs_n: usize = if opts.smoke { 5 } else { 20 };
     let mut sim = Simulator::new(61);
     let link = LinkConfig::with_delay(Duration::from_millis(15));
     sim.set_default_link(link);
@@ -71,7 +79,7 @@ fn main() {
     let topo = TopoBuilder::new()
         .tier("ddns-auth", 1, 0, link)
         .tier("relay", 1, 1, link)
-        .tier("sub", SUBS, 1, link)
+        .tier("sub", subs_n, 1, link)
         .build(&mut sim, |sim, ctx| match ctx.tier_name {
             "ddns-auth" => sim.add_node(
                 ctx.name.clone(),
@@ -139,15 +147,15 @@ fn main() {
     let agg = sim.node_ref::<RelayNode>(relay).aggregation_factor();
 
     let mut t2 = Table::new(
-        format!("Micro-simulation: 1 DDNS record, 1 relay, {SUBS} subscribers, 2 updates"),
+        format!("Micro-simulation: 1 DDNS record, 1 relay, {subs_n} subscribers, 2 updates"),
         &["metric", "value"],
     );
     t2.push(&[
-        "updates delivered (expect 2 × 20 = 40)".to_string(),
+        format!("updates delivered (expect 2 × {subs_n} = {})", 2 * subs_n),
         delivered.to_string(),
     ]);
     t2.push(&[
-        "relay aggregation factor (expect 20)".to_string(),
+        format!("relay aggregation factor (expect {subs_n})"),
         format!("{agg:.0}"),
     ]);
     t2.push(&[
@@ -160,13 +168,22 @@ fn main() {
     ]);
     report::emit(&t2, "exp_ddns_sim");
 
-    assert_eq!(
-        delivered,
-        2 * SUBS as u64,
-        "every subscriber got both updates"
+    gate.check_eq("complete_delivery", 2 * subs_n as u64, delivered);
+    gate.check_true(
+        "relay_aggregates_to_one_upstream_sub",
+        (agg - subs_n as f64).abs() < 1e-9,
+        format!("aggregation factor {agg:.0}"),
     );
+    // Forwarded-copy accounting for the CI baseline diff: the relay turns
+    // one upstream copy per update into exactly one copy per subscriber.
+    let forwarded = sim.node_ref::<RelayNode>(relay).stats().objects_forwarded;
+    gate.check_eq("relay_forwarded_copies", 2 * subs_n as u64, forwarded);
+    gate.metric("deliveries", delivered);
+    gate.metric("relay_objects_forwarded", forwarded);
+    gate.metric("auth_to_relay_datagrams", auth_egress.delivered);
     println!(
-        "The relay turns 1 upstream update into {SUBS} downstream copies — the \
+        "The relay turns 1 upstream update into {subs_n} downstream copies — the \
          aggregation the paper's 5.5 Gbps estimate assumes."
     );
+    gate.finish();
 }

@@ -11,11 +11,17 @@
 //! 2. each auth→tier1 and tier1→edge link carries ONE copy of each
 //!    update (the §3 aggregation invariant — intermediate hops must not
 //!    multiply delivered copies),
-//! 3. killing a tier-1 relay mid-run re-routes its edge relays to the
+//! 3. the joining-fetch stampede at build time coalesces to one upstream
+//!    fetch per relay per track (the pending-fetch table at work),
+//! 4. killing a tier-1 relay mid-run re-routes its edge relays to the
 //!    surviving tier-1 (failover policy) without losing later updates.
 //!
-//! Run with `--smoke` for the tiny CI variant.
+//! Run with `--smoke` for the tiny CI variant and `--check` to emit the
+//! machine-readable invariant summary (`results/ci_tree.json`) and exit
+//! nonzero on any violation.
 
+use moqdns_bench::cli::BenchOpts;
+use moqdns_bench::gate::InvariantGate;
 use moqdns_bench::report;
 use moqdns_bench::worlds::{TreeStub, TreeWorld};
 use moqdns_core::relay_node::RelayNode;
@@ -24,34 +30,54 @@ use moqdns_workload::scenarios::TreeScenario;
 use std::time::Duration;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let opts = BenchOpts::from_args();
     report::heading("E10 / §3+§5.3 — simulated relay distribution trees");
+    let mut gate = InvariantGate::new("tree", opts);
 
     for base in [TreeScenario::ddns_tree(), TreeScenario::cdn_tree()] {
-        let spec = if smoke { base.smoke() } else { base };
-        run_tree(&spec);
+        let spec = if opts.smoke { base.smoke() } else { base };
+        run_tree(&spec, &mut gate);
     }
-    failover_drill(if smoke {
-        TreeScenario::ddns_tree().smoke()
-    } else {
-        TreeScenario::ddns_tree()
-    });
+    failover_drill(
+        if opts.smoke {
+            TreeScenario::ddns_tree().smoke()
+        } else {
+            TreeScenario::ddns_tree()
+        },
+        &mut gate,
+    );
+    gate.finish();
 }
 
-fn run_tree(spec: &TreeScenario) {
+fn run_tree(spec: &TreeScenario, gate: &mut InvariantGate) {
     let mut w = TreeWorld::build(spec, 71);
+    let name = spec.name;
 
-    // Settled: every stub's joining fetch was answered through the tree.
+    // Settled: every stub's joining fetch was answered through the tree,
+    // and the stampede coalesced to one upstream fetch per relay per
+    // track (instead of one per stub).
     let fetched: u64 = w
         .stubs
         .iter()
         .map(|&s| w.sim.node_ref::<TreeStub>(s).fetched)
         .sum();
-    assert!(
-        fetched >= w.stubs.len() as u64,
-        "{}: joining fetches answered (got {fetched})",
-        spec.name
+    gate.check_ge(
+        &format!("{name}_joining_fetches_answered"),
+        w.stubs.len() as u64,
+        fetched,
     );
+    for (label, ids) in [("tier1", &w.tier1), ("edge", &w.edges)] {
+        let fetches: u64 = ids
+            .iter()
+            .map(|&id| w.sim.node_ref::<RelayNode>(id).stats().upstream_fetches)
+            .sum();
+        gate.check_le(
+            &format!("{name}_{label}_stampede_fetch_bound"),
+            ids.len() as u64 * spec.tracks as u64,
+            fetches,
+        );
+        gate.metric(&format!("{name}_{label}_upstream_fetches"), fetches);
+    }
 
     // Measured window: only update traffic from here on.
     w.sim.stats_mut().reset();
@@ -69,12 +95,12 @@ fn run_tree(spec: &TreeScenario) {
 
     // (1) Complete delivery.
     let delivered = w.delivered_updates() - baseline;
-    assert_eq!(
-        delivered,
+    gate.check_eq(
+        &format!("{name}_complete_delivery"),
         spec.expected_deliveries(),
-        "{}: every stub sees every update",
-        spec.name
+        delivered,
     );
+    gate.metric(&format!("{name}_deliveries"), delivered);
 
     // (2) One copy per upstream link: each relay-to-relay link carried the
     // same number of update datagrams (no multiplication down the tree),
@@ -83,7 +109,7 @@ fn run_tree(spec: &TreeScenario) {
     let mut t_links = Table::new(
         format!(
             "{}: per-link update traffic ({} updates, {} stubs)",
-            spec.name,
+            name,
             spec.total_updates(),
             spec.stub_count()
         ),
@@ -108,13 +134,13 @@ fn run_tree(spec: &TreeScenario) {
             ),
         ]);
     }
-    report::emit(&t_links, &format!("exp_tree_{}_links", spec.name));
+    report::emit(&t_links, &format!("exp_tree_{name}_links"));
     let min = *per_link_bytes.iter().min().unwrap();
     let max = *per_link_bytes.iter().max().unwrap();
-    assert!(
+    gate.check_true(
+        &format!("{name}_one_copy_per_link"),
         max < 2 * min,
-        "{}: per-link bytes uniform (one copy per link): min={min} max={max}",
-        spec.name
+        format!("per-link bytes min={min} max={max}"),
     );
 
     // The §3 invariant at the object level: relays opened exactly one
@@ -122,25 +148,32 @@ fn run_tree(spec: &TreeScenario) {
     // downstream subscriber.
     for &id in &w.tier1 {
         let r = w.sim.node_ref::<RelayNode>(id);
-        assert_eq!(
-            r.upstream_subscription_count(),
-            spec.tracks,
-            "tier1 aggregates to one upstream sub per track"
+        gate.check_eq(
+            &format!("{name}_tier1_upstream_subs"),
+            spec.tracks as u64,
+            r.upstream_subscription_count() as u64,
         );
     }
+    let mut edge_forwarded = 0;
     for &id in &w.edges {
         let r = w.sim.node_ref::<RelayNode>(id);
-        assert_eq!(r.upstream_subscription_count(), spec.tracks);
-        assert_eq!(
-            r.stats().objects_forwarded,
-            spec.edge_forwards(),
-            "edge forwards one copy per stub per update"
+        gate.check_eq(
+            &format!("{name}_edge_upstream_subs"),
+            spec.tracks as u64,
+            r.upstream_subscription_count() as u64,
         );
+        gate.check_eq(
+            &format!("{name}_edge_forwards"),
+            spec.edge_forwards(),
+            r.stats().objects_forwarded,
+        );
+        edge_forwarded += r.stats().objects_forwarded;
     }
+    gate.metric(&format!("{name}_edge_objects_forwarded"), edge_forwarded);
 
     // (3) Per-tier stats table (cache hits, aggregated subs, forwards).
     let mut t_tiers = Table::new(
-        format!("{}: per-tier relay stats", spec.name),
+        format!("{}: per-tier relay stats", name),
         &[
             "tier",
             "relays",
@@ -150,6 +183,8 @@ fn run_tree(spec: &TreeScenario) {
             "objects fwd",
             "cache hit",
             "cache miss",
+            "coalesced",
+            "up fetches",
             "reroutes",
             "agg factor",
         ],
@@ -168,22 +203,24 @@ fn run_tree(spec: &TreeScenario) {
             tier.totals.objects_forwarded.to_string(),
             tier.totals.fetch_cache_hits.to_string(),
             tier.totals.fetch_cache_misses.to_string(),
+            tier.totals.fetch_coalesced.to_string(),
+            tier.totals.upstream_fetches.to_string(),
             tier.totals.reroutes.to_string(),
             format!("{:.1}", tier.aggregation_factor()),
         ]);
     }
-    report::emit(&t_tiers, &format!("exp_tree_{}_tiers", spec.name));
+    report::emit(&t_tiers, &format!("exp_tree_{name}_tiers"));
 
     println!(
         "{}: {} updates crossed every upstream link once; origin egress is {}x \
          below per-stub unicast (the §5.3 aggregation saving).\n",
-        spec.name,
+        name,
         spec.total_updates(),
         spec.origin_saving()
     );
 }
 
-fn failover_drill(spec: TreeScenario) {
+fn failover_drill(spec: TreeScenario, gate: &mut InvariantGate) {
     report::heading("Failover: killing tier1[0] mid-run");
     let mut w = TreeWorld::build(&spec, 72);
 
@@ -209,12 +246,7 @@ fn failover_drill(spec: TreeScenario) {
 
     let phase2 = w.delivered_updates() - after_phase1;
     let expected = spec.tracks as u64 * w.stubs.len() as u64;
-    assert_eq!(
-        phase2,
-        expected,
-        "all {} stubs converged on the surviving tier-1 relay",
-        w.stubs.len()
-    );
+    gate.check_eq("failover_zero_post_kill_loss", expected, phase2);
 
     let reroutes: u64 = w
         .edges
@@ -224,7 +256,9 @@ fn failover_drill(spec: TreeScenario) {
     // Half the edge relays had tier1[0] as primary; each re-routed every
     // track.
     let expected_reroutes = (w.edges.len() as u64 / 2) * spec.tracks as u64;
-    assert_eq!(reroutes, expected_reroutes, "edge relays re-routed");
+    gate.check_eq("failover_edge_reroutes", expected_reroutes, reroutes);
+    gate.metric("failover_post_kill_deliveries", phase2);
+    gate.metric("failover_reroutes", reroutes);
 
     let mut t = Table::new(
         "Failover drill (1 tier-1 relay killed mid-run)",

@@ -1,0 +1,47 @@
+//! Shared command-line flags for the experiment binaries.
+//!
+//! Every bench binary understands the same two flags, parsed in one
+//! place so CI can drive the whole matrix uniformly:
+//!
+//! * `--smoke` — scaled-down variant (tiny node counts / few updates)
+//!   suitable for a CI job;
+//! * `--check` — machine-checked mode: measured invariants are collected
+//!   into an [`InvariantGate`](crate::gate::InvariantGate), emitted as a
+//!   JSON summary under `results/`, and the process exits nonzero when
+//!   any invariant fails (instead of panicking on the first).
+
+/// Parsed common flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOpts {
+    /// Scaled-down CI variant.
+    pub smoke: bool,
+    /// Machine-checked invariant-gate mode (JSON summary + exit code).
+    pub check: bool,
+}
+
+impl BenchOpts {
+    /// Parses the process arguments. Unknown flags are ignored (binaries
+    /// may add their own on top).
+    pub fn from_args() -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--check" => opts.check = true,
+                _ => {}
+            }
+        }
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_off() {
+        let o = BenchOpts::default();
+        assert!(!o.smoke && !o.check);
+    }
+}

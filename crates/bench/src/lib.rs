@@ -4,5 +4,7 @@
 //! DESIGN.md §4 for the index) plus Criterion micro-benchmarks. This
 //! library holds the shared world-building and reporting helpers.
 
+pub mod cli;
+pub mod gate;
 pub mod report;
 pub mod worlds;

@@ -17,12 +17,12 @@ use moqdns_dns::resolver::RootHint;
 use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
-use moqdns_moqt::relay::Failover;
+use moqdns_moqt::relay::{track_hash, Failover, HashShard};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::topo::TopoBuilder;
 use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator, Topology};
 use moqdns_quic::TransportConfig;
-use moqdns_workload::scenarios::TreeScenario;
+use moqdns_workload::scenarios::{MeshScenario, TreeScenario};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -557,5 +557,248 @@ impl TreeWorld {
             .primary_edges()
             .filter(|(_, child)| self.tier1.contains(child) || self.edges.contains(child))
             .collect()
+    }
+}
+
+/// A multi-region hash-shard mesh world (built from a [`MeshScenario`]):
+///
+/// ```text
+///                       auth (origin)
+///                   /        |        \
+///              core0       core1      core2     (StaticParent -> auth;
+///                 \\\       |||       ///        one hash shard each)
+///                  region0..regionR edges        (HashShard across ALL
+///                 edge0 edge1 ... edgeE           cores, aligned order)
+///                   |     |         |
+///                 stubs stubs     stubs          (TreeStub leaves)
+/// ```
+///
+/// Every edge attaches to every core in *aligned* order (uplink `i` is
+/// `core_i` at each edge), so a track's hash shard names the same core
+/// mesh-wide: core `i` aggregates exactly shard `i` no matter which
+/// region the demand comes from. Built via [`TopoBuilder::mesh`].
+pub struct MeshWorld {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Tier/parent bookkeeping from the builder.
+    pub topo: Topology,
+    /// The scenario this world was built from.
+    pub spec: MeshScenario,
+    /// Origin (authoritative) server node.
+    pub auth: NodeId,
+    /// Core relay nodes (shard `i` lives on `cores[i]`).
+    pub cores: Vec<NodeId>,
+    /// Edge relay nodes (region `r` owns
+    /// `edges[r * spec.edges_per_region ..][..spec.edges_per_region]`).
+    pub edges: Vec<NodeId>,
+    /// Stub subscriber nodes.
+    pub stubs: Vec<NodeId>,
+    /// The questions (one per track) every stub subscribes to.
+    pub questions: Vec<Question>,
+    zone_apex: Name,
+}
+
+impl MeshWorld {
+    /// Record name for track `i`.
+    pub fn record_name(i: usize) -> Name {
+        format!("r{i}.mesh.example").parse().unwrap()
+    }
+
+    /// Builds the mesh world from `spec` and settles it (stubs connected,
+    /// joining fetches answered, shard subscriptions in place).
+    pub fn build(spec: &MeshScenario, seed: u64) -> MeshWorld {
+        let mut sim = Simulator::new(seed);
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        let zone_apex: Name = "mesh.example".parse().unwrap();
+        let mut zone = Zone::with_default_soa(zone_apex.clone());
+        for i in 0..spec.tracks {
+            zone.add_record(Record::new(
+                Self::record_name(i),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let questions: Vec<Question> = (0..spec.tracks)
+            .map(|i| Question::new(Self::record_name(i), RecordType::A))
+            .collect();
+
+        let qs = questions.clone();
+        let link = LinkConfig::with_delay(spec.link_delay);
+        let topo = TopoBuilder::mesh(
+            "auth",
+            spec.cores,
+            spec.regions,
+            spec.edges_per_region,
+            link,
+        )
+        .tier("stub", spec.stub_count(), 1, link)
+        .build(&mut sim, move |sim, ctx| match ctx.tier_name {
+            "auth" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(AuthServer::new(
+                    Authority::single(zone.clone()),
+                    TransportConfig::default()
+                        .idle_timeout(Duration::from_secs(3600))
+                        .keep_alive(Duration::from_secs(25)),
+                    11,
+                )),
+            ),
+            "core" => {
+                let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(RelayNode::new(parent, 0, 40 + ctx.index as u64).tier("core")),
+                )
+            }
+            "edge" => {
+                let parents: Vec<Addr> = ctx
+                    .parents
+                    .iter()
+                    .map(|&p| Addr::new(p, MOQT_PORT))
+                    .collect();
+                sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(
+                        RelayNode::with_policy(
+                            parents,
+                            Box::new(HashShard),
+                            0,
+                            60 + ctx.index as u64,
+                        )
+                        .tier("edge"),
+                    ),
+                )
+            }
+            _ => sim.add_node(
+                ctx.name.clone(),
+                Box::new(TreeStub::new(
+                    Addr::new(ctx.parents[0], MOQT_PORT),
+                    qs.clone(),
+                    100 + ctx.index as u64,
+                )),
+            ),
+        });
+
+        let auth = topo.tier_named("auth")[0];
+        let cores = topo.tier_named("core").to_vec();
+        let edges = topo.tier_named("edge").to_vec();
+        let stubs = topo.tier_named("stub").to_vec();
+        let mut world = MeshWorld {
+            sim,
+            topo,
+            spec: *spec,
+            auth,
+            cores,
+            edges,
+            stubs,
+            questions,
+            zone_apex,
+        };
+        world
+            .sim
+            .run_until(world.sim.now() + Duration::from_secs(5));
+        world
+    }
+
+    /// The home core (hash shard) of track `i` — identical at every edge
+    /// because the mesh wires uplinks in aligned order.
+    pub fn home_core(&self, i: usize) -> usize {
+        let track = track_from_question(&self.questions[i], RequestFlags::iterative()).unwrap();
+        (track_hash(&track) % self.spec.cores as u64) as usize
+    }
+
+    /// Tracks homed on core `c`.
+    pub fn shard_size(&self, c: usize) -> usize {
+        (0..self.spec.tracks)
+            .filter(|&i| self.home_core(i) == c)
+            .count()
+    }
+
+    /// Replaces track `i`'s A record, triggering a push through the mesh.
+    pub fn update_track(&mut self, i: usize, new_octet: u8) {
+        let name = Self::record_name(i);
+        let apex = self.zone_apex.clone();
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |authority| {
+                if let Some(z) = authority.find_zone_mut(&apex) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            60,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+    }
+
+    /// Pushes one round of updates (every track once) and settles.
+    pub fn update_round(&mut self, octet_base: u8) {
+        for i in 0..self.spec.tracks {
+            self.update_track(i, octet_base.wrapping_add(i as u8));
+        }
+        let deadline = self.sim.now() + self.spec.update_interval;
+        self.sim.run_until(deadline);
+    }
+
+    /// Takes core relay `i` out of service mid-run.
+    pub fn kill_core(&mut self, i: usize) {
+        let id = self.cores[i];
+        self.sim.with_node::<RelayNode, _>(id, |r, ctx| {
+            r.shutdown(ctx);
+        });
+    }
+
+    /// Brings a killed core relay back; edge recovery probes re-attach to
+    /// it and rebalance its shard home.
+    pub fn revive_core(&mut self, i: usize) {
+        let id = self.cores[i];
+        self.sim.with_node::<RelayNode, _>(id, |r, _ctx| {
+            r.revive();
+        });
+    }
+
+    /// Total pushed updates received across all stubs.
+    pub fn delivered_updates(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Update datagrams delivered into edge `e` summed over all its core
+    /// uplinks — the per-child form of the one-copy invariant under
+    /// sharding (each update arrives over exactly one core→edge link).
+    pub fn delivered_into_edge(&self, e: NodeId) -> u64 {
+        self.cores
+            .iter()
+            .map(|&c| self.sim.stats().between(c, e).delivered)
+            .sum()
+    }
+
+    /// Update datagrams delivered from the origin into all cores.
+    pub fn delivered_into_cores(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|&c| self.sim.stats().between(self.auth, c).delivered)
+            .sum()
+    }
+
+    /// Per-tier relay stats (core first, then edge).
+    pub fn tier_stats(&self) -> Vec<TierRelayStats> {
+        let mut out = Vec::new();
+        for (label, ids) in [("core", &self.cores), ("edge", &self.edges)] {
+            let mut tier = TierRelayStats::new(label);
+            for &id in ids {
+                let r = self.sim.node_ref::<RelayNode>(id);
+                tier.accumulate(r.stats(), r.upstream_subscription_count());
+            }
+            out.push(tier);
+        }
+        out
     }
 }

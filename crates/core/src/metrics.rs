@@ -112,14 +112,22 @@ impl TierRelayStats {
             objects_forwarded,
             fetch_cache_hits,
             fetch_cache_misses,
+            fetch_coalesced,
+            upstream_fetches,
+            fetch_waiters_served,
             reroutes,
+            rebalances,
         } = stats;
         self.totals.downstream_subscribes += downstream_subscribes;
         self.totals.upstream_subscribes += upstream_subscribes;
         self.totals.objects_forwarded += objects_forwarded;
         self.totals.fetch_cache_hits += fetch_cache_hits;
         self.totals.fetch_cache_misses += fetch_cache_misses;
+        self.totals.fetch_coalesced += fetch_coalesced;
+        self.totals.upstream_fetches += upstream_fetches;
+        self.totals.fetch_waiters_served += fetch_waiters_served;
         self.totals.reroutes += reroutes;
+        self.totals.rebalances += rebalances;
         self.upstream_subscriptions += live_upstream_subs;
     }
 
@@ -214,7 +222,11 @@ mod tests {
             objects_forwarded: 32,
             fetch_cache_hits: 3,
             fetch_cache_misses: 1,
+            fetch_coalesced: 1,
+            upstream_fetches: 0,
+            fetch_waiters_served: 1,
             reroutes: 0,
+            rebalances: 0,
         };
         let b = RelayStats {
             downstream_subscribes: 16,
@@ -222,7 +234,11 @@ mod tests {
             objects_forwarded: 32,
             fetch_cache_hits: 0,
             fetch_cache_misses: 0,
+            fetch_coalesced: 0,
+            upstream_fetches: 0,
+            fetch_waiters_served: 0,
             reroutes: 1,
+            rebalances: 1,
         };
         tier.accumulate(a, 1);
         tier.accumulate(b, 1);

@@ -22,6 +22,10 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// Timer token for the uplink recovery probe (distinct from
+/// [`TOKEN_QUIC`]).
+pub const TOKEN_UPLINK_PROBE: u64 = (1 << 56) + 1;
+
 /// The relay node.
 pub struct RelayNode {
     stack: MoqtStack,
@@ -31,6 +35,12 @@ pub struct RelayNode {
     sessions: HashMap<u64, ConnHandle>,
     /// Tier label for stats tables ("tier1", "edge", …).
     tier: String,
+    /// How often to redial uplinks the core believes down. When a probe
+    /// dial completes, the `Ready` event marks the uplink healthy and the
+    /// core rebalances tracks back onto it.
+    probe_interval: Duration,
+    /// A probe timer is currently armed.
+    probe_armed: bool,
     /// Taken down mid-run: ignore all further events.
     dead: bool,
 }
@@ -60,6 +70,8 @@ impl RelayNode {
             uplinks: Uplinks::new(parents),
             sessions: HashMap::new(),
             tier: String::new(),
+            probe_interval: Duration::from_secs(2),
+            probe_armed: false,
             dead: false,
         }
     }
@@ -67,6 +79,12 @@ impl RelayNode {
     /// Labels this relay's tier for per-tier stats aggregation.
     pub fn tier(mut self, label: impl Into<String>) -> RelayNode {
         self.tier = label.into();
+        self
+    }
+
+    /// Overrides the uplink recovery probe interval (builder style).
+    pub fn probe_interval(mut self, interval: Duration) -> RelayNode {
+        self.probe_interval = interval;
         self
     }
 
@@ -95,6 +113,11 @@ impl RelayNode {
         self.uplinks.total_subs()
     }
 
+    /// In-flight upstream fetches (the coalescing table's size).
+    pub fn pending_fetch_count(&self) -> usize {
+        self.core.pending_fetch_count()
+    }
+
     /// Takes the relay out of service: closes every connection (peers see
     /// a CONNECTION_CLOSE, not an idle timeout) and drops all state. Used
     /// by the failover experiments to kill a tier mid-run.
@@ -107,6 +130,48 @@ impl RelayNode {
     /// Whether [`RelayNode::shutdown`] was called.
     pub fn is_dead(&self) -> bool {
         self.dead
+    }
+
+    /// Brings a [`RelayNode::shutdown`] relay back into service with empty
+    /// session/subscription state (cumulative stats survive). Downstream
+    /// peers re-attach via their own recovery probes; upstream
+    /// subscriptions are re-opened as downstream demand returns.
+    pub fn revive(&mut self) {
+        self.dead = false;
+        self.core.reset();
+        self.uplinks.reset();
+        self.sessions.clear();
+        // A probe timer that fired while we were dead was swallowed by the
+        // dead-check without clearing this flag; leaving it set would keep
+        // arm_probe() a no-op forever after revival.
+        self.probe_armed = false;
+    }
+
+    fn arm_probe(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.probe_armed && !self.probe_interval.is_zero() {
+            ctx.set_timer(self.probe_interval, TOKEN_UPLINK_PROBE);
+            self.probe_armed = true;
+        }
+    }
+
+    /// Redials every uplink the core currently believes down; re-arms the
+    /// probe while any remain down.
+    fn probe_uplinks(&mut self, ctx: &mut Ctx<'_>) {
+        self.probe_armed = false;
+        let down: Vec<usize> = (0..self.uplinks.len())
+            .filter(|&u| !self.core.health().is_up(u))
+            .collect();
+        if down.is_empty() {
+            return;
+        }
+        for u in &down {
+            self.uplinks.redial(ctx, &mut self.stack, *u);
+        }
+        let evs = self.stack.flush(ctx);
+        self.handle_events(ctx, evs);
+        if (0..self.uplinks.len()).any(|u| !self.core.health().is_up(u)) {
+            self.arm_probe(ctx);
+        }
     }
 
     fn run_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<RelayAction>) {
@@ -154,8 +219,6 @@ impl RelayNode {
                 RelayAction::FetchUpstream {
                     track,
                     uplink,
-                    session,
-                    request_id,
                     start_group,
                     end_group,
                 } => {
@@ -163,14 +226,22 @@ impl RelayNode {
                         ctx,
                         &mut self.stack,
                         uplink,
-                        track,
+                        track.clone(),
                         start_group,
                         end_group,
-                        (session, request_id),
                     );
                     if !ok {
-                        self.reject_downstream_fetch(session, request_id);
+                        // Could not even dial: fail the pending fetch so
+                        // every coalesced waiter gets rejected.
+                        let acts = self.core.on_upstream_fetch_failed(&track);
+                        self.run_actions(ctx, acts);
                     }
+                }
+                RelayAction::RejectFetch {
+                    session,
+                    request_id,
+                } => {
+                    self.reject_downstream_fetch(session, request_id);
                 }
                 RelayAction::UnsubscribeUpstream { track, uplink } => {
                     self.uplinks.unsubscribe(&mut self.stack, uplink, &track);
@@ -199,7 +270,10 @@ impl RelayNode {
                     let uplink = self.uplinks.classify(h);
                     match (uplink, sev) {
                         (Some(u), SessionEvent::Ready { .. }) => {
-                            self.core.on_uplink_up(u);
+                            // A recovered uplink reclaims the tracks the
+                            // policy homes on it (rebalancing).
+                            let actions = self.core.on_uplink_up(u);
+                            self.run_actions(ctx, actions);
                             self.uplinks.on_session_ready(ctx, &mut self.stack, u);
                             let evs = self.stack.flush(ctx);
                             self.handle_events(ctx, evs);
@@ -218,20 +292,15 @@ impl RelayNode {
                                 objects,
                             },
                         ) => {
-                            if let Some((track, session, down_req)) =
-                                self.uplinks.take_fetch(u, request_id)
-                            {
-                                let actions = self
-                                    .core
-                                    .on_upstream_fetch_result(&track, session, down_req, objects);
+                            if let Some(track) = self.uplinks.take_fetch(u, request_id) {
+                                let actions = self.core.on_upstream_fetch_result(&track, objects);
                                 self.run_actions(ctx, actions);
                             }
                         }
                         (Some(u), SessionEvent::FetchRejected { request_id, .. }) => {
-                            if let Some((_, session, down_req)) =
-                                self.uplinks.take_fetch(u, request_id)
-                            {
-                                self.reject_downstream_fetch(session, down_req);
+                            if let Some(track) = self.uplinks.take_fetch(u, request_id) {
+                                let actions = self.core.on_upstream_fetch_failed(&track);
+                                self.run_actions(ctx, actions);
                             }
                         }
                         (None, SessionEvent::IncomingSubscribe { request_id, track }) => {
@@ -257,13 +326,14 @@ impl RelayNode {
                 }
                 StackEvent::Closed(h) => {
                     if let Some(u) = self.uplinks.classify(h) {
-                        // Reject downstream fetches stranded on the dead
-                        // uplink, then let the core re-route its tracks.
-                        for (_, session, down_req) in self.uplinks.on_closed(u) {
-                            self.reject_downstream_fetch(session, down_req);
-                        }
+                        // Forget the uplink's connection state, then let
+                        // the core re-route its tracks and re-issue (or
+                        // reject) the in-flight fetches stranded on it.
+                        self.uplinks.on_closed(u);
                         let actions = self.core.on_uplink_closed(u);
                         self.run_actions(ctx, actions);
+                        // Keep probing until the uplink recovers.
+                        self.arm_probe(ctx);
                     } else {
                         self.sessions.remove(&h.0);
                         let actions = self.core.on_session_closed(h.0);
@@ -294,6 +364,8 @@ impl Node for RelayNode {
         if token == TOKEN_QUIC {
             let evs = self.stack.on_timer(ctx);
             self.handle_events(ctx, evs);
+        } else if token == TOKEN_UPLINK_PROBE {
+            self.probe_uplinks(ctx);
         }
     }
 

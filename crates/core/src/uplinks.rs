@@ -18,10 +18,6 @@ use moqdns_netsim::{Addr, Ctx};
 use moqdns_quic::ConnHandle;
 use std::collections::HashMap;
 
-/// A pending upstream fetch: the downstream (session, request) waiting on
-/// it, keyed by the upstream fetch request id.
-type PendingFetch = (FullTrackName, u64, u64);
-
 /// State for one upstream parent.
 #[derive(Debug)]
 struct UplinkState {
@@ -33,8 +29,11 @@ struct UplinkState {
     subs: HashMap<u64, FullTrackName>,
     /// track -> upstream subscribe request id (for teardown).
     by_track: HashMap<FullTrackName, u64>,
-    /// Upstream fetch request id -> waiting downstream fetch.
-    fetches: HashMap<u64, PendingFetch>,
+    /// Upstream fetch request id -> track. The downstream fetches waiting
+    /// on the result live in `RelayCore`'s pending-fetch table (one entry
+    /// per track, with a waiter list), so this map only recovers the track
+    /// identity when the response arrives.
+    fetches: HashMap<u64, FullTrackName>,
     /// Tracks to subscribe once the session object exists.
     queued: Vec<FullTrackName>,
 }
@@ -98,9 +97,9 @@ impl Uplinks {
         self.links.get(id)?.subs.get(&request_id)
     }
 
-    /// Removes and returns the downstream fetch waiting on upstream fetch
-    /// `request_id` of uplink `id`.
-    pub fn take_fetch(&mut self, id: UplinkId, request_id: u64) -> Option<PendingFetch> {
+    /// Removes and returns the track of upstream fetch `request_id` on
+    /// uplink `id`.
+    pub fn take_fetch(&mut self, id: UplinkId, request_id: u64) -> Option<FullTrackName> {
         self.links.get_mut(id)?.fetches.remove(&request_id)
     }
 
@@ -170,11 +169,9 @@ impl Uplinks {
         }
     }
 
-    /// Issues an upstream fetch for `track` on uplink `id`, remembering
-    /// the downstream `(session, request)` waiting on it. Returns false
-    /// when no connection could be established (the caller should reject
-    /// the downstream fetch).
-    #[allow(clippy::too_many_arguments)]
+    /// Issues an upstream fetch for `track` on uplink `id`. Returns false
+    /// when no connection could be established (the caller should fail the
+    /// pending fetch, rejecting its waiters).
     pub fn fetch(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -183,7 +180,6 @@ impl Uplinks {
         track: FullTrackName,
         start_group: u64,
         end_group: u64,
-        downstream: (u64, u64),
     ) -> bool {
         let Some(h) = self.ensure_conn(ctx, stack, id) else {
             return false;
@@ -192,10 +188,47 @@ impl Uplinks {
             return false;
         };
         let fid = session.fetch(conn, track.clone(), start_group, end_group);
-        self.links[id]
-            .fetches
-            .insert(fid, (track, downstream.0, downstream.1));
+        self.links[id].fetches.insert(fid, track);
         true
+    }
+
+    /// Dials the parent behind uplink `id` if no connection attempt is
+    /// live, abandoning a stalled previous attempt first. Used by the
+    /// owning node's recovery probe: once the dial completes, the session
+    /// `Ready` event flows back through `classify` and the core marks the
+    /// uplink healthy (triggering rebalancing).
+    pub fn redial(&mut self, ctx: &mut Ctx<'_>, stack: &mut MoqtStack, id: UplinkId) {
+        let Some(link) = self.links.get_mut(id) else {
+            return;
+        };
+        // A previous probe's dial may be stuck retransmitting its
+        // handshake into a void (QUIC PTO backoff grows unbounded under
+        // an hour-long idle timeout); abandon it so each probe starts a
+        // fresh, promptly-answered handshake.
+        if let Some(h) = link.conn.take() {
+            match stack.session(h) {
+                Some(s) if s.is_ready() => {
+                    link.conn = Some(h);
+                    return;
+                }
+                Some(_) => stack.abandon(h),
+                None => {}
+            }
+        }
+        self.ensure_conn(ctx, stack, id);
+    }
+
+    /// Forgets every connection, subscription, and in-flight fetch on
+    /// every uplink (without sending anything). Used when the owning node
+    /// is revived after a mid-run shutdown and must rebuild from scratch.
+    pub fn reset(&mut self) {
+        for link in &mut self.links {
+            link.conn = None;
+            link.subs.clear();
+            link.by_track.clear();
+            link.fetches.clear();
+            link.queued.clear();
+        }
     }
 
     /// The session on uplink `id` became ready: replays queued
@@ -211,19 +244,20 @@ impl Uplinks {
     }
 
     /// The connection on uplink `id` closed: forgets it and every
-    /// subscription/fetch riding it. Returns the downstream fetches that
-    /// were in flight (the owning node rejects them); the tracks
-    /// themselves are re-routed by `RelayCore::on_uplink_closed`, whose
-    /// `SubscribeUpstream` actions land back here and redial.
-    pub fn on_closed(&mut self, id: UplinkId) -> Vec<PendingFetch> {
+    /// subscription/fetch riding it. Tracks are re-routed by
+    /// `RelayCore::on_uplink_closed`, whose `SubscribeUpstream` /
+    /// `FetchUpstream` actions land back here and redial; in-flight
+    /// fetches' waiters live in the core's pending-fetch table, which
+    /// re-issues or rejects them there.
+    pub fn on_closed(&mut self, id: UplinkId) {
         let Some(link) = self.links.get_mut(id) else {
-            return Vec::new();
+            return;
         };
         link.conn = None;
         link.subs.clear();
         link.by_track.clear();
         link.queued.clear();
-        link.fetches.drain().map(|(_, f)| f).collect()
+        link.fetches.clear();
     }
 }
 
@@ -247,16 +281,31 @@ mod tests {
     }
 
     #[test]
-    fn on_closed_clears_and_returns_fetches() {
+    fn on_closed_clears_everything() {
         let mut up = Uplinks::new(vec![addr(1)]);
         let t = FullTrackName::new(vec![vec![1]], vec![2]).unwrap();
-        up.links[0].fetches.insert(9, (t.clone(), 5, 6));
+        up.links[0].fetches.insert(9, t.clone());
         up.links[0].subs.insert(1, t.clone());
         up.links[0].by_track.insert(t, 1);
-        let pending = up.on_closed(0);
-        assert_eq!(pending.len(), 1);
-        assert_eq!(pending[0].1, 5);
+        up.on_closed(0);
         assert_eq!(up.total_subs(), 0);
         assert!(up.links[0].conn.is_none());
+        assert!(up.links[0].fetches.is_empty());
+        assert_eq!(up.take_fetch(0, 9), None);
+    }
+
+    #[test]
+    fn reset_forgets_all_uplinks() {
+        let mut up = Uplinks::new(vec![addr(1), addr(2)]);
+        let t = FullTrackName::new(vec![vec![1]], vec![2]).unwrap();
+        up.links[1].fetches.insert(4, t.clone());
+        up.links[1].subs.insert(2, t.clone());
+        up.links[1].by_track.insert(t.clone(), 2);
+        up.links[0].queued.push(t);
+        up.reset();
+        assert_eq!(up.total_subs(), 0);
+        for l in &up.links {
+            assert!(l.conn.is_none() && l.fetches.is_empty() && l.queued.is_empty());
+        }
     }
 }

@@ -1,0 +1,370 @@
+//! Integration: relay fetch coalescing and uplink recovery rebalancing
+//! (paper §3 — relays aggregate *all* downstream demand, fetches
+//! included).
+//!
+//! * A joining-fetch stampede — N stubs subscribing to the same track at
+//!   the same instant through a 2-tier relay chain — must produce exactly
+//!   ONE upstream fetch per relay tier (the pending-fetch table coalesces
+//!   the rest and fans the single result out to every waiter).
+//! * A killed-and-revived uplink must get its hash shard back: edges
+//!   ring-walk tracks away when it dies and *rebalance* them home when
+//!   the recovery probe re-attaches, with updates flowing throughout.
+
+use moqdns_core::auth::AuthServer;
+use moqdns_core::mapping::{track_from_question, RequestFlags};
+use moqdns_core::relay_node::RelayNode;
+use moqdns_core::stack::{MoqtStack, StackEvent};
+use moqdns_core::MOQT_PORT;
+use moqdns_dns::message::Question;
+use moqdns_dns::name::Name;
+use moqdns_dns::rdata::RData;
+use moqdns_dns::rr::{Record, RecordType};
+use moqdns_dns::server::Authority;
+use moqdns_dns::zone::Zone;
+use moqdns_moqt::relay::{track_hash, HashShard};
+use moqdns_moqt::session::SessionEvent;
+use moqdns_netsim::topo::TopoBuilder;
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator};
+use moqdns_quic::TransportConfig;
+use std::any::Any;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn record_name(i: usize) -> Name {
+    format!("r{i}.coalesce.example").parse().unwrap()
+}
+
+fn question(i: usize) -> Question {
+    Question::new(record_name(i), RecordType::A)
+}
+
+/// Minimal subscribing leaf: joins `questions` with joining fetches at
+/// start, counts pushes and answered fetches.
+struct Sub {
+    stack: MoqtStack,
+    server: Addr,
+    questions: Vec<Question>,
+    updates: u64,
+    fetched: u64,
+}
+
+impl Sub {
+    fn new(server: Addr, questions: Vec<Question>, seed: u64) -> Sub {
+        Sub {
+            stack: MoqtStack::client(
+                TransportConfig::default()
+                    .idle_timeout(Duration::from_secs(3600))
+                    .keep_alive(Duration::from_secs(25)),
+                seed,
+            ),
+            server,
+            questions,
+            updates: 0,
+            fetched: 0,
+        }
+    }
+
+    fn collect(&mut self, evs: Vec<StackEvent>) {
+        for e in evs {
+            match e {
+                StackEvent::Session(_, SessionEvent::SubscriptionObject { .. }) => {
+                    self.updates += 1;
+                }
+                StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. })
+                    if !objects.is_empty() =>
+                {
+                    self.fetched += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Node for Sub {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(h) = self.stack.connect(ctx.now(), self.server, false) else {
+            return;
+        };
+        for q in self.questions.clone() {
+            let track = track_from_question(&q, RequestFlags::iterative()).unwrap();
+            if let Some((sess, conn)) = self.stack.session_conn(h) {
+                sess.subscribe_with_joining_fetch(conn, track, 1);
+            }
+        }
+        let evs = self.stack.flush(ctx);
+        self.collect(evs);
+    }
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+        let evs = self.stack.on_datagram(ctx, from, &d);
+        self.collect(evs);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let evs = self.stack.on_timer(ctx);
+        self.collect(evs);
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn zone_with(tracks: usize) -> Zone {
+    let mut zone = Zone::with_default_soa("coalesce.example".parse().unwrap());
+    for i in 0..tracks {
+        zone.add_record(Record::new(
+            record_name(i),
+            60,
+            RData::A(Ipv4Addr::new(192, 0, 2, i as u8 + 1)),
+        ));
+    }
+    zone
+}
+
+/// N stubs join the same track simultaneously through a 2-tier relay
+/// chain (auth → hop1 → hop2): exactly one upstream fetch per tier.
+#[test]
+fn stampede_coalesces_to_one_fetch_per_tier() {
+    const N_STUBS: usize = 12;
+    let mut sim = Simulator::new(31);
+    let link = LinkConfig::with_delay(Duration::from_millis(10));
+    sim.set_default_link(link);
+    let zone = zone_with(1);
+
+    let topo = TopoBuilder::chain("auth", 2, link)
+        .tier("stub", N_STUBS, 1, link)
+        .build(&mut sim, |sim, ctx| match ctx.tier_name {
+            "auth" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(AuthServer::new(
+                    Authority::single(zone.clone()),
+                    TransportConfig::default()
+                        .idle_timeout(Duration::from_secs(3600))
+                        .keep_alive(Duration::from_secs(25)),
+                    11,
+                )),
+            ),
+            // Both hops share seed 40 deliberately: equal seeds make the
+            // two relays generate identical client cid sequences, which
+            // used to let hop1's dial to auth *overwrite* its accepted
+            // downstream connection from hop2 (handle = cid). This test
+            // doubles as the regression test for that endpoint fix.
+            "hop1" | "hop2" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(
+                    RelayNode::new(
+                        Addr::new(ctx.parents[0], MOQT_PORT),
+                        0,
+                        40 + ctx.index as u64,
+                    )
+                    .tier(ctx.tier_name),
+                ),
+            ),
+            _ => sim.add_node(
+                ctx.name.clone(),
+                Box::new(Sub::new(
+                    Addr::new(ctx.parents[0], MOQT_PORT),
+                    vec![question(0)],
+                    100 + ctx.index as u64,
+                )),
+            ),
+        });
+
+    sim.run_until(sim.now() + Duration::from_secs(5));
+
+    // Every stub's joining fetch was answered…
+    let stubs: Vec<NodeId> = topo.tier_named("stub").to_vec();
+    for &s in &stubs {
+        assert_eq!(sim.node_ref::<Sub>(s).fetched, 1, "joining fetch served");
+    }
+
+    // …yet each relay tier escalated exactly ONE upstream fetch: the
+    // stampede of 12 concurrent fetches collapsed at the first tier, and
+    // the single hop2→hop1 fetch trivially stayed single at the next.
+    let hop2 = sim.node_ref::<RelayNode>(topo.tier_named("hop2")[0]);
+    assert_eq!(hop2.stats().fetch_cache_misses, N_STUBS as u64);
+    assert_eq!(hop2.stats().fetch_coalesced, N_STUBS as u64 - 1);
+    assert_eq!(hop2.stats().upstream_fetches, 1, "one fetch left hop2");
+    assert_eq!(hop2.stats().fetch_waiters_served, N_STUBS as u64);
+    assert_eq!(hop2.pending_fetch_count(), 0, "table drained");
+
+    let hop1 = sim.node_ref::<RelayNode>(topo.tier_named("hop1")[0]);
+    assert_eq!(hop1.stats().fetch_cache_misses, 1);
+    assert_eq!(hop1.stats().upstream_fetches, 1, "one fetch reached auth");
+    assert_eq!(hop1.stats().fetch_waiters_served, 1);
+
+    // The coalesced result must not break live distribution: an update
+    // still reaches every stub exactly once.
+    let auth = topo.tier_named("auth")[0];
+    sim.with_node::<AuthServer, _>(auth, |a, ctx| {
+        a.update_zone(ctx, |authority| {
+            let name = record_name(0);
+            if let Some(z) = authority.find_zone_mut(&name) {
+                z.set_records(
+                    &name,
+                    RecordType::A,
+                    vec![Record::new(
+                        name.clone(),
+                        60,
+                        RData::A(Ipv4Addr::new(198, 51, 100, 7)),
+                    )],
+                );
+            }
+        });
+    });
+    sim.run_until(sim.now() + Duration::from_secs(5));
+    for &s in &stubs {
+        assert_eq!(sim.node_ref::<Sub>(s).updates, 1);
+    }
+}
+
+/// A hash-shard edge whose uplink dies and comes back: tracks ring-walk
+/// away (reroutes), the recovery probe re-attaches, and the shard moves
+/// home again (rebalances) — updates delivered in every phase.
+#[test]
+fn revived_uplink_reclaims_shard_through_probe() {
+    const TRACKS: usize = 4;
+    let mut sim = Simulator::new(33);
+    let link = LinkConfig::with_delay(Duration::from_millis(10));
+    sim.set_default_link(link);
+    let zone = zone_with(TRACKS);
+    let questions: Vec<Question> = (0..TRACKS).map(question).collect();
+    let qs = questions.clone();
+
+    // auth → 2 cores → 1 hash-shard edge → 2 stubs.
+    let topo = TopoBuilder::new()
+        .tier("auth", 1, 0, link)
+        .tier("core", 2, 1, link)
+        .tier("edge", 1, 2, link)
+        .tier("stub", 2, 1, link)
+        .build(&mut sim, |sim, ctx| match ctx.tier_name {
+            "auth" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(AuthServer::new(
+                    Authority::single(zone.clone()),
+                    TransportConfig::default()
+                        .idle_timeout(Duration::from_secs(3600))
+                        .keep_alive(Duration::from_secs(25)),
+                    11,
+                )),
+            ),
+            "core" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(
+                    RelayNode::new(
+                        Addr::new(ctx.parents[0], MOQT_PORT),
+                        0,
+                        40 + ctx.index as u64,
+                    )
+                    .tier("core"),
+                ),
+            ),
+            "edge" => {
+                let parents: Vec<Addr> = ctx
+                    .parents
+                    .iter()
+                    .map(|&p| Addr::new(p, MOQT_PORT))
+                    .collect();
+                sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(
+                        RelayNode::with_policy(parents, Box::new(HashShard), 0, 60)
+                            .probe_interval(Duration::from_secs(1))
+                            .tier("edge"),
+                    ),
+                )
+            }
+            _ => sim.add_node(
+                ctx.name.clone(),
+                Box::new(Sub::new(
+                    Addr::new(ctx.parents[0], MOQT_PORT),
+                    qs.clone(),
+                    100 + ctx.index as u64,
+                )),
+            ),
+        });
+    sim.run_until(sim.now() + Duration::from_secs(5));
+
+    let cores = topo.tier_named("core").to_vec();
+    let edge = topo.tier_named("edge")[0];
+    let stubs = topo.tier_named("stub").to_vec();
+    let auth = topo.tier_named("auth")[0];
+
+    // Shard arithmetic: which uplink is home per track. (The edge's
+    // uplink order equals `cores` order — one edge, rotation starts at 0.)
+    let home = |i: usize| {
+        let t = track_from_question(&questions[i], RequestFlags::iterative()).unwrap();
+        (track_hash(&t) % 2) as usize
+    };
+    let victim = home(0);
+    let victim_shard = (0..TRACKS).filter(|&i| home(i) == victim).count() as u64;
+
+    let update_all = |sim: &mut Simulator, octet: u8| {
+        for i in 0..TRACKS {
+            let name = record_name(i);
+            sim.with_node::<AuthServer, _>(auth, |a, ctx| {
+                a.update_zone(ctx, |authority| {
+                    if let Some(z) = authority.find_zone_mut(&name) {
+                        z.set_records(
+                            &name,
+                            RecordType::A,
+                            vec![Record::new(
+                                name.clone(),
+                                60,
+                                RData::A(Ipv4Addr::new(198, 51, 100, octet)),
+                            )],
+                        );
+                    }
+                });
+            });
+        }
+        sim.run_until(sim.now() + Duration::from_secs(5));
+    };
+    let delivered =
+        |sim: &Simulator| -> u64 { stubs.iter().map(|&s| sim.node_ref::<Sub>(s).updates).sum() };
+
+    // Phase 1: healthy mesh.
+    update_all(&mut sim, 50);
+    assert_eq!(delivered(&sim), (TRACKS * stubs.len()) as u64);
+
+    // Kill the victim core: the edge ring-walks its shard to the other.
+    sim.with_node::<RelayNode, _>(cores[victim], |r, ctx| r.shutdown(ctx));
+    sim.run_until(sim.now() + Duration::from_secs(3));
+    {
+        let e = sim.node_ref::<RelayNode>(edge);
+        assert_eq!(e.stats().reroutes, victim_shard);
+        assert_eq!(e.stats().rebalances, 0);
+    }
+    let before = delivered(&sim);
+    update_all(&mut sim, 51);
+    assert_eq!(
+        delivered(&sim) - before,
+        (TRACKS * stubs.len()) as u64,
+        "zero post-kill loss"
+    );
+
+    // Revive: the edge's 1 s probe re-dials, the Ready event marks the
+    // uplink healthy, and the shard rebalances home.
+    sim.with_node::<RelayNode, _>(cores[victim], |r, _| r.revive());
+    sim.run_until(sim.now() + Duration::from_secs(10));
+    {
+        let e = sim.node_ref::<RelayNode>(edge);
+        assert_eq!(e.stats().rebalances, victim_shard, "shard reclaimed");
+        assert_eq!(e.upstream_subscription_count(), TRACKS);
+    }
+    assert_eq!(
+        sim.node_ref::<RelayNode>(cores[victim])
+            .upstream_subscription_count() as u64,
+        victim_shard,
+        "revived core re-aggregates its shard upstream"
+    );
+    let before = delivered(&sim);
+    update_all(&mut sim, 52);
+    assert_eq!(
+        delivered(&sim) - before,
+        (TRACKS * stubs.len()) as u64,
+        "zero post-recovery loss"
+    );
+}

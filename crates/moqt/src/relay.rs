@@ -229,21 +229,28 @@ pub enum RelayAction {
         /// Cached objects in range.
         objects: Vec<Object>,
     },
-    /// Cache miss: the node must fetch on `uplink` and then call
-    /// [`RelayCore::on_upstream_fetch_result`].
+    /// Cache miss with no fetch already in flight: the node must fetch on
+    /// `uplink` and then call [`RelayCore::on_upstream_fetch_result`] (or
+    /// [`RelayCore::on_upstream_fetch_failed`]). The waiting downstream
+    /// fetches live in the core's pending-fetch table, not in the action:
+    /// any number of concurrent same-track fetches collapse into one
+    /// upstream fetch whose result fans out to every waiter.
     FetchUpstream {
         /// Track to fetch.
         track: FullTrackName,
         /// Which uplink to fetch from.
         uplink: UplinkId,
-        /// Downstream session waiting.
-        session: SessionKey,
-        /// Downstream fetch request id waiting.
-        request_id: u64,
         /// Start group requested.
         start_group: u64,
         /// End group requested (inclusive).
         end_group: u64,
+    },
+    /// Reject a downstream fetch (upstream unavailable or fetch failed).
+    RejectFetch {
+        /// Downstream session.
+        session: SessionKey,
+        /// Downstream fetch request id.
+        request_id: u64,
     },
     /// No downstream subscribers remain: drop the upstream subscription.
     UnsubscribeUpstream {
@@ -274,6 +281,37 @@ impl TrackState {
     }
 }
 
+/// One in-flight upstream fetch and the downstream fetches blocked on it.
+///
+/// The §3 stampede problem: when N downstreams issue a joining fetch for
+/// the same (cold) track at once, a naive relay escalates N upstream
+/// fetches — `fetch_cache_misses` multiplies up the tree exactly the way
+/// aggregation is supposed to prevent. The pending-fetch table collapses
+/// them: the first miss opens the upstream fetch, every later one joins
+/// the waiter list, and the single result fans out to all of them.
+#[derive(Debug)]
+struct PendingFetch {
+    /// Uplink carrying the in-flight upstream fetch.
+    uplink: UplinkId,
+    /// Start group of the in-flight request.
+    start_group: u64,
+    /// End group (inclusive) of the in-flight request.
+    end_group: u64,
+    /// Downstream fetches blocked on the result.
+    waiters: Vec<Waiter>,
+}
+
+/// One downstream fetch blocked on an in-flight upstream fetch. The
+/// requested range is kept per waiter so the fan-out serves each waiter
+/// only the groups it asked for, exactly like the cache-hit path.
+#[derive(Debug)]
+struct Waiter {
+    session: SessionKey,
+    request_id: u64,
+    start_group: u64,
+    end_group: u64,
+}
+
 /// Counters for relay effectiveness (ablation A3, §3 aggregation).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RelayStats {
@@ -286,16 +324,32 @@ pub struct RelayStats {
     pub objects_forwarded: u64,
     /// Fetches served from cache.
     pub fetch_cache_hits: u64,
-    /// Fetches requiring an upstream fetch.
+    /// Fetches requiring upstream data (whether they opened a new upstream
+    /// fetch or joined one already in flight).
     pub fetch_cache_misses: u64,
+    /// Cache-missing fetches absorbed by an in-flight upstream fetch for
+    /// the same track (no extra upstream fetch was opened).
+    pub fetch_coalesced: u64,
+    /// Upstream fetches actually opened
+    /// (`fetch_cache_misses - fetch_coalesced`, plus re-issues after an
+    /// uplink died with the fetch in flight).
+    pub upstream_fetches: u64,
+    /// Downstream fetches answered from an upstream fetch result fanning
+    /// out through the waiter list.
+    pub fetch_waiters_served: u64,
     /// Tracks moved to a *different* uplink after their uplink closed.
     pub reroutes: u64,
+    /// Tracks moved back onto a recovered uplink (its hash shard or
+    /// failover priority reclaimed) by [`RelayCore::on_uplink_up`].
+    pub rebalances: u64,
 }
 
 /// The relay's track/subscription/cache bookkeeping.
 #[derive(Debug)]
 pub struct RelayCore {
     tracks: HashMap<FullTrackName, TrackState>,
+    /// In-flight upstream fetches with their blocked downstreams.
+    pending: HashMap<FullTrackName, PendingFetch>,
     /// Cap on cached objects per track (oldest groups evicted first).
     cache_per_track: usize,
     policy: Box<dyn RoutePolicy>,
@@ -319,11 +373,28 @@ impl RelayCore {
     ) -> RelayCore {
         RelayCore {
             tracks: HashMap::new(),
+            pending: HashMap::new(),
             cache_per_track,
             policy,
             health: UplinkHealth::new(n_uplinks),
             stats: RelayStats::default(),
         }
+    }
+
+    /// Drops all track, cache, and pending-fetch state and marks every
+    /// uplink healthy again, keeping the cumulative counters. Used when
+    /// the owning node is revived after a mid-run shutdown: downstream
+    /// sessions and upstream connections are gone, so the bookkeeping
+    /// must start over.
+    pub fn reset(&mut self) {
+        self.tracks.clear();
+        self.pending.clear();
+        self.health = UplinkHealth::new(self.health.len());
+    }
+
+    /// Number of in-flight upstream fetches (pending-fetch table size).
+    pub fn pending_fetch_count(&self) -> usize {
+        self.pending.len()
     }
 
     /// Relay effectiveness counters.
@@ -464,14 +535,77 @@ impl RelayCore {
                 None => st.upstream = None,
             }
         }
+        // Pending upstream fetches that rode the dead uplink: re-issue on
+        // the uplink the policy now picks (the waiter list survives), or
+        // reject every waiter when no other uplink can serve the track.
+        let stranded: Vec<FullTrackName> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.uplink == uplink)
+            .map(|(t, _)| t.clone())
+            .collect();
+        for track in stranded {
+            let new = self.policy.route(&track, &self.health);
+            let p = self.pending.get_mut(&track).unwrap();
+            match new {
+                Some(new) if new != uplink => {
+                    p.uplink = new;
+                    self.stats.upstream_fetches += 1;
+                    actions.push(RelayAction::FetchUpstream {
+                        track,
+                        uplink: new,
+                        start_group: p.start_group,
+                        end_group: p.end_group,
+                    });
+                }
+                _ => {
+                    let p = self.pending.remove(&track).unwrap();
+                    for w in p.waiters {
+                        actions.push(RelayAction::RejectFetch {
+                            session: w.session,
+                            request_id: w.request_id,
+                        });
+                    }
+                }
+            }
+        }
         actions
     }
 
-    /// A connection to `uplink` is live again: mark it healthy. Existing
-    /// subscriptions stay where they are (no rebalancing churn); only new
-    /// routes see the recovered uplink.
-    pub fn on_uplink_up(&mut self, uplink: UplinkId) {
+    /// A connection to `uplink` is live again: mark it healthy and
+    /// *rebalance* — every track whose current uplink differs from what
+    /// the policy now picks moves back (a recovered uplink reclaims its
+    /// hash shard; a recovered failover primary reclaims everything).
+    /// Each move is an `UnsubscribeUpstream` on the old uplink plus a
+    /// fresh `SubscribeUpstream` on the recovered one, counted in
+    /// [`RelayStats::rebalances`].
+    pub fn on_uplink_up(&mut self, uplink: UplinkId) -> Vec<RelayAction> {
         self.health.set(uplink, true);
+        let mut actions = Vec::new();
+        for (track, st) in self.tracks.iter_mut() {
+            let Some(cur) = st.upstream else { continue };
+            if st.subscribers.is_empty() {
+                continue;
+            }
+            let Some(new) = self.policy.route(track, &self.health) else {
+                continue;
+            };
+            if new == cur {
+                continue;
+            }
+            st.upstream = Some(new);
+            self.stats.rebalances += 1;
+            self.stats.upstream_subscribes += 1;
+            actions.push(RelayAction::UnsubscribeUpstream {
+                track: track.clone(),
+                uplink: cur,
+            });
+            actions.push(RelayAction::SubscribeUpstream {
+                track: track.clone(),
+                uplink: new,
+            });
+        }
+        actions
     }
 
     /// An object arrived from upstream on `track`: cache + fan out.
@@ -508,8 +642,10 @@ impl RelayCore {
     }
 
     /// A downstream fetch for groups `[start_group, end_group]` of `track`.
-    /// Served from cache when the range is present; otherwise escalated on
-    /// the track's current uplink (or the policy's pick for it).
+    /// Served from cache when the range is present; coalesced into an
+    /// in-flight upstream fetch for the same track when one covers the
+    /// range; otherwise escalated on the track's current uplink (or the
+    /// policy's pick for it).
     pub fn on_downstream_fetch(
         &mut self,
         session: SessionKey,
@@ -530,37 +666,63 @@ impl RelayCore {
             .collect();
         if let (Some(largest), false) = (st.largest(), objects.is_empty()) {
             self.stats.fetch_cache_hits += 1;
-            vec![RelayAction::ServeFetch {
+            return vec![RelayAction::ServeFetch {
                 session,
                 request_id,
                 largest,
                 objects,
-            }]
-        } else {
-            self.stats.fetch_cache_misses += 1;
-            let uplink = st
-                .upstream
-                .or_else(|| self.policy.route(&track, &self.health))
-                .unwrap_or(0);
-            vec![RelayAction::FetchUpstream {
-                track,
-                uplink,
-                session,
-                request_id,
-                start_group,
-                end_group,
-            }]
+            }];
         }
+        self.stats.fetch_cache_misses += 1;
+        let waiter = Waiter {
+            session,
+            request_id,
+            start_group,
+            end_group,
+        };
+        if let Some(p) = self.pending.get_mut(&track) {
+            if p.start_group <= start_group && end_group <= p.end_group {
+                // The stampede case: an upstream fetch covering this range
+                // is already in flight — join its waiter list.
+                p.waiters.push(waiter);
+                self.stats.fetch_coalesced += 1;
+                return Vec::new();
+            }
+        }
+        let uplink = st
+            .upstream
+            .or_else(|| self.policy.route(&track, &self.health))
+            .unwrap_or(0);
+        // New upstream fetch. If a narrower one was in flight, widen the
+        // recorded range to the union and keep its waiters: whichever
+        // result lands first serves everyone (relay fetches are whole-track
+        // in practice, so this branch is a correctness backstop).
+        let entry = self.pending.entry(track.clone()).or_insert(PendingFetch {
+            uplink,
+            start_group,
+            end_group,
+            waiters: Vec::new(),
+        });
+        entry.start_group = entry.start_group.min(start_group);
+        entry.end_group = entry.end_group.max(end_group);
+        let (start_group, end_group) = (entry.start_group, entry.end_group);
+        entry.waiters.push(waiter);
+        self.stats.upstream_fetches += 1;
+        vec![RelayAction::FetchUpstream {
+            track,
+            uplink,
+            start_group,
+            end_group,
+        }]
     }
 
     /// The node completed an upstream fetch triggered by
-    /// [`RelayAction::FetchUpstream`]: cache the objects and serve the
-    /// waiting downstream fetch.
+    /// [`RelayAction::FetchUpstream`]: cache the objects and fan the
+    /// result out to every downstream fetch blocked in the waiter list
+    /// (each served exactly once).
     pub fn on_upstream_fetch_result(
         &mut self,
         track: &FullTrackName,
-        session: SessionKey,
-        request_id: u64,
         objects: Vec<Object>,
     ) -> Vec<RelayAction> {
         let st = self.tracks.entry(track.clone()).or_default();
@@ -568,13 +730,47 @@ impl RelayCore {
             st.cache
                 .insert((o.group_id, o.object_id), o.payload.clone());
         }
+        if self.cache_per_track > 0 {
+            while st.cache.len() > self.cache_per_track {
+                let oldest = *st.cache.keys().next().unwrap();
+                st.cache.remove(&oldest);
+            }
+        }
         let largest = st.largest().unwrap_or((0, 0));
-        vec![RelayAction::ServeFetch {
-            session,
-            request_id,
-            largest,
-            objects,
-        }]
+        let Some(p) = self.pending.remove(track) else {
+            return Vec::new();
+        };
+        self.stats.fetch_waiters_served += p.waiters.len() as u64;
+        p.waiters
+            .into_iter()
+            .map(|w| RelayAction::ServeFetch {
+                session: w.session,
+                request_id: w.request_id,
+                largest,
+                // Each waiter gets only the groups it asked for — the same
+                // range filter the cache-hit path applies.
+                objects: objects
+                    .iter()
+                    .filter(|o| (w.start_group..=w.end_group).contains(&o.group_id))
+                    .cloned()
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The upstream fetch for `track` failed (rejected or its uplink could
+    /// not be dialed): reject every waiter blocked on it.
+    pub fn on_upstream_fetch_failed(&mut self, track: &FullTrackName) -> Vec<RelayAction> {
+        let Some(p) = self.pending.remove(track) else {
+            return Vec::new();
+        };
+        p.waiters
+            .into_iter()
+            .map(|w| RelayAction::RejectFetch {
+                session: w.session,
+                request_id: w.request_id,
+            })
+            .collect()
     }
 }
 
@@ -685,14 +881,150 @@ mod tests {
         let a = r.on_downstream_fetch(2, 8, track(1), 5, 5);
         assert!(matches!(a[0], RelayAction::FetchUpstream { uplink: 0, .. }));
         assert_eq!(r.stats().fetch_cache_misses, 1);
-        let a = r.on_upstream_fetch_result(&track(1), 2, 8, vec![obj(5, b"v5")]);
+        assert_eq!(r.stats().upstream_fetches, 1);
+        assert_eq!(r.pending_fetch_count(), 1);
+        let a = r.on_upstream_fetch_result(&track(1), vec![obj(5, b"v5")]);
+        assert_eq!(a.len(), 1, "one waiter, one ServeFetch");
         match &a[0] {
-            RelayAction::ServeFetch { objects, .. } => assert_eq!(objects.len(), 1),
+            RelayAction::ServeFetch {
+                session,
+                request_id,
+                objects,
+                ..
+            } => {
+                assert_eq!((*session, *request_id), (2, 8));
+                assert_eq!(objects.len(), 1);
+            }
             other => panic!("{other:?}"),
         }
+        assert_eq!(r.pending_fetch_count(), 0);
         // Now cached for the next fetch.
         let a = r.on_downstream_fetch(3, 2, track(1), 5, 5);
         assert!(matches!(a[0], RelayAction::ServeFetch { .. }));
+    }
+
+    #[test]
+    fn fetch_stampede_coalesces_to_one_upstream_fetch() {
+        // N concurrent same-track joining fetches -> ONE FetchUpstream;
+        // the single result fans out to every blocked downstream.
+        let mut r = RelayCore::new(0);
+        let a = r.on_downstream_fetch(1, 10, track(1), 0, u64::MAX);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+        for s in 2..=8u64 {
+            let a = r.on_downstream_fetch(s, 10 + s, track(1), 0, u64::MAX);
+            assert!(a.is_empty(), "coalesced into the in-flight fetch");
+        }
+        assert_eq!(r.stats().fetch_cache_misses, 8);
+        assert_eq!(r.stats().fetch_coalesced, 7);
+        assert_eq!(r.stats().upstream_fetches, 1);
+
+        let acts = r.on_upstream_fetch_result(&track(1), vec![obj(3, b"v3")]);
+        assert_eq!(acts.len(), 8, "every waiter served");
+        let mut served: Vec<(u64, u64)> = acts
+            .iter()
+            .map(|a| match a {
+                RelayAction::ServeFetch {
+                    session,
+                    request_id,
+                    objects,
+                    largest,
+                } => {
+                    assert_eq!(objects.len(), 1);
+                    assert_eq!(*largest, (3, 0));
+                    (*session, *request_id)
+                }
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        served.sort_unstable();
+        served.dedup();
+        assert_eq!(served.len(), 8, "each downstream served exactly once");
+        assert_eq!(r.stats().fetch_waiters_served, 8);
+        // The result is cached: a late fetch is a plain hit.
+        let a = r.on_downstream_fetch(99, 1, track(1), 0, u64::MAX);
+        assert!(matches!(a[0], RelayAction::ServeFetch { .. }));
+    }
+
+    #[test]
+    fn waiter_fanout_filters_objects_to_each_requested_range() {
+        // A wide fetch opens the upstream fetch; a narrower one coalesces.
+        // The fan-out must serve each waiter only the groups it asked for,
+        // like the cache-hit path would.
+        let mut r = RelayCore::new(0);
+        let a = r.on_downstream_fetch(1, 10, track(1), 0, 10);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+        assert!(r.on_downstream_fetch(2, 20, track(1), 2, 3).is_empty());
+        let acts = r.on_upstream_fetch_result(&track(1), (0..=5).map(|g| obj(g, b"x")).collect());
+        assert_eq!(acts.len(), 2);
+        for a in &acts {
+            match a {
+                RelayAction::ServeFetch {
+                    session, objects, ..
+                } => {
+                    let groups: Vec<u64> = objects.iter().map(|o| o.group_id).collect();
+                    match session {
+                        1 => assert_eq!(groups, vec![0, 1, 2, 3, 4, 5]),
+                        2 => assert_eq!(groups, vec![2, 3], "narrow waiter filtered"),
+                        other => panic!("unexpected session {other}"),
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failed_upstream_fetch_rejects_all_waiters() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_fetch(1, 10, track(1), 0, u64::MAX);
+        r.on_downstream_fetch(2, 20, track(1), 0, u64::MAX);
+        let acts = r.on_upstream_fetch_failed(&track(1));
+        assert_eq!(acts.len(), 2);
+        assert!(acts
+            .iter()
+            .all(|a| matches!(a, RelayAction::RejectFetch { .. })));
+        assert_eq!(r.pending_fetch_count(), 0);
+        // A later fetch opens a fresh upstream fetch.
+        let a = r.on_downstream_fetch(3, 30, track(1), 0, u64::MAX);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+    }
+
+    #[test]
+    fn pending_fetch_reissued_when_uplink_dies() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(Failover));
+        let a = r.on_downstream_fetch(1, 10, track(1), 0, u64::MAX);
+        let died = match a[0] {
+            RelayAction::FetchUpstream { uplink, .. } => uplink,
+            ref other => panic!("{other:?}"),
+        };
+        let acts = r.on_uplink_closed(died);
+        // The in-flight fetch moves to the surviving uplink, waiters kept.
+        let refetched = acts.iter().find_map(|a| match a {
+            RelayAction::FetchUpstream { uplink, .. } => Some(*uplink),
+            _ => None,
+        });
+        assert_eq!(refetched, Some(1 - died));
+        assert_eq!(r.pending_fetch_count(), 1);
+        let served = r.on_upstream_fetch_result(&track(1), vec![obj(1, b"x")]);
+        assert_eq!(served.len(), 1);
+    }
+
+    #[test]
+    fn pending_fetch_rejected_when_no_uplink_left() {
+        let mut r = RelayCore::new(0); // StaticParent: only uplink 0.
+        r.on_downstream_fetch(1, 10, track(1), 0, u64::MAX);
+        let acts = r.on_uplink_closed(0);
+        // StaticParent routes back to the dead uplink 0: the fetch cannot
+        // move, so the waiter is rejected (the node would redial for the
+        // *subscription*, but an in-flight fetch has no result coming).
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            RelayAction::RejectFetch {
+                session: 1,
+                request_id: 10
+            }
+        )));
+        assert_eq!(r.pending_fetch_count(), 0);
     }
 
     #[test]
@@ -846,9 +1178,58 @@ mod tests {
         let a = r.on_uplink_closed(1);
         // Everything down: policy falls back to uplink 0 (redial).
         assert_eq!(subscribed_uplink(&a), Some(0));
-        // Recovery marks it healthy again for future routes.
-        r.on_uplink_up(1);
+        // Recovery marks it healthy — and rebalances the track onto the
+        // recovered uplink (better than a dead fallback).
+        let a = r.on_uplink_up(1);
         assert!(r.health().is_up(1));
+        assert_eq!(subscribed_uplink(&a), Some(1));
+        assert_eq!(r.stats().rebalances, 1);
+    }
+
+    #[test]
+    fn recovered_uplink_reclaims_its_hash_shard() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(HashShard));
+        // Subscribe tracks until both shards carry at least one.
+        let mut home = [Vec::new(), Vec::new()];
+        for t in 0..8u8 {
+            let a = r.on_downstream_subscribe(t as u64, 2, track(t));
+            home[subscribed_uplink(&a).unwrap()].push(t);
+        }
+        assert!(!home[0].is_empty() && !home[1].is_empty());
+        // Uplink 0 dies: its tracks ring-walk to uplink 1.
+        let a = r.on_uplink_closed(0);
+        assert_eq!(a.len(), home[0].len());
+        assert_eq!(r.stats().reroutes, home[0].len() as u64);
+        // Uplink 0 recovers: exactly its home tracks move back.
+        let acts = r.on_uplink_up(0);
+        let resubs: Vec<&RelayAction> = acts
+            .iter()
+            .filter(|a| matches!(a, RelayAction::SubscribeUpstream { uplink: 0, .. }))
+            .collect();
+        assert_eq!(resubs.len(), home[0].len(), "shard reclaimed");
+        // Every move pairs an unsubscribe on the temporary uplink.
+        let unsubs = acts
+            .iter()
+            .filter(|a| matches!(a, RelayAction::UnsubscribeUpstream { uplink: 1, .. }))
+            .count();
+        assert_eq!(unsubs, home[0].len());
+        assert_eq!(r.stats().rebalances, home[0].len() as u64);
+        // Tracks already home stay put: recovering uplink 1 moves nothing.
+        assert!(r.on_uplink_up(1).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_state_keeps_counters() {
+        let mut r = RelayCore::with_policy(0, 2, Box::new(HashShard));
+        r.on_downstream_subscribe(1, 2, track(1));
+        r.on_downstream_fetch(2, 8, track(2), 0, u64::MAX);
+        r.on_uplink_closed(0);
+        let before = r.stats();
+        r.reset();
+        assert_eq!(r.track_count(), 0);
+        assert_eq!(r.pending_fetch_count(), 0);
+        assert!(r.health().is_up(0), "health restarts optimistic");
+        assert_eq!(r.stats(), before, "cumulative counters survive");
     }
 
     #[test]
@@ -881,6 +1262,50 @@ mod tests {
         assert_eq!(subscribed_uplink(&a), Some(0));
         let a = r.on_uplink_closed(0);
         assert_eq!(subscribed_uplink(&a), Some(1), "ring walk to healthy");
+    }
+
+    proptest::proptest! {
+        /// Waiter fan-out is exact: for ANY interleaving of cache-missing
+        /// same-track fetches (distinct (session, request) pairs), one
+        /// upstream fetch is opened and its result serves every blocked
+        /// downstream exactly once — no drops, no duplicates.
+        #[test]
+        fn prop_waiter_fanout_serves_each_exactly_once(
+            n_waiters in 1usize..40,
+            track_byte in 0u8..255,
+        ) {
+            let mut r = RelayCore::new(0);
+            let t = track(track_byte);
+            let mut expected = Vec::new();
+            let mut upstream_fetches = 0;
+            for i in 0..n_waiters {
+                let (session, request_id) = (i as u64, (i * 7 + 3) as u64);
+                expected.push((session, request_id));
+                let acts = r.on_downstream_fetch(session, request_id, t.clone(), 0, u64::MAX);
+                upstream_fetches +=
+                    acts.iter()
+                        .filter(|a| matches!(a, RelayAction::FetchUpstream { .. }))
+                        .count();
+            }
+            proptest::prop_assert_eq!(upstream_fetches, 1);
+            proptest::prop_assert_eq!(r.stats().fetch_coalesced, n_waiters as u64 - 1);
+
+            let acts = r.on_upstream_fetch_result(&t, vec![obj(1, b"v")]);
+            let mut served: Vec<(u64, u64)> = acts
+                .iter()
+                .map(|a| match a {
+                    RelayAction::ServeFetch { session, request_id, .. } => {
+                        (*session, *request_id)
+                    }
+                    other => panic!("{other:?}"),
+                })
+                .collect();
+            served.sort_unstable();
+            expected.sort_unstable();
+            proptest::prop_assert_eq!(served, expected);
+            proptest::prop_assert_eq!(r.stats().fetch_waiters_served, n_waiters as u64);
+            proptest::prop_assert_eq!(r.pending_fetch_count(), 0);
+        }
     }
 
     #[test]

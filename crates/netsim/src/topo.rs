@@ -47,6 +47,19 @@ use crate::node::NodeId;
 use crate::sim::Simulator;
 use std::collections::HashMap;
 
+/// How a tier's children pick their parents among the tier above.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ParentMode {
+    /// Child `j` starts at parent `j % M` and walks forward — spreads
+    /// primary attachments round-robin (trees, failover pairs).
+    #[default]
+    Rotate,
+    /// Every child takes parents `[0..take]` in identical order — required
+    /// when uplink *index* must name the same parent at every child, e.g.
+    /// hash-shard meshes where shard `i` means "core relay `i`" globally.
+    Aligned,
+}
+
 /// One tier of the topology.
 #[derive(Debug, Clone)]
 pub struct TierSpec {
@@ -60,6 +73,8 @@ pub struct TierSpec {
     /// Link configuration applied in both directions between a node and
     /// each of its parents.
     pub link: LinkConfig,
+    /// Parent pick order (rotate round-robin vs. globally aligned).
+    pub parent_mode: ParentMode,
 }
 
 /// Context handed to the node factory for each node being created.
@@ -90,19 +105,33 @@ impl TopoBuilder {
         TopoBuilder::default()
     }
 
-    /// Appends a tier below the previously added ones.
+    /// Appends a tier below the previously added ones (rotating
+    /// round-robin parent assignment).
     pub fn tier(
+        self,
+        name: impl Into<String>,
+        count: usize,
+        parents_per_node: usize,
+        link: LinkConfig,
+    ) -> TopoBuilder {
+        self.tier_with_mode(name, count, parents_per_node, link, ParentMode::Rotate)
+    }
+
+    /// Appends a tier with an explicit [`ParentMode`].
+    pub fn tier_with_mode(
         mut self,
         name: impl Into<String>,
         count: usize,
         parents_per_node: usize,
         link: LinkConfig,
+        parent_mode: ParentMode,
     ) -> TopoBuilder {
         self.tiers.push(TierSpec {
             name: name.into(),
             count,
             parents_per_node,
             link,
+            parent_mode,
         });
         self
     }
@@ -119,6 +148,45 @@ impl TopoBuilder {
             b = b.tier(format!("tier{}", i + 1), count, 1, link);
         }
         b
+    }
+
+    /// Convenience: a deep relay chain — the paper's "5 MoQ relays on
+    /// average" distribution path as one call. One root named
+    /// `root_name`, then `hops` single-relay tiers named `hop1..hopN`,
+    /// each attached to the tier above over `link`. Append a leaf tier
+    /// (`.tier("stub", …)`) for subscribers.
+    pub fn chain(root_name: impl Into<String>, hops: usize, link: LinkConfig) -> TopoBuilder {
+        let mut b = TopoBuilder::new().tier(root_name, 1, 0, link);
+        for i in 1..=hops {
+            b = b.tier(format!("hop{i}"), 1, 1, link);
+        }
+        b
+    }
+
+    /// Convenience: a multi-region hash-shard mesh — one origin named
+    /// `origin_name`, a `core` tier of `cores` relays attached to it, and
+    /// an `edge` tier of `regions * edges_per_region` relays, each
+    /// attached to **all** cores in *aligned* order (uplink `i` is core
+    /// `i` at every edge, so a track's hash shard names the same core
+    /// everywhere). Edge `j` belongs to region `j / edges_per_region`.
+    /// Append a leaf tier for subscribers.
+    pub fn mesh(
+        origin_name: impl Into<String>,
+        cores: usize,
+        regions: usize,
+        edges_per_region: usize,
+        link: LinkConfig,
+    ) -> TopoBuilder {
+        TopoBuilder::new()
+            .tier(origin_name, 1, 0, link)
+            .tier("core", cores, 1, link)
+            .tier_with_mode(
+                "edge",
+                regions * edges_per_region,
+                cores,
+                link,
+                ParentMode::Aligned,
+            )
     }
 
     /// Instantiates the topology: calls `factory` once per node
@@ -139,7 +207,7 @@ impl TopoBuilder {
             let above: &[NodeId] = if ti == 0 { &[] } else { &tiers[ti - 1].1 };
             let mut ids = Vec::with_capacity(spec.count);
             for j in 0..spec.count {
-                let parents = assign_parents(j, spec.parents_per_node, above);
+                let parents = assign_parents(j, spec.parents_per_node, above, spec.parent_mode);
                 let ctx = TopoCtx {
                     tier: ti,
                     tier_name: &spec.name,
@@ -163,15 +231,19 @@ impl TopoBuilder {
     }
 }
 
-/// Deterministic parent pick: primary is round-robin (`j % M`), extra
-/// parents walk forward from the primary, never repeating.
-fn assign_parents(j: usize, want: usize, above: &[NodeId]) -> Vec<NodeId> {
+/// Deterministic parent pick. `Rotate`: primary is round-robin (`j % M`),
+/// extra parents walk forward from the primary, never repeating.
+/// `Aligned`: every child takes `above[0..take]` in identical order.
+fn assign_parents(j: usize, want: usize, above: &[NodeId], mode: ParentMode) -> Vec<NodeId> {
     let m = above.len();
     if m == 0 || want == 0 {
         return Vec::new();
     }
     let take = want.min(m);
-    (0..take).map(|s| above[(j + s) % m]).collect()
+    match mode {
+        ParentMode::Rotate => (0..take).map(|s| above[(j + s) % m]).collect(),
+        ParentMode::Aligned => above[..take].to_vec(),
+    }
 }
 
 /// The built topology: tier membership, parent sets, and edges.
@@ -323,6 +395,54 @@ mod tests {
         assert_eq!(topo.tier(2).len(), 8);
         // Every non-root node has exactly one parent.
         assert_eq!(topo.edges().count(), 10);
+    }
+
+    #[test]
+    fn chain_convenience_builds_deep_path() {
+        let mut sim = Simulator::new(1);
+        let topo = TopoBuilder::chain("auth", 5, LinkConfig::instant())
+            .tier("stub", 3, 1, LinkConfig::instant())
+            .build(&mut sim, silent);
+        // 1 origin + 5 relay hops + 3 stubs.
+        assert_eq!(topo.depth(), 7);
+        assert_eq!(topo.node_count(), 9);
+        for i in 1..=5 {
+            let tier = topo.tier_named(&format!("hop{i}"));
+            assert_eq!(tier.len(), 1);
+            assert_eq!(topo.parents_of(tier[0]).len(), 1);
+        }
+        // The chain is a straight line: hop5's parent is hop4 and so on
+        // up to the origin.
+        assert_eq!(
+            topo.primary_parent(topo.tier_named("hop5")[0]),
+            Some(topo.tier_named("hop4")[0])
+        );
+        assert_eq!(
+            topo.primary_parent(topo.tier_named("hop1")[0]),
+            Some(topo.tier_named("auth")[0])
+        );
+    }
+
+    #[test]
+    fn mesh_convenience_aligns_edge_uplinks() {
+        let mut sim = Simulator::new(1);
+        let topo = TopoBuilder::mesh("origin", 3, 2, 2, LinkConfig::instant())
+            .tier("stub", 4, 1, LinkConfig::instant())
+            .build(&mut sim, silent);
+        let cores = topo.tier_named("core");
+        assert_eq!(cores.len(), 3);
+        let edges = topo.tier_named("edge");
+        assert_eq!(edges.len(), 4, "2 regions x 2 edges");
+        // Aligned: uplink i names core i at EVERY edge — the property
+        // hash sharding needs for shard indices to be globally meaningful.
+        for &e in edges {
+            assert_eq!(topo.parents_of(e), cores);
+        }
+        // Every core attaches to the single origin.
+        let origin = topo.tier_named("origin")[0];
+        for &c in cores {
+            assert_eq!(topo.parents_of(c), &[origin]);
+        }
     }
 
     #[test]

@@ -76,8 +76,16 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
         alpn: Vec<Vec<u8>>,
         use_ticket: bool,
     ) -> ConnHandle {
-        let cid = self.next_cid;
+        // The handle IS the cid, so a client cid colliding with the cid of
+        // a connection this endpoint already holds (e.g. one *accepted*
+        // from a peer whose cid generator shares our seed) would silently
+        // overwrite that connection's state. Skip over taken cids.
+        let mut cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1);
+        while self.by_cid.contains_key(&cid) {
+            cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(0x9E37_79B9_7F4A_7C15).max(1);
+        }
         let ticket = if use_ticket {
             alpn.iter()
                 .find_map(|a| self.tickets.get(&(peer, a.clone())).cloned())
@@ -379,6 +387,26 @@ mod tests {
         let h1 = server.poll_incoming().unwrap();
         let h2 = server.poll_incoming().unwrap();
         assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn client_cid_never_collides_with_accepted_conn() {
+        // Two endpoints seeded identically generate the same client cid
+        // sequence. When B (a server) accepts A's connection and then
+        // dials out itself, its first client cid would equal the accepted
+        // connection's cid — and, since the handle IS the cid, overwrite
+        // that connection's state. The allocator must skip taken cids.
+        let mut a: Endpoint<Peer> = Endpoint::server(TransportConfig::default(), alpns(), 7);
+        let mut b: Endpoint<Peer> = Endpoint::server(TransportConfig::default(), alpns(), 7);
+        a.connect(t(0), 20, alpns(), false);
+        let (_, dg) = a.poll_transmit(t(0)).unwrap();
+        b.handle_datagram(t(0), 10, &dg);
+        let accepted = b.poll_incoming().unwrap();
+        let dialed = b.connect(t(0), 30, alpns(), false);
+        assert_ne!(accepted, dialed, "handle collision would clobber state");
+        assert_eq!(b.connection_count(), 2);
+        assert_eq!(b.peer_of(accepted), Some(10));
+        assert_eq!(b.peer_of(dialed), Some(30));
     }
 
     #[test]

@@ -269,9 +269,146 @@ impl TreeScenario {
     }
 }
 
+/// A multi-region hash-shard mesh instantiated on a real topology inside
+/// `netsim`: origin → core relays (one shard each) → per-region edge
+/// relays hash-sharding tracks across **all** cores → stubs.
+///
+/// Where [`TreeScenario`] pins the §3 one-copy-per-link invariant on a
+/// tree, this scenario pins three more of the paper's assumptions:
+///
+/// 1. sharding preserves aggregation — each update still crosses each
+///    upstream link at most once, summed per child exactly once;
+/// 2. a joining-fetch stampede is *coalesced* — concurrent same-track
+///    fetches produce one upstream fetch per relay per track, so the
+///    origin sees `tracks` fetches, not `stubs × tracks`;
+/// 3. shard recovery rebalances — killing a core re-routes its shard to
+///    surviving cores (ring walk) with zero loss, and reviving it makes
+///    every edge move the shard *back* with zero loss.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Core relays (= hash shards) attached to the origin.
+    pub cores: usize,
+    /// Regions of edge relays.
+    pub regions: usize,
+    /// Edge relays per region (each attaches to all cores, aligned).
+    pub edges_per_region: usize,
+    /// Stub subscribers per edge relay.
+    pub stubs_per_edge: usize,
+    /// Distinct records (tracks); every stub subscribes to all of them.
+    pub tracks: usize,
+    /// Updates pushed per track during each measured round.
+    pub updates_per_track: u64,
+    /// Gap between update rounds.
+    pub update_interval: Duration,
+    /// One-way delay of every link.
+    pub link_delay: Duration,
+}
+
+impl MeshScenario {
+    /// The standing multi-region mesh drill.
+    pub fn mesh() -> MeshScenario {
+        MeshScenario {
+            name: "mesh",
+            cores: 3,
+            regions: 3,
+            edges_per_region: 2,
+            stubs_per_edge: 8,
+            tracks: 6,
+            updates_per_track: 3,
+            update_interval: Duration::from_secs(5),
+            link_delay: Duration::from_millis(15),
+        }
+    }
+
+    /// A tiny variant for CI smoke runs (shape preserved, volume shrunk).
+    pub fn smoke(self) -> MeshScenario {
+        MeshScenario {
+            regions: self.regions.min(2),
+            stubs_per_edge: self.stubs_per_edge.min(2),
+            tracks: self.tracks.min(4),
+            updates_per_track: self.updates_per_track.min(2),
+            ..self
+        }
+    }
+
+    /// Total edge relays across all regions.
+    pub fn edge_count(&self) -> usize {
+        self.regions * self.edges_per_region
+    }
+
+    /// Total stub subscribers.
+    pub fn stub_count(&self) -> usize {
+        self.edge_count() * self.stubs_per_edge
+    }
+
+    /// Updates pushed at the origin per round.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// Deliveries one update round must produce: every stub sees every
+    /// update of every track exactly once.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.total_updates() * self.stub_count() as u64
+    }
+
+    /// §3 aggregation under sharding: copies of one update crossing any
+    /// single upstream link (origin→core, or the one core→edge link the
+    /// track's shard selects). Always 1.
+    pub fn copies_per_link(&self) -> u64 {
+        1
+    }
+
+    /// Upstream fetches one edge relay may open under a joining-fetch
+    /// stampede: one per track, however many stubs join at once.
+    pub fn edge_fetch_bound(&self) -> u64 {
+        self.tracks as u64
+    }
+
+    /// Upstream fetches the whole core tier may open under the stampede:
+    /// one per track system-wide (each track has exactly one home core,
+    /// which coalesces every edge's fetch).
+    pub fn core_tier_fetch_bound(&self) -> u64 {
+        self.tracks as u64
+    }
+
+    /// Fetches a naive (non-coalescing) deployment would escalate from
+    /// the edge tier during the stampede: one per stub per track.
+    pub fn naive_edge_fetches(&self) -> u64 {
+        self.stub_count() as u64 * self.tracks as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mesh_scenario_arithmetic() {
+        let s = MeshScenario::mesh();
+        assert_eq!(s.edge_count(), 6);
+        assert_eq!(s.stub_count(), 48);
+        assert_eq!(s.total_updates(), 18);
+        assert_eq!(s.expected_deliveries(), 18 * 48);
+        assert_eq!(s.copies_per_link(), 1);
+        // The stampede bound: 6 tracks -> 6 upstream fetches per edge and
+        // 6 across the whole core tier, vs 288 naive edge escalations.
+        assert_eq!(s.edge_fetch_bound(), 6);
+        assert_eq!(s.core_tier_fetch_bound(), 6);
+        assert_eq!(s.naive_edge_fetches(), 288);
+    }
+
+    #[test]
+    fn mesh_scenario_smoke_shrinks() {
+        let s = MeshScenario::mesh().smoke();
+        assert!(s.stub_count() <= 8);
+        assert!(s.total_updates() <= 8);
+        // Shape is preserved — the shard count stays put.
+        assert_eq!(s.cores, 3);
+        assert_eq!(s.edges_per_region, 2);
+    }
 
     #[test]
     fn tree_scenario_arithmetic() {
