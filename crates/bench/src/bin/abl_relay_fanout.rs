@@ -10,9 +10,12 @@
 //! hand-wired node lists.
 //!
 //! Run with `--smoke` for a scaled-down CI variant (fewer subscriber
-//! counts, fewer updates).
+//! counts, fewer updates) and `--check` to emit the machine-readable
+//! invariant summary (`results/ci_relay_fanout.json`) and exit nonzero
+//! on any violation.
 
 use moqdns_bench::cli::BenchOpts;
+use moqdns_bench::gate::InvariantGate;
 use moqdns_bench::report;
 use moqdns_bench::worlds::TreeStub;
 use moqdns_core::auth::AuthServer;
@@ -122,6 +125,7 @@ fn push_updates(b: &mut Built, n: u64) {
 fn main() {
     let opts = BenchOpts::from_args();
     report::heading("A3 / §3 — relay fan-out: aggregation and caching");
+    let mut gate = InvariantGate::new("relay_fanout", opts);
 
     let updates: u64 = if opts.smoke { 3 } else { 10 };
     let sub_counts: &[usize] = if opts.smoke { &[1, 5] } else { &[1, 5, 20] };
@@ -145,7 +149,11 @@ fn main() {
             .iter()
             .map(|n| direct.sim.node_ref::<TreeStub>(*n).updates)
             .sum();
-        assert_eq!(delivered, updates * *s as u64, "direct delivery complete");
+        gate.check_eq(
+            &format!("s{s}_direct_delivery"),
+            updates * *s as u64,
+            delivered,
+        );
 
         // Via relay.
         let mut relayed = build(*s, true, 400 + i as u64);
@@ -158,11 +166,32 @@ fn main() {
             .iter()
             .map(|n| relayed.sim.node_ref::<TreeStub>(*n).updates)
             .sum();
-        assert_eq!(delivered, updates * *s as u64, "relayed delivery complete");
-        let agg = relayed
-            .sim
-            .node_ref::<RelayNode>(relay_id)
-            .aggregation_factor();
+        gate.check_eq(
+            &format!("s{s}_relayed_delivery"),
+            updates * *s as u64,
+            delivered,
+        );
+        // The relay's whole point: S downstream subscriptions cost ONE
+        // upstream subscription, so the origin pushes each update once.
+        let relay = relayed.sim.node_ref::<RelayNode>(relay_id);
+        gate.check_eq(
+            &format!("s{s}_single_upstream_subscription"),
+            1,
+            relay.upstream_subscription_count() as u64,
+        );
+        let agg = relay.aggregation_factor();
+        gate.check_eq(&format!("s{s}_aggregation_factor"), *s as u64, agg as u64);
+        if *s > 1 {
+            // Aggregation keeps the origin cheaper than direct fan-out.
+            gate.check_true(
+                &format!("s{s}_origin_egress_shrinks"),
+                auth_egress < direct_egress,
+                format!("relayed {auth_egress} B < direct {direct_egress} B"),
+            );
+        }
+        gate.metric(&format!("s{s}_direct_auth_egress_bytes"), direct_egress);
+        gate.metric(&format!("s{s}_relayed_auth_egress_bytes"), auth_egress);
+        gate.metric(&format!("s{s}_relay_egress_bytes"), relay_egress);
 
         t.push(&[
             s.to_string(),
@@ -201,6 +230,13 @@ fn main() {
         "Late joiner: fetch answered = {fetched}, relay cache hits = {hits}, \
          relay→auth datagrams during join = {auth_touched} (cache absorbed the fetch)."
     );
-    assert!(fetched, "late joiner got the record from the relay cache");
-    assert!(hits >= 1);
+    gate.check_true(
+        "late_joiner_served_from_cache",
+        fetched,
+        format!("fetch answered = {fetched}"),
+    );
+    gate.check_ge("late_joiner_cache_hits", 1, hits);
+    gate.check_eq("late_join_auth_datagrams", 0, auth_touched);
+    gate.metric("late_joiner_cache_hits", hits);
+    gate.finish();
 }

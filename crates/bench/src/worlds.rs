@@ -20,9 +20,9 @@ use moqdns_dns::zone::Zone;
 use moqdns_moqt::relay::{track_hash, Failover, HashShard};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::topo::TopoBuilder;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator, Topology};
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, SimTime, Simulator, Topology};
 use moqdns_quic::TransportConfig;
-use moqdns_workload::scenarios::{MeshScenario, TreeScenario};
+use moqdns_workload::scenarios::{FederationScenario, MeshScenario, TreeScenario};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -267,6 +267,9 @@ pub struct TreeStub {
     pub updates_by_track: Vec<u64>,
     /// Joining fetches answered with at least one object.
     pub fetched: u64,
+    /// Sim time the most recent pushed update arrived (per-region
+    /// delivery latency: remote regions lag by the inter-region delay).
+    pub last_update_at: Option<SimTime>,
     /// Subscription request id -> question index.
     sub_to_track: HashMap<u64, usize>,
 }
@@ -287,6 +290,7 @@ impl TreeStub {
             updates: 0,
             updates_by_track: vec![0; n],
             fetched: 0,
+            last_update_at: None,
             sub_to_track: HashMap::new(),
         }
     }
@@ -296,11 +300,12 @@ impl TreeStub {
         self.updates_by_track.get(i).copied().unwrap_or(0)
     }
 
-    fn collect(&mut self, evs: Vec<StackEvent>) {
+    fn collect(&mut self, now: SimTime, evs: Vec<StackEvent>) {
         for e in evs {
             match e {
                 StackEvent::Session(_, SessionEvent::SubscriptionObject { request_id, .. }) => {
                     self.updates += 1;
+                    self.last_update_at = Some(now);
                     if let Some(&i) = self.sub_to_track.get(&request_id) {
                         self.updates_by_track[i] += 1;
                     }
@@ -329,16 +334,19 @@ impl Node for TreeStub {
                 self.sub_to_track.insert(sub_id, i);
             }
         }
+        let now = ctx.now();
         let evs = self.stack.flush(ctx);
-        self.collect(evs);
+        self.collect(now, evs);
     }
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+        let now = ctx.now();
         let evs = self.stack.on_datagram(ctx, from, &d);
-        self.collect(evs);
+        self.collect(now, evs);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let now = ctx.now();
         let evs = self.stack.on_timer(ctx);
-        self.collect(evs);
+        self.collect(now, evs);
     }
     fn as_any(&mut self) -> &mut dyn Any {
         self
@@ -777,6 +785,289 @@ impl MeshWorld {
         self.cores
             .iter()
             .map(|&c| self.sim.stats().between(c, e).delivered)
+            .sum()
+    }
+
+    /// Update datagrams delivered from the origin into all cores.
+    pub fn delivered_into_cores(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|&c| self.sim.stats().between(self.auth, c).delivered)
+            .sum()
+    }
+
+    /// Per-tier relay stats (core first, then edge).
+    pub fn tier_stats(&self) -> Vec<TierRelayStats> {
+        let mut out = Vec::new();
+        for (label, ids) in [("core", &self.cores), ("edge", &self.edges)] {
+            let mut tier = TierRelayStats::new(label);
+            for &id in ids {
+                let r = self.sim.node_ref::<RelayNode>(id);
+                tier.accumulate(r.stats(), r.upstream_subscription_count());
+            }
+            out.push(tier);
+        }
+        out
+    }
+}
+
+/// A cross-region **core federation** world (built from a
+/// [`FederationScenario`]):
+///
+/// ```text
+///                      auth (origin)
+///                   /       |       \          slow inter-region links
+///              core0 ══════ core1 ══════ core2    (full-mesh peer links;
+///               ║  \          |          /  ║      shard i homes on core i)
+///               ║ [region0] [region1] [region2]
+///             edge0 edge1  edge2 ...          region-local edges
+///               |     |      |                 (StaticParent -> own core)
+///             stubs stubs  stubs              TreeStub leaves
+/// ```
+///
+/// Unlike [`MeshWorld`] — where every edge attaches to every core — the
+/// edges here are **regional**: shard routing happens *between the
+/// cores*, over dedicated peer links. A core subscribes/fetches tracks
+/// homed on a sibling shard from that sibling, so the origin only ever
+/// serves each track once (to its home core), and a dead origin leaves
+/// every already-published track fully servable region-to-region.
+pub struct FederationWorld {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Tier/parent/peer bookkeeping from the builder.
+    pub topo: Topology,
+    /// The scenario this world was built from.
+    pub spec: FederationScenario,
+    /// Origin (authoritative) server node.
+    pub auth: NodeId,
+    /// Core relay nodes (shard `i` lives on `cores[i]`, serving region `i`).
+    pub cores: Vec<NodeId>,
+    /// Edge relay nodes (edge `j` belongs to region `j % cores`).
+    pub edges: Vec<NodeId>,
+    /// Stub subscriber nodes.
+    pub stubs: Vec<NodeId>,
+    /// The questions (one per track) every stub subscribes to.
+    pub questions: Vec<Question>,
+    zone_apex: Name,
+    /// Counter for naming post-kill late-joiner nodes.
+    late_nodes: usize,
+}
+
+impl FederationWorld {
+    /// Record name for track `i`.
+    pub fn record_name(i: usize) -> Name {
+        format!("r{i}.fed.example").parse().unwrap()
+    }
+
+    /// Builds the federation world from `spec` and settles it (stubs
+    /// connected, joining fetches answered, parent + peer subscriptions
+    /// in place).
+    pub fn build(spec: &FederationScenario, seed: u64) -> FederationWorld {
+        let mut sim = Simulator::new(seed);
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        let zone_apex: Name = "fed.example".parse().unwrap();
+        let mut zone = Zone::with_default_soa(zone_apex.clone());
+        for i in 0..spec.tracks {
+            zone.add_record(Record::new(
+                Self::record_name(i),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let questions: Vec<Question> = (0..spec.tracks)
+            .map(|i| Question::new(Self::record_name(i), RecordType::A))
+            .collect();
+
+        // Node creation is dense and tier-ordered: auth = 0, cores =
+        // 1..=K. A core's peer addresses are therefore known *before*
+        // the sibling nodes exist (asserted below).
+        let k = spec.cores;
+        let core_id = |s: usize| NodeId::from_index(1 + s);
+        let intra = LinkConfig::with_delay(spec.link_delay);
+        let inter = LinkConfig::with_delay(spec.peer_delay);
+        let qs = questions.clone();
+        let topo = TopoBuilder::new()
+            .tier("auth", 1, 0, inter)
+            .tier("core", k, 1, inter)
+            .tier("edge", spec.edge_count(), 1, intra)
+            .tier("stub", spec.stub_count(), 1, intra)
+            .peer_full_mesh("core", inter)
+            .build(&mut sim, move |sim, ctx| match ctx.tier_name {
+                "auth" => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(AuthServer::new(
+                        Authority::single(zone.clone()),
+                        TransportConfig::default()
+                            .idle_timeout(Duration::from_secs(3600))
+                            .keep_alive(Duration::from_secs(25)),
+                        11,
+                    )),
+                ),
+                "core" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    let peers: Vec<Addr> = (0..k)
+                        .filter(|&s| s != ctx.index)
+                        .map(|s| Addr::new(core_id(s), MOQT_PORT))
+                        .collect();
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(
+                            RelayNode::new(parent, 0, 40 + ctx.index as u64)
+                                .peers(peers, ctx.index)
+                                .tier("core"),
+                        ),
+                    )
+                }
+                "edge" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(RelayNode::new(parent, 0, 60 + ctx.index as u64).tier("edge")),
+                    )
+                }
+                _ => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(TreeStub::new(
+                        Addr::new(ctx.parents[0], MOQT_PORT),
+                        qs.clone(),
+                        100 + ctx.index as u64,
+                    )),
+                ),
+            });
+
+        let auth = topo.tier_named("auth")[0];
+        let cores = topo.tier_named("core").to_vec();
+        for (s, &c) in cores.iter().enumerate() {
+            assert_eq!(c, core_id(s), "dense tier-ordered node ids");
+        }
+        let edges = topo.tier_named("edge").to_vec();
+        let stubs = topo.tier_named("stub").to_vec();
+        let mut world = FederationWorld {
+            sim,
+            topo,
+            spec: *spec,
+            auth,
+            cores,
+            edges,
+            stubs,
+            questions,
+            zone_apex,
+            late_nodes: 0,
+        };
+        world
+            .sim
+            .run_until(world.sim.now() + Duration::from_secs(5));
+        world
+    }
+
+    /// The home core (hash shard) of track `i` — the only core that ever
+    /// contacts the origin for it.
+    pub fn home_core(&self, i: usize) -> usize {
+        let track = track_from_question(&self.questions[i], RequestFlags::iterative()).unwrap();
+        (track_hash(&track) % self.spec.cores as u64) as usize
+    }
+
+    /// Tracks homed on core `c`.
+    pub fn shard_size(&self, c: usize) -> usize {
+        (0..self.spec.tracks)
+            .filter(|&i| self.home_core(i) == c)
+            .count()
+    }
+
+    /// The region an edge index belongs to (edge `j` → region `j % cores`,
+    /// the round-robin parent assignment of the builder).
+    pub fn region_of_edge(&self, j: usize) -> usize {
+        j % self.spec.cores
+    }
+
+    /// Stub nodes whose edge lives in `region`.
+    pub fn region_stubs(&self, region: usize) -> Vec<NodeId> {
+        let edge_count = self.edges.len();
+        self.stubs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.region_of_edge(i % edge_count) == region)
+            .map(|(_, &s)| s)
+            .collect()
+    }
+
+    /// Replaces track `i`'s A record at the origin, triggering a push
+    /// through the federation.
+    pub fn update_track(&mut self, i: usize, new_octet: u8) {
+        let name = Self::record_name(i);
+        let apex = self.zone_apex.clone();
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |authority| {
+                if let Some(z) = authority.find_zone_mut(&apex) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            60,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+    }
+
+    /// Pushes one round of updates (every track once) and settles.
+    pub fn update_round(&mut self, octet_base: u8) {
+        for i in 0..self.spec.tracks {
+            self.update_track(i, octet_base.wrapping_add(i as u8));
+        }
+        let deadline = self.sim.now() + self.spec.update_interval;
+        self.sim.run_until(deadline);
+    }
+
+    /// Kills the origin mid-run (the federation drill: already-published
+    /// tracks must keep flowing region-to-region afterwards).
+    pub fn kill_origin(&mut self) {
+        let auth = self.auth;
+        self.sim.with_node::<AuthServer, _>(auth, |a, ctx| {
+            a.shutdown(ctx);
+        });
+    }
+
+    /// Adds a brand-new edge relay in `region` with `stubs` fresh stub
+    /// subscribers attached — a cold cache joining after (e.g.) the
+    /// origin died. Returns `(edge, stubs)`.
+    pub fn add_late_edge(&mut self, region: usize, stubs: usize) -> (NodeId, Vec<NodeId>) {
+        let core = self.cores[region];
+        let intra = LinkConfig::with_delay(self.spec.link_delay);
+        let n = self.late_nodes;
+        self.late_nodes += 1;
+        let edge = self.sim.add_node(
+            format!("late-edge{n}"),
+            Box::new(
+                RelayNode::new(Addr::new(core, MOQT_PORT), 0, 600 + n as u64).tier("late-edge"),
+            ),
+        );
+        self.sim.set_link(edge, core, intra);
+        let mut late_stubs = Vec::with_capacity(stubs);
+        for i in 0..stubs {
+            let s = self.sim.add_node(
+                format!("late-stub{n}-{i}"),
+                Box::new(TreeStub::new(
+                    Addr::new(edge, MOQT_PORT),
+                    self.questions.clone(),
+                    700 + (n * 16 + i) as u64,
+                )),
+            );
+            self.sim.set_link(s, edge, intra);
+            late_stubs.push(s);
+        }
+        (edge, late_stubs)
+    }
+
+    /// Total pushed updates received across the original stubs.
+    pub fn delivered_updates(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
             .sum()
     }
 

@@ -62,6 +62,8 @@ pub struct AuthServer {
     use_datagrams: bool,
     /// (connection, peer request id) -> subscription entry.
     subs: HashMap<(ConnHandle, u64), SubEntry>,
+    /// Taken down mid-run: ignore all further traffic.
+    dead: bool,
     /// Counters.
     pub stats: AuthStats,
 }
@@ -74,6 +76,7 @@ impl AuthServer {
             stack: MoqtStack::server(transport, seed),
             use_datagrams: false,
             subs: HashMap::new(),
+            dead: false,
             stats: AuthStats::default(),
         }
     }
@@ -103,6 +106,22 @@ impl AuthServer {
                 .values()
                 .map(|s| 64 + s.last_payload.len())
                 .sum::<usize>()
+    }
+
+    /// Takes the origin out of service: closes every connection (peers
+    /// see a CONNECTION_CLOSE, not an idle timeout) and drops all
+    /// subscription state. Used by the federation drill to prove
+    /// already-published tracks keep flowing core-to-core after the
+    /// origin dies.
+    pub fn shutdown(&mut self, ctx: &mut Ctx<'_>) {
+        self.stack.close_all(ctx, 0x0, "origin shutdown");
+        self.subs.clear();
+        self.dead = true;
+    }
+
+    /// Whether [`AuthServer::shutdown`] was called.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Applies a zone mutation and pushes resulting updates to subscribers
@@ -215,6 +234,10 @@ impl AuthServer {
         let track = match &kind {
             IncomingFetchKind::StandAlone { track, .. } => track.clone(),
             IncomingFetchKind::Joining { track, .. } => track.clone(),
+            // A federation fetch that escalated all the way to the origin
+            // is served like any standalone fetch (the hop budget only
+            // constrains core-to-core forwards).
+            IncomingFetchKind::Peer { track, .. } => track.clone(),
         };
         let Ok((question, _)) = question_from_track(&track) else {
             if let Some((session, conn)) = self.stack.session_conn(h) {
@@ -240,6 +263,9 @@ impl AuthServer {
 
 impl Node for AuthServer {
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+        if self.dead {
+            return;
+        }
         match to_port {
             DNS_PORT => {
                 if let Ok(reply) = serve_datagram(&self.authority, &payload) {
@@ -256,6 +282,9 @@ impl Node for AuthServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.dead {
+            return;
+        }
         if token == TOKEN_QUIC {
             let evs = self.stack.on_timer(ctx);
             self.handle_events(ctx, evs);

@@ -25,16 +25,19 @@
 //!   forwards over MoQT (§5: "provides DNS over MoQT functionality
 //!   directly at the client … enabling backwards compatibility");
 //! * [`relay_node`] — a MoQT relay wired into the simulator, using
-//!   `moqdns_moqt::relay::RelayCore` for aggregation + caching (§3) and a
-//!   `RoutePolicy` for per-track uplink selection (§5.3 relay trees);
-//! * [`uplinks`] — reusable upstream-connection management (N parents,
-//!   reconnect, subscription replay) for relays and other multi-homed
-//!   nodes;
+//!   `moqdns_moqt::relay::RelayCore` for aggregation + caching (§3), a
+//!   `RoutePolicy` for per-track uplink selection (§5.3 relay trees),
+//!   and an optional peer federation (cross-region cores serving each
+//!   other instead of the origin);
+//! * [`links`] — reusable upstream-link management (N parents + M
+//!   federated peers, reconnect, subscription replay) for relays and
+//!   other multi-homed nodes;
 //! * [`teardown`] — subscription clean-up policies (§4.4);
 //! * [`metrics`] — staleness/traffic/latency counters the experiments read.
 
 pub mod auth;
 pub mod forwarder;
+pub mod links;
 pub mod mapping;
 pub mod metrics;
 pub mod recursive;
@@ -42,10 +45,10 @@ pub mod relay_node;
 pub mod stack;
 pub mod stub;
 pub mod teardown;
-pub mod uplinks;
 
 pub use auth::AuthServer;
 pub use forwarder::Forwarder;
+pub use links::Links;
 pub use mapping::{
     object_from_response, question_from_track, response_from_object, track_from_question,
 };
@@ -53,7 +56,6 @@ pub use recursive::{RecursiveResolver, UpstreamMode};
 pub use relay_node::RelayNode;
 pub use stub::{StubMode, StubResolver};
 pub use teardown::TeardownPolicy;
-pub use uplinks::Uplinks;
 
 /// UDP port for classic DNS in the simulated world.
 pub const DNS_PORT: u16 = 53;

@@ -117,6 +117,9 @@ impl TierRelayStats {
             fetch_waiters_served,
             reroutes,
             rebalances,
+            peer_fetches,
+            peer_objects,
+            origin_offload,
         } = stats;
         self.totals.downstream_subscribes += downstream_subscribes;
         self.totals.upstream_subscribes += upstream_subscribes;
@@ -128,6 +131,9 @@ impl TierRelayStats {
         self.totals.fetch_waiters_served += fetch_waiters_served;
         self.totals.reroutes += reroutes;
         self.totals.rebalances += rebalances;
+        self.totals.peer_fetches += peer_fetches;
+        self.totals.peer_objects += peer_objects;
+        self.totals.origin_offload += origin_offload;
         self.upstream_subscriptions += live_upstream_subs;
     }
 
@@ -227,6 +233,9 @@ mod tests {
             fetch_waiters_served: 1,
             reroutes: 0,
             rebalances: 0,
+            peer_fetches: 1,
+            peer_objects: 4,
+            origin_offload: 1,
         };
         let b = RelayStats {
             downstream_subscribes: 16,
@@ -239,12 +248,18 @@ mod tests {
             fetch_waiters_served: 0,
             reroutes: 1,
             rebalances: 1,
+            peer_fetches: 0,
+            peer_objects: 2,
+            origin_offload: 0,
         };
         tier.accumulate(a, 1);
         tier.accumulate(b, 1);
         assert_eq!(tier.relays, 2);
         assert_eq!(tier.totals.objects_forwarded, 64);
         assert_eq!(tier.upstream_subscriptions, 2);
+        assert_eq!(tier.totals.peer_fetches, 1);
+        assert_eq!(tier.totals.peer_objects, 6);
+        assert_eq!(tier.totals.origin_offload, 1);
         assert!((tier.aggregation_factor() - 16.0).abs() < 1e-9);
     }
 

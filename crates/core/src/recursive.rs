@@ -745,6 +745,7 @@ impl RecursiveResolver {
                 let track = match kind {
                     IncomingFetchKind::StandAlone { track, .. } => track,
                     IncomingFetchKind::Joining { track, .. } => track,
+                    IncomingFetchKind::Peer { track, .. } => track,
                 };
                 self.down_pending
                     .entry((h, track))

@@ -1,20 +1,24 @@
 //! A MoQT relay wired into the simulator (paper §3, §5.3, ablation A3).
 //!
 //! Downstream it is a MoQT server; upstream it is a MoQT client of one or
-//! more parents (authoritative servers or other relays). All routing
-//! decisions come from [`moqdns_moqt::relay::RelayCore`], which never
-//! inspects object payloads — the relay works for DNS objects because it
-//! works for *any* objects. The upstream connection plumbing (dialing,
-//! queue-until-ready, replay, reconnect) lives in [`crate::uplinks`]; the
-//! per-track uplink choice comes from the core's
-//! [`moqdns_moqt::relay::RoutePolicy`], so the same node
-//! serves single-parent chains, hash-sharded meshes, and failover pairs.
+//! more parents (authoritative servers or other relays) **and**, when
+//! federated, of its peer cores in other regions. All routing decisions
+//! come from [`moqdns_moqt::relay::RelayCore`], which never inspects
+//! object payloads — the relay works for DNS objects because it works for
+//! *any* objects. The upstream link plumbing (dialing, queue-until-ready,
+//! replay, reconnect) lives in [`crate::links`]; the per-track link
+//! choice comes from the core's [`moqdns_moqt::relay::RoutePolicy`] plus
+//! its federation shard map, so the same node serves single-parent
+//! chains, hash-sharded meshes, failover pairs, and cross-region core
+//! federations ([`RelayNode::peers`]).
 
+use crate::links::Links;
 use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
-use crate::uplinks::Uplinks;
 use crate::MOQT_PORT;
 use moqdns_moqt::data::Object;
-use moqdns_moqt::relay::{RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent};
+use moqdns_moqt::relay::{
+    FederationConfig, RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent,
+};
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
 use moqdns_netsim::{Addr, Ctx, Node};
 use moqdns_quic::{ConnHandle, TransportConfig};
@@ -30,7 +34,7 @@ pub const TOKEN_UPLINK_PROBE: u64 = (1 << 56) + 1;
 pub struct RelayNode {
     stack: MoqtStack,
     core: RelayCore,
-    uplinks: Uplinks,
+    links: Links,
     /// Downstream session key (we use the connection handle's raw value).
     sessions: HashMap<u64, ConnHandle>,
     /// Tier label for stats tables ("tier1", "edge", …).
@@ -67,13 +71,27 @@ impl RelayNode {
         RelayNode {
             stack: MoqtStack::server(transport, seed),
             core: RelayCore::with_policy(cache_per_track, n, policy),
-            uplinks: Uplinks::new(parents),
+            links: Links::new(parents),
             sessions: HashMap::new(),
             tier: String::new(),
             probe_interval: Duration::from_secs(2),
             probe_armed: false,
             dead: false,
         }
+    }
+
+    /// Joins a cross-region core federation (builder style): `peers` are
+    /// the other cores' addresses in global shard order with this core
+    /// omitted, and `my_shard` is this core's shard index among
+    /// `peers.len() + 1` shards. Tracks homed on a peer shard are then
+    /// subscribed and fetched over the peer link to their home core
+    /// instead of escalating to the origin; the recovery probe and
+    /// rebalance machinery cover peer links exactly like parents.
+    pub fn peers(mut self, peers: Vec<Addr>, my_shard: usize) -> RelayNode {
+        let shards = peers.len() + 1;
+        self.links.add_peers(peers);
+        self.core = self.core.federate(FederationConfig::new(my_shard, shards));
+        self
     }
 
     /// Labels this relay's tier for per-tier stats aggregation.
@@ -108,9 +126,19 @@ impl RelayNode {
         self.core.aggregation_factor()
     }
 
-    /// Live upstream subscriptions across all uplinks.
+    /// Live upstream subscriptions across all links (parents + peers).
     pub fn upstream_subscription_count(&self) -> usize {
-        self.uplinks.total_subs()
+        self.links.total_subs()
+    }
+
+    /// Live upstream subscriptions riding parent uplinks (origin-bound).
+    pub fn parent_subscription_count(&self) -> usize {
+        self.links.parent_subs()
+    }
+
+    /// Live upstream subscriptions riding federated peer links.
+    pub fn peer_subscription_count(&self) -> usize {
+        self.links.peer_subs()
     }
 
     /// In-flight upstream fetches (the coalescing table's size).
@@ -139,7 +167,7 @@ impl RelayNode {
     pub fn revive(&mut self) {
         self.dead = false;
         self.core.reset();
-        self.uplinks.reset();
+        self.links.reset();
         self.sessions.clear();
         // A probe timer that fired while we were dead was swallowed by the
         // dead-check without clearing this flag; leaving it set would keep
@@ -154,22 +182,22 @@ impl RelayNode {
         }
     }
 
-    /// Redials every uplink the core currently believes down; re-arms the
-    /// probe while any remain down.
+    /// Redials every link (parent or peer) the core currently believes
+    /// down; re-arms the probe while any remain down.
     fn probe_uplinks(&mut self, ctx: &mut Ctx<'_>) {
         self.probe_armed = false;
-        let down: Vec<usize> = (0..self.uplinks.len())
-            .filter(|&u| !self.core.health().is_up(u))
+        let down: Vec<usize> = (0..self.links.len())
+            .filter(|&u| !self.core.is_link_up(u))
             .collect();
         if down.is_empty() {
             return;
         }
         for u in &down {
-            self.uplinks.redial(ctx, &mut self.stack, *u);
+            self.links.redial(ctx, &mut self.stack, *u);
         }
         let evs = self.stack.flush(ctx);
         self.handle_events(ctx, evs);
-        if (0..self.uplinks.len()).any(|u| !self.core.health().is_up(u)) {
+        if (0..self.links.len()).any(|u| !self.core.is_link_up(u)) {
             self.arm_probe(ctx);
         }
     }
@@ -178,7 +206,12 @@ impl RelayNode {
         for a in actions {
             match a {
                 RelayAction::SubscribeUpstream { track, uplink } => {
-                    self.uplinks.subscribe(ctx, &mut self.stack, uplink, track);
+                    self.links.subscribe(ctx, &mut self.stack, uplink, track);
+                }
+                RelayAction::SubscribePeer { track, link } => {
+                    // Same dial/queue/replay machine — a peer link is
+                    // just an upstream slot past the parents.
+                    self.links.subscribe(ctx, &mut self.stack, link, track);
                 }
                 RelayAction::AcceptDownstream {
                     session,
@@ -222,7 +255,7 @@ impl RelayNode {
                     start_group,
                     end_group,
                 } => {
-                    let ok = self.uplinks.fetch(
+                    let ok = self.links.fetch(
                         ctx,
                         &mut self.stack,
                         uplink,
@@ -237,6 +270,27 @@ impl RelayNode {
                         self.run_actions(ctx, acts);
                     }
                 }
+                RelayAction::FetchPeer {
+                    track,
+                    link,
+                    start_group,
+                    end_group,
+                    hop_budget,
+                } => {
+                    let ok = self.links.fetch_peer(
+                        ctx,
+                        &mut self.stack,
+                        link,
+                        track.clone(),
+                        start_group,
+                        end_group,
+                        hop_budget,
+                    );
+                    if !ok {
+                        let acts = self.core.on_upstream_fetch_failed(&track);
+                        self.run_actions(ctx, acts);
+                    }
+                }
                 RelayAction::RejectFetch {
                     session,
                     request_id,
@@ -244,7 +298,7 @@ impl RelayNode {
                     self.reject_downstream_fetch(session, request_id);
                 }
                 RelayAction::UnsubscribeUpstream { track, uplink } => {
-                    self.uplinks.unsubscribe(&mut self.stack, uplink, &track);
+                    self.links.unsubscribe(&mut self.stack, uplink, &track);
                 }
             }
         }
@@ -267,21 +321,20 @@ impl RelayNode {
                     self.sessions.insert(h.0, h);
                 }
                 StackEvent::Session(h, sev) => {
-                    let uplink = self.uplinks.classify(h);
+                    let uplink = self.links.classify(h);
                     match (uplink, sev) {
                         (Some(u), SessionEvent::Ready { .. }) => {
                             // A recovered uplink reclaims the tracks the
                             // policy homes on it (rebalancing).
                             let actions = self.core.on_uplink_up(u);
                             self.run_actions(ctx, actions);
-                            self.uplinks.on_session_ready(ctx, &mut self.stack, u);
+                            self.links.on_session_ready(ctx, &mut self.stack, u);
                             let evs = self.stack.flush(ctx);
                             self.handle_events(ctx, evs);
                         }
                         (Some(u), SessionEvent::SubscriptionObject { request_id, object }) => {
-                            if let Some(track) = self.uplinks.track_for_sub(u, request_id).cloned()
-                            {
-                                let actions = self.core.on_upstream_object(&track, object);
+                            if let Some(track) = self.links.track_for_sub(u, request_id).cloned() {
+                                let actions = self.core.on_link_object(u, &track, object);
                                 self.run_actions(ctx, actions);
                             }
                         }
@@ -292,13 +345,19 @@ impl RelayNode {
                                 objects,
                             },
                         ) => {
-                            if let Some(track) = self.uplinks.take_fetch(u, request_id) {
-                                let actions = self.core.on_upstream_fetch_result(&track, objects);
+                            if let Some((track, start, end)) = self.links.take_fetch(u, request_id)
+                            {
+                                // The answer covers only the range the
+                                // fetch requested; waiters beyond it keep
+                                // waiting on their re-issued wider fetch.
+                                let actions = self
+                                    .core
+                                    .on_upstream_fetch_result_range(&track, objects, start, end);
                                 self.run_actions(ctx, actions);
                             }
                         }
                         (Some(u), SessionEvent::FetchRejected { request_id, .. }) => {
-                            if let Some(track) = self.uplinks.take_fetch(u, request_id) {
+                            if let Some((track, _, _)) = self.links.take_fetch(u, request_id) {
                                 let actions = self.core.on_upstream_fetch_failed(&track);
                                 self.run_actions(ctx, actions);
                             }
@@ -308,13 +367,61 @@ impl RelayNode {
                             self.run_actions(ctx, actions);
                         }
                         (None, SessionEvent::IncomingFetch { request_id, kind }) => {
-                            let track = match kind {
-                                IncomingFetchKind::StandAlone { track, .. } => track,
-                                IncomingFetchKind::Joining { track, .. } => track,
+                            let actions = match kind {
+                                // A standalone fetch names an explicit group
+                                // range; honor it so a subset request can be
+                                // served from (or coalesced into) a wider
+                                // in-flight whole-track fetch. An end group
+                                // at the varint ceiling is the wire clamp of
+                                // "whole track" — widen it back to u64::MAX
+                                // so it coalesces with joining fetches.
+                                IncomingFetchKind::StandAlone {
+                                    track,
+                                    start_group,
+                                    end_group,
+                                } => {
+                                    let end_group = if end_group >= moqdns_wire::varint::MAX_VARINT
+                                    {
+                                        u64::MAX
+                                    } else {
+                                        end_group
+                                    };
+                                    self.core.on_downstream_fetch(
+                                        h.0,
+                                        request_id,
+                                        track,
+                                        start_group,
+                                        end_group,
+                                    )
+                                }
+                                IncomingFetchKind::Joining { track, .. } => self
+                                    .core
+                                    .on_downstream_fetch(h.0, request_id, track, 0, u64::MAX),
+                                IncomingFetchKind::Peer {
+                                    track,
+                                    start_group,
+                                    end_group,
+                                    hop_budget,
+                                } => {
+                                    // Same whole-track widening as above so
+                                    // peer and local whole-track fetches
+                                    // coalesce into one pending entry.
+                                    let end_group = if end_group >= moqdns_wire::varint::MAX_VARINT
+                                    {
+                                        u64::MAX
+                                    } else {
+                                        end_group
+                                    };
+                                    self.core.on_peer_fetch(
+                                        h.0,
+                                        request_id,
+                                        track,
+                                        start_group,
+                                        end_group,
+                                        hop_budget,
+                                    )
+                                }
                             };
-                            let actions =
-                                self.core
-                                    .on_downstream_fetch(h.0, request_id, track, 0, u64::MAX);
                             self.run_actions(ctx, actions);
                         }
                         (None, SessionEvent::PeerUnsubscribed { request_id }) => {
@@ -325,11 +432,11 @@ impl RelayNode {
                     }
                 }
                 StackEvent::Closed(h) => {
-                    if let Some(u) = self.uplinks.classify(h) {
+                    if let Some(u) = self.links.classify(h) {
                         // Forget the uplink's connection state, then let
                         // the core re-route its tracks and re-issue (or
                         // reject) the in-flight fetches stranded on it.
-                        self.uplinks.on_closed(u);
+                        self.links.on_closed(u);
                         let actions = self.core.on_uplink_closed(u);
                         self.run_actions(ctx, actions);
                         // Keep probing until the uplink recovers.

@@ -220,6 +220,151 @@ fn stampede_coalesces_to_one_fetch_per_tier() {
     }
 }
 
+/// A leaf that issues one *standalone* fetch for an explicit group range
+/// (no subscription), for the range-reuse drill below.
+struct RangeFetcher {
+    stack: MoqtStack,
+    server: Addr,
+    range: (u64, u64),
+    /// Objects returned for the fetch (None until answered).
+    got: Option<Vec<u64>>,
+}
+
+impl RangeFetcher {
+    fn new(server: Addr, range: (u64, u64), seed: u64) -> RangeFetcher {
+        RangeFetcher {
+            stack: MoqtStack::client(
+                TransportConfig::default()
+                    .idle_timeout(Duration::from_secs(3600))
+                    .keep_alive(Duration::from_secs(25)),
+                seed,
+            ),
+            server,
+            range,
+            got: None,
+        }
+    }
+
+    fn collect(&mut self, evs: Vec<StackEvent>) {
+        for e in evs {
+            if let StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. }) = e {
+                self.got = Some(objects.iter().map(|o| o.group_id).collect());
+            }
+        }
+    }
+}
+
+impl Node for RangeFetcher {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(h) = self.stack.connect(ctx.now(), self.server, false) else {
+            return;
+        };
+        let track = track_from_question(&question(0), RequestFlags::iterative()).unwrap();
+        if let Some((sess, conn)) = self.stack.session_conn(h) {
+            sess.fetch(conn, track, self.range.0, self.range.1);
+        }
+        let evs = self.stack.flush(ctx);
+        self.collect(evs);
+    }
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+        let evs = self.stack.on_datagram(ctx, from, &d);
+        self.collect(evs);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+        let evs = self.stack.on_timer(ctx);
+        self.collect(evs);
+    }
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any_ref(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Fetch-result range reuse: a whole-track joining fetch opens the one
+/// upstream fetch; a concurrent standalone fetch for a group-range
+/// *subset* must be served from that in-flight result — `upstream_fetches`
+/// stays 1 under mixed whole-track + subset waiters, and the subset
+/// waiter receives only the groups it asked for.
+#[test]
+fn subset_fetch_reuses_inflight_whole_track_fetch() {
+    let mut sim = Simulator::new(37);
+    let link = LinkConfig::with_delay(Duration::from_millis(10));
+    sim.set_default_link(link);
+    let zone = zone_with(1);
+
+    // auth → one relay → {whole-track subscriber, subset fetcher}.
+    let topo =
+        TopoBuilder::chain("auth", 1, link).build(&mut sim, |sim, ctx| match ctx.tier_name {
+            "auth" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(AuthServer::new(
+                    Authority::single(zone.clone()),
+                    TransportConfig::default()
+                        .idle_timeout(Duration::from_secs(3600))
+                        .keep_alive(Duration::from_secs(25)),
+                    11,
+                )),
+            ),
+            _ => sim.add_node(
+                ctx.name.clone(),
+                Box::new(
+                    RelayNode::new(Addr::new(ctx.parents[0], MOQT_PORT), 0, 40).tier(ctx.tier_name),
+                ),
+            ),
+        });
+    let relay = topo.tier_named("hop1")[0];
+    // Both leaves start at t=0: their fetches race into the relay's cold
+    // cache within the same RTT window.
+    let whole = sim.add_node(
+        "whole-track",
+        Box::new(Sub::new(
+            Addr::new(relay, MOQT_PORT),
+            vec![question(0)],
+            100,
+        )),
+    );
+    // The zone currently holds version 1 of the record; ask for exactly
+    // the group range covering it (a strict subset of the whole track).
+    let subset = sim.add_node(
+        "subset",
+        Box::new(RangeFetcher::new(Addr::new(relay, MOQT_PORT), (0, 2), 101)),
+    );
+    sim.set_link(whole, relay, link);
+    sim.set_link(subset, relay, link);
+    sim.run_until(sim.now() + Duration::from_secs(5));
+
+    // Both waiters served...
+    assert_eq!(
+        sim.node_ref::<Sub>(whole).fetched,
+        1,
+        "joining fetch served"
+    );
+    let got = sim
+        .node_ref::<RangeFetcher>(subset)
+        .got
+        .clone()
+        .expect("subset fetch answered");
+    assert!(!got.is_empty(), "subset waiter got its groups");
+    assert!(
+        got.iter().all(|&g| g <= 2),
+        "subset waiter only got requested groups: {got:?}"
+    );
+    // ...from ONE upstream fetch: the subset request coalesced into the
+    // in-flight whole-track fetch instead of opening a second one.
+    let r = sim.node_ref::<RelayNode>(relay);
+    assert_eq!(r.stats().fetch_cache_misses, 2, "both fetches missed cold");
+    assert_eq!(r.stats().upstream_fetches, 1, "one upstream fetch total");
+    assert_eq!(
+        r.stats().fetch_coalesced,
+        1,
+        "subset joined the waiter list"
+    );
+    assert_eq!(r.stats().fetch_waiters_served, 2);
+    assert_eq!(r.pending_fetch_count(), 0, "table drained");
+}
+
 /// A hash-shard edge whose uplink dies and comes back: tracks ring-walk
 /// away (reroutes), the recovery probe re-attaches, and the shard moves
 /// home again (rebalances) — updates delivered in every phase.

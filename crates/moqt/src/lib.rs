@@ -32,7 +32,8 @@ pub mod track;
 
 pub use message::ControlMessage;
 pub use relay::{
-    Failover, HashShard, RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent, UplinkId,
+    Failover, FederationConfig, HashShard, LinkClass, LinkId, RelayAction, RelayCore, RelayStats,
+    RoutePolicy, StaticParent, UplinkId,
 };
 pub use session::{Session, SessionConfig, SessionEvent};
 pub use track::FullTrackName;

@@ -48,6 +48,22 @@ pub enum FetchType {
         /// How many groups before the subscription start to fetch.
         joining_start: u64,
     },
+    /// Relay-federation fetch between peer cores (not part of draft-12;
+    /// a private extension tag). Identical to a standalone fetch except it
+    /// carries the remaining **hop budget**: each core that re-forwards a
+    /// peer fetch decrements it, and a fetch arriving with budget 0 is
+    /// rejected — rerouted requests can therefore never cycle through the
+    /// core graph.
+    Peer {
+        /// Track to fetch from.
+        track: FullTrackName,
+        /// First group.
+        start_group: u64,
+        /// Last group (inclusive).
+        end_group: u64,
+        /// Remaining core-to-core forwards this fetch may take.
+        hop_budget: u64,
+    },
 }
 
 /// A control message.
@@ -384,6 +400,18 @@ impl ControlMessage {
                         varint::put_varint(body, *joining_request_id);
                         varint::put_varint(body, *joining_start);
                     }
+                    FetchType::Peer {
+                        track,
+                        start_group,
+                        end_group,
+                        hop_budget,
+                    } => {
+                        varint::put_varint(body, 0x3);
+                        track.encode(body);
+                        varint::put_varint(body, *start_group);
+                        varint::put_varint(body, *end_group);
+                        varint::put_varint(body, *hop_budget);
+                    }
                 }
             }
             ControlMessage::FetchOk {
@@ -532,6 +560,12 @@ impl ControlMessage {
                         joining_request_id: varint::get_varint(r)?,
                         joining_start: varint::get_varint(r)?,
                     },
+                    0x3 => FetchType::Peer {
+                        track: FullTrackName::decode(r)?,
+                        start_group: varint::get_varint(r)?,
+                        end_group: varint::get_varint(r)?,
+                        hop_budget: varint::get_varint(r)?,
+                    },
                     _ => return Err(WireError::Invalid { what: "fetch type" }),
                 };
                 ControlMessage::Fetch { request_id, fetch }
@@ -651,6 +685,15 @@ mod tests {
                 fetch: FetchType::RelativeJoining {
                     joining_request_id: 2,
                     joining_start: 1,
+                },
+            },
+            ControlMessage::Fetch {
+                request_id: 10,
+                fetch: FetchType::Peer {
+                    track: track(),
+                    start_group: 0,
+                    end_group: 5,
+                    hop_budget: 3,
                 },
             },
             ControlMessage::FetchOk {

@@ -35,6 +35,20 @@
 //! [`UplinkId`]; when an uplink dies the owning node reports it via
 //! [`RelayCore::on_uplink_closed`] and executes the re-subscribe actions
 //! the core emits (the re-route is where fail-over actually happens).
+//!
+//! ## Federation
+//!
+//! Parents are not the only upstream direction: a core relay may join a
+//! **cross-region federation** ([`RelayCore::federate`]) in which every
+//! core is the shard-home of part of the track space and the cores serve
+//! *each other* over dedicated **peer links** ([`LinkClass`],
+//! [`FederationConfig`]). A cache miss for a track homed on a peer core
+//! emits [`RelayAction::FetchPeer`] / [`RelayAction::SubscribePeer`]
+//! toward that peer instead of escalating to the origin; only the home
+//! core of a track ever contacts the origin for it. Peer fetches carry a
+//! **hop budget** so rerouted requests can never cycle, and peer traffic
+//! is tallied in [`RelayStats::peer_fetches`],
+//! [`RelayStats::peer_objects`], and [`RelayStats::origin_offload`].
 
 use crate::data::Object;
 use crate::track::FullTrackName;
@@ -44,8 +58,65 @@ use std::collections::{BTreeMap, HashMap};
 /// Identifies one downstream session at the owning node.
 pub type SessionKey = u64;
 
-/// Index of one upstream parent in the relay's ordered uplink set.
-pub type UplinkId = usize;
+/// Index of one upstream link in the relay's ordered link set.
+///
+/// Links come in two classes (see [`LinkClass`]): indices
+/// `0..n_parents` are **parent** uplinks (routed by the [`RoutePolicy`]),
+/// and indices `n_parents..` are **peer** links toward federated sibling
+/// cores (routed by the [`FederationConfig`] shard map).
+pub type LinkId = usize;
+
+/// Backwards-compatible alias from the pre-federation, parents-only era.
+pub type UplinkId = LinkId;
+
+/// The class of one upstream link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// A parent uplink toward the origin side of the hierarchy.
+    Parent,
+    /// A peer link toward a federated sibling core.
+    Peer,
+}
+
+/// Cross-region core federation: this relay is one shard-home among
+/// `shards` peered cores. Tracks whose [`track_hash`] shard differs from
+/// `my_shard` are resolved over the **peer link** toward their home core
+/// (subscribe and fetch alike) instead of escalating to the origin; only
+/// the home core of a track ever talks to the origin for it.
+///
+/// Peer links are ordered by shard index with `my_shard` omitted, so the
+/// peer link for shard `s` is `n_parents + s - (s > my_shard)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationConfig {
+    /// This core's own shard index in `0..shards`.
+    pub my_shard: usize,
+    /// Total number of federated cores (= shards).
+    pub shards: usize,
+    /// Initial hop budget stamped on outgoing peer fetches. Each
+    /// core-to-core re-forward decrements it; a fetch arriving with
+    /// budget 0 that would need another peer hop is rejected instead,
+    /// which makes federation routing loop-free by construction.
+    pub hop_budget: u64,
+}
+
+impl FederationConfig {
+    /// Federation among `shards` cores as shard `my_shard`, with the
+    /// default hop budget of `shards` (any loop-free path is shorter).
+    pub fn new(my_shard: usize, shards: usize) -> FederationConfig {
+        assert!(shards >= 1 && my_shard < shards, "shard out of range");
+        FederationConfig {
+            my_shard,
+            shards,
+            hop_budget: shards as u64,
+        }
+    }
+
+    /// The home shard of `track` (the same arithmetic [`HashShard`] uses
+    /// at the edges, so edge sharding and core federation agree).
+    pub fn home_shard(&self, track: &FullTrackName) -> usize {
+        (track_hash(track) % self.shards as u64) as usize
+    }
+}
 
 /// Liveness of each uplink, as reported by the owning node.
 ///
@@ -256,8 +327,33 @@ pub enum RelayAction {
     UnsubscribeUpstream {
         /// Track to drop.
         track: FullTrackName,
-        /// Uplink that carried the subscription.
-        uplink: UplinkId,
+        /// Link (parent or peer) that carried the subscription.
+        uplink: LinkId,
+    },
+    /// Federation: open (or reuse) the session on peer link `link` and
+    /// subscribe to `track` there — the track is homed on that peer core,
+    /// so the subscription must not ride a parent uplink to the origin.
+    SubscribePeer {
+        /// Track to subscribe to at the peer core.
+        track: FullTrackName,
+        /// Which peer link the federation map chose.
+        link: LinkId,
+    },
+    /// Federation: cache miss for a track homed on a peer core — fetch it
+    /// over `link` instead of escalating to the origin. Carries the
+    /// remaining hop budget; the waiting downstream fetches live in the
+    /// pending-fetch table exactly like [`RelayAction::FetchUpstream`].
+    FetchPeer {
+        /// Track to fetch.
+        track: FullTrackName,
+        /// Which peer link to fetch over.
+        link: LinkId,
+        /// Start group requested.
+        start_group: u64,
+        /// End group requested (inclusive).
+        end_group: u64,
+        /// Core-to-core forwards the fetch may still take.
+        hop_budget: u64,
     },
 }
 
@@ -291,13 +387,18 @@ impl TrackState {
 /// the waiter list, and the single result fans out to all of them.
 #[derive(Debug)]
 struct PendingFetch {
-    /// Uplink carrying the in-flight upstream fetch.
-    uplink: UplinkId,
-    /// Start group of the in-flight request.
+    /// Link carrying the in-flight upstream fetch(es).
+    uplink: LinkId,
+    /// Start group of the in-flight request (union of all issued).
     start_group: u64,
-    /// End group (inclusive) of the in-flight request.
+    /// End group (inclusive) of the in-flight request (union).
     end_group: u64,
-    /// Downstream fetches blocked on the result.
+    /// Upstream fetches currently in flight for this track. Usually 1;
+    /// becomes 2 when a wider request arrives while a narrower fetch is
+    /// in flight (the widened union is re-issued). Results serve only
+    /// the waiters they cover until the last fetch lands.
+    outstanding: u32,
+    /// Downstream fetches blocked on a result.
     waiters: Vec<Waiter>,
 }
 
@@ -342,6 +443,16 @@ pub struct RelayStats {
     /// Tracks moved back onto a recovered uplink (its hash shard or
     /// failover priority reclaimed) by [`RelayCore::on_uplink_up`].
     pub rebalances: u64,
+    /// Upstream fetches that rode a **peer link** to a federated sibling
+    /// core instead of a parent uplink (subset of `upstream_fetches`).
+    pub peer_fetches: u64,
+    /// Objects that arrived over a peer link (federated distribution:
+    /// region-to-region traffic that never touched the origin).
+    pub peer_objects: u64,
+    /// Upstream actions (subscribes + fetches) the federation map served
+    /// over a peer link that a non-federated relay would have escalated
+    /// to the origin — the §5.3 origin-offload headline counter.
+    pub origin_offload: u64,
 }
 
 /// The relay's track/subscription/cache bookkeeping.
@@ -353,8 +464,41 @@ pub struct RelayCore {
     /// Cap on cached objects per track (oldest groups evicted first).
     cache_per_track: usize,
     policy: Box<dyn RoutePolicy>,
+    /// Health of the **parent** uplinks (what the route policy sees).
     health: UplinkHealth,
+    /// Health of the peer links, in federation shard order (self
+    /// omitted). Empty unless [`RelayCore::federate`] was called.
+    peers_up: Vec<bool>,
+    /// Cross-region federation shard map, when this core participates.
+    federation: Option<FederationConfig>,
     stats: RelayStats,
+}
+
+/// Per-track link choice with the federation map layered over the parent
+/// route policy. A free function over disjoint fields so the re-route
+/// loops can call it while iterating `tracks` mutably.
+///
+/// Tracks homed on a *peer* shard ride the peer link to their home core
+/// while that link is healthy; when it is down (or no federation is
+/// configured) the parent policy decides, which degrades a federated
+/// track to the classic origin escalation until the peer recovers.
+fn route_link(
+    federation: Option<&FederationConfig>,
+    peers_up: &[bool],
+    policy: &dyn RoutePolicy,
+    health: &UplinkHealth,
+    track: &FullTrackName,
+) -> Option<LinkId> {
+    if let Some(fed) = federation {
+        let home = fed.home_shard(track);
+        if home != fed.my_shard {
+            let peer = home - usize::from(home > fed.my_shard);
+            if peers_up.get(peer).copied().unwrap_or(false) {
+                return Some(health.len() + peer);
+            }
+        }
+    }
+    policy.route(track, health)
 }
 
 impl RelayCore {
@@ -377,7 +521,100 @@ impl RelayCore {
             cache_per_track,
             policy,
             health: UplinkHealth::new(n_uplinks),
+            peers_up: Vec::new(),
+            federation: None,
             stats: RelayStats::default(),
+        }
+    }
+
+    /// Joins a cross-region core federation: adds `fed.shards - 1` peer
+    /// links (shard order, self omitted) after the parent uplinks and
+    /// activates the shard map of [`FederationConfig`].
+    pub fn federate(mut self, fed: FederationConfig) -> RelayCore {
+        self.peers_up = vec![true; fed.shards - 1];
+        self.federation = Some(fed);
+        self
+    }
+
+    /// The federation config, when this core is federated.
+    pub fn federation(&self) -> Option<&FederationConfig> {
+        self.federation.as_ref()
+    }
+
+    /// Number of parent uplinks (links `0..n` are parents).
+    pub fn parent_count(&self) -> usize {
+        self.health.len()
+    }
+
+    /// Number of peer links (links `parent_count()..link_count()`).
+    pub fn peer_count(&self) -> usize {
+        self.peers_up.len()
+    }
+
+    /// Total links, parents first then peers.
+    pub fn link_count(&self) -> usize {
+        self.health.len() + self.peers_up.len()
+    }
+
+    /// The class of link `link`.
+    pub fn link_class(&self, link: LinkId) -> LinkClass {
+        if link < self.health.len() {
+            LinkClass::Parent
+        } else {
+            LinkClass::Peer
+        }
+    }
+
+    /// Whether link `link` (parent or peer) is currently believed healthy.
+    pub fn is_link_up(&self, link: LinkId) -> bool {
+        match self.link_class(link) {
+            LinkClass::Parent => self.health.is_up(link),
+            LinkClass::Peer => self
+                .peers_up
+                .get(link - self.health.len())
+                .copied()
+                .unwrap_or(false),
+        }
+    }
+
+    /// The peer link carrying traffic toward shard `shard`'s home core.
+    /// `None` for this core's own shard or without federation.
+    pub fn peer_link_for_shard(&self, shard: usize) -> Option<LinkId> {
+        let fed = self.federation.as_ref()?;
+        if shard == fed.my_shard || shard >= fed.shards {
+            return None;
+        }
+        Some(self.health.len() + shard - usize::from(shard > fed.my_shard))
+    }
+
+    /// The shard whose home core sits behind peer link `link` (inverse of
+    /// [`RelayCore::peer_link_for_shard`]).
+    pub fn shard_for_peer_link(&self, link: LinkId) -> Option<usize> {
+        let fed = self.federation.as_ref()?;
+        let peer = link.checked_sub(self.health.len())?;
+        if peer >= fed.shards - 1 {
+            return None;
+        }
+        Some(peer + usize::from(peer >= fed.my_shard))
+    }
+
+    fn set_link_health(&mut self, link: LinkId, up: bool) {
+        let parents = self.health.len();
+        if link < parents {
+            self.health.set(link, up);
+        } else if let Some(slot) = self.peers_up.get_mut(link - parents) {
+            *slot = up;
+        }
+    }
+
+    /// The subscribe action for `track` on `link`, typed by link class.
+    fn subscribe_action(&self, track: FullTrackName, link: LinkId) -> RelayAction {
+        match self.link_class(link) {
+            LinkClass::Parent => RelayAction::SubscribeUpstream {
+                track,
+                uplink: link,
+            },
+            LinkClass::Peer => RelayAction::SubscribePeer { track, link },
         }
     }
 
@@ -390,6 +627,7 @@ impl RelayCore {
         self.tracks.clear();
         self.pending.clear();
         self.health = UplinkHealth::new(self.health.len());
+        self.peers_up = vec![true; self.peers_up.len()];
     }
 
     /// Number of in-flight upstream fetches (pending-fetch table size).
@@ -457,10 +695,19 @@ impl RelayCore {
             largest: st.largest(),
         }];
         if st.upstream.is_none() {
-            if let Some(uplink) = self.policy.route(&track, &self.health) {
-                st.upstream = Some(uplink);
+            if let Some(link) = route_link(
+                self.federation.as_ref(),
+                &self.peers_up,
+                self.policy.as_ref(),
+                &self.health,
+                &track,
+            ) {
+                st.upstream = Some(link);
                 self.stats.upstream_subscribes += 1;
-                actions.insert(0, RelayAction::SubscribeUpstream { track, uplink });
+                if self.link_class(link) == LinkClass::Peer {
+                    self.stats.origin_offload += 1;
+                }
+                actions.insert(0, self.subscribe_action(track, link));
             }
         }
         actions
@@ -505,13 +752,16 @@ impl RelayCore {
         actions
     }
 
-    /// The connection behind `uplink` closed. Marks it down and re-routes
-    /// every track whose upstream subscription lived there: each gets a
-    /// fresh [`RelayAction::SubscribeUpstream`] on the uplink the policy
-    /// now picks (possibly the same one — that makes the node redial).
-    pub fn on_uplink_closed(&mut self, uplink: UplinkId) -> Vec<RelayAction> {
-        self.health.set(uplink, false);
+    /// The connection behind link `uplink` (parent *or* peer) closed.
+    /// Marks it down and re-routes every track whose upstream
+    /// subscription lived there: each gets a fresh subscribe action on
+    /// the link the routing now picks (possibly the same one — that makes
+    /// the node redial; a track homed on a dead peer degrades to the
+    /// parent policy's pick until the peer recovers).
+    pub fn on_uplink_closed(&mut self, uplink: LinkId) -> Vec<RelayAction> {
+        self.set_link_health(uplink, false);
         let mut actions = Vec::new();
+        let mut resubs: Vec<(FullTrackName, LinkId)> = Vec::new();
         for (track, st) in self.tracks.iter_mut() {
             if st.upstream != Some(uplink) {
                 continue;
@@ -520,24 +770,33 @@ impl RelayCore {
                 st.upstream = None;
                 continue;
             }
-            match self.policy.route(track, &self.health) {
+            match route_link(
+                self.federation.as_ref(),
+                &self.peers_up,
+                self.policy.as_ref(),
+                &self.health,
+                track,
+            ) {
                 Some(new) => {
                     if new != uplink {
                         self.stats.reroutes += 1;
                     }
                     self.stats.upstream_subscribes += 1;
+                    if new >= self.health.len() {
+                        self.stats.origin_offload += 1;
+                    }
                     st.upstream = Some(new);
-                    actions.push(RelayAction::SubscribeUpstream {
-                        track: track.clone(),
-                        uplink: new,
-                    });
+                    resubs.push((track.clone(), new));
                 }
                 None => st.upstream = None,
             }
         }
-        // Pending upstream fetches that rode the dead uplink: re-issue on
-        // the uplink the policy now picks (the waiter list survives), or
-        // reject every waiter when no other uplink can serve the track.
+        for (track, link) in resubs {
+            actions.push(self.subscribe_action(track, link));
+        }
+        // Pending upstream fetches that rode the dead link: re-issue on
+        // the link the routing now picks (the waiter list survives), or
+        // reject every waiter when no other link can serve the track.
         let stranded: Vec<FullTrackName> = self
             .pending
             .iter()
@@ -545,18 +804,24 @@ impl RelayCore {
             .map(|(t, _)| t.clone())
             .collect();
         for track in stranded {
-            let new = self.policy.route(&track, &self.health);
-            let p = self.pending.get_mut(&track).unwrap();
+            let new = route_link(
+                self.federation.as_ref(),
+                &self.peers_up,
+                self.policy.as_ref(),
+                &self.health,
+                &track,
+            );
             match new {
                 Some(new) if new != uplink => {
+                    let p = self.pending.get_mut(&track).unwrap();
                     p.uplink = new;
+                    // Everything in flight rode the dead link; one fresh
+                    // fetch for the whole recorded union replaces it.
+                    p.outstanding = 1;
+                    let (start_group, end_group) = (p.start_group, p.end_group);
                     self.stats.upstream_fetches += 1;
-                    actions.push(RelayAction::FetchUpstream {
-                        track,
-                        uplink: new,
-                        start_group: p.start_group,
-                        end_group: p.end_group,
-                    });
+                    let stamp = self.fresh_peer_budget();
+                    actions.push(self.fetch_action(track, new, start_group, end_group, stamp));
                 }
                 _ => {
                     let p = self.pending.remove(&track).unwrap();
@@ -572,22 +837,30 @@ impl RelayCore {
         actions
     }
 
-    /// A connection to `uplink` is live again: mark it healthy and
-    /// *rebalance* — every track whose current uplink differs from what
-    /// the policy now picks moves back (a recovered uplink reclaims its
-    /// hash shard; a recovered failover primary reclaims everything).
-    /// Each move is an `UnsubscribeUpstream` on the old uplink plus a
-    /// fresh `SubscribeUpstream` on the recovered one, counted in
+    /// A connection on link `uplink` (parent *or* peer) is live again:
+    /// mark it healthy and *rebalance* — every track whose current link
+    /// differs from what the routing now picks moves back (a recovered
+    /// uplink reclaims its hash shard; a recovered failover primary
+    /// reclaims everything; a recovered peer reclaims the federated
+    /// tracks homed on it). Each move is an `UnsubscribeUpstream` on the
+    /// old link plus a fresh subscribe on the recovered one, counted in
     /// [`RelayStats::rebalances`].
-    pub fn on_uplink_up(&mut self, uplink: UplinkId) -> Vec<RelayAction> {
-        self.health.set(uplink, true);
+    pub fn on_uplink_up(&mut self, uplink: LinkId) -> Vec<RelayAction> {
+        self.set_link_health(uplink, true);
         let mut actions = Vec::new();
+        let mut moves: Vec<(FullTrackName, LinkId, LinkId)> = Vec::new();
         for (track, st) in self.tracks.iter_mut() {
             let Some(cur) = st.upstream else { continue };
             if st.subscribers.is_empty() {
                 continue;
             }
-            let Some(new) = self.policy.route(track, &self.health) else {
+            let Some(new) = route_link(
+                self.federation.as_ref(),
+                &self.peers_up,
+                self.policy.as_ref(),
+                &self.health,
+                track,
+            ) else {
                 continue;
             };
             if new == cur {
@@ -596,16 +869,34 @@ impl RelayCore {
             st.upstream = Some(new);
             self.stats.rebalances += 1;
             self.stats.upstream_subscribes += 1;
+            if new >= self.health.len() {
+                self.stats.origin_offload += 1;
+            }
+            moves.push((track.clone(), cur, new));
+        }
+        for (track, cur, new) in moves {
             actions.push(RelayAction::UnsubscribeUpstream {
                 track: track.clone(),
                 uplink: cur,
             });
-            actions.push(RelayAction::SubscribeUpstream {
-                track: track.clone(),
-                uplink: new,
-            });
+            actions.push(self.subscribe_action(track, new));
         }
         actions
+    }
+
+    /// An object arrived over link `link` on `track`: counts federated
+    /// (peer-link) traffic in [`RelayStats::peer_objects`], then caches
+    /// and fans out exactly like [`RelayCore::on_upstream_object`].
+    pub fn on_link_object(
+        &mut self,
+        link: LinkId,
+        track: &FullTrackName,
+        object: Object,
+    ) -> Vec<RelayAction> {
+        if self.link_class(link) == LinkClass::Peer {
+            self.stats.peer_objects += 1;
+        }
+        self.on_upstream_object(track, object)
     }
 
     /// An object arrived from upstream on `track`: cache + fan out.
@@ -641,11 +932,53 @@ impl RelayCore {
         actions
     }
 
+    /// The fetch action for `track` on `link`, typed by link class, with
+    /// peer-traffic counters applied. A peer fetch is stamped with
+    /// `stamp_budget`, the hops the *receiver* may still spend.
+    fn fetch_action(
+        &mut self,
+        track: FullTrackName,
+        link: LinkId,
+        start_group: u64,
+        end_group: u64,
+        stamp_budget: u64,
+    ) -> RelayAction {
+        match self.link_class(link) {
+            LinkClass::Parent => RelayAction::FetchUpstream {
+                track,
+                uplink: link,
+                start_group,
+                end_group,
+            },
+            LinkClass::Peer => {
+                self.stats.peer_fetches += 1;
+                self.stats.origin_offload += 1;
+                RelayAction::FetchPeer {
+                    track,
+                    link,
+                    start_group,
+                    end_group,
+                    hop_budget: stamp_budget,
+                }
+            }
+        }
+    }
+
+    /// Budget stamped on a freshly originated peer fetch (the hop being
+    /// taken is already spent).
+    fn fresh_peer_budget(&self) -> u64 {
+        self.federation
+            .as_ref()
+            .map(|f| f.hop_budget.saturating_sub(1))
+            .unwrap_or(0)
+    }
+
     /// A downstream fetch for groups `[start_group, end_group]` of `track`.
     /// Served from cache when the range is present; coalesced into an
     /// in-flight upstream fetch for the same track when one covers the
-    /// range; otherwise escalated on the track's current uplink (or the
-    /// policy's pick for it).
+    /// range; otherwise escalated on the track's current link (or the
+    /// routing's pick for it — a peer link when the track is federated
+    /// and homed elsewhere).
     pub fn on_downstream_fetch(
         &mut self,
         session: SessionKey,
@@ -653,6 +986,47 @@ impl RelayCore {
         track: FullTrackName,
         start_group: u64,
         end_group: u64,
+    ) -> Vec<RelayAction> {
+        let budget = self
+            .federation
+            .as_ref()
+            .map(|f| f.hop_budget)
+            .unwrap_or(u64::MAX);
+        self.fetch_inner(session, request_id, track, start_group, end_group, budget)
+    }
+
+    /// A federation fetch arrived from a peer core carrying `hop_budget`.
+    /// Identical to a downstream fetch except that re-forwarding it to
+    /// *another* peer spends budget: a fetch that would need a peer hop
+    /// with budget 0 is rejected instead of forwarded, so a rerouted
+    /// request can never cycle through the core graph.
+    pub fn on_peer_fetch(
+        &mut self,
+        session: SessionKey,
+        request_id: u64,
+        track: FullTrackName,
+        start_group: u64,
+        end_group: u64,
+        hop_budget: u64,
+    ) -> Vec<RelayAction> {
+        self.fetch_inner(
+            session,
+            request_id,
+            track,
+            start_group,
+            end_group,
+            hop_budget,
+        )
+    }
+
+    fn fetch_inner(
+        &mut self,
+        session: SessionKey,
+        request_id: u64,
+        track: FullTrackName,
+        start_group: u64,
+        end_group: u64,
+        budget: u64,
     ) -> Vec<RelayAction> {
         let st = self.tracks.entry(track.clone()).or_default();
         let objects: Vec<Object> = st
@@ -683,7 +1057,8 @@ impl RelayCore {
         if let Some(p) = self.pending.get_mut(&track) {
             if p.start_group <= start_group && end_group <= p.end_group {
                 // The stampede case: an upstream fetch covering this range
-                // is already in flight — join its waiter list.
+                // is already in flight — join its waiter list. A budgeted
+                // peer fetch may always coalesce: joining spends no hop.
                 p.waiters.push(waiter);
                 self.stats.fetch_coalesced += 1;
                 return Vec::new();
@@ -691,33 +1066,49 @@ impl RelayCore {
         }
         let uplink = st
             .upstream
-            .or_else(|| self.policy.route(&track, &self.health))
+            .or_else(|| {
+                route_link(
+                    self.federation.as_ref(),
+                    &self.peers_up,
+                    self.policy.as_ref(),
+                    &self.health,
+                    &track,
+                )
+            })
             .unwrap_or(0);
+        if self.link_class(uplink) == LinkClass::Peer && budget == 0 {
+            // Forwarding to another peer would exceed the hop budget:
+            // reject rather than risk a routing cycle.
+            return vec![RelayAction::RejectFetch {
+                session,
+                request_id,
+            }];
+        }
         // New upstream fetch. If a narrower one was in flight, widen the
-        // recorded range to the union and keep its waiters: whichever
-        // result lands first serves everyone (relay fetches are whole-track
-        // in practice, so this branch is a correctness backstop).
+        // recorded range to the union, re-issue for the union, and keep
+        // its waiters: each result serves exactly the waiters it covers
+        // (relay fetches are whole-track in practice, so the two-fetch
+        // case is a correctness backstop).
         let entry = self.pending.entry(track.clone()).or_insert(PendingFetch {
             uplink,
             start_group,
             end_group,
+            outstanding: 0,
             waiters: Vec::new(),
         });
         entry.start_group = entry.start_group.min(start_group);
         entry.end_group = entry.end_group.max(end_group);
+        entry.outstanding += 1;
         let (start_group, end_group) = (entry.start_group, entry.end_group);
         entry.waiters.push(waiter);
         self.stats.upstream_fetches += 1;
-        vec![RelayAction::FetchUpstream {
-            track,
-            uplink,
-            start_group,
-            end_group,
-        }]
+        let stamp = budget.saturating_sub(1);
+        vec![self.fetch_action(track, uplink, start_group, end_group, stamp)]
     }
 
     /// The node completed an upstream fetch triggered by
-    /// [`RelayAction::FetchUpstream`]: cache the objects and fan the
+    /// [`RelayAction::FetchUpstream`] / [`RelayAction::FetchPeer`],
+    /// answering a whole-track request: cache the objects and fan the
     /// result out to every downstream fetch blocked in the waiter list
     /// (each served exactly once).
     pub fn on_upstream_fetch_result(
@@ -725,45 +1116,100 @@ impl RelayCore {
         track: &FullTrackName,
         objects: Vec<Object>,
     ) -> Vec<RelayAction> {
+        self.on_upstream_fetch_result_range(track, objects, 0, u64::MAX)
+    }
+
+    /// Like [`RelayCore::on_upstream_fetch_result`], but the answer is
+    /// known to cover only groups `[ans_start, ans_end]` (the range the
+    /// fetch requested). Waiters whose requested range that answer covers
+    /// are served now (from the updated cache); waiters blocked on a
+    /// wider re-issued fetch stay pending until it lands — a narrow
+    /// result must never short-serve a whole-track waiter.
+    pub fn on_upstream_fetch_result_range(
+        &mut self,
+        track: &FullTrackName,
+        objects: Vec<Object>,
+        ans_start: u64,
+        ans_end: u64,
+    ) -> Vec<RelayAction> {
         let st = self.tracks.entry(track.clone()).or_default();
         for o in &objects {
             st.cache
                 .insert((o.group_id, o.object_id), o.payload.clone());
         }
-        if self.cache_per_track > 0 {
-            while st.cache.len() > self.cache_per_track {
-                let oldest = *st.cache.keys().next().unwrap();
-                st.cache.remove(&oldest);
-            }
-        }
         let largest = st.largest().unwrap_or((0, 0));
-        let Some(p) = self.pending.remove(track) else {
+        let Some(p) = self.pending.get_mut(track) else {
+            self.evict(track);
             return Vec::new();
         };
-        self.stats.fetch_waiters_served += p.waiters.len() as u64;
-        p.waiters
+        p.outstanding = p.outstanding.saturating_sub(1);
+        let exhausted = p.outstanding == 0;
+        let (ready, kept): (Vec<Waiter>, Vec<Waiter>) = std::mem::take(&mut p.waiters)
+            .into_iter()
+            // When nothing remains in flight, everything that will
+            // arrive has arrived: serve everyone left.
+            .partition(|w| exhausted || (ans_start <= w.start_group && w.end_group <= ans_end));
+        if kept.is_empty() && exhausted {
+            self.pending.remove(track);
+        } else {
+            p.waiters = kept;
+        }
+        // Serve waiters from the cache *before* eviction trims it: the
+        // pre-eviction cache holds this whole result plus every earlier
+        // partial answer, so a bounded cache never truncates what a
+        // waiter receives.
+        let st = self.tracks.get(track).expect("entry created above");
+        self.stats.fetch_waiters_served += ready.len() as u64;
+        let actions: Vec<RelayAction> = ready
             .into_iter()
             .map(|w| RelayAction::ServeFetch {
                 session: w.session,
                 request_id: w.request_id,
                 largest,
-                // Each waiter gets only the groups it asked for — the same
-                // range filter the cache-hit path applies.
-                objects: objects
-                    .iter()
-                    .filter(|o| (w.start_group..=w.end_group).contains(&o.group_id))
-                    .cloned()
+                // Each waiter gets only the groups it asked for — the
+                // same filter the cache-hit path applies.
+                objects: st
+                    .cache
+                    .range((w.start_group, 0)..=(w.end_group, u64::MAX))
+                    .map(|(&(g, o), payload)| Object {
+                        group_id: g,
+                        object_id: o,
+                        payload: payload.clone(),
+                    })
                     .collect(),
             })
-            .collect()
+            .collect();
+        self.evict(track);
+        actions
     }
 
-    /// The upstream fetch for `track` failed (rejected or its uplink could
-    /// not be dialed): reject every waiter blocked on it.
+    /// Trims `track`'s cache to the per-track cap (oldest groups first).
+    fn evict(&mut self, track: &FullTrackName) {
+        if self.cache_per_track == 0 {
+            return;
+        }
+        let Some(st) = self.tracks.get_mut(track) else {
+            return;
+        };
+        while st.cache.len() > self.cache_per_track {
+            let oldest = *st.cache.keys().next().unwrap();
+            st.cache.remove(&oldest);
+        }
+    }
+
+    /// An upstream fetch for `track` failed (rejected or its link could
+    /// not be dialed). If a wider re-issued fetch is still in flight the
+    /// waiters keep waiting on it; otherwise every blocked waiter is
+    /// rejected.
     pub fn on_upstream_fetch_failed(&mut self, track: &FullTrackName) -> Vec<RelayAction> {
-        let Some(p) = self.pending.remove(track) else {
+        let Some(p) = self.pending.get_mut(track) else {
             return Vec::new();
         };
+        p.outstanding = p.outstanding.saturating_sub(1);
+        if p.outstanding > 0 {
+            return Vec::new();
+        }
+        let p = self.pending.remove(track).unwrap();
         p.waiters
             .into_iter()
             .map(|w| RelayAction::RejectFetch {
@@ -971,6 +1417,111 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn narrow_result_does_not_short_serve_widened_waiter() {
+        // Reverse order of the stampede: a narrow fetch is in flight when
+        // a whole-track fetch arrives. The union is re-issued; the narrow
+        // result must serve ONLY the narrow waiter, and the wide waiter
+        // is served when the union result lands — with everything.
+        let mut r = RelayCore::new(0);
+        let a = r.on_downstream_fetch(1, 10, track(1), 0, 2);
+        assert!(matches!(
+            a[0],
+            RelayAction::FetchUpstream {
+                start_group: 0,
+                end_group: 2,
+                ..
+            }
+        ));
+        let a = r.on_downstream_fetch(2, 20, track(1), 0, u64::MAX);
+        assert!(
+            matches!(
+                a[0],
+                RelayAction::FetchUpstream {
+                    end_group: u64::MAX,
+                    ..
+                }
+            ),
+            "union re-issued: {a:?}"
+        );
+        assert_eq!(r.stats().upstream_fetches, 2);
+        // The narrow answer arrives first: only session 1 is served.
+        let acts = r.on_upstream_fetch_result_range(&track(1), vec![obj(1, b"v1")], 0, 2);
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(
+            acts[0],
+            RelayAction::ServeFetch { session: 1, .. }
+        ));
+        assert_eq!(r.pending_fetch_count(), 1, "wide waiter still pending");
+        // The union answer lands: the wide waiter gets the full range
+        // (including the earlier narrow result, via the cache).
+        let acts = r.on_upstream_fetch_result_range(&track(1), vec![obj(5, b"v5")], 0, u64::MAX);
+        assert_eq!(acts.len(), 1);
+        match &acts[0] {
+            RelayAction::ServeFetch {
+                session, objects, ..
+            } => {
+                assert_eq!(*session, 2);
+                let groups: Vec<u64> = objects.iter().map(|o| o.group_id).collect();
+                assert_eq!(groups, vec![1, 5], "full range, both results");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.pending_fetch_count(), 0);
+        assert_eq!(r.stats().fetch_waiters_served, 2);
+    }
+
+    #[test]
+    fn bounded_cache_does_not_truncate_fetch_results_to_waiters() {
+        // cache cap 2, upstream result of 5 groups: the waiter must see
+        // all 5 (served before eviction); the cache keeps the 2 newest.
+        let mut r = RelayCore::new(2);
+        let a = r.on_downstream_fetch(1, 10, track(1), 0, u64::MAX);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { .. }));
+        let acts = r.on_upstream_fetch_result(&track(1), (1..=5).map(|g| obj(g, b"x")).collect());
+        match &acts[0] {
+            RelayAction::ServeFetch { objects, .. } => {
+                let groups: Vec<u64> = objects.iter().map(|o| o.group_id).collect();
+                assert_eq!(groups, vec![1, 2, 3, 4, 5], "full result served");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Eviction still applied afterwards: only groups 4, 5 remain.
+        let a = r.on_downstream_fetch(2, 20, track(1), 4, 5);
+        assert!(matches!(a[0], RelayAction::ServeFetch { .. }));
+        let a = r.on_downstream_fetch(2, 30, track(1), 1, 3);
+        assert!(
+            matches!(a[0], RelayAction::FetchUpstream { .. }),
+            "older groups evicted: {a:?}"
+        );
+    }
+
+    #[test]
+    fn narrow_failure_keeps_waiters_on_inflight_union_fetch() {
+        let mut r = RelayCore::new(0);
+        r.on_downstream_fetch(1, 10, track(1), 0, 2);
+        r.on_downstream_fetch(2, 20, track(1), 0, u64::MAX);
+        // The narrow fetch fails, but the union fetch is still in
+        // flight: nobody is rejected yet.
+        assert!(r.on_upstream_fetch_failed(&track(1)).is_empty());
+        assert_eq!(r.pending_fetch_count(), 1);
+        // The union result serves BOTH waiters.
+        let acts = r.on_upstream_fetch_result_range(&track(1), vec![obj(1, b"v")], 0, u64::MAX);
+        assert_eq!(acts.len(), 2);
+        assert!(acts
+            .iter()
+            .all(|a| matches!(a, RelayAction::ServeFetch { .. })));
+        // And if every in-flight fetch fails, waiters are rejected.
+        r.on_downstream_fetch(3, 30, track(2), 0, 2);
+        r.on_downstream_fetch(4, 40, track(2), 0, u64::MAX);
+        assert!(r.on_upstream_fetch_failed(&track(2)).is_empty());
+        let acts = r.on_upstream_fetch_failed(&track(2));
+        assert_eq!(acts.len(), 2);
+        assert!(acts
+            .iter()
+            .all(|a| matches!(a, RelayAction::RejectFetch { .. })));
     }
 
     #[test]
@@ -1305,6 +1856,265 @@ mod tests {
             proptest::prop_assert_eq!(served, expected);
             proptest::prop_assert_eq!(r.stats().fetch_waiters_served, n_waiters as u64);
             proptest::prop_assert_eq!(r.pending_fetch_count(), 0);
+        }
+    }
+
+    // ---- federation ----
+
+    /// A federated core: one parent uplink (the origin) + peers.
+    fn fed_core(my_shard: usize, shards: usize) -> RelayCore {
+        RelayCore::with_policy(0, 1, Box::new(StaticParent))
+            .federate(FederationConfig::new(my_shard, shards))
+    }
+
+    /// A track whose home shard (mod `shards`) is `want`.
+    fn track_homed(want: usize, shards: usize) -> FullTrackName {
+        (0..=255u8)
+            .map(track)
+            .find(|t| track_hash(t) % shards as u64 == want as u64)
+            .expect("some track hashes to the wanted shard")
+    }
+
+    #[test]
+    fn peer_link_shard_maps_are_inverse() {
+        for shards in 2..6 {
+            for my in 0..shards {
+                let r = fed_core(my, shards);
+                assert_eq!(r.parent_count(), 1);
+                assert_eq!(r.peer_count(), shards - 1);
+                for s in 0..shards {
+                    match r.peer_link_for_shard(s) {
+                        Some(link) => {
+                            assert_ne!(s, my);
+                            assert_eq!(r.link_class(link), LinkClass::Peer);
+                            assert_eq!(r.shard_for_peer_link(link), Some(s));
+                        }
+                        None => assert_eq!(s, my, "only the own shard has no peer link"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn federated_subscribe_splits_home_and_peer_tracks() {
+        let shards = 3;
+        let mut r = fed_core(1, shards);
+        // Home track rides the parent uplink to the origin.
+        let home = track_homed(1, shards);
+        let a = r.on_downstream_subscribe(1, 2, home);
+        assert!(matches!(
+            a[0],
+            RelayAction::SubscribeUpstream { uplink: 0, .. }
+        ));
+        // A track homed on shard 2 rides the peer link to that core.
+        let remote = track_homed(2, shards);
+        let a = r.on_downstream_subscribe(2, 2, remote);
+        let expect_link = r.peer_link_for_shard(2).unwrap();
+        assert!(matches!(
+            a[0],
+            RelayAction::SubscribePeer { link, .. } if link == expect_link
+        ));
+        assert_eq!(r.stats().origin_offload, 1);
+    }
+
+    #[test]
+    fn federated_fetch_miss_goes_to_peer_with_budget() {
+        let shards = 3;
+        let mut r = fed_core(0, shards);
+        let remote = track_homed(2, shards);
+        let a = r.on_downstream_fetch(1, 10, remote.clone(), 0, u64::MAX);
+        match &a[0] {
+            RelayAction::FetchPeer {
+                link, hop_budget, ..
+            } => {
+                assert_eq!(*link, r.peer_link_for_shard(2).unwrap());
+                // Fresh budget minus the hop being taken.
+                assert_eq!(*hop_budget, shards as u64 - 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(r.stats().peer_fetches, 1);
+        assert_eq!(r.stats().upstream_fetches, 1, "peer fetches are upstream");
+        assert_eq!(r.stats().origin_offload, 1);
+        // The result fans out through the same waiter machinery.
+        let served = r.on_upstream_fetch_result(&remote, vec![obj(1, b"x")]);
+        assert_eq!(served.len(), 1);
+        // A home-shard miss still escalates to the origin parent.
+        let home = track_homed(0, shards);
+        let a = r.on_downstream_fetch(2, 20, home, 0, u64::MAX);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { uplink: 0, .. }));
+        assert_eq!(r.stats().peer_fetches, 1, "home fetch is not peer");
+    }
+
+    #[test]
+    fn peer_fetch_with_exhausted_budget_is_rejected_not_forwarded() {
+        let shards = 3;
+        // Core 0 receives a peer fetch for a track homed on shard 2 —
+        // misdirected, so serving it needs another peer hop.
+        let mut r = fed_core(0, shards);
+        let remote = track_homed(2, shards);
+        let a = r.on_peer_fetch(7, 70, remote.clone(), 0, u64::MAX, 0);
+        assert!(
+            matches!(
+                a[0],
+                RelayAction::RejectFetch {
+                    session: 7,
+                    request_id: 70
+                }
+            ),
+            "budget 0 + needed peer hop must reject: {a:?}"
+        );
+        assert_eq!(r.pending_fetch_count(), 0);
+        // With budget left the same fetch forwards, spending one hop.
+        let a = r.on_peer_fetch(7, 71, remote, 0, u64::MAX, 2);
+        assert!(matches!(a[0], RelayAction::FetchPeer { hop_budget: 1, .. }));
+    }
+
+    #[test]
+    fn dead_peer_falls_back_to_origin_and_rebalances_home() {
+        let shards = 3;
+        let mut r = fed_core(0, shards);
+        let remote = track_homed(1, shards);
+        let peer = r.peer_link_for_shard(1).unwrap();
+        let a = r.on_downstream_subscribe(1, 2, remote.clone());
+        assert!(matches!(a[0], RelayAction::SubscribePeer { link, .. } if link == peer));
+        // The peer core dies: the track degrades to the origin parent.
+        let a = r.on_uplink_closed(peer);
+        assert!(!r.is_link_up(peer));
+        assert!(matches!(
+            a[0],
+            RelayAction::SubscribeUpstream { uplink: 0, .. }
+        ));
+        assert_eq!(r.stats().reroutes, 1);
+        // While the peer is down, a cache miss escalates to the origin.
+        let a = r.on_downstream_fetch(2, 20, remote.clone(), 0, u64::MAX);
+        assert!(matches!(a[0], RelayAction::FetchUpstream { uplink: 0, .. }));
+        // Peer recovery rebalances the federated track home.
+        let a = r.on_uplink_up(peer);
+        assert!(r.is_link_up(peer));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, RelayAction::UnsubscribeUpstream { uplink: 0, .. })));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, RelayAction::SubscribePeer { link, .. } if *link == peer)));
+        assert_eq!(r.stats().rebalances, 1);
+    }
+
+    #[test]
+    fn peer_objects_counted_on_link_ingress() {
+        let shards = 2;
+        let mut r = fed_core(0, shards);
+        let remote = track_homed(1, shards);
+        r.on_downstream_subscribe(1, 2, remote.clone());
+        let peer = r.peer_link_for_shard(1).unwrap();
+        let acts = r.on_link_object(peer, &remote, obj(3, b"x"));
+        assert_eq!(acts.len(), 1, "fans out to the subscriber");
+        assert_eq!(r.stats().peer_objects, 1);
+        // Parent-link ingress does not count as peer traffic.
+        let home = track_homed(0, shards);
+        r.on_downstream_subscribe(1, 4, home.clone());
+        r.on_link_object(0, &home, obj(3, b"y"));
+        assert_eq!(r.stats().peer_objects, 1);
+    }
+
+    #[test]
+    fn reset_restores_peer_health() {
+        let mut r = fed_core(0, 3);
+        let peer = r.peer_link_for_shard(1).unwrap();
+        r.on_uplink_closed(peer);
+        assert!(!r.is_link_up(peer));
+        r.reset();
+        assert!(r.is_link_up(peer), "peers restart optimistic");
+    }
+
+    proptest::proptest! {
+        /// Satellite: federation routing is loop-free. For random core
+        /// counts, shard assignments (via the fetched track), and any
+        /// single dead core or dead directed peer link, following a fetch
+        /// through the core graph never revisits a core, and in the
+        /// healthy case the hop budget is never exhausted (the chain
+        /// terminates at the origin or in a bounded refusal).
+        #[test]
+        fn prop_federation_routing_is_loop_free(
+            cores in 2usize..7,
+            track_byte in 0u8..255,
+            start_sel in 0usize..64,
+            mode in 0u8..3,
+            kill_sel in 0usize..64,
+        ) {
+            let k = cores;
+            let mut nodes: Vec<RelayCore> = (0..k).map(|c| fed_core(c, k)).collect();
+            // mode 0: healthy. mode 1: one dead core (every other core's
+            // peer link toward it is down). mode 2: one dead directed
+            // peer link.
+            let dead_core = (mode == 1).then(|| kill_sel % k);
+            if let Some(d) = dead_core {
+                for (c, node) in nodes.iter_mut().enumerate() {
+                    if c == d { continue; }
+                    let l = node.peer_link_for_shard(d).unwrap();
+                    node.on_uplink_closed(l);
+                }
+            }
+            if mode == 2 {
+                let a = kill_sel % k;
+                let b = (a + 1 + kill_sel / k % (k - 1)) % k;
+                let l = nodes[a].peer_link_for_shard(b).unwrap();
+                nodes[a].on_uplink_closed(l);
+            }
+            let healthy = mode == 0;
+            let t = track(track_byte);
+            let mut cur = start_sel % k;
+            if Some(cur) == dead_core {
+                cur = (cur + 1) % k;
+            }
+            let mut visited = vec![cur];
+            let mut actions = nodes[cur].on_downstream_fetch(1, 1, t.clone(), 0, u64::MAX);
+            let mut hops = 0usize;
+            loop {
+                hops += 1;
+                proptest::prop_assert!(hops <= k + 1, "unbounded chain");
+                proptest::prop_assert_eq!(actions.len(), 1);
+                match actions[0].clone() {
+                    RelayAction::FetchPeer { link, hop_budget, .. } => {
+                        let target = nodes[cur].shard_for_peer_link(link)
+                            .expect("peer link maps to a shard");
+                        proptest::prop_assert!(
+                            !visited.contains(&target),
+                            "fetch revisited core {} (path {:?})", target, visited
+                        );
+                        if healthy {
+                            proptest::prop_assert!(hop_budget > 0, "budget exhausted while healthy");
+                        }
+                        visited.push(target);
+                        cur = target;
+                        actions = nodes[cur].on_peer_fetch(9, 9, t.clone(), 0, u64::MAX, hop_budget);
+                    }
+                    // Terminal outcomes: escalated to the origin parent,
+                    // refused (budget/dead upstream), or coalesced into a
+                    // previous in-flight fetch at this core.
+                    RelayAction::FetchUpstream { uplink, .. } => {
+                        proptest::prop_assert_eq!(uplink, 0);
+                        if healthy {
+                            // With all links healthy only the home core
+                            // contacts the origin.
+                            let fed = nodes[cur].federation().unwrap();
+                            proptest::prop_assert_eq!(fed.home_shard(&t), fed.my_shard);
+                        }
+                        break;
+                    }
+                    RelayAction::RejectFetch { .. } => {
+                        proptest::prop_assert!(!healthy, "healthy fetch must not be refused");
+                        break;
+                    }
+                    other => proptest::prop_assert!(false, "unexpected action {:?}", other),
+                }
+            }
+            proptest::prop_assert!(visited.len() <= k);
+            if healthy {
+                proptest::prop_assert!(visited.len() <= 2, "healthy path is one peer hop at most");
+            }
         }
     }
 

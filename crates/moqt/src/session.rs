@@ -75,6 +75,18 @@ pub enum IncomingFetchKind {
         /// The resolved track of that subscription.
         track: FullTrackName,
     },
+    /// Federation fetch from a peer relay core, carrying the remaining
+    /// hop budget (see [`crate::message::FetchType::Peer`]).
+    Peer {
+        /// The fetched track.
+        track: FullTrackName,
+        /// First group.
+        start_group: u64,
+        /// Last group (inclusive).
+        end_group: u64,
+        /// Core-to-core forwards this fetch may still take.
+        hop_budget: u64,
+    },
 }
 
 /// Events a session surfaces to its application.
@@ -399,6 +411,34 @@ impl Session {
                 start_group,
                 start_object: 0,
                 end_group,
+            },
+        };
+        self.send_request(conn, msg);
+        request_id
+    }
+
+    /// Federation FETCH toward a peer relay core: a standalone fetch that
+    /// carries the remaining hop budget so a rerouted request can never
+    /// cycle through the core graph.
+    pub fn fetch_peer(
+        &mut self,
+        conn: &mut Connection,
+        track: FullTrackName,
+        start_group: u64,
+        end_group: u64,
+        hop_budget: u64,
+    ) -> u64 {
+        let start_group = start_group.min(moqdns_wire::varint::MAX_VARINT);
+        let end_group = end_group.min(moqdns_wire::varint::MAX_VARINT);
+        let request_id = self.alloc_request_id();
+        self.my_fetches.insert(request_id, ());
+        let msg = ControlMessage::Fetch {
+            request_id,
+            fetch: FetchType::Peer {
+                track,
+                start_group,
+                end_group,
+                hop_budget,
             },
         };
         self.send_request(conn, msg);
@@ -756,6 +796,17 @@ impl Session {
                         track,
                         start_group,
                         end_group,
+                    },
+                    FetchType::Peer {
+                        track,
+                        start_group,
+                        end_group,
+                        hop_budget,
+                    } => IncomingFetchKind::Peer {
+                        track,
+                        start_group,
+                        end_group,
+                        hop_budget,
                     },
                     FetchType::RelativeJoining {
                         joining_request_id,

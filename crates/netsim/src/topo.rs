@@ -93,10 +93,37 @@ pub struct TopoCtx<'a> {
     pub name: String,
 }
 
+/// How the members of one tier are interconnected among themselves
+/// (cross-region core federation: cores serving each other, not only the
+/// origin above them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerWiring {
+    /// Member `i` links to member `(i + 1) % n` — the classic core ring.
+    Ring,
+    /// Every unordered pair of members is linked — what a fetch-anywhere
+    /// federation needs so any core reaches any home core in one hop.
+    FullMesh,
+}
+
+/// One intra-tier peer interconnect: which tier, how it is wired, and the
+/// link configuration of the peer edges (inter-region links are typically
+/// slower than intra-region attachments — give them their own config so
+/// the latency asymmetry is visible in results).
+#[derive(Debug, Clone)]
+pub struct PeerSpec {
+    /// Tier label the interconnect applies to.
+    pub tier: String,
+    /// Ring or full mesh.
+    pub wiring: PeerWiring,
+    /// Link configuration of every peer edge (both directions).
+    pub link: LinkConfig,
+}
+
 /// Declarative builder for tiered topologies.
 #[derive(Debug, Default)]
 pub struct TopoBuilder {
     tiers: Vec<TierSpec>,
+    peerings: Vec<PeerSpec>,
 }
 
 impl TopoBuilder {
@@ -132,6 +159,28 @@ impl TopoBuilder {
             parents_per_node,
             link,
             parent_mode,
+        });
+        self
+    }
+
+    /// Interconnects the members of the tier labelled `tier` as a ring
+    /// over `link` (member `i` ↔ member `(i + 1) % n`).
+    pub fn peer_ring(mut self, tier: impl Into<String>, link: LinkConfig) -> TopoBuilder {
+        self.peerings.push(PeerSpec {
+            tier: tier.into(),
+            wiring: PeerWiring::Ring,
+            link,
+        });
+        self
+    }
+
+    /// Interconnects the members of the tier labelled `tier` as a full
+    /// mesh over `link` (every unordered pair linked).
+    pub fn peer_full_mesh(mut self, tier: impl Into<String>, link: LinkConfig) -> TopoBuilder {
+        self.peerings.push(PeerSpec {
+            tier: tier.into(),
+            wiring: PeerWiring::FullMesh,
+            link,
         });
         self
     }
@@ -224,9 +273,43 @@ impl TopoBuilder {
             }
             tiers.push((spec.name.clone(), ids));
         }
+        // Intra-tier peer interconnects (after every member exists).
+        let mut peer_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for p in &self.peerings {
+            let members: &[NodeId] = tiers
+                .iter()
+                .find(|(n, _)| *n == p.tier)
+                .map(|(_, t)| t.as_slice())
+                .unwrap_or(&[]);
+            let n = members.len();
+            let mut wire = |a: NodeId, b: NodeId| {
+                sim.set_link(a, b, p.link);
+                peer_edges.push((a, b));
+            };
+            match p.wiring {
+                PeerWiring::Ring => {
+                    for i in 0..n {
+                        let j = (i + 1) % n;
+                        // A 1-ring has no edge; a 2-ring has exactly one.
+                        if i == j || (n == 2 && i == 1) {
+                            continue;
+                        }
+                        wire(members[i], members[j]);
+                    }
+                }
+                PeerWiring::FullMesh => {
+                    for i in 0..n {
+                        for j in i + 1..n {
+                            wire(members[i], members[j]);
+                        }
+                    }
+                }
+            }
+        }
         Topology {
             tiers,
             parents: parents_map,
+            peer_edges,
         }
     }
 }
@@ -251,6 +334,8 @@ fn assign_parents(j: usize, want: usize, above: &[NodeId], mode: ParentMode) -> 
 pub struct Topology {
     tiers: Vec<(String, Vec<NodeId>)>,
     parents: HashMap<NodeId, Vec<NodeId>>,
+    /// Intra-tier peer interconnect edges (unordered pairs, wiring order).
+    peer_edges: Vec<(NodeId, NodeId)>,
 }
 
 impl Topology {
@@ -294,6 +379,25 @@ impl Topology {
             tier.iter()
                 .flat_map(move |&child| self.parents_of(child).iter().map(move |&p| (p, child)))
         })
+    }
+
+    /// Every intra-tier peer interconnect edge (core federation wiring),
+    /// as unordered pairs in wiring order.
+    pub fn peer_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.peer_edges.iter().copied()
+    }
+
+    /// The peers `node` is interconnected with (via
+    /// [`TopoBuilder::peer_ring`] / [`TopoBuilder::peer_full_mesh`]).
+    pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
+        self.peer_edges
+            .iter()
+            .filter_map(|&(a, b)| match node {
+                n if n == a => Some(b),
+                n if n == b => Some(a),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Every *primary* (parent, child) edge — the distribution tree used
@@ -443,6 +547,61 @@ mod tests {
         for &c in cores {
             assert_eq!(topo.parents_of(c), &[origin]);
         }
+    }
+
+    #[test]
+    fn peer_ring_wires_adjacent_members() {
+        let mut sim = Simulator::new(1);
+        let topo = TopoBuilder::new()
+            .tier("origin", 1, 0, LinkConfig::instant())
+            .tier("core", 4, 1, LinkConfig::instant())
+            .peer_ring("core", LinkConfig::with_delay(Duration::from_millis(40)))
+            .build(&mut sim, silent);
+        let cores = topo.tier_named("core");
+        let edges: Vec<_> = topo.peer_edges().collect();
+        assert_eq!(edges.len(), 4, "4-ring has 4 edges");
+        for i in 0..4 {
+            assert!(edges.contains(&(cores[i], cores[(i + 1) % 4])));
+            assert_eq!(topo.peers_of(cores[i]).len(), 2, "two ring neighbours");
+        }
+        // Parent edges are untouched by the peering.
+        assert_eq!(topo.edges().count(), 4);
+    }
+
+    #[test]
+    fn peer_ring_degenerate_sizes() {
+        let build = |n| {
+            let mut sim = Simulator::new(1);
+            TopoBuilder::new()
+                .tier("core", n, 0, LinkConfig::instant())
+                .peer_ring("core", LinkConfig::instant())
+                .build(&mut sim, silent)
+                .peer_edges()
+                .count()
+        };
+        assert_eq!(build(1), 0, "no self-loop");
+        assert_eq!(build(2), 1, "a 2-ring is one edge, not two");
+        assert_eq!(build(3), 3);
+    }
+
+    #[test]
+    fn peer_full_mesh_wires_all_pairs() {
+        let mut sim = Simulator::new(1);
+        let topo = TopoBuilder::new()
+            .tier("core", 4, 0, LinkConfig::instant())
+            .peer_full_mesh("core", LinkConfig::with_delay(Duration::from_millis(40)))
+            .build(&mut sim, silent);
+        assert_eq!(topo.peer_edges().count(), 6, "C(4,2) pairs");
+        for &c in topo.tier_named("core") {
+            assert_eq!(topo.peers_of(c).len(), 3, "every other core is a peer");
+        }
+        // An unknown tier name peers nothing.
+        let mut sim2 = Simulator::new(1);
+        let topo2 = TopoBuilder::new()
+            .tier("core", 2, 0, LinkConfig::instant())
+            .peer_full_mesh("nope", LinkConfig::instant())
+            .build(&mut sim2, silent);
+        assert_eq!(topo2.peer_edges().count(), 0);
     }
 
     #[test]

@@ -381,9 +381,226 @@ impl MeshScenario {
     }
 }
 
+/// A cross-region **core federation** instantiated on a real topology:
+/// origin → K regional cores (one hash shard each, full-mesh peer links
+/// between them) → region-local edge relays → stubs.
+///
+/// Where [`MeshScenario`] lets every edge attach to every core (so shard
+/// routing happens at the edges), a federation keeps edges *regional* —
+/// each edge attaches only to its region's core — and moves the shard
+/// routing into the core tier: a core serves tracks homed on a *peer*
+/// core by subscribing/fetching over the peer link to that core, never
+/// via the origin. The invariants this pins:
+///
+/// 1. **origin offload** — during a full-join stampede the origin sees
+///    exactly one fetch per track (from its home core); every non-home
+///    core fetches the track from its home peer exactly once, however
+///    many regional edges stampede;
+/// 2. **one copy per link under federation** — an update leaves the
+///    origin once (to the home core) and crosses each home→peer core
+///    link once, regardless of per-region subscriber counts;
+/// 3. **origin independence** — after the origin dies, every
+///    already-published track remains fully servable region-to-region
+///    from the core tier's caches and peer subscriptions, with zero loss.
+#[derive(Debug, Clone, Copy)]
+pub struct FederationScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Federated cores (= regions = hash shards).
+    pub cores: usize,
+    /// Edge relays per region (each attaches only to its region's core).
+    pub edges_per_region: usize,
+    /// Stub subscribers per edge relay.
+    pub stubs_per_edge: usize,
+    /// Distinct records (tracks); every stub subscribes to all of them.
+    pub tracks: usize,
+    /// Updates pushed per track during each measured round.
+    pub updates_per_track: u64,
+    /// Gap between update rounds.
+    pub update_interval: Duration,
+    /// One-way delay of intra-region links (core→edge, edge→stub).
+    pub link_delay: Duration,
+    /// One-way delay of inter-region links (origin→core, core↔core) —
+    /// deliberately slower so the latency asymmetry shows in results.
+    pub peer_delay: Duration,
+}
+
+impl FederationScenario {
+    /// The standing cross-region federation drill.
+    pub fn federation() -> FederationScenario {
+        FederationScenario {
+            name: "federation",
+            cores: 3,
+            edges_per_region: 2,
+            stubs_per_edge: 4,
+            tracks: 6,
+            updates_per_track: 3,
+            update_interval: Duration::from_secs(5),
+            link_delay: Duration::from_millis(10),
+            peer_delay: Duration::from_millis(40),
+        }
+    }
+
+    /// A tiny variant for CI smoke runs (shape preserved, volume shrunk;
+    /// the core count stays put so the shard map is unchanged).
+    pub fn smoke(self) -> FederationScenario {
+        FederationScenario {
+            stubs_per_edge: self.stubs_per_edge.min(2),
+            tracks: self.tracks.min(4),
+            updates_per_track: self.updates_per_track.min(2),
+            ..self
+        }
+    }
+
+    /// Total edge relays across all regions.
+    pub fn edge_count(&self) -> usize {
+        self.cores * self.edges_per_region
+    }
+
+    /// Total stub subscribers.
+    pub fn stub_count(&self) -> usize {
+        self.edge_count() * self.stubs_per_edge
+    }
+
+    /// Updates pushed at the origin per round.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// Deliveries one update round must produce: every stub sees every
+    /// update of every track exactly once.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.total_updates() * self.stub_count() as u64
+    }
+
+    /// Peer fetches the whole core tier opens during the stampede: each
+    /// of the K cores fetches every track *not* homed on it from the home
+    /// peer, exactly once.
+    pub fn peer_fetch_total(&self) -> u64 {
+        (self.cores as u64 - 1) * self.tracks as u64
+    }
+
+    /// Fetches the origin sees during the stampede: one per track, from
+    /// its home core only.
+    pub fn origin_fetch_bound(&self) -> u64 {
+        self.tracks as u64
+    }
+
+    /// Fetches the origin would see if the regional cores were *not*
+    /// federated (every core escalates every regional miss): one per
+    /// core per track.
+    pub fn naive_origin_fetches(&self) -> u64 {
+        self.cores as u64 * self.tracks as u64
+    }
+
+    /// Origin offload of the stampede as a percentage: the share of
+    /// would-be origin fetches served core-to-core instead.
+    pub fn offload_percent(&self) -> u64 {
+        100 * self.peer_fetch_total() / self.naive_origin_fetches()
+    }
+}
+
+/// The paper's depth-D relay chain ("involving 5 MoQ relays on average",
+/// §5.3) as a standing drill: origin → `hops` single-relay tiers →
+/// stubs, built by `TopoBuilder::chain`. Pins that aggregation holds at
+/// *every* depth: one upstream fetch per track per hop under a joining
+/// stampede, one copy of each update per hop link, complete delivery.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Relay hops between origin and stubs.
+    pub hops: usize,
+    /// Stub subscribers attached to the last hop.
+    pub stubs: usize,
+    /// Distinct records (tracks); every stub subscribes to all of them.
+    pub tracks: usize,
+    /// Updates pushed per track during the measured window.
+    pub updates_per_track: u64,
+    /// One-way delay of every link.
+    pub link_delay: Duration,
+}
+
+impl ChainScenario {
+    /// The standing depth-5 chain (the paper's average path length).
+    pub fn chain() -> ChainScenario {
+        ChainScenario {
+            name: "chain",
+            hops: 5,
+            stubs: 8,
+            tracks: 4,
+            updates_per_track: 3,
+            link_delay: Duration::from_millis(10),
+        }
+    }
+
+    /// A tiny variant for CI smoke runs — the depth is the point, so
+    /// only the fan-in shrinks.
+    pub fn smoke(self) -> ChainScenario {
+        ChainScenario {
+            stubs: self.stubs.min(3),
+            tracks: self.tracks.min(2),
+            updates_per_track: self.updates_per_track.min(2),
+            ..self
+        }
+    }
+
+    /// Updates pushed at the origin over the whole run.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// Deliveries the run must produce.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.total_updates() * self.stubs as u64
+    }
+
+    /// §3 aggregation at depth: copies of one update crossing any single
+    /// hop link. Always 1 — depth must not multiply copies.
+    pub fn copies_per_link(&self) -> u64 {
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn federation_scenario_arithmetic() {
+        let s = FederationScenario::federation();
+        assert_eq!(s.edge_count(), 6);
+        assert_eq!(s.stub_count(), 24);
+        assert_eq!(s.total_updates(), 18);
+        assert_eq!(s.expected_deliveries(), 18 * 24);
+        // The offload headline: 18 naive origin fetches shrink to 6; the
+        // other 12 are served core-to-core.
+        assert_eq!(s.peer_fetch_total(), 12);
+        assert_eq!(s.origin_fetch_bound(), 6);
+        assert_eq!(s.naive_origin_fetches(), 18);
+        assert_eq!(s.offload_percent(), 66);
+    }
+
+    #[test]
+    fn federation_scenario_smoke_keeps_shards() {
+        let s = FederationScenario::federation().smoke();
+        assert!(s.stub_count() <= 12);
+        assert!(s.total_updates() <= 8);
+        assert_eq!(s.cores, 3, "shard map unchanged");
+        assert!(s.peer_delay > s.link_delay, "asymmetry preserved");
+    }
+
+    #[test]
+    fn chain_scenario_arithmetic() {
+        let s = ChainScenario::chain();
+        assert_eq!(s.hops, 5, "the paper's average path length");
+        assert_eq!(s.total_updates(), 12);
+        assert_eq!(s.expected_deliveries(), 96);
+        assert_eq!(s.copies_per_link(), 1);
+        let sm = s.smoke();
+        assert_eq!(sm.hops, 5, "depth is the point of the drill");
+        assert!(sm.expected_deliveries() <= 12);
+    }
 
     #[test]
     fn mesh_scenario_arithmetic() {
