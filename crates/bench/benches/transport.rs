@@ -10,8 +10,8 @@ use moqdns_quic::{Connection, Dir, TransportConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn alpns() -> Vec<Vec<u8>> {
-    vec![b"bench".to_vec()]
+fn alpns() -> moqdns_quic::AlpnList {
+    moqdns_quic::alpn_list(&[b"bench/1"])
 }
 
 /// Shuttles until quiet; returns the virtual end time.

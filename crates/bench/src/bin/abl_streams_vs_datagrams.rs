@@ -18,7 +18,7 @@ use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
 use moqdns_moqt::session::SessionEvent;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, SimTime, Simulator};
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, Payload, SimTime, Simulator};
 use moqdns_quic::TransportConfig;
 use moqdns_stats::Table;
 use std::any::Any;
@@ -48,7 +48,7 @@ impl Node for Sub {
         let evs = self.stack.flush(ctx);
         self.collect(evs);
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _p: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _p: u16, d: Payload) {
         let evs = self.stack.on_datagram(ctx, from, &d);
         self.collect(evs);
     }

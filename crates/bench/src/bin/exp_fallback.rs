@@ -24,7 +24,7 @@ use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::transport::serve_datagram;
 use moqdns_dns::zone::Zone;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator};
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, Simulator};
 use moqdns_quic::TransportConfig;
 use moqdns_stats::Table;
 use std::any::Any;
@@ -38,7 +38,7 @@ struct UdpOnlyAuth {
 }
 
 impl Node for UdpOnlyAuth {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
         if to_port == DNS_PORT {
             if let Ok(reply) = serve_datagram(&self.authority, &payload) {
                 ctx.send(DNS_PORT, from, reply);

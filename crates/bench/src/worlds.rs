@@ -20,9 +20,9 @@ use moqdns_dns::zone::Zone;
 use moqdns_moqt::relay::{track_hash, Failover, HashShard};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::topo::TopoBuilder;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, SimTime, Simulator, Topology};
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, SimTime, Simulator, Topology};
 use moqdns_quic::TransportConfig;
-use moqdns_workload::scenarios::{FederationScenario, MeshScenario, TreeScenario};
+use moqdns_workload::scenarios::{FederationScenario, MeshScenario, MetroScenario, TreeScenario};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -338,7 +338,7 @@ impl Node for TreeStub {
         let evs = self.stack.flush(ctx);
         self.collect(now, evs);
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
         let now = ctx.now();
         let evs = self.stack.on_datagram(ctx, from, &d);
         self.collect(now, evs);
@@ -1076,6 +1076,286 @@ impl FederationWorld {
         self.cores
             .iter()
             .map(|&c| self.sim.stats().between(self.auth, c).delivered)
+            .sum()
+    }
+
+    /// Per-tier relay stats (core first, then edge).
+    pub fn tier_stats(&self) -> Vec<TierRelayStats> {
+        let mut out = Vec::new();
+        for (label, ids) in [("core", &self.cores), ("edge", &self.edges)] {
+            let mut tier = TierRelayStats::new(label);
+            for &id in ids {
+                let r = self.sim.node_ref::<RelayNode>(id);
+                tier.accumulate(r.stats(), r.upstream_subscription_count());
+            }
+            out.push(tier);
+        }
+        out
+    }
+}
+
+/// The **metro-scale** federation world (built from a [`MetroScenario`]):
+/// the [`FederationWorld`] shape grown to ~10,000 stubs over ~64 tracks,
+/// with each stub subscribing to one track *slice* instead of the whole
+/// set (see [`MetroScenario::slice_of_stub`]).
+///
+/// ```text
+///                      auth (origin)
+///                   /       |       \          slow inter-region links
+///              core0 ══════ core1 ══════ core2   (full-mesh peer links;
+///               ║            |            ║       shard i homes on core i)
+///           [region0]    [region1]    [region2]
+///          edge0..edge3 edge4..edge7 edge8..11   4 region-local edges each
+///            |||...       |||...      |||...
+///          833 stubs    833 stubs   833 stubs    per edge — 9,996 total,
+///                                                 8-track slices each
+/// ```
+///
+/// This world is two orders of magnitude larger than anything else in
+/// the CI matrix; it exists to exercise the simulator's data plane
+/// (scheduler, link tables, zero-copy delivery) as much as the protocol.
+pub struct MetroWorld {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Tier/parent/peer bookkeeping from the builder.
+    pub topo: Topology,
+    /// The scenario this world was built from.
+    pub spec: MetroScenario,
+    /// Origin (authoritative) server node.
+    pub auth: NodeId,
+    /// Core relay nodes (shard `i` lives on `cores[i]`, serving region `i`).
+    pub cores: Vec<NodeId>,
+    /// Edge relay nodes (edge `j` belongs to region `j % cores`... wired
+    /// round-robin by the builder).
+    pub edges: Vec<NodeId>,
+    /// Stub subscriber nodes (stub `j` hangs off edge `j % edge_count`
+    /// and subscribes to slice `spec.slice_of_stub(j)`).
+    pub stubs: Vec<NodeId>,
+    /// The questions, one per track.
+    pub questions: Vec<Question>,
+    zone_apex: Name,
+    /// Counter for naming post-kill late-joiner nodes.
+    late_nodes: usize,
+}
+
+impl MetroWorld {
+    /// Record name for track `i`.
+    pub fn record_name(i: usize) -> Name {
+        format!("r{i}.metro.example").parse().unwrap()
+    }
+
+    /// Builds the metro world from `spec` and settles it (every stub
+    /// connected, joining fetches answered, parent + peer subscriptions
+    /// in place).
+    pub fn build(spec: &MetroScenario, seed: u64) -> MetroWorld {
+        assert!(
+            spec.stubs_per_edge >= spec.slices(),
+            "every edge must see every slice for the fetch invariants"
+        );
+        let mut sim = Simulator::new(seed);
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        let zone_apex: Name = "metro.example".parse().unwrap();
+        let mut zone = Zone::with_default_soa(zone_apex.clone());
+        for i in 0..spec.tracks {
+            zone.add_record(Record::new(
+                Self::record_name(i),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let questions: Vec<Question> = (0..spec.tracks)
+            .map(|i| Question::new(Self::record_name(i), RecordType::A))
+            .collect();
+
+        // Node creation is dense and tier-ordered: auth = 0, cores =
+        // 1..=K (asserted below), so peer addresses are known up front.
+        let k = spec.cores;
+        let core_id = |s: usize| NodeId::from_index(1 + s);
+        let intra = LinkConfig::with_delay(spec.link_delay);
+        let inter = LinkConfig::with_delay(spec.peer_delay);
+        let qs = questions.clone();
+        let sp = *spec;
+        let topo = TopoBuilder::new()
+            .tier("auth", 1, 0, inter)
+            .tier("core", k, 1, inter)
+            .tier("edge", spec.edge_count(), 1, intra)
+            .tier("stub", spec.stub_count(), 1, intra)
+            .peer_full_mesh("core", inter)
+            .build(&mut sim, move |sim, ctx| match ctx.tier_name {
+                "auth" => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(AuthServer::new(
+                        Authority::single(zone.clone()),
+                        TransportConfig::default()
+                            .idle_timeout(Duration::from_secs(3600))
+                            .keep_alive(Duration::from_secs(60)),
+                        11,
+                    )),
+                ),
+                "core" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    let peers: Vec<Addr> = (0..k)
+                        .filter(|&s| s != ctx.index)
+                        .map(|s| Addr::new(core_id(s), MOQT_PORT))
+                        .collect();
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(
+                            RelayNode::new(parent, 0, 40 + ctx.index as u64)
+                                .peers(peers, ctx.index)
+                                .tier("core"),
+                        ),
+                    )
+                }
+                "edge" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(RelayNode::new(parent, 0, 60 + ctx.index as u64).tier("edge")),
+                    )
+                }
+                _ => {
+                    let slice = sp.slice_of_stub(ctx.index);
+                    let slice_qs: Vec<Question> =
+                        sp.slice_tracks(slice).map(|t| qs[t].clone()).collect();
+                    sim.add_node(
+                        ctx.name.clone(),
+                        Box::new(TreeStub::new(
+                            Addr::new(ctx.parents[0], MOQT_PORT),
+                            slice_qs,
+                            100 + ctx.index as u64,
+                        )),
+                    )
+                }
+            });
+
+        let auth = topo.tier_named("auth")[0];
+        let cores = topo.tier_named("core").to_vec();
+        for (s, &c) in cores.iter().enumerate() {
+            assert_eq!(c, core_id(s), "dense tier-ordered node ids");
+        }
+        let edges = topo.tier_named("edge").to_vec();
+        let stubs = topo.tier_named("stub").to_vec();
+        let mut world = MetroWorld {
+            sim,
+            topo,
+            spec: *spec,
+            auth,
+            cores,
+            edges,
+            stubs,
+            questions,
+            zone_apex,
+            late_nodes: 0,
+        };
+        world
+            .sim
+            .run_until(world.sim.now() + Duration::from_secs(10));
+        world
+    }
+
+    /// The home core (hash shard) of track `i`.
+    pub fn home_core(&self, i: usize) -> usize {
+        let track = track_from_question(&self.questions[i], RequestFlags::iterative()).unwrap();
+        (track_hash(&track) % self.spec.cores as u64) as usize
+    }
+
+    /// Tracks homed on core `c`.
+    pub fn shard_size(&self, c: usize) -> usize {
+        (0..self.spec.tracks)
+            .filter(|&i| self.home_core(i) == c)
+            .count()
+    }
+
+    /// Replaces track `i`'s A record at the origin.
+    pub fn update_track(&mut self, i: usize, new_octet: u8) {
+        let name = Self::record_name(i);
+        let apex = self.zone_apex.clone();
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |authority| {
+                if let Some(z) = authority.find_zone_mut(&apex) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            60,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+    }
+
+    /// Pushes one round of updates (every track once) and settles.
+    pub fn update_round(&mut self, octet_base: u8) {
+        for i in 0..self.spec.tracks {
+            self.update_track(i, octet_base.wrapping_add(i as u8));
+        }
+        let deadline = self.sim.now() + self.spec.update_interval;
+        self.sim.run_until(deadline);
+    }
+
+    /// Kills the origin mid-run.
+    pub fn kill_origin(&mut self) {
+        let auth = self.auth;
+        self.sim.with_node::<AuthServer, _>(auth, |a, ctx| {
+            a.shutdown(ctx);
+        });
+    }
+
+    /// Adds a brand-new edge relay in `region` with `stubs` fresh stub
+    /// subscribers (stub `i` takes slice `i % slices`) — a cold cache
+    /// joining after the origin died. Returns `(edge, stubs)`.
+    pub fn add_late_edge(&mut self, region: usize, stubs: usize) -> (NodeId, Vec<NodeId>) {
+        let core = self.cores[region];
+        let intra = LinkConfig::with_delay(self.spec.link_delay);
+        let n = self.late_nodes;
+        self.late_nodes += 1;
+        let edge = self.sim.add_node(
+            format!("late-edge{n}"),
+            Box::new(
+                RelayNode::new(Addr::new(core, MOQT_PORT), 0, 6000 + n as u64).tier("late-edge"),
+            ),
+        );
+        self.sim.set_link(edge, core, intra);
+        let mut late_stubs = Vec::with_capacity(stubs);
+        for i in 0..stubs {
+            let slice = i % self.spec.slices();
+            let slice_qs: Vec<Question> = self
+                .spec
+                .slice_tracks(slice)
+                .map(|t| self.questions[t].clone())
+                .collect();
+            let s = self.sim.add_node(
+                format!("late-stub{n}-{i}"),
+                Box::new(TreeStub::new(
+                    Addr::new(edge, MOQT_PORT),
+                    slice_qs,
+                    7000 + (n * 64 + i) as u64,
+                )),
+            );
+            self.sim.set_link(s, edge, intra);
+            late_stubs.push(s);
+        }
+        (edge, late_stubs)
+    }
+
+    /// Total pushed updates received across the original stubs.
+    pub fn delivered_updates(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Joining fetches answered across the original stubs.
+    pub fn fetched_total(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).fetched)
             .sum()
     }
 

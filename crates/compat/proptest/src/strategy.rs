@@ -67,6 +67,25 @@ impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
     }
 }
 
+// Tuples of strategies generate tuples of values, element-wise in order.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident => $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A => a);
+impl_tuple_strategy!(A => a, B => b);
+impl_tuple_strategy!(A => a, B => b, C => c);
+impl_tuple_strategy!(A => a, B => b, C => c, D => d);
+
 /// The strategy returned by [`any`].
 pub struct Any<T>(PhantomData<T>);
 

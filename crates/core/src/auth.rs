@@ -262,7 +262,7 @@ impl AuthServer {
 }
 
 impl Node for AuthServer {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
         if self.dead {
             return;
         }
@@ -339,7 +339,7 @@ mod tests {
     }
 
     impl Node for Client {
-        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
             let evs = self.stack.on_datagram(ctx, from, &d);
             self.events.extend(evs);
         }

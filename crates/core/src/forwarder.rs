@@ -22,7 +22,7 @@ use crate::{DNS_PORT, MOQT_PORT};
 use moqdns_dns::message::Opcode;
 use moqdns_dns::message::{Message, Question, Rcode};
 use moqdns_moqt::session::SessionEvent;
-use moqdns_netsim::{Addr, Ctx, Node, SimTime};
+use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
 use std::collections::HashMap;
@@ -307,7 +307,7 @@ impl Forwarder {
 }
 
 impl Node for Forwarder {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
         match to_port {
             DNS_PORT => self.on_classic_query(ctx, from, &payload),
             MOQT_PORT => {

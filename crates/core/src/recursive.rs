@@ -32,7 +32,7 @@ use moqdns_dns::transport::{UdpAction, UdpExchange};
 use moqdns_moqt::data::Object;
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
 use moqdns_moqt::track::FullTrackName;
-use moqdns_netsim::{Addr, Ctx, Node, SimTime};
+use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
 use std::collections::HashMap;
@@ -1041,7 +1041,7 @@ impl Node for RecursiveResolver {
         }
     }
 
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
         match to_port {
             DNS_PORT => {
                 // Could be a downstream query or an upstream response;

@@ -20,7 +20,7 @@ use moqdns_moqt::relay::{
     FederationConfig, RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent,
 };
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
-use moqdns_netsim::{Addr, Ctx, Node};
+use moqdns_netsim::{Addr, Ctx, Node, Payload};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
 use std::collections::HashMap;
@@ -454,7 +454,7 @@ impl RelayNode {
 }
 
 impl Node for RelayNode {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
         if self.dead {
             return;
         }

@@ -10,9 +10,20 @@
 use crate::MOQT_PORT;
 use moqdns_moqt::session::{Session, SessionConfig, SessionEvent};
 use moqdns_moqt::MOQT_ALPN;
-use moqdns_netsim::{Addr, Ctx, SimTime};
-use moqdns_quic::{ConnHandle, Connection, Endpoint, Event as QuicEvent, TransportConfig};
+use moqdns_netsim::{Addr, Ctx, Payload, SimTime};
+use moqdns_quic::{
+    alpn_list, AlpnList, ConnHandle, Connection, Endpoint, Event as QuicEvent, TransportConfig,
+};
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The MoQT ALPN offer/support list, built once per process: every
+/// connect/accept clones the shared handle instead of allocating a
+/// `Vec<Vec<u8>>` per call.
+fn moqt_alpns() -> AlpnList {
+    static ALPNS: OnceLock<AlpnList> = OnceLock::new();
+    ALPNS.get_or_init(|| alpn_list(&[MOQT_ALPN])).clone()
+}
 
 /// Timer token the stack uses; nodes route this token's timers back into
 /// [`MoqtStack::on_timer`].
@@ -38,16 +49,22 @@ pub struct MoqtStack {
     sessions: HashMap<ConnHandle, Session>,
     session_config: SessionConfig,
     armed_deadline: Option<SimTime>,
+    /// Sessions touched since the last pump (verb calls, routed QUIC
+    /// events): only these are polled for session events, so a relay
+    /// with hundreds of downstream sessions doesn't scan them all on
+    /// every datagram.
+    touched: Vec<ConnHandle>,
 }
 
 impl MoqtStack {
     /// Creates a stack that accepts incoming MoQT connections.
     pub fn server(transport: TransportConfig, seed: u64) -> MoqtStack {
         MoqtStack {
-            endpoint: Endpoint::server(transport, vec![MOQT_ALPN.to_vec()], seed),
+            endpoint: Endpoint::server(transport, moqt_alpns(), seed),
             sessions: HashMap::new(),
             session_config: SessionConfig::default(),
             armed_deadline: None,
+            touched: Vec::new(),
         }
     }
 
@@ -58,6 +75,7 @@ impl MoqtStack {
             sessions: HashMap::new(),
             session_config: SessionConfig::default(),
             armed_deadline: None,
+            touched: Vec::new(),
         }
     }
 
@@ -69,9 +87,7 @@ impl MoqtStack {
     /// connection; no session entry is kept in that case (a session that
     /// never `start`ed would otherwise sit dead in the map forever).
     pub fn connect(&mut self, now: SimTime, peer: Addr, use_ticket: bool) -> Option<ConnHandle> {
-        let h = self
-            .endpoint
-            .connect(now, peer, vec![MOQT_ALPN.to_vec()], use_ticket);
+        let h = self.endpoint.connect(now, peer, moqt_alpns(), use_ticket);
         let Some(conn) = self.endpoint.conn_mut(h) else {
             self.endpoint.abandon(h);
             return None;
@@ -79,6 +95,7 @@ impl MoqtStack {
         let mut session = Session::client(self.session_config.clone());
         session.start(conn);
         self.sessions.insert(h, session);
+        self.touched.push(h);
         Some(h)
     }
 
@@ -108,10 +125,12 @@ impl MoqtStack {
         self.endpoint.has_ticket(peer, MOQT_ALPN)
     }
 
-    /// Mutable session + connection access for issuing verbs.
+    /// Mutable session + connection access for issuing verbs. Marks the
+    /// session touched so the next pump polls its events.
     pub fn session_conn(&mut self, h: ConnHandle) -> Option<(&mut Session, &mut Connection)> {
         let conn = self.endpoint.conn_mut(h)?;
         let session = self.sessions.get_mut(&h)?;
+        self.touched.push(h);
         Some((session, conn))
     }
 
@@ -141,8 +160,14 @@ impl MoqtStack {
         self.sessions.remove(&h);
     }
 
-    /// Feeds an incoming datagram; returns events for the node.
-    pub fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, data: &[u8]) -> Vec<StackEvent> {
+    /// Feeds an incoming datagram; returns events for the node. The
+    /// shared payload handle keeps the QUIC parse zero-copy.
+    pub fn on_datagram(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: Addr,
+        data: &Payload,
+    ) -> Vec<StackEvent> {
         self.endpoint.handle_datagram(ctx.now(), from, data);
         self.pump(ctx)
     }
@@ -166,6 +191,7 @@ impl MoqtStack {
         while let Some(h) = self.endpoint.poll_incoming() {
             self.sessions
                 .insert(h, Session::server(self.session_config.clone()));
+            self.touched.push(h);
             out.push(StackEvent::Accepted(h));
         }
         // Route QUIC events into sessions.
@@ -183,12 +209,21 @@ impl MoqtStack {
                 (self.sessions.get_mut(&h), self.endpoint.conn_mut(h))
             {
                 session.on_conn_event(conn, &ev);
+                self.touched.push(h);
             }
         }
-        // Collect session events.
-        for (h, session) in self.sessions.iter_mut() {
-            while let Some(ev) = session.poll_event() {
-                out.push(StackEvent::Session(*h, ev));
+        // Collect session events — only from sessions touched since the
+        // last pump (an untouched session cannot have produced any).
+        // Sessions may touch each other's state only through the
+        // endpoint, which would mark them via the event loop above.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable();
+        touched.dedup();
+        for h in touched {
+            if let Some(session) = self.sessions.get_mut(&h) {
+                while let Some(ev) = session.poll_event() {
+                    out.push(StackEvent::Session(h, ev));
+                }
             }
         }
         // Transmit everything pending.
@@ -242,7 +277,7 @@ mod tests {
     }
 
     impl Node for StackNode {
-        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, data: Vec<u8>) {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, data: Payload) {
             let evs = self.stack.on_datagram(ctx, from, &data);
             self.events.extend(evs);
         }

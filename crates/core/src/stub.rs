@@ -24,7 +24,7 @@ use moqdns_dns::rr::Record;
 use moqdns_dns::transport::{UdpAction, UdpExchange};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_moqt::track::FullTrackName;
-use moqdns_netsim::{Addr, Ctx, Node, SimTime};
+use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
 use std::collections::HashMap;
@@ -444,7 +444,7 @@ impl Node for StubResolver {
         }
     }
 
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
         match to_port {
             DNS_PORT => self.on_udp_response(ctx, &payload),
             MOQT_PORT => {

@@ -24,7 +24,7 @@ use moqdns_dns::zone::Zone;
 use moqdns_moqt::relay::{track_hash, HashShard};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::topo::TopoBuilder;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator};
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, Simulator};
 use moqdns_quic::TransportConfig;
 use std::any::Any;
 use std::net::Ipv4Addr;
@@ -95,7 +95,7 @@ impl Node for Sub {
         let evs = self.stack.flush(ctx);
         self.collect(evs);
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
         let evs = self.stack.on_datagram(ctx, from, &d);
         self.collect(evs);
     }
@@ -266,7 +266,7 @@ impl Node for RangeFetcher {
         let evs = self.stack.flush(ctx);
         self.collect(evs);
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
         let evs = self.stack.on_datagram(ctx, from, &d);
         self.collect(evs);
     }

@@ -28,7 +28,7 @@ use moqdns_moqt::relay::{Failover, HashShard, RoutePolicy, UplinkHealth};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::topo::TopoBuilder;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Simulator, Topology};
+use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, Simulator, Topology};
 use moqdns_quic::TransportConfig;
 use proptest::prelude::*;
 use std::any::Any;
@@ -93,7 +93,7 @@ impl Node for Sub {
         let evs = self.stack.flush(ctx);
         self.collect(evs);
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
         let evs = self.stack.on_datagram(ctx, from, &d);
         self.collect(evs);
     }
@@ -367,7 +367,7 @@ fn relay_drops_upstream_sub_when_last_downstream_leaves() {
         stack: MoqtStack,
     }
     impl Node for Client {
-        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Vec<u8>) {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
             let _ = self.stack.on_datagram(ctx, from, &d);
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {

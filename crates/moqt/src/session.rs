@@ -951,7 +951,7 @@ mod tests {
 
     impl Rig {
         fn new() -> Rig {
-            let alpn = vec![crate::MOQT_ALPN.to_vec()];
+            let alpn = moqdns_quic::alpn_list(&[crate::MOQT_ALPN]);
             let mut c_conn =
                 Connection::client(1, TransportConfig::default(), alpn.clone(), None, t(0));
             let s_conn = Connection::server(1, TransportConfig::default(), alpn, 7, t(0));

@@ -8,10 +8,18 @@
 //!
 //! * virtual time ([`SimTime`]) as nanoseconds since simulation start — no
 //!   wall-clock reads anywhere, so runs are exactly reproducible from a seed;
-//! * an event scheduler with timers and arbitrary scheduled closures;
+//! * an event scheduler — a hierarchical bucketed **timing wheel**
+//!   (near-term ~1 ms buckets plus an overflow heap for far-future
+//!   timers) with timers and arbitrary scheduled closures. Its
+//!   determinism contract: events fire in strictly ascending
+//!   `(time, seq)` order, `seq` being the global scheduling counter, so
+//!   same-instant events fire FIFO — bit-identical to the global binary
+//!   heap it replaced (property-tested in `sched`);
 //! * nodes ([`Node`]) exchanging datagrams over configurable links
 //!   ([`LinkConfig`]: propagation delay, jitter, random loss, serialization
-//!   rate, MTU);
+//!   rate, MTU). Datagram payloads are shared [`Payload`] handles: a
+//!   fan-out of one buffer to N receivers clones a refcount, never the
+//!   bytes;
 //! * per-directed-pair traffic accounting ([`TrafficStats`]) used by the
 //!   update-traffic experiments;
 //! * declarative tiered topologies ([`topo`]): k-ary relay trees and
@@ -24,6 +32,7 @@
 
 pub mod link;
 pub mod node;
+mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -35,3 +44,7 @@ pub use sim::Simulator;
 pub use stats::{LinkStats, TrafficStats};
 pub use time::SimTime;
 pub use topo::{TopoBuilder, Topology};
+
+/// Re-export of [`moqdns_wire::Payload`]: the shared, zero-copy datagram
+/// payload handle every [`Node`] receives and sends.
+pub use moqdns_wire::Payload;

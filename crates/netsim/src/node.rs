@@ -2,6 +2,7 @@
 
 use crate::sim::SimCore;
 use crate::time::SimTime;
+use moqdns_wire::Payload;
 use std::any::Any;
 use std::fmt;
 use std::time::Duration;
@@ -65,8 +66,12 @@ pub trait Node: Any {
     /// Called once when the simulation starts running.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
-    /// A datagram arrived, addressed to `to_port` on this node.
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>);
+    /// A datagram arrived, addressed to `to_port` on this node. The
+    /// payload is a shared handle ([`Payload`]) — when one send fans out
+    /// to several receivers, every receiver sees the same backing bytes
+    /// with zero per-receiver copies. Parse in place; `to_vec` only when
+    /// an owned buffer is genuinely required.
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload);
 
     /// A timer armed via [`Ctx::set_timer`] fired. `token` is the caller's
     /// value; spurious wakeups after re-arming are possible and must be
@@ -102,10 +107,13 @@ impl<'a> Ctx<'a> {
     /// Sends a datagram from `from_port` on this node to `to`.
     ///
     /// Delivery (or loss) is governed by the link configuration between the
-    /// two nodes; see [`LinkConfig`](crate::LinkConfig).
-    pub fn send(&mut self, from_port: u16, to: Addr, payload: Vec<u8>) {
+    /// two nodes; see [`LinkConfig`](crate::LinkConfig). Accepts anything
+    /// convertible into a [`Payload`]; passing a `Payload` (e.g. one that
+    /// arrived via [`Node::on_datagram`] or came out of an encode pool)
+    /// forwards the bytes without copying them.
+    pub fn send(&mut self, from_port: u16, to: Addr, payload: impl Into<Payload>) {
         let from = Addr::new(self.node, from_port);
-        self.core.transmit(from, to, payload);
+        self.core.transmit(from, to, payload.into());
     }
 
     /// Arms a timer to fire on this node after `after`, delivering `token`

@@ -1,13 +1,23 @@
 //! The event loop: scheduler, link emulation, node dispatch.
+//!
+//! ## Scheduler determinism contract
+//!
+//! Events execute in strictly ascending `(at, seq)` order, where `seq` is
+//! a global push counter: two events scheduled for the same instant fire
+//! in the order they were scheduled (FIFO). The scheduler is a bucketed
+//! timing wheel (the crate-internal `sched` module) whose pop order is
+//! property-tested to be bit-identical to the global binary heap it
+//! replaced — identical seeds keep producing identical runs, datagram
+//! for datagram.
 
 use crate::link::LinkConfig;
 use crate::node::{Addr, Ctx, Node, NodeId};
+use crate::sched::TimingWheel;
 use crate::stats::TrafficStats;
 use crate::time::SimTime;
+use moqdns_wire::Payload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::time::Duration;
 
 /// What a scheduled event does when it fires.
@@ -16,7 +26,7 @@ enum EventKind {
     Deliver {
         from: Addr,
         to: Addr,
-        payload: Vec<u8>,
+        payload: Payload,
     },
     /// Fire a timer on a node.
     Timer {
@@ -29,28 +39,23 @@ enum EventKind {
     Call(Box<dyn FnOnce(&mut Simulator)>),
 }
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
+/// One directed out-edge in a node's adjacency table: the link override
+/// (if any) and the FIFO serialization horizon, folded into one entry so
+/// a transmit touches exactly one slot.
+struct LinkEntry {
+    dst: u32,
+    /// `None` = fall back to the simulator's default link config (the
+    /// default may still be changed after this entry was created).
+    cfg: Option<LinkConfig>,
+    busy_until: SimTime,
 }
 
-// Order by (time, seq); seq breaks ties FIFO for determinism.
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// A generation-tagged timer slot. Slots are reused through a free list;
+/// the generation in the timer id keeps a recycled slot from being
+/// cancelled (or fired) by a stale handle.
+struct TimerSlot {
+    gen: u32,
+    armed: bool,
 }
 
 /// Everything the simulator owns except the nodes themselves. Nodes receive
@@ -58,15 +63,16 @@ impl Ord for Scheduled {
 /// the node table, which is what makes mutable re-entrancy safe.
 pub(crate) struct SimCore {
     pub(crate) now: SimTime,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: TimingWheel<EventKind>,
     seq: u64,
     rng: StdRng,
     default_link: LinkConfig,
-    links: HashMap<(NodeId, NodeId), LinkConfig>,
-    /// FIFO serialization horizon per directed pair.
-    busy_until: HashMap<(NodeId, NodeId), SimTime>,
-    cancelled_timers: HashSet<u64>,
-    next_timer_id: u64,
+    /// Flat per-node adjacency (indexed by source node id; NodeIds are
+    /// dense). Entries are sorted by `dst` for binary search.
+    links: Vec<Vec<LinkEntry>>,
+    /// Timer slots (index = low 32 bits of a timer id).
+    timers: Vec<TimerSlot>,
+    timer_free: Vec<u32>,
     pub(crate) stats: TrafficStats,
     tracing: bool,
     trace_log: Vec<(SimTime, NodeId, String)>,
@@ -76,36 +82,65 @@ impl SimCore {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
-    fn link_config(&self, src: NodeId, dst: NodeId) -> LinkConfig {
-        self.links
-            .get(&(src, dst))
-            .copied()
-            .unwrap_or(self.default_link)
+    /// The adjacency slot for `src -> dst`, created on first use.
+    /// Returns `(row, index)` so callers can re-index without another
+    /// search across an intervening borrow.
+    fn link_slot(&mut self, src: NodeId, dst: NodeId) -> (usize, usize) {
+        let s = src.index();
+        if self.links.len() <= s {
+            self.links.resize_with(s + 1, Vec::new);
+        }
+        let row = &mut self.links[s];
+        let d = dst.0;
+        let i = match row.binary_search_by_key(&d, |e| e.dst) {
+            Ok(i) => i,
+            Err(i) => {
+                row.insert(
+                    i,
+                    LinkEntry {
+                        dst: d,
+                        cfg: None,
+                        busy_until: SimTime::ZERO,
+                    },
+                );
+                i
+            }
+        };
+        (s, i)
     }
 
-    pub(crate) fn transmit(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
-        let cfg = self.link_config(from.node, to.node);
+    pub(crate) fn set_link_directed(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        let (s, i) = self.link_slot(src, dst);
+        self.links[s][i].cfg = Some(cfg);
+    }
+
+    pub(crate) fn transmit(&mut self, from: Addr, to: Addr, payload: Payload) {
+        let default_link = self.default_link;
+        let now = self.now;
         let len = payload.len();
         self.stats.record_sent(from.node, to.node, len);
 
+        let (s, i) = self.link_slot(from.node, to.node);
+        let cfg = self.links[s][i].cfg.unwrap_or(default_link);
         if cfg.mtu != 0 && len > cfg.mtu {
             self.stats.record_mtu_drop(from.node, to.node);
             return;
         }
+        // The RNG is only consulted when the link can actually drop or
+        // jitter — lossless links must not perturb the seeded stream.
         if cfg.loss > 0.0 && self.rng.random::<f64>() < cfg.loss {
             self.stats.record_loss(from.node, to.node);
             return;
         }
 
         // Store-and-forward: serialization occupies the link FIFO.
-        let key = (from.node, to.node);
-        let free_at = self.busy_until.get(&key).copied().unwrap_or(SimTime::ZERO);
-        let start = self.now.max(free_at);
+        let entry = &mut self.links[s][i];
+        let start = now.max(entry.busy_until);
         let tx_done = start + cfg.serialization(len);
-        self.busy_until.insert(key, tx_done);
+        entry.busy_until = tx_done;
 
         let jitter = if cfg.jitter > Duration::ZERO {
             let ns = self.rng.random_range(0..=cfg.jitter.as_nanos() as u64);
@@ -118,8 +153,19 @@ impl SimCore {
     }
 
     pub(crate) fn set_timer(&mut self, node: NodeId, after: Duration, token: u64) -> u64 {
-        let timer_id = self.next_timer_id;
-        self.next_timer_id += 1;
+        let idx = match self.timer_free.pop() {
+            Some(i) => i,
+            None => {
+                self.timers.push(TimerSlot {
+                    gen: 0,
+                    armed: false,
+                });
+                (self.timers.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.timers[idx as usize];
+        slot.armed = true;
+        let timer_id = ((slot.gen as u64) << 32) | idx as u64;
         let at = self.now + after;
         self.push(
             at,
@@ -133,7 +179,36 @@ impl SimCore {
     }
 
     pub(crate) fn cancel_timer(&mut self, timer_id: u64) {
-        self.cancelled_timers.insert(timer_id);
+        let idx = (timer_id & 0xFFFF_FFFF) as usize;
+        let gen = (timer_id >> 32) as u32;
+        // A stale id (already fired, slot recycled) is a no-op; the old
+        // tombstone set leaked an entry forever on this exact pattern.
+        if let Some(slot) = self.timers.get_mut(idx) {
+            if slot.gen == gen {
+                slot.armed = false;
+            }
+        }
+    }
+
+    /// Resolves a popped timer event: whether it should fire, then
+    /// recycles the slot (bumping the generation so stale ids die).
+    fn take_timer(&mut self, timer_id: u64) -> bool {
+        let idx = (timer_id & 0xFFFF_FFFF) as usize;
+        let gen = (timer_id >> 32) as u32;
+        let slot = &mut self.timers[idx];
+        debug_assert_eq!(slot.gen, gen, "timer slot recycled under a live event");
+        let fire = slot.armed;
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.armed = false;
+        self.timer_free.push(idx as u32);
+        fire
+    }
+
+    /// Timer bookkeeping size: `(slots allocated, slots free)`. The
+    /// difference is exactly the timer events still in the queue —
+    /// cancelling a timer cannot leak bookkeeping past its fire time.
+    pub(crate) fn timer_bookkeeping(&self) -> (usize, usize) {
+        (self.timers.len(), self.timer_free.len())
     }
 
     pub(crate) fn random_u64(&mut self) -> u64 {
@@ -158,25 +233,28 @@ impl SimCore {
 /// use std::any::Any;
 /// use std::time::Duration;
 ///
+/// use moqdns_netsim::Payload;
+///
 /// /// Replies to every datagram with its payload reversed.
 /// struct Echo;
 /// impl Node for Echo {
-///     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, mut p: Vec<u8>) {
-///         p.reverse();
-///         ctx.send(to_port, from, p);
+///     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, p: Payload) {
+///         let mut bytes = p.to_vec();
+///         bytes.reverse();
+///         ctx.send(to_port, from, bytes);
 ///     }
 ///     fn as_any(&mut self) -> &mut dyn Any { self }
 ///     fn as_any_ref(&self) -> &dyn Any { self }
 /// }
 ///
 /// /// Sends one probe and remembers the reply.
-/// struct Probe { peer: Option<Addr>, reply: Option<Vec<u8>> }
+/// struct Probe { peer: Option<Addr>, reply: Option<Payload> }
 /// impl Node for Probe {
 ///     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
 ///         let peer = self.peer.unwrap();
 ///         ctx.send(1000, peer, b"ping".to_vec());
 ///     }
-///     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: Addr, _to: u16, p: Vec<u8>) {
+///     fn on_datagram(&mut self, _ctx: &mut Ctx<'_>, _from: Addr, _to: u16, p: Payload) {
 ///         self.reply = Some(p);
 ///     }
 ///     fn as_any(&mut self) -> &mut dyn Any { self }
@@ -192,7 +270,7 @@ impl SimCore {
 /// sim.run_until_idle();
 /// assert_eq!(sim.now().as_millis(), 20); // one round trip
 /// let reply = sim.node_ref::<Probe>(probe).reply.clone();
-/// assert_eq!(reply.as_deref(), Some(&b"gnip"[..]));
+/// assert_eq!(reply.unwrap(), b"gnip");
 /// ```
 pub struct Simulator {
     core: SimCore,
@@ -207,14 +285,13 @@ impl Simulator {
         Simulator {
             core: SimCore {
                 now: SimTime::ZERO,
-                queue: BinaryHeap::new(),
+                queue: TimingWheel::new(),
                 seq: 0,
                 rng: StdRng::seed_from_u64(seed),
                 default_link: LinkConfig::default(),
-                links: HashMap::new(),
-                busy_until: HashMap::new(),
-                cancelled_timers: HashSet::new(),
-                next_timer_id: 0,
+                links: Vec::new(),
+                timers: Vec::new(),
+                timer_free: Vec::new(),
                 stats: TrafficStats::default(),
                 tracing: false,
                 trace_log: Vec::new(),
@@ -262,7 +339,19 @@ impl Simulator {
 
     /// Sets the directed link `src -> dst`.
     pub fn set_link_directed(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
-        self.core.links.insert((src, dst), cfg);
+        self.core.set_link_directed(src, dst, cfg);
+    }
+
+    /// Timer bookkeeping size: `(slots allocated, slots free)`. Slots are
+    /// recycled when their event pops, so `allocated - free` equals the
+    /// timer events still pending — cancellations never leak entries.
+    pub fn timer_bookkeeping(&self) -> (usize, usize) {
+        self.core.timer_bookkeeping()
+    }
+
+    /// Number of events currently scheduled (deliveries, timers, calls).
+    pub fn pending_events(&self) -> usize {
+        self.core.queue.len()
     }
 
     /// Sets both directions between `a` and `b`.
@@ -350,12 +439,12 @@ impl Simulator {
     /// Executes the next pending event. Returns `false` if the queue was
     /// empty (time does not advance in that case).
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.core.queue.pop() else {
+        let Some(ev) = self.core.queue.pop() else {
             return false;
         };
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
-        match ev.kind {
+        match ev.item {
             EventKind::Deliver { from, to, payload } => {
                 if let Some(mut node) = self.nodes[to.node.index()].take() {
                     self.core
@@ -374,8 +463,8 @@ impl Simulator {
                 token,
                 timer_id,
             } => {
-                if self.core.cancelled_timers.remove(&timer_id) {
-                    return true;
+                if !self.core.take_timer(timer_id) {
+                    return true; // cancelled before firing
                 }
                 if let Some(mut n) = self.nodes[node.index()].take() {
                     let mut ctx = Ctx {
@@ -396,8 +485,8 @@ impl Simulator {
     /// reached). Returns the number of events executed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(ev)) = self.core.queue.peek() {
-            if ev.at > deadline {
+        while let Some(at) = self.core.queue.next_at() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -433,12 +522,12 @@ mod tests {
     /// Test node that records everything it hears and can send on demand.
     #[derive(Default)]
     struct Recorder {
-        heard: Vec<(SimTime, Addr, u16, Vec<u8>)>,
+        heard: Vec<(SimTime, Addr, u16, Payload)>,
         timer_tokens: Vec<(SimTime, u64)>,
     }
 
     impl Node for Recorder {
-        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Vec<u8>) {
+        fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, to_port: u16, payload: Payload) {
             self.heard.push((ctx.now(), from, to_port, payload));
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -473,7 +562,7 @@ mod tests {
         assert_eq!(t.as_millis(), 30);
         assert_eq!(*from, Addr::new(a, 5));
         assert_eq!(*port, 9);
-        assert_eq!(data, &[1, 2, 3]);
+        assert_eq!(*data, [1, 2, 3]);
     }
 
     #[test]
@@ -565,6 +654,104 @@ mod tests {
         sim.with_node::<Recorder, _>(a, |_, ctx| ctx.cancel_timer(id));
         sim.run_until_idle();
         assert!(sim.node_ref::<Recorder>(a).timer_tokens.is_empty());
+    }
+
+    #[test]
+    fn timer_bookkeeping_is_bounded() {
+        // The old tombstone set kept an entry per cancelled timer until
+        // that timer's event happened to fire — and *forever* for ids
+        // cancelled after firing. Generation-tagged slots recycle on pop
+        // and ignore stale ids, so bookkeeping is bounded by the events
+        // actually in flight.
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node("a", Box::<Recorder>::default());
+        sim.run_until_idle();
+
+        // Set-then-cancel-before-fire, many times over.
+        for round in 0..100 {
+            let ids: Vec<u64> = sim.with_node::<Recorder, _>(a, |_, ctx| {
+                (0..10)
+                    .map(|i| ctx.set_timer(Duration::from_millis(5 + i), round * 16 + i))
+                    .collect()
+            });
+            sim.with_node::<Recorder, _>(a, |_, ctx| {
+                for id in ids {
+                    ctx.cancel_timer(id);
+                }
+            });
+            sim.run_for(Duration::from_millis(50));
+        }
+        assert!(sim.node_ref::<Recorder>(a).timer_tokens.is_empty());
+        let (slots, free) = sim.timer_bookkeeping();
+        assert_eq!(slots - free, 0, "no timer events in flight");
+        assert!(slots <= 10, "slots are recycled, not accumulated: {slots}");
+
+        // Cancel-after-fire (the forever leak in the tombstone set): a
+        // stale id must be a no-op and must not grow any bookkeeping.
+        for _ in 0..100 {
+            let id = sim
+                .with_node::<Recorder, _>(a, |_, ctx| ctx.set_timer(Duration::from_millis(1), 1));
+            sim.run_for(Duration::from_millis(5));
+            sim.with_node::<Recorder, _>(a, |_, ctx| ctx.cancel_timer(id));
+        }
+        let (slots, free) = sim.timer_bookkeeping();
+        assert_eq!(slots - free, 0);
+        assert!(slots <= 10, "stale cancels must not leak: {slots}");
+
+        // A recycled slot must not be killable through a stale id: the
+        // old id's generation no longer matches.
+        let stale =
+            sim.with_node::<Recorder, _>(a, |_, ctx| ctx.set_timer(Duration::from_millis(1), 2));
+        sim.run_for(Duration::from_millis(5));
+        let fresh =
+            sim.with_node::<Recorder, _>(a, |_, ctx| ctx.set_timer(Duration::from_millis(1), 3));
+        assert_ne!(stale, fresh, "generation changes the id");
+        sim.with_node::<Recorder, _>(a, |_, ctx| ctx.cancel_timer(stale));
+        let fired_before = sim.node_ref::<Recorder>(a).timer_tokens.len();
+        sim.run_for(Duration::from_millis(5));
+        assert_eq!(
+            sim.node_ref::<Recorder>(a).timer_tokens.len(),
+            fired_before + 1,
+            "stale cancel must not kill the recycled slot's live timer"
+        );
+    }
+
+    #[test]
+    fn lossless_transmit_does_not_touch_the_rng() {
+        // Satellite invariant: when `loss == 0` and `jitter == 0`, a
+        // transmit draws nothing from the seeded RNG — heavy lossless
+        // traffic cannot shift the random stream of lossy links
+        // elsewhere in the world (committed CI baselines depend on it).
+        let drain = |sim: &mut Simulator, a: NodeId| -> Vec<u64> {
+            sim.with_node::<Recorder, _>(a, |_, ctx| (0..8).map(|_| ctx.random_u64()).collect())
+        };
+        let run = |traffic: usize| -> Vec<u64> {
+            let (mut sim, a, b) =
+                two_recorders(77, LinkConfig::with_delay(Duration::from_millis(1)));
+            sim.run_until_idle();
+            for _ in 0..traffic {
+                sim.with_node::<Recorder, _>(a, |_, ctx| {
+                    ctx.send(1, Addr::new(b, 1), vec![0; 100]);
+                });
+            }
+            sim.run_until_idle();
+            drain(&mut sim, a)
+        };
+        assert_eq!(run(0), run(1000), "lossless traffic perturbed the RNG");
+
+        // A lossy link, by contrast, must consume the stream.
+        let lossy = {
+            let (mut sim, a, b) = two_recorders(77, LinkConfig::instant().loss(0.5));
+            sim.run_until_idle();
+            for _ in 0..10 {
+                sim.with_node::<Recorder, _>(a, |_, ctx| {
+                    ctx.send(1, Addr::new(b, 1), vec![0; 100]);
+                });
+            }
+            sim.run_until_idle();
+            drain(&mut sim, a)
+        };
+        assert_ne!(lossy, run(0), "lossy traffic must consume the RNG");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!
 //! struct Silent;
 //! impl Node for Silent {
-//!     fn on_datagram(&mut self, _: &mut Ctx<'_>, _: Addr, _: u16, _: Vec<u8>) {}
+//!     fn on_datagram(&mut self, _: &mut Ctx<'_>, _: Addr, _: u16, _: moqdns_netsim::Payload) {}
 //!     fn as_any(&mut self) -> &mut dyn Any { self }
 //!     fn as_any_ref(&self) -> &dyn Any { self }
 //! }
@@ -419,7 +419,7 @@ mod tests {
 
     struct Silent;
     impl Node for Silent {
-        fn on_datagram(&mut self, _: &mut Ctx<'_>, _: Addr, _: u16, _: Vec<u8>) {}
+        fn on_datagram(&mut self, _: &mut Ctx<'_>, _: Addr, _: u16, _: crate::Payload) {}
         fn as_any(&mut self) -> &mut dyn Any {
             self
         }

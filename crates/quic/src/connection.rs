@@ -24,12 +24,27 @@
 use crate::config::TransportConfig;
 use crate::frame::Frame;
 use crate::handshake::{select_alpn, HandshakeMessage, Ticket};
-use crate::packet::{decode_datagram, encode_datagram, Packet, PacketType};
+use crate::packet::{decode_datagram_payload, encode_datagram_into, Packet, PacketType};
 use crate::recovery::{AckTracker, Recovery, RetxInfo, SentPacket};
 use crate::streams::{Dir, RecvStream, SendStream, StreamId};
 use moqdns_netsim::SimTime;
-use moqdns_wire::Payload;
+use moqdns_wire::{BufPool, Payload};
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// One ALPN protocol name. A shared handle: cloning an offer list into a
+/// connection, a ticket-store key, or a `Connected` event bumps a
+/// refcount instead of copying strings.
+pub type Alpn = Arc<[u8]>;
+
+/// An ordered ALPN offer/support list, shared the same way — endpoints
+/// build one list at startup and every `connect` clones the handle.
+pub type AlpnList = Arc<[Alpn]>;
+
+/// Builds an [`AlpnList`] from protocol name slices.
+pub fn alpn_list(protos: &[&[u8]]) -> AlpnList {
+    protos.iter().map(|p| Alpn::from(*p)).collect()
+}
 
 /// Which end of the connection we are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +62,7 @@ pub enum Event {
     /// processed; server: ClientHello processed).
     Connected {
         /// Negotiated ALPN protocol.
-        alpn: Vec<u8>,
+        alpn: Alpn,
         /// For clients that attempted 0-RTT: whether the server accepted.
         early_data_accepted: Option<bool>,
     },
@@ -138,9 +153,9 @@ pub struct Connection {
     crypto_out: Option<Vec<u8>>,
     crypto_pending: bool,
     handshake_processed: bool,
-    alpn_offer: Vec<Vec<u8>>,
-    alpn_supported: Vec<Vec<u8>>,
-    selected_alpn: Option<Vec<u8>>,
+    alpn_offer: AlpnList,
+    alpn_supported: AlpnList,
+    selected_alpn: Option<Alpn>,
     ticket: Option<Ticket>,
     ticket_nonce: u64,
     attempted_early_data: bool,
@@ -191,6 +206,8 @@ pub struct Connection {
     events: VecDeque<Event>,
     readable_notified: HashSet<StreamId>,
     stats: ConnStats,
+    /// Recycled encode buffers for outgoing datagrams.
+    pool: BufPool,
 }
 
 impl Connection {
@@ -199,13 +216,13 @@ impl Connection {
     pub fn client(
         cid: u64,
         config: TransportConfig,
-        alpn: Vec<Vec<u8>>,
+        alpn: AlpnList,
         ticket: Option<Ticket>,
         now: SimTime,
     ) -> Connection {
         let attempted_early = ticket.is_some();
         let ch = HandshakeMessage::ClientHello {
-            alpn: alpn.clone(),
+            alpn: alpn.to_vec(),
             ticket: ticket.clone(),
             early_data: attempted_early,
         };
@@ -223,7 +240,7 @@ impl Connection {
     pub fn server(
         cid: u64,
         config: TransportConfig,
-        supported_alpn: Vec<Vec<u8>>,
+        supported_alpn: AlpnList,
         ticket_nonce: u64,
         now: SimTime,
     ) -> Connection {
@@ -247,8 +264,8 @@ impl Connection {
             crypto_out: None,
             crypto_pending: false,
             handshake_processed: false,
-            alpn_offer: Vec::new(),
-            alpn_supported: Vec::new(),
+            alpn_offer: AlpnList::from([]),
+            alpn_supported: AlpnList::from([]),
             selected_alpn: None,
             ticket: None,
             ticket_nonce: 0,
@@ -280,6 +297,7 @@ impl Connection {
             events: VecDeque::new(),
             readable_notified: HashSet::new(),
             stats: ConnStats::default(),
+            pool: BufPool::default(),
             config,
         }
     }
@@ -307,6 +325,11 @@ impl Connection {
     /// Negotiated ALPN (after establishment).
     pub fn alpn(&self) -> Option<&[u8]> {
         self.selected_alpn.as_deref()
+    }
+
+    /// Negotiated ALPN as a cheap shared handle (ticket-store keys).
+    pub fn alpn_handle(&self) -> Option<&Alpn> {
+        self.selected_alpn.as_ref()
     }
 
     /// Traffic counters.
@@ -458,12 +481,14 @@ impl Connection {
     // Datagram ingest
     // ------------------------------------------------------------------
 
-    /// Processes one incoming UDP datagram.
-    pub fn handle_datagram(&mut self, now: SimTime, data: &[u8]) {
+    /// Processes one incoming UDP datagram. The payload handle makes the
+    /// parse zero-copy: DATAGRAM frames become sub-views of `data`, so a
+    /// relay fanning an object out never copies payload bytes on receive.
+    pub fn handle_datagram(&mut self, now: SimTime, data: &Payload) {
         if self.state == State::Closed && self.close_sent {
             return;
         }
-        let Ok(packets) = decode_datagram(data) else {
+        let Ok(packets) = decode_datagram_payload(data) else {
             return; // garbage is dropped silently
         };
         self.stats.bytes_received += data.len() as u64;
@@ -746,8 +771,10 @@ impl Connection {
     // ------------------------------------------------------------------
 
     /// Builds the next outgoing UDP datagram, or `None` if there is nothing
-    /// to send right now. Call repeatedly until `None`.
-    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Vec<u8>> {
+    /// to send right now. Call repeatedly until `None`. The datagram is
+    /// encoded once into a pooled buffer and returned as a shared
+    /// [`Payload`].
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Payload> {
         // Terminal close frame (sent exactly once).
         if self.state == State::Closed {
             if let Some((code, reason)) = self.close_frame.take() {
@@ -925,10 +952,12 @@ impl Connection {
         pkt
     }
 
-    fn finish_datagram(&mut self, now: SimTime, packets: Vec<Packet>) -> Vec<u8> {
-        // Fix up sent-times to "now" (seal ran before we knew we'd send).
-        // BTreeMap makes the last `packets.len()` entries ours.
-        let dg = encode_datagram(&packets);
+    fn finish_datagram(&mut self, now: SimTime, packets: Vec<Packet>) -> Payload {
+        // Encode once into a pooled buffer, hand out a shared view.
+        let mut w = self.pool.writer();
+        encode_datagram_into(&packets, &mut w);
+        let dg = Payload::from(w.as_slice());
+        self.pool.recycle_writer(w);
         self.stats.bytes_sent += dg.len() as u64;
         self.last_tx = now;
         // Correct the sent time of the packets just sealed.
@@ -1003,12 +1032,13 @@ impl Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::decode_datagram;
     use std::time::Duration;
 
     const ALPN: &[u8] = b"moq-dns/1";
 
-    fn alpns() -> Vec<Vec<u8>> {
-        vec![ALPN.to_vec()]
+    fn alpns() -> AlpnList {
+        crate::connection::alpn_list(&[ALPN])
     }
 
     fn t(ms: u64) -> SimTime {
@@ -1078,7 +1108,7 @@ mod tests {
         let cev = drain_events(&mut c);
         assert!(matches!(
             &cev[0],
-            Event::Connected { alpn, early_data_accepted: None } if alpn == ALPN
+            Event::Connected { alpn, early_data_accepted: None } if alpn.as_ref() == ALPN
         ));
         assert!(matches!(&cev[1], Event::TicketIssued(_)));
     }
@@ -1232,14 +1262,14 @@ mod tests {
         let mut c = Connection::client(
             1,
             TransportConfig::default(),
-            vec![b"foo".to_vec()],
+            crate::connection::alpn_list(&[b"foo"]),
             None,
             now,
         );
         let mut s = Connection::server(
             1,
             TransportConfig::default(),
-            vec![b"bar".to_vec()],
+            crate::connection::alpn_list(&[b"bar"]),
             99,
             now,
         );
@@ -1425,8 +1455,8 @@ mod tests {
     #[test]
     fn garbage_datagrams_ignored() {
         let (mut c, _) = pair(t(0));
-        c.handle_datagram(t(0), b"\xFF\xFF\xFF");
-        c.handle_datagram(t(0), b"");
+        c.handle_datagram(t(0), &Payload::from(&b"\xFF\xFF\xFF"[..]));
+        c.handle_datagram(t(0), &Payload::empty());
         assert!(!c.is_closed());
     }
 

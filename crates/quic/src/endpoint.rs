@@ -10,11 +10,11 @@
 //! second latency optimization of paper §5.2.
 
 use crate::config::TransportConfig;
-use crate::connection::{Connection, Event, Side};
+use crate::connection::{Alpn, AlpnList, Connection, Event, Side};
 use crate::handshake::Ticket;
-use crate::packet::decode_datagram;
 use moqdns_netsim::SimTime;
-use std::collections::{HashMap, VecDeque};
+use moqdns_wire::Payload;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::hash::Hash;
 
 /// Re-exported ticket type for public API convenience.
@@ -28,18 +28,34 @@ pub struct ConnHandle(pub u64);
 pub struct Endpoint<P> {
     config: TransportConfig,
     /// ALPNs a server accepts; ignored for pure clients.
-    server_alpn: Vec<Vec<u8>>,
+    server_alpn: AlpnList,
     /// Whether this endpoint accepts incoming connections.
     is_server: bool,
     connections: HashMap<ConnHandle, (Connection, P)>,
     by_cid: HashMap<u64, ConnHandle>,
     next_cid: u64,
-    /// Client ticket store: (peer, alpn) -> ticket.
-    tickets: HashMap<(P, Vec<u8>), Ticket>,
+    /// Client ticket store: (peer, alpn) -> ticket. Keys are shared
+    /// [`Alpn`] handles — storing or probing a ticket never copies the
+    /// protocol string.
+    tickets: HashMap<(P, Alpn), Ticket>,
     /// Pending (handle, event) pairs for the application.
     events: VecDeque<(ConnHandle, Event)>,
     /// Accepted-but-unreported incoming connections.
     incoming: VecDeque<ConnHandle>,
+    /// Connections that may have datagrams to send and whose timer
+    /// deadline may be stale: every mutating touch (connect, ingest,
+    /// timeout, `conn_mut`) marks here, and `poll_transmit` clears a
+    /// handle once it polls to `None`. Ordered so transmit order stays
+    /// the deterministic lowest-handle-first of the full scan this
+    /// replaces — without re-sorting every connection on every call.
+    dirty: BTreeSet<ConnHandle>,
+    /// Timer deadlines of non-dirty connections, ordered: `poll_timeout`
+    /// and `handle_timeout` read the front instead of scanning all
+    /// connections.
+    deadlines: BTreeSet<(SimTime, ConnHandle)>,
+    deadline_of: HashMap<ConnHandle, SimTime>,
+    /// Connections observed `Closed`, awaiting `reap_closed`.
+    closed_pending: Vec<ConnHandle>,
 }
 
 impl<P: Copy + Eq + Hash> Endpoint<P> {
@@ -47,7 +63,7 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
     pub fn client(config: TransportConfig, cid_seed: u64) -> Endpoint<P> {
         Endpoint {
             config,
-            server_alpn: Vec::new(),
+            server_alpn: AlpnList::from([]),
             is_server: false,
             connections: HashMap::new(),
             by_cid: HashMap::new(),
@@ -55,16 +71,49 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
             tickets: HashMap::new(),
             events: VecDeque::new(),
             incoming: VecDeque::new(),
+            dirty: BTreeSet::new(),
+            deadlines: BTreeSet::new(),
+            deadline_of: HashMap::new(),
+            closed_pending: Vec::new(),
         }
     }
 
     /// Creates a server endpoint accepting the given ALPNs (it can still
     /// open client connections of its own — resolvers do both).
-    pub fn server(config: TransportConfig, alpn: Vec<Vec<u8>>, cid_seed: u64) -> Endpoint<P> {
+    pub fn server(config: TransportConfig, alpn: AlpnList, cid_seed: u64) -> Endpoint<P> {
         let mut e = Endpoint::client(config, cid_seed);
         e.is_server = true;
         e.server_alpn = alpn;
         e
+    }
+
+    /// Marks a connection as possibly-sendable / deadline-stale.
+    fn mark_dirty(&mut self, h: ConnHandle) {
+        self.dirty.insert(h);
+    }
+
+    /// Re-indexes `h`'s timer deadline from its connection state.
+    fn refresh_deadline(&mut self, h: ConnHandle) {
+        if let Some(t) = self.deadline_of.remove(&h) {
+            self.deadlines.remove(&(t, h));
+        }
+        if let Some((c, _)) = self.connections.get(&h) {
+            if let Some(t) = c.poll_timeout() {
+                self.deadlines.insert((t, h));
+                self.deadline_of.insert(h, t);
+            }
+        }
+    }
+
+    /// Drops a connection from every index.
+    fn forget(&mut self, h: ConnHandle) {
+        if let Some((c, _)) = self.connections.remove(&h) {
+            self.by_cid.remove(&c.cid());
+        }
+        self.dirty.remove(&h);
+        if let Some(t) = self.deadline_of.remove(&h) {
+            self.deadlines.remove(&(t, h));
+        }
     }
 
     /// Opens a client connection to `peer`, optionally trying 0-RTT with a
@@ -73,7 +122,7 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
         &mut self,
         now: SimTime,
         peer: P,
-        alpn: Vec<Vec<u8>>,
+        alpn: AlpnList,
         use_ticket: bool,
     ) -> ConnHandle {
         // The handle IS the cid, so a client cid colliding with the cid of
@@ -96,27 +145,39 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
         let handle = ConnHandle(cid);
         self.connections.insert(handle, (conn, peer));
         self.by_cid.insert(cid, handle);
+        self.mark_dirty(handle);
         handle
     }
 
     /// True if a resumption ticket is stored for `peer` + `alpn` (0-RTT
-    /// possible on the next connect).
+    /// possible on the next connect). Allocation-free: the tiny store is
+    /// probed by content, not by a freshly built key.
     pub fn has_ticket(&self, peer: P, alpn: &[u8]) -> bool {
-        self.tickets.contains_key(&(peer, alpn.to_vec()))
+        self.tickets
+            .keys()
+            .any(|(p, a)| *p == peer && a.as_ref() == alpn)
     }
 
     /// Ingests a datagram that arrived from `from`. Unknown connection ids
-    /// create a new server connection when `is_server`.
-    pub fn handle_datagram(&mut self, now: SimTime, from: P, data: &[u8]) {
-        let Ok(packets) = decode_datagram(data) else {
+    /// create a new server connection when `is_server`. The payload
+    /// handle keeps the parse zero-copy all the way into DATAGRAM frames.
+    pub fn handle_datagram(&mut self, now: SimTime, from: P, data: &Payload) {
+        // Peek just the first packet's header for routing; the owning
+        // connection parses the full datagram (zero-copy) exactly once.
+        let Some(cid) = crate::packet::peek_dcid(data) else {
             return;
         };
-        let Some(first) = packets.first() else { return };
-        let cid = first.dcid;
         let handle = match self.by_cid.get(&cid) {
             Some(h) => *h,
             None => {
                 if !self.is_server {
+                    return;
+                }
+                // A *new* connection is only minted for a datagram that
+                // parses in full — the cheap header peek alone must not
+                // let garbage traffic allocate server state. (Known
+                // connections skip this: their own parse handles it.)
+                if crate::packet::decode_datagram_payload(data).is_err() {
                     return;
                 }
                 let nonce = self
@@ -134,13 +195,23 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
                 self.connections.insert(handle, (conn, from));
                 self.by_cid.insert(cid, handle);
                 self.incoming.push_back(handle);
+                self.mark_dirty(handle);
                 handle
             }
         };
         if let Some((conn, peer)) = self.connections.get_mut(&handle) {
             *peer = from; // track migration
             conn.handle_datagram(now, data);
-            Self::drain_conn_events(handle, conn, *peer, &mut self.tickets, &mut self.events);
+            let p = *peer;
+            Self::drain_conn_events(
+                handle,
+                conn,
+                p,
+                &mut self.tickets,
+                &mut self.events,
+                &mut self.closed_pending,
+            );
+            self.mark_dirty(handle);
         }
     }
 
@@ -148,16 +219,19 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
         handle: ConnHandle,
         conn: &mut Connection,
         peer: P,
-        tickets: &mut HashMap<(P, Vec<u8>), Ticket>,
+        tickets: &mut HashMap<(P, Alpn), Ticket>,
         events: &mut VecDeque<(ConnHandle, Event)>,
+        closed_pending: &mut Vec<ConnHandle>,
     ) {
         while let Some(ev) = conn.poll_event() {
-            if let Event::TicketIssued(t) = &ev {
-                if conn.side() == Side::Client {
-                    if let Some(alpn) = conn.alpn() {
-                        tickets.insert((peer, alpn.to_vec()), t.clone());
+            match &ev {
+                Event::TicketIssued(t) if conn.side() == Side::Client => {
+                    if let Some(alpn) = conn.alpn_handle() {
+                        tickets.insert((peer, alpn.clone()), t.clone());
                     }
                 }
+                Event::Closed { .. } => closed_pending.push(handle),
+                _ => {}
             }
             events.push_back((handle, ev));
         }
@@ -174,41 +248,79 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
     }
 
     /// Builds the next outgoing `(peer, datagram)` pair across connections.
-    /// Call until `None`.
-    pub fn poll_transmit(&mut self, now: SimTime) -> Option<(P, Vec<u8>)> {
-        // Deterministic iteration: sort handles.
-        let mut handles: Vec<ConnHandle> = self.connections.keys().copied().collect();
-        handles.sort();
-        for h in handles {
-            let (conn, peer) = self.connections.get_mut(&h).unwrap();
+    /// Call until `None`. Only *dirty* connections (touched since they
+    /// last drained) are scanned, lowest handle first — the same
+    /// deterministic order as the full sorted scan this replaces, since
+    /// an untouched connection has nothing to send.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<(P, Payload)> {
+        while let Some(&h) = self.dirty.iter().next() {
+            let Some((conn, peer)) = self.connections.get_mut(&h) else {
+                self.dirty.remove(&h);
+                continue;
+            };
             if let Some(dg) = conn.poll_transmit(now) {
                 let p = *peer;
-                Self::drain_conn_events(h, conn, p, &mut self.tickets, &mut self.events);
+                Self::drain_conn_events(
+                    h,
+                    conn,
+                    p,
+                    &mut self.tickets,
+                    &mut self.events,
+                    &mut self.closed_pending,
+                );
                 return Some((p, dg));
             }
+            // Drained: its deadline is current again; stop scanning it.
+            if conn.is_closed() {
+                self.closed_pending.push(h);
+            }
+            self.dirty.remove(&h);
+            self.refresh_deadline(h);
         }
         None
     }
 
-    /// Earliest timer deadline across all connections.
-    pub fn poll_timeout(&self) -> Option<SimTime> {
-        self.connections
-            .values()
-            .filter_map(|(c, _)| c.poll_timeout())
-            .min()
+    /// Brings the deadline index up to date for every dirty connection
+    /// (they stay dirty for transmit purposes).
+    fn refresh_dirty_deadlines(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty: Vec<ConnHandle> = self.dirty.iter().copied().collect();
+        for h in dirty {
+            self.refresh_deadline(h);
+        }
     }
 
-    /// Fires timer processing on every connection whose deadline passed,
-    /// then reaps closed connections.
+    /// Earliest timer deadline across all connections (refreshing any
+    /// dirty connection's cached deadline first).
+    pub fn poll_timeout(&mut self) -> Option<SimTime> {
+        self.refresh_dirty_deadlines();
+        self.deadlines.first().map(|&(t, _)| t)
+    }
+
+    /// Fires timer processing on every connection whose deadline passed.
     pub fn handle_timeout(&mut self, now: SimTime) {
-        let handles: Vec<ConnHandle> = self.connections.keys().copied().collect();
-        for h in handles {
+        self.refresh_dirty_deadlines();
+        let due: Vec<ConnHandle> = self
+            .deadlines
+            .iter()
+            .take_while(|&&(t, _)| t <= now)
+            .map(|&(_, h)| h)
+            .collect();
+        for h in due {
             if let Some((conn, peer)) = self.connections.get_mut(&h) {
-                if conn.poll_timeout().map(|t| t <= now).unwrap_or(false) {
-                    conn.handle_timeout(now);
-                    let p = *peer;
-                    Self::drain_conn_events(h, conn, p, &mut self.tickets, &mut self.events);
-                }
+                conn.handle_timeout(now);
+                let p = *peer;
+                Self::drain_conn_events(
+                    h,
+                    conn,
+                    p,
+                    &mut self.tickets,
+                    &mut self.events,
+                    &mut self.closed_pending,
+                );
+                self.mark_dirty(h);
             }
         }
     }
@@ -218,28 +330,26 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
     /// running on end-user devices also need to clean up subscriptions
     /// after suspension or shutdowns").
     pub fn abandon(&mut self, h: ConnHandle) {
-        if let Some((c, _)) = self.connections.remove(&h) {
-            self.by_cid.remove(&c.cid());
-        }
+        self.forget(h);
     }
 
     /// Drops connections that are fully closed and have nothing to send.
+    /// O(closures observed), not O(live connections): candidates are
+    /// collected as their `Closed` events surface.
     pub fn reap_closed(&mut self) {
-        let dead: Vec<ConnHandle> = self
-            .connections
-            .iter()
-            .filter(|(_, (c, _))| c.is_closed())
-            .map(|(h, _)| *h)
-            .collect();
-        for h in dead {
-            if let Some((c, _)) = self.connections.remove(&h) {
-                self.by_cid.remove(&c.cid());
+        while let Some(h) = self.closed_pending.pop() {
+            if self.connections.get(&h).is_some_and(|(c, _)| c.is_closed()) {
+                self.forget(h);
             }
         }
     }
 
-    /// Access a connection by handle.
+    /// Access a connection by handle. The connection is marked dirty —
+    /// the caller may write into it, making it sendable.
     pub fn conn_mut(&mut self, h: ConnHandle) -> Option<&mut Connection> {
+        if self.connections.contains_key(&h) {
+            self.mark_dirty(h);
+        }
         self.connections.get_mut(&h).map(|(c, _)| c)
     }
 
@@ -275,8 +385,8 @@ mod tests {
 
     type Peer = u32;
 
-    fn alpns() -> Vec<Vec<u8>> {
-        vec![b"moq-dns/1".to_vec()]
+    fn alpns() -> crate::connection::AlpnList {
+        crate::connection::alpn_list(&[b"moq-dns/1"])
     }
 
     fn t(ms: u64) -> SimTime {

@@ -231,8 +231,23 @@ impl Frame {
         }
     }
 
-    /// Decodes one frame from `r`.
+    /// Decodes one frame from `r`, copying variable-length payloads into
+    /// fresh buffers. Hot receive paths use the crate-internal
+    /// `decode_in` with a backing [`Payload`] instead (reachable through
+    /// [`crate::packet::decode_datagram_payload`]).
     pub fn decode(r: &mut Reader<'_>) -> WireResult<Frame> {
+        Self::decode_in(r, None)
+    }
+
+    /// Decodes one frame from `r`. When `backing` is given as the
+    /// [`Payload`] whose bytes `r.full()` starts at offset `base` of,
+    /// DATAGRAM frame payloads become zero-copy sub-views of it instead
+    /// of fresh allocations — the per-hop payload copy the relay fan-out
+    /// used to pay on every receive.
+    pub(crate) fn decode_in(
+        r: &mut Reader<'_>,
+        backing: Option<(&Payload, usize)>,
+    ) -> WireResult<Frame> {
         let ty = varint::get_varint(r)?;
         Ok(match ty {
             T_PADDING => Frame::Padding,
@@ -303,9 +318,15 @@ impl Frame {
             T_HANDSHAKE_DONE => Frame::HandshakeDone,
             T_DATAGRAM => {
                 let len = varint::get_varint(r)? as usize;
-                Frame::Datagram {
-                    data: r.get_vec(len)?.into(),
-                }
+                let data = match backing {
+                    Some((p, base)) => {
+                        let start = base + r.position();
+                        r.skip(len)?;
+                        p.slice(start..start + len)
+                    }
+                    None => r.get_vec(len)?.into(),
+                };
+                Frame::Datagram { data }
             }
             T_CONNECTION_CLOSE => {
                 let error_code = varint::get_varint(r)?;

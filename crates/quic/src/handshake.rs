@@ -16,6 +16,7 @@
 //! Messages ride in CRYPTO frames, encoded with the same varint toolbox as
 //! everything else.
 
+use crate::connection::Alpn;
 use moqdns_wire::{varint, Reader, WireError, WireResult, Writer};
 
 /// An opaque resumption ticket (issued by a server, presented by a client).
@@ -28,7 +29,7 @@ pub enum HandshakeMessage {
     /// Client's first flight.
     ClientHello {
         /// Offered ALPN protocols, in preference order.
-        alpn: Vec<Vec<u8>>,
+        alpn: Vec<Alpn>,
         /// Resumption ticket, if any.
         ticket: Option<Ticket>,
         /// True if 0-RTT packets accompany this hello.
@@ -37,7 +38,7 @@ pub enum HandshakeMessage {
     /// Server's reply; completes the handshake from the client's view.
     ServerHello {
         /// The selected ALPN protocol.
-        alpn: Vec<u8>,
+        alpn: Alpn,
         /// Whether presented early data was accepted.
         early_data_accepted: bool,
         /// A fresh ticket for future resumption.
@@ -118,7 +119,7 @@ impl HandshakeMessage {
                 let mut alpn = Vec::with_capacity(n);
                 for _ in 0..n {
                     let len = varint::get_varint(r)? as usize;
-                    alpn.push(r.get_vec(len)?);
+                    alpn.push(Alpn::from(r.get_bytes(len)?));
                 }
                 let ticket = match r.get_u8()? {
                     0 => None,
@@ -141,7 +142,7 @@ impl HandshakeMessage {
             }
             M_SERVER_HELLO => {
                 let len = varint::get_varint(r)? as usize;
-                let alpn = r.get_vec(len)?;
+                let alpn = Alpn::from(r.get_bytes(len)?);
                 let early_data_accepted = r.get_u8()? != 0;
                 let tlen = varint::get_varint(r)? as usize;
                 HandshakeMessage::ServerHello {
@@ -163,7 +164,8 @@ impl HandshakeMessage {
 }
 
 /// Server-side ALPN selection: first client offer the server supports.
-pub fn select_alpn(offered: &[Vec<u8>], supported: &[Vec<u8>]) -> Option<Vec<u8>> {
+/// Returns a cheap handle clone of the winning offer.
+pub fn select_alpn(offered: &[Alpn], supported: &[Alpn]) -> Option<Alpn> {
     offered.iter().find(|o| supported.contains(o)).cloned()
 }
 
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn client_hello_roundtrip() {
         let m = HandshakeMessage::ClientHello {
-            alpn: vec![b"moqt-12".to_vec(), b"doq".to_vec()],
+            alpn: vec![Alpn::from(&b"moqt-12"[..]), Alpn::from(&b"doq"[..])],
             ticket: Some(Ticket(vec![9; 16])),
             early_data: true,
         };
@@ -184,7 +186,7 @@ mod tests {
     #[test]
     fn client_hello_without_ticket() {
         let m = HandshakeMessage::ClientHello {
-            alpn: vec![b"moqt-12".to_vec()],
+            alpn: vec![Alpn::from(&b"moqt-12"[..])],
             ticket: None,
             early_data: false,
         };
@@ -194,7 +196,7 @@ mod tests {
     #[test]
     fn server_hello_roundtrip() {
         let m = HandshakeMessage::ServerHello {
-            alpn: b"moqt-12".to_vec(),
+            alpn: Alpn::from(&b"moqt-12"[..]),
             early_data_accepted: true,
             new_ticket: Ticket(vec![1, 2, 3]),
         };
@@ -209,9 +211,12 @@ mod tests {
 
     #[test]
     fn alpn_selection_prefers_client_order() {
-        let offered = vec![b"moqt-13".to_vec(), b"moqt-12".to_vec()];
-        let supported = vec![b"moqt-12".to_vec(), b"moqt-13".to_vec()];
-        assert_eq!(select_alpn(&offered, &supported), Some(b"moqt-13".to_vec()));
+        let offered = vec![Alpn::from(&b"moqt-13"[..]), Alpn::from(&b"moqt-12"[..])];
+        let supported = vec![Alpn::from(&b"moqt-12"[..]), Alpn::from(&b"moqt-13"[..])];
+        assert_eq!(
+            select_alpn(&offered, &supported),
+            Some(Alpn::from(&b"moqt-13"[..]))
+        );
         assert_eq!(select_alpn(&offered, &[]), None);
     }
 

@@ -42,6 +42,6 @@ pub mod streams;
 pub mod udp_driver;
 
 pub use config::TransportConfig;
-pub use connection::{Connection, ConnectionError, Event, Side};
+pub use connection::{alpn_list, Alpn, AlpnList, Connection, ConnectionError, Event, Side};
 pub use endpoint::{ConnHandle, Endpoint, SessionTicket};
 pub use streams::{Dir, StreamId};

@@ -10,7 +10,7 @@
 //! length-prefixed.
 
 use crate::frame::Frame;
-use moqdns_wire::{varint, Reader, VarInt, WireError, WireResult, Writer};
+use moqdns_wire::{varint, Payload, Reader, VarInt, WireError, WireResult, Writer};
 
 /// Packet type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,13 +87,20 @@ impl Packet {
 
     /// Decodes one packet from exactly `buf`.
     pub fn decode(buf: &[u8]) -> WireResult<Packet> {
+        Self::decode_in(buf, None)
+    }
+
+    /// Decodes one packet from exactly `buf`; with `backing` given as
+    /// the datagram [`Payload`] that `buf` starts at offset `base` of,
+    /// DATAGRAM frame payloads are zero-copy sub-views of it.
+    fn decode_in(buf: &[u8], backing: Option<(&Payload, usize)>) -> WireResult<Packet> {
         let mut r = Reader::new(buf);
         let ty = PacketType::from_u8(r.get_u8()?)?;
         let dcid = r.get_u64()?;
         let pn = varint::get_varint(&mut r)?;
         let mut frames = Vec::new();
         while !r.is_empty() {
-            frames.push(Frame::decode(&mut r)?);
+            frames.push(Frame::decode_in(&mut r, backing)?);
         }
         Ok(Packet {
             ty,
@@ -104,23 +111,27 @@ impl Packet {
     }
 }
 
-/// Encodes `packets` into one UDP datagram (length-prefixed coalescing).
-/// Each packet is encoded exactly once, directly into the output.
-pub fn encode_datagram(packets: &[Packet]) -> Vec<u8> {
-    let mut w = Writer::with_capacity(256);
+/// Encodes `packets` onto `w` (length-prefixed coalescing). Each packet
+/// is encoded exactly once, directly into the output; hot paths pass a
+/// recycled writer (see [`moqdns_wire::BufPool`]).
+pub fn encode_datagram_into(packets: &[Packet], w: &mut Writer) {
     for p in packets {
         let len = p.encoded_len();
-        VarInt::try_from(len)
-            .expect("packet fits varint")
-            .encode(&mut w);
+        VarInt::try_from(len).expect("packet fits varint").encode(w);
         let before = w.len();
-        p.encode_into(&mut w);
+        p.encode_into(w);
         debug_assert_eq!(w.len() - before, len, "encoded_len mismatch");
     }
+}
+
+/// Encodes `packets` into one UDP datagram (length-prefixed coalescing).
+pub fn encode_datagram(packets: &[Packet]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(256);
+    encode_datagram_into(packets, &mut w);
     w.into_vec()
 }
 
-/// Decodes all coalesced packets in a datagram.
+/// Decodes all coalesced packets in a datagram, copying frame payloads.
 pub fn decode_datagram(buf: &[u8]) -> WireResult<Vec<Packet>> {
     let mut r = Reader::new(buf);
     let mut out = Vec::new();
@@ -128,6 +139,34 @@ pub fn decode_datagram(buf: &[u8]) -> WireResult<Vec<Packet>> {
         let len = varint::get_varint(&mut r)? as usize;
         let bytes = r.get_bytes(len)?;
         out.push(Packet::decode(bytes)?);
+    }
+    Ok(out)
+}
+
+/// Peeks the destination connection id of the first packet in a
+/// datagram without decoding frames — endpoint routing runs this once
+/// per datagram, then hands the full zero-copy parse to the owning
+/// connection.
+pub fn peek_dcid(buf: &[u8]) -> Option<u64> {
+    let mut r = Reader::new(buf);
+    let _len = varint::get_varint(&mut r).ok()?;
+    let ty = r.get_u8().ok()?;
+    PacketType::from_u8(ty).ok()?;
+    r.get_u64().ok()
+}
+
+/// Decodes all coalesced packets in a datagram delivered as a shared
+/// [`Payload`]: DATAGRAM frame payloads come out as zero-copy sub-views
+/// of `buf` (byte-for-byte identical to what [`decode_datagram`] copies
+/// out — property-tested below).
+pub fn decode_datagram_payload(buf: &Payload) -> WireResult<Vec<Packet>> {
+    let mut r = Reader::new(buf.as_slice());
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        let len = varint::get_varint(&mut r)? as usize;
+        let base = r.position();
+        let bytes = r.get_bytes(len)?;
+        out.push(Packet::decode_in(bytes, Some((buf, base)))?);
     }
     Ok(out)
 }
@@ -198,6 +237,54 @@ mod tests {
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
             let _ = decode_datagram(&bytes);
+            let _ = decode_datagram_payload(&Payload::from(&bytes[..]));
+        }
+
+        /// Zero-copy equivalence: the `Payload` receive path parses
+        /// byte-for-byte identical packets to the copying path, and the
+        /// DATAGRAM frame payloads it produces are sub-views of the
+        /// incoming datagram's storage (no per-hop copies).
+        #[test]
+        fn prop_payload_decode_equals_copying_decode(
+            dcid in any::<u64>(),
+            pn in any::<u32>(),
+            dgram_payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..64), 1..4),
+            crypto in proptest::collection::vec(any::<u8>(), 0..32),
+        ) {
+            let packets = vec![
+                Packet {
+                    ty: PacketType::Initial,
+                    dcid,
+                    pn: pn as u64,
+                    frames: vec![Frame::Crypto { offset: 0, data: crypto }],
+                },
+                Packet {
+                    ty: PacketType::OneRtt,
+                    dcid,
+                    pn: pn as u64 + 1,
+                    frames: dgram_payloads
+                        .iter()
+                        .map(|p| Frame::Datagram { data: p.clone().into() })
+                        .chain([Frame::Ping, Frame::MaxData { max: 9000 }])
+                        .collect(),
+                },
+            ];
+            let wire = Payload::new(encode_datagram(&packets));
+            let copied = decode_datagram(wire.as_slice()).unwrap();
+            let shared = decode_datagram_payload(&wire).unwrap();
+            prop_assert_eq!(&shared, &copied, "identical parse");
+            prop_assert_eq!(&shared, &packets, "roundtrip");
+            for p in &shared {
+                for f in &p.frames {
+                    if let Frame::Datagram { data } = f {
+                        prop_assert!(
+                            data.shares_storage_with(&wire),
+                            "datagram payload must be a zero-copy view"
+                        );
+                    }
+                }
+            }
         }
     }
 }

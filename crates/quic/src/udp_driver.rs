@@ -11,6 +11,7 @@
 
 use crate::endpoint::Endpoint;
 use moqdns_netsim::SimTime;
+use moqdns_wire::Payload;
 use parking_lot::Mutex;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,8 +65,11 @@ impl UdpDriver {
                 match socket.recv_from(&mut buf) {
                     Ok((n, from)) => {
                         let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+                        // One copy from the socket buffer into a shared
+                        // payload; the whole parse below is zero-copy.
+                        let dg = Payload::from(&buf[..n]);
                         let mut ep = ep.lock();
-                        ep.handle_datagram(now, from, &buf[..n]);
+                        ep.handle_datagram(now, from, &dg);
                         while let Some((peer, dg)) = ep.poll_transmit(now) {
                             let _ = socket.send_to(&dg, peer);
                         }
@@ -144,8 +148,8 @@ mod tests {
     use crate::connection::Event;
     use crate::streams::Dir;
 
-    fn alpns() -> Vec<Vec<u8>> {
-        vec![b"moq-dns/1".to_vec()]
+    fn alpns() -> crate::connection::AlpnList {
+        crate::connection::alpn_list(&[b"moq-dns/1"])
     }
 
     #[test]

@@ -500,6 +500,158 @@ impl FederationScenario {
     }
 }
 
+/// A **metro-scale** cross-region federation: the [`FederationScenario`]
+/// shape grown two orders of magnitude past anything else in the CI
+/// matrix — 1 origin → K federated cores (full-mesh peer links, one hash
+/// shard each) → K regions of region-local edges → **~10,000 stubs**
+/// subscribing across **~64 tracks**.
+///
+/// At this scale no stub subscribes to *every* track (a metro population
+/// doesn't): the track space is cut into `tracks / tracks_per_stub`
+/// equal **slices** and stub `j` takes slice `(j / edge_count) %
+/// slices`, so consecutive stubs under one edge walk all slices and
+/// every edge still aggregates demand for the *full* track set
+/// (guaranteed whenever `stubs_per_edge >= slices`, asserted at build).
+/// That keeps every federation invariant meaningful at scale:
+///
+/// 1. **stampede coalescing** — ~10k stubs' joining fetches collapse to
+///    exactly `tracks` upstream fetches per edge, `tracks` fetches at
+///    the origin system-wide;
+/// 2. **one copy per link** — an update still crosses origin→home-core
+///    and each home→peer core link exactly once, with ~10k subscribers
+///    below;
+/// 3. **origin independence** — killing the origin leaves every
+///    published track servable region-to-region, proven by cold edges +
+///    stubs joining in every region with zero loss.
+///
+/// The scenario exists to measure the *simulator* as much as the
+/// protocol: its full-size run is the wall-clock benchmark the sim
+/// data-plane (zero-copy delivery, timing-wheel scheduler) is graded on.
+#[derive(Debug, Clone, Copy)]
+pub struct MetroScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Federated cores (= regions = hash shards).
+    pub cores: usize,
+    /// Edge relays per region (each attaches only to its region's core).
+    pub edges_per_region: usize,
+    /// Stub subscribers per edge relay.
+    pub stubs_per_edge: usize,
+    /// Distinct records (tracks) across the whole metro.
+    pub tracks: usize,
+    /// Tracks each stub subscribes to (one contiguous slice).
+    pub tracks_per_stub: usize,
+    /// Updates pushed per track during each measured round.
+    pub updates_per_track: u64,
+    /// Gap between update rounds.
+    pub update_interval: Duration,
+    /// One-way delay of intra-region links (core→edge, edge→stub).
+    pub link_delay: Duration,
+    /// One-way delay of inter-region links (origin→core, core↔core).
+    pub peer_delay: Duration,
+}
+
+impl MetroScenario {
+    /// The standing metro drill: 3 regions × 4 edges × 833 stubs =
+    /// 9,996 subscribers over 64 tracks (8 per stub).
+    pub fn metro() -> MetroScenario {
+        MetroScenario {
+            name: "metro",
+            cores: 3,
+            edges_per_region: 4,
+            stubs_per_edge: 833,
+            tracks: 64,
+            tracks_per_stub: 8,
+            updates_per_track: 2,
+            update_interval: Duration::from_secs(2),
+            link_delay: Duration::from_millis(5),
+            peer_delay: Duration::from_millis(30),
+        }
+    }
+
+    /// A tiny variant for CI smoke runs: the federation shape and the
+    /// slice machinery are preserved (cores and slice count stay put),
+    /// only the population shrinks.
+    pub fn smoke(self) -> MetroScenario {
+        MetroScenario {
+            edges_per_region: self.edges_per_region.min(2),
+            stubs_per_edge: self.stubs_per_edge.min(8),
+            tracks: self.tracks.min(16),
+            tracks_per_stub: self.tracks_per_stub.min(2),
+            ..self
+        }
+    }
+
+    /// Distinct track slices (`tracks / tracks_per_stub`; the division
+    /// must be exact).
+    pub fn slices(&self) -> usize {
+        assert!(
+            self.tracks_per_stub > 0 && self.tracks.is_multiple_of(self.tracks_per_stub),
+            "tracks_per_stub must divide tracks"
+        );
+        self.tracks / self.tracks_per_stub
+    }
+
+    /// The slice stub `j` (global index) subscribes to. Consecutive
+    /// stubs under one edge (they sit `edge_count` apart in the global
+    /// order) walk consecutive slices, so every edge sees every slice.
+    pub fn slice_of_stub(&self, j: usize) -> usize {
+        (j / self.edge_count()) % self.slices()
+    }
+
+    /// The track indices of slice `s`.
+    pub fn slice_tracks(&self, s: usize) -> std::ops::Range<usize> {
+        s * self.tracks_per_stub..(s + 1) * self.tracks_per_stub
+    }
+
+    /// Total edge relays across all regions.
+    pub fn edge_count(&self) -> usize {
+        self.cores * self.edges_per_region
+    }
+
+    /// Total stub subscribers.
+    pub fn stub_count(&self) -> usize {
+        self.edge_count() * self.stubs_per_edge
+    }
+
+    /// Total (stub, track) subscriptions — also the joining-fetch
+    /// stampede size and the deliveries per update round.
+    pub fn subscription_count(&self) -> u64 {
+        self.stub_count() as u64 * self.tracks_per_stub as u64
+    }
+
+    /// Updates pushed at the origin per round.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// Deliveries the measured rounds must produce: every stub sees
+    /// every update of every track it subscribes to, exactly once.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.updates_per_track * self.subscription_count()
+    }
+
+    /// Upstream fetches one edge relay opens under the stampede: one per
+    /// track (all slices are present under every edge), however many
+    /// hundreds of stubs join at once.
+    pub fn edge_fetch_bound(&self) -> u64 {
+        self.tracks as u64
+    }
+
+    /// Fetches the origin sees during the stampede: one per track, from
+    /// its home core only — the federation origin-offload invariant,
+    /// unchanged at metro scale.
+    pub fn origin_fetch_bound(&self) -> u64 {
+        self.tracks as u64
+    }
+
+    /// The naive stampede the coalescing machinery absorbs: one fetch
+    /// per (stub, track) subscription.
+    pub fn naive_fetches(&self) -> u64 {
+        self.subscription_count()
+    }
+}
+
 /// The paper's depth-D relay chain ("involving 5 MoQ relays on average",
 /// §5.3) as a standing drill: origin → `hops` single-relay tiers →
 /// stubs, built by `TopoBuilder::chain`. Pins that aggregation holds at
@@ -587,6 +739,44 @@ mod tests {
         assert!(s.stub_count() <= 12);
         assert!(s.total_updates() <= 8);
         assert_eq!(s.cores, 3, "shard map unchanged");
+        assert!(s.peer_delay > s.link_delay, "asymmetry preserved");
+    }
+
+    #[test]
+    fn metro_scenario_arithmetic() {
+        let s = MetroScenario::metro();
+        assert_eq!(s.edge_count(), 12);
+        assert_eq!(s.stub_count(), 9_996, "~10k stubs");
+        assert_eq!(s.slices(), 8);
+        assert_eq!(s.subscription_count(), 9_996 * 8);
+        assert_eq!(s.expected_deliveries(), 2 * 9_996 * 8);
+        assert_eq!(s.edge_fetch_bound(), 64);
+        assert_eq!(s.origin_fetch_bound(), 64);
+        // The coalescing headline: ~80k naive joining fetches become 64
+        // at the origin.
+        assert_eq!(s.naive_fetches(), 79_968);
+        // Every edge sees every slice: consecutive stubs under one edge
+        // walk consecutive slices.
+        assert!(s.stubs_per_edge >= s.slices());
+        for e in 0..s.edge_count() {
+            let mut seen = vec![false; s.slices()];
+            for k in 0..s.slices() {
+                seen[s.slice_of_stub(e + k * s.edge_count())] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "edge {e} misses a slice");
+        }
+    }
+
+    #[test]
+    fn metro_scenario_smoke_keeps_shape() {
+        let s = MetroScenario::metro().smoke();
+        assert_eq!(s.cores, 3, "shard map unchanged");
+        assert_eq!(s.slices(), 8, "slice machinery unchanged");
+        assert!(s.stub_count() <= 48);
+        assert!(
+            s.stubs_per_edge >= s.slices(),
+            "every edge sees every slice"
+        );
         assert!(s.peer_delay > s.link_delay, "asymmetry preserved");
     }
 

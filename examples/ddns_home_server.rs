@@ -15,7 +15,7 @@ use moqdns::dns::rr::{Record, RecordType};
 use moqdns::dns::server::Authority;
 use moqdns::dns::zone::Zone;
 use moqdns::moqt::session::SessionEvent;
-use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, SimTime, Simulator};
+use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, Payload, SimTime, Simulator};
 use moqdns::quic::TransportConfig;
 use moqdns::stats::format_bps;
 use moqdns::workload::scenarios::DdnsScenario;
@@ -44,7 +44,7 @@ impl Node for Friend {
         let evs = self.stack.flush(ctx);
         self.digest(evs, ctx.now());
     }
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _p: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _p: u16, d: Payload) {
         let now = ctx.now();
         let evs = self.stack.on_datagram(ctx, from, &d);
         self.digest(evs, now);

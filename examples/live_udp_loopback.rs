@@ -26,8 +26,11 @@ use std::time::Duration;
 
 fn main() {
     // --- server ---
-    let server_ep: Endpoint<SocketAddr> =
-        Endpoint::server(TransportConfig::default(), vec![MOQT_ALPN.to_vec()], 2);
+    let server_ep: Endpoint<SocketAddr> = Endpoint::server(
+        TransportConfig::default(),
+        moqdns_quic::alpn_list(&[MOQT_ALPN]),
+        2,
+    );
     let server = UdpDriver::start(server_ep, "127.0.0.1:0").expect("bind server");
     let server_addr = server.local_addr();
     println!("MoQT nameserver listening on {server_addr}");
@@ -45,7 +48,12 @@ fn main() {
         let ep = client.endpoint();
         let mut ep = ep.lock();
         let now = client.now();
-        let ch = ep.connect(now, server_addr, vec![MOQT_ALPN.to_vec()], false);
+        let ch = ep.connect(
+            now,
+            server_addr,
+            moqdns_quic::alpn_list(&[MOQT_ALPN]),
+            false,
+        );
         let mut session = Session::client(SessionConfig::default());
         session.start(ep.conn_mut(ch).unwrap());
         (ch, session)

@@ -15,7 +15,7 @@ use moqdns::dns::resolver::RootHint;
 use moqdns::dns::rr::{Record, RecordType};
 use moqdns::dns::server::Authority;
 use moqdns::dns::zone::Zone;
-use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, SimTime, Simulator};
+use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, Payload, SimTime, Simulator};
 use moqdns::quic::TransportConfig;
 use std::any::Any;
 use std::net::IpAddr;
@@ -28,7 +28,7 @@ struct LegacyClient {
 }
 
 impl Node for LegacyClient {
-    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: Addr, _p: u16, d: Vec<u8>) {
+    fn on_datagram(&mut self, ctx: &mut Ctx<'_>, _from: Addr, _p: u16, d: Payload) {
         if let Ok(m) = Message::decode(&d) {
             self.replies.push((ctx.now(), m));
         }

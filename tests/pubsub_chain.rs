@@ -14,7 +14,7 @@ use moqdns::dns::resolver::RootHint;
 use moqdns::dns::rr::{Record, RecordType};
 use moqdns::dns::server::Authority;
 use moqdns::dns::zone::Zone;
-use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, Simulator};
+use moqdns::netsim::{Addr, Ctx, LinkConfig, Node, Payload, Simulator};
 use moqdns::quic::TransportConfig;
 use moqdns_bench::worlds::{World, WorldSpec};
 use std::any::Any;
@@ -71,7 +71,7 @@ fn forwarder_bridges_legacy_clients_into_pubsub() {
         replies: Vec<Message>,
     }
     impl Node for Client {
-        fn on_datagram(&mut self, _c: &mut Ctx<'_>, _f: Addr, _p: u16, d: Vec<u8>) {
+        fn on_datagram(&mut self, _c: &mut Ctx<'_>, _f: Addr, _p: u16, d: Payload) {
             if let Ok(m) = Message::decode(&d) {
                 self.replies.push(m);
             }
@@ -178,7 +178,7 @@ fn forwarder_propagates_client_header_flags() {
         replies: Vec<Message>,
     }
     impl Node for Client {
-        fn on_datagram(&mut self, _c: &mut Ctx<'_>, _f: Addr, _p: u16, d: Vec<u8>) {
+        fn on_datagram(&mut self, _c: &mut Ctx<'_>, _f: Addr, _p: u16, d: Payload) {
             if let Ok(m) = Message::decode(&d) {
                 self.replies.push(m);
             }
