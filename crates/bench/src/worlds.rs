@@ -1,5 +1,6 @@
 //! Reusable simulated worlds for the experiments.
 
+use moqdns_core::adversary::{ByzantineNode, FetchBombNode, SlowLorisNode};
 use moqdns_core::auth::AuthServer;
 use moqdns_core::mapping::{track_from_question, RequestFlags};
 use moqdns_core::metrics::TierRelayStats;
@@ -17,12 +18,14 @@ use moqdns_dns::resolver::RootHint;
 use moqdns_dns::rr::{Record, RecordType};
 use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
-use moqdns_moqt::relay::{track_hash, Failover, HashShard};
+use moqdns_moqt::relay::{track_hash, Failover, HashShard, RelayLimits};
 use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::topo::TopoBuilder;
 use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, SimTime, Simulator, Topology};
 use moqdns_quic::TransportConfig;
-use moqdns_workload::scenarios::{FederationScenario, MeshScenario, MetroScenario, TreeScenario};
+use moqdns_workload::scenarios::{
+    AdversarialScenario, FederationScenario, MeshScenario, MetroScenario, TreeScenario,
+};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -1363,6 +1366,246 @@ impl MetroWorld {
     pub fn tier_stats(&self) -> Vec<TierRelayStats> {
         let mut out = Vec::new();
         for (label, ids) in [("core", &self.cores), ("edge", &self.edges)] {
+            let mut tier = TierRelayStats::new(label);
+            for &id in ids {
+                let r = self.sim.node_ref::<RelayNode>(id);
+                tier.accumulate(r.stats(), r.upstream_subscription_count());
+            }
+            out.push(tier);
+        }
+        out
+    }
+}
+
+/// Which attacker hangs off the first edge relay of an
+/// [`AdversarialWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Garbage control bytes, bogus-alias datagrams, duplicate request
+    /// ids — the state machine must poison + close, counting violations.
+    Byzantine,
+    /// Subscribes to everything, then never drains — the backlog bound
+    /// must evict the session.
+    SlowLoris,
+    /// Stampedes cold tracks with standalone fetches — the per-session
+    /// fetch budget must throttle, then evict.
+    FetchBomb,
+}
+
+impl AttackKind {
+    /// Stable label for tables and gate metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackKind::Byzantine => "byzantine",
+            AttackKind::SlowLoris => "slow_loris",
+            AttackKind::FetchBomb => "fetch_bomb",
+        }
+    }
+}
+
+/// The hardening-drill world (built from an [`AdversarialScenario`]):
+/// origin → core relay → edge relays → honest [`TreeStub`]s, plus ONE
+/// attacker of the chosen [`AttackKind`] connected to the first edge.
+/// Edge relays run with the scenario's tightened [`RelayLimits`] and
+/// session-backlog bound; the honest population must not notice.
+pub struct AdversarialWorld {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Tier/parent bookkeeping from the builder.
+    pub topo: Topology,
+    /// Authoritative origin node.
+    pub auth: NodeId,
+    /// The single core relay.
+    pub core: NodeId,
+    /// Edge relays (the attacker targets the first).
+    pub edges: Vec<NodeId>,
+    /// Honest stub subscribers.
+    pub stubs: Vec<NodeId>,
+    /// The attacker node.
+    pub attacker: NodeId,
+    /// Which attack the attacker runs.
+    pub attack: AttackKind,
+    /// The questions (one per track) every honest stub subscribes to.
+    pub questions: Vec<Question>,
+    zone_apex: Name,
+}
+
+impl AdversarialWorld {
+    /// Record name for track `i`.
+    pub fn record_name(i: usize) -> Name {
+        format!("r{i}.adv.example").parse().unwrap()
+    }
+
+    /// Builds the world, settles the honest tree, then connects the
+    /// attacker and lets it reach its target.
+    pub fn build(spec: &AdversarialScenario, attack: AttackKind, seed: u64) -> AdversarialWorld {
+        let mut sim = Simulator::new(seed);
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        let zone_apex: Name = "adv.example".parse().unwrap();
+        let mut zone = Zone::with_default_soa(zone_apex.clone());
+        for i in 0..spec.tracks {
+            zone.add_record(Record::new(
+                Self::record_name(i),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let questions: Vec<Question> = (0..spec.tracks)
+            .map(|i| Question::new(Self::record_name(i), RecordType::A))
+            .collect();
+
+        let limits = RelayLimits {
+            max_outstanding_fetches_per_session: spec.max_outstanding_fetches,
+            evict_after_throttles: spec.evict_after_throttles,
+        };
+        let backlog = spec.session_backlog;
+        let qs = questions.clone();
+        let link = LinkConfig::with_delay(spec.link_delay);
+        let topo = TopoBuilder::new()
+            .tier("auth", 1, 0, link)
+            .tier("core", 1, 1, link)
+            .tier("edge", spec.edges, 1, link)
+            .tier("stub", spec.stub_count(), 1, link)
+            .build(&mut sim, move |sim, ctx| match ctx.tier_name {
+                "auth" => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(AuthServer::new(
+                        Authority::single(zone.clone()),
+                        TransportConfig::default()
+                            .idle_timeout(Duration::from_secs(3600))
+                            .keep_alive(Duration::from_secs(25)),
+                        11,
+                    )),
+                ),
+                "core" => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(
+                        RelayNode::new(Addr::new(ctx.parents[0], MOQT_PORT), 0, 40).tier("core"),
+                    ),
+                ),
+                "edge" => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(
+                        RelayNode::new(
+                            Addr::new(ctx.parents[0], MOQT_PORT),
+                            0,
+                            60 + ctx.index as u64,
+                        )
+                        .tier("edge")
+                        .limits(limits)
+                        .session_backlog(backlog),
+                    ),
+                ),
+                _ => sim.add_node(
+                    ctx.name.clone(),
+                    Box::new(TreeStub::new(
+                        Addr::new(ctx.parents[0], MOQT_PORT),
+                        qs.clone(),
+                        100 + ctx.index as u64,
+                    )),
+                ),
+            });
+
+        let auth = topo.tier_named("auth")[0];
+        let core = topo.tier_named("core")[0];
+        let edges = topo.tier_named("edge").to_vec();
+        let stubs = topo.tier_named("stub").to_vec();
+
+        // Settle the honest tree before the attacker shows up, so the
+        // baseline subscriptions are in place.
+        sim.run_until(sim.now() + Duration::from_secs(5));
+
+        let target = Addr::new(edges[0], MOQT_PORT);
+        let attacker_node: Box<dyn Node> = match attack {
+            AttackKind::Byzantine => {
+                Box::new(ByzantineNode::new(target, spec.attack_interval, 900))
+            }
+            AttackKind::SlowLoris => Box::new(SlowLorisNode::new(target, questions.clone(), 900)),
+            AttackKind::FetchBomb => Box::new(FetchBombNode::new(
+                target,
+                spec.attack_interval,
+                spec.fetch_burst,
+                900,
+            )),
+        };
+        let attacker = sim.add_node(format!("attacker-{}", attack.label()), attacker_node);
+        sim.run_until(sim.now() + Duration::from_secs(1));
+
+        AdversarialWorld {
+            sim,
+            topo,
+            auth,
+            core,
+            edges,
+            stubs,
+            attacker,
+            attack,
+            questions,
+            zone_apex,
+        }
+    }
+
+    /// Replaces track `i`'s A record, triggering a push through the tree.
+    pub fn update_track(&mut self, i: usize, new_octet: u8) {
+        let name = Self::record_name(i);
+        let apex = self.zone_apex.clone();
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |authority| {
+                if let Some(z) = authority.find_zone_mut(&apex) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            60,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+    }
+
+    /// One update round: bumps every track once, then lets it propagate.
+    pub fn update_round(&mut self, octet_base: u8) {
+        for i in 0..self.questions.len() {
+            self.update_track(i, octet_base.wrapping_add(i as u8));
+        }
+    }
+
+    /// Total pushed updates received across the HONEST stubs.
+    pub fn delivered_updates(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Folded counters of the attacked edge relay.
+    pub fn target_edge_stats(&self) -> moqdns_moqt::relay::RelayStats {
+        self.sim.node_ref::<RelayNode>(self.edges[0]).stats()
+    }
+
+    /// Live session + connection state held by the attacked edge.
+    pub fn target_edge_state_size(&self) -> usize {
+        self.sim
+            .node_ref::<RelayNode>(self.edges[0])
+            .state_size_estimate()
+    }
+
+    /// Live sessions on the attacked edge.
+    pub fn target_edge_sessions(&self) -> usize {
+        self.sim
+            .node_ref::<RelayNode>(self.edges[0])
+            .session_count()
+    }
+
+    /// Per-tier relay stats (core first, then edge).
+    pub fn tier_stats(&self) -> Vec<TierRelayStats> {
+        let mut out = Vec::new();
+        let core_ids = vec![self.core];
+        for (label, ids) in [("core", &core_ids), ("edge", &self.edges)] {
             let mut tier = TierRelayStats::new(label);
             for &id in ids {
                 let r = self.sim.node_ref::<RelayNode>(id);

@@ -33,8 +33,12 @@
 //!   federated peers, reconnect, subscription replay) for relays and
 //!   other multi-homed nodes;
 //! * [`teardown`] — subscription clean-up policies (§4.4);
-//! * [`metrics`] — staleness/traffic/latency counters the experiments read.
+//! * [`metrics`] — staleness/traffic/latency counters the experiments read;
+//! * [`adversary`] — hostile drill nodes (byzantine relay client,
+//!   slow-loris subscriber, fetch bomber) that exercise the hardening
+//!   paths from the wire side.
 
+pub mod adversary;
 pub mod auth;
 pub mod forwarder;
 pub mod links;

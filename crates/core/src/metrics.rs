@@ -120,6 +120,10 @@ impl TierRelayStats {
             peer_fetches,
             peer_objects,
             origin_offload,
+            violations,
+            dropped_datagrams,
+            throttled_fetches,
+            evicted_sessions,
         } = stats;
         self.totals.downstream_subscribes += downstream_subscribes;
         self.totals.upstream_subscribes += upstream_subscribes;
@@ -134,6 +138,10 @@ impl TierRelayStats {
         self.totals.peer_fetches += peer_fetches;
         self.totals.peer_objects += peer_objects;
         self.totals.origin_offload += origin_offload;
+        self.totals.violations += violations;
+        self.totals.dropped_datagrams += dropped_datagrams;
+        self.totals.throttled_fetches += throttled_fetches;
+        self.totals.evicted_sessions += evicted_sessions;
         self.upstream_subscriptions += live_upstream_subs;
     }
 
@@ -236,6 +244,10 @@ mod tests {
             peer_fetches: 1,
             peer_objects: 4,
             origin_offload: 1,
+            violations: 2,
+            dropped_datagrams: 5,
+            throttled_fetches: 7,
+            evicted_sessions: 1,
         };
         let b = RelayStats {
             downstream_subscribes: 16,
@@ -251,6 +263,10 @@ mod tests {
             peer_fetches: 0,
             peer_objects: 2,
             origin_offload: 0,
+            violations: 1,
+            dropped_datagrams: 0,
+            throttled_fetches: 0,
+            evicted_sessions: 1,
         };
         tier.accumulate(a, 1);
         tier.accumulate(b, 1);
@@ -260,6 +276,10 @@ mod tests {
         assert_eq!(tier.totals.peer_fetches, 1);
         assert_eq!(tier.totals.peer_objects, 6);
         assert_eq!(tier.totals.origin_offload, 1);
+        assert_eq!(tier.totals.violations, 3);
+        assert_eq!(tier.totals.dropped_datagrams, 5);
+        assert_eq!(tier.totals.throttled_fetches, 7);
+        assert_eq!(tier.totals.evicted_sessions, 2);
         assert!((tier.aggregation_factor() - 16.0).abs() < 1e-9);
     }
 

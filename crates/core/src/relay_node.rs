@@ -17,7 +17,7 @@ use crate::stack::{MoqtStack, StackEvent, TOKEN_QUIC};
 use crate::MOQT_PORT;
 use moqdns_moqt::data::Object;
 use moqdns_moqt::relay::{
-    FederationConfig, RelayAction, RelayCore, RelayStats, RoutePolicy, StaticParent,
+    FederationConfig, RelayAction, RelayCore, RelayLimits, RelayStats, RoutePolicy, StaticParent,
 };
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
 use moqdns_netsim::{Addr, Ctx, Node, Payload};
@@ -45,6 +45,11 @@ pub struct RelayNode {
     probe_interval: Duration,
     /// A probe timer is currently armed.
     probe_armed: bool,
+    /// Per-connection send backlog (estimated connection state bytes)
+    /// past which a downstream session is evicted as a slow-loris: a
+    /// subscriber that never drains its streams grows unacked state
+    /// without bound otherwise.
+    max_session_backlog: usize,
     /// Taken down mid-run: ignore all further events.
     dead: bool,
 }
@@ -76,8 +81,24 @@ impl RelayNode {
             tier: String::new(),
             probe_interval: Duration::from_secs(2),
             probe_armed: false,
+            max_session_backlog: 1 << 20,
             dead: false,
         }
+    }
+
+    /// Replaces the per-session fetch abuse limits (builder style). The
+    /// defaults are permissive; adversarial worlds tighten them.
+    pub fn limits(mut self, limits: RelayLimits) -> RelayNode {
+        self.core = self.core.with_limits(limits);
+        self
+    }
+
+    /// Overrides the slow-loris eviction threshold: downstream sessions
+    /// whose estimated connection state exceeds `bytes` after a forward
+    /// are closed (builder style; default 1 MiB).
+    pub fn session_backlog(mut self, bytes: usize) -> RelayNode {
+        self.max_session_backlog = bytes;
+        self
     }
 
     /// Joins a cross-region core federation (builder style): `peers` are
@@ -116,9 +137,15 @@ impl RelayNode {
         self.core.policy_name()
     }
 
-    /// Relay effectiveness counters (ablation A3).
+    /// Relay effectiveness counters (ablation A3), with the session-level
+    /// hardening counters (violations, dropped datagrams) of every
+    /// session this node ever hosted folded in.
     pub fn stats(&self) -> RelayStats {
-        self.core.stats()
+        let mut stats = self.core.stats();
+        let sess = self.stack.session_stats_total();
+        stats.violations += sess.violations;
+        stats.dropped_datagrams += sess.dropped_datagrams;
+        stats
     }
 
     /// Aggregation factor: downstream subscriptions per upstream one.
@@ -144,6 +171,25 @@ impl RelayNode {
     /// In-flight upstream fetches (the coalescing table's size).
     pub fn pending_fetch_count(&self) -> usize {
         self.core.pending_fetch_count()
+    }
+
+    /// Live sessions hosted by this relay (downstream + uplinks).
+    pub fn session_count(&self) -> usize {
+        self.stack.session_count()
+    }
+
+    /// Estimated bytes of session + connection state held right now —
+    /// the quantity the adversarial drills bound: evictions must actually
+    /// reclaim what an attacker made the relay hold.
+    pub fn state_size_estimate(&self) -> usize {
+        self.stack.state_size_estimate()
+    }
+
+    /// Connection-by-connection state composition (see
+    /// [`MoqtStack::state_breakdown`]) — used by the adversarial drills to
+    /// attribute state growth to the connection that caused it.
+    pub fn state_breakdown(&self) -> (usize, Vec<moqdns_quic::ConnStateRow>) {
+        self.stack.state_breakdown()
     }
 
     /// Takes the relay out of service: closes every connection (peers see
@@ -230,8 +276,25 @@ impl RelayNode {
                     object,
                 } => {
                     if let Some(&h) = self.sessions.get(&session) {
+                        let mut evicted = false;
                         if let Some((sess, conn)) = self.stack.session_conn(h) {
                             sess.publish(conn, request_id, object);
+                            // Slow-loris defense: a subscriber that never
+                            // drains accumulates unacked stream state on
+                            // our side of the connection. Past the bound,
+                            // evict instead of buffering forever. Checked
+                            // only here — the one path where a slow peer
+                            // grows our state — so idle sessions cost no
+                            // sweep. The backlog metric counts only bytes
+                            // the peer has not acked, so a healthy reader
+                            // stays near zero no matter how long it lives.
+                            if conn.send_backlog_bytes() > self.max_session_backlog {
+                                conn.close(0x10, "session backlog exceeded");
+                                evicted = true;
+                            }
+                        }
+                        if evicted {
+                            self.core.note_session_evicted();
                         }
                     }
                 }
@@ -296,6 +359,16 @@ impl RelayNode {
                     request_id,
                 } => {
                     self.reject_downstream_fetch(session, request_id);
+                }
+                RelayAction::CloseSession { session } => {
+                    // Fetch-bomb eviction: the core already counted it;
+                    // the close lands as a StackEvent::Closed which runs
+                    // the normal session teardown.
+                    if let Some(&h) = self.sessions.get(&session) {
+                        if let Some((_sess, conn)) = self.stack.session_conn(h) {
+                            conn.close(0x10, "session evicted");
+                        }
+                    }
                 }
                 RelayAction::UnsubscribeUpstream { track, uplink } => {
                     self.links.unsubscribe(&mut self.stack, uplink, &track);

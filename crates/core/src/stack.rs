@@ -8,11 +8,12 @@
 //! datagram ingest, timer re-arming, transmit flushing, and event routing.
 
 use crate::MOQT_PORT;
-use moqdns_moqt::session::{Session, SessionConfig, SessionEvent};
+use moqdns_moqt::session::{Session, SessionConfig, SessionEvent, SessionStats};
 use moqdns_moqt::MOQT_ALPN;
 use moqdns_netsim::{Addr, Ctx, Payload, SimTime};
 use moqdns_quic::{
-    alpn_list, AlpnList, ConnHandle, Connection, Endpoint, Event as QuicEvent, TransportConfig,
+    alpn_list, AlpnList, ConnHandle, ConnStateRow, Connection, Endpoint, Event as QuicEvent,
+    TransportConfig,
 };
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -54,6 +55,9 @@ pub struct MoqtStack {
     /// with hundreds of downstream sessions doesn't scan them all on
     /// every datagram.
     touched: Vec<ConnHandle>,
+    /// Hardening counters folded out of sessions as they are retired, so
+    /// [`MoqtStack::session_stats_total`] survives session removal.
+    retired_stats: SessionStats,
 }
 
 impl MoqtStack {
@@ -65,6 +69,7 @@ impl MoqtStack {
             session_config: SessionConfig::default(),
             armed_deadline: None,
             touched: Vec::new(),
+            retired_stats: SessionStats::default(),
         }
     }
 
@@ -76,6 +81,7 @@ impl MoqtStack {
             session_config: SessionConfig::default(),
             armed_deadline: None,
             touched: Vec::new(),
+            retired_stats: SessionStats::default(),
         }
     }
 
@@ -111,7 +117,9 @@ impl MoqtStack {
             }
         }
         let _ = self.pump(ctx);
-        self.sessions.clear();
+        for (_, s) in self.sessions.drain() {
+            self.retired_stats.add(s.stats());
+        }
     }
 
     /// Enables request pipelining (the §5.2 "version negotiation in ALPN"
@@ -144,6 +152,16 @@ impl MoqtStack {
         self.sessions.len()
     }
 
+    /// Hardening counters summed over every session this stack ever
+    /// hosted: live sessions plus those retired by close/abandon.
+    pub fn session_stats_total(&self) -> SessionStats {
+        let mut total = self.retired_stats;
+        for s in self.sessions.values() {
+            total.add(s.stats());
+        }
+        total
+    }
+
     /// Total estimated session + connection state in bytes (E9).
     pub fn state_size_estimate(&self) -> usize {
         self.sessions
@@ -153,11 +171,25 @@ impl MoqtStack {
             + self.endpoint.state_size_estimate()
     }
 
+    /// Where the state lives, connection by connection (diagnostics for
+    /// the adversarial drills): summed session bytes plus one
+    /// [`ConnStateRow`] per live connection.
+    pub fn state_breakdown(&self) -> (usize, Vec<ConnStateRow>) {
+        let sessions = self
+            .sessions
+            .values()
+            .map(Session::state_size_estimate)
+            .sum::<usize>();
+        (sessions, self.endpoint.state_breakdown())
+    }
+
     /// Silently discards a connection and its session (suspension model,
     /// §4.4). No packets are sent; the peer sees an idle timeout later.
     pub fn abandon(&mut self, h: ConnHandle) {
         self.endpoint.abandon(h);
-        self.sessions.remove(&h);
+        if let Some(s) = self.sessions.remove(&h) {
+            self.retired_stats.add(s.stats());
+        }
     }
 
     /// Feeds an incoming datagram; returns events for the node. The
@@ -199,7 +231,9 @@ impl MoqtStack {
             match &ev {
                 QuicEvent::Connected { .. } => out.push(StackEvent::Connected(h)),
                 QuicEvent::Closed { .. } => {
-                    self.sessions.remove(&h);
+                    if let Some(s) = self.sessions.remove(&h) {
+                        self.retired_stats.add(s.stats());
+                    }
                     out.push(StackEvent::Closed(h));
                     continue;
                 }

@@ -367,6 +367,28 @@ mod tests {
             let _ = ObjectDatagram::decode(&bytes);
         }
 
+        // Datagram encode/decode roundtrip: the decoder reads exactly the
+        // three header varints and treats every remaining byte as payload
+        // — no byte is lost, invented, or read past the buffer.
+        #[test]
+        fn prop_datagram_roundtrip(
+            alias in any::<u32>(),
+            group in any::<u32>(),
+            object in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let dg = ObjectDatagram {
+                track_alias: alias as u64,
+                object: Object {
+                    group_id: group as u64,
+                    object_id: object as u64,
+                    payload: payload.into(),
+                },
+            };
+            let decoded = ObjectDatagram::decode(dg.encode()).unwrap();
+            prop_assert_eq!(decoded, dg);
+        }
+
         #[test]
         fn prop_subgroup_roundtrip(
             alias in any::<u32>(),

@@ -14,11 +14,14 @@
 //!   fetch streams for FETCH responses, and object datagrams (used only by
 //!   the streams-vs-datagrams ablation; the DNS mapping always uses
 //!   streams, §4.1);
-//! * [`session`] — the sans-io session state machine: version negotiation,
-//!   subscription/fetch bookkeeping on both publisher and subscriber side,
-//!   object delivery, and the **joining fetch** (§4.1: subscribe, then
-//!   fetch "the version immediately before the start of the subscription by
-//!   using an offset of one");
+//! * [`session`] — the sans-io session state machine, an **explicit**
+//!   machine (`Init → Handshaking → Ready → Draining → Closed`) driven by
+//!   an exhaustive input enum: version negotiation, subscription/fetch
+//!   bookkeeping on both publisher and subscriber side, object delivery,
+//!   and the **joining fetch** (§4.1: subscribe, then fetch "the version
+//!   immediately before the start of the subscription by using an offset
+//!   of one"). Illegal or malformed inputs *poison* the session into
+//!   `Closed`; the per-state legality table lives in the module docs;
 //! * [`relay`] — relay logic: aggregation of many downstream subscriptions
 //!   into one upstream subscription and an object cache, operating purely
 //!   on `(track, group, object)` identities — relays never inspect payloads

@@ -789,5 +789,35 @@ mod tests {
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
             let _ = ControlMessage::decode(&bytes);
         }
+
+        // The framing contract the session's control-buffer drain loop
+        // relies on: a successful decode never claims more bytes than the
+        // buffer holds (an over-read would desynchronize every later
+        // message), and never claims zero (a zero-read would spin the
+        // drain loop forever).
+        #[test]
+        fn prop_decode_never_over_reads(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            if let Ok(Some((_, used))) = ControlMessage::decode(&bytes) {
+                prop_assert!(used <= bytes.len());
+                prop_assert!(used > 0);
+            }
+        }
+
+        // Re-decoding an encoded message from a buffer with trailing
+        // garbage must consume exactly the encoding — the next message's
+        // bytes are not this message's to eat.
+        #[test]
+        fn prop_decode_consumes_exactly_one_frame(
+            request_id in any::<u32>(),
+            trailing in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let msg = ControlMessage::MaxRequestId { max: request_id as u64 };
+            let mut buf = msg.encode();
+            let frame_len = buf.len();
+            buf.extend_from_slice(&trailing);
+            let (decoded, used) = ControlMessage::decode(&buf).unwrap().unwrap();
+            prop_assert_eq!(used, frame_len);
+            prop_assert_eq!(decoded, msg);
+        }
     }
 }

@@ -323,6 +323,14 @@ pub enum RelayAction {
         /// Downstream fetch request id.
         request_id: u64,
     },
+    /// Evict an abusive downstream session: close its connection. Emitted
+    /// when a session exceeds [`RelayLimits::evict_after_throttles`]; the
+    /// node also follows up with [`RelayCore::on_session_closed`] when
+    /// the close lands.
+    CloseSession {
+        /// Downstream session to evict.
+        session: SessionKey,
+    },
     /// No downstream subscribers remain: drop the upstream subscription.
     UnsubscribeUpstream {
         /// Track to drop.
@@ -453,6 +461,57 @@ pub struct RelayStats {
     /// over a peer link that a non-federated relay would have escalated
     /// to the origin — the §5.3 origin-offload headline counter.
     pub origin_offload: u64,
+    /// Protocol violations observed across this relay's sessions (each
+    /// one poisoned the offending session — see
+    /// `moqdns_moqt::session::SessionStats`). Folded in by the owning
+    /// node; the pure core never sees wire bytes.
+    pub violations: u64,
+    /// Datagrams dropped by this relay's sessions: malformed bytes or an
+    /// unknown track alias. Folded in by the owning node.
+    pub dropped_datagrams: u64,
+    /// Downstream fetches rejected because the session was over its
+    /// [`RelayLimits::max_outstanding_fetches_per_session`] budget — the
+    /// fetch-bomb backpressure counter.
+    pub throttled_fetches: u64,
+    /// Sessions the relay decided to evict: fetch-bombers past
+    /// [`RelayLimits::evict_after_throttles`] (counted here) plus
+    /// slow-loris sessions the node closed over backlog (reported via
+    /// [`RelayCore::note_session_evicted`]).
+    pub evicted_sessions: u64,
+}
+
+/// Per-session abuse limits a relay enforces on its downstreams.
+///
+/// The defaults are deliberately permissive — far above anything the
+/// honest scenarios produce — so enabling enforcement changes no honest
+/// baseline; adversarial worlds tighten them explicitly.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayLimits {
+    /// Cache-missing fetches one downstream session may have parked in
+    /// the pending-fetch table at once. Requests past the cap are
+    /// rejected ([`RelayStats::throttled_fetches`]).
+    pub max_outstanding_fetches_per_session: u32,
+    /// Throttled fetches after which the session is evicted outright
+    /// ([`RelayAction::CloseSession`], [`RelayStats::evicted_sessions`]).
+    pub evict_after_throttles: u32,
+}
+
+impl Default for RelayLimits {
+    fn default() -> RelayLimits {
+        RelayLimits {
+            max_outstanding_fetches_per_session: 1024,
+            evict_after_throttles: 4096,
+        }
+    }
+}
+
+/// Per-session fetch accounting against [`RelayLimits`].
+#[derive(Debug, Default)]
+struct FetchBudget {
+    /// Waiters this session currently has parked in the pending table.
+    outstanding: u32,
+    /// Fetches throttled so far (monotone; triggers eviction at the cap).
+    throttles: u32,
 }
 
 /// The relay's track/subscription/cache bookkeeping.
@@ -471,6 +530,9 @@ pub struct RelayCore {
     peers_up: Vec<bool>,
     /// Cross-region federation shard map, when this core participates.
     federation: Option<FederationConfig>,
+    /// Per-session fetch budgets against `limits`.
+    budgets: HashMap<SessionKey, FetchBudget>,
+    limits: RelayLimits,
     stats: RelayStats,
 }
 
@@ -523,8 +585,28 @@ impl RelayCore {
             health: UplinkHealth::new(n_uplinks),
             peers_up: Vec::new(),
             federation: None,
+            budgets: HashMap::new(),
+            limits: RelayLimits::default(),
             stats: RelayStats::default(),
         }
+    }
+
+    /// Replaces the per-session abuse limits (builder style).
+    pub fn with_limits(mut self, limits: RelayLimits) -> RelayCore {
+        self.limits = limits;
+        self
+    }
+
+    /// The per-session abuse limits in force.
+    pub fn limits(&self) -> RelayLimits {
+        self.limits
+    }
+
+    /// The owning node evicted a session itself (e.g. a slow-loris
+    /// subscriber whose connection backlog crossed the node's bound):
+    /// record it in [`RelayStats::evicted_sessions`].
+    pub fn note_session_evicted(&mut self) {
+        self.stats.evicted_sessions += 1;
     }
 
     /// Joins a cross-region core federation: adds `fed.shards - 1` peer
@@ -626,6 +708,7 @@ impl RelayCore {
     pub fn reset(&mut self) {
         self.tracks.clear();
         self.pending.clear();
+        self.budgets.clear();
         self.health = UplinkHealth::new(self.health.len());
         self.peers_up = vec![true; self.peers_up.len()];
     }
@@ -735,8 +818,13 @@ impl RelayCore {
         actions
     }
 
-    /// A whole downstream session died: drop all its subscriptions.
+    /// A whole downstream session died: drop all its subscriptions, its
+    /// fetch budget, and any waiters it still had parked.
     pub fn on_session_closed(&mut self, session: SessionKey) -> Vec<RelayAction> {
+        self.budgets.remove(&session);
+        for p in self.pending.values_mut() {
+            p.waiters.retain(|w| w.session != session);
+        }
         let mut actions = Vec::new();
         for (track, st) in self.tracks.iter_mut() {
             st.subscribers.retain(|&(s, _)| s != session);
@@ -826,6 +914,7 @@ impl RelayCore {
                 _ => {
                     let p = self.pending.remove(&track).unwrap();
                     for w in p.waiters {
+                        self.release_fetch_budget(w.session);
                         actions.push(RelayAction::RejectFetch {
                             session: w.session,
                             request_id: w.request_id,
@@ -1047,6 +1136,29 @@ impl RelayCore {
                 objects,
             }];
         }
+        // Cache miss: this fetch will occupy upstream capacity, so it
+        // spends the session's budget. A fetch-bomber issuing cold-track
+        // fetches faster than answers return saturates its budget, gets
+        // throttled, and past the throttle cap is evicted outright.
+        {
+            let b = self.budgets.entry(session).or_default();
+            if b.outstanding >= self.limits.max_outstanding_fetches_per_session {
+                b.throttles += 1;
+                self.stats.throttled_fetches += 1;
+                let evict = b.throttles >= self.limits.evict_after_throttles;
+                let mut actions = vec![RelayAction::RejectFetch {
+                    session,
+                    request_id,
+                }];
+                if evict {
+                    self.budgets.remove(&session);
+                    self.stats.evicted_sessions += 1;
+                    actions.push(RelayAction::CloseSession { session });
+                }
+                return actions;
+            }
+            b.outstanding += 1;
+        }
         self.stats.fetch_cache_misses += 1;
         let waiter = Waiter {
             session,
@@ -1078,7 +1190,9 @@ impl RelayCore {
             .unwrap_or(0);
         if self.link_class(uplink) == LinkClass::Peer && budget == 0 {
             // Forwarding to another peer would exceed the hop budget:
-            // reject rather than risk a routing cycle.
+            // reject rather than risk a routing cycle. Nothing was
+            // parked, so the budget charge above is refunded.
+            self.release_fetch_budget(session);
             return vec![RelayAction::RejectFetch {
                 session,
                 request_id,
@@ -1154,6 +1268,9 @@ impl RelayCore {
         } else {
             p.waiters = kept;
         }
+        for w in &ready {
+            self.release_fetch_budget(w.session);
+        }
         // Serve waiters from the cache *before* eviction trims it: the
         // pre-eviction cache holds this whole result plus every earlier
         // partial answer, so a bounded cache never truncates what a
@@ -1183,6 +1300,14 @@ impl RelayCore {
         actions
     }
 
+    /// Returns one unit of fetch budget to `session` (its waiter left the
+    /// pending table: served, rejected, or purged).
+    fn release_fetch_budget(&mut self, session: SessionKey) {
+        if let Some(b) = self.budgets.get_mut(&session) {
+            b.outstanding = b.outstanding.saturating_sub(1);
+        }
+    }
+
     /// Trims `track`'s cache to the per-track cap (oldest groups first).
     fn evict(&mut self, track: &FullTrackName) {
         if self.cache_per_track == 0 {
@@ -1210,6 +1335,9 @@ impl RelayCore {
             return Vec::new();
         }
         let p = self.pending.remove(track).unwrap();
+        for w in &p.waiters {
+            self.release_fetch_budget(w.session);
+        }
         p.waiters
             .into_iter()
             .map(|w| RelayAction::RejectFetch {

@@ -6,6 +6,47 @@
 //! [`Session::on_conn_event`] and call the session's verbs (subscribe,
 //! fetch, publish, …) with a `&mut Connection` to write into.
 //!
+//! # The explicit state machine
+//!
+//! Inbound processing is an *explicit* state machine (the rax25 idiom:
+//! exhaustive input enum in, output enum out, transitions as data):
+//! every wire-level occurrence is normalized into a [`SessionInput`] and
+//! fed through [`Session::transition`], a pure function of
+//! `(SessionState, SessionInput)` returning [`SessionOutput`]s. The match
+//! is exhaustive — there is no wildcard arm over the input enum — so
+//! adding an input refuses to compile until every state says what it does
+//! with it.
+//!
+//! ```text
+//!            start() [client]            SETUP done
+//!   Init ─────────────────────► Handshaking ───────► Ready
+//!    │  ControlStreamOpened [server] ▲                 │ GOAWAY
+//!    │                               │                 ▼
+//!    │                               │              Draining ── DrainTimeout ──► Closed
+//!    └── any violation ──────────────┴──────────────────┴───── any violation ──► Closed
+//! ```
+//!
+//! Legal inputs per state (everything else **poisons** the session:
+//! the transition emits [`SessionEvent::ProtocolViolation`] plus a
+//! [`SessionOutput::Close`] and the state latches `Closed` — never
+//! today's clear-the-buffer-and-hope resync):
+//!
+//! | state       | legal inputs                                                        |
+//! |-------------|---------------------------------------------------------------------|
+//! | `Init`      | `ControlStreamOpened` (server), `DataStreamOpened`, datagrams       |
+//! | `Handshaking` | `ClientSetup` (server) / `ServerSetup` (client), data streams, datagrams |
+//! | `Ready`     | every request/response control message, data streams, datagrams, `GoAway` |
+//! | `Draining`  | as `Ready`, but new `Subscribe`/`Fetch` are politely refused; `DrainTimeout` closes |
+//! | `Closed`    | everything is inert (the poisoned/terminal state)                   |
+//!
+//! Malformed control bytes ([`SessionInput::MalformedControl`]), a
+//! control buffer past [`SessionConfig::max_control_buffer`]
+//! ([`SessionInput::ControlOverflow`]) and malformed data streams poison
+//! in every live state. Malformed or unknown-alias *datagrams* never
+//! poison (they are unauthenticated noise and an honest unsubscribe race
+//! produces them) — they are counted in
+//! [`SessionStats::dropped_datagrams`] instead.
+//!
 //! Protocol shape (draft-12 subset):
 //!
 //! * all control messages flow on the **first client-initiated
@@ -29,6 +70,13 @@ use moqdns_quic::{Connection, Dir, Event as QuicEvent, StreamId};
 use moqdns_wire::BufPool;
 use std::collections::{HashMap, VecDeque};
 
+/// QUIC close code used when a session is poisoned by a violation.
+pub const CLOSE_PROTOCOL_VIOLATION: u64 = 0x3;
+/// QUIC close code used when a draining session's timer expires.
+pub const CLOSE_DRAINED: u64 = 0x0;
+/// SUBSCRIBE_ERROR / FETCH_ERROR code for requests refused while draining.
+pub const ERR_DRAINING: u64 = 0x6;
+
 /// Session-level configuration.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -41,6 +89,11 @@ pub struct SessionConfig {
     /// paper §5.2); `true` models the future "version negotiation in
     /// ALPN" optimization that removes the extra round trip.
     pub pipeline: bool,
+    /// Upper bound on buffered, not-yet-decodable control-stream bytes.
+    /// A peer that sends a length prefix and never completes the message
+    /// would otherwise grow `control_rx` without bound; crossing this cap
+    /// is a protocol violation that poisons the session.
+    pub max_control_buffer: usize,
 }
 
 impl Default for SessionConfig {
@@ -49,7 +102,322 @@ impl Default for SessionConfig {
             versions: vec![crate::MOQT_VERSION],
             max_request_id: 1 << 20,
             pipeline: false,
+            max_control_buffer: 64 * 1024,
         }
+    }
+}
+
+/// The session's lifecycle state (see the module docs for the diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionState {
+    /// Created; the control stream does not exist yet.
+    Init,
+    /// Control stream open, SETUP exchange in flight.
+    Handshaking,
+    /// SETUP completed in both directions; all verbs usable.
+    Ready,
+    /// A GOAWAY was received: existing flows drain, new requests are
+    /// refused, [`SessionInput::DrainTimeout`] closes.
+    Draining,
+    /// Terminal. Reached by connection close, drain expiry, or poisoning
+    /// on a protocol violation. Every input is inert here.
+    Closed,
+}
+
+/// Everything that can happen *to* a session, normalized for the
+/// transition function. One variant per control message plus the
+/// transport-level occurrences (streams, datagrams, decode failures) and
+/// the drain timer — exhaustive by construction so
+/// [`Session::transition`] must say what each state does with each input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionInput {
+    /// The peer opened a bidirectional stream (only ever legal as the
+    /// server adopting the client's control stream, once).
+    ControlStreamOpened(StreamId),
+    /// The peer opened a unidirectional (data) stream.
+    DataStreamOpened(StreamId),
+    /// A complete subgroup data stream arrived and decoded.
+    DataSubgroup {
+        /// The stream header (alias, group, …).
+        header: SubgroupHeader,
+        /// The objects it carried.
+        objects: Vec<Object>,
+    },
+    /// A complete fetch data stream arrived and decoded.
+    DataFetch {
+        /// Our fetch request id.
+        request_id: u64,
+        /// The returned objects.
+        objects: Vec<Object>,
+    },
+    /// A complete data stream failed to decode.
+    MalformedData,
+    /// An object datagram arrived and decoded (ablation A2 path).
+    Datagram(ObjectDatagram),
+    /// A datagram arrived that does not decode as an object datagram.
+    MalformedDatagram,
+    /// Control-stream bytes failed to decode as a control message —
+    /// framing is desynchronized and cannot be trusted again.
+    MalformedControl,
+    /// Buffered control bytes exceeded [`SessionConfig::max_control_buffer`].
+    ControlOverflow,
+    /// The driver's drain deadline fired (only meaningful in `Draining`;
+    /// spurious fires in other states are tolerated, the sans-io idiom).
+    DrainTimeout,
+    /// CLIENT_SETUP arrived.
+    ClientSetup {
+        /// Versions the client offers.
+        versions: Vec<u64>,
+        /// Request-id space granted to us.
+        max_request_id: u64,
+    },
+    /// SERVER_SETUP arrived.
+    ServerSetup {
+        /// The version the server selected.
+        version: u64,
+        /// Request-id space granted to us.
+        max_request_id: u64,
+    },
+    /// SUBSCRIBE arrived.
+    Subscribe {
+        /// Peer's request id.
+        request_id: u64,
+        /// Peer-chosen alias for data streams.
+        track_alias: u64,
+        /// The track.
+        track: FullTrackName,
+        /// Where to start.
+        filter: FilterType,
+    },
+    /// SUBSCRIBE_OK arrived.
+    SubscribeOk {
+        /// Request being answered.
+        request_id: u64,
+        /// Expiry in milliseconds (0 = never).
+        expires_ms: u64,
+        /// Publisher's largest (group, object), if any.
+        largest: Option<(u64, u64)>,
+    },
+    /// SUBSCRIBE_ERROR arrived.
+    SubscribeError {
+        /// Request being answered.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// UNSUBSCRIBE arrived.
+    Unsubscribe {
+        /// The subscription's request id.
+        request_id: u64,
+    },
+    /// SUBSCRIBE_DONE arrived.
+    SubscribeDone {
+        /// The subscription's request id.
+        request_id: u64,
+        /// Status code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// FETCH arrived.
+    Fetch {
+        /// Peer's request id.
+        request_id: u64,
+        /// What is being fetched.
+        fetch: FetchType,
+    },
+    /// FETCH_OK arrived.
+    FetchOk {
+        /// Request being answered.
+        request_id: u64,
+        /// Largest (group, object) available.
+        largest: (u64, u64),
+    },
+    /// FETCH_ERROR arrived.
+    FetchError {
+        /// Request being answered.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// FETCH_CANCEL arrived.
+    FetchCancel {
+        /// The fetch's request id.
+        request_id: u64,
+    },
+    /// ANNOUNCE arrived.
+    Announce {
+        /// Request id.
+        request_id: u64,
+        /// The namespace tuple.
+        namespace: Vec<Vec<u8>>,
+    },
+    /// ANNOUNCE_OK arrived.
+    AnnounceOk {
+        /// Request being answered.
+        request_id: u64,
+    },
+    /// ANNOUNCE_ERROR arrived.
+    AnnounceError {
+        /// Request being answered.
+        request_id: u64,
+        /// Error code.
+        code: u64,
+        /// Reason phrase.
+        reason: String,
+    },
+    /// UNANNOUNCE arrived.
+    Unannounce {
+        /// The announcement's namespace.
+        namespace: Vec<Vec<u8>>,
+    },
+    /// MAX_REQUEST_ID arrived.
+    MaxRequestId {
+        /// New maximum.
+        max: u64,
+    },
+    /// GOAWAY arrived.
+    GoAway {
+        /// Redirect URI (may be empty).
+        uri: String,
+    },
+}
+
+impl From<ControlMessage> for SessionInput {
+    fn from(msg: ControlMessage) -> SessionInput {
+        match msg {
+            ControlMessage::ClientSetup {
+                versions,
+                max_request_id,
+            } => SessionInput::ClientSetup {
+                versions,
+                max_request_id,
+            },
+            ControlMessage::ServerSetup {
+                version,
+                max_request_id,
+            } => SessionInput::ServerSetup {
+                version,
+                max_request_id,
+            },
+            ControlMessage::Subscribe {
+                request_id,
+                track_alias,
+                track,
+                filter,
+            } => SessionInput::Subscribe {
+                request_id,
+                track_alias,
+                track,
+                filter,
+            },
+            ControlMessage::SubscribeOk {
+                request_id,
+                expires_ms,
+                largest,
+            } => SessionInput::SubscribeOk {
+                request_id,
+                expires_ms,
+                largest,
+            },
+            ControlMessage::SubscribeError {
+                request_id,
+                code,
+                reason,
+            } => SessionInput::SubscribeError {
+                request_id,
+                code,
+                reason,
+            },
+            ControlMessage::Unsubscribe { request_id } => SessionInput::Unsubscribe { request_id },
+            ControlMessage::SubscribeDone {
+                request_id,
+                code,
+                reason,
+            } => SessionInput::SubscribeDone {
+                request_id,
+                code,
+                reason,
+            },
+            ControlMessage::Fetch { request_id, fetch } => {
+                SessionInput::Fetch { request_id, fetch }
+            }
+            ControlMessage::FetchOk {
+                request_id,
+                largest,
+            } => SessionInput::FetchOk {
+                request_id,
+                largest,
+            },
+            ControlMessage::FetchError {
+                request_id,
+                code,
+                reason,
+            } => SessionInput::FetchError {
+                request_id,
+                code,
+                reason,
+            },
+            ControlMessage::FetchCancel { request_id } => SessionInput::FetchCancel { request_id },
+            ControlMessage::Announce {
+                request_id,
+                namespace,
+            } => SessionInput::Announce {
+                request_id,
+                namespace,
+            },
+            ControlMessage::AnnounceOk { request_id } => SessionInput::AnnounceOk { request_id },
+            ControlMessage::AnnounceError {
+                request_id,
+                code,
+                reason,
+            } => SessionInput::AnnounceError {
+                request_id,
+                code,
+                reason,
+            },
+            ControlMessage::Unannounce { namespace } => SessionInput::Unannounce { namespace },
+            ControlMessage::MaxRequestId { max } => SessionInput::MaxRequestId { max },
+            ControlMessage::GoAway { uri } => SessionInput::GoAway { uri },
+        }
+    }
+}
+
+/// What a transition wants done. The driver ([`Session::on_conn_event`])
+/// applies these against the connection; tests can inspect them directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutput {
+    /// Surface an event to the application.
+    Event(SessionEvent),
+    /// Send a control message on the control stream.
+    Send(ControlMessage),
+    /// Close the connection (the session is already `Closed`).
+    Close {
+        /// QUIC application close code.
+        code: u64,
+        /// Reason phrase.
+        reason: &'static str,
+    },
+}
+
+/// Hardening counters a session keeps about its peer's behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Protocol violations observed (each one poisons the session).
+    pub violations: u64,
+    /// Datagrams dropped: malformed, or carrying an unknown track alias.
+    pub dropped_datagrams: u64,
+}
+
+impl SessionStats {
+    /// Field-wise sum (aggregation across a stack's sessions).
+    pub fn add(&mut self, other: SessionStats) {
+        self.violations += other.violations;
+        self.dropped_datagrams += other.dropped_datagrams;
     }
 }
 
@@ -179,7 +547,9 @@ pub enum SessionEvent {
         /// Redirect URI.
         uri: String,
     },
-    /// The peer violated the protocol; the connection should be closed.
+    /// The peer violated the protocol; the session is poisoned into
+    /// [`SessionState::Closed`] and the connection close is already on
+    /// its way out.
     ProtocolViolation(&'static str),
 }
 
@@ -203,9 +573,9 @@ struct MySub {
 pub struct Session {
     is_client: bool,
     config: SessionConfig,
+    state: SessionState,
     control_stream: Option<StreamId>,
     control_rx: Vec<u8>,
-    ready: bool,
     version: Option<u64>,
     next_request_id: u64,
     my_subs: HashMap<u64, MySub>,
@@ -216,6 +586,7 @@ pub struct Session {
     events: VecDeque<SessionEvent>,
     /// Control messages queued until SERVER_SETUP (strict draft-12 mode).
     queued_control: Vec<ControlMessage>,
+    stats: SessionStats,
     /// Recycled encode buffers for control/data-stream framing.
     pool: BufPool,
 }
@@ -235,9 +606,9 @@ impl Session {
         Session {
             is_client,
             config,
+            state: SessionState::Init,
             control_stream: None,
             control_rx: Vec::new(),
-            ready: false,
             version: None,
             next_request_id: if is_client { 0 } else { 1 },
             my_subs: HashMap::new(),
@@ -247,13 +618,25 @@ impl Session {
             data_rx: HashMap::new(),
             events: VecDeque::new(),
             queued_control: Vec::new(),
+            stats: SessionStats::default(),
             pool: BufPool::default(),
         }
     }
 
-    /// True once SETUP completed in both directions.
+    /// Current lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// True once SETUP completed in both directions (and the session has
+    /// not been closed or poisoned). A draining session is still usable.
     pub fn is_ready(&self) -> bool {
-        self.ready
+        matches!(self.state, SessionState::Ready | SessionState::Draining)
+    }
+
+    /// Hardening counters (violations, dropped datagrams).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
     }
 
     /// Negotiated version, once ready.
@@ -297,9 +680,10 @@ impl Session {
     /// Starts the session. Clients open the control stream and send
     /// CLIENT_SETUP immediately — with a resumption ticket this rides 0-RTT.
     pub fn start(&mut self, conn: &mut Connection) {
-        if self.is_client && self.control_stream.is_none() {
+        if self.is_client && self.state == SessionState::Init && self.control_stream.is_none() {
             let id = conn.open_stream(Dir::Bi).expect("control stream");
             self.control_stream = Some(id);
+            self.state = SessionState::Handshaking;
             let setup = ControlMessage::ClientSetup {
                 versions: self.config.versions.clone(),
                 max_request_id: self.config.max_request_id,
@@ -309,12 +693,19 @@ impl Session {
     }
 
     /// Sends a request message, holding it back until the session is ready
-    /// unless pipelining is enabled (paper §5.2 RTT semantics).
+    /// unless pipelining is enabled (paper §5.2 RTT semantics). A closed
+    /// (or poisoned) session drops requests on the floor.
     fn send_request(&mut self, conn: &mut Connection, msg: ControlMessage) {
-        if self.ready || self.config.pipeline {
-            self.send_control(conn, &msg);
-        } else {
-            self.queued_control.push(msg);
+        match self.state {
+            SessionState::Ready | SessionState::Draining => self.send_control(conn, &msg),
+            SessionState::Init | SessionState::Handshaking => {
+                if self.config.pipeline {
+                    self.send_control(conn, &msg);
+                } else {
+                    self.queued_control.push(msg);
+                }
+            }
+            SessionState::Closed => {}
         }
     }
 
@@ -337,6 +728,23 @@ impl Session {
         }
         self.pool.recycle_writer(scratch);
         self.pool.recycle_writer(w);
+    }
+
+    /// Adversarial-drill hook: writes raw bytes straight onto the control
+    /// stream, bypassing message framing entirely. Honest code never calls
+    /// this — the byzantine netsim nodes use it to feed peers garbage and
+    /// verify they poison the session rather than resynchronize.
+    pub fn inject_raw_control(&mut self, conn: &mut Connection, bytes: &[u8]) {
+        let Some(cs) = self.control_stream else {
+            return;
+        };
+        let mut off = 0;
+        while off < bytes.len() {
+            match conn.send_stream(cs, &bytes[off..]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => off += n,
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -628,16 +1036,21 @@ impl Session {
         self.events.pop_front()
     }
 
-    /// Feeds a connection event into the session.
+    /// Feeds a connection event into the session: io-level pumping plus
+    /// normalization into [`SessionInput`]s for [`Session::transition`].
     pub fn on_conn_event(&mut self, conn: &mut Connection, ev: &QuicEvent) {
+        if self.state == SessionState::Closed {
+            return;
+        }
         match ev {
             QuicEvent::StreamOpened { id } => {
-                if id.dir() == Dir::Bi && !self.is_client && self.control_stream.is_none() {
-                    // First peer bidi stream is the control stream.
-                    self.control_stream = Some(*id);
-                } else if id.dir() == Dir::Uni {
-                    self.data_rx.insert(*id, Vec::new());
-                }
+                let input = if id.dir() == Dir::Bi {
+                    SessionInput::ControlStreamOpened(*id)
+                } else {
+                    SessionInput::DataStreamOpened(*id)
+                };
+                let outs = self.transition(input);
+                self.apply(conn, outs);
             }
             QuicEvent::StreamReadable { id } => {
                 if Some(*id) == self.control_stream {
@@ -647,16 +1060,28 @@ impl Session {
                 }
             }
             QuicEvent::DatagramReceived(d) => {
-                if let Ok(dg) = ObjectDatagram::decode(d) {
-                    if let Some(&sub) = self.alias_to_sub.get(&dg.track_alias) {
-                        self.events.push_back(SessionEvent::SubscriptionObject {
-                            request_id: sub,
-                            object: dg.object,
-                        });
-                    }
-                }
+                let input = match ObjectDatagram::decode(d) {
+                    Ok(dg) => SessionInput::Datagram(dg),
+                    Err(_) => SessionInput::MalformedDatagram,
+                };
+                let outs = self.transition(input);
+                self.apply(conn, outs);
             }
-            _ => {}
+            QuicEvent::Closed { .. } => {
+                self.state = SessionState::Closed;
+            }
+            QuicEvent::Connected { .. } | QuicEvent::TicketIssued(_) => {}
+        }
+    }
+
+    /// Applies a transition's outputs against the connection.
+    fn apply(&mut self, conn: &mut Connection, outputs: Vec<SessionOutput>) {
+        for out in outputs {
+            match out {
+                SessionOutput::Event(e) => self.events.push_back(e),
+                SessionOutput::Send(msg) => self.send_control(conn, &msg),
+                SessionOutput::Close { code, reason } => conn.close(code, reason),
+            }
         }
     }
 
@@ -665,204 +1090,39 @@ impl Session {
             return;
         };
         loop {
+            if self.state == SessionState::Closed {
+                return;
+            }
             match conn.read_stream(cs, 65_536) {
-                Ok((data, _fin)) if !data.is_empty() => self.control_rx.extend_from_slice(&data),
+                Ok((data, _fin)) if !data.is_empty() => {
+                    if self.control_rx.len() + data.len() > self.config.max_control_buffer {
+                        let outs = self.transition(SessionInput::ControlOverflow);
+                        self.apply(conn, outs);
+                        return;
+                    }
+                    self.control_rx.extend_from_slice(&data);
+                }
                 _ => break,
             }
         }
         loop {
+            if self.state == SessionState::Closed {
+                return;
+            }
             match ControlMessage::decode(&self.control_rx) {
                 Ok(Some((msg, used))) => {
                     self.control_rx.drain(..used);
-                    self.handle_control(conn, msg);
+                    let outs = self.transition(SessionInput::from(msg));
+                    self.apply(conn, outs);
                 }
                 Ok(None) => break,
                 Err(_) => {
-                    self.events
-                        .push_back(SessionEvent::ProtocolViolation("bad control message"));
-                    self.control_rx.clear();
-                    break;
-                }
-            }
-        }
-    }
-
-    fn handle_control(&mut self, conn: &mut Connection, msg: ControlMessage) {
-        match msg {
-            ControlMessage::ClientSetup { versions, .. } => {
-                if self.is_client || self.ready {
-                    self.events
-                        .push_back(SessionEvent::ProtocolViolation("unexpected CLIENT_SETUP"));
+                    // Desynchronized framing can never be trusted again:
+                    // poison, don't resynchronize by luck.
+                    let outs = self.transition(SessionInput::MalformedControl);
+                    self.apply(conn, outs);
                     return;
                 }
-                // Select the highest version both sides support.
-                let ours = &self.config.versions;
-                let Some(v) = versions.iter().filter(|v| ours.contains(v)).max().copied() else {
-                    self.events
-                        .push_back(SessionEvent::ProtocolViolation("no common version"));
-                    return;
-                };
-                let reply = ControlMessage::ServerSetup {
-                    version: v,
-                    max_request_id: self.config.max_request_id,
-                };
-                self.send_control(conn, &reply);
-                self.ready = true;
-                self.version = Some(v);
-                self.events.push_back(SessionEvent::Ready { version: v });
-            }
-            ControlMessage::ServerSetup { version, .. } => {
-                if !self.is_client || self.ready {
-                    self.events
-                        .push_back(SessionEvent::ProtocolViolation("unexpected SERVER_SETUP"));
-                    return;
-                }
-                self.ready = true;
-                self.version = Some(version);
-                let queued = std::mem::take(&mut self.queued_control);
-                for msg in queued {
-                    self.send_control(conn, &msg);
-                }
-                self.events.push_back(SessionEvent::Ready { version });
-            }
-            ControlMessage::Subscribe {
-                request_id,
-                track_alias,
-                track,
-                filter: _,
-            } => {
-                self.peer_subs.insert(
-                    request_id,
-                    PeerSub {
-                        track: track.clone(),
-                        track_alias,
-                        accepted: false,
-                    },
-                );
-                self.events
-                    .push_back(SessionEvent::IncomingSubscribe { request_id, track });
-            }
-            ControlMessage::SubscribeOk {
-                request_id,
-                largest,
-                ..
-            } => {
-                self.events.push_back(SessionEvent::SubscribeAccepted {
-                    request_id,
-                    largest,
-                });
-            }
-            ControlMessage::SubscribeError {
-                request_id,
-                code,
-                reason,
-            } => {
-                if let Some(sub) = self.my_subs.remove(&request_id) {
-                    self.alias_to_sub.remove(&sub.track_alias);
-                }
-                self.events.push_back(SessionEvent::SubscribeRejected {
-                    request_id,
-                    code,
-                    reason,
-                });
-            }
-            ControlMessage::Unsubscribe { request_id } => {
-                self.peer_subs.remove(&request_id);
-                self.events
-                    .push_back(SessionEvent::PeerUnsubscribed { request_id });
-            }
-            ControlMessage::SubscribeDone {
-                request_id,
-                code,
-                reason,
-            } => {
-                if let Some(sub) = self.my_subs.remove(&request_id) {
-                    self.alias_to_sub.remove(&sub.track_alias);
-                }
-                self.events.push_back(SessionEvent::SubscriptionEnded {
-                    request_id,
-                    code,
-                    reason,
-                });
-            }
-            ControlMessage::Fetch { request_id, fetch } => {
-                let kind = match fetch {
-                    FetchType::StandAlone {
-                        track,
-                        start_group,
-                        end_group,
-                        ..
-                    } => IncomingFetchKind::StandAlone {
-                        track,
-                        start_group,
-                        end_group,
-                    },
-                    FetchType::Peer {
-                        track,
-                        start_group,
-                        end_group,
-                        hop_budget,
-                    } => IncomingFetchKind::Peer {
-                        track,
-                        start_group,
-                        end_group,
-                        hop_budget,
-                    },
-                    FetchType::RelativeJoining {
-                        joining_request_id,
-                        joining_start,
-                    } => {
-                        let Some(sub) = self.peer_subs.get(&joining_request_id) else {
-                            self.reject_fetch(
-                                conn,
-                                request_id,
-                                0x8,
-                                "unknown joining subscription",
-                            );
-                            return;
-                        };
-                        IncomingFetchKind::Joining {
-                            joining_request_id,
-                            offset: joining_start,
-                            track: sub.track.clone(),
-                        }
-                    }
-                };
-                self.events
-                    .push_back(SessionEvent::IncomingFetch { request_id, kind });
-            }
-            ControlMessage::FetchOk {
-                request_id,
-                largest,
-            } => {
-                self.events.push_back(SessionEvent::FetchAccepted {
-                    request_id,
-                    largest,
-                });
-            }
-            ControlMessage::FetchError {
-                request_id,
-                code,
-                reason,
-            } => {
-                self.my_fetches.remove(&request_id);
-                self.events.push_back(SessionEvent::FetchRejected {
-                    request_id,
-                    code,
-                    reason,
-                });
-            }
-            ControlMessage::FetchCancel { request_id: _ } => {}
-            ControlMessage::Announce { request_id, .. } => {
-                // Minimal handling: acknowledge (relays use this upstream).
-                self.send_control(conn, &ControlMessage::AnnounceOk { request_id });
-            }
-            ControlMessage::AnnounceOk { .. }
-            | ControlMessage::AnnounceError { .. }
-            | ControlMessage::Unannounce { .. }
-            | ControlMessage::MaxRequestId { .. } => {}
-            ControlMessage::GoAway { uri } => {
-                self.events.push_back(SessionEvent::GoAway { uri });
             }
         }
     }
@@ -892,32 +1152,470 @@ impl Session {
         };
         // The owned receive buffer becomes shared storage: every decoded
         // object's payload is a zero-copy sub-view of it.
-        match decode_data_stream(buf) {
+        let input = match decode_data_stream(buf) {
             Ok(DataStream::Subgroup { header, objects }) => {
-                if let Some(&sub) = self.alias_to_sub.get(&header.track_alias) {
-                    for object in objects {
-                        self.events.push_back(SessionEvent::SubscriptionObject {
-                            request_id: sub,
-                            object,
-                        });
-                    }
-                }
+                SessionInput::DataSubgroup { header, objects }
             }
             Ok(DataStream::Fetch {
                 request_id,
                 objects,
-            }) => {
-                if self.my_fetches.remove(&request_id).is_some() {
-                    self.events.push_back(SessionEvent::FetchObjects {
-                        request_id,
-                        objects,
-                    });
+            }) => SessionInput::DataFetch {
+                request_id,
+                objects,
+            },
+            Err(_) => SessionInput::MalformedData,
+        };
+        let outs = self.transition(input);
+        self.apply(conn, outs);
+    }
+
+    // ------------------------------------------------------------------
+    // The transition function
+    // ------------------------------------------------------------------
+
+    /// Poisons the session: the state latches `Closed`, the violation is
+    /// counted, and the outputs carry both the application event and the
+    /// connection close.
+    fn poison(&mut self, reason: &'static str) -> Vec<SessionOutput> {
+        self.state = SessionState::Closed;
+        self.stats.violations += 1;
+        vec![
+            SessionOutput::Event(SessionEvent::ProtocolViolation(reason)),
+            SessionOutput::Close {
+                code: CLOSE_PROTOCOL_VIOLATION,
+                reason,
+            },
+        ]
+    }
+
+    /// The pure transition function: `(state, input) -> outputs`, with
+    /// state updated in place. Every `(SessionState, SessionInput)` pair
+    /// is handled explicitly — each per-state handler matches the input
+    /// enum exhaustively, with no wildcard arm — so illegal inputs are
+    /// deterministic [`SessionEvent::ProtocolViolation`]s that poison the
+    /// session rather than silently falling through.
+    pub fn transition(&mut self, input: SessionInput) -> Vec<SessionOutput> {
+        match self.state {
+            SessionState::Init => self.on_input_init(input),
+            SessionState::Handshaking => self.on_input_handshaking(input),
+            SessionState::Ready => self.on_input_live(input, false),
+            SessionState::Draining => self.on_input_live(input, true),
+            SessionState::Closed => Session::on_input_closed(input),
+        }
+    }
+
+    fn on_input_init(&mut self, input: SessionInput) -> Vec<SessionOutput> {
+        match input {
+            SessionInput::ControlStreamOpened(id) => {
+                if self.is_client {
+                    // Servers never open bidirectional streams in MoQT.
+                    return self.poison("unexpected peer bidi stream");
+                }
+                self.control_stream = Some(id);
+                self.state = SessionState::Handshaking;
+                Vec::new()
+            }
+            SessionInput::DataStreamOpened(id) => {
+                self.data_rx.insert(id, Vec::new());
+                Vec::new()
+            }
+            SessionInput::DataSubgroup { .. }
+            | SessionInput::DataFetch { .. }
+            | SessionInput::MalformedData => self.poison("data stream before handshake"),
+            SessionInput::Datagram(_) | SessionInput::MalformedDatagram => {
+                self.stats.dropped_datagrams += 1;
+                Vec::new()
+            }
+            SessionInput::MalformedControl => self.poison("bad control message"),
+            SessionInput::ControlOverflow => self.poison("control buffer overflow"),
+            SessionInput::DrainTimeout => Vec::new(),
+            SessionInput::ClientSetup { .. }
+            | SessionInput::ServerSetup { .. }
+            | SessionInput::Subscribe { .. }
+            | SessionInput::SubscribeOk { .. }
+            | SessionInput::SubscribeError { .. }
+            | SessionInput::Unsubscribe { .. }
+            | SessionInput::SubscribeDone { .. }
+            | SessionInput::Fetch { .. }
+            | SessionInput::FetchOk { .. }
+            | SessionInput::FetchError { .. }
+            | SessionInput::FetchCancel { .. }
+            | SessionInput::Announce { .. }
+            | SessionInput::AnnounceOk { .. }
+            | SessionInput::AnnounceError { .. }
+            | SessionInput::Unannounce { .. }
+            | SessionInput::MaxRequestId { .. }
+            | SessionInput::GoAway { .. } => self.poison("control message before handshake"),
+        }
+    }
+
+    fn on_input_handshaking(&mut self, input: SessionInput) -> Vec<SessionOutput> {
+        match input {
+            SessionInput::ControlStreamOpened(_) => self.poison("duplicate control stream"),
+            SessionInput::DataStreamOpened(id) => {
+                self.data_rx.insert(id, Vec::new());
+                Vec::new()
+            }
+            // Packet reordering can complete a data stream before the
+            // SETUP answer is processed: deliver rather than punish.
+            SessionInput::DataSubgroup { header, objects } => {
+                self.deliver_subgroup(header, objects)
+            }
+            SessionInput::DataFetch {
+                request_id,
+                objects,
+            } => self.deliver_fetch(request_id, objects),
+            SessionInput::MalformedData => self.poison("bad data stream"),
+            SessionInput::Datagram(dg) => self.deliver_datagram(dg),
+            SessionInput::MalformedDatagram => {
+                self.stats.dropped_datagrams += 1;
+                Vec::new()
+            }
+            SessionInput::MalformedControl => self.poison("bad control message"),
+            SessionInput::ControlOverflow => self.poison("control buffer overflow"),
+            SessionInput::DrainTimeout => Vec::new(),
+            SessionInput::ClientSetup {
+                versions,
+                max_request_id: _,
+            } => {
+                if self.is_client {
+                    return self.poison("unexpected CLIENT_SETUP");
+                }
+                // Select the highest version both sides support.
+                let ours = &self.config.versions;
+                let Some(v) = versions.iter().filter(|v| ours.contains(v)).max().copied() else {
+                    return self.poison("no common version");
+                };
+                self.state = SessionState::Ready;
+                self.version = Some(v);
+                vec![
+                    SessionOutput::Send(ControlMessage::ServerSetup {
+                        version: v,
+                        max_request_id: self.config.max_request_id,
+                    }),
+                    SessionOutput::Event(SessionEvent::Ready { version: v }),
+                ]
+            }
+            SessionInput::ServerSetup {
+                version,
+                max_request_id: _,
+            } => {
+                if !self.is_client {
+                    return self.poison("unexpected SERVER_SETUP");
+                }
+                if !self.config.versions.contains(&version) {
+                    return self.poison("server selected unoffered version");
+                }
+                self.state = SessionState::Ready;
+                self.version = Some(version);
+                let mut outs = Vec::new();
+                for msg in std::mem::take(&mut self.queued_control) {
+                    outs.push(SessionOutput::Send(msg));
+                }
+                outs.push(SessionOutput::Event(SessionEvent::Ready { version }));
+                outs
+            }
+            SessionInput::Subscribe { .. }
+            | SessionInput::SubscribeOk { .. }
+            | SessionInput::SubscribeError { .. }
+            | SessionInput::Unsubscribe { .. }
+            | SessionInput::SubscribeDone { .. }
+            | SessionInput::Fetch { .. }
+            | SessionInput::FetchOk { .. }
+            | SessionInput::FetchError { .. }
+            | SessionInput::FetchCancel { .. }
+            | SessionInput::Announce { .. }
+            | SessionInput::AnnounceOk { .. }
+            | SessionInput::AnnounceError { .. }
+            | SessionInput::Unannounce { .. }
+            | SessionInput::MaxRequestId { .. }
+            | SessionInput::GoAway { .. } => self.poison("request before SETUP completed"),
+        }
+    }
+
+    /// `Ready` and `Draining` share almost all behavior; `draining`
+    /// selects the differences (new requests refused, second GOAWAY is a
+    /// violation, the drain timer closes).
+    fn on_input_live(&mut self, input: SessionInput, draining: bool) -> Vec<SessionOutput> {
+        match input {
+            SessionInput::ControlStreamOpened(_) => self.poison("duplicate control stream"),
+            SessionInput::DataStreamOpened(id) => {
+                self.data_rx.insert(id, Vec::new());
+                Vec::new()
+            }
+            SessionInput::DataSubgroup { header, objects } => {
+                self.deliver_subgroup(header, objects)
+            }
+            SessionInput::DataFetch {
+                request_id,
+                objects,
+            } => self.deliver_fetch(request_id, objects),
+            SessionInput::MalformedData => self.poison("bad data stream"),
+            SessionInput::Datagram(dg) => self.deliver_datagram(dg),
+            SessionInput::MalformedDatagram => {
+                self.stats.dropped_datagrams += 1;
+                Vec::new()
+            }
+            SessionInput::MalformedControl => self.poison("bad control message"),
+            SessionInput::ControlOverflow => self.poison("control buffer overflow"),
+            SessionInput::DrainTimeout => {
+                if draining {
+                    self.state = SessionState::Closed;
+                    vec![SessionOutput::Close {
+                        code: CLOSE_DRAINED,
+                        reason: "drained",
+                    }]
+                } else {
+                    // Spurious wakeup after re-arming: tolerated.
+                    Vec::new()
                 }
             }
-            Err(_) => self
-                .events
-                .push_back(SessionEvent::ProtocolViolation("bad data stream")),
+            SessionInput::ClientSetup { .. } | SessionInput::ServerSetup { .. } => {
+                self.poison("duplicate SETUP")
+            }
+            SessionInput::Subscribe {
+                request_id,
+                track_alias,
+                track,
+                filter: _,
+            } => {
+                if draining {
+                    return vec![SessionOutput::Send(ControlMessage::SubscribeError {
+                        request_id,
+                        code: ERR_DRAINING,
+                        reason: "draining".to_string(),
+                    })];
+                }
+                if self.peer_subs.contains_key(&request_id) {
+                    return self.poison("duplicate subscribe request id");
+                }
+                self.peer_subs.insert(
+                    request_id,
+                    PeerSub {
+                        track: track.clone(),
+                        track_alias,
+                        accepted: false,
+                    },
+                );
+                vec![SessionOutput::Event(SessionEvent::IncomingSubscribe {
+                    request_id,
+                    track,
+                })]
+            }
+            SessionInput::SubscribeOk {
+                request_id,
+                expires_ms: _,
+                largest,
+            } => vec![SessionOutput::Event(SessionEvent::SubscribeAccepted {
+                request_id,
+                largest,
+            })],
+            SessionInput::SubscribeError {
+                request_id,
+                code,
+                reason,
+            } => {
+                if let Some(sub) = self.my_subs.remove(&request_id) {
+                    self.alias_to_sub.remove(&sub.track_alias);
+                }
+                vec![SessionOutput::Event(SessionEvent::SubscribeRejected {
+                    request_id,
+                    code,
+                    reason,
+                })]
+            }
+            SessionInput::Unsubscribe { request_id } => {
+                self.peer_subs.remove(&request_id);
+                vec![SessionOutput::Event(SessionEvent::PeerUnsubscribed {
+                    request_id,
+                })]
+            }
+            SessionInput::SubscribeDone {
+                request_id,
+                code,
+                reason,
+            } => {
+                if let Some(sub) = self.my_subs.remove(&request_id) {
+                    self.alias_to_sub.remove(&sub.track_alias);
+                }
+                vec![SessionOutput::Event(SessionEvent::SubscriptionEnded {
+                    request_id,
+                    code,
+                    reason,
+                })]
+            }
+            SessionInput::Fetch { request_id, fetch } => {
+                if draining {
+                    return vec![SessionOutput::Send(ControlMessage::FetchError {
+                        request_id,
+                        code: ERR_DRAINING,
+                        reason: "draining".to_string(),
+                    })];
+                }
+                let kind = match fetch {
+                    FetchType::StandAlone {
+                        track,
+                        start_group,
+                        end_group,
+                        ..
+                    } => IncomingFetchKind::StandAlone {
+                        track,
+                        start_group,
+                        end_group,
+                    },
+                    FetchType::Peer {
+                        track,
+                        start_group,
+                        end_group,
+                        hop_budget,
+                    } => IncomingFetchKind::Peer {
+                        track,
+                        start_group,
+                        end_group,
+                        hop_budget,
+                    },
+                    FetchType::RelativeJoining {
+                        joining_request_id,
+                        joining_start,
+                    } => {
+                        let Some(sub) = self.peer_subs.get(&joining_request_id) else {
+                            return vec![SessionOutput::Send(ControlMessage::FetchError {
+                                request_id,
+                                code: 0x8,
+                                reason: "unknown joining subscription".to_string(),
+                            })];
+                        };
+                        IncomingFetchKind::Joining {
+                            joining_request_id,
+                            offset: joining_start,
+                            track: sub.track.clone(),
+                        }
+                    }
+                };
+                vec![SessionOutput::Event(SessionEvent::IncomingFetch {
+                    request_id,
+                    kind,
+                })]
+            }
+            SessionInput::FetchOk {
+                request_id,
+                largest,
+            } => vec![SessionOutput::Event(SessionEvent::FetchAccepted {
+                request_id,
+                largest,
+            })],
+            SessionInput::FetchError {
+                request_id,
+                code,
+                reason,
+            } => {
+                self.my_fetches.remove(&request_id);
+                vec![SessionOutput::Event(SessionEvent::FetchRejected {
+                    request_id,
+                    code,
+                    reason,
+                })]
+            }
+            SessionInput::FetchCancel { request_id: _ } => Vec::new(),
+            SessionInput::Announce { request_id, .. } => {
+                // Minimal handling: acknowledge (relays use this upstream).
+                vec![SessionOutput::Send(ControlMessage::AnnounceOk {
+                    request_id,
+                })]
+            }
+            SessionInput::AnnounceOk { .. }
+            | SessionInput::AnnounceError { .. }
+            | SessionInput::Unannounce { .. }
+            | SessionInput::MaxRequestId { .. } => Vec::new(),
+            SessionInput::GoAway { uri } => {
+                if draining {
+                    return self.poison("duplicate GOAWAY");
+                }
+                self.state = SessionState::Draining;
+                vec![SessionOutput::Event(SessionEvent::GoAway { uri })]
+            }
         }
+    }
+
+    /// `Closed` is terminal and inert: nothing transitions, nothing is
+    /// emitted. Listed exhaustively so a new input must decide its
+    /// closed-state behavior explicitly.
+    fn on_input_closed(input: SessionInput) -> Vec<SessionOutput> {
+        match input {
+            SessionInput::ControlStreamOpened(_)
+            | SessionInput::DataStreamOpened(_)
+            | SessionInput::DataSubgroup { .. }
+            | SessionInput::DataFetch { .. }
+            | SessionInput::MalformedData
+            | SessionInput::Datagram(_)
+            | SessionInput::MalformedDatagram
+            | SessionInput::MalformedControl
+            | SessionInput::ControlOverflow
+            | SessionInput::DrainTimeout
+            | SessionInput::ClientSetup { .. }
+            | SessionInput::ServerSetup { .. }
+            | SessionInput::Subscribe { .. }
+            | SessionInput::SubscribeOk { .. }
+            | SessionInput::SubscribeError { .. }
+            | SessionInput::Unsubscribe { .. }
+            | SessionInput::SubscribeDone { .. }
+            | SessionInput::Fetch { .. }
+            | SessionInput::FetchOk { .. }
+            | SessionInput::FetchError { .. }
+            | SessionInput::FetchCancel { .. }
+            | SessionInput::Announce { .. }
+            | SessionInput::AnnounceOk { .. }
+            | SessionInput::AnnounceError { .. }
+            | SessionInput::Unannounce { .. }
+            | SessionInput::MaxRequestId { .. }
+            | SessionInput::GoAway { .. } => Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared delivery helpers (Handshaking / Ready / Draining)
+    // ------------------------------------------------------------------
+
+    fn deliver_subgroup(
+        &mut self,
+        header: SubgroupHeader,
+        objects: Vec<Object>,
+    ) -> Vec<SessionOutput> {
+        // An unknown alias on a *stream* is the honest unsubscribe race
+        // (objects in flight when the UNSUBSCRIBE crossed them): ignore.
+        let Some(&sub) = self.alias_to_sub.get(&header.track_alias) else {
+            return Vec::new();
+        };
+        objects
+            .into_iter()
+            .map(|object| {
+                SessionOutput::Event(SessionEvent::SubscriptionObject {
+                    request_id: sub,
+                    object,
+                })
+            })
+            .collect()
+    }
+
+    fn deliver_fetch(&mut self, request_id: u64, objects: Vec<Object>) -> Vec<SessionOutput> {
+        if self.my_fetches.remove(&request_id).is_none() {
+            return Vec::new();
+        }
+        vec![SessionOutput::Event(SessionEvent::FetchObjects {
+            request_id,
+            objects,
+        })]
+    }
+
+    fn deliver_datagram(&mut self, dg: ObjectDatagram) -> Vec<SessionOutput> {
+        let Some(&sub) = self.alias_to_sub.get(&dg.track_alias) else {
+            self.stats.dropped_datagrams += 1;
+            return Vec::new();
+        };
+        vec![SessionOutput::Event(SessionEvent::SubscriptionObject {
+            request_id: sub,
+            object: dg.object,
+        })]
     }
 }
 
@@ -1025,6 +1723,8 @@ mod tests {
         let mut rig = Rig::new();
         assert!(rig.client.is_ready());
         assert!(rig.server.is_ready());
+        assert_eq!(rig.client.state(), SessionState::Ready);
+        assert_eq!(rig.server.state(), SessionState::Ready);
         assert_eq!(rig.client.version(), Some(crate::MOQT_VERSION));
         let cev = rig.client_events();
         assert!(cev.iter().any(|e| matches!(e, SessionEvent::Ready { .. })));
@@ -1363,5 +2063,184 @@ mod tests {
         }
         assert!(rig.client.state_size_estimate() > base);
         assert_eq!(rig.client.subscription_count(), 10);
+    }
+
+    // ------------------------------------------------------------------
+    // Hardening: poisoning, buffer bounds, dropped-datagram accounting
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn garbage_control_bytes_poison_session() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        // Raw garbage on the control stream: an unknown message type.
+        rig.client.inject_raw_control(&mut rig.c_conn, &[0xff; 32]);
+        rig.run();
+        let sev = rig.server_events();
+        assert!(sev
+            .iter()
+            .any(|e| matches!(e, SessionEvent::ProtocolViolation(_))));
+        assert_eq!(rig.server.state(), SessionState::Closed);
+        assert!(!rig.server.is_ready());
+        assert_eq!(rig.server.stats().violations, 1);
+        // A poisoned session stays closed: further legal traffic is inert.
+        rig.client.subscribe(&mut rig.c_conn, track());
+        rig.run();
+        assert!(rig.server_events().is_empty());
+        assert_eq!(rig.server.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn control_buffer_overflow_poisons_session() {
+        let cfg = SessionConfig {
+            max_control_buffer: 64,
+            ..Default::default()
+        };
+        let alpn = moqdns_quic::alpn_list(&[crate::MOQT_ALPN]);
+        let mut c_conn =
+            Connection::client(1, TransportConfig::default(), alpn.clone(), None, t(0));
+        let s_conn = Connection::server(1, TransportConfig::default(), alpn, 7, t(0));
+        let mut client = Session::client(SessionConfig::default());
+        client.start(&mut c_conn);
+        let mut rig = Rig {
+            c_conn,
+            s_conn,
+            client,
+            server: Session::server(cfg),
+            now: t(0),
+        };
+        rig.run();
+        rig.client_events();
+        rig.server_events();
+        assert!(rig.server.is_ready());
+        // A length prefix promising a large message that never completes:
+        // type 0x03 (SUBSCRIBE), claimed length 4096, then padding bytes
+        // that keep the message incomplete while the buffer grows.
+        let mut junk = vec![0x03, 0x50, 0x00]; // varint type + 2-byte varint len 4096
+        junk.extend_from_slice(&[0xaa; 200]);
+        rig.client.inject_raw_control(&mut rig.c_conn, &junk);
+        rig.run();
+        let sev = rig.server_events();
+        assert!(sev.iter().any(|e| matches!(
+            e,
+            SessionEvent::ProtocolViolation("control buffer overflow")
+        )));
+        assert_eq!(rig.server.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn unknown_alias_datagram_counted_not_fatal() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        // The server pushes a datagram for an alias the client never
+        // subscribed: counted, dropped, session stays live.
+        let dg = ObjectDatagram {
+            track_alias: 999,
+            object: Object {
+                group_id: 1,
+                object_id: 0,
+                payload: b"spoof".to_vec().into(),
+            },
+        };
+        rig.s_conn.send_datagram(dg.encode()).unwrap();
+        rig.run();
+        assert!(rig.client_events().is_empty());
+        assert_eq!(rig.client.stats().dropped_datagrams, 1);
+        assert_eq!(rig.client.state(), SessionState::Ready);
+        // Malformed datagram bytes count too.
+        rig.s_conn.send_datagram(vec![0xff, 0x01]).unwrap();
+        rig.run();
+        assert_eq!(rig.client.stats().dropped_datagrams, 2);
+        assert_eq!(rig.client.state(), SessionState::Ready);
+    }
+
+    #[test]
+    fn goaway_drains_then_drain_timeout_closes() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        // Server asks the client to move.
+        rig.server
+            .send_control(&mut rig.s_conn, &ControlMessage::GoAway { uri: "x".into() });
+        rig.run();
+        let cev = rig.client_events();
+        assert!(cev
+            .iter()
+            .any(|e| matches!(e, SessionEvent::GoAway { uri } if uri == "x")));
+        assert_eq!(rig.client.state(), SessionState::Draining);
+        // Draining still counts as usable.
+        assert!(rig.client.is_ready());
+        // New incoming subscribes are refused while draining: the server
+        // subscribes to the client (role reversal is legal in MoQT).
+        let sub_id = rig.server.subscribe(&mut rig.s_conn, track());
+        rig.run();
+        let sev = rig.server_events();
+        assert!(sev.iter().any(|e| matches!(
+            e,
+            SessionEvent::SubscribeRejected { request_id, code, .. }
+            if *request_id == sub_id && *code == ERR_DRAINING
+        )));
+        // The drain timer closes the session.
+        let outs = rig.client.transition(SessionInput::DrainTimeout);
+        assert_eq!(
+            outs,
+            vec![SessionOutput::Close {
+                code: CLOSE_DRAINED,
+                reason: "drained"
+            }]
+        );
+        assert_eq!(rig.client.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn request_before_setup_poisons() {
+        // A server session that receives SUBSCRIBE before CLIENT_SETUP.
+        let mut server = Session::server(SessionConfig::default());
+        let outs = server.transition(SessionInput::ControlStreamOpened(StreamId::new(
+            true,
+            Dir::Bi,
+            0,
+        )));
+        assert!(outs.is_empty());
+        assert_eq!(server.state(), SessionState::Handshaking);
+        let outs = server.transition(SessionInput::Subscribe {
+            request_id: 0,
+            track_alias: 0,
+            track: track(),
+            filter: FilterType::LatestObject,
+        });
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, SessionOutput::Event(SessionEvent::ProtocolViolation(_)))));
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, SessionOutput::Close { .. })));
+        assert_eq!(server.state(), SessionState::Closed);
+    }
+
+    #[test]
+    fn duplicate_subscribe_request_id_poisons() {
+        let mut rig = Rig::new();
+        rig.client_events();
+        rig.server_events();
+        // Two SUBSCRIBEs forged with the same request id.
+        for _ in 0..2 {
+            let msg = ControlMessage::Subscribe {
+                request_id: 42,
+                track_alias: 42,
+                track: track(),
+                filter: FilterType::LatestObject,
+            };
+            rig.client.send_control(&mut rig.c_conn, &msg);
+        }
+        rig.run();
+        let sev = rig.server_events();
+        assert!(sev.iter().any(|e| matches!(
+            e,
+            SessionEvent::ProtocolViolation("duplicate subscribe request id")
+        )));
+        assert_eq!(rig.server.state(), SessionState::Closed);
     }
 }

@@ -1,0 +1,195 @@
+//! Model-based interleaving test of the session state machine.
+//!
+//! Random sequences of [`SessionInput`]s — legal handshakes, mid-stream
+//! garbage, duplicate request ids, inputs in states where they are
+//! violations — are fed straight into [`Session::transition`] and checked
+//! against the machine's contract:
+//!
+//! 1. **no panic** on any interleaving;
+//! 2. **`Closed` is absorbing and inert** — once closed, every further
+//!    input produces no outputs and no state change;
+//! 3. **poison closes** — a transition that emits
+//!    [`SessionOutput::Close`] leaves the session in `Closed`;
+//! 4. **violations are counted** — every `ProtocolViolation` event is
+//!    reflected in [`SessionStats::violations`], and each one poisons the
+//!    session (so the counter can never race past the close).
+//!
+//! The wire decoders get their own fuzz (in `message.rs` / `data.rs`);
+//! this test drives the layer above them, where the ISSUE-6 hardening
+//! lives.
+
+use moqdns_moqt::data::{Object, ObjectDatagram, SubgroupHeader};
+use moqdns_moqt::message::{FetchType, FilterType};
+use moqdns_moqt::session::{
+    Session, SessionConfig, SessionEvent, SessionInput, SessionOutput, SessionState,
+};
+use moqdns_moqt::track::FullTrackName;
+use moqdns_quic::streams::{Dir, StreamId};
+use proptest::prelude::*;
+
+/// Deterministically maps an opcode byte to a `SessionInput`, covering
+/// every variant (the low nibble picks the variant, the high nibble and
+/// position perturb ids so sequences contain duplicates *and* fresh ids).
+fn input_for(op: u8, i: usize) -> SessionInput {
+    let id = (op >> 4) as u64 % 4; // small id space → plenty of duplicates
+    let track = FullTrackName::new(vec![b"model.example".to_vec()], b"r".to_vec())
+        .expect("static track name");
+    match op % 22 {
+        0 => SessionInput::ControlStreamOpened(StreamId::new(true, Dir::Bi, id)),
+        1 => SessionInput::DataStreamOpened(StreamId::new(false, Dir::Uni, i as u64)),
+        2 => SessionInput::DataSubgroup {
+            header: SubgroupHeader {
+                track_alias: id,
+                group_id: i as u64,
+                subgroup_id: 0,
+                priority: 0,
+            },
+            objects: vec![Object {
+                group_id: i as u64,
+                object_id: 0,
+                payload: vec![0xab; 8].into(),
+            }],
+        },
+        3 => SessionInput::DataFetch {
+            request_id: id,
+            objects: Vec::new(),
+        },
+        4 => SessionInput::MalformedData,
+        5 => SessionInput::Datagram(ObjectDatagram {
+            track_alias: id,
+            object: Object {
+                group_id: i as u64,
+                object_id: 0,
+                payload: vec![0xcd; 4].into(),
+            },
+        }),
+        6 => SessionInput::MalformedDatagram,
+        7 => SessionInput::MalformedControl,
+        8 => SessionInput::ControlOverflow,
+        9 => SessionInput::DrainTimeout,
+        10 => SessionInput::ClientSetup {
+            versions: vec![0xff00000d + id],
+            max_request_id: 64,
+        },
+        11 => SessionInput::ServerSetup {
+            version: 0xff00000d,
+            max_request_id: 64,
+        },
+        12 => SessionInput::Subscribe {
+            request_id: id * 2,
+            track_alias: id,
+            track,
+            filter: FilterType::LatestObject,
+        },
+        13 => SessionInput::SubscribeOk {
+            request_id: id * 2 + 1,
+            expires_ms: 0,
+            largest: None,
+        },
+        14 => SessionInput::SubscribeError {
+            request_id: id * 2 + 1,
+            code: 1,
+            reason: "model".into(),
+        },
+        15 => SessionInput::Unsubscribe { request_id: id * 2 },
+        16 => SessionInput::Fetch {
+            request_id: id * 2,
+            fetch: FetchType::StandAlone {
+                track,
+                start_group: 0,
+                start_object: 0,
+                end_group: 0,
+            },
+        },
+        17 => SessionInput::FetchOk {
+            request_id: id * 2 + 1,
+            largest: (0, 0),
+        },
+        18 => SessionInput::FetchError {
+            request_id: id * 2 + 1,
+            code: 1,
+            reason: "model".into(),
+        },
+        19 => SessionInput::FetchCancel { request_id: id * 2 },
+        20 => SessionInput::MaxRequestId { max: 1 << 16 },
+        _ => SessionInput::GoAway { uri: String::new() },
+    }
+}
+
+/// Runs one input script against a session and checks the contract.
+fn check_machine(mut sess: Session, script: &[u8]) {
+    let mut violations_seen = 0u64;
+    for (i, &op) in script.iter().enumerate() {
+        let was_closed = sess.state() == SessionState::Closed;
+        let outputs = sess.transition(input_for(op, i));
+
+        if was_closed {
+            // Contract 2: Closed is absorbing and inert.
+            prop_assert!(
+                outputs.is_empty(),
+                "closed session produced outputs: {outputs:?}"
+            );
+            prop_assert_eq!(sess.state(), SessionState::Closed);
+            continue;
+        }
+        let mut closed_by_output = false;
+        for out in &outputs {
+            match out {
+                SessionOutput::Close { .. } => closed_by_output = true,
+                SessionOutput::Event(SessionEvent::ProtocolViolation(_)) => {
+                    violations_seen += 1;
+                }
+                _ => {}
+            }
+        }
+        // Contract 3: a Close output means the machine is in Closed.
+        if closed_by_output {
+            prop_assert_eq!(sess.state(), SessionState::Closed);
+        }
+        // Contract 4: the hardening counter tracks emitted violations
+        // exactly, and every violation poisoned the session.
+        prop_assert_eq!(sess.stats().violations, violations_seen);
+        if violations_seen > 0 {
+            prop_assert_eq!(sess.state(), SessionState::Closed);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_server_machine_contract(script in proptest::collection::vec(any::<u8>(), 0..64)) {
+        check_machine(Session::server(SessionConfig::default()), &script);
+    }
+
+    #[test]
+    fn prop_client_machine_contract(script in proptest::collection::vec(any::<u8>(), 0..64)) {
+        check_machine(Session::client(SessionConfig::default()), &script);
+    }
+
+    /// A legal handshake followed by garbage: the session must reach
+    /// `Ready` and then poison on the first malformed control input, no
+    /// matter what preceded it in the legal phase.
+    #[test]
+    fn prop_garbage_after_handshake_poisons(script in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let mut sess = Session::server(SessionConfig::default());
+        sess.transition(SessionInput::ControlStreamOpened(StreamId::new(true, Dir::Bi, 0)));
+        sess.transition(SessionInput::ClientSetup {
+            versions: vec![moqdns_moqt::MOQT_VERSION],
+            max_request_id: 64,
+        });
+        prop_assert_eq!(sess.state(), SessionState::Ready);
+        let before = sess.stats().violations;
+        for (i, &op) in script.iter().enumerate() {
+            sess.transition(input_for(op, i));
+        }
+        let outs = sess.transition(SessionInput::MalformedControl);
+        prop_assert_eq!(sess.state(), SessionState::Closed);
+        // Either this input poisoned it (a Close goes out) or the script
+        // already had — in which case Closed was inert and emitted nothing.
+        if sess.stats().violations > before {
+            prop_assert!(sess.stats().violations >= 1);
+        } else {
+            prop_assert!(outs.is_empty());
+        }
+    }
+}

@@ -29,6 +29,13 @@
 //! The design follows the event-driven idiom of stacks like smoltcp: nodes
 //! are polled with events (`on_datagram`, `on_timer`) and react by calling
 //! back into their [`Ctx`] to transmit or arm timers.
+//!
+//! Hostile participants are ordinary [`Node`] implementations too: the
+//! adversarial fleet in `moqdns-core::adversary` (a byzantine client that
+//! injects malformed control frames, a slow-loris subscriber that joins
+//! and never drains, a fetch-bomb client that stampedes a cold relay)
+//! rides on the same `on_datagram`/`on_timer` surface as the honest
+//! stubs, so attack drills compose with any topology built here.
 
 pub mod link;
 pub mod node;

@@ -29,7 +29,7 @@ use crate::recovery::{AckTracker, Recovery, RetxInfo, SentPacket};
 use crate::streams::{Dir, RecvStream, SendStream, StreamId};
 use moqdns_netsim::SimTime;
 use moqdns_wire::{BufPool, Payload};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// One ALPN protocol name. A shared handle: cloning an offer list into a
@@ -176,6 +176,12 @@ pub struct Connection {
     /// Highest peer-initiated index seen, per direction (for accepting).
     peer_opened_bi: u64,
     peer_opened_uni: u64,
+    /// Peer-initiated uni streams read to FIN and released. Tracked as a
+    /// dense watermark (`index < retired_uni_recv_below`) plus a sparse
+    /// overflow set, so late retransmissions for a pruned stream are not
+    /// mistaken for new peer streams.
+    retired_uni_recv_below: u64,
+    retired_uni_recv: BTreeSet<u64>,
 
     // --- flow control ---
     /// Peer's connection-level credit for us.
@@ -281,6 +287,8 @@ impl Connection {
             next_uni_index: 0,
             peer_opened_bi: 0,
             peer_opened_uni: 0,
+            retired_uni_recv_below: 0,
+            retired_uni_recv: BTreeSet::new(),
             peer_max_data: config.max_data,
             data_sent: 0,
             local_max_data: config.max_data,
@@ -357,6 +365,31 @@ impl Connection {
         base + send + recv + self.recovery.tracked() * 64
     }
 
+    /// Per-connection state composition (diagnostics for the adversarial
+    /// drills): `(send_streams, recv_streams, tracked_packets)`.
+    pub fn state_breakdown(&self) -> (usize, usize, usize) {
+        (
+            self.send_streams.len(),
+            self.recv_streams.len(),
+            self.recovery.tracked(),
+        )
+    }
+
+    /// Bytes of send-side backlog: stream data written but not yet
+    /// acknowledged by the peer, plus queued datagrams. This is the state
+    /// an unresponsive peer forces us to hold, so relays bound it per
+    /// session (a small per-stream overhead charge keeps stream-count
+    /// abuse visible too).
+    pub fn send_backlog_bytes(&self) -> usize {
+        let streams: usize = self
+            .send_streams
+            .values()
+            .map(|s| 64 + s.buffered_bytes())
+            .sum();
+        let dgrams: usize = self.datagram_queue_out.iter().map(|d| d.len()).sum();
+        streams + dgrams
+    }
+
     /// Time since creation (diagnostics).
     pub fn age(&self, now: SimTime) -> std::time::Duration {
         now - self.created_at
@@ -430,8 +463,18 @@ impl Connection {
         let delta = s.consumed() - before;
         self.data_consumed += delta;
         self.readable_notified.remove(&id);
-        // Replenish flow-control windows when half-consumed.
-        if s.max_stream_data - s.consumed() < self.config.max_stream_data / 2 {
+        let done_uni_peer =
+            fin && id.dir() == Dir::Uni && id.initiated_by_client() != (self.side == Side::Client);
+        if done_uni_peer {
+            // One-shot stream fully delivered: release its reassembly
+            // state and retire the index so a late retransmission cannot
+            // resurrect it as a "new" peer stream.
+            self.recv_streams.remove(&id);
+            self.pending_max_stream_data.remove(&id);
+            self.retire_uni_recv(id.index());
+        } else if s.max_stream_data - s.consumed() < self.config.max_stream_data / 2 {
+            // Replenish the per-stream flow-control window when
+            // half-consumed.
             s.max_stream_data = s.consumed() + self.config.max_stream_data;
             self.pending_max_stream_data.insert(id);
         }
@@ -535,6 +578,7 @@ impl Connection {
             Frame::Padding | Frame::Ping => {}
             Frame::Ack { ranges } => {
                 let ev = self.recovery.on_ack_received(now, &ranges);
+                self.handle_acked(ev.acked);
                 self.requeue_lost(ev.lost);
             }
             Frame::Crypto { data, .. } => self.handle_crypto(&data),
@@ -694,8 +738,17 @@ impl Connection {
         {
             return;
         }
-        let is_new_peer_stream = !self.recv_streams.contains_key(&id)
-            && id.initiated_by_client() != (self.side == Side::Client);
+        let peer_initiated = id.initiated_by_client() != (self.side == Side::Client);
+        // A late retransmission for a uni stream we already read to FIN
+        // and released must not be mistaken for a brand-new peer stream.
+        if peer_initiated
+            && id.dir() == Dir::Uni
+            && !self.recv_streams.contains_key(&id)
+            && self.uni_recv_retired(id.index())
+        {
+            return;
+        }
+        let is_new_peer_stream = !self.recv_streams.contains_key(&id) && peer_initiated;
         if is_new_peer_stream {
             // Enforce our stream-count limit.
             let counter = match id.dir() {
@@ -730,6 +783,48 @@ impl Connection {
         }
         if s.is_readable() && self.readable_notified.insert(id) {
             self.events.push_back(Event::StreamReadable { id });
+        }
+    }
+
+    /// Marks a peer-initiated uni stream index as retired (read to FIN and
+    /// released). Contiguous indices fold into the watermark so the
+    /// overflow set stays small.
+    fn retire_uni_recv(&mut self, index: u64) {
+        if index < self.retired_uni_recv_below {
+            return;
+        }
+        self.retired_uni_recv.insert(index);
+        while self.retired_uni_recv.remove(&self.retired_uni_recv_below) {
+            self.retired_uni_recv_below += 1;
+        }
+    }
+
+    fn uni_recv_retired(&self, index: u64) -> bool {
+        index < self.retired_uni_recv_below || self.retired_uni_recv.contains(&index)
+    }
+
+    /// Feeds newly-acked stream ranges back to their send streams so the
+    /// retransmission buffers drain. One-shot uni streams whose data and
+    /// FIN are fully acknowledged are released entirely — without this,
+    /// every byte ever written would stay buffered for the connection's
+    /// lifetime.
+    fn handle_acked(&mut self, acked: Vec<RetxInfo>) {
+        for r in acked {
+            if let RetxInfo::Stream {
+                id,
+                offset,
+                len,
+                fin,
+            } = r
+            {
+                let id = StreamId(id);
+                if let Some(s) = self.send_streams.get_mut(&id) {
+                    s.on_ack(offset, len, fin);
+                    if id.dir() == Dir::Uni && s.is_fully_acked() {
+                        self.send_streams.remove(&id);
+                    }
+                }
+            }
         }
     }
 

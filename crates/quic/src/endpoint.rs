@@ -20,6 +20,10 @@ use std::hash::Hash;
 /// Re-exported ticket type for public API convenience.
 pub type SessionTicket = Ticket;
 
+/// One row of [`Endpoint::state_breakdown`]: `(cid, estimate_bytes,
+/// send_streams, recv_streams, tracked_packets)`.
+pub type ConnStateRow = (u64, usize, usize, usize, usize);
+
 /// Handle identifying a connection within an endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConnHandle(pub u64);
@@ -174,11 +178,19 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
                     return;
                 }
                 // A *new* connection is only minted for a datagram that
-                // parses in full — the cheap header peek alone must not
-                // let garbage traffic allocate server state. (Known
-                // connections skip this: their own parse handles it.)
-                if crate::packet::decode_datagram_payload(data).is_err() {
-                    return;
+                // parses in full AND carries an Initial packet — the cheap
+                // header peek alone must not let garbage traffic allocate
+                // server state, and a stray late packet for a connection
+                // we already reaped (e.g. an evicted attacker's
+                // retransmission) must not resurrect it as a husk that
+                // never finishes a handshake. (Known connections skip
+                // this: their own parse handles it.)
+                match crate::packet::decode_datagram_payload(data) {
+                    Ok(pkts)
+                        if pkts
+                            .iter()
+                            .any(|p| p.ty == crate::packet::PacketType::Initial) => {}
+                    _ => return,
                 }
                 let nonce = self
                     .next_cid
@@ -366,6 +378,18 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
     /// Number of live connections (E9 state accounting).
     pub fn connection_count(&self) -> usize {
         self.connections.len()
+    }
+
+    /// Per-connection composition — diagnostics for the adversarial
+    /// drills (which connection is the state hiding in?).
+    pub fn state_breakdown(&self) -> Vec<ConnStateRow> {
+        self.connections
+            .values()
+            .map(|(c, _)| {
+                let (s, r, t) = c.state_breakdown();
+                (c.cid(), c.state_size_estimate(), s, r, t)
+            })
+            .collect()
     }
 
     /// Sum of per-connection state estimates (E9).

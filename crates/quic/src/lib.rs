@@ -43,5 +43,5 @@ pub mod udp_driver;
 
 pub use config::TransportConfig;
 pub use connection::{alpn_list, Alpn, AlpnList, Connection, ConnectionError, Event, Side};
-pub use endpoint::{ConnHandle, Endpoint, SessionTicket};
+pub use endpoint::{ConnHandle, ConnStateRow, Endpoint, SessionTicket};
 pub use streams::{Dir, StreamId};

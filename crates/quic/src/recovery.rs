@@ -122,6 +122,10 @@ impl RttEstimator {
 pub struct LossEvent {
     /// Packets newly declared lost (their retransmission info).
     pub lost: Vec<RetxInfo>,
+    /// Retransmission info of packets newly acked — the connection feeds
+    /// stream ranges back to `SendStream::on_ack` so send buffers drain
+    /// and fully-delivered streams can be retired.
+    pub acked: Vec<RetxInfo>,
     /// Number of packets newly acked.
     pub newly_acked: usize,
     /// Whether any loss occurred (for congestion response).
@@ -221,6 +225,7 @@ impl Recovery {
                     if largest_newly_acked.map(|(l, _)| pn > l).unwrap_or(true) {
                         largest_newly_acked = Some((pn, pkt.time_sent));
                     }
+                    ev.acked.extend(pkt.retx);
                 }
             }
         }

@@ -135,6 +135,12 @@ impl SendStream {
         self.fin_acked && self.base == self.fin_offset.unwrap_or(u64::MAX)
     }
 
+    /// Bytes still buffered awaiting acknowledgement (the send backlog an
+    /// unresponsive peer forces us to hold).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
     /// True if data or FIN is waiting to be transmitted.
     pub fn has_pending(&self) -> bool {
         !self.reset && (!self.pending.is_empty() || self.fin_pending)

@@ -714,6 +714,109 @@ impl ChainScenario {
     }
 }
 
+/// The protocol-hardening drill (ISSUE 6): a small honest tree — origin →
+/// core relay → edge relays → stubs — that must keep perfect delivery
+/// while three attackers hang off one edge relay:
+///
+/// - a **byzantine** client feeding the edge garbage control bytes,
+///   bogus-alias datagrams, and duplicate request ids (the session state
+///   machine must poison + close, counting violations);
+/// - a **slow-loris** subscriber that subscribes to every track and then
+///   never drains (the per-session backlog bound must evict it);
+/// - a **fetch bomber** stampeding cold tracks (the per-session fetch
+///   budget must throttle and finally evict it).
+///
+/// The survival invariants the binary gates: honest stubs see every
+/// update of every track (zero loss under attack), the attacked edge's
+/// session state stays bounded (evictions actually reclaim), and each
+/// attack leaves its fingerprint in the hardening counters
+/// (`violations`, `dropped_datagrams`, `throttled_fetches`,
+/// `evicted_sessions`) rather than in honest-path metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Edge relays under the core (attackers target the first).
+    pub edges: usize,
+    /// Honest stub subscribers per edge relay.
+    pub stubs_per_edge: usize,
+    /// Distinct records (tracks); every honest stub subscribes to all.
+    pub tracks: usize,
+    /// Update rounds pushed per track during the attack window.
+    pub updates_per_track: u64,
+    /// Gap between update rounds.
+    pub update_interval: Duration,
+    /// One-way delay of every link.
+    pub link_delay: Duration,
+    /// Attack cadence (byzantine + fetch-bomb tick).
+    pub attack_interval: Duration,
+    /// Standalone cold-track FETCHes per fetch-bomb tick.
+    pub fetch_burst: u32,
+    /// Edge-relay limit: outstanding upstream fetches one session may
+    /// hold before throttling.
+    pub max_outstanding_fetches: u32,
+    /// Edge-relay limit: throttles a session survives before eviction.
+    pub evict_after_throttles: u32,
+    /// Edge-relay bound on per-session unacked send backlog (bytes); a
+    /// publish that finds the session above it evicts the session.
+    pub session_backlog: usize,
+}
+
+impl AdversarialScenario {
+    /// The standing hardening drill.
+    pub fn adversarial() -> AdversarialScenario {
+        AdversarialScenario {
+            name: "adversarial",
+            edges: 2,
+            stubs_per_edge: 3,
+            tracks: 8,
+            updates_per_track: 8,
+            update_interval: Duration::from_secs(2),
+            link_delay: Duration::from_millis(10),
+            attack_interval: Duration::from_millis(500),
+            fetch_burst: 48,
+            max_outstanding_fetches: 16,
+            evict_after_throttles: 64,
+            session_backlog: 4 * 1024,
+        }
+    }
+
+    /// A tiny variant for CI smoke runs. The update-round count is NOT
+    /// shrunk: the slow-loris eviction needs enough pushed-and-unacked
+    /// updates to cross the backlog bound, so rounds are the shape here,
+    /// not the volume.
+    pub fn smoke(self) -> AdversarialScenario {
+        AdversarialScenario {
+            stubs_per_edge: self.stubs_per_edge.min(2),
+            tracks: self.tracks.min(6),
+            ..self
+        }
+    }
+
+    /// Total honest stub subscribers.
+    pub fn stub_count(&self) -> usize {
+        self.edges * self.stubs_per_edge
+    }
+
+    /// Updates pushed at the origin over the attack window.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// Deliveries the honest population must see despite the attackers:
+    /// every stub, every update, every track, exactly once.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.total_updates() * self.stub_count() as u64
+    }
+
+    /// Throttles one fetch-bomb burst must produce once the budget is
+    /// exhausted (burst size minus the outstanding allowance).
+    pub fn throttles_per_burst(&self) -> u64 {
+        self.fetch_burst
+            .saturating_sub(self.max_outstanding_fetches) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -842,6 +945,34 @@ mod tests {
         // Shape is preserved — only volume shrinks.
         assert_eq!(s.tier1_relays, 2);
         assert_eq!(s.edges_per_tier1, 2);
+    }
+
+    #[test]
+    fn adversarial_scenario_arithmetic() {
+        let s = AdversarialScenario::adversarial();
+        assert_eq!(s.stub_count(), 6);
+        assert_eq!(s.total_updates(), 64);
+        assert_eq!(s.expected_deliveries(), 64 * 6);
+        // Budget math: a 48-fetch burst against a 16-slot allowance
+        // throttles 32 times per tick.
+        assert_eq!(s.throttles_per_burst(), 32);
+        assert!(
+            s.fetch_burst > s.max_outstanding_fetches,
+            "the bomb must actually exceed the budget"
+        );
+    }
+
+    #[test]
+    fn adversarial_scenario_smoke_keeps_attack_shape() {
+        let s = AdversarialScenario::adversarial().smoke();
+        assert!(s.stub_count() <= 4);
+        // The limits, cadence, and round count survive the shrink — they
+        // are what make the attacks trip their defenses.
+        assert_eq!(s.updates_per_track, 8, "loris needs the full rounds");
+        assert_eq!(s.fetch_burst, 48);
+        assert_eq!(s.max_outstanding_fetches, 16);
+        assert_eq!(s.session_backlog, 4 * 1024);
+        assert!(s.throttles_per_burst() > 0);
     }
 
     #[test]
