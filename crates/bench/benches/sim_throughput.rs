@@ -17,9 +17,9 @@
 //!   deliveries, so the report reads in deliveries/sec.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use moqdns_bench::worlds::FederationWorld;
+use moqdns_bench::worlds::{FederationWorld, MetroWorld};
 use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, Simulator};
-use moqdns_workload::scenarios::FederationScenario;
+use moqdns_workload::scenarios::{FederationScenario, MetroScenario};
 use std::any::Any;
 use std::hint::black_box;
 use std::time::Duration;
@@ -142,10 +142,38 @@ fn bench_federation_world(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded data plane against the single-threaded one: the metro
+/// smoke world driven through update rounds at 0 (single), 1, 2, and 4
+/// workers. The event history is bit-identical across the axis (the
+/// parity tests pin that), so any delta is pure synchronization cost or
+/// parallel speedup — on a multi-core box the curve should drop, on a
+/// single hardware thread it shows the barrier overhead ceiling.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let spec = MetroScenario::metro().smoke();
+    let mut g = c.benchmark_group("parallel_scaling");
+    g.throughput(Throughput::Elements(
+        spec.stub_count() as u64 * spec.tracks_per_stub as u64,
+    ));
+    g.sample_size(10);
+    for workers in [0usize, 1, 2, 4] {
+        let mut w = MetroWorld::build_with_workers(&spec, 91, workers);
+        let mut octet = 0u8;
+        g.bench_function(format!("metro_update_round/{workers}"), |b| {
+            b.iter(|| {
+                octet = octet.wrapping_add(1);
+                w.update_round(octet);
+                black_box(w.delivered_updates())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_events_per_sec,
     bench_timer_churn,
-    bench_federation_world
+    bench_federation_world,
+    bench_parallel_scaling
 );
 criterion_main!(benches);

@@ -47,7 +47,7 @@ fn main() {
     // Every stub subscribes to its track slice through its regional edge
     // at t=0: the largest coalescing stampede in the matrix.
     let t_build = Instant::now();
-    let mut w = MetroWorld::build(&spec, 92);
+    let mut w = MetroWorld::build_with_workers(&spec, 92, opts.par);
     let build_ms = t_build.elapsed().as_millis();
     gate.check_eq(
         "stampede_fetches_answered",

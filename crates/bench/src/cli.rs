@@ -1,14 +1,19 @@
 //! Shared command-line flags for the experiment binaries.
 //!
-//! Every bench binary understands the same two flags, parsed in one
-//! place so CI can drive the whole matrix uniformly:
+//! Every bench binary understands the same flags, parsed in one place so
+//! CI can drive the whole matrix uniformly:
 //!
 //! * `--smoke` — scaled-down variant (tiny node counts / few updates)
 //!   suitable for a CI job;
 //! * `--check` — machine-checked mode: measured invariants are collected
 //!   into an [`InvariantGate`](crate::gate::InvariantGate), emitted as a
 //!   JSON summary under `results/`, and the process exits nonzero when
-//!   any invariant fails (instead of panicking on the first).
+//!   any invariant fails (instead of panicking on the first);
+//! * `--par N` (or `--par=N`) — run the world on `N` parallel simulator
+//!   shards (`moqdns_netsim::ParSim`, one region per worker). The event
+//!   history is bit-identical to the single-threaded run, so results and
+//!   baselines do not change — only wall clock may. Binaries whose world
+//!   has no sharded build ignore it.
 
 /// Parsed common flags.
 #[derive(Debug, Clone, Copy, Default)]
@@ -17,6 +22,8 @@ pub struct BenchOpts {
     pub smoke: bool,
     /// Machine-checked invariant-gate mode (JSON summary + exit code).
     pub check: bool,
+    /// Parallel simulator shards (`0` = single-threaded).
+    pub par: usize,
 }
 
 impl BenchOpts {
@@ -24,10 +31,20 @@ impl BenchOpts {
     /// may add their own on top).
     pub fn from_args() -> BenchOpts {
         let mut opts = BenchOpts::default();
-        for a in std::env::args().skip(1) {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--smoke" => opts.smoke = true,
                 "--check" => opts.check = true,
+                "--par" => {
+                    opts.par = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--par requires a worker count");
+                }
+                a if a.starts_with("--par=") => {
+                    opts.par = a["--par=".len()..].parse().expect("--par=N needs a number");
+                }
                 _ => {}
             }
         }
@@ -43,5 +60,6 @@ mod tests {
     fn defaults_off() {
         let o = BenchOpts::default();
         assert!(!o.smoke && !o.check);
+        assert_eq!(o.par, 0, "single-threaded by default");
     }
 }

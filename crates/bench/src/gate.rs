@@ -203,6 +203,7 @@ mod tests {
         BenchOpts {
             smoke: true,
             check: true,
+            par: 0,
         }
     }
 

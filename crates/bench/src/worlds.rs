@@ -20,12 +20,16 @@ use moqdns_dns::server::Authority;
 use moqdns_dns::zone::Zone;
 use moqdns_moqt::relay::{track_hash, Failover, HashShard, RelayLimits};
 use moqdns_moqt::session::SessionEvent;
-use moqdns_netsim::topo::TopoBuilder;
-use moqdns_netsim::{Addr, Ctx, LinkConfig, Node, NodeId, Payload, SimTime, Simulator, Topology};
+use moqdns_netsim::topo::{TopoBuilder, TopoHost};
+use moqdns_netsim::{
+    Addr, Ctx, LinkConfig, Node, NodeId, ParSim, Payload, SimTime, Simulator, Topology,
+};
 use moqdns_quic::TransportConfig;
 use moqdns_workload::scenarios::{
-    AdversarialScenario, FederationScenario, MeshScenario, MetroScenario, TreeScenario,
+    AdversarialScenario, FederationScenario, MeshScenario, MetroScenario, PlanetScenario,
+    TreeScenario,
 };
+use moqdns_workload::toplist::Toplist;
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
@@ -301,6 +305,15 @@ impl TreeStub {
     /// Updates received for question `i`.
     pub fn updates_for(&self, i: usize) -> u64 {
         self.updates_by_track.get(i).copied().unwrap_or(0)
+    }
+
+    /// The stub goes offline: every connection closes (the
+    /// CONNECTION_CLOSE lands at the relay, which tears the session and
+    /// its subscriptions down) and it never reconnects. Used by the
+    /// diurnal-wave drills — a departed stub must receive nothing more.
+    pub fn leave(&mut self, ctx: &mut Ctx<'_>) {
+        self.server = None;
+        self.stack.close_all(ctx, 0, "diurnal leave");
     }
 
     fn collect(&mut self, now: SimTime, evs: Vec<StackEvent>) {
@@ -814,6 +827,175 @@ impl MeshWorld {
     }
 }
 
+/// Either a single-threaded [`Simulator`] or a sharded [`ParSim`].
+///
+/// The multi-region worlds ([`FederationWorld`], [`MetroWorld`],
+/// [`PlanetWorld`]) build against this handle so one construction path
+/// drives both the CI-baseline run (single-threaded, bit-exact against
+/// committed results) and the parallel run (one worker per region group,
+/// conservative-lookahead barriers — see `moqdns_netsim::par`). Node
+/// creation names the owning shard; the single-threaded variant ignores
+/// it. Because every link in these worlds is lossless (the simulator's
+/// RNG is never consulted on a lossless transmit) and every node carries
+/// its own seeded RNG, the two variants produce identical delivery
+/// traces — pinned by the parity tests below for 1, 2, and N workers.
+pub enum SimHandle {
+    /// One global event loop — the exact CI-baseline event stream.
+    /// (Boxed: the simulator is hundreds of bytes of inline state and
+    /// this enum is stored by value in every world.)
+    Single(Box<Simulator>),
+    /// Sharded, synchronized at conservative-lookahead barriers.
+    Par(ParSim),
+}
+
+impl SimHandle {
+    /// Creates a handle: `workers == 0` builds the single-threaded
+    /// simulator, `workers >= 1` the sharded one (1 shard replays the
+    /// exact single-threaded event stream through the parallel plumbing).
+    pub fn new(seed: u64, workers: usize) -> SimHandle {
+        if workers == 0 {
+            SimHandle::Single(Box::new(Simulator::new(seed)))
+        } else {
+            SimHandle::Par(ParSim::new(seed, workers))
+        }
+    }
+
+    /// Number of shards (1 for the single-threaded variant).
+    pub fn workers(&self) -> usize {
+        match self {
+            SimHandle::Single(_) => 1,
+            SimHandle::Par(p) => p.workers(),
+        }
+    }
+
+    /// Adds a node owned by `shard` (ignored single-threaded).
+    pub fn add_node(
+        &mut self,
+        shard: usize,
+        name: impl Into<String>,
+        node: Box<dyn Node>,
+    ) -> NodeId {
+        match self {
+            SimHandle::Single(s) => s.add_node(name, node),
+            SimHandle::Par(p) => p.add_node(shard, name, node),
+        }
+    }
+
+    /// Sets the link configuration used for pairs without an override.
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        match self {
+            SimHandle::Single(s) => s.set_default_link(cfg),
+            SimHandle::Par(p) => p.set_default_link(cfg),
+        }
+    }
+
+    /// Sets both directions of the link between `a` and `b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        match self {
+            SimHandle::Single(s) => s.set_link(a, b, cfg),
+            SimHandle::Par(p) => p.set_link(a, b, cfg),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            SimHandle::Single(s) => s.now(),
+            SimHandle::Par(p) => p.now(),
+        }
+    }
+
+    /// Runs events until `deadline` (inclusive); returns events executed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        match self {
+            SimHandle::Single(s) => s.run_until(deadline),
+            SimHandle::Par(p) => p.run_until(deadline),
+        }
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: Duration) -> u64 {
+        match self {
+            SimHandle::Single(s) => s.run_for(d),
+            SimHandle::Par(p) => p.run_for(d),
+        }
+    }
+
+    /// Number of events currently scheduled.
+    pub fn pending_events(&self) -> usize {
+        match self {
+            SimHandle::Single(s) => s.pending_events(),
+            SimHandle::Par(p) => p.pending_events(),
+        }
+    }
+
+    /// Runs `f` with mutable access to the concrete node `T` at `id`.
+    pub fn with_node<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        match self {
+            SimHandle::Single(s) => s.with_node(id, f),
+            SimHandle::Par(p) => p.with_node(id, f),
+        }
+    }
+
+    /// Immutable access to the concrete node `T` at `id`.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        match self {
+            SimHandle::Single(s) => s.node_ref(id),
+            SimHandle::Par(p) => p.node_ref(id),
+        }
+    }
+
+    /// Human-readable node name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        match self {
+            SimHandle::Single(s) => s.node_name(id),
+            SimHandle::Par(p) => p.node_name(id),
+        }
+    }
+
+    /// Traffic counters (merged across shards when sharded).
+    pub fn stats(&self) -> moqdns_netsim::TrafficStats<'_> {
+        match self {
+            SimHandle::Single(s) => s.stats(),
+            SimHandle::Par(p) => p.stats(),
+        }
+    }
+
+    /// Mutable traffic counters (e.g. to reset after warm-up).
+    pub fn stats_mut(&mut self) -> moqdns_netsim::TrafficStatsMut<'_> {
+        match self {
+            SimHandle::Single(s) => s.stats_mut(),
+            SimHandle::Par(p) => p.stats_mut(),
+        }
+    }
+
+    /// Enables the order-independent delivery digest.
+    pub fn enable_delivery_digest(&mut self) {
+        match self {
+            SimHandle::Single(s) => s.enable_delivery_digest(),
+            SimHandle::Par(p) => p.enable_delivery_digest(),
+        }
+    }
+
+    /// The delivery digest (wrapping sum across shards when sharded).
+    pub fn delivery_digest(&self) -> u64 {
+        match self {
+            SimHandle::Single(s) => s.delivery_digest(),
+            SimHandle::Par(p) => p.delivery_digest(),
+        }
+    }
+}
+
+impl TopoHost for SimHandle {
+    fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        SimHandle::set_link(self, a, b, cfg);
+    }
+}
+
 /// A cross-region **core federation** world (built from a
 /// [`FederationScenario`]):
 ///
@@ -835,8 +1017,8 @@ impl MeshWorld {
 /// serves each track once (to its home core), and a dead origin leaves
 /// every already-published track fully servable region-to-region.
 pub struct FederationWorld {
-    /// The simulator.
-    pub sim: Simulator,
+    /// The simulator (single-threaded or sharded — see [`SimHandle`]).
+    pub sim: SimHandle,
     /// Tier/parent/peer bookkeeping from the builder.
     pub topo: Topology,
     /// The scenario this world was built from.
@@ -864,9 +1046,26 @@ impl FederationWorld {
 
     /// Builds the federation world from `spec` and settles it (stubs
     /// connected, joining fetches answered, parent + peer subscriptions
-    /// in place).
+    /// in place). Single-threaded — the CI-baseline path.
     pub fn build(spec: &FederationScenario, seed: u64) -> FederationWorld {
-        let mut sim = Simulator::new(seed);
+        Self::build_with_workers(spec, seed, 0)
+    }
+
+    /// Builds the same world on `workers` parallel shards (`0` =
+    /// single-threaded). Sharding is by region: the origin lives on
+    /// shard 0, core `s` (and its whole region — edges and stubs) on
+    /// shard `s % workers`, so only the slow inter-region links (origin
+    /// uplinks and the core peer mesh) cross shards and the lookahead
+    /// bound is `spec.peer_delay`. Workers beyond `spec.cores` would
+    /// own nothing, so the count is clamped.
+    pub fn build_with_workers(
+        spec: &FederationScenario,
+        seed: u64,
+        workers: usize,
+    ) -> FederationWorld {
+        let workers = workers.min(spec.cores.max(1));
+        let mut sim = SimHandle::new(seed, workers);
+        let w = sim.workers();
         sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
 
         let zone_apex: Name = "fed.example".parse().unwrap();
@@ -886,18 +1085,23 @@ impl FederationWorld {
         // 1..=K. A core's peer addresses are therefore known *before*
         // the sibling nodes exist (asserted below).
         let k = spec.cores;
+        let ec = spec.edge_count();
         let core_id = |s: usize| NodeId::from_index(1 + s);
         let intra = LinkConfig::with_delay(spec.link_delay);
         let inter = LinkConfig::with_delay(spec.peer_delay);
         let qs = questions.clone();
+        // Region → shard: core `s` and everything under it on `s % w`.
+        // Edge `j` serves region `j % k`; stub `j` hangs off edge
+        // `j % ec` (the builder's round-robin parent assignment).
         let topo = TopoBuilder::new()
             .tier("auth", 1, 0, inter)
             .tier("core", k, 1, inter)
-            .tier("edge", spec.edge_count(), 1, intra)
+            .tier("edge", ec, 1, intra)
             .tier("stub", spec.stub_count(), 1, intra)
             .peer_full_mesh("core", inter)
             .build(&mut sim, move |sim, ctx| match ctx.tier_name {
                 "auth" => sim.add_node(
+                    0,
                     ctx.name.clone(),
                     Box::new(AuthServer::new(
                         Authority::single(zone.clone()),
@@ -914,6 +1118,7 @@ impl FederationWorld {
                         .map(|s| Addr::new(core_id(s), MOQT_PORT))
                         .collect();
                     sim.add_node(
+                        ctx.index % w,
                         ctx.name.clone(),
                         Box::new(
                             RelayNode::new(parent, 0, 40 + ctx.index as u64)
@@ -925,11 +1130,13 @@ impl FederationWorld {
                 "edge" => {
                     let parent = Addr::new(ctx.parents[0], MOQT_PORT);
                     sim.add_node(
+                        (ctx.index % k) % w,
                         ctx.name.clone(),
                         Box::new(RelayNode::new(parent, 0, 60 + ctx.index as u64).tier("edge")),
                     )
                 }
                 _ => sim.add_node(
+                    ((ctx.index % ec) % k) % w,
                     ctx.name.clone(),
                     Box::new(TreeStub::new(
                         Addr::new(ctx.parents[0], MOQT_PORT),
@@ -1040,10 +1247,12 @@ impl FederationWorld {
     /// origin died. Returns `(edge, stubs)`.
     pub fn add_late_edge(&mut self, region: usize, stubs: usize) -> (NodeId, Vec<NodeId>) {
         let core = self.cores[region];
+        let shard = region % self.sim.workers();
         let intra = LinkConfig::with_delay(self.spec.link_delay);
         let n = self.late_nodes;
         self.late_nodes += 1;
         let edge = self.sim.add_node(
+            shard,
             format!("late-edge{n}"),
             Box::new(
                 RelayNode::new(Addr::new(core, MOQT_PORT), 0, 600 + n as u64).tier("late-edge"),
@@ -1053,6 +1262,7 @@ impl FederationWorld {
         let mut late_stubs = Vec::with_capacity(stubs);
         for i in 0..stubs {
             let s = self.sim.add_node(
+                shard,
                 format!("late-stub{n}-{i}"),
                 Box::new(TreeStub::new(
                     Addr::new(edge, MOQT_PORT),
@@ -1118,8 +1328,8 @@ impl FederationWorld {
 /// the CI matrix; it exists to exercise the simulator's data plane
 /// (scheduler, link tables, zero-copy delivery) as much as the protocol.
 pub struct MetroWorld {
-    /// The simulator.
-    pub sim: Simulator,
+    /// The simulator (single-threaded or sharded — see [`SimHandle`]).
+    pub sim: SimHandle,
     /// Tier/parent/peer bookkeeping from the builder.
     pub topo: Topology,
     /// The scenario this world was built from.
@@ -1149,13 +1359,23 @@ impl MetroWorld {
 
     /// Builds the metro world from `spec` and settles it (every stub
     /// connected, joining fetches answered, parent + peer subscriptions
-    /// in place).
+    /// in place). Single-threaded — the CI-baseline path.
     pub fn build(spec: &MetroScenario, seed: u64) -> MetroWorld {
+        Self::build_with_workers(spec, seed, 0)
+    }
+
+    /// Builds the same world on `workers` parallel shards (`0` =
+    /// single-threaded). Sharding is by region, exactly as in
+    /// [`FederationWorld::build_with_workers`]: only the inter-region
+    /// links cross shards and the lookahead bound is `spec.peer_delay`.
+    pub fn build_with_workers(spec: &MetroScenario, seed: u64, workers: usize) -> MetroWorld {
         assert!(
             spec.stubs_per_edge >= spec.slices(),
             "every edge must see every slice for the fetch invariants"
         );
-        let mut sim = Simulator::new(seed);
+        let workers = workers.min(spec.cores.max(1));
+        let mut sim = SimHandle::new(seed, workers);
+        let w = sim.workers();
         sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
 
         let zone_apex: Name = "metro.example".parse().unwrap();
@@ -1177,16 +1397,21 @@ impl MetroWorld {
         let core_id = |s: usize| NodeId::from_index(1 + s);
         let intra = LinkConfig::with_delay(spec.link_delay);
         let inter = LinkConfig::with_delay(spec.peer_delay);
+        let ec = spec.edge_count();
         let qs = questions.clone();
         let sp = *spec;
+        // Region → shard: core `s` and everything under it on `s % w`
+        // (edge `j` serves region `j % k`; stub `j` hangs off edge
+        // `j % ec` — the builder's round-robin parent assignment).
         let topo = TopoBuilder::new()
             .tier("auth", 1, 0, inter)
             .tier("core", k, 1, inter)
-            .tier("edge", spec.edge_count(), 1, intra)
+            .tier("edge", ec, 1, intra)
             .tier("stub", spec.stub_count(), 1, intra)
             .peer_full_mesh("core", inter)
             .build(&mut sim, move |sim, ctx| match ctx.tier_name {
                 "auth" => sim.add_node(
+                    0,
                     ctx.name.clone(),
                     Box::new(AuthServer::new(
                         Authority::single(zone.clone()),
@@ -1203,6 +1428,7 @@ impl MetroWorld {
                         .map(|s| Addr::new(core_id(s), MOQT_PORT))
                         .collect();
                     sim.add_node(
+                        ctx.index % w,
                         ctx.name.clone(),
                         Box::new(
                             RelayNode::new(parent, 0, 40 + ctx.index as u64)
@@ -1214,6 +1440,7 @@ impl MetroWorld {
                 "edge" => {
                     let parent = Addr::new(ctx.parents[0], MOQT_PORT);
                     sim.add_node(
+                        (ctx.index % k) % w,
                         ctx.name.clone(),
                         Box::new(RelayNode::new(parent, 0, 60 + ctx.index as u64).tier("edge")),
                     )
@@ -1223,6 +1450,7 @@ impl MetroWorld {
                     let slice_qs: Vec<Question> =
                         sp.slice_tracks(slice).map(|t| qs[t].clone()).collect();
                     sim.add_node(
+                        ((ctx.index % ec) % k) % w,
                         ctx.name.clone(),
                         Box::new(TreeStub::new(
                             Addr::new(ctx.parents[0], MOQT_PORT),
@@ -1314,10 +1542,12 @@ impl MetroWorld {
     /// joining after the origin died. Returns `(edge, stubs)`.
     pub fn add_late_edge(&mut self, region: usize, stubs: usize) -> (NodeId, Vec<NodeId>) {
         let core = self.cores[region];
+        let shard = region % self.sim.workers();
         let intra = LinkConfig::with_delay(self.spec.link_delay);
         let n = self.late_nodes;
         self.late_nodes += 1;
         let edge = self.sim.add_node(
+            shard,
             format!("late-edge{n}"),
             Box::new(
                 RelayNode::new(Addr::new(core, MOQT_PORT), 0, 6000 + n as u64).tier("late-edge"),
@@ -1333,6 +1563,7 @@ impl MetroWorld {
                 .map(|t| self.questions[t].clone())
                 .collect();
             let s = self.sim.add_node(
+                shard,
                 format!("late-stub{n}-{i}"),
                 Box::new(TreeStub::new(
                     Addr::new(edge, MOQT_PORT),
@@ -1359,6 +1590,340 @@ impl MetroWorld {
         self.stubs
             .iter()
             .map(|&s| self.sim.node_ref::<TreeStub>(s).fetched)
+            .sum()
+    }
+
+    /// Per-tier relay stats (core first, then edge).
+    pub fn tier_stats(&self) -> Vec<TierRelayStats> {
+        let mut out = Vec::new();
+        for (label, ids) in [("core", &self.cores), ("edge", &self.edges)] {
+            let mut tier = TierRelayStats::new(label);
+            for &id in ids {
+                let r = self.sim.node_ref::<RelayNode>(id);
+                tier.accumulate(r.stats(), r.upstream_subscription_count());
+            }
+            out.push(tier);
+        }
+        out
+    }
+}
+
+/// The planet-scale federation world: the [`MetroWorld`] topology grown
+/// to dozens of regions and ~100k resident stubs
+/// ([`PlanetScenario::planet`]), with Zipf-popular track demand (ranks
+/// from [`Toplist`]) and diurnal join/leave waves of transient stubs.
+///
+/// ```text
+///                         auth (origin)
+///              /      /       |                \
+///        core[0] ── core[1] ── … full mesh … core[23]     (1 shard each)
+///         /   \                                 /   \
+///     edge[0] edge[24] …                  edge[23] edge[47] …
+///        |       |                            |
+///     521 stubs each, slice by Zipf quantile  + wave cohorts that
+///     (slice 0 = head ranks = most stubs)       join and leave
+/// ```
+///
+/// Built through [`SimHandle`], so the same world runs single-threaded
+/// (CI baseline) or sharded one-region-per-worker ([`ParSim`]) with a
+/// bit-identical event history.
+pub struct PlanetWorld {
+    /// The simulator (single-threaded or sharded — see [`SimHandle`]).
+    pub sim: SimHandle,
+    /// Tier/parent/peer bookkeeping from the builder.
+    pub topo: Topology,
+    /// The scenario this world was built from.
+    pub spec: PlanetScenario,
+    /// Origin (authoritative) server node.
+    pub auth: NodeId,
+    /// Core relay nodes (shard `i` lives on `cores[i]`, serving region `i`).
+    pub cores: Vec<NodeId>,
+    /// Edge relay nodes (edge `j` serves region `j % cores`).
+    pub edges: Vec<NodeId>,
+    /// Resident stub nodes (stub `j` hangs off edge `j % edge_count` and
+    /// subscribes to slice `spec.slice_of_stub(j)`).
+    pub stubs: Vec<NodeId>,
+    /// The questions, one per track (rank order: index 0 = rank 1).
+    pub questions: Vec<Question>,
+    /// Track record names (first label from the toplist, rank order).
+    pub track_names: Vec<Name>,
+    zone_apex: Name,
+    /// Wave cohorts added so far (for unique naming/seeding).
+    waves_added: usize,
+}
+
+impl PlanetWorld {
+    /// Builds the planet world from `spec` and settles it. Single-
+    /// threaded — the CI-baseline path.
+    pub fn build(spec: &PlanetScenario, seed: u64) -> PlanetWorld {
+        Self::build_with_workers(spec, seed, 0)
+    }
+
+    /// Builds the same world on `workers` parallel shards (`0` =
+    /// single-threaded). Sharding is by region, as in
+    /// [`MetroWorld::build_with_workers`]: only the inter-region links
+    /// cross shards and the lookahead bound is `spec.peer_delay`.
+    pub fn build_with_workers(spec: &PlanetScenario, seed: u64, workers: usize) -> PlanetWorld {
+        let workers = workers.min(spec.cores.max(1));
+        let mut sim = SimHandle::new(seed, workers);
+        let w = sim.workers();
+        sim.set_default_link(LinkConfig::with_delay(spec.link_delay));
+
+        // Track names and popularity come from the synthetic toplist:
+        // track `i` is toplist rank `i + 1`, hosted under one zone apex
+        // (first label kept, e.g. `site00001.planet.example`).
+        let toplist = Toplist::generate(spec.tracks, seed);
+        assert_eq!(
+            toplist.zipf_exponent(),
+            spec.zipf_s,
+            "spec popularity must match the toplist's Zipf exponent"
+        );
+        let zone_apex: Name = "planet.example".parse().unwrap();
+        let track_names: Vec<Name> = toplist
+            .domains()
+            .iter()
+            .map(|d| {
+                let label = d.name.to_string();
+                let first = label.split('.').next().expect("non-empty name");
+                format!("{first}.planet.example").parse().unwrap()
+            })
+            .collect();
+        let mut zone = Zone::with_default_soa(zone_apex.clone());
+        for (i, name) in track_names.iter().enumerate() {
+            zone.add_record(Record::new(
+                name.clone(),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, (i % 250) as u8 + 1)),
+            ));
+        }
+        let questions: Vec<Question> = track_names
+            .iter()
+            .map(|n| Question::new(n.clone(), RecordType::A))
+            .collect();
+
+        // Node creation is dense and tier-ordered: auth = 0, cores =
+        // 1..=K (asserted below), so peer addresses are known up front.
+        let k = spec.cores;
+        let core_id = |s: usize| NodeId::from_index(1 + s);
+        let intra = LinkConfig::with_delay(spec.link_delay);
+        let inter = LinkConfig::with_delay(spec.peer_delay);
+        let ec = spec.edge_count();
+        let qs = questions.clone();
+        let sp = *spec;
+        // Region → shard: core `s` and everything under it on `s % w`
+        // (edge `j` serves region `j % k`; stub `j` hangs off edge
+        // `j % ec` — the builder's round-robin parent assignment).
+        let topo = TopoBuilder::new()
+            .tier("auth", 1, 0, inter)
+            .tier("core", k, 1, inter)
+            .tier("edge", ec, 1, intra)
+            .tier("stub", spec.stub_count(), 1, intra)
+            .peer_full_mesh("core", inter)
+            .build(&mut sim, move |sim, ctx| match ctx.tier_name {
+                "auth" => sim.add_node(
+                    0,
+                    ctx.name.clone(),
+                    Box::new(AuthServer::new(
+                        Authority::single(zone.clone()),
+                        TransportConfig::default()
+                            .idle_timeout(Duration::from_secs(3600))
+                            .keep_alive(Duration::from_secs(60)),
+                        11,
+                    )),
+                ),
+                "core" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    let peers: Vec<Addr> = (0..k)
+                        .filter(|&s| s != ctx.index)
+                        .map(|s| Addr::new(core_id(s), MOQT_PORT))
+                        .collect();
+                    sim.add_node(
+                        ctx.index % w,
+                        ctx.name.clone(),
+                        Box::new(
+                            RelayNode::new(parent, 0, 40 + ctx.index as u64)
+                                .peers(peers, ctx.index)
+                                .tier("core"),
+                        ),
+                    )
+                }
+                "edge" => {
+                    let parent = Addr::new(ctx.parents[0], MOQT_PORT);
+                    sim.add_node(
+                        (ctx.index % k) % w,
+                        ctx.name.clone(),
+                        Box::new(RelayNode::new(parent, 0, 60 + ctx.index as u64).tier("edge")),
+                    )
+                }
+                _ => {
+                    let slice = sp.slice_of_stub(ctx.index);
+                    let slice_qs: Vec<Question> =
+                        sp.slice_tracks(slice).map(|t| qs[t].clone()).collect();
+                    sim.add_node(
+                        ((ctx.index % ec) % k) % w,
+                        ctx.name.clone(),
+                        Box::new(TreeStub::new(
+                            Addr::new(ctx.parents[0], MOQT_PORT),
+                            slice_qs,
+                            100 + ctx.index as u64,
+                        )),
+                    )
+                }
+            });
+
+        let auth = topo.tier_named("auth")[0];
+        let cores = topo.tier_named("core").to_vec();
+        for (s, &c) in cores.iter().enumerate() {
+            assert_eq!(c, core_id(s), "dense tier-ordered node ids");
+        }
+        let edges = topo.tier_named("edge").to_vec();
+        let stubs = topo.tier_named("stub").to_vec();
+        let mut world = PlanetWorld {
+            sim,
+            topo,
+            spec: *spec,
+            auth,
+            cores,
+            edges,
+            stubs,
+            questions,
+            track_names,
+            zone_apex,
+            waves_added: 0,
+        };
+        world
+            .sim
+            .run_until(world.sim.now() + Duration::from_secs(10));
+        world
+    }
+
+    /// The home core (hash shard) of track `i`.
+    pub fn home_core(&self, i: usize) -> usize {
+        let track = track_from_question(&self.questions[i], RequestFlags::iterative()).unwrap();
+        (track_hash(&track) % self.spec.cores as u64) as usize
+    }
+
+    /// Replaces track `i`'s A record at the origin.
+    pub fn update_track(&mut self, i: usize, new_octet: u8) {
+        let name = self.track_names[i].clone();
+        let apex = self.zone_apex.clone();
+        self.sim.with_node::<AuthServer, _>(self.auth, |a, ctx| {
+            a.update_zone(ctx, |authority| {
+                if let Some(z) = authority.find_zone_mut(&apex) {
+                    z.set_records(
+                        &name,
+                        RecordType::A,
+                        vec![Record::new(
+                            name.clone(),
+                            60,
+                            RData::A(Ipv4Addr::new(198, 51, 100, new_octet)),
+                        )],
+                    );
+                }
+            });
+        });
+    }
+
+    /// Pushes one round of updates (every track once) and settles.
+    pub fn update_round(&mut self, octet_base: u8) {
+        for i in 0..self.spec.tracks {
+            self.update_track(i, octet_base.wrapping_add(i as u8));
+        }
+        let deadline = self.sim.now() + self.spec.update_interval;
+        self.sim.run_until(deadline);
+    }
+
+    /// A diurnal wave dawns: [`PlanetScenario::wave_stubs_per_edge`]
+    /// transient stubs join under *every* edge, each subscribing its
+    /// Zipf-popular slice ([`PlanetScenario::wave_slice_of`]). Returns
+    /// the cohort (run the sim to let their joins settle).
+    pub fn add_wave(&mut self) -> Vec<NodeId> {
+        let wave = self.waves_added;
+        self.waves_added += 1;
+        let intra = LinkConfig::with_delay(self.spec.link_delay);
+        let workers = self.sim.workers();
+        let mut cohort = Vec::new();
+        for (e, &edge) in self.edges.clone().iter().enumerate() {
+            let shard = self.spec.region_of_edge(e) % workers;
+            for i in 0..self.spec.wave_stubs_per_edge {
+                let slice = self.spec.wave_slice_of(i);
+                let slice_qs: Vec<Question> = self
+                    .spec
+                    .slice_tracks(slice)
+                    .map(|t| self.questions[t].clone())
+                    .collect();
+                let s = self.sim.add_node(
+                    shard,
+                    format!("wave{wave}-e{e}-{i}"),
+                    Box::new(TreeStub::new(
+                        Addr::new(edge, MOQT_PORT),
+                        slice_qs,
+                        500_000 + ((wave * self.edges.len() + e) * 1024 + i) as u64,
+                    )),
+                );
+                self.sim.set_link(s, edge, intra);
+                cohort.push(s);
+            }
+        }
+        cohort
+    }
+
+    /// The wave's dusk: every cohort stub goes offline (connections
+    /// close; the edges tear their sessions down).
+    pub fn leave_wave(&mut self, cohort: &[NodeId]) {
+        for &s in cohort {
+            self.sim.with_node::<TreeStub, _>(s, |stub, ctx| {
+                stub.leave(ctx);
+            });
+        }
+    }
+
+    /// Total pushed updates received across the resident stubs.
+    pub fn delivered_updates(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Joining fetches answered across the resident stubs.
+    pub fn fetched_total(&self) -> u64 {
+        self.stubs
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).fetched)
+            .sum()
+    }
+
+    /// Total pushed updates received across an arbitrary stub cohort.
+    pub fn cohort_updates(&self, cohort: &[NodeId]) -> u64 {
+        cohort
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Joining fetches answered across an arbitrary stub cohort.
+    pub fn cohort_fetched(&self, cohort: &[NodeId]) -> u64 {
+        cohort
+            .iter()
+            .map(|&s| self.sim.node_ref::<TreeStub>(s).fetched)
+            .sum()
+    }
+
+    /// Upstream fetches opened by the whole edge tier so far (monotone).
+    pub fn edge_fetch_sum(&self) -> u64 {
+        self.edges
+            .iter()
+            .map(|&e| self.sim.node_ref::<RelayNode>(e).stats().upstream_fetches)
+            .sum()
+    }
+
+    /// Live sessions across the whole edge tier (downstream + uplinks) —
+    /// the state the diurnal drill requires waves to give back.
+    pub fn edge_session_sum(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|&e| self.sim.node_ref::<RelayNode>(e).session_count())
             .sum()
     }
 

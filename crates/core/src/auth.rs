@@ -27,7 +27,7 @@ use moqdns_netsim::{Addr, Ctx, Node};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use moqdns_wire::Payload;
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters exposed to experiments.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,7 +61,7 @@ pub struct AuthServer {
     /// A2 only; the paper's design always uses streams, §4.1).
     use_datagrams: bool,
     /// (connection, peer request id) -> subscription entry.
-    subs: HashMap<(ConnHandle, u64), SubEntry>,
+    subs: BTreeMap<(ConnHandle, u64), SubEntry>,
     /// Taken down mid-run: ignore all further traffic.
     dead: bool,
     /// Counters.
@@ -75,7 +75,7 @@ impl AuthServer {
             authority,
             stack: MoqtStack::server(transport, seed),
             use_datagrams: false,
-            subs: HashMap::new(),
+            subs: BTreeMap::new(),
             dead: false,
             stats: AuthStats::default(),
         }
@@ -138,7 +138,7 @@ impl AuthServer {
         // §4.2 fan-out, encoded once per track: subscribers to the same
         // question share one object whose payload is cloned by reference,
         // so push cost is O(1) in subscriber count for bytes copied.
-        let mut current: HashMap<Question, Option<Object>> = HashMap::new();
+        let mut current: BTreeMap<Question, Option<Object>> = BTreeMap::new();
         for (h, req) in keys {
             let question = self.subs.get(&(h, req)).unwrap().question.clone();
             let object = current

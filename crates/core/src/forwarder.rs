@@ -25,7 +25,7 @@ use moqdns_moqt::session::SessionEvent;
 use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// A classic client waiting for an answer.
@@ -58,11 +58,11 @@ pub struct Forwarder {
     stack: MoqtStack,
     conn: Option<ConnHandle>,
     /// (question, flags) -> state.
-    tracks: HashMap<TrackKey, TrackState>,
+    tracks: BTreeMap<TrackKey, TrackState>,
     /// Our subscribe request id -> track key.
-    subs: HashMap<u64, TrackKey>,
+    subs: BTreeMap<u64, TrackKey>,
     /// Our fetch request id -> track key.
-    fetches: HashMap<u64, TrackKey>,
+    fetches: BTreeMap<u64, TrackKey>,
     /// Lookups queued until the session is ready.
     queued: Vec<TrackKey>,
     /// Raw measurements.
@@ -79,9 +79,9 @@ impl Forwarder {
             upstream,
             stack: MoqtStack::client(transport, seed),
             conn: None,
-            tracks: HashMap::new(),
-            subs: HashMap::new(),
-            fetches: HashMap::new(),
+            tracks: BTreeMap::new(),
+            subs: BTreeMap::new(),
+            fetches: BTreeMap::new(),
             queued: Vec::new(),
             metrics: Metrics::default(),
         }

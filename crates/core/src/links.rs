@@ -22,7 +22,7 @@ use moqdns_moqt::relay::LinkId;
 use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::{Addr, Ctx};
 use moqdns_quic::ConnHandle;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// State for one upstream link (parent or peer).
 #[derive(Debug)]
@@ -32,15 +32,15 @@ struct LinkState {
     /// Live (or in-progress) connection to the remote.
     conn: Option<ConnHandle>,
     /// Upstream subscribe request id -> track.
-    subs: HashMap<u64, FullTrackName>,
+    subs: BTreeMap<u64, FullTrackName>,
     /// track -> upstream subscribe request id (for teardown).
-    by_track: HashMap<FullTrackName, u64>,
+    by_track: BTreeMap<FullTrackName, u64>,
     /// Upstream fetch request id -> (track, requested group range). The
     /// downstream fetches waiting on the result live in `RelayCore`'s
     /// pending-fetch table (one entry per track, with a waiter list), so
     /// this map only recovers the track identity — and the range the
     /// answer covers — when the response arrives.
-    fetches: HashMap<u64, (FullTrackName, u64, u64)>,
+    fetches: BTreeMap<u64, (FullTrackName, u64, u64)>,
     /// Tracks to subscribe once the session object exists.
     queued: Vec<FullTrackName>,
 }
@@ -50,9 +50,9 @@ impl LinkState {
         LinkState {
             remote,
             conn: None,
-            subs: HashMap::new(),
-            by_track: HashMap::new(),
-            fetches: HashMap::new(),
+            subs: BTreeMap::new(),
+            by_track: BTreeMap::new(),
+            fetches: BTreeMap::new(),
             queued: Vec::new(),
         }
     }

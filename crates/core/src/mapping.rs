@@ -27,7 +27,7 @@ use moqdns_wire::{Reader, WireError, WireResult};
 
 /// Fields of the request beyond the question that participate in the
 /// mapping (the first namespace byte).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RequestFlags {
     /// DNS OPCODE (4 bits).
     pub opcode: Opcode,

@@ -35,7 +35,7 @@ use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::IpAddr;
 use std::time::Duration;
 
@@ -174,33 +174,33 @@ pub struct RecursiveResolver {
     config: RecursiveConfig,
     cache: Cache,
     stack: MoqtStack,
-    tasks: HashMap<u64, Task>,
+    tasks: BTreeMap<u64, Task>,
     next_task: u64,
-    active_by_question: HashMap<Question, u64>,
+    active_by_question: BTreeMap<Question, u64>,
     /// Upstream MoQT connections by authoritative server address.
-    upstream_conns: HashMap<Addr, ConnHandle>,
+    upstream_conns: BTreeMap<Addr, ConnHandle>,
     /// Actions queued until an upstream session becomes ready.
-    pending_upstream: HashMap<ConnHandle, Vec<u64>>,
+    pending_upstream: BTreeMap<ConnHandle, Vec<u64>>,
     /// (conn, our fetch request id) -> task.
-    fetch_waiters: HashMap<(ConnHandle, u64), u64>,
+    fetch_waiters: BTreeMap<(ConnHandle, u64), u64>,
     /// (conn, our subscribe request id) -> upstream subscription.
-    up_subs: HashMap<(ConnHandle, u64), UpSub>,
+    up_subs: BTreeMap<(ConnHandle, u64), UpSub>,
     /// track -> latest version we can serve (group id downstream).
-    versions: HashMap<FullTrackName, u64>,
+    versions: BTreeMap<FullTrackName, u64>,
     /// Tracks whose updates arrive via upstream subscription.
-    live_tracks: HashMap<FullTrackName, (ConnHandle, u64)>,
+    live_tracks: BTreeMap<FullTrackName, (ConnHandle, u64)>,
     /// Downstream subscribers per track.
-    down_subs: HashMap<FullTrackName, Vec<(ConnHandle, u64)>>,
+    down_subs: BTreeMap<FullTrackName, Vec<(ConnHandle, u64)>>,
     /// Downstream subscribe/fetch pairs awaiting resolution.
-    down_pending: HashMap<(ConnHandle, FullTrackName), DownPending>,
+    down_pending: BTreeMap<(ConnHandle, FullTrackName), DownPending>,
     /// Poll-proxy entries: poll id -> (track, interval).
-    polls: HashMap<u64, (FullTrackName, Duration)>,
+    polls: BTreeMap<u64, (FullTrackName, Duration)>,
     next_poll: u64,
     /// Teardown tracker over upstream subscriptions.
     tracker: SubscriptionTracker<FullTrackName>,
     /// Fingerprint of last-published content per downstream track (the
     /// paper's §2 lexicographic change detection).
-    fingerprints: HashMap<FullTrackName, (Rcode, Vec<String>)>,
+    fingerprints: BTreeMap<FullTrackName, (Rcode, Vec<String>)>,
     /// Raw measurements.
     pub metrics: Metrics,
 }
@@ -212,21 +212,21 @@ impl RecursiveResolver {
         RecursiveResolver {
             cache: Cache::new(config.cache_size),
             stack,
-            tasks: HashMap::new(),
+            tasks: BTreeMap::new(),
             next_task: 0,
-            active_by_question: HashMap::new(),
-            upstream_conns: HashMap::new(),
-            pending_upstream: HashMap::new(),
-            fetch_waiters: HashMap::new(),
-            up_subs: HashMap::new(),
-            versions: HashMap::new(),
-            live_tracks: HashMap::new(),
-            down_subs: HashMap::new(),
-            down_pending: HashMap::new(),
-            polls: HashMap::new(),
+            active_by_question: BTreeMap::new(),
+            upstream_conns: BTreeMap::new(),
+            pending_upstream: BTreeMap::new(),
+            fetch_waiters: BTreeMap::new(),
+            up_subs: BTreeMap::new(),
+            versions: BTreeMap::new(),
+            live_tracks: BTreeMap::new(),
+            down_subs: BTreeMap::new(),
+            down_pending: BTreeMap::new(),
+            polls: BTreeMap::new(),
             next_poll: 0,
             tracker: SubscriptionTracker::new(config.teardown),
-            fingerprints: HashMap::new(),
+            fingerprints: BTreeMap::new(),
             metrics: Metrics::default(),
             config,
         }

@@ -23,7 +23,7 @@ use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
 use moqdns_netsim::{Addr, Ctx, Node, Payload};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Timer token for the uplink recovery probe (distinct from
@@ -36,7 +36,7 @@ pub struct RelayNode {
     core: RelayCore,
     links: Links,
     /// Downstream session key (we use the connection handle's raw value).
-    sessions: HashMap<u64, ConnHandle>,
+    sessions: BTreeMap<u64, ConnHandle>,
     /// Tier label for stats tables ("tier1", "edge", …).
     tier: String,
     /// How often to redial uplinks the core believes down. When a probe
@@ -77,7 +77,7 @@ impl RelayNode {
             stack: MoqtStack::server(transport, seed),
             core: RelayCore::with_policy(cache_per_track, n, policy),
             links: Links::new(parents),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             tier: String::new(),
             probe_interval: Duration::from_secs(2),
             probe_armed: false,

@@ -15,7 +15,7 @@ use moqdns_quic::{
     alpn_list, AlpnList, ConnHandle, ConnStateRow, Connection, Endpoint, Event as QuicEvent,
     TransportConfig,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// The MoQT ALPN offer/support list, built once per process: every
@@ -47,7 +47,7 @@ pub enum StackEvent {
 pub struct MoqtStack {
     /// The QUIC endpoint (exposed for direct inspection in tests).
     pub endpoint: Endpoint<Addr>,
-    sessions: HashMap<ConnHandle, Session>,
+    sessions: BTreeMap<ConnHandle, Session>,
     session_config: SessionConfig,
     armed_deadline: Option<SimTime>,
     /// Sessions touched since the last pump (verb calls, routed QUIC
@@ -65,7 +65,7 @@ impl MoqtStack {
     pub fn server(transport: TransportConfig, seed: u64) -> MoqtStack {
         MoqtStack {
             endpoint: Endpoint::server(transport, moqt_alpns(), seed),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             session_config: SessionConfig::default(),
             armed_deadline: None,
             touched: Vec::new(),
@@ -77,7 +77,7 @@ impl MoqtStack {
     pub fn client(transport: TransportConfig, seed: u64) -> MoqtStack {
         MoqtStack {
             endpoint: Endpoint::client(transport, seed),
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             session_config: SessionConfig::default(),
             armed_deadline: None,
             touched: Vec::new(),
@@ -117,7 +117,7 @@ impl MoqtStack {
             }
         }
         let _ = self.pump(ctx);
-        for (_, s) in self.sessions.drain() {
+        for (_, s) in std::mem::take(&mut self.sessions) {
             self.retired_stats.add(s.stats());
         }
     }

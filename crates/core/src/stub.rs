@@ -27,7 +27,7 @@ use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Transport the stub uses toward its recursive resolver.
@@ -67,14 +67,14 @@ pub struct StubResolver {
     /// Lookups queued while the MoQT session establishes.
     queued: Vec<(Question, SimTime)>,
     /// Classic in-flight exchanges keyed by transaction id.
-    classic: HashMap<u16, ClassicPending>,
+    classic: BTreeMap<u16, ClassicPending>,
     next_id: u16,
     /// Our subscriptions by our subscribe request id.
-    subs: HashMap<u64, StubSub>,
+    subs: BTreeMap<u64, StubSub>,
     /// fetch request id -> (question, started).
-    fetches: HashMap<u64, (Question, SimTime)>,
+    fetches: BTreeMap<u64, (Question, SimTime)>,
     /// Latest answers per question (what the application would read).
-    answers: HashMap<Question, Vec<Record>>,
+    answers: BTreeMap<Question, Vec<Record>>,
     tracker: SubscriptionTracker<u64>,
     sweep_interval: Duration,
     /// Initial RTO for classic exchanges (raise on long-delay paths).
@@ -105,11 +105,11 @@ impl StubResolver {
             stack: MoqtStack::client(transport, seed),
             conn: None,
             queued: Vec::new(),
-            classic: HashMap::new(),
+            classic: BTreeMap::new(),
             next_id: 1,
-            subs: HashMap::new(),
-            fetches: HashMap::new(),
-            answers: HashMap::new(),
+            subs: BTreeMap::new(),
+            fetches: BTreeMap::new(),
+            answers: BTreeMap::new(),
             tracker: SubscriptionTracker::new(policy),
             sweep_interval: Duration::from_secs(60),
             udp_rto: Duration::from_secs(1),

@@ -12,7 +12,7 @@
 //! and decides which to drop at each sweep.
 
 use moqdns_netsim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 use std::time::Duration;
 
@@ -49,15 +49,15 @@ struct Usage {
 #[derive(Debug)]
 pub struct SubscriptionTracker<K> {
     policy: TeardownPolicy,
-    usage: HashMap<K, Usage>,
+    usage: BTreeMap<K, Usage>,
 }
 
-impl<K: Clone + Eq + Hash> SubscriptionTracker<K> {
+impl<K: Clone + Eq + Hash + Ord> SubscriptionTracker<K> {
     /// Creates a tracker with the given policy.
     pub fn new(policy: TeardownPolicy) -> SubscriptionTracker<K> {
         SubscriptionTracker {
             policy,
-            usage: HashMap::new(),
+            usage: BTreeMap::new(),
         }
     }
 

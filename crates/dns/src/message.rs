@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// DNS opcodes (we model QUERY; others are carried opaquely).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Opcode {
     /// Standard query.
     #[default]
@@ -170,7 +170,7 @@ impl Header {
 }
 
 /// A question section entry.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Question {
     /// Queried name — becomes the MoQT track name in DNS-over-MoQT.
     pub qname: Name,

@@ -53,7 +53,7 @@
 use crate::data::Object;
 use crate::track::FullTrackName;
 use moqdns_wire::Payload;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Identifies one downstream session at the owning node.
 pub type SessionKey = u64;
@@ -163,8 +163,10 @@ impl UplinkHealth {
 
 /// Per-track upstream selection. Implementations must be deterministic:
 /// the same track and the same health view always yield the same uplink,
-/// so a simulation replays identically from its seed.
-pub trait RoutePolicy: std::fmt::Debug {
+/// so a simulation replays identically from its seed. `Send` because a
+/// relay node (and thus its policy) may live on a parallel-sim worker
+/// thread.
+pub trait RoutePolicy: std::fmt::Debug + Send {
     /// Chooses the uplink that should carry `track`'s upstream
     /// subscription. `None` means no uplink can serve it (e.g. zero
     /// uplinks configured).
@@ -517,9 +519,9 @@ struct FetchBudget {
 /// The relay's track/subscription/cache bookkeeping.
 #[derive(Debug)]
 pub struct RelayCore {
-    tracks: HashMap<FullTrackName, TrackState>,
+    tracks: BTreeMap<FullTrackName, TrackState>,
     /// In-flight upstream fetches with their blocked downstreams.
-    pending: HashMap<FullTrackName, PendingFetch>,
+    pending: BTreeMap<FullTrackName, PendingFetch>,
     /// Cap on cached objects per track (oldest groups evicted first).
     cache_per_track: usize,
     policy: Box<dyn RoutePolicy>,
@@ -531,7 +533,7 @@ pub struct RelayCore {
     /// Cross-region federation shard map, when this core participates.
     federation: Option<FederationConfig>,
     /// Per-session fetch budgets against `limits`.
-    budgets: HashMap<SessionKey, FetchBudget>,
+    budgets: BTreeMap<SessionKey, FetchBudget>,
     limits: RelayLimits,
     stats: RelayStats,
 }
@@ -578,14 +580,14 @@ impl RelayCore {
         policy: Box<dyn RoutePolicy>,
     ) -> RelayCore {
         RelayCore {
-            tracks: HashMap::new(),
-            pending: HashMap::new(),
+            tracks: BTreeMap::new(),
+            pending: BTreeMap::new(),
             cache_per_track,
             policy,
             health: UplinkHealth::new(n_uplinks),
             peers_up: Vec::new(),
             federation: None,
-            budgets: HashMap::new(),
+            budgets: BTreeMap::new(),
             limits: RelayLimits::default(),
             stats: RelayStats::default(),
         }

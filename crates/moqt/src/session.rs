@@ -68,7 +68,7 @@ use crate::message::{ControlMessage, FetchType, FilterType};
 use crate::track::FullTrackName;
 use moqdns_quic::{Connection, Dir, Event as QuicEvent, StreamId};
 use moqdns_wire::BufPool;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// QUIC close code used when a session is poisoned by a violation.
 pub const CLOSE_PROTOCOL_VIOLATION: u64 = 0x3;
@@ -578,11 +578,11 @@ pub struct Session {
     control_rx: Vec<u8>,
     version: Option<u64>,
     next_request_id: u64,
-    my_subs: HashMap<u64, MySub>,
-    alias_to_sub: HashMap<u64, u64>,
-    peer_subs: HashMap<u64, PeerSub>,
-    my_fetches: HashMap<u64, ()>,
-    data_rx: HashMap<StreamId, Vec<u8>>,
+    my_subs: BTreeMap<u64, MySub>,
+    alias_to_sub: BTreeMap<u64, u64>,
+    peer_subs: BTreeMap<u64, PeerSub>,
+    my_fetches: BTreeMap<u64, ()>,
+    data_rx: BTreeMap<StreamId, Vec<u8>>,
     events: VecDeque<SessionEvent>,
     /// Control messages queued until SERVER_SETUP (strict draft-12 mode).
     queued_control: Vec<ControlMessage>,
@@ -611,11 +611,11 @@ impl Session {
             control_rx: Vec::new(),
             version: None,
             next_request_id: if is_client { 0 } else { 1 },
-            my_subs: HashMap::new(),
-            alias_to_sub: HashMap::new(),
-            peer_subs: HashMap::new(),
-            my_fetches: HashMap::new(),
-            data_rx: HashMap::new(),
+            my_subs: BTreeMap::new(),
+            alias_to_sub: BTreeMap::new(),
+            peer_subs: BTreeMap::new(),
+            my_fetches: BTreeMap::new(),
+            data_rx: BTreeMap::new(),
             events: VecDeque::new(),
             queued_control: Vec::new(),
             stats: SessionStats::default(),

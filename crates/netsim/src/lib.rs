@@ -12,9 +12,20 @@
 //!   (near-term ~1 ms buckets plus an overflow heap for far-future
 //!   timers) with timers and arbitrary scheduled closures. Its
 //!   determinism contract: events fire in strictly ascending
-//!   `(time, seq)` order, `seq` being the global scheduling counter, so
-//!   same-instant events fire FIFO — bit-identical to the global binary
-//!   heap it replaced (property-tested in `sched`);
+//!   `(time, key)` order, the key composing `(schedule-time, source,
+//!   per-source seq)` — a pure function of the scheduling source's own
+//!   history, so one source's events keep FIFO order and a sharded run
+//!   composes exactly the keys a global scheduler would
+//!   (property-tested in `sched`, pinned end-to-end by the parity tests);
+//! * a parallel driver ([`ParSim`]): one simulator shard per region
+//!   running on its own thread under conservative-lookahead
+//!   (Chandy–Misra) synchronization. The **lookahead bound** is the
+//!   minimum cross-shard link delay; shards run lock-free inside each
+//!   half-open window `[T, T + L)` and exchange cross-shard datagrams at
+//!   the barrier, each carrying its sender-composed scheduler key so it
+//!   lands exactly where a global scheduler would have put it — the
+//!   merged event history is bit-identical to a single-threaded run. See
+//!   the [`par`] module docs for the full determinism contract;
 //! * nodes ([`Node`]) exchanging datagrams over configurable links
 //!   ([`LinkConfig`]: propagation delay, jitter, random loss, serialization
 //!   rate, MTU). Datagram payloads are shared [`Payload`] handles: a
@@ -39,6 +50,7 @@
 
 pub mod link;
 pub mod node;
+pub mod par;
 mod sched;
 pub mod sim;
 pub mod stats;
@@ -47,10 +59,11 @@ pub mod topo;
 
 pub use link::LinkConfig;
 pub use node::{Addr, Ctx, Node, NodeId};
+pub use par::ParSim;
 pub use sim::Simulator;
-pub use stats::{LinkStats, TrafficStats};
+pub use stats::{LinkStats, TrafficStats, TrafficStatsMut};
 pub use time::SimTime;
-pub use topo::{TopoBuilder, Topology};
+pub use topo::{TopoBuilder, TopoHost, Topology};
 
 /// Re-export of [`moqdns_wire::Payload`]: the shared, zero-copy datagram
 /// payload handle every [`Node`] receives and sends.

@@ -61,8 +61,10 @@ impl fmt::Display for Addr {
 /// The simulator owns the node and calls it back with datagrams and timers;
 /// the node reacts through the supplied [`Ctx`]. Nodes must also expose
 /// themselves as `Any` so experiments can reach their concrete state between
-/// or after events (see [`Simulator::with_node`](crate::Simulator::with_node)).
-pub trait Node: Any {
+/// or after events (see [`Simulator::with_node`](crate::Simulator::with_node)),
+/// and be `Send` so the parallel simulator can run a region's nodes on a
+/// worker thread.
+pub trait Node: Any + Send {
     /// Called once when the simulation starts running.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 

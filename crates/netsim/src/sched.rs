@@ -21,8 +21,9 @@
 //! ## Determinism contract
 //!
 //! Pop order is **exactly** ascending `(at, seq)` — bit-identical to the
-//! global binary heap it replaced. `seq` is the caller's monotonically
-//! increasing push counter, so ties at one instant fire FIFO. The
+//! global binary heap it replaced. `seq` is the caller's composed
+//! tiebreaker (ascending within one scheduling source, unique across
+//! sources), so ties at one instant fire in composed-key order. The
 //! property test below drives a wheel and a reference heap through
 //! randomized interleaved push/pop schedules and asserts identical
 //! sequences; the committed CI scenario baselines pin the same contract
@@ -38,11 +39,18 @@ const WHEEL_SHIFT: u32 = 20;
 const WHEEL_BUCKETS: usize = 256;
 
 /// One scheduled entry: fire time, FIFO tiebreaker, payload.
+///
+/// `seq` is 128 bits so the simulator can compose it from
+/// `(schedule-time, source, per-source seq)`: a pure function of the
+/// scheduling source's own history, so a parallel run composes exactly
+/// the keys a single-threaded run would — ties at one instant order by
+/// when they were scheduled, then by which node scheduled them, with one
+/// source's events keeping FIFO order (see the `sim` module docs).
 pub(crate) struct Entry<T> {
     /// Absolute fire time.
     pub at: SimTime,
-    /// Push counter at insertion; ties at `at` fire in `seq` order.
-    pub seq: u64,
+    /// Composed tiebreaker; ties at `at` fire in `seq` order.
+    pub seq: u128,
     /// The scheduled payload.
     pub item: T,
 }
@@ -104,7 +112,7 @@ impl<T> TimingWheel<T> {
     /// Schedules an entry. `at` must be `>=` the time of the last popped
     /// entry (the simulator never schedules into the past) and `seq`
     /// strictly greater than any previously pushed.
-    pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
+    pub fn push(&mut self, at: SimTime, seq: u128, item: T) {
         let q = quantum_of(at);
         let e = Entry { at, seq, item };
         self.len += 1;
@@ -189,7 +197,7 @@ mod tests {
     /// Reference model: the global `(at, seq)` binary heap the wheel
     /// replaced.
     struct HeapModel {
-        heap: BinaryHeap<Reverse<Entry<u64>>>,
+        heap: BinaryHeap<Reverse<Entry<u128>>>,
     }
 
     impl HeapModel {
@@ -198,10 +206,10 @@ mod tests {
                 heap: BinaryHeap::new(),
             }
         }
-        fn push(&mut self, at: SimTime, seq: u64) {
+        fn push(&mut self, at: SimTime, seq: u128) {
             self.heap.push(Reverse(Entry { at, seq, item: seq }));
         }
-        fn pop(&mut self) -> Option<(SimTime, u64)> {
+        fn pop(&mut self) -> Option<(SimTime, u128)> {
             self.heap.pop().map(|Reverse(e)| (e.at, e.seq))
         }
     }
@@ -260,7 +268,7 @@ mod tests {
             let mut model = HeapModel::new();
             let mut now = SimTime::ZERO;
             for (seq, (delay, pops)) in script.into_iter().enumerate() {
-                let seq = seq as u64;
+                let seq = seq as u128;
                 let at = now + Duration::from_nanos(delay);
                 wheel.push(at, seq, seq);
                 model.push(at, seq);

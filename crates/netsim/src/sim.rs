@@ -2,31 +2,52 @@
 //!
 //! ## Scheduler determinism contract
 //!
-//! Events execute in strictly ascending `(at, seq)` order, where `seq` is
-//! a global push counter: two events scheduled for the same instant fire
-//! in the order they were scheduled (FIFO). The scheduler is a bucketed
-//! timing wheel (the crate-internal `sched` module) whose pop order is
-//! property-tested to be bit-identical to the global binary heap it
-//! replaced — identical seeds keep producing identical runs, datagram
-//! for datagram.
+//! Events execute in strictly ascending `(at, key)` order, where `key` is
+//! the composed tiebreaker `(schedule-time, source, per-source seq)`: two
+//! events due at the same instant fire in the order their causes ran —
+//! first by when they were scheduled, then by the node that scheduled
+//! them (the *source*; driver-scheduled closures sort last), then by that
+//! source's own scheduling order. The composition is a pure function of
+//! each source's local history, never of global execution order — which
+//! is exactly what makes a parallel run ([`crate::par::ParSim`])
+//! bit-identical to a single-threaded one: any shard can compose the same
+//! key the global scheduler would have, without seeing other shards'
+//! events. Within one source the key is monotone in push order, so
+//! single-source streams keep plain FIFO semantics. The scheduler is a
+//! bucketed timing wheel (the crate-internal `sched` module) whose pop
+//! order is property-tested against a reference binary heap — identical
+//! seeds keep producing identical runs, datagram for datagram.
 
 use crate::link::LinkConfig;
 use crate::node::{Addr, Ctx, Node, NodeId};
 use crate::sched::TimingWheel;
-use crate::stats::TrafficStats;
+use crate::stats::{LinkStats, TrafficStats, TrafficStatsMut};
 use crate::time::SimTime;
 use moqdns_wire::Payload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::time::Duration;
+
+/// Sentinel adjacency slot for deliveries whose transmit happened on a
+/// different shard (the sender's row is not in this core's tables).
+const FOREIGN_SLOT: (u32, u32) = (u32::MAX, u32::MAX);
+
+/// Key-source id for driver-scheduled events ([`Simulator::schedule_at`])
+/// — sorts after every node source at the same schedule time.
+const DRIVER_SRC: u32 = u32::MAX;
 
 /// What a scheduled event does when it fires.
 enum EventKind {
-    /// Deliver a datagram to `to.node`.
+    /// Deliver a datagram to `to.node`. `slot` is the `(row, index)` of
+    /// the sender's adjacency entry, recorded at transmit time so the
+    /// delivered-side counters need no lookup — or [`FOREIGN_SLOT`] for
+    /// cross-shard injections.
     Deliver {
         from: Addr,
         to: Addr,
         payload: Payload,
+        slot: (u32, u32),
     },
     /// Fire a timer on a node.
     Timer {
@@ -36,18 +57,32 @@ enum EventKind {
     },
     /// Run an arbitrary closure against the whole simulator (used by
     /// experiment scripts: "at t=5s, update the zone").
-    Call(Box<dyn FnOnce(&mut Simulator)>),
+    Call(Box<dyn FnOnce(&mut Simulator) + Send>),
 }
 
 /// One directed out-edge in a node's adjacency table: the link override
-/// (if any) and the FIFO serialization horizon, folded into one entry so
-/// a transmit touches exactly one slot.
+/// (if any), the FIFO serialization horizon, and the traffic counters,
+/// folded into one entry so a transmit touches exactly one slot.
 struct LinkEntry {
     dst: u32,
     /// `None` = fall back to the simulator's default link config (the
     /// default may still be changed after this entry was created).
     cfg: Option<LinkConfig>,
     busy_until: SimTime,
+    stats: LinkStats,
+}
+
+/// A datagram crossing a shard boundary, parked in the sender's outbox
+/// until the next barrier. It carries the key composed by the *sender*
+/// (schedule time, source node, per-source seq) so injected events slot
+/// into the destination wheel exactly where a global scheduler would have
+/// put them.
+pub(crate) struct CrossMsg {
+    pub(crate) from: Addr,
+    pub(crate) to: Addr,
+    pub(crate) payload: Payload,
+    pub(crate) arrival: SimTime,
+    pub(crate) key: u128,
 }
 
 /// A generation-tagged timer slot. Slots are reused through a free list;
@@ -64,7 +99,14 @@ struct TimerSlot {
 pub(crate) struct SimCore {
     pub(crate) now: SimTime,
     queue: TimingWheel<EventKind>,
-    seq: u64,
+    /// This core's shard index (0 in a single-threaded run).
+    shard: u16,
+    /// Per-source scheduling sequence numbers (index = node id; the key
+    /// is `(schedule-time, source, seq)` — see the module docs). Grown in
+    /// lockstep with node creation, including foreign slots.
+    node_seq: Vec<u32>,
+    /// Sequence for driver-scheduled closures (source [`DRIVER_SRC`]).
+    driver_seq: u32,
     rng: StdRng,
     default_link: LinkConfig,
     /// Flat per-node adjacency (indexed by source node id; NodeIds are
@@ -73,16 +115,68 @@ pub(crate) struct SimCore {
     /// Timer slots (index = low 32 bits of a timer id).
     timers: Vec<TimerSlot>,
     timer_free: Vec<u32>,
-    pub(crate) stats: TrafficStats,
+    /// Delivered-side counters for cross-shard pairs (the sender's row
+    /// lives on another shard). Empty in a single-threaded run.
+    foreign_delivered: HashMap<(u32, u32), LinkStats>,
+    /// Global node → shard map (empty = single-shard, everything local).
+    owner: Vec<u16>,
+    /// Datagrams bound for other shards, drained at barriers.
+    outbox: Vec<CrossMsg>,
+    /// Order-independent delivery digest (opt-in; see
+    /// [`Simulator::enable_delivery_digest`]).
+    digest_enabled: bool,
+    digest: u64,
     tracing: bool,
     trace_log: Vec<(SimTime, NodeId, String)>,
 }
 
 impl SimCore {
-    fn push(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(at, seq, kind);
+    fn new(seed: u64, shard: u16) -> SimCore {
+        SimCore {
+            now: SimTime::ZERO,
+            queue: TimingWheel::new(),
+            shard,
+            node_seq: Vec::new(),
+            driver_seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            default_link: LinkConfig::default(),
+            links: Vec::new(),
+            timers: Vec::new(),
+            timer_free: Vec::new(),
+            foreign_delivered: HashMap::new(),
+            owner: Vec::new(),
+            outbox: Vec::new(),
+            digest_enabled: false,
+            digest: 0,
+            tracing: false,
+            trace_log: Vec::new(),
+        }
+    }
+
+    /// Composes the next event key for an event caused by `src`:
+    /// `(schedule-time, source, per-source seq)`. Monotone in push order
+    /// within one source, globally unique, and — because it depends only
+    /// on the source's own history — identical whether the run is
+    /// single-threaded or sharded (the parallel determinism anchor).
+    fn next_key(&mut self, src: u32) -> u128 {
+        let seq = if src == DRIVER_SRC {
+            let s = self.driver_seq;
+            self.driver_seq += 1;
+            s
+        } else {
+            let slot = &mut self.node_seq[src as usize];
+            let s = *slot;
+            *slot = s
+                .checked_add(1)
+                .expect("per-source event seq overflowed 32 bits");
+            s
+        };
+        ((self.now.as_nanos() as u128) << 64) | ((src as u128) << 32) | seq as u128
+    }
+
+    fn push(&mut self, src: u32, at: SimTime, kind: EventKind) {
+        let key = self.next_key(src);
+        self.queue.push(at, key, kind);
     }
 
     /// The adjacency slot for `src -> dst`, created on first use.
@@ -104,6 +198,7 @@ impl SimCore {
                         dst: d,
                         cfg: None,
                         busy_until: SimTime::ZERO,
+                        stats: LinkStats::default(),
                     },
                 );
                 i
@@ -119,26 +214,29 @@ impl SimCore {
 
     pub(crate) fn transmit(&mut self, from: Addr, to: Addr, payload: Payload) {
         let default_link = self.default_link;
-        let now = self.now;
         let len = payload.len();
-        self.stats.record_sent(from.node, to.node, len);
 
         let (s, i) = self.link_slot(from.node, to.node);
-        let cfg = self.links[s][i].cfg.unwrap_or(default_link);
+        let cfg = {
+            let e = &mut self.links[s][i];
+            e.stats.datagrams += 1;
+            e.stats.bytes += len as u64;
+            e.cfg.unwrap_or(default_link)
+        };
         if cfg.mtu != 0 && len > cfg.mtu {
-            self.stats.record_mtu_drop(from.node, to.node);
+            self.links[s][i].stats.dropped_mtu += 1;
             return;
         }
         // The RNG is only consulted when the link can actually drop or
         // jitter — lossless links must not perturb the seeded stream.
         if cfg.loss > 0.0 && self.rng.random::<f64>() < cfg.loss {
-            self.stats.record_loss(from.node, to.node);
+            self.links[s][i].stats.dropped_loss += 1;
             return;
         }
 
         // Store-and-forward: serialization occupies the link FIFO.
         let entry = &mut self.links[s][i];
-        let start = now.max(entry.busy_until);
+        let start = self.now.max(entry.busy_until);
         let tx_done = start + cfg.serialization(len);
         entry.busy_until = tx_done;
 
@@ -149,7 +247,103 @@ impl SimCore {
             Duration::ZERO
         };
         let arrival = tx_done + cfg.delay + jitter;
-        self.push(arrival, EventKind::Deliver { from, to, payload });
+
+        let dest_shard = self
+            .owner
+            .get(to.node.index())
+            .copied()
+            .unwrap_or(self.shard);
+        if dest_shard == self.shard {
+            self.push(
+                from.node.0,
+                arrival,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    payload,
+                    slot: (s as u32, i as u32),
+                },
+            );
+        } else {
+            // Cross-shard: park in the outbox with a sender-composed key;
+            // the parallel driver injects it at the next barrier.
+            let key = self.next_key(from.node.0);
+            self.outbox.push(CrossMsg {
+                from,
+                to,
+                payload,
+                arrival,
+                key,
+            });
+        }
+    }
+
+    fn record_delivered(&mut self, from: NodeId, to: NodeId, bytes: usize, slot: (u32, u32)) {
+        let e = if slot != FOREIGN_SLOT {
+            &mut self.links[slot.0 as usize][slot.1 as usize].stats
+        } else {
+            self.foreign_delivered.entry((from.0, to.0)).or_default()
+        };
+        e.delivered += 1;
+        e.delivered_bytes += bytes as u64;
+    }
+
+    /// Folds one delivery into the order-independent digest: a wrapping
+    /// sum of per-delivery FNV-1a hashes over `(at, from, to, payload)`,
+    /// so two runs delivering the same multiset of datagrams at the same
+    /// times agree regardless of same-instant processing order.
+    fn fold_digest(&mut self, from: Addr, to: Addr, payload: &Payload) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let step = |h: &mut u64, b: u64| {
+            *h ^= b;
+            *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        step(&mut h, self.now.as_nanos());
+        step(&mut h, from.node.0 as u64);
+        step(&mut h, from.port as u64);
+        step(&mut h, to.node.0 as u64);
+        step(&mut h, to.port as u64);
+        step(&mut h, payload.len() as u64);
+        for &b in payload.iter() {
+            step(&mut h, b as u64);
+        }
+        self.digest = self.digest.wrapping_add(h);
+    }
+
+    /// Sums stats for `src -> dst` held by this core into `out` (the
+    /// local row entry plus any foreign-delivery counters).
+    pub(crate) fn pair_stats_into(&self, src: NodeId, dst: NodeId, out: &mut LinkStats) {
+        if let Some(row) = self.links.get(src.index()) {
+            if let Ok(i) = row.binary_search_by_key(&dst.0, |e| e.dst) {
+                out.merge(&row[i].stats);
+            }
+        }
+        if let Some(f) = self.foreign_delivered.get(&(src.0, dst.0)) {
+            out.merge(f);
+        }
+    }
+
+    /// Visits every directed pair this core holds counters for.
+    pub(crate) fn for_each_pair_stats(&self, mut f: impl FnMut((NodeId, NodeId), LinkStats)) {
+        for (s, row) in self.links.iter().enumerate() {
+            for e in row {
+                if e.stats != LinkStats::default() {
+                    f((NodeId(s as u32), NodeId(e.dst)), e.stats);
+                }
+            }
+        }
+        for (&(s, d), st) in &self.foreign_delivered {
+            f((NodeId(s), NodeId(d)), *st);
+        }
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        for row in &mut self.links {
+            for e in row {
+                e.stats = LinkStats::default();
+            }
+        }
+        self.foreign_delivered.clear();
     }
 
     pub(crate) fn set_timer(&mut self, node: NodeId, after: Duration, token: u64) -> u64 {
@@ -168,6 +362,7 @@ impl SimCore {
         let timer_id = ((slot.gen as u64) << 32) | idx as u64;
         let at = self.now + after;
         self.push(
+            node.0,
             at,
             EventKind::Timer {
                 node,
@@ -282,20 +477,15 @@ impl Simulator {
     /// Creates a simulator seeded with `seed`. Identical seeds and identical
     /// event sequences produce bit-identical runs.
     pub fn new(seed: u64) -> Simulator {
+        Simulator::new_shard(seed, 0)
+    }
+
+    /// Creates a shard-`shard` simulator (used by [`crate::par::ParSim`];
+    /// shard 0 with an empty owner map is the ordinary single-threaded
+    /// simulator).
+    pub(crate) fn new_shard(seed: u64, shard: u16) -> Simulator {
         Simulator {
-            core: SimCore {
-                now: SimTime::ZERO,
-                queue: TimingWheel::new(),
-                seq: 0,
-                rng: StdRng::seed_from_u64(seed),
-                default_link: LinkConfig::default(),
-                links: Vec::new(),
-                timers: Vec::new(),
-                timer_free: Vec::new(),
-                stats: TrafficStats::default(),
-                tracing: false,
-                trace_log: Vec::new(),
-            },
+            core: SimCore::new(seed, shard),
             nodes: Vec::new(),
             names: Vec::new(),
         }
@@ -311,20 +501,81 @@ impl Simulator {
         &self.core.trace_log
     }
 
+    /// Enables the order-independent delivery digest (off by default: it
+    /// hashes every delivered payload). See [`Simulator::delivery_digest`].
+    pub fn enable_delivery_digest(&mut self) {
+        self.core.digest_enabled = true;
+    }
+
+    /// The delivery digest so far: a wrapping sum of per-delivery hashes
+    /// over `(time, from, to, payload)`. Two runs that deliver the same
+    /// multiset of datagrams at the same times have equal digests
+    /// regardless of same-instant processing order — the equality the
+    /// parallel-vs-single-threaded parity tests assert.
+    pub fn delivery_digest(&self) -> u64 {
+        self.core.digest
+    }
+
     /// Adds a node; its `on_start` runs at the current simulation time when
     /// the event loop next executes.
     pub fn add_node(&mut self, name: impl Into<String>, node: Box<dyn Node>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
         self.names.push(name.into());
-        // Defer on_start through the queue so ordering is deterministic.
+        self.core.node_seq.push(0);
+        // Defer on_start through the queue so ordering is deterministic;
+        // the new node itself is the key source.
         self.core.push(
+            id.0,
             self.core.now,
             EventKind::Call(Box::new(move |sim| {
                 sim.dispatch_start(id);
             })),
         );
         id
+    }
+
+    /// Reserves a node id owned by another shard: the local tables keep
+    /// an empty slot so global ids stay dense everywhere.
+    pub(crate) fn add_foreign_slot(&mut self) {
+        self.nodes.push(None);
+        self.names.push(String::new());
+        self.core.node_seq.push(0);
+    }
+
+    /// Appends one entry to the node→shard owner map (kept in lockstep
+    /// with node creation by the parallel driver).
+    pub(crate) fn push_owner(&mut self, shard: u16) {
+        self.core.owner.push(shard);
+    }
+
+    /// Drains the cross-shard outbox (empty in single-threaded runs).
+    pub(crate) fn take_outbox(&mut self) -> Vec<CrossMsg> {
+        std::mem::take(&mut self.core.outbox)
+    }
+
+    /// Injects a cross-shard datagram parked by another shard's transmit.
+    /// The sender-composed key slots it exactly where a global scheduler
+    /// would have; the lookahead bound guarantees `arrival` has not been
+    /// overtaken by this shard's clock.
+    pub(crate) fn inject(&mut self, msg: CrossMsg) {
+        assert!(
+            msg.arrival >= self.core.now,
+            "cross-shard datagram arrived in this shard's past \
+             (lookahead bound violated: arrival {:?} < now {:?})",
+            msg.arrival,
+            self.core.now
+        );
+        self.core.queue.push(
+            msg.arrival,
+            msg.key,
+            EventKind::Deliver {
+                from: msg.from,
+                to: msg.to,
+                payload: msg.payload,
+                slot: FOREIGN_SLOT,
+            },
+        );
     }
 
     /// Human-readable node name (for traces and experiment output).
@@ -366,25 +617,41 @@ impl Simulator {
     }
 
     /// Traffic counters for the run so far.
-    pub fn stats(&self) -> &TrafficStats {
-        &self.core.stats
+    pub fn stats(&self) -> TrafficStats<'_> {
+        TrafficStats {
+            cores: vec![&self.core],
+        }
     }
 
     /// Mutable traffic counters (e.g. to reset after warm-up).
-    pub fn stats_mut(&mut self) -> &mut TrafficStats {
-        &mut self.core.stats
+    pub fn stats_mut(&mut self) -> TrafficStatsMut<'_> {
+        TrafficStatsMut {
+            cores: vec![&mut self.core],
+        }
+    }
+
+    pub(crate) fn core_ref(&self) -> &SimCore {
+        &self.core
+    }
+
+    pub(crate) fn core_mut(&mut self) -> &mut SimCore {
+        &mut self.core
     }
 
     /// Schedules `f` to run against the simulator at absolute time `at`.
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulator) + 'static) {
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulator) + Send + 'static) {
         let at = at.max(self.core.now);
-        self.core.push(at, EventKind::Call(Box::new(f)));
+        self.core.push(DRIVER_SRC, at, EventKind::Call(Box::new(f)));
     }
 
     /// Schedules `f` to run `after` from now.
-    pub fn schedule_in(&mut self, after: Duration, f: impl FnOnce(&mut Simulator) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        after: Duration,
+        f: impl FnOnce(&mut Simulator) + Send + 'static,
+    ) {
         let at = self.core.now + after;
-        self.core.push(at, EventKind::Call(Box::new(f)));
+        self.core.push(DRIVER_SRC, at, EventKind::Call(Box::new(f)));
     }
 
     /// Runs `f` with mutable access to the concrete node `T` at `id` plus a
@@ -445,11 +712,18 @@ impl Simulator {
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
         match ev.item {
-            EventKind::Deliver { from, to, payload } => {
+            EventKind::Deliver {
+                from,
+                to,
+                payload,
+                slot,
+            } => {
                 if let Some(mut node) = self.nodes[to.node.index()].take() {
                     self.core
-                        .stats
-                        .record_delivered(from.node, to.node, payload.len());
+                        .record_delivered(from.node, to.node, payload.len(), slot);
+                    if self.core.digest_enabled {
+                        self.core.fold_digest(from, to, &payload);
+                    }
                     let mut ctx = Ctx {
                         core: &mut self.core,
                         node: to.node,
@@ -494,6 +768,36 @@ impl Simulator {
         }
         self.core.now = self.core.now.max(deadline.min(SimTime::MAX));
         n
+    }
+
+    /// Runs every event strictly before `end`, then advances the clock to
+    /// `end`. The exclusive bound is the conservative-lookahead window of
+    /// the parallel simulator: events *at* the window end may still be
+    /// joined by cross-shard arrivals injected at the barrier, so they
+    /// belong to the next window.
+    pub(crate) fn run_window(&mut self, end: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(at) = self.core.queue.next_at() {
+            if at >= end {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.core.now = self.core.now.max(end);
+        n
+    }
+
+    /// Whether any event is scheduled strictly before `end` (the parallel
+    /// driver uses this to skip spawning a worker thread for an idle
+    /// window).
+    pub(crate) fn has_event_before(&mut self, end: SimTime) -> bool {
+        self.core.queue.next_at().is_some_and(|at| at < end)
+    }
+
+    /// Whether any event is scheduled at or before `deadline`.
+    pub(crate) fn has_event_at_or_before(&mut self, deadline: SimTime) -> bool {
+        self.core.queue.next_at().is_some_and(|at| at <= deadline)
     }
 
     /// Runs until no events remain. Returns the number executed. Protocols

@@ -44,8 +44,31 @@
 
 use crate::link::LinkConfig;
 use crate::node::NodeId;
+use crate::par::ParSim;
 use crate::sim::Simulator;
 use std::collections::HashMap;
+
+/// A simulation front-end [`TopoBuilder::build`] can instantiate a
+/// topology against: the single-threaded [`Simulator`] or the sharded
+/// [`ParSim`]. The builder itself only wires links — node creation goes
+/// through the caller's factory, which receives the same host and (for a
+/// sharded host) routes each node to its owning shard.
+pub trait TopoHost {
+    /// Sets both directions of the link between `a` and `b`.
+    fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig);
+}
+
+impl TopoHost for Simulator {
+    fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        Simulator::set_link(self, a, b, cfg);
+    }
+}
+
+impl TopoHost for ParSim {
+    fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        ParSim::set_link(self, a, b, cfg);
+    }
+}
 
 /// How a tier's children pick their parents among the tier above.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -244,11 +267,13 @@ impl TopoBuilder {
     ///
     /// The factory receives a [`TopoCtx`] naming the node's tier, index,
     /// and parents, and must add exactly one node to `sim` and return its
-    /// id.
-    pub fn build(
+    /// id. `sim` is any [`TopoHost`] — a plain [`Simulator`] or a sharded
+    /// [`ParSim`]; creation and wiring order are identical either way, so
+    /// a seeded world replays bit-identically on both.
+    pub fn build<S: TopoHost>(
         self,
-        sim: &mut Simulator,
-        mut factory: impl FnMut(&mut Simulator, &TopoCtx<'_>) -> NodeId,
+        sim: &mut S,
+        mut factory: impl FnMut(&mut S, &TopoCtx<'_>) -> NodeId,
     ) -> Topology {
         let mut tiers: Vec<(String, Vec<NodeId>)> = Vec::with_capacity(self.tiers.len());
         let mut parents_map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();

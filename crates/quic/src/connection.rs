@@ -29,7 +29,7 @@ use crate::recovery::{AckTracker, Recovery, RetxInfo, SentPacket};
 use crate::streams::{Dir, RecvStream, SendStream, StreamId};
 use moqdns_netsim::SimTime;
 use moqdns_wire::{BufPool, Payload};
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// One ALPN protocol name. A shared handle: cloning an offer list into a
@@ -171,6 +171,13 @@ pub struct Connection {
     // --- streams ---
     send_streams: BTreeMap<StreamId, SendStream>,
     recv_streams: BTreeMap<StreamId, RecvStream>,
+    /// Streams that may have data or FIN waiting to transmit. Kept as a
+    /// queue so `poll_transmit` visits only these instead of scanning the
+    /// whole `send_streams` map (a relay uplink holds hundreds of idle
+    /// one-shot streams awaiting final ACKs). Ordered, so packetization
+    /// visits streams in the same ascending id order the full scan did.
+    /// May briefly hold streams with nothing pending; pruned lazily.
+    pending_streams: BTreeSet<StreamId>,
     next_bi_index: u64,
     next_uni_index: u64,
     /// Highest peer-initiated index seen, per direction (for accepting).
@@ -195,7 +202,7 @@ pub struct Connection {
     /// Bytes consumed by our application.
     data_consumed: u64,
     pending_max_data: bool,
-    pending_max_stream_data: HashSet<StreamId>,
+    pending_max_stream_data: BTreeSet<StreamId>,
 
     // --- datagrams ---
     datagram_queue_out: VecDeque<Payload>,
@@ -210,7 +217,7 @@ pub struct Connection {
     close_sent: bool,
 
     events: VecDeque<Event>,
-    readable_notified: HashSet<StreamId>,
+    readable_notified: BTreeSet<StreamId>,
     stats: ConnStats,
     /// Recycled encode buffers for outgoing datagrams.
     pool: BufPool,
@@ -283,6 +290,7 @@ impl Connection {
             acks: AckTracker::default(),
             send_streams: BTreeMap::new(),
             recv_streams: BTreeMap::new(),
+            pending_streams: BTreeSet::new(),
             next_bi_index: 0,
             next_uni_index: 0,
             peer_opened_bi: 0,
@@ -295,7 +303,7 @@ impl Connection {
             data_received: 0,
             data_consumed: 0,
             pending_max_data: false,
-            pending_max_stream_data: HashSet::new(),
+            pending_max_stream_data: BTreeSet::new(),
             datagram_queue_out: VecDeque::new(),
             last_rx: now,
             last_tx: now,
@@ -303,7 +311,7 @@ impl Connection {
             close_frame: None,
             close_sent: false,
             events: VecDeque::new(),
-            readable_notified: HashSet::new(),
+            readable_notified: BTreeSet::new(),
             stats: ConnStats::default(),
             pool: BufPool::default(),
             config,
@@ -436,6 +444,9 @@ impl Connection {
         let conn_budget = self.peer_max_data.saturating_sub(self.data_sent) as usize;
         let n = s.write(&data[..data.len().min(conn_budget)]);
         self.data_sent += n as u64;
+        if n > 0 {
+            self.pending_streams.insert(id);
+        }
         Ok(n)
     }
 
@@ -445,6 +456,7 @@ impl Connection {
             .get_mut(&id)
             .ok_or(ConnectionError::UnknownStream)?
             .finish();
+        self.pending_streams.insert(id);
         Ok(())
     }
 
@@ -587,7 +599,7 @@ impl Connection {
                 offset,
                 fin,
                 data,
-            } => self.handle_stream_frame(id, offset, fin, &data, pty),
+            } => self.handle_stream_frame(id, offset, fin, data, pty),
             Frame::ResetStream { id, .. } => {
                 if let Some(s) = self.recv_streams.get_mut(&id) {
                     s.reset = Some(0);
@@ -727,7 +739,7 @@ impl Connection {
         id: StreamId,
         offset: u64,
         fin: bool,
-        data: &[u8],
+        data: Payload,
         pty: PacketType,
     ) {
         // Server must not act on 1-RTT-style app data while handshaking
@@ -822,6 +834,7 @@ impl Connection {
                     s.on_ack(offset, len, fin);
                     if id.dir() == Dir::Uni && s.is_fully_acked() {
                         self.send_streams.remove(&id);
+                        self.pending_streams.remove(&id);
                     }
                 }
             }
@@ -844,6 +857,9 @@ impl Connection {
                 } => {
                     if let Some(s) = self.send_streams.get_mut(&StreamId(id)) {
                         s.on_loss(offset, len, fin);
+                        if s.has_pending() {
+                            self.pending_streams.insert(StreamId(id));
+                        }
                     }
                 }
                 RetxInfo::MaxData => self.pending_max_data = true,
@@ -953,7 +969,9 @@ impl Connection {
                 self.pending_max_data = false;
                 ack_eliciting = true;
             }
-            let msd: Vec<StreamId> = self.pending_max_stream_data.drain().collect();
+            let msd: Vec<StreamId> = std::mem::take(&mut self.pending_max_stream_data)
+                .into_iter()
+                .collect();
             for id in msd {
                 if let Some(s) = self.recv_streams.get(&id) {
                     frames.push(Frame::MaxStreamData {
@@ -974,17 +992,17 @@ impl Connection {
                 frames.push(Frame::Datagram { data: d });
                 ack_eliciting = true;
             }
-            // Stream data, congestion + budget permitting.
-            if self.recovery.can_send(256) {
-                let ids: Vec<StreamId> = self
-                    .send_streams
-                    .iter()
-                    .filter(|(_, s)| s.has_pending())
-                    .map(|(id, _)| *id)
-                    .collect();
+            // Stream data, congestion + budget permitting. Only streams
+            // in the pending queue are visited — never the full
+            // `send_streams` map; ascending id order matches the old
+            // full-scan packetization exactly.
+            if self.recovery.can_send(256) && !self.pending_streams.is_empty() {
+                let ids: Vec<StreamId> = self.pending_streams.iter().copied().collect();
                 for id in ids {
                     while budget > 32 && self.recovery.can_send(budget.min(1200)) {
-                        let s = self.send_streams.get_mut(&id).unwrap();
+                        let Some(s) = self.send_streams.get_mut(&id) else {
+                            break;
+                        };
                         let Some((offset, data, fin)) = s.pop_transmit(budget - 32) else {
                             break;
                         };
@@ -999,9 +1017,18 @@ impl Connection {
                             id,
                             offset,
                             fin,
-                            data,
+                            data: data.into(),
                         });
                         ack_eliciting = true;
+                    }
+                    // Lazy prune: drained (or stale) entries leave the
+                    // queue; budget-limited streams stay for next time.
+                    if !self
+                        .send_streams
+                        .get(&id)
+                        .is_some_and(SendStream::has_pending)
+                    {
+                        self.pending_streams.remove(&id);
                     }
                 }
             }

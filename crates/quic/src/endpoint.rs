@@ -14,7 +14,7 @@ use crate::connection::{Alpn, AlpnList, Connection, Event, Side};
 use crate::handshake::Ticket;
 use moqdns_netsim::SimTime;
 use moqdns_wire::Payload;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::Hash;
 
 /// Re-exported ticket type for public API convenience.
@@ -35,13 +35,13 @@ pub struct Endpoint<P> {
     server_alpn: AlpnList,
     /// Whether this endpoint accepts incoming connections.
     is_server: bool,
-    connections: HashMap<ConnHandle, (Connection, P)>,
-    by_cid: HashMap<u64, ConnHandle>,
+    connections: BTreeMap<ConnHandle, (Connection, P)>,
+    by_cid: BTreeMap<u64, ConnHandle>,
     next_cid: u64,
     /// Client ticket store: (peer, alpn) -> ticket. Keys are shared
     /// [`Alpn`] handles — storing or probing a ticket never copies the
     /// protocol string.
-    tickets: HashMap<(P, Alpn), Ticket>,
+    tickets: BTreeMap<(P, Alpn), Ticket>,
     /// Pending (handle, event) pairs for the application.
     events: VecDeque<(ConnHandle, Event)>,
     /// Accepted-but-unreported incoming connections.
@@ -57,27 +57,27 @@ pub struct Endpoint<P> {
     /// and `handle_timeout` read the front instead of scanning all
     /// connections.
     deadlines: BTreeSet<(SimTime, ConnHandle)>,
-    deadline_of: HashMap<ConnHandle, SimTime>,
+    deadline_of: BTreeMap<ConnHandle, SimTime>,
     /// Connections observed `Closed`, awaiting `reap_closed`.
     closed_pending: Vec<ConnHandle>,
 }
 
-impl<P: Copy + Eq + Hash> Endpoint<P> {
+impl<P: Copy + Eq + Hash + Ord> Endpoint<P> {
     /// Creates a client-only endpoint.
     pub fn client(config: TransportConfig, cid_seed: u64) -> Endpoint<P> {
         Endpoint {
             config,
             server_alpn: AlpnList::from([]),
             is_server: false,
-            connections: HashMap::new(),
-            by_cid: HashMap::new(),
+            connections: BTreeMap::new(),
+            by_cid: BTreeMap::new(),
             next_cid: cid_seed.wrapping_mul(2_654_435_761).max(1),
-            tickets: HashMap::new(),
+            tickets: BTreeMap::new(),
             events: VecDeque::new(),
             incoming: VecDeque::new(),
             dirty: BTreeSet::new(),
             deadlines: BTreeSet::new(),
-            deadline_of: HashMap::new(),
+            deadline_of: BTreeMap::new(),
             closed_pending: Vec::new(),
         }
     }
@@ -231,7 +231,7 @@ impl<P: Copy + Eq + Hash> Endpoint<P> {
         handle: ConnHandle,
         conn: &mut Connection,
         peer: P,
-        tickets: &mut HashMap<(P, Alpn), Ticket>,
+        tickets: &mut BTreeMap<(P, Alpn), Ticket>,
         events: &mut VecDeque<(ConnHandle, Event)>,
         closed_pending: &mut Vec<ConnHandle>,
     ) {

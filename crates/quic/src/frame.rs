@@ -24,7 +24,9 @@ pub enum Frame {
         /// Handshake bytes.
         data: Vec<u8>,
     },
-    /// Stream data.
+    /// Stream data. The payload is a shared handle: on receive it is a
+    /// sub-view of the datagram buffer (zero-copy reassembly), on send a
+    /// view of the send buffer slice being (re)transmitted.
     Stream {
         /// Stream id.
         id: StreamId,
@@ -33,7 +35,7 @@ pub enum Frame {
         /// True if this ends the stream.
         fin: bool,
         /// Payload bytes.
-        data: Vec<u8>,
+        data: Payload,
     },
     /// Abrupt stream termination by the sender.
     ResetStream {
@@ -241,9 +243,10 @@ impl Frame {
 
     /// Decodes one frame from `r`. When `backing` is given as the
     /// [`Payload`] whose bytes `r.full()` starts at offset `base` of,
-    /// DATAGRAM frame payloads become zero-copy sub-views of it instead
-    /// of fresh allocations — the per-hop payload copy the relay fan-out
-    /// used to pay on every receive.
+    /// DATAGRAM and STREAM frame payloads become zero-copy sub-views of
+    /// it instead of fresh allocations — the per-hop payload copy the
+    /// relay fan-out used to pay on every receive, and the per-frame
+    /// copy stream reassembly used to pay on every fetch response.
     pub(crate) fn decode_in(
         r: &mut Reader<'_>,
         backing: Option<(&Payload, usize)>,
@@ -285,11 +288,19 @@ impl Frame {
                 let offset = varint::get_varint(r)?;
                 let len = varint::get_varint(r)? as usize;
                 let fin = r.get_u8()? != 0;
+                let data = match backing {
+                    Some((p, base)) => {
+                        let start = base + r.position();
+                        r.skip(len)?;
+                        p.slice(start..start + len)
+                    }
+                    None => r.get_vec(len)?.into(),
+                };
                 Frame::Stream {
                     id,
                     offset,
                     fin,
-                    data: r.get_vec(len)?,
+                    data,
                 }
             }
             T_RESET_STREAM => Frame::ResetStream {
@@ -372,7 +383,7 @@ mod tests {
                 id: StreamId(4),
                 offset: 1000,
                 fin: true,
-                data: b"hello".to_vec(),
+                data: b"hello".to_vec().into(),
             },
             Frame::ResetStream {
                 id: StreamId(8),
@@ -419,7 +430,7 @@ mod tests {
             id: StreamId(0),
             offset: 0,
             fin: false,
-            data: vec![]
+            data: vec![].into()
         }
         .is_ack_eliciting());
         assert!(!Frame::Ack { ranges: vec![] }.is_ack_eliciting());

@@ -175,6 +175,7 @@ pub fn decode_datagram_payload(buf: &Payload) -> WireResult<Vec<Packet>> {
 mod tests {
     use super::*;
     use crate::frame::Frame;
+    use crate::streams::StreamId;
     use proptest::prelude::*;
 
     #[test]
@@ -207,7 +208,7 @@ mod tests {
                 id: crate::streams::StreamId(0),
                 offset: 0,
                 fin: false,
-                data: vec![9, 9],
+                data: vec![9, 9].into(),
             }],
         };
         let dg = encode_datagram(&[a.clone(), b.clone()]);
@@ -250,6 +251,8 @@ mod tests {
             pn in any::<u32>(),
             dgram_payloads in proptest::collection::vec(
                 proptest::collection::vec(any::<u8>(), 0..64), 1..4),
+            stream_payload in proptest::collection::vec(any::<u8>(), 0..64),
+            stream_offset in any::<u32>(),
             crypto in proptest::collection::vec(any::<u8>(), 0..32),
         ) {
             let packets = vec![
@@ -266,7 +269,16 @@ mod tests {
                     frames: dgram_payloads
                         .iter()
                         .map(|p| Frame::Datagram { data: p.clone().into() })
-                        .chain([Frame::Ping, Frame::MaxData { max: 9000 }])
+                        .chain([
+                            Frame::Ping,
+                            Frame::Stream {
+                                id: StreamId(6),
+                                offset: stream_offset as u64,
+                                fin: true,
+                                data: stream_payload.into(),
+                            },
+                            Frame::MaxData { max: 9000 },
+                        ])
                         .collect(),
                 },
             ];
@@ -277,11 +289,14 @@ mod tests {
             prop_assert_eq!(&shared, &packets, "roundtrip");
             for p in &shared {
                 for f in &p.frames {
-                    if let Frame::Datagram { data } = f {
-                        prop_assert!(
-                            data.shares_storage_with(&wire),
-                            "datagram payload must be a zero-copy view"
-                        );
+                    match f {
+                        Frame::Datagram { data } | Frame::Stream { data, .. } => {
+                            prop_assert!(
+                                data.shares_storage_with(&wire),
+                                "datagram/stream payload must be a zero-copy view"
+                            );
+                        }
+                        _ => {}
                     }
                 }
             }

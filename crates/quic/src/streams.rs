@@ -4,6 +4,7 @@
 //! initiator (bit 0: 0 = client, 1 = server) and directionality (bit 1:
 //! 0 = bidirectional, 1 = unidirectional).
 
+use moqdns_wire::Payload;
 use std::collections::BTreeMap;
 
 /// Direction of a stream.
@@ -238,8 +239,11 @@ impl SendStream {
 /// Receiver half of a stream.
 #[derive(Debug)]
 pub struct RecvStream {
-    /// Out-of-order segments: offset -> bytes.
-    segments: BTreeMap<u64, Vec<u8>>,
+    /// Out-of-order segments: offset -> shared payload sub-view. Frames
+    /// decoded from a datagram hand their [`Payload`] slice straight in —
+    /// the receive path never copies stream bytes until the application
+    /// reads them out.
+    segments: BTreeMap<u64, Payload>,
     /// Next offset the application will read.
     read_offset: u64,
     /// Highest offset+len seen (for flow control accounting).
@@ -266,14 +270,17 @@ impl RecvStream {
     }
 
     /// Ingests a STREAM frame. Returns `false` on a flow-control violation
-    /// or inconsistent FIN.
-    pub fn on_stream_frame(&mut self, offset: u64, data: &[u8], fin: bool) -> bool {
+    /// or inconsistent FIN. Accepts anything convertible into a
+    /// [`Payload`]; passing the sub-view a frame decoder produced stores
+    /// it zero-copy (the backing datagram buffer is shared, not cloned).
+    pub fn on_stream_frame(&mut self, offset: u64, data: impl Into<Payload>, fin: bool) -> bool {
+        let data: Payload = data.into();
         let end = offset + data.len() as u64;
         if end > self.max_stream_data {
             return false;
         }
         if let Some(f) = self.fin_offset {
-            if end > f || (fin && offset + data.len() as u64 != f) {
+            if end > f || (fin && end != f) {
                 return false;
             }
         }
@@ -286,10 +293,12 @@ impl RecvStream {
         self.highest_seen = self.highest_seen.max(end);
         if end > self.read_offset && !data.is_empty() {
             // Store; overlapping segments carry identical bytes (same
-            // stream), so keeping the longer copy at an offset is safe.
-            let entry = self.segments.entry(offset).or_default();
-            if entry.len() < data.len() {
-                *entry = data.to_vec();
+            // stream), so keeping the longer view at an offset is safe.
+            match self.segments.get(&offset) {
+                Some(existing) if existing.len() >= data.len() => {}
+                _ => {
+                    self.segments.insert(offset, data);
+                }
             }
         }
         true
@@ -537,6 +546,69 @@ mod tests {
             let (out, fin) = r.read(10_000);
             prop_assert!(fin);
             prop_assert_eq!(out, data);
+        }
+
+        /// The zero-copy ingest path (shared [`Payload`] sub-views of one
+        /// backing buffer) reassembles byte-identically to the copying
+        /// path (each segment copied into its own allocation), under any
+        /// segmentation, arrival order, duplication, and read chunking —
+        /// and the stored views really do share the backing storage.
+        #[test]
+        fn prop_zero_copy_ingest_equals_copying(
+            data in proptest::collection::vec(any::<u8>(), 1..300),
+            cuts in proptest::collection::vec(1usize..299, 0..8),
+            dup in proptest::collection::vec(any::<bool>(), 0..8),
+            seed in any::<u64>(),
+            chunk in 1usize..64,
+        ) {
+            let backing = Payload::new(data.clone());
+            let mut cuts: Vec<usize> = cuts.into_iter().filter(|c| *c < data.len()).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let bounds: Vec<(usize, usize)> = {
+                let mut b = Vec::new();
+                let mut prev = 0;
+                for c in cuts {
+                    b.push((prev, c));
+                    prev = c;
+                }
+                b.push((prev, data.len()));
+                b
+            };
+            // Segment list with seeded duplicates, shuffled by seed.
+            let mut order: Vec<usize> = (0..bounds.len()).collect();
+            for (i, d) in dup.iter().enumerate() {
+                if *d {
+                    order.push(i % bounds.len());
+                }
+            }
+            let mut s = seed;
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (s % (i as u64 + 1)) as usize);
+            }
+            let mut zc = RecvStream::new(10_000);
+            let mut copying = RecvStream::new(10_000);
+            for &i in &order {
+                let (start, end) = bounds[i];
+                let fin = end == data.len();
+                let view = backing.slice(start..end);
+                prop_assert!(view.shares_storage_with(&backing));
+                prop_assert!(zc.on_stream_frame(start as u64, view, fin));
+                prop_assert!(copying.on_stream_frame(start as u64, data[start..end].to_vec(), fin));
+            }
+            // Stored segments share the backing buffer: ingest copied nothing.
+            for p in zc.segments.values() {
+                prop_assert!(p.shares_storage_with(&backing));
+            }
+            loop {
+                let (a, fa) = zc.read(chunk);
+                let (b, fb) = copying.read(chunk);
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(fa, fb);
+                if fa || a.is_empty() { break; }
+            }
+            prop_assert_eq!(zc.consumed(), data.len() as u64);
         }
 
         /// Writer + arbitrary transmit sizes + acks deliver everything.

@@ -652,6 +652,284 @@ impl MetroScenario {
     }
 }
 
+/// A **planet-scale** federation: the [`MetroScenario`] shape grown one
+/// more order of magnitude — dozens of regions, **~100,000 stubs** — with
+/// two workload dimensions the metro deliberately leaves flat:
+///
+/// 1. **Zipf popularity** (from `workload::toplist`): the track space is
+///    cut into slices as in the metro, but stub `j` picks its slice by a
+///    Zipf quantile over track rank instead of a uniform walk, so slice 0
+///    (the top-ranked records) holds the majority of subscribers and the
+///    tail slices thin out — some edges never see them at all. Every
+///    expectation is therefore *computed* from [`slice_of_stub`], never
+///    assumed: the per-edge fetch bound sums the slices actually present
+///    under each edge.
+/// 2. **diurnal join/leave waves**: transient cohorts join every edge,
+///    subscribe Zipf-popular slices, receive a round, and leave (their
+///    connections close). The invariants: wave joining fetches are all
+///    answered (zero loss from caches/aggregation), deliveries stay exact
+///    for residents *and* waves, departed stubs receive nothing further,
+///    and the edge tier's session state returns to its pre-wave size.
+///
+/// Everything is a pure function of the spec, so the scenario stays
+/// machine-checkable at 100k scale and bit-identical between the
+/// single-threaded and sharded ([`ParSim`]-backed) simulator builds.
+///
+/// [`slice_of_stub`]: PlanetScenario::slice_of_stub
+/// [`ParSim`]: ../../moqdns_netsim/par/index.html
+#[derive(Debug, Clone, Copy)]
+pub struct PlanetScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// Federated cores (= regions = hash shards). "Dozens."
+    pub cores: usize,
+    /// Edge relays per region (each attaches only to its region's core).
+    pub edges_per_region: usize,
+    /// Resident stub subscribers per edge relay.
+    pub stubs_per_edge: usize,
+    /// Distinct records (tracks), rank-ordered: track 0 is the most
+    /// popular (toplist rank 1).
+    pub tracks: usize,
+    /// Tracks each stub subscribes to (one contiguous rank slice).
+    pub tracks_per_stub: usize,
+    /// Zipf exponent for popularity (matches `Toplist::zipf_exponent`).
+    pub zipf_s: f64,
+    /// Diurnal waves: transient cohorts that join, stay a round, leave.
+    pub waves: usize,
+    /// Transient stubs each wave adds under every edge.
+    pub wave_stubs_per_edge: usize,
+    /// Updates pushed per track during each measured round.
+    pub updates_per_track: u64,
+    /// Gap between update rounds.
+    pub update_interval: Duration,
+    /// One-way delay of intra-region links (core→edge, edge→stub).
+    pub link_delay: Duration,
+    /// One-way delay of inter-region links (origin→core, core↔core).
+    pub peer_delay: Duration,
+}
+
+impl PlanetScenario {
+    /// The standing planet drill: 24 regions × 8 edges × 521 stubs =
+    /// 100,032 resident subscribers over 96 tracks (8 per stub), plus
+    /// 2 diurnal waves of 24×8×16 = 3,072 transient stubs each.
+    pub fn planet() -> PlanetScenario {
+        PlanetScenario {
+            name: "planet",
+            cores: 24,
+            edges_per_region: 8,
+            stubs_per_edge: 521,
+            tracks: 96,
+            tracks_per_stub: 8,
+            zipf_s: 1.0,
+            waves: 2,
+            wave_stubs_per_edge: 16,
+            updates_per_track: 2,
+            update_interval: Duration::from_secs(2),
+            link_delay: Duration::from_millis(5),
+            peer_delay: Duration::from_millis(30),
+        }
+    }
+
+    /// A tiny variant for CI smoke runs. The *shape* is the point and is
+    /// preserved: still 24 regions (the planet's "dozens"), still 12
+    /// slices, still 2 waves — only the population shrinks.
+    pub fn smoke(self) -> PlanetScenario {
+        PlanetScenario {
+            edges_per_region: 1,
+            stubs_per_edge: self.stubs_per_edge.min(12),
+            tracks: self.tracks.min(24),
+            tracks_per_stub: self.tracks_per_stub.min(2),
+            wave_stubs_per_edge: self.wave_stubs_per_edge.min(2),
+            ..self
+        }
+    }
+
+    /// Distinct track slices (`tracks / tracks_per_stub`; exact).
+    pub fn slices(&self) -> usize {
+        assert!(
+            self.tracks_per_stub > 0 && self.tracks.is_multiple_of(self.tracks_per_stub),
+            "tracks_per_stub must divide tracks"
+        );
+        self.tracks / self.tracks_per_stub
+    }
+
+    /// The track indices of slice `s`.
+    pub fn slice_tracks(&self, s: usize) -> std::ops::Range<usize> {
+        s * self.tracks_per_stub..(s + 1) * self.tracks_per_stub
+    }
+
+    /// Cumulative Zipf weight per slice: `cum[s]` sums `1/rank^s` over
+    /// every track of slices `0..=s` (track `t` has rank `t + 1`).
+    fn slice_cum(&self) -> Vec<f64> {
+        let mut cum = Vec::with_capacity(self.slices());
+        let mut acc = 0.0;
+        for s in 0..self.slices() {
+            for t in self.slice_tracks(s) {
+                acc += 1.0 / ((t + 1) as f64).powf(self.zipf_s);
+            }
+            cum.push(acc);
+        }
+        cum
+    }
+
+    /// The slice at popularity quantile `u ∈ [0, 1)`: low `u` lands on
+    /// the head slices, which hold most of the Zipf mass.
+    pub fn slice_at_quantile(&self, u: f64) -> usize {
+        let cum = self.slice_cum();
+        let total = *cum.last().expect("at least one slice");
+        cum.partition_point(|w| *w <= u * total)
+            .min(self.slices() - 1)
+    }
+
+    /// The slice resident stub `j` (global index) subscribes to: stubs
+    /// are spread evenly over the popularity quantile axis, so slice
+    /// populations follow the Zipf weights. A pure function of `j`, so
+    /// every subscriber-count expectation below is computable.
+    pub fn slice_of_stub(&self, j: usize) -> usize {
+        self.slice_at_quantile((j as f64 + 0.5) / self.stub_count() as f64)
+    }
+
+    /// The slice the `i`-th transient stub of a wave subscribes to (the
+    /// same per-edge cohort shape for every wave and edge).
+    pub fn wave_slice_of(&self, i: usize) -> usize {
+        self.slice_at_quantile((i as f64 + 0.5) / self.wave_stubs_per_edge as f64)
+    }
+
+    /// Total edge relays across all regions.
+    pub fn edge_count(&self) -> usize {
+        self.cores * self.edges_per_region
+    }
+
+    /// The region edge `j` serves (the builder wires edge `j`'s parent
+    /// round-robin: core `j % cores`).
+    pub fn region_of_edge(&self, j: usize) -> usize {
+        j % self.cores
+    }
+
+    /// Total resident stub subscribers.
+    pub fn stub_count(&self) -> usize {
+        self.edge_count() * self.stubs_per_edge
+    }
+
+    /// Total resident (stub, track) subscriptions — the joining-fetch
+    /// stampede size and the per-round resident delivery count.
+    pub fn subscription_count(&self) -> u64 {
+        self.stub_count() as u64 * self.tracks_per_stub as u64
+    }
+
+    /// Resident stubs subscribed to slice `s`.
+    pub fn slice_population(&self, s: usize) -> usize {
+        (0..self.stub_count())
+            .filter(|&j| self.slice_of_stub(j) == s)
+            .count()
+    }
+
+    /// Which slices are present under edge `e` (resident population):
+    /// `present[s]` is true when some resident stub of edge `e`
+    /// subscribes slice `s`. Zipf-tail slices are absent under many
+    /// edges — that is the point.
+    pub fn slices_under_edge(&self, e: usize) -> Vec<bool> {
+        let mut present = vec![false; self.slices()];
+        let ec = self.edge_count();
+        for l in 0..self.stubs_per_edge {
+            present[self.slice_of_stub(e + l * ec)] = true;
+        }
+        present
+    }
+
+    /// Which slices a wave cohort subscribes (identical for every edge).
+    pub fn wave_slices(&self) -> Vec<bool> {
+        let mut present = vec![false; self.slices()];
+        for i in 0..self.wave_stubs_per_edge {
+            present[self.wave_slice_of(i)] = true;
+        }
+        present
+    }
+
+    /// Which slices are demanded in region `r` (union over its edges).
+    pub fn region_slices(&self, r: usize) -> Vec<bool> {
+        let mut present = vec![false; self.slices()];
+        for j in 0..self.edge_count() {
+            if self.region_of_edge(j) == r {
+                for (s, &p) in self.slices_under_edge(j).iter().enumerate() {
+                    present[s] |= p;
+                }
+            }
+        }
+        present
+    }
+
+    /// Which tracks are demanded in region `r`.
+    pub fn region_tracks(&self, r: usize) -> Vec<bool> {
+        let mut present = vec![false; self.tracks];
+        for (s, &p) in self.region_slices(r).iter().enumerate() {
+            if p {
+                for t in self.slice_tracks(s) {
+                    present[t] = true;
+                }
+            }
+        }
+        present
+    }
+
+    /// Which tracks are demanded *anywhere* (some region wants them).
+    pub fn demanded_tracks(&self) -> Vec<bool> {
+        let mut present = vec![false; self.tracks];
+        for r in 0..self.cores {
+            for (t, &p) in self.region_tracks(r).iter().enumerate() {
+                present[t] |= p;
+            }
+        }
+        present
+    }
+
+    /// Upstream fetches the whole edge tier opens under the resident
+    /// stampede: each edge fetches one per track of each slice actually
+    /// present under it (coalescing makes it independent of population).
+    pub fn edge_fetch_total(&self) -> u64 {
+        (0..self.edge_count())
+            .map(|e| {
+                let n = self.slices_under_edge(e).iter().filter(|&&p| p).count();
+                (n * self.tracks_per_stub) as u64
+            })
+            .sum()
+    }
+
+    /// Extra upstream fetches the edge tier opens when a wave joins:
+    /// only slices the wave demands that the edge's residents do *not*
+    /// cover need a fetch; everything else is served from the edge.
+    pub fn wave_edge_fetch_delta(&self) -> u64 {
+        let wave = self.wave_slices();
+        (0..self.edge_count())
+            .map(|e| {
+                let under = self.slices_under_edge(e);
+                let novel = wave.iter().zip(&under).filter(|&(&w, &u)| w && !u).count();
+                (novel * self.tracks_per_stub) as u64
+            })
+            .sum()
+    }
+
+    /// Transient (stub, track) subscriptions one wave adds system-wide.
+    pub fn wave_subscription_count(&self) -> u64 {
+        (self.edge_count() * self.wave_stubs_per_edge * self.tracks_per_stub) as u64
+    }
+
+    /// Updates pushed at the origin per round.
+    pub fn total_updates(&self) -> u64 {
+        self.updates_per_track * self.tracks as u64
+    }
+
+    /// Resident deliveries the measured rounds must produce.
+    pub fn expected_deliveries(&self) -> u64 {
+        self.updates_per_track * self.subscription_count()
+    }
+
+    /// The naive stampede the coalescing machinery absorbs.
+    pub fn naive_fetches(&self) -> u64 {
+        self.subscription_count()
+    }
+}
+
 /// The paper's depth-D relay chain ("involving 5 MoQ relays on average",
 /// §5.3) as a standing drill: origin → `hops` single-relay tiers →
 /// stubs, built by `TopoBuilder::chain`. Pins that aggregation holds at
@@ -881,6 +1159,77 @@ mod tests {
             "every edge sees every slice"
         );
         assert!(s.peer_delay > s.link_delay, "asymmetry preserved");
+    }
+
+    #[test]
+    fn planet_scenario_arithmetic() {
+        let s = PlanetScenario::planet();
+        assert_eq!(s.edge_count(), 192);
+        assert_eq!(s.stub_count(), 100_032, "~100k resident stubs");
+        assert_eq!(s.slices(), 12);
+        assert_eq!(s.subscription_count(), 100_032 * 8);
+        assert_eq!(s.expected_deliveries(), 2 * 100_032 * 8);
+        assert_eq!(s.wave_subscription_count(), 192 * 16 * 8);
+        // Zipf skew: the head slice dwarfs the tail slice, and the
+        // populations cover the whole resident population.
+        let pops: Vec<usize> = (0..s.slices()).map(|x| s.slice_population(x)).collect();
+        assert_eq!(pops.iter().sum::<usize>(), s.stub_count());
+        assert!(
+            pops[0] > 10 * pops[s.slices() - 1],
+            "head {} vs tail {}",
+            pops[0],
+            pops[s.slices() - 1]
+        );
+        // Every slice has someone at full scale, so every track is
+        // demanded somewhere.
+        assert!(pops.iter().all(|&p| p > 0));
+        assert!(s.demanded_tracks().iter().all(|&d| d));
+        // At full scale the per-edge quantile grid (1/521 spacing) is
+        // finer than the thinnest slice band, so every edge still covers
+        // every slice and the fetch total hits the dense bound exactly.
+        assert_eq!(s.edge_fetch_total(), (s.edge_count() * s.tracks) as u64);
+    }
+
+    #[test]
+    fn planet_scenario_smoke_keeps_shape() {
+        let s = PlanetScenario::planet().smoke();
+        assert_eq!(s.cores, 24, "dozens of regions is the shape");
+        assert_eq!(s.slices(), 12, "slice machinery unchanged");
+        assert_eq!(s.waves, 2, "diurnal waves preserved");
+        assert!(s.stub_count() <= 300);
+        assert!(s.peer_delay > s.link_delay, "asymmetry preserved");
+        // Quantile assignment stays total and in-range.
+        for j in 0..s.stub_count() {
+            assert!(s.slice_of_stub(j) < s.slices());
+        }
+        for i in 0..s.wave_stubs_per_edge {
+            assert!(s.wave_slice_of(i) < s.slices());
+        }
+        // In the sparse smoke shape (12 stubs per edge, 8.3% quantile
+        // spacing) Zipf-tail slices ARE absent under some edges — the
+        // effect the planet exists to exercise.
+        assert!(s.edge_fetch_total() < (s.edge_count() * s.tracks) as u64);
+        // Yet system-wide every slice still has subscribers, so every
+        // track is demanded somewhere.
+        assert!((0..s.slices()).all(|x| s.slice_population(x) > 0));
+        assert!(s.demanded_tracks().iter().all(|&d| d));
+    }
+
+    #[test]
+    fn planet_quantiles_are_monotone_and_popular_heavy() {
+        let s = PlanetScenario::planet();
+        // Monotone: later quantiles never map to earlier slices.
+        let mut last = 0;
+        for k in 0..100 {
+            let sl = s.slice_at_quantile(k as f64 / 100.0);
+            assert!(sl >= last);
+            last = sl;
+        }
+        // Popular-heavy: the median subscriber sits in the head slices.
+        assert!(s.slice_at_quantile(0.5) < s.slices() / 2);
+        // Wave cohorts lean on the head too but still reach past it.
+        let wave = s.wave_slices();
+        assert!(wave[0], "waves always demand the head slice");
     }
 
     #[test]
