@@ -125,7 +125,7 @@ fn push_updates(b: &mut Built, n: u64) {
 fn main() {
     let opts = BenchOpts::from_args();
     report::heading("A3 / §3 — relay fan-out: aggregation and caching");
-    let mut gate = InvariantGate::new("relay_fanout", opts);
+    let mut gate = InvariantGate::new("relay_fanout", &opts);
 
     let updates: u64 = if opts.smoke { 3 } else { 10 };
     let sub_counts: &[usize] = if opts.smoke { &[1, 5] } else { &[1, 5, 20] };

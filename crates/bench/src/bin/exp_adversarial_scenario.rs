@@ -57,7 +57,7 @@ fn main() {
     } else {
         AdversarialScenario::adversarial()
     };
-    let mut gate = InvariantGate::new("adversarial", opts);
+    let mut gate = InvariantGate::new("adversarial", &opts);
 
     let mut table = Table::new(
         format!(

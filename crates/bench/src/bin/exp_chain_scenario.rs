@@ -52,7 +52,7 @@ fn main() {
     } else {
         ChainScenario::chain()
     };
-    let mut gate = InvariantGate::new("chain", opts);
+    let mut gate = InvariantGate::new("chain", &opts);
 
     let mut sim = Simulator::new(51);
     let link = LinkConfig::with_delay(spec.link_delay);

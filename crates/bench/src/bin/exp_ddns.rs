@@ -35,7 +35,7 @@ use std::time::Duration;
 
 fn main() {
     let opts = BenchOpts::from_args();
-    let mut gate = InvariantGate::new("ddns", opts);
+    let mut gate = InvariantGate::new("ddns", &opts);
     report::heading("E6 / §5.3 — Dynamic DNS update traffic");
 
     // (a) The paper's arithmetic.

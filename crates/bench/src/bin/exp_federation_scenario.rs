@@ -46,7 +46,7 @@ fn main() {
     } else {
         FederationScenario::federation()
     };
-    let mut gate = InvariantGate::new("federation", opts);
+    let mut gate = InvariantGate::new("federation", &opts);
 
     // ---- Build + joining-fetch stampede ------------------------------
     // Every stub subscribes to every track through its regional edge at

@@ -38,7 +38,7 @@ fn main() {
     } else {
         MeshScenario::mesh()
     };
-    let mut gate = InvariantGate::new("mesh", opts);
+    let mut gate = InvariantGate::new("mesh", &opts);
 
     // ---- Build + joining-fetch stampede ------------------------------
     // Every stub subscribes to every track with a joining fetch at t=0:

@@ -40,7 +40,7 @@ fn main() {
     } else {
         MetroScenario::metro()
     };
-    let mut gate = InvariantGate::new("metro", opts);
+    let mut gate = InvariantGate::new("metro", &opts);
     let wall_start = Instant::now();
 
     // ---- Build + joining-fetch stampede ------------------------------

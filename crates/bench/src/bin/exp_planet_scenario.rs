@@ -47,7 +47,7 @@ fn main() {
     } else {
         PlanetScenario::planet()
     };
-    let mut gate = InvariantGate::new("planet", opts);
+    let mut gate = InvariantGate::new("planet", &opts);
     let wall_start = Instant::now();
 
     // ---- Build + joining-fetch stampede ------------------------------

@@ -32,7 +32,7 @@ use std::time::Duration;
 fn main() {
     let opts = BenchOpts::from_args();
     report::heading("E10 / §3+§5.3 — simulated relay distribution trees");
-    let mut gate = InvariantGate::new("tree", opts);
+    let mut gate = InvariantGate::new("tree", &opts);
 
     for base in [TreeScenario::ddns_tree(), TreeScenario::cdn_tree()] {
         let spec = if opts.smoke { base.smoke() } else { base };

@@ -13,10 +13,14 @@
 //!   shards (`moqdns_netsim::ParSim`, one region per worker). The event
 //!   history is bit-identical to the single-threaded run, so results and
 //!   baselines do not change — only wall clock may. Binaries whose world
-//!   has no sharded build ignore it.
+//!   has no sharded build ignore it;
+//! * `--json PATH` (or `--json=PATH`) — write the `--check` JSON summary
+//!   to `PATH` instead of the default `results/ci_<scenario>.json`. Used
+//!   by the live-smoke lane (`moqdns-loadgen --json results/live_smoke.json`)
+//!   and available to every scenario binary.
 
 /// Parsed common flags.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BenchOpts {
     /// Scaled-down CI variant.
     pub smoke: bool,
@@ -24,6 +28,8 @@ pub struct BenchOpts {
     pub check: bool,
     /// Parallel simulator shards (`0` = single-threaded).
     pub par: usize,
+    /// Output path override for the `--check` JSON summary.
+    pub json: Option<String>,
 }
 
 impl BenchOpts {
@@ -45,6 +51,12 @@ impl BenchOpts {
                 a if a.starts_with("--par=") => {
                     opts.par = a["--par=".len()..].parse().expect("--par=N needs a number");
                 }
+                "--json" => {
+                    opts.json = Some(args.next().expect("--json requires a path"));
+                }
+                a if a.starts_with("--json=") => {
+                    opts.json = Some(a["--json=".len()..].to_string());
+                }
                 _ => {}
             }
         }
@@ -61,5 +73,6 @@ mod tests {
         let o = BenchOpts::default();
         assert!(!o.smoke && !o.check);
         assert_eq!(o.par, 0, "single-threaded by default");
+        assert!(o.json.is_none(), "default JSON path");
     }
 }

@@ -38,6 +38,8 @@ pub struct InvariantGate {
     scenario: String,
     smoke: bool,
     check_mode: bool,
+    /// `--json PATH` override for the summary location.
+    json_path: Option<String>,
     checks: Vec<CheckRecord>,
     /// Raw counters for baseline diffing (insertion-ordered).
     metrics: Vec<(String, u64)>,
@@ -45,11 +47,12 @@ pub struct InvariantGate {
 
 impl InvariantGate {
     /// A gate for `scenario` under the parsed flags.
-    pub fn new(scenario: impl Into<String>, opts: BenchOpts) -> InvariantGate {
+    pub fn new(scenario: impl Into<String>, opts: &BenchOpts) -> InvariantGate {
         InvariantGate {
             scenario: scenario.into(),
             smoke: opts.smoke,
             check_mode: opts.check,
+            json_path: opts.json.clone(),
             checks: Vec::new(),
             metrics: Vec::new(),
         }
@@ -160,7 +163,13 @@ impl InvariantGate {
             self.checks.len()
         );
         if self.check_mode {
-            let path = report::results_dir().join(format!("ci_{}.json", self.scenario));
+            let path = match &self.json_path {
+                Some(p) => std::path::PathBuf::from(p),
+                None => report::results_dir().join(format!("ci_{}.json", self.scenario)),
+            };
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(dir);
+            }
             match std::fs::File::create(&path)
                 .and_then(|mut f| f.write_all(self.to_json().as_bytes()))
             {
@@ -204,12 +213,13 @@ mod tests {
             smoke: true,
             check: true,
             par: 0,
+            json: None,
         }
     }
 
     #[test]
     fn collects_without_panicking_in_check_mode() {
-        let mut g = InvariantGate::new("t", opts_check());
+        let mut g = InvariantGate::new("t", &opts_check());
         g.check_eq("eq", 1u64, 2u64);
         g.check_le("le", 5, 9);
         g.check_ge("ge", 3, 3);
@@ -221,13 +231,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "invariant `eq` failed")]
     fn panics_in_plain_mode() {
-        let mut g = InvariantGate::new("t", BenchOpts::default());
+        let mut g = InvariantGate::new("t", &BenchOpts::default());
         g.check_eq("eq", 1u64, 2u64);
     }
 
     #[test]
     fn json_shape() {
-        let mut g = InvariantGate::new("demo", opts_check());
+        let mut g = InvariantGate::new("demo", &opts_check());
         g.check_eq("one_copy_per_link", 1u64, 1u64);
         g.metric("objects_forwarded", 42);
         let j = g.to_json();

@@ -47,8 +47,15 @@
 //! and never drains, a fetch-bomb client that stampedes a cold relay)
 //! rides on the same `on_datagram`/`on_timer` surface as the honest
 //! stubs, so attack drills compose with any topology built here.
+//!
+//! The same node types also run against **real sockets**: the [`live`]
+//! bridge ([`LiveSim`]) maps wall-clock time onto [`SimTime`], injects
+//! datagrams read from a UDP socket as cross-shard arrivals, and parks
+//! node sends bound for remote peers in an outbound queue the io driver
+//! flushes to the wire — the machinery `moqdns-relayd` is built on.
 
 pub mod link;
+pub mod live;
 pub mod node;
 pub mod par;
 mod sched;
@@ -58,6 +65,7 @@ pub mod time;
 pub mod topo;
 
 pub use link::LinkConfig;
+pub use live::{LiveSim, OutboundDatagram};
 pub use node::{Addr, Ctx, Node, NodeId};
 pub use par::ParSim;
 pub use sim::Simulator;

@@ -605,6 +605,13 @@ impl Simulator {
         self.core.queue.len()
     }
 
+    /// When the earliest scheduled event fires, if any. The live bridge
+    /// derives socket read timeouts from this so a sleeping io thread
+    /// wakes exactly when the next protocol timer is due.
+    pub fn next_event_at(&mut self) -> Option<SimTime> {
+        self.core.queue.next_at()
+    }
+
     /// Sets both directions between `a` and `b`.
     pub fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
         self.set_link_directed(a, b, cfg);

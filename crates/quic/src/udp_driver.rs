@@ -43,34 +43,54 @@ impl UdpDriver {
         let st = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
             let mut buf = [0u8; 65_536];
+            // Outbound burst buffer: transmissions are collected under the
+            // endpoint lock but written to the socket after it is released,
+            // so a slow `send_to` never blocks the other driver threads
+            // (or the application) out of the endpoint.
+            let mut out: Vec<(SocketAddr, Payload)> = Vec::new();
+            // The kernel keeps the last armed read timeout; re-arming it
+            // every iteration is a syscall per loop for nothing. Only
+            // re-arm when the computed wait actually changes.
+            let mut armed_wait: Option<Duration> = None;
             while !st.load(Ordering::Relaxed) {
                 let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                // Flush all pending transmissions.
-                {
+                // Fire due timers and collect the pending burst.
+                let deadline = {
                     let mut ep = ep.lock();
                     ep.handle_timeout(now);
                     while let Some((peer, dg)) = ep.poll_transmit(now) {
-                        let _ = socket.send_to(&dg, peer);
+                        out.push((peer, dg));
                     }
+                    ep.poll_timeout()
+                };
+                for (peer, dg) in out.drain(..) {
+                    let _ = socket.send_to(&dg, peer);
                 }
                 // Sleep until the next protocol deadline (bounded).
-                let deadline = { ep.lock().poll_timeout() };
                 let wait = deadline
                     .map(|d| d.saturating_duration_since(now))
                     .unwrap_or(Duration::from_millis(50))
                     .clamp(Duration::from_millis(1), Duration::from_millis(50));
-                socket
-                    .set_read_timeout(Some(wait))
-                    .expect("set_read_timeout");
+                if armed_wait != Some(wait) {
+                    socket
+                        .set_read_timeout(Some(wait))
+                        .expect("set_read_timeout");
+                    armed_wait = Some(wait);
+                }
                 match socket.recv_from(&mut buf) {
                     Ok((n, from)) => {
                         let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
                         // One copy from the socket buffer into a shared
                         // payload; the whole parse below is zero-copy.
                         let dg = Payload::from(&buf[..n]);
-                        let mut ep = ep.lock();
-                        ep.handle_datagram(now, from, &dg);
-                        while let Some((peer, dg)) = ep.poll_transmit(now) {
+                        {
+                            let mut ep = ep.lock();
+                            ep.handle_datagram(now, from, &dg);
+                            while let Some((peer, dg)) = ep.poll_transmit(now) {
+                                out.push((peer, dg));
+                            }
+                        }
+                        for (peer, dg) in out.drain(..) {
                             let _ = socket.send_to(&dg, peer);
                         }
                     }

@@ -1,0 +1,15 @@
+//! The live load generator. See `moqdns_relayd::engine`.
+//!
+//! ```text
+//! moqdns-loadgen --server 127.0.0.1:4471 --rounds 5 \
+//!                --check --json results/live_smoke.json
+//! ```
+//!
+//! Replays the workload crate's live plan (Zipf track popularity, Poisson
+//! joins, churn bounces) against a running `moqdns-relayd`, then exits
+//! nonzero if any zero-loss/convergence invariant failed.
+
+fn main() {
+    let opts = moqdns_relayd::engine::LoadgenOpts::from_args();
+    std::process::exit(moqdns_relayd::engine::run(opts));
+}

@@ -1,0 +1,16 @@
+//! The relay/auth daemon over real sockets. See `moqdns_relayd::daemon`.
+//!
+//! ```text
+//! moqdns-relayd --mode auth  --listen 127.0.0.1:4470 --workers 2 \
+//!               --tracks 8 --rounds 5 --interval-ms 400
+//! moqdns-relayd --mode relay --listen 127.0.0.1:4471 --workers 2 \
+//!               --parent 127.0.0.1:4470
+//! ```
+//!
+//! Runs until SIGTERM/SIGINT, then drains every session through the
+//! state machine and exits 0 on a clean drain.
+
+fn main() {
+    let opts = moqdns_relayd::daemon::DaemonOpts::from_args();
+    std::process::exit(moqdns_relayd::daemon::run(opts));
+}

@@ -1,0 +1,360 @@
+//! The `moqdns-loadgen` engine: replays a [`LivePlan`] against a running
+//! daemon over real loopback sockets and gates the outcome.
+//!
+//! Each planned client is a full [`StubResolver`] — the same node the
+//! simulator experiments measure — behind its own UDP socket, so the
+//! daemon sees N distinct remote addresses. The engine executes the plan
+//! (staggered joins, churn bounces), waits until every subscription has
+//! converged on the auth's final published version, and reports through
+//! the shared [`InvariantGate`]:
+//!
+//! * **gated (deterministic, final-state)**: every planned `(client,
+//!   track)` pair holds an answer; every pair reaches the final TXT
+//!   version; pushed versions are strictly monotone per track; no MoQT
+//!   lookup failed; every io worker drained cleanly. These hold however
+//!   the wall clock interleaves, because a late joiner's fetch also
+//!   returns the newest version.
+//! * **reported only (wall-clock)**: pps, p50/p99 query latency,
+//!   update-delivery lag (TXT `ts=` stamps against this host's clock),
+//!   datagram counts. CI uploads them but never exact-diffs them.
+//!
+//! A churn bounce reuses the stub's §4.4 suspension hooks: the QUIC
+//! connection is dropped silently and local state forgotten, so the
+//! rejoin exercises reconnection with a fresh joining fetch against the
+//! live daemon.
+
+use crate::daemon::unix_nanos;
+use crate::netio::{HostCore, LiveHost};
+use moqdns_bench::cli::BenchOpts;
+use moqdns_bench::gate::InvariantGate;
+use moqdns_core::metrics::AnswerSource;
+use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_core::MOQT_PORT;
+use moqdns_dns::message::Question;
+use moqdns_dns::rdata::RData;
+use moqdns_dns::rr::RecordType;
+use moqdns_netsim::{Addr, NodeId};
+use moqdns_stats::Summary;
+use moqdns_workload::live::{LivePlan, LiveSpec};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Parsed load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenOpts {
+    /// The daemon to load (auth or relay listen address).
+    pub server: SocketAddr,
+    /// Final TXT version the auth publishes (must match the daemon's
+    /// `--rounds`); convergence is declared when every pair reaches it.
+    pub rounds: u64,
+    /// Hard wall-clock budget; hitting it fails the completeness gates.
+    pub deadline: Duration,
+    /// Profile label — the gate scenario is `live_<profile>`.
+    pub profile: String,
+    /// The replay plan parameters.
+    pub spec: LiveSpec,
+    /// Shared bench flags (`--check`, `--json`, `--smoke`).
+    pub bench: BenchOpts,
+}
+
+impl LoadgenOpts {
+    /// Parses process arguments (bench flags are parsed by
+    /// [`BenchOpts::from_args`], which ignores the loadgen-specific ones).
+    pub fn from_args() -> LoadgenOpts {
+        let bench = BenchOpts::from_args();
+        let mut o = LoadgenOpts {
+            server: "127.0.0.1:4471".parse().expect("valid default"),
+            rounds: 5,
+            deadline: Duration::from_secs(20),
+            profile: "smoke".into(),
+            spec: LiveSpec::smoke(),
+            bench,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut val = |flag: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+            };
+            match a.as_str() {
+                "--server" => o.server = val("--server").parse().expect("--server addr:port"),
+                "--rounds" => o.rounds = val("--rounds").parse().expect("--rounds N"),
+                "--deadline-ms" => {
+                    o.deadline = Duration::from_millis(val("--deadline-ms").parse().expect("ms"))
+                }
+                "--profile" => o.profile = val("--profile"),
+                "--clients" => o.spec.clients = val("--clients").parse().expect("--clients N"),
+                "--tracks" => o.spec.tracks = val("--tracks").parse().expect("--tracks N"),
+                "--zone" => o.spec.zone = val("--zone"),
+                // Bench flags, already handled by BenchOpts::from_args.
+                "--smoke" | "--check" => {}
+                "--par" | "--json" => {
+                    let _ = val(&a);
+                }
+                a if a.starts_with("--par=") || a.starts_with("--json=") => {}
+                other => panic!("unknown flag {other} (see crates/relayd/src/engine.rs)"),
+            }
+        }
+        o
+    }
+}
+
+/// One scheduled plan step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Connect + subscribe all planned tracks.
+    Join,
+    /// Silently drop the connection and forget local state (§4.4 churn).
+    Drop,
+    /// Re-subscribe everything after a bounce.
+    Rejoin,
+}
+
+/// Latest TXT observation for one `(client, track)` pair.
+#[derive(Debug, Clone, Copy, Default)]
+struct Observed {
+    version: Option<u64>,
+    answered: bool,
+}
+
+/// Parses `["v=<n>", "ts=<nanos>"]` out of a TXT answer.
+fn parse_txt(records: &[moqdns_dns::rr::Record]) -> Option<(u64, u128)> {
+    for r in records {
+        if let RData::TXT(strings) = &r.rdata {
+            let mut v = None;
+            let mut ts = None;
+            for s in strings {
+                let s = std::str::from_utf8(s).ok()?;
+                if let Some(x) = s.strip_prefix("v=") {
+                    v = x.parse::<u64>().ok();
+                } else if let Some(x) = s.strip_prefix("ts=") {
+                    ts = x.parse::<u128>().ok();
+                }
+            }
+            if let (Some(v), Some(ts)) = (v, ts) {
+                return Some((v, ts));
+            }
+        }
+    }
+    None
+}
+
+/// Runs the load, writes the gate JSON, returns the process exit code.
+pub fn run(opts: LoadgenOpts) -> i32 {
+    let plan = LivePlan::generate(opts.spec.clone());
+    let mut gate = InvariantGate::new(format!("live_{}", opts.profile), &opts.bench);
+
+    // One stub node + one socket per planned client.
+    let mut core = HostCore::new(opts.spec.seed, false);
+    let server = core.register_remote(opts.server);
+    let server_addr = Addr::new(server, MOQT_PORT);
+    let nodes: Vec<NodeId> = (0..plan.clients.len())
+        .map(|i| {
+            core.live().add_node(
+                format!("client{i}"),
+                Box::new(StubResolver::new(
+                    StubMode::Moqt,
+                    server_addr,
+                    1000 + i as u64,
+                )),
+            )
+        })
+        .collect();
+    let sockets: Vec<UdpSocket> = (0..nodes.len())
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind client socket"))
+        .collect();
+    let host = LiveHost::start(core, sockets, nodes.clone());
+
+    // Flatten the plan into a time-ordered action list.
+    let questions: BTreeMap<usize, Question> = (0..plan.spec.tracks)
+        .map(|t| {
+            (
+                t,
+                Question::new(
+                    plan.track_name(t).parse().expect("valid name"),
+                    RecordType::TXT,
+                ),
+            )
+        })
+        .collect();
+    let mut schedule: Vec<(Duration, usize, Action)> = Vec::new();
+    for (c, cp) in plan.clients.iter().enumerate() {
+        schedule.push((cp.join_at, c, Action::Join));
+        if let Some(b) = cp.bounce_at {
+            schedule.push((b, c, Action::Drop));
+            schedule.push((b + plan.spec.bounce_after, c, Action::Rejoin));
+        }
+    }
+    schedule.sort_by_key(|&(at, c, _)| (at, c));
+
+    // Drive the plan and poll convergence.
+    let pairs: Vec<(usize, usize)> = plan
+        .clients
+        .iter()
+        .enumerate()
+        .flat_map(|(c, cp)| cp.tracks.iter().map(move |&t| (c, t)))
+        .collect();
+    let mut observed: BTreeMap<(usize, usize), Observed> = BTreeMap::new();
+    let mut lag_us: Vec<f64> = Vec::new();
+    let mut next_action = 0usize;
+    let mut bounces = 0u64;
+    let converged = loop {
+        let now = host.now();
+        if now > opts.deadline {
+            break false;
+        }
+        while next_action < schedule.len() && schedule[next_action].0 <= now {
+            let (_, c, action) = schedule[next_action];
+            next_action += 1;
+            let node = nodes[c];
+            let tracks = &plan.clients[c].tracks;
+            host.with_core(|core| {
+                core.live()
+                    .with_node::<StubResolver, _>(node, |stub, ctx| match action {
+                        Action::Join | Action::Rejoin => {
+                            for &t in tracks {
+                                stub.lookup(ctx, questions[&t].clone());
+                            }
+                        }
+                        Action::Drop => {
+                            stub.debug_drop_connection();
+                            stub.debug_forget_subscriptions();
+                            bounces += 1;
+                        }
+                    });
+            });
+        }
+        // Poll every pair's latest answer; sample lag on version changes.
+        let mut all_final = true;
+        host.with_core(|core| {
+            for &(c, t) in &pairs {
+                let stub: &StubResolver = core.live().node_ref(nodes[c]);
+                let obs = observed.entry((c, t)).or_default();
+                if let Some(records) = stub.answer(&questions[&t]) {
+                    obs.answered = true;
+                    if let Some((v, ts)) = parse_txt(records) {
+                        if obs.version != Some(v) {
+                            obs.version = Some(v);
+                            let now_ns = unix_nanos();
+                            if v > 0 && now_ns > ts {
+                                lag_us.push((now_ns - ts) as f64 / 1_000.0);
+                            }
+                        }
+                        if v < opts.rounds {
+                            all_final = false;
+                        }
+                    } else {
+                        all_final = false;
+                    }
+                } else {
+                    all_final = false;
+                }
+            }
+        });
+        if all_final && next_action == schedule.len() {
+            break true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let wall = host.now();
+
+    // Harvest per-client metrics.
+    let mut moqt_ok = 0u64;
+    let mut moqt_failed = 0u64;
+    let mut latency_us: Vec<f64> = Vec::new();
+    let mut non_monotone = 0u64;
+    let mut updates_received = 0u64;
+    host.with_core(|core| {
+        for &n in &nodes {
+            let stub: &StubResolver = core.live().node_ref(n);
+            for l in &stub.metrics.lookups {
+                match l.source {
+                    AnswerSource::Moqt if l.ok => {
+                        moqt_ok += 1;
+                        latency_us
+                            .push((l.finished.as_nanos() - l.started.as_nanos()) as f64 / 1_000.0);
+                    }
+                    AnswerSource::Moqt => moqt_failed += 1,
+                    _ => {}
+                }
+            }
+            let mut last: BTreeMap<Question, u64> = BTreeMap::new();
+            for u in &stub.metrics.updates {
+                updates_received += 1;
+                if let Some(&prev) = last.get(&u.question) {
+                    if u.version <= prev {
+                        non_monotone += 1;
+                    }
+                }
+                last.insert(u.question.clone(), u.version);
+            }
+        }
+    });
+    let (rx, tx) = host.stats();
+    let clean = host.stop();
+
+    // ---- Gated invariants (deterministic, final-state) ----------------
+    let answered = observed.values().filter(|o| o.answered).count() as u64;
+    let at_final = observed
+        .values()
+        .filter(|o| o.version == Some(opts.rounds))
+        .count() as u64;
+    gate.check_true(
+        "converged_before_deadline",
+        converged,
+        format!("converged={converged} after {} ms", wall.as_millis()),
+    );
+    gate.check_eq("answers_complete", pairs.len() as u64, answered);
+    gate.check_eq("final_version_complete", pairs.len() as u64, at_final);
+    gate.check_eq("update_non_monotone", 0, non_monotone);
+    gate.check_eq("moqt_lookup_failures", 0, moqt_failed);
+    gate.check_true(
+        "clean_worker_drain",
+        clean,
+        format!("all {} io workers stopped cleanly", nodes.len()),
+    );
+
+    // ---- Deterministic metrics (baseline-diffed) ----------------------
+    gate.metric("clients", plan.clients.len() as u64);
+    gate.metric("planned_subscriptions", pairs.len() as u64);
+    gate.metric("tracks", plan.spec.tracks as u64);
+    gate.metric("final_version", opts.rounds);
+    gate.metric("bounces", bounces);
+
+    // ---- Wall-clock metrics (reported, never diffed) ------------------
+    gate.metric("wall_ms", wall.as_millis() as u64);
+    gate.metric("rx_datagrams", rx);
+    gate.metric("tx_datagrams", tx);
+    gate.metric(
+        "wire_pps",
+        ((rx + tx) as f64 / wall.as_secs_f64().max(1e-9)) as u64,
+    );
+    gate.metric("moqt_lookups_ok", moqt_ok);
+    gate.metric("updates_received", updates_received);
+    let lat = Summary::from(latency_us);
+    if !lat.is_empty() {
+        gate.metric("query_latency_p50_us", lat.percentile(50.0) as u64);
+        gate.metric("query_latency_p99_us", lat.percentile(99.0) as u64);
+    }
+    let lag = Summary::from(lag_us);
+    if !lag.is_empty() {
+        gate.metric("update_lag_p50_us", lag.percentile(50.0) as u64);
+        gate.metric("update_lag_p99_us", lag.percentile(99.0) as u64);
+    }
+
+    println!(
+        "moqdns-loadgen: {} clients, {}/{} pairs at v{}, {} updates, rx={rx} tx={tx}, {} ms",
+        plan.clients.len(),
+        at_final,
+        pairs.len(),
+        opts.rounds,
+        updates_received,
+        wall.as_millis()
+    );
+    if gate.finish() {
+        0
+    } else {
+        1
+    }
+}

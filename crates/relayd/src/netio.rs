@@ -1,0 +1,458 @@
+//! Sharded UDP io for live protocol nodes.
+//!
+//! A [`LiveHost`] owns N real sockets, one worker thread per socket, all
+//! feeding one shared [`LiveSim`] bridge behind a
+//! mutex. The hot path is batched to amortize both syscalls and lock
+//! acquisitions, per the daemon design:
+//!
+//! * a worker blocks in `recv_from` with a timeout derived from the
+//!   bridge's next protocol deadline, re-arming `SO_RCVTIMEO` **only when
+//!   the computed wait changes** (the kernel keeps the last value);
+//! * on wakeup it drains a burst of datagrams (tiny follow-up timeout)
+//!   before taking the lock **once** for the whole batch: advance the
+//!   clock, inject every frame, pump events, drain the outbound queue;
+//! * outbound datagrams are written to the wire *after* the lock is
+//!   released, so a slow `send_to` never blocks the other workers.
+//!
+//! For a daemon, the N sockets are `SO_REUSEPORT` shards of one
+//! listen address ([`bind_sharded`]): the kernel hashes each peer flow to
+//! one socket, every worker replies from its own socket (the bound
+//! address is identical), and cross-worker outbound hand-off is safe
+//! because any worker may send on any shard. For a load generator, each
+//! socket instead fronts one client node, so inbound routing is the
+//! socket itself.
+
+use moqdns_core::MOQT_PORT;
+use moqdns_netsim::{Addr, LiveSim, NodeId, Payload};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Most datagrams a worker drains per lock acquisition.
+const BATCH: usize = 64;
+/// Follow-up read timeout while draining a burst.
+const TAIL_WAIT: Duration = Duration::from_micros(1);
+/// Ceiling on a worker's sleep: bounds how late an action armed by the
+/// control thread (publish round, plan step) can fire.
+const MAX_WAIT: Duration = Duration::from_millis(25);
+/// Floor: `SO_RCVTIMEO` of zero would mean "block forever".
+const MIN_WAIT: Duration = Duration::from_millis(1);
+
+/// Shared datagram counters (wire-level, both directions).
+#[derive(Debug, Default)]
+pub struct HostStats {
+    /// Datagrams read off the wire.
+    pub rx: AtomicU64,
+    /// Datagrams written to the wire.
+    pub tx: AtomicU64,
+}
+
+/// The mutable heart of a [`LiveHost`]: the sim bridge plus the
+/// `NodeId ↔ SocketAddr` registry for remote peers.
+pub struct HostCore {
+    live: LiveSim,
+    /// Allocate remote slots for unknown senders on demand (a daemon
+    /// accepts anyone; a load generator talks only to registered peers).
+    learn_remotes: bool,
+    by_addr: BTreeMap<SocketAddr, NodeId>,
+    by_node: BTreeMap<u32, SocketAddr>,
+}
+
+impl HostCore {
+    /// A fresh core around an empty bridge.
+    pub fn new(seed: u64, learn_remotes: bool) -> HostCore {
+        HostCore {
+            live: LiveSim::new(seed),
+            learn_remotes,
+            by_addr: BTreeMap::new(),
+            by_node: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying bridge (add nodes before [`LiveHost::start`]).
+    pub fn live(&mut self) -> &mut LiveSim {
+        &mut self.live
+    }
+
+    /// Registers (or looks up) the remote slot for a peer socket address.
+    pub fn register_remote(&mut self, peer: SocketAddr) -> NodeId {
+        if let Some(&id) = self.by_addr.get(&peer) {
+            return id;
+        }
+        let id = self.live.add_remote();
+        self.by_addr.insert(peer, id);
+        self.by_node.insert(id.index() as u32, peer);
+        id
+    }
+
+    fn remote_for(&mut self, peer: SocketAddr) -> Option<NodeId> {
+        match self.by_addr.get(&peer) {
+            Some(&id) => Some(id),
+            None if self.learn_remotes => Some(self.register_remote(peer)),
+            None => None,
+        }
+    }
+
+    fn peer_of(&self, node: NodeId) -> Option<SocketAddr> {
+        self.by_node.get(&(node.index() as u32)).copied()
+    }
+}
+
+/// A resolved outbound frame: which socket sends what where.
+struct WireFrame {
+    peer: SocketAddr,
+    egress: usize,
+    payload: Payload,
+}
+
+struct Shared {
+    core: Mutex<HostCore>,
+    stop: AtomicBool,
+    stats: HostStats,
+    /// Set when a worker dies on a socket error (drain is then unclean).
+    failed: AtomicBool,
+}
+
+/// N sockets + N workers around one shared [`HostCore`].
+pub struct LiveHost {
+    shared: Arc<Shared>,
+    sockets: Vec<Arc<UdpSocket>>,
+    /// Local node each socket's inbound traffic is injected into.
+    targets: Vec<NodeId>,
+    epoch: Instant,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LiveHost {
+    /// Starts one worker per socket. `targets[i]` is the local node that
+    /// receives everything arriving on `sockets[i]`.
+    pub fn start(core: HostCore, sockets: Vec<UdpSocket>, targets: Vec<NodeId>) -> LiveHost {
+        assert_eq!(sockets.len(), targets.len(), "one target per socket");
+        assert!(!sockets.is_empty(), "need at least one socket");
+        let sockets: Vec<Arc<UdpSocket>> = sockets.into_iter().map(Arc::new).collect();
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            stop: AtomicBool::new(false),
+            stats: HostStats::default(),
+            failed: AtomicBool::new(false),
+        });
+        let epoch = Instant::now();
+        let handles = (0..sockets.len())
+            .map(|k| {
+                let shared = Arc::clone(&shared);
+                let sockets = sockets.clone();
+                let targets = targets.clone();
+                std::thread::Builder::new()
+                    .name(format!("udp-worker-{k}"))
+                    .spawn(move || worker_loop(k, &shared, &sockets, &targets, epoch))
+                    .expect("spawn worker")
+            })
+            .collect();
+        LiveHost {
+            shared,
+            sockets,
+            targets,
+            epoch,
+            handles,
+        }
+    }
+
+    /// Wall-clock time on the bridge's clock.
+    pub fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Wire datagram counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.shared.stats.rx.load(Ordering::Relaxed),
+            self.shared.stats.tx.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Runs `f` against the core with the clock advanced to wall time,
+    /// then flushes any outbound datagrams the action generated. This is
+    /// how control threads (publisher, plan driver) call node verbs.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut HostCore) -> R) -> R {
+        let (r, frames) = {
+            let mut core = self.shared.core.lock();
+            let now = moqdns_netsim::SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64);
+            core.live.run_until(now);
+            let r = f(&mut core);
+            core.live.run_until(now);
+            let frames = resolve_outbound(&mut core, &self.targets, 0);
+            (r, frames)
+        };
+        self.send_frames(&frames);
+        r
+    }
+
+    fn send_frames(&self, frames: &[WireFrame]) {
+        for fr in frames {
+            if self.sockets[fr.egress]
+                .send_to(&fr.payload, fr.peer)
+                .is_ok()
+            {
+                self.shared.stats.tx.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stops and joins every worker. Returns `true` when all workers ran
+    /// until asked to stop (no socket errors — a clean drain).
+    pub fn stop(mut self) -> bool {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        !self.shared.failed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for LiveHost {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Resolves the bridge's parked outbound datagrams into wire frames.
+/// `me` is the calling worker's socket index: a frame whose source node
+/// owns several shards (the daemon case) goes out the caller's own socket
+/// — every shard is bound to the same address, and using the local socket
+/// avoids cross-thread contention on one "primary" fd.
+fn resolve_outbound(core: &mut HostCore, targets: &[NodeId], me: usize) -> Vec<WireFrame> {
+    let out = core.live.take_outbound();
+    let mut frames = Vec::with_capacity(out.len());
+    for dg in out {
+        let Some(peer) = core.peer_of(dg.to.node) else {
+            continue; // remote vanished (never registered); drop
+        };
+        let egress = if targets[me] == dg.from.node {
+            me
+        } else {
+            targets
+                .iter()
+                .position(|&t| t == dg.from.node)
+                .unwrap_or(me)
+        };
+        frames.push(WireFrame {
+            peer,
+            egress,
+            payload: dg.payload,
+        });
+    }
+    frames
+}
+
+fn worker_loop(
+    k: usize,
+    shared: &Shared,
+    sockets: &[Arc<UdpSocket>],
+    targets: &[NodeId],
+    epoch: Instant,
+) {
+    let socket = &sockets[k];
+    let mut buf = [0u8; 65_536];
+    let mut inbox: Vec<(SocketAddr, Payload)> = Vec::with_capacity(BATCH);
+    let mut armed: Option<Duration> = None;
+    // Arm the initial wait before the first blocking read.
+    let mut wait = MIN_WAIT;
+    while !shared.stop.load(Ordering::Relaxed) {
+        if armed != Some(wait) {
+            if socket.set_read_timeout(Some(wait)).is_err() {
+                shared.failed.store(true, Ordering::Relaxed);
+                return;
+            }
+            armed = Some(wait);
+        }
+        match socket.recv_from(&mut buf) {
+            Ok((n, from)) => {
+                inbox.push((from, Payload::from(&buf[..n])));
+                // Burst drain: keep reading with a tiny timeout so one
+                // lock acquisition below covers the whole batch.
+                if socket.set_read_timeout(Some(TAIL_WAIT)).is_ok() {
+                    armed = Some(TAIL_WAIT);
+                    while inbox.len() < BATCH {
+                        match socket.recv_from(&mut buf) {
+                            Ok((n, from)) => inbox.push((from, Payload::from(&buf[..n]))),
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                shared.failed.store(true, Ordering::Relaxed);
+                return;
+            }
+        }
+        shared
+            .stats
+            .rx
+            .fetch_add(inbox.len() as u64, Ordering::Relaxed);
+
+        // One lock for the whole batch: clock, injects, pump, outbound.
+        let (frames, next) = {
+            let mut core = shared.core.lock();
+            let now = moqdns_netsim::SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+            core.live.run_until(now);
+            for (from, payload) in inbox.drain(..) {
+                if let Some(remote) = core.remote_for(from) {
+                    core.live.inject(
+                        Addr::new(remote, MOQT_PORT),
+                        Addr::new(targets[k], MOQT_PORT),
+                        payload,
+                    );
+                }
+            }
+            core.live.run_until(now);
+            let frames = resolve_outbound(&mut core, targets, k);
+            (frames, core.live.next_event_at())
+        };
+        for fr in &frames {
+            if sockets[fr.egress].send_to(&fr.payload, fr.peer).is_ok() {
+                shared.stats.tx.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Sleep until the next protocol deadline (bounded both ways).
+        let now = epoch.elapsed();
+        wait = next
+            .map(|at| Duration::from_nanos(at.as_nanos()).saturating_sub(now))
+            .unwrap_or(MAX_WAIT)
+            .clamp(MIN_WAIT, MAX_WAIT);
+    }
+}
+
+/// Binds `workers` sockets to one `addr:port` via `SO_REUSEPORT`, so the
+/// kernel shards inbound flows across them. With `workers == 1` this is a
+/// plain bind. Returns the sockets plus the (single) bound address.
+pub fn bind_sharded(addr: &str, workers: usize) -> std::io::Result<(Vec<UdpSocket>, SocketAddr)> {
+    assert!(workers >= 1, "need at least one worker");
+    if workers == 1 {
+        let s = UdpSocket::bind(addr)?;
+        let local = s.local_addr()?;
+        return Ok((vec![s], local));
+    }
+    let first = bind_reuseport(addr)?;
+    let local = first.local_addr()?;
+    let mut sockets = vec![first];
+    for _ in 1..workers {
+        // Re-bind the *resolved* address: with an ephemeral request
+        // (`:0`) every shard must land on the port the first bind got.
+        sockets.push(bind_reuseport(&local.to_string())?);
+    }
+    Ok((sockets, local))
+}
+
+/// Binds a UDP socket with `SO_REUSEPORT` set before `bind` (std has no
+/// API for this ordering, so the socket is created with raw syscalls and
+/// then adopted). IPv4 only — the daemon's listeners are loopback/LAN
+/// addresses.
+#[cfg(target_os = "linux")]
+fn bind_reuseport(addr: &str) -> std::io::Result<UdpSocket> {
+    use std::os::fd::FromRawFd;
+
+    let parsed: SocketAddr = addr
+        .parse()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+    let SocketAddr::V4(v4) = parsed else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "SO_REUSEPORT sharding supports IPv4 listen addresses only",
+        ));
+    };
+
+    const AF_INET: i32 = 2;
+    const SOCK_DGRAM: i32 = 2;
+    const SOCK_CLOEXEC: i32 = 0x80000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEPORT: i32 = 15;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        /// Network byte order.
+        port: u16,
+        /// Network byte order.
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEPORT,
+            &one,
+            std::mem::size_of::<i32>() as u32,
+        ) != 0
+        {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) != 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        Ok(UdpSocket::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_reuseport(_addr: &str) -> std::io::Result<UdpSocket> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "SO_REUSEPORT sharding is implemented for Linux only; use --workers 1",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reuseport_shards_share_one_port() {
+        let (sockets, local) = bind_sharded("127.0.0.1:0", 3).expect("bind shards");
+        assert_eq!(sockets.len(), 3);
+        for s in &sockets {
+            assert_eq!(s.local_addr().unwrap(), local);
+        }
+    }
+
+    #[test]
+    fn single_worker_needs_no_reuseport() {
+        let (sockets, local) = bind_sharded("127.0.0.1:0", 1).expect("bind");
+        assert_eq!(sockets.len(), 1);
+        assert_ne!(local.port(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Tier-1 integration: a 3-node chain — auth daemon → relay daemon (2
+//! sharded workers) → loadgen stubs — over **real loopback sockets**.
+//!
+//! This is the live counterpart of the simulator chain scenarios: the
+//! same node types, the io layer swapped for `LiveHost` workers. The
+//! loadgen engine runs in plain (non-`--check`) mode, so any violated
+//! invariant (incomplete delivery, non-monotone updates, failed lookups,
+//! unclean worker drain) panics with its name. The daemons must then
+//! drain to exit code 0 on the shutdown latch, all inside a bounded
+//! wall-clock budget.
+
+use moqdns_bench::cli::BenchOpts;
+use moqdns_relayd::daemon::{self, DaemonOpts, Mode};
+use moqdns_relayd::engine::{self, LoadgenOpts};
+use moqdns_relayd::signal;
+use moqdns_workload::live::LiveSpec;
+use std::time::{Duration, Instant};
+
+#[test]
+fn three_node_chain_over_real_loopback() {
+    let start = Instant::now();
+    let auth_opts = DaemonOpts {
+        mode: Mode::Auth,
+        listen: "127.0.0.1:46470".into(),
+        workers: 1,
+        tracks: 4,
+        rounds: 3,
+        interval: Duration::from_millis(200),
+        start_delay: Duration::from_millis(800),
+        ..DaemonOpts::default()
+    };
+    let relay_opts = DaemonOpts {
+        mode: Mode::Relay,
+        listen: "127.0.0.1:46471".into(),
+        workers: 2,
+        parent: Some("127.0.0.1:46470".parse().unwrap()),
+        ..DaemonOpts::default()
+    };
+    let auth = std::thread::spawn(move || daemon::run(auth_opts));
+    std::thread::sleep(Duration::from_millis(100));
+    let relay = std::thread::spawn(move || daemon::run(relay_opts));
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut spec = LiveSpec::smoke();
+    spec.clients = 6;
+    spec.tracks = 4;
+    spec.subs_per_client = 2;
+    let code = engine::run(LoadgenOpts {
+        server: "127.0.0.1:46471".parse().unwrap(),
+        rounds: 3,
+        deadline: Duration::from_secs(15),
+        profile: "chain_test".into(),
+        spec,
+        bench: BenchOpts::default(),
+    });
+    assert_eq!(code, 0, "loadgen invariants hold over the live chain");
+
+    // SIGTERM equivalent: trip the latch, both daemons must drain clean.
+    signal::request_shutdown();
+    assert_eq!(auth.join().unwrap(), 0, "auth drained cleanly");
+    assert_eq!(relay.join().unwrap(), 0, "relay drained cleanly");
+    assert!(
+        start.elapsed() < Duration::from_secs(25),
+        "chain converged and drained within the wall-clock budget (took {:?})",
+        start.elapsed()
+    );
+}

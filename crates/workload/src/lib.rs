@@ -13,6 +13,8 @@
 //!   consecutive observations) while TTL ≥ 600 s records essentially never
 //!   change;
 //! * [`queries`] — query arrival processes (Poisson, Zipf-over-toplist);
+//! * [`live`] — the models above compiled into a pure-data [`LivePlan`]
+//!   replayed by `moqdns-loadgen` against a real daemon over sockets;
 //! * [`scenarios`] — the §5.3 use-case parameter sets (DDNS, CDN, deep
 //!   space) with the paper's back-of-envelope arithmetic reproduced
 //!   exactly.
@@ -23,11 +25,13 @@
 //! them.
 
 pub mod churn;
+pub mod live;
 pub mod queries;
 pub mod scenarios;
 pub mod toplist;
 pub mod ttl_model;
 
 pub use churn::ChurnModel;
+pub use live::{LivePlan, LiveSpec};
 pub use toplist::{Toplist, ToplistDomain};
 pub use ttl_model::TtlModel;

@@ -7,6 +7,13 @@
 //! performs the QUIC-like handshake, MoQT session setup, a SUBSCRIBE +
 //! joining FETCH for a DNS question, and pushes one record update — all
 //! over the loopback interface with wall-clock time.
+//!
+//! This is the minimal single-socket demo wired by hand at the endpoint
+//! layer. The **production path** is `moqdns-relayd` (`crates/relayd`):
+//! the full `AuthServer`/`RelayNode` nodes over N `SO_REUSEPORT` socket
+//! shards with worker threads, batched io, and a graceful SIGTERM drain —
+//! plus `moqdns-loadgen` replaying the workload models against it (the
+//! CI `live` job, `ci/live_smoke.sh`).
 
 use moqdns::core::mapping::{
     object_from_response, question_from_track, track_from_question, RequestFlags,
