@@ -1,0 +1,148 @@
+//! A4 — io-layer ablation: raw loopback datagram throughput through the
+//! batched socket layer, `sendmmsg`/`recvmmsg` vs single-datagram
+//! syscalls.
+//!
+//! No protocol work at all, two shapes:
+//!
+//! * **self** — one thread sends a 64-frame burst to its own socket and
+//!   drains it back, so no scheduler is involved and the measurement
+//!   isolates exactly what batching changes: user/kernel boundary
+//!   crossings per datagram (2/64 per burst on the mmsg path vs 2 per
+//!   datagram on the fallback).
+//! * **blast** — a sender thread floods a receiver thread for a fixed
+//!   duration; delivered pps is the honest figure (a receiver that
+//!   drains faster also loses fewer datagrams to socket-buffer
+//!   overflow), but on a single hardware thread this shape is
+//!   scheduler-bound: delivered ≈ rcvbuf drained per context switch,
+//!   which batching cannot move.
+//!
+//! Both ends of each leg are pinned to the same mode so the comparison
+//! is whole-path. The end-to-end saturation numbers live in
+//! `BENCH_PR9.json`; this binary exists so the io-layer claim can be
+//! re-measured on other iron in isolation.
+
+use moqdns_bench::cli::BenchOpts;
+use moqdns_bench::report;
+use moqdns_quic::udp_batch::{RecvBatcher, SendBatcher, MAX_BATCH};
+use moqdns_stats::Table;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+const PAYLOAD_BYTES: usize = 512;
+
+/// Scheduler-free leg: send a burst to our own socket, drain it back.
+fn run_self(force_single: bool, dur: Duration) -> f64 {
+    let sock = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    sock.set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("timeout");
+    let dst = sock.local_addr().expect("addr");
+    let mut send = SendBatcher::with_mode(force_single);
+    let mut recv = RecvBatcher::with_mode(force_single);
+    let frames: Vec<(SocketAddr, Vec<u8>)> = (0..MAX_BATCH)
+        .map(|i| (dst, vec![i as u8; PAYLOAD_BYTES]))
+        .collect();
+    let mut burst = Vec::new();
+    let start = Instant::now();
+    let mut moved = 0u64;
+    while start.elapsed() < dur {
+        let sent = send.send_burst(&sock, &frames);
+        let mut got = 0u64;
+        while got < sent {
+            burst.clear();
+            match recv.recv_burst(&sock, &mut burst) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => got += n as u64,
+            }
+        }
+        moved += got;
+    }
+    moved as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Two-thread leg: blast for `dur`, count what survives the rcvbuf.
+fn run_blast(force_single: bool, dur: Duration) -> (f64, f64) {
+    let rx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+    rx_sock
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("rx timeout");
+    let dst = rx_sock.local_addr().expect("rx addr");
+    let tx_sock = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+
+    let sender = std::thread::spawn(move || {
+        let mut send = SendBatcher::with_mode(force_single);
+        let frames: Vec<(SocketAddr, Vec<u8>)> = (0..MAX_BATCH)
+            .map(|i| (dst, vec![i as u8; PAYLOAD_BYTES]))
+            .collect();
+        let start = Instant::now();
+        let mut sent = 0u64;
+        while start.elapsed() < dur {
+            sent += send.send_burst(&tx_sock, &frames);
+        }
+        (sent, start.elapsed())
+    });
+
+    let mut recv = RecvBatcher::with_mode(force_single);
+    let mut burst = Vec::new();
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    let mut last_rx = Instant::now();
+    while start.elapsed() < dur + Duration::from_millis(500) {
+        burst.clear();
+        if let Ok(n) = recv.recv_burst(&rx_sock, &mut burst) {
+            if n > 0 {
+                delivered += n as u64;
+                last_rx = Instant::now();
+            }
+        }
+        if start.elapsed() > dur && last_rx.elapsed() > Duration::from_millis(100) {
+            break;
+        }
+    }
+
+    let (sent, tx_elapsed) = sender.join().expect("sender thread");
+    let secs = tx_elapsed.as_secs_f64().max(1e-9);
+    (sent as f64 / secs, delivered as f64 / secs)
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let dur = if opts.smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+
+    report::heading("A4: udp batch layer — mmsg vs single-syscall loopback pps");
+
+    let self_single = run_self(true, dur);
+    let self_mmsg = run_self(false, dur);
+    let (blast_off_single, blast_single) = run_blast(true, dur);
+    let (blast_off_mmsg, blast_mmsg) = run_blast(false, dur);
+
+    let mut table = Table::new(
+        "abl_udp_batch",
+        &["shape", "mode", "offered_pps", "delivered_pps"],
+    );
+    for (shape, mode, off, del) in [
+        ("self", "single", self_single, self_single),
+        ("self", "mmsg", self_mmsg, self_mmsg),
+        ("blast", "single", blast_off_single, blast_single),
+        ("blast", "mmsg", blast_off_mmsg, blast_mmsg),
+    ] {
+        table.row(&[
+            shape.to_string(),
+            mode.to_string(),
+            format!("{off:.0}"),
+            format!("{del:.0}"),
+        ]);
+    }
+    report::emit(&table, "abl_udp_batch");
+    println!(
+        "self  (syscall-path) ratio mmsg/single: {:.2}x",
+        self_mmsg / self_single.max(1.0)
+    );
+    println!(
+        "blast (scheduler-bound) ratio mmsg/single: {:.2}x",
+        blast_mmsg / blast_single.max(1.0)
+    );
+}

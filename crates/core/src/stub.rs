@@ -266,6 +266,40 @@ impl StubResolver {
         self.handle_events(ctx, evs);
     }
 
+    /// Saturation hook: issues a standalone MoQT FETCH for `question`,
+    /// costing one full network round-trip even when a live subscription
+    /// already holds the answer locally (where [`StubResolver::lookup`]
+    /// short-circuits, the §5.2 endgame). The reply lands in the ordinary
+    /// lookup metrics as an [`AnswerSource::Moqt`] sample, so rate and
+    /// latency accounting need no separate plumbing. Returns `false`
+    /// (probe not issued) while the connection or session is still
+    /// coming up.
+    pub fn probe(&mut self, ctx: &mut Ctx<'_>, question: Question) -> bool {
+        let started = ctx.now();
+        let Some(h) = self.conn else {
+            return false;
+        };
+        let track =
+            track_from_question(&question, RequestFlags::recursive()).expect("valid dns track");
+        // Fetch from the newest group this stub has seen, so the reply is
+        // the latest object — never an answer-regressing old version.
+        let from = self
+            .subs
+            .values()
+            .find(|s| s.question == question)
+            .map(|s| s.last_group)
+            .unwrap_or(0);
+        let Some((session, conn)) = self.stack.session_conn(h) else {
+            return false;
+        };
+        let fetch_id = session.fetch(conn, track, from, u64::MAX);
+        self.metrics.fetches_sent += 1;
+        self.fetches.insert(fetch_id, (question, started));
+        let evs = self.stack.flush(ctx);
+        self.handle_events(ctx, evs);
+        true
+    }
+
     fn handle_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<StackEvent>) {
         for ev in events {
             match ev {

@@ -141,15 +141,22 @@ impl LiveSim {
     /// Drains every datagram local nodes sent toward remote slots since
     /// the last call. The driver writes these to the real socket(s).
     pub fn take_outbound(&mut self) -> Vec<OutboundDatagram> {
-        self.sim
-            .take_outbox()
-            .into_iter()
-            .map(|m| OutboundDatagram {
-                from: m.from,
-                to: m.to,
-                payload: m.payload,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.take_outbound_into(&mut out);
+        out
+    }
+
+    /// Like [`LiveSim::take_outbound`], but appends into a caller-owned
+    /// vector so a hot io loop can reuse one allocation per burst.
+    /// Returns the number of datagrams appended.
+    pub fn take_outbound_into(&mut self, out: &mut Vec<OutboundDatagram>) -> usize {
+        let before = out.len();
+        out.extend(self.sim.drain_outbox().map(|m| OutboundDatagram {
+            from: m.from,
+            to: m.to,
+            payload: m.payload,
+        }));
+        out.len() - before
     }
 
     /// Direct access to a local node (see [`Simulator::with_node`]): call

@@ -554,6 +554,13 @@ impl Simulator {
         std::mem::take(&mut self.core.outbox)
     }
 
+    /// Drains the cross-shard outbox in place, keeping its allocation —
+    /// the live bridge calls this once per io burst, so the steady state
+    /// allocates nothing.
+    pub(crate) fn drain_outbox(&mut self) -> std::vec::Drain<'_, CrossMsg> {
+        self.core.outbox.drain(..)
+    }
+
     /// Injects a cross-shard datagram parked by another shard's transmit.
     /// The sender-composed key slots it exactly where a global scheduler
     /// would have; the lookahead bound guarantees `arrival` has not been

@@ -39,6 +39,7 @@ pub mod handshake;
 pub mod packet;
 pub mod recovery;
 pub mod streams;
+pub mod udp_batch;
 pub mod udp_driver;
 
 pub use config::TransportConfig;

@@ -1,8 +1,10 @@
 //! A blocking driver that runs an [`Endpoint`] over a real UDP socket.
 //!
 //! The protocol core is sans-io; this driver supplies the io: one thread
-//! loops over `recv_from` with a timeout derived from `poll_timeout`,
-//! feeding datagrams/timeouts in and flushing `poll_transmit` out. Time is
+//! loops over a batched receive ([`RecvBatcher`], `recvmmsg` with a
+//! single-datagram fallback) with a timeout derived from `poll_timeout`,
+//! feeding whole bursts in under **one endpoint lock** and flushing
+//! `poll_transmit` out through a [`SendBatcher`] (`sendmmsg`). Time is
 //! mapped onto [`SimTime`] as nanoseconds since driver start, so the same
 //! state machines run unmodified against the wall clock.
 //!
@@ -10,6 +12,7 @@
 //! real transport, not only a simulation artifact.
 
 use crate::endpoint::Endpoint;
+use crate::udp_batch::{RecvBatcher, SendBatcher};
 use moqdns_netsim::SimTime;
 use moqdns_wire::Payload;
 use parking_lot::Mutex;
@@ -42,11 +45,14 @@ impl UdpDriver {
         let ep = Arc::clone(&endpoint);
         let st = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
-            let mut buf = [0u8; 65_536];
-            // Outbound burst buffer: transmissions are collected under the
-            // endpoint lock but written to the socket after it is released,
-            // so a slow `send_to` never blocks the other driver threads
-            // (or the application) out of the endpoint.
+            let mut recv = RecvBatcher::new();
+            let mut send = SendBatcher::new();
+            // Reused across iterations: inbound burst and outbound burst.
+            // Transmissions are collected under the endpoint lock but
+            // written to the socket after it is released, so a slow flush
+            // never blocks the other driver threads (or the application)
+            // out of the endpoint.
+            let mut inbox: Vec<(SocketAddr, Payload)> = Vec::new();
             let mut out: Vec<(SocketAddr, Payload)> = Vec::new();
             // The kernel keeps the last armed read timeout; re-arming it
             // every iteration is a syscall per loop for nothing. Only
@@ -63,9 +69,8 @@ impl UdpDriver {
                     }
                     ep.poll_timeout()
                 };
-                for (peer, dg) in out.drain(..) {
-                    let _ = socket.send_to(&dg, peer);
-                }
+                send.send_burst(&socket, &out);
+                out.clear();
                 // Sleep until the next protocol deadline (bounded).
                 let wait = deadline
                     .map(|d| d.saturating_duration_since(now))
@@ -77,26 +82,25 @@ impl UdpDriver {
                         .expect("set_read_timeout");
                     armed_wait = Some(wait);
                 }
-                match socket.recv_from(&mut buf) {
-                    Ok((n, from)) => {
+                // One batched receive blocks for the first datagram and
+                // drains whatever queued behind it; the whole burst is
+                // then fed to the endpoint under a single lock.
+                match recv.recv_burst(&socket, &mut inbox) {
+                    Ok(0) => {}
+                    Ok(_) => {
                         let now = SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
-                        // One copy from the socket buffer into a shared
-                        // payload; the whole parse below is zero-copy.
-                        let dg = Payload::from(&buf[..n]);
                         {
                             let mut ep = ep.lock();
-                            ep.handle_datagram(now, from, &dg);
+                            for (from, dg) in inbox.drain(..) {
+                                ep.handle_datagram(now, from, &dg);
+                            }
                             while let Some((peer, dg)) = ep.poll_transmit(now) {
                                 out.push((peer, dg));
                             }
                         }
-                        for (peer, dg) in out.drain(..) {
-                            let _ = socket.send_to(&dg, peer);
-                        }
+                        send.send_burst(&socket, &out);
+                        out.clear();
                     }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
                     Err(_) => break,
                 }
             }

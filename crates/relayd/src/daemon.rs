@@ -202,8 +202,10 @@ pub fn run(opts: DaemonOpts) -> i32 {
             return 2;
         }
     };
-    let targets = vec![node; sockets.len()];
-    let host = LiveHost::start(core, sockets, targets);
+    // Every shard fronts the one daemon node; outbound frames are
+    // DCID-steered across the shards by the io layer.
+    let fronts = vec![vec![node]; sockets.len()];
+    let host = LiveHost::start(core, sockets, fronts);
     println!(
         "moqdns-relayd: {:?} listening on {local} ({} worker(s))",
         opts.mode, opts.workers

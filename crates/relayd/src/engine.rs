@@ -2,21 +2,34 @@
 //! daemon over real loopback sockets and gates the outcome.
 //!
 //! Each planned client is a full [`StubResolver`] — the same node the
-//! simulator experiments measure — behind its own UDP socket, so the
-//! daemon sees N distinct remote addresses. The engine executes the plan
-//! (staggered joins, churn bounces), waits until every subscription has
-//! converged on the auth's final published version, and reports through
-//! the shared [`InvariantGate`]:
+//! simulator experiments measure — behind a UDP socket, so the daemon
+//! sees real remote traffic. By default every client gets its own socket;
+//! `--clients-per-socket K` shares one socket across K stubs (inbound
+//! demuxed by DCID in the io layer) so a 10k-client saturation run does
+//! not exhaust file descriptors. The engine executes the plan (staggered
+//! joins, churn bounces), waits until every subscription has converged on
+//! the auth's final published version, and reports through the shared
+//! [`InvariantGate`]:
 //!
 //! * **gated (deterministic, final-state)**: every planned `(client,
 //!   track)` pair holds an answer; every pair reaches the final TXT
 //!   version; pushed versions are strictly monotone per track; no MoQT
-//!   lookup failed; every io worker drained cleanly. These hold however
-//!   the wall clock interleaves, because a late joiner's fetch also
-//!   returns the newest version.
-//! * **reported only (wall-clock)**: pps, p50/p99 query latency,
+//!   lookup failed; no inbound datagram was unroutable; every io worker
+//!   drained cleanly. These hold however the wall clock interleaves,
+//!   because a late joiner's fetch also returns the newest version.
+//! * **reported only (wall-clock)**: pps, p50/p99/p999 query latency,
 //!   update-delivery lag (TXT `ts=` stamps against this host's clock),
-//!   datagram counts. CI uploads them but never exact-diffs them.
+//!   datagram counts, and the saturation phase's offered vs achieved
+//!   rate. CI uploads them but never exact-diffs them.
+//!
+//! **Saturation profile** (`--rate <pps> --duration <s>`): after the plan
+//! converges, the engine open-loop issues [`StubResolver::probe`]
+//! standalone fetches — each one a full wire round-trip, immune to the
+//! §5.2 local-answer short-circuit — at the target rate, round-robin
+//! across the planned `(client, track)` pairs, without waiting for
+//! replies. `--ramp` instead searches for the knee: the offered rate
+//! doubles each step until achieved pps falls under 90% of offered, and
+//! the last sustainable step is reported as the knee.
 //!
 //! A churn bounce reuses the stub's §4.4 suspension hooks: the QUIC
 //! connection is dropped silently and local state forgotten, so the
@@ -48,10 +61,20 @@ pub struct LoadgenOpts {
     /// Final TXT version the auth publishes (must match the daemon's
     /// `--rounds`); convergence is declared when every pair reaches it.
     pub rounds: u64,
-    /// Hard wall-clock budget; hitting it fails the completeness gates.
+    /// Hard wall-clock budget for the replay; hitting it fails the
+    /// completeness gates.
     pub deadline: Duration,
     /// Profile label — the gate scenario is `live_<profile>`.
     pub profile: String,
+    /// Stub clients sharing one UDP socket (1 = a socket per client).
+    pub clients_per_socket: usize,
+    /// Saturation: sustained offered probe rate after convergence.
+    pub rate: Option<u64>,
+    /// Saturation: how long to hold each offered rate.
+    pub duration: Duration,
+    /// Saturation: ramp-search for the max sustainable rate instead of
+    /// holding one target.
+    pub ramp: bool,
     /// The replay plan parameters.
     pub spec: LiveSpec,
     /// Shared bench flags (`--check`, `--json`, `--smoke`).
@@ -68,6 +91,10 @@ impl LoadgenOpts {
             rounds: 5,
             deadline: Duration::from_secs(20),
             profile: "smoke".into(),
+            clients_per_socket: 1,
+            rate: None,
+            duration: Duration::from_secs(10),
+            ramp: false,
             spec: LiveSpec::smoke(),
             bench,
         };
@@ -87,6 +114,18 @@ impl LoadgenOpts {
                 "--clients" => o.spec.clients = val("--clients").parse().expect("--clients N"),
                 "--tracks" => o.spec.tracks = val("--tracks").parse().expect("--tracks N"),
                 "--zone" => o.spec.zone = val("--zone"),
+                "--clients-per-socket" => {
+                    o.clients_per_socket = val("--clients-per-socket")
+                        .parse()
+                        .expect("--clients-per-socket K");
+                    assert!(o.clients_per_socket >= 1, "--clients-per-socket K >= 1");
+                }
+                "--rate" => o.rate = Some(val("--rate").parse().expect("--rate pps")),
+                "--duration" => {
+                    o.duration =
+                        Duration::from_secs(val("--duration").parse().expect("--duration s"))
+                }
+                "--ramp" => o.ramp = true,
                 // Bench flags, already handled by BenchOpts::from_args.
                 "--smoke" | "--check" => {}
                 "--par" | "--json" => {
@@ -140,12 +179,131 @@ fn parse_txt(records: &[moqdns_dns::rr::Record]) -> Option<(u64, u128)> {
     None
 }
 
+/// Outcome of one sustained-rate probe phase (wall-clock measurements).
+#[derive(Debug, Clone, Copy)]
+struct PhaseStats {
+    /// The target rate this phase held.
+    offered_pps: u64,
+    /// Probes actually issued (sessions not yet up are skipped).
+    issued: u64,
+    /// Probes whose reply landed inside the measurement window + grace.
+    completed: u64,
+    /// Probes the server refused (FETCH_ERROR — gated to zero elsewhere).
+    failed: u64,
+    /// Completed probes over the phase wall time.
+    achieved_pps: u64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+/// Open-loop sustained-rate phase: issues [`StubResolver::probe`]s at
+/// `rate` pps for `duration`, round-robin over `pairs`, never waiting for
+/// replies (a 1 ms tick with fractional carry sets the pacing; each
+/// tick's quota shares one core lock). Returns the measured stats after a
+/// short grace window for in-flight replies.
+fn run_rate_phase(
+    host: &LiveHost,
+    nodes: &[NodeId],
+    questions: &BTreeMap<usize, Question>,
+    pairs: &[(usize, usize)],
+    rate: u64,
+    duration: Duration,
+) -> PhaseStats {
+    let start = host.now();
+    let mut issued = 0u64;
+    let mut carry = 0.0f64;
+    let mut rr = 0usize;
+    let mut last = start;
+    loop {
+        let now = host.now();
+        if now - start >= duration {
+            break;
+        }
+        carry += (now - last).as_secs_f64() * rate as f64;
+        last = now;
+        let quota = carry as u64;
+        if quota > 0 {
+            carry -= quota as f64;
+            host.with_core(|core| {
+                for _ in 0..quota {
+                    let (c, t) = pairs[rr % pairs.len()];
+                    rr += 1;
+                    let ok = core
+                        .live()
+                        .with_node::<StubResolver, _>(nodes[c], |stub, ctx| {
+                            stub.probe(ctx, questions[&t].clone())
+                        });
+                    if ok {
+                        issued += 1;
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let end = host.now();
+    // Grace: let in-flight replies land before counting completions.
+    std::thread::sleep(Duration::from_millis(150));
+    host.with_core(|_| {});
+
+    let (w0, w1) = (start.as_nanos() as u64, end.as_nanos() as u64);
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut lat_us: Vec<f64> = Vec::new();
+    host.with_core(|core| {
+        for &n in nodes {
+            let stub: &StubResolver = core.live().node_ref(n);
+            for l in &stub.metrics.lookups {
+                if l.source != AnswerSource::Moqt {
+                    continue;
+                }
+                let t = l.started.as_nanos();
+                if t < w0 || t >= w1 {
+                    continue;
+                }
+                if l.ok {
+                    completed += 1;
+                    lat_us.push((l.finished.as_nanos() - l.started.as_nanos()) as f64 / 1_000.0);
+                } else {
+                    failed += 1;
+                }
+            }
+        }
+    });
+    let secs = (end - start).as_secs_f64().max(1e-9);
+    let lat = Summary::from(lat_us);
+    let pct = |p: f64| {
+        if lat.is_empty() {
+            0
+        } else {
+            lat.percentile(p) as u64
+        }
+    };
+    PhaseStats {
+        offered_pps: rate,
+        issued,
+        completed,
+        failed,
+        achieved_pps: (completed as f64 / secs) as u64,
+        p50_us: pct(50.0),
+        p99_us: pct(99.0),
+        p999_us: pct(99.9),
+    }
+}
+
+/// A ramp step is sustainable when achieved pps holds ≥ 90% of offered —
+/// the knee is the last step that does.
+fn sustainable(p: &PhaseStats) -> bool {
+    p.achieved_pps as f64 >= 0.9 * p.offered_pps as f64
+}
+
 /// Runs the load, writes the gate JSON, returns the process exit code.
 pub fn run(opts: LoadgenOpts) -> i32 {
     let plan = LivePlan::generate(opts.spec.clone());
     let mut gate = InvariantGate::new(format!("live_{}", opts.profile), &opts.bench);
 
-    // One stub node + one socket per planned client.
+    // One stub node per planned client; sockets shared K-to-1.
     let mut core = HostCore::new(opts.spec.seed, false);
     let server = core.register_remote(opts.server);
     let server_addr = Addr::new(server, MOQT_PORT);
@@ -161,10 +319,14 @@ pub fn run(opts: LoadgenOpts) -> i32 {
             )
         })
         .collect();
-    let sockets: Vec<UdpSocket> = (0..nodes.len())
+    let fronts: Vec<Vec<NodeId>> = nodes
+        .chunks(opts.clients_per_socket)
+        .map(|chunk| chunk.to_vec())
+        .collect();
+    let sockets: Vec<UdpSocket> = (0..fronts.len())
         .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind client socket"))
         .collect();
-    let host = LiveHost::start(core, sockets, nodes.clone());
+    let host = LiveHost::start(core, sockets, fronts.clone());
 
     // Flatten the plan into a time-ordered action list.
     let questions: BTreeMap<usize, Question> = (0..plan.spec.tracks)
@@ -257,6 +419,49 @@ pub fn run(opts: LoadgenOpts) -> i32 {
         }
         std::thread::sleep(Duration::from_millis(5));
     };
+    let converge_wall = host.now();
+
+    // ---- Saturation phase (after convergence, before harvest) ---------
+    let mut phase: Option<PhaseStats> = None;
+    let mut ramp_steps = 0u64;
+    if converged && (opts.rate.is_some() || opts.ramp) {
+        let base = opts.rate.unwrap_or(2000);
+        if opts.ramp {
+            // Double the offered rate until the plane stops keeping up;
+            // report the knee (last sustainable step).
+            let mut rate = base;
+            let mut knee: Option<PhaseStats> = None;
+            for _ in 0..20 {
+                let p = run_rate_phase(&host, &nodes, &questions, &pairs, rate, opts.duration);
+                ramp_steps += 1;
+                println!(
+                    "moqdns-loadgen: ramp step offered={} achieved={} p99={}us",
+                    p.offered_pps, p.achieved_pps, p.p99_us
+                );
+                let ok = sustainable(&p);
+                if ok {
+                    knee = Some(p);
+                    rate *= 2;
+                } else {
+                    // Keep the failing step if nothing ever sustained.
+                    if knee.is_none() {
+                        knee = Some(p);
+                    }
+                    break;
+                }
+            }
+            phase = knee;
+        } else {
+            phase = Some(run_rate_phase(
+                &host,
+                &nodes,
+                &questions,
+                &pairs,
+                base,
+                opts.duration,
+            ));
+        }
+    }
     let wall = host.now();
 
     // Harvest per-client metrics.
@@ -292,6 +497,7 @@ pub fn run(opts: LoadgenOpts) -> i32 {
         }
     });
     let (rx, tx) = host.stats();
+    let unrouted = host.unrouted();
     let clean = host.stop();
 
     // ---- Gated invariants (deterministic, final-state) ----------------
@@ -303,16 +509,20 @@ pub fn run(opts: LoadgenOpts) -> i32 {
     gate.check_true(
         "converged_before_deadline",
         converged,
-        format!("converged={converged} after {} ms", wall.as_millis()),
+        format!(
+            "converged={converged} after {} ms",
+            converge_wall.as_millis()
+        ),
     );
     gate.check_eq("answers_complete", pairs.len() as u64, answered);
     gate.check_eq("final_version_complete", pairs.len() as u64, at_final);
     gate.check_eq("update_non_monotone", 0, non_monotone);
     gate.check_eq("moqt_lookup_failures", 0, moqt_failed);
+    gate.check_eq("inbound_unrouted", 0, unrouted);
     gate.check_true(
         "clean_worker_drain",
         clean,
-        format!("all {} io workers stopped cleanly", nodes.len()),
+        format!("all {} io workers stopped cleanly", fronts.len()),
     );
 
     // ---- Deterministic metrics (baseline-diffed) ----------------------
@@ -321,9 +531,15 @@ pub fn run(opts: LoadgenOpts) -> i32 {
     gate.metric("tracks", plan.spec.tracks as u64);
     gate.metric("final_version", opts.rounds);
     gate.metric("bounces", bounces);
+    gate.metric("clients_per_socket", opts.clients_per_socket as u64);
+    if let Some(rate) = opts.rate {
+        gate.metric("probe_rate_pps", rate);
+        gate.metric("probe_duration_ms", opts.duration.as_millis() as u64);
+    }
 
     // ---- Wall-clock metrics (reported, never diffed) ------------------
     gate.metric("wall_ms", wall.as_millis() as u64);
+    gate.metric("converge_ms", converge_wall.as_millis() as u64);
     gate.metric("rx_datagrams", rx);
     gate.metric("tx_datagrams", tx);
     gate.metric(
@@ -336,11 +552,29 @@ pub fn run(opts: LoadgenOpts) -> i32 {
     if !lat.is_empty() {
         gate.metric("query_latency_p50_us", lat.percentile(50.0) as u64);
         gate.metric("query_latency_p99_us", lat.percentile(99.0) as u64);
+        gate.metric("query_latency_p999_us", lat.percentile(99.9) as u64);
     }
     let lag = Summary::from(lag_us);
     if !lag.is_empty() {
         gate.metric("update_lag_p50_us", lag.percentile(50.0) as u64);
         gate.metric("update_lag_p99_us", lag.percentile(99.0) as u64);
+        gate.metric("update_lag_p999_us", lag.percentile(99.9) as u64);
+    }
+    if let Some(p) = &phase {
+        gate.metric("offered_pps", p.offered_pps);
+        gate.metric("achieved_pps", p.achieved_pps);
+        gate.metric("probes_issued", p.issued);
+        gate.metric("probes_completed", p.completed);
+        gate.metric(
+            "probe_drops",
+            p.issued.saturating_sub(p.completed + p.failed),
+        );
+        gate.metric("probe_p50_us", p.p50_us);
+        gate.metric("probe_p99_us", p.p99_us);
+        gate.metric("probe_p999_us", p.p999_us);
+        if opts.ramp {
+            gate.metric("ramp_steps", ramp_steps);
+        }
     }
 
     println!(
@@ -352,6 +586,12 @@ pub fn run(opts: LoadgenOpts) -> i32 {
         updates_received,
         wall.as_millis()
     );
+    if let Some(p) = &phase {
+        println!(
+            "moqdns-loadgen: saturation offered={} achieved={} pps, p50={}us p99={}us p999={}us, issued={} completed={}",
+            p.offered_pps, p.achieved_pps, p.p50_us, p.p99_us, p.p999_us, p.issued, p.completed
+        );
+    }
     if gate.finish() {
         0
     } else {

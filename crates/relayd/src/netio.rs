@@ -1,29 +1,44 @@
 //! Sharded UDP io for live protocol nodes.
 //!
 //! A [`LiveHost`] owns N real sockets, one worker thread per socket, all
-//! feeding one shared [`LiveSim`] bridge behind a
-//! mutex. The hot path is batched to amortize both syscalls and lock
-//! acquisitions, per the daemon design:
+//! feeding one shared [`LiveSim`] bridge behind a mutex. The hot path
+//! batches whole syscalls and keeps the lock off the wire, per the
+//! saturation design:
 //!
-//! * a worker blocks in `recv_from` with a timeout derived from the
-//!   bridge's next protocol deadline, re-arming `SO_RCVTIMEO` **only when
-//!   the computed wait changes** (the kernel keeps the last value);
-//! * on wakeup it drains a burst of datagrams (tiny follow-up timeout)
-//!   before taking the lock **once** for the whole batch: advance the
-//!   clock, inject every frame, pump events, drain the outbound queue;
-//! * outbound datagrams are written to the wire *after* the lock is
-//!   released, so a slow `send_to` never blocks the other workers.
+//! * a worker blocks in `recvmmsg` ([`RecvBatcher`]) with a timeout
+//!   derived from the bridge's next protocol deadline, re-arming
+//!   `SO_RCVTIMEO` **only when the computed wait changes** (the kernel
+//!   keeps the last value); one syscall returns the first datagram plus
+//!   everything already queued behind it;
+//! * it then takes the core lock **once** for the whole burst: advance
+//!   the clock, inject every frame, pump events, and stage the parked
+//!   outbound datagrams onto per-socket send queues — appended *under*
+//!   the lock, so queue order is protocol order;
+//! * the wire write happens *after* the lock is released: each touched
+//!   socket's queue is drained through a [`SendBatcher`] (`sendmmsg`)
+//!   under a per-socket flush mutex. Only the flush-mutex holder
+//!   dequeues, so per-socket wire order matches protocol order even when
+//!   several workers staged frames; sockets with nothing staged are
+//!   never touched.
 //!
-//! For a daemon, the N sockets are `SO_REUSEPORT` shards of one
-//! listen address ([`bind_sharded`]): the kernel hashes each peer flow to
-//! one socket, every worker replies from its own socket (the bound
-//! address is identical), and cross-worker outbound hand-off is safe
-//! because any worker may send on any shard. For a load generator, each
-//! socket instead fronts one client node, so inbound routing is the
-//! socket itself.
+//! Outbound frames are steered by peeked DCID ([`peek_dcid`]) when the
+//! source node fronts several sockets (the `SO_REUSEPORT` daemon case),
+//! pinning a connection's packets to one socket so reordering cannot
+//! regress the deterministic gates. Inbound, a socket fronting several
+//! local nodes (the load generator's `--clients-per-socket` mode)
+//! demuxes by the same DCID, learned from each connection's *outbound*
+//! first flight — the client always transmits first, so the mapping
+//! exists before any reply arrives.
+//!
+//! For a daemon, the N sockets are `SO_REUSEPORT` shards of one listen
+//! address ([`bind_sharded`]): the kernel hashes each peer flow to one
+//! socket, every worker replies from its own shard (the bound address is
+//! identical), and cross-worker hand-off rides the send queues.
 
 use moqdns_core::MOQT_PORT;
-use moqdns_netsim::{Addr, LiveSim, NodeId, Payload};
+use moqdns_netsim::{Addr, LiveSim, NodeId, OutboundDatagram, Payload};
+use moqdns_quic::packet::peek_dcid;
+use moqdns_quic::udp_batch::{RecvBatcher, SendBatcher, MAX_BATCH};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -31,10 +46,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Most datagrams a worker drains per lock acquisition.
-const BATCH: usize = 64;
-/// Follow-up read timeout while draining a burst.
-const TAIL_WAIT: Duration = Duration::from_micros(1);
 /// Ceiling on a worker's sleep: bounds how late an action armed by the
 /// control thread (publish round, plan step) can fire.
 const MAX_WAIT: Duration = Duration::from_millis(25);
@@ -48,10 +59,15 @@ pub struct HostStats {
     pub rx: AtomicU64,
     /// Datagrams written to the wire.
     pub tx: AtomicU64,
+    /// Inbound datagrams dropped because a shared socket could not map
+    /// their DCID to a local node (never the socket's fault: the peer
+    /// spoke before the fronted client did, which the protocol forbids).
+    pub unrouted: AtomicU64,
 }
 
 /// The mutable heart of a [`LiveHost`]: the sim bridge plus the
-/// `NodeId ↔ SocketAddr` registry for remote peers.
+/// `NodeId ↔ SocketAddr` registry for remote peers and the learned
+/// `DCID → local node` demux table.
 pub struct HostCore {
     live: LiveSim,
     /// Allocate remote slots for unknown senders on demand (a daemon
@@ -59,6 +75,11 @@ pub struct HostCore {
     learn_remotes: bool,
     by_addr: BTreeMap<SocketAddr, NodeId>,
     by_node: BTreeMap<u32, SocketAddr>,
+    /// DCID → owning local node, learned from outbound datagrams. Only
+    /// populated when some socket fronts more than one node.
+    dcid_owner: BTreeMap<u64, NodeId>,
+    /// Whether any socket needs DCID demux (set by [`LiveHost::start`]).
+    demux: bool,
 }
 
 impl HostCore {
@@ -69,6 +90,8 @@ impl HostCore {
             learn_remotes,
             by_addr: BTreeMap::new(),
             by_node: BTreeMap::new(),
+            dcid_owner: BTreeMap::new(),
+            demux: false,
         }
     }
 
@@ -99,42 +122,110 @@ impl HostCore {
     fn peer_of(&self, node: NodeId) -> Option<SocketAddr> {
         self.by_node.get(&(node.index() as u32)).copied()
     }
+
+    /// Inbound routing for one datagram arriving on socket `k`.
+    fn route_inbound(&self, fronts_k: &[NodeId], payload: &Payload) -> Option<NodeId> {
+        if fronts_k.len() == 1 {
+            return Some(fronts_k[0]);
+        }
+        // Shared socket: the DCID names the connection, and the owning
+        // node was learned when that connection's first outbound flight
+        // was staged. Delivery only needs the right *node* — which
+        // socket carried the datagram is irrelevant to the state machine.
+        self.dcid_owner.get(&peek_dcid(payload)?).copied()
+    }
 }
 
-/// A resolved outbound frame: which socket sends what where.
-struct WireFrame {
-    peer: SocketAddr,
-    egress: usize,
-    payload: Payload,
+/// One socket's outbound lane: a staging queue appended under the core
+/// lock (so order is protocol order) and a flusher that drains it to the
+/// wire outside the lock. Only the flush-mutex holder dequeues, which
+/// keeps per-socket wire order intact across workers.
+struct SendShard {
+    queue: Mutex<Vec<(SocketAddr, Payload)>>,
+    flusher: Mutex<SendBatcher>,
 }
 
 struct Shared {
     core: Mutex<HostCore>,
+    /// One outbound lane per socket.
+    sends: Vec<SendShard>,
+    /// Local node index → sockets fronting it (egress candidates).
+    egress_of: BTreeMap<u32, Vec<usize>>,
+    /// `fronts[k]` = local nodes whose inbound traffic socket `k` carries.
+    fronts: Vec<Vec<NodeId>>,
     stop: AtomicBool,
     stats: HostStats,
     /// Set when a worker dies on a socket error (drain is then unclean).
     failed: AtomicBool,
 }
 
+/// Reusable per-caller scratch for the stage-then-flush outbound path,
+/// so the steady state allocates nothing.
+struct OutboundScratch {
+    /// Parked datagrams drained from the bridge.
+    parked: Vec<OutboundDatagram>,
+    /// Frames grouped by egress socket before the queue append.
+    staged: Vec<Vec<(SocketAddr, Payload)>>,
+    /// Egress indices with non-empty staging this round.
+    touched: Vec<usize>,
+}
+
+impl OutboundScratch {
+    fn new(sockets: usize) -> OutboundScratch {
+        OutboundScratch {
+            parked: Vec::with_capacity(MAX_BATCH),
+            staged: (0..sockets).map(|_| Vec::new()).collect(),
+            touched: Vec::with_capacity(sockets),
+        }
+    }
+}
+
 /// N sockets + N workers around one shared [`HostCore`].
 pub struct LiveHost {
     shared: Arc<Shared>,
     sockets: Vec<Arc<UdpSocket>>,
-    /// Local node each socket's inbound traffic is injected into.
-    targets: Vec<NodeId>,
     epoch: Instant,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl LiveHost {
-    /// Starts one worker per socket. `targets[i]` is the local node that
-    /// receives everything arriving on `sockets[i]`.
-    pub fn start(core: HostCore, sockets: Vec<UdpSocket>, targets: Vec<NodeId>) -> LiveHost {
-        assert_eq!(sockets.len(), targets.len(), "one target per socket");
+    /// Starts one worker per socket. `fronts[i]` lists the local nodes
+    /// whose traffic `sockets[i]` carries: inbound datagrams are routed
+    /// to the single entry directly, or demuxed by DCID when a socket
+    /// fronts several nodes; outbound frames from a node go out one of
+    /// the sockets fronting it (DCID-steered when there are several).
+    pub fn start(
+        mut core: HostCore,
+        sockets: Vec<UdpSocket>,
+        fronts: Vec<Vec<NodeId>>,
+    ) -> LiveHost {
+        assert_eq!(sockets.len(), fronts.len(), "one front list per socket");
         assert!(!sockets.is_empty(), "need at least one socket");
+        assert!(
+            fronts.iter().all(|f| !f.is_empty()),
+            "every socket must front at least one node"
+        );
+        core.demux = fronts.iter().any(|f| f.len() > 1);
+        let mut egress_of: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (k, list) in fronts.iter().enumerate() {
+            for node in list {
+                let lanes = egress_of.entry(node.index() as u32).or_default();
+                if !lanes.contains(&k) {
+                    lanes.push(k);
+                }
+            }
+        }
         let sockets: Vec<Arc<UdpSocket>> = sockets.into_iter().map(Arc::new).collect();
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
+            sends: (0..sockets.len())
+                .map(|_| SendShard {
+                    queue: Mutex::new(Vec::new()),
+                    flusher: Mutex::new(SendBatcher::new()),
+                })
+                .collect(),
+            egress_of,
+            fronts,
             stop: AtomicBool::new(false),
             stats: HostStats::default(),
             failed: AtomicBool::new(false),
@@ -144,17 +235,15 @@ impl LiveHost {
             .map(|k| {
                 let shared = Arc::clone(&shared);
                 let sockets = sockets.clone();
-                let targets = targets.clone();
                 std::thread::Builder::new()
                     .name(format!("udp-worker-{k}"))
-                    .spawn(move || worker_loop(k, &shared, &sockets, &targets, epoch))
+                    .spawn(move || worker_loop(k, &shared, &sockets, epoch))
                     .expect("spawn worker")
             })
             .collect();
         LiveHost {
             shared,
             sockets,
-            targets,
             epoch,
             handles,
         }
@@ -165,7 +254,7 @@ impl LiveHost {
         self.epoch.elapsed()
     }
 
-    /// Wire datagram counters.
+    /// Wire datagram counters (rx, tx).
     pub fn stats(&self) -> (u64, u64) {
         (
             self.shared.stats.rx.load(Ordering::Relaxed),
@@ -173,32 +262,28 @@ impl LiveHost {
         )
     }
 
+    /// Inbound datagrams a shared socket could not route by DCID.
+    pub fn unrouted(&self) -> u64 {
+        self.shared.stats.unrouted.load(Ordering::Relaxed)
+    }
+
     /// Runs `f` against the core with the clock advanced to wall time,
     /// then flushes any outbound datagrams the action generated. This is
     /// how control threads (publisher, plan driver) call node verbs.
     pub fn with_core<R>(&self, f: impl FnOnce(&mut HostCore) -> R) -> R {
-        let (r, frames) = {
+        // Control path: a fresh scratch per call is fine (not hot).
+        let mut scratch = OutboundScratch::new(self.sockets.len());
+        let r = {
             let mut core = self.shared.core.lock();
             let now = moqdns_netsim::SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64);
             core.live.run_until(now);
             let r = f(&mut core);
             core.live.run_until(now);
-            let frames = resolve_outbound(&mut core, &self.targets, 0);
-            (r, frames)
+            stage_outbound(&mut core, &self.shared, &mut scratch, 0);
+            r
         };
-        self.send_frames(&frames);
+        flush_touched(&self.shared, &self.sockets, &scratch.touched);
         r
-    }
-
-    fn send_frames(&self, frames: &[WireFrame]) {
-        for fr in frames {
-            if self.sockets[fr.egress]
-                .send_to(&fr.payload, fr.peer)
-                .is_ok()
-            {
-                self.shared.stats.tx.fetch_add(1, Ordering::Relaxed);
-            }
-        }
     }
 
     /// Stops and joins every worker. Returns `true` when all workers ran
@@ -221,45 +306,84 @@ impl Drop for LiveHost {
     }
 }
 
-/// Resolves the bridge's parked outbound datagrams into wire frames.
-/// `me` is the calling worker's socket index: a frame whose source node
-/// owns several shards (the daemon case) goes out the caller's own socket
-/// — every shard is bound to the same address, and using the local socket
-/// avoids cross-thread contention on one "primary" fd.
-fn resolve_outbound(core: &mut HostCore, targets: &[NodeId], me: usize) -> Vec<WireFrame> {
-    let out = core.live.take_outbound();
-    let mut frames = Vec::with_capacity(out.len());
-    for dg in out {
+/// Drains the bridge's parked outbound datagrams onto per-socket send
+/// queues. Must run with the core lock held — the append order *is* the
+/// per-socket wire order. `me` is the caller's socket index, the egress
+/// of last resort for a source node no socket claims to front.
+///
+/// Fills `scratch.touched` with the egress indices that received frames;
+/// untouched sockets are skipped entirely by the flush.
+fn stage_outbound(core: &mut HostCore, shared: &Shared, scratch: &mut OutboundScratch, me: usize) {
+    scratch.touched.clear();
+    scratch.parked.clear();
+    if core.live.take_outbound_into(&mut scratch.parked) == 0 {
+        return; // empty batch: no queue locks, no flush
+    }
+    for dg in scratch.parked.drain(..) {
         let Some(peer) = core.peer_of(dg.to.node) else {
             continue; // remote vanished (never registered); drop
         };
-        let egress = if targets[me] == dg.from.node {
-            me
-        } else {
-            targets
-                .iter()
-                .position(|&t| t == dg.from.node)
-                .unwrap_or(me)
+        if core.demux {
+            // Learn the demux table from the first outbound flight: the
+            // client transmits before the server can reply, so the entry
+            // exists before any inbound datagram needs it.
+            if let Some(dcid) = peek_dcid(&dg.payload) {
+                core.dcid_owner.entry(dcid).or_insert(dg.from.node);
+            }
+        }
+        let egress = match shared.egress_of.get(&(dg.from.node.index() as u32)) {
+            Some(lanes) if lanes.len() == 1 => lanes[0],
+            Some(lanes) => {
+                // Several shards front this node (the daemon): pin the
+                // connection to one socket by its DCID so its packets
+                // never interleave across send queues.
+                let dcid = peek_dcid(&dg.payload).unwrap_or(0);
+                lanes[(dcid % lanes.len() as u64) as usize]
+            }
+            None => me,
         };
-        frames.push(WireFrame {
-            peer,
-            egress,
-            payload: dg.payload,
-        });
+        scratch.staged[egress].push((peer, dg.payload));
     }
-    frames
+    for (k, frames) in scratch.staged.iter_mut().enumerate() {
+        if frames.is_empty() {
+            continue;
+        }
+        shared.sends[k].queue.lock().append(frames);
+        scratch.touched.push(k);
+    }
 }
 
-fn worker_loop(
-    k: usize,
-    shared: &Shared,
-    sockets: &[Arc<UdpSocket>],
-    targets: &[NodeId],
-    epoch: Instant,
-) {
+/// Flushes the touched sockets' queues to the wire. Runs *without* the
+/// core lock. The per-socket flush mutex serializes drains so wire order
+/// matches queue order; the drain loop re-checks the queue after each
+/// burst, so frames staged by another worker mid-flush are still sent by
+/// whoever holds the mutex (or by their own blocking acquisition next).
+fn flush_touched(shared: &Shared, sockets: &[Arc<UdpSocket>], touched: &[usize]) {
+    let mut burst: Vec<(SocketAddr, Payload)> = Vec::new();
+    for &k in touched {
+        let shard = &shared.sends[k];
+        let mut flusher = shard.flusher.lock();
+        loop {
+            {
+                let mut queue = shard.queue.lock();
+                std::mem::swap(&mut *queue, &mut burst);
+            }
+            if burst.is_empty() {
+                break;
+            }
+            let sent = flusher.send_burst(&sockets[k], &burst);
+            shared.stats.tx.fetch_add(sent, Ordering::Relaxed);
+            burst.clear();
+        }
+    }
+}
+
+fn worker_loop(k: usize, shared: &Shared, sockets: &[Arc<UdpSocket>], epoch: Instant) {
     let socket = &sockets[k];
-    let mut buf = [0u8; 65_536];
-    let mut inbox: Vec<(SocketAddr, Payload)> = Vec::with_capacity(BATCH);
+    let fronts_k = &shared.fronts[k];
+    let mut recv = RecvBatcher::new();
+    let mut inbox: Vec<(SocketAddr, Payload)> = Vec::with_capacity(MAX_BATCH);
+    let mut scratch = OutboundScratch::new(sockets.len());
     let mut armed: Option<Duration> = None;
     // Arm the initial wait before the first blocking read.
     let mut wait = MIN_WAIT;
@@ -271,24 +395,10 @@ fn worker_loop(
             }
             armed = Some(wait);
         }
-        match socket.recv_from(&mut buf) {
-            Ok((n, from)) => {
-                inbox.push((from, Payload::from(&buf[..n])));
-                // Burst drain: keep reading with a tiny timeout so one
-                // lock acquisition below covers the whole batch.
-                if socket.set_read_timeout(Some(TAIL_WAIT)).is_ok() {
-                    armed = Some(TAIL_WAIT);
-                    while inbox.len() < BATCH {
-                        match socket.recv_from(&mut buf) {
-                            Ok((n, from)) => inbox.push((from, Payload::from(&buf[..n]))),
-                            Err(_) => break,
-                        }
-                    }
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+        // One recvmmsg returns the first datagram plus the queue behind
+        // it (or times out); the fallback path drains non-blocking.
+        match recv.recv_burst(socket, &mut inbox) {
+            Ok(_) => {}
             Err(_) => {
                 shared.failed.store(true, Ordering::Relaxed);
                 return;
@@ -299,29 +409,32 @@ fn worker_loop(
             .rx
             .fetch_add(inbox.len() as u64, Ordering::Relaxed);
 
-        // One lock for the whole batch: clock, injects, pump, outbound.
-        let (frames, next) = {
+        // One lock for the whole burst: clock, injects, pump, staging.
+        let next = {
             let mut core = shared.core.lock();
             let now = moqdns_netsim::SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
             core.live.run_until(now);
             for (from, payload) in inbox.drain(..) {
-                if let Some(remote) = core.remote_for(from) {
-                    core.live.inject(
-                        Addr::new(remote, MOQT_PORT),
-                        Addr::new(targets[k], MOQT_PORT),
-                        payload,
-                    );
-                }
+                let Some(remote) = core.remote_for(from) else {
+                    continue;
+                };
+                let Some(target) = core.route_inbound(fronts_k, &payload) else {
+                    shared.stats.unrouted.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                core.live.inject(
+                    Addr::new(remote, MOQT_PORT),
+                    Addr::new(target, MOQT_PORT),
+                    payload,
+                );
             }
             core.live.run_until(now);
-            let frames = resolve_outbound(&mut core, targets, k);
-            (frames, core.live.next_event_at())
+            stage_outbound(&mut core, shared, &mut scratch, k);
+            core.live.next_event_at()
         };
-        for fr in &frames {
-            if sockets[fr.egress].send_to(&fr.payload, fr.peer).is_ok() {
-                shared.stats.tx.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        // Wire writes happen outside the lock; untouched sockets (and
+        // entirely empty batches) cost nothing.
+        flush_touched(shared, sockets, &scratch.touched);
 
         // Sleep until the next protocol deadline (bounded both ways).
         let now = epoch.elapsed();
