@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Live crash/restart drill: auth daemon -> relay daemon -> loadgen over
+# real UDP sockets, with the relay SIGKILLed mid-run and restarted on
+# the same address. The chaos-profile loadgen runs short-idle clients
+# that auto-redial, so the gate is crash recovery end to end:
+#
+#   * every client notices the dead relay (idle timeout), redials, and
+#     re-subscribes through the restarted process (`clients_redialed`);
+#   * the retry count stays bounded (`stub_redials_bounded` — no redial
+#     storm against the dead address);
+#   * the replay still converges on the final published TXT version
+#     (`final_version_complete` — the rejoin's joining fetch recovers
+#     rounds published while the relay was down);
+#   * both daemons drain cleanly on SIGTERM, including the restarted
+#     relay that inherited stale-DCID traffic from its predecessor.
+#
+# Used by the CI `live` job and runnable locally:
+#   cargo build --release -p moqdns-relayd && ci/live_chaos.sh
+set -u
+
+BIN=${BIN:-target/release}
+AUTH_ADDR=127.0.0.1:4490
+RELAY_ADDR=127.0.0.1:4491
+OUT=${OUT:-results/live_chaos.json}
+ROUNDS=6
+
+mkdir -p results
+
+start_relay() {
+    "$BIN"/moqdns-relayd --mode relay --listen "$RELAY_ADDR" --workers 2 \
+        --parent "$AUTH_ADDR" &
+    RELAY_PID=$!
+}
+
+# Rounds r1..r6 publish at 1.5s + 0.6s*(r-1), i.e. the last lands at
+# ~4.5s — squarely inside the kill window, so convergence *requires*
+# the rejoin fetch to recover it.
+"$BIN"/moqdns-relayd --mode auth --listen "$AUTH_ADDR" --workers 2 \
+    --tracks 8 --rounds "$ROUNDS" --interval-ms 600 &
+AUTH_PID=$!
+sleep 0.5
+start_relay
+sleep 0.5
+
+# Chaos clients: 1.5s idle + 400ms keep-alive detects the kill in
+# seconds; 250ms redial bounds the reconnect latency. The 25s deadline
+# leaves room for detection + restart + reconvergence on slow runners.
+timeout 35 "$BIN"/moqdns-loadgen --server "$RELAY_ADDR" --rounds "$ROUNDS" \
+    --profile chaos --deadline-ms 25000 \
+    --idle-ms 1500 --keep-alive-ms 400 --redial-ms 250 \
+    --check --json "$OUT" &
+LOADGEN_PID=$!
+
+# Kill -9 the relay mid-run: no CONNECTION_CLOSE, no drain — the clients
+# and the auth are left holding connections to a corpse.
+sleep 2.5
+kill -9 "$RELAY_PID" 2>/dev/null
+wait "$RELAY_PID" 2>/dev/null
+echo "live_chaos: relay SIGKILLed at t=2.5s"
+
+# Restart on the same address after a dark window. The new process has
+# none of its predecessor's QUIC state: stale-DCID packets are dropped,
+# clients attach via fresh handshakes, and the relay re-subscribes
+# upstream on demand.
+sleep 1.5
+start_relay
+echo "live_chaos: relay restarted at t=4.0s (pid $RELAY_PID)"
+
+wait "$LOADGEN_PID"
+LOADGEN_RC=$?
+
+# Graceful drain: SIGTERM the auth and the *restarted* relay; their exit
+# codes are part of the gate (nonzero = a worker died or the drain was
+# unclean).
+kill -TERM "$RELAY_PID" "$AUTH_PID" 2>/dev/null
+wait "$RELAY_PID"
+RELAY_RC=$?
+wait "$AUTH_PID"
+AUTH_RC=$?
+
+echo "live_chaos: loadgen=$LOADGEN_RC relay_drain=$RELAY_RC auth_drain=$AUTH_RC"
+if [ "$LOADGEN_RC" -ne 0 ] || [ "$RELAY_RC" -ne 0 ] || [ "$AUTH_RC" -ne 0 ]; then
+    exit 1
+fi
+exit 0

@@ -24,10 +24,10 @@ use moqdns_netsim::topo::{TopoBuilder, TopoHost};
 use moqdns_netsim::{
     Addr, Ctx, LinkConfig, Node, NodeId, ParSim, Payload, SimTime, Simulator, Topology,
 };
-use moqdns_quic::TransportConfig;
+use moqdns_quic::{ConnHandle, TransportConfig};
 use moqdns_workload::scenarios::{
-    AdversarialScenario, FederationScenario, MeshScenario, MetroScenario, PlanetScenario,
-    TreeScenario,
+    AdversarialScenario, ChaosScenario, FederationScenario, MeshScenario, MetroScenario,
+    PlanetScenario, TreeScenario,
 };
 use moqdns_workload::toplist::Toplist;
 use std::any::Any;
@@ -274,32 +274,84 @@ pub struct TreeStub {
     pub updates_by_track: Vec<u64>,
     /// Joining fetches answered with at least one object.
     pub fetched: u64,
+    /// Pushed updates whose group id did not advance past the highest
+    /// version already seen on that track — a duplicate or out-of-order
+    /// delivery. The chaos drills gate this at zero: a link flap or a
+    /// redial must never replay an already-delivered version.
+    pub regressions: u64,
+    /// Times the stub re-dialed its parent after losing the connection
+    /// (only when [`TreeStub::redial_after`] is configured).
+    pub redials: u64,
     /// Sim time the most recent pushed update arrived (per-region
     /// delivery latency: remote regions lag by the inter-region delay).
     pub last_update_at: Option<SimTime>,
     /// Subscription request id -> question index.
     sub_to_track: HashMap<u64, usize>,
+    /// Highest group id delivered per question index (None until the
+    /// first push).
+    last_group: Vec<Option<u64>>,
+    /// The live connection to the parent, if any.
+    conn: Option<ConnHandle>,
+    /// When set, a lost connection re-dials after this delay instead of
+    /// staying dark — the crash/restart drills need leaves that come
+    /// back. `None` (the default) keeps the historical never-reconnect
+    /// behavior of every standing world.
+    redial_delay: Option<Duration>,
 }
 
+/// Timer token the stub uses for its own redial alarm (distinct from
+/// anything the QUIC stack arms; stack timers tolerate spurious
+/// wakeups, so the shared `on_timer` pump stays correct).
+const TOKEN_STUB_REDIAL: u64 = 0x5EED_D1A1;
+
 impl TreeStub {
-    /// A stub that will subscribe to `questions` at `server`.
+    /// A stub that will subscribe to `questions` at `server`, with the
+    /// historical long-idle transport (patient: a partition never kills
+    /// the connection, QUIC retransmission drains it on heal).
     pub fn new(server: Addr, questions: Vec<Question>, seed: u64) -> TreeStub {
+        TreeStub::with_transport(
+            server,
+            questions,
+            seed,
+            TransportConfig::default()
+                .idle_timeout(Duration::from_secs(3600))
+                .keep_alive(Duration::from_secs(25)),
+        )
+    }
+
+    /// A stub with an explicit transport config. The chaos drills use a
+    /// short idle timeout so a dial into a crashed parent fails fast
+    /// (PTO probes, then idle timeout, then the redial timer) instead of
+    /// probing into the void for an hour.
+    pub fn with_transport(
+        server: Addr,
+        questions: Vec<Question>,
+        seed: u64,
+        transport: TransportConfig,
+    ) -> TreeStub {
         let n = questions.len();
         TreeStub {
-            stack: MoqtStack::client(
-                TransportConfig::default()
-                    .idle_timeout(Duration::from_secs(3600))
-                    .keep_alive(Duration::from_secs(25)),
-                seed,
-            ),
+            stack: MoqtStack::client(transport, seed),
             server: Some(server),
             questions,
             updates: 0,
             updates_by_track: vec![0; n],
             fetched: 0,
+            regressions: 0,
+            redials: 0,
             last_update_at: None,
             sub_to_track: HashMap::new(),
+            last_group: vec![None; n],
+            conn: None,
+            redial_delay: None,
         }
+    }
+
+    /// Makes the stub re-dial its parent `delay` after a connection
+    /// loss (and keep retrying at that cadence until it sticks).
+    pub fn redial_after(mut self, delay: Duration) -> TreeStub {
+        self.redial_delay = Some(delay);
+        self
     }
 
     /// Updates received for question `i`.
@@ -313,36 +365,21 @@ impl TreeStub {
     /// diurnal-wave drills — a departed stub must receive nothing more.
     pub fn leave(&mut self, ctx: &mut Ctx<'_>) {
         self.server = None;
+        self.conn = None;
         self.stack.close_all(ctx, 0, "diurnal leave");
     }
 
-    fn collect(&mut self, now: SimTime, evs: Vec<StackEvent>) {
-        for e in evs {
-            match e {
-                StackEvent::Session(_, SessionEvent::SubscriptionObject { request_id, .. }) => {
-                    self.updates += 1;
-                    self.last_update_at = Some(now);
-                    if let Some(&i) = self.sub_to_track.get(&request_id) {
-                        self.updates_by_track[i] += 1;
-                    }
-                }
-                StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. })
-                    if !objects.is_empty() =>
-                {
-                    self.fetched += 1;
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-impl Node for TreeStub {
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let server = self.server.unwrap();
+    /// Connects to the parent and (re-)subscribes every question with a
+    /// joining fetch. The per-track version high-water marks survive, so
+    /// a post-redial replay of an old version still counts as a
+    /// regression.
+    fn dial(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(server) = self.server else { return };
         let Some(h) = self.stack.connect(ctx.now(), server, false) else {
             return;
         };
+        self.conn = Some(h);
+        self.sub_to_track.clear();
         for (i, q) in self.questions.clone().iter().enumerate() {
             let track = track_from_question(q, RequestFlags::iterative()).unwrap();
             if let Some((sess, conn)) = self.stack.session_conn(h) {
@@ -352,17 +389,65 @@ impl Node for TreeStub {
         }
         let now = ctx.now();
         let evs = self.stack.flush(ctx);
-        self.collect(now, evs);
+        self.collect(ctx, now, evs);
+    }
+
+    fn collect(&mut self, ctx: &mut Ctx<'_>, now: SimTime, evs: Vec<StackEvent>) {
+        for e in evs {
+            match e {
+                StackEvent::Session(_, SessionEvent::SubscriptionObject { request_id, object }) => {
+                    self.updates += 1;
+                    self.last_update_at = Some(now);
+                    if let Some(&i) = self.sub_to_track.get(&request_id) {
+                        self.updates_by_track[i] += 1;
+                        let g = object.group_id;
+                        match self.last_group[i] {
+                            Some(prev) if g <= prev => self.regressions += 1,
+                            _ => self.last_group[i] = Some(g),
+                        }
+                    }
+                }
+                StackEvent::Session(_, SessionEvent::FetchObjects { objects, .. })
+                    if !objects.is_empty() =>
+                {
+                    self.fetched += 1;
+                }
+                StackEvent::Closed(h) if self.conn == Some(h) => {
+                    self.conn = None;
+                    if let (Some(delay), Some(_)) = (self.redial_delay, self.server) {
+                        ctx.set_timer(delay, TOKEN_STUB_REDIAL);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Node for TreeStub {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.dial(ctx);
     }
     fn on_datagram(&mut self, ctx: &mut Ctx<'_>, from: Addr, _to: u16, d: Payload) {
         let now = ctx.now();
         let evs = self.stack.on_datagram(ctx, from, &d);
-        self.collect(now, evs);
+        self.collect(ctx, now, evs);
     }
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        if t == TOKEN_STUB_REDIAL && self.conn.is_none() && self.server.is_some() {
+            self.redials += 1;
+            self.dial(ctx);
+            if self.conn.is_none() {
+                // The dial itself failed (endpoint exhausted?): retry.
+                ctx.set_timer(
+                    self.redial_delay.unwrap_or(Duration::from_millis(500)),
+                    TOKEN_STUB_REDIAL,
+                );
+            }
+        }
         let now = ctx.now();
         let evs = self.stack.on_timer(ctx);
-        self.collect(now, evs);
+        self.collect(ctx, now, evs);
     }
     fn as_any(&mut self) -> &mut dyn Any {
         self
@@ -897,6 +982,16 @@ impl SimHandle {
         }
     }
 
+    /// Sets only the `src -> dst` direction of a link (asymmetric fault
+    /// windows; the chaos plane uses this through
+    /// [`moqdns_netsim::FaultHost`]).
+    pub fn set_link_directed(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        match self {
+            SimHandle::Single(s) => s.set_link_directed(src, dst, cfg),
+            SimHandle::Par(p) => p.set_link_directed(src, dst, cfg),
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         match self {
@@ -994,6 +1089,40 @@ impl TopoHost for SimHandle {
     fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
         SimHandle::set_link(self, a, b, cfg);
     }
+}
+
+impl moqdns_netsim::FaultHost for SimHandle {
+    fn now(&self) -> SimTime {
+        SimHandle::now(self)
+    }
+    fn run_until(&mut self, deadline: SimTime) {
+        SimHandle::run_until(self, deadline);
+    }
+    fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        SimHandle::set_link(self, a, b, cfg);
+    }
+    fn set_link_directed(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
+        SimHandle::set_link_directed(self, src, dst, cfg);
+    }
+}
+
+/// Applies a [`moqdns_netsim::NodeFault`] to a [`RelayNode`] living in
+/// `sim` — the
+/// `on_node` callback the relay-tree chaos drills hand to
+/// [`moqdns_netsim::run_plan`]. Crash sends CONNECTION_CLOSE everywhere
+/// and goes dark ([`RelayNode::shutdown`]); restart re-initializes the
+/// relay in place ([`RelayNode::revive`]) with its cumulative stats
+/// intact.
+pub fn apply_relay_fault(sim: &mut SimHandle, node: NodeId, fault: moqdns_netsim::NodeFault) {
+    sim.with_node::<RelayNode, _>(node, |relay, ctx| match fault {
+        // Guarded so replaying an already-applied plan prefix (the
+        // drills drive one plan in segments, pausing mid-window to push
+        // an update round) is a no-op rather than a second shutdown or a
+        // state-wiping double revive.
+        moqdns_netsim::NodeFault::Crash if !relay.is_dead() => relay.shutdown(ctx),
+        moqdns_netsim::NodeFault::Restart if relay.is_dead() => relay.revive(),
+        _ => {}
+    });
 }
 
 /// A cross-region **core federation** world (built from a
@@ -1520,11 +1649,18 @@ impl MetroWorld {
         });
     }
 
-    /// Pushes one round of updates (every track once) and settles.
-    pub fn update_round(&mut self, octet_base: u8) {
+    /// Pushes one round of updates (every track once) without advancing
+    /// time — the chaos drills push mid-fault-window and let the fault
+    /// plan drive the clock.
+    pub fn push_round(&mut self, octet_base: u8) {
         for i in 0..self.spec.tracks {
             self.update_track(i, octet_base.wrapping_add(i as u8));
         }
+    }
+
+    /// Pushes one round of updates (every track once) and settles.
+    pub fn update_round(&mut self, octet_base: u8) {
+        self.push_round(octet_base);
         let deadline = self.sim.now() + self.spec.update_interval;
         self.sim.run_until(deadline);
     }
@@ -1605,6 +1741,237 @@ impl MetroWorld {
             out.push(tier);
         }
         out
+    }
+}
+
+/// The **chaos** world (built from a [`ChaosScenario`]): a [`MetroWorld`]
+/// plus one extra *chaos edge* in region 0 carrying a small cohort of
+/// short-idle, auto-redialing [`TreeStub`]s — the crash target. The
+/// drills below compose a seeded [`FaultPlan`](moqdns_netsim::FaultPlan)
+/// per phase and drive it in segments (run into the fault window, push
+/// an update round mid-window, run through heal + settle); every fault
+/// applies at a simulation barrier and all loss draws are per-link
+/// deterministic, so the whole sequence replays bit-identically
+/// single-threaded and sharded (pinned by `parallel_parity`).
+pub struct ChaosWorld {
+    /// The underlying metro world (region-sharded when built with
+    /// workers; the chaos edge and its cohort live on shard 0).
+    pub metro: MetroWorld,
+    /// The scenario this world was built from.
+    pub spec: ChaosScenario,
+    /// The crash-target edge relay (region 0).
+    pub chaos_edge: NodeId,
+    /// The redial cohort hanging off [`ChaosWorld::chaos_edge`].
+    pub chaos_stubs: Vec<NodeId>,
+}
+
+impl ChaosWorld {
+    /// Builds and settles the world single-threaded (the CI-baseline
+    /// path).
+    pub fn build(spec: &ChaosScenario, seed: u64) -> ChaosWorld {
+        Self::build_with_workers(spec, seed, 0)
+    }
+
+    /// Builds the same world on `workers` parallel shards (`0` =
+    /// single-threaded).
+    pub fn build_with_workers(spec: &ChaosScenario, seed: u64, workers: usize) -> ChaosWorld {
+        let mut metro = MetroWorld::build_with_workers(&spec.metro, seed, workers);
+        let core = metro.cores[0];
+        let intra = LinkConfig::with_delay(spec.metro.link_delay);
+        let edge = metro.sim.add_node(
+            0,
+            "chaos-edge",
+            Box::new(RelayNode::new(Addr::new(core, MOQT_PORT), 0, 5000).tier("chaos-edge")),
+        );
+        metro.sim.set_link(edge, core, intra);
+        let transport = TransportConfig::default()
+            .idle_timeout(spec.stub_idle)
+            .keep_alive(spec.stub_keep_alive);
+        let mut chaos_stubs = Vec::with_capacity(spec.chaos_stubs);
+        for i in 0..spec.chaos_stubs {
+            let slice = i % spec.metro.slices();
+            let qs: Vec<Question> = spec
+                .metro
+                .slice_tracks(slice)
+                .map(|t| metro.questions[t].clone())
+                .collect();
+            let s = metro.sim.add_node(
+                0,
+                format!("chaos-stub{i}"),
+                Box::new(
+                    TreeStub::with_transport(
+                        Addr::new(edge, MOQT_PORT),
+                        qs,
+                        8000 + i as u64,
+                        transport.clone(),
+                    )
+                    .redial_after(spec.stub_redial),
+                ),
+            );
+            metro.sim.set_link(s, edge, intra);
+            chaos_stubs.push(s);
+        }
+        let settle = metro.sim.now() + spec.settle;
+        metro.sim.run_until(settle);
+        ChaosWorld {
+            metro,
+            spec: *spec,
+            chaos_edge: edge,
+            chaos_stubs,
+        }
+    }
+
+    /// The core carrying the most hash-homed tracks — its origin uplink
+    /// is the highest-impact link to flap.
+    pub fn busiest_core(&self) -> usize {
+        (0..self.spec.metro.cores)
+            .max_by_key(|&c| self.metro.shard_size(c))
+            .unwrap_or(0)
+    }
+
+    /// **Drill 1 — uplink flap.** Flaps the busiest core's origin uplink
+    /// (loss → 1.0 both ways, delay untouched so the sharded lookahead
+    /// bound holds) for [`ChaosScenario::flap_len`], pushing one full
+    /// update round mid-flap. The round's objects ride reliable streams,
+    /// so they retransmit and deliver completely after the heal.
+    pub fn flap_drill(&mut self, octet: u8) {
+        let b = self.busiest_core();
+        let auth = self.metro.auth;
+        let core = self.metro.cores[b];
+        let inter = LinkConfig::with_delay(self.spec.metro.peer_delay);
+        let t0 = self.metro.sim.now() + Duration::from_secs(1);
+        let t1 = t0 + self.spec.flap_len;
+        let plan = moqdns_netsim::FaultPlanBuilder::new(self.spec.fault_seed)
+            .window_jitter(Duration::from_millis(50))
+            .flap(auth, core, inter, t0, t1)
+            .build();
+        self.drive_segmented(
+            &plan,
+            t0 + self.spec.flap_len / 2,
+            octet,
+            t1 + self.spec.settle,
+        );
+    }
+
+    /// **Drill 2 — region partition.** Cuts every link into
+    /// [`ChaosScenario::partition_region`] (origin uplink + all core
+    /// peer links; intra-region links stay up) for
+    /// [`ChaosScenario::partition_len`], pushing one round mid-partition.
+    /// The isolated region drains completely on reunion.
+    pub fn partition_drill(&mut self, octet: u8) {
+        let r = self.spec.partition_region.min(self.spec.metro.cores - 1);
+        let core = self.metro.cores[r];
+        let inter = LinkConfig::with_delay(self.spec.metro.peer_delay);
+        let mut cut = vec![(self.metro.auth, core, inter)];
+        for (o, &c) in self.metro.cores.iter().enumerate() {
+            if o != r {
+                cut.push((c, core, inter));
+            }
+        }
+        let t0 = self.metro.sim.now() + Duration::from_secs(1);
+        let t1 = t0 + self.spec.partition_len;
+        let plan = moqdns_netsim::FaultPlanBuilder::new(self.spec.fault_seed ^ 0x2)
+            .window_jitter(Duration::from_millis(50))
+            .partition(&cut, t0, t1)
+            .build();
+        self.drive_segmented(
+            &plan,
+            t0 + self.spec.partition_len / 2,
+            octet,
+            t1 + self.spec.settle,
+        );
+    }
+
+    /// **Drill 3 — edge crash/restart.** Crashes the chaos edge
+    /// (CONNECTION_CLOSE to every peer, then dark) for
+    /// [`ChaosScenario::edge_downtime`], pushing one round mid-downtime
+    /// (the cohort is disconnected and must *not* receive it as a push —
+    /// the rejoin fetch brings them current instead), restarting it, and
+    /// settling long enough for every cohort stub to redial, re-handshake
+    /// and resubscribe. Then pushes a post-recovery round that must reach
+    /// the whole cohort.
+    pub fn crash_drill(&mut self, mid_octet: u8, post_octet: u8) {
+        let edge = self.chaos_edge;
+        let t0 = self.metro.sim.now() + Duration::from_secs(1);
+        let t1 = t0 + self.spec.edge_downtime;
+        let plan = moqdns_netsim::FaultPlanBuilder::new(self.spec.fault_seed ^ 0x3)
+            .crash(edge, t0)
+            .restart(edge, t1)
+            .build();
+        // Reconnect slack: a redial can land just before the restart and
+        // only complete on a capped PTO retransmit of its ClientHello —
+        // give the stragglers one idle-timeout cycle plus settle.
+        let end = t1 + self.spec.stub_idle + self.spec.stub_redial + self.spec.settle;
+        self.drive_segmented(&plan, t0 + self.spec.edge_downtime / 2, mid_octet, end);
+        self.metro.push_round(post_octet);
+        let settle = self.metro.sim.now() + self.spec.settle;
+        self.metro.sim.run_until(settle);
+    }
+
+    /// Drives `plan` to `mid`, pushes one update round, then drives it to
+    /// `end`. The second segment re-applies the plan's already-applied
+    /// prefix — safe: set-link events are idempotent config writes and
+    /// [`apply_relay_fault`] guards crash/restart on the relay's state.
+    fn drive_segmented(
+        &mut self,
+        plan: &moqdns_netsim::FaultPlan,
+        mid: SimTime,
+        octet: u8,
+        end: SimTime,
+    ) {
+        moqdns_netsim::run_plan(&mut self.metro.sim, plan, mid, apply_relay_fault);
+        self.metro.push_round(octet);
+        moqdns_netsim::run_plan(&mut self.metro.sim, plan, end, apply_relay_fault);
+    }
+
+    /// Pushed updates received across the chaos cohort.
+    pub fn chaos_delivered(&self) -> u64 {
+        self.chaos_stubs
+            .iter()
+            .map(|&s| self.metro.sim.node_ref::<TreeStub>(s).updates)
+            .sum()
+    }
+
+    /// Fetch responses (joining + rejoin) answered across the cohort.
+    pub fn chaos_fetched(&self) -> u64 {
+        self.chaos_stubs
+            .iter()
+            .map(|&s| self.metro.sim.node_ref::<TreeStub>(s).fetched)
+            .sum()
+    }
+
+    /// Duplicate / out-of-order deliveries across the cohort **and** the
+    /// original metro stubs — the no-duplicate-across-faults invariant.
+    pub fn total_regressions(&self) -> u64 {
+        self.chaos_stubs
+            .iter()
+            .chain(self.metro.stubs.iter())
+            .map(|&s| self.metro.sim.node_ref::<TreeStub>(s).regressions)
+            .sum()
+    }
+
+    /// Per-stub redial counts for the cohort.
+    pub fn chaos_redials(&self) -> Vec<u64> {
+        self.chaos_stubs
+            .iter()
+            .map(|&s| self.metro.sim.node_ref::<TreeStub>(s).redials)
+            .collect()
+    }
+
+    /// Live session count on the chaos edge (cohort + uplink).
+    pub fn edge_sessions(&self) -> usize {
+        self.metro
+            .sim
+            .node_ref::<RelayNode>(self.chaos_edge)
+            .session_count()
+    }
+
+    /// State-size estimate of the chaos edge (the high-water gate).
+    pub fn edge_state(&self) -> usize {
+        self.metro
+            .sim
+            .node_ref::<RelayNode>(self.chaos_edge)
+            .state_size_estimate()
     }
 }
 

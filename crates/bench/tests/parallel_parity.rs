@@ -9,8 +9,10 @@
 //! scheduler keys, so the merged event history is the same history the
 //! global scheduler would have produced.
 
-use moqdns_bench::worlds::{FederationWorld, MetroWorld, PlanetWorld, SimHandle};
-use moqdns_workload::scenarios::{FederationScenario, MetroScenario, PlanetScenario};
+use moqdns_bench::worlds::{ChaosWorld, FederationWorld, MetroWorld, PlanetWorld, SimHandle};
+use moqdns_workload::scenarios::{
+    ChaosScenario, FederationScenario, MetroScenario, PlanetScenario,
+};
 
 /// Everything we compare between a single-threaded and a sharded run.
 #[derive(Debug, PartialEq, Eq)]
@@ -80,6 +82,44 @@ fn metro_parallel_matches_single() {
     for workers in [1, 2, 3] {
         let par = run_metro(workers);
         assert_eq!(single, par, "metro diverged at W={workers}");
+    }
+}
+
+/// The full four-phase chaos drill (clean round, uplink flap, region
+/// partition, edge crash/restart) with an *active fault plan* — the
+/// end-to-end pin that faults applied at barriers plus per-link loss
+/// draws keep the sharded event history bit-identical.
+fn run_chaos(workers: usize) -> (Observed, u64, u64) {
+    let spec = ChaosScenario::chaos().smoke();
+    let mut w = ChaosWorld::build_with_workers(&spec, 7, workers);
+    w.metro.sim.enable_delivery_digest();
+    w.metro.update_round(10);
+    w.flap_drill(30);
+    w.partition_drill(50);
+    w.crash_drill(70, 90);
+    let obs = Observed {
+        delivered_updates: w.metro.delivered_updates() + w.chaos_delivered(),
+        fetched_or_cores: w.metro.fetched_total() + w.chaos_fetched(),
+        total_datagrams: w.metro.sim.stats().total_datagrams(),
+        total_bytes: w.metro.sim.stats().total_bytes(),
+        digest: w.metro.sim.delivery_digest(),
+        now_nanos: w.metro.sim.now().as_nanos(),
+    };
+    (obs, w.chaos_redials().iter().sum(), w.total_regressions())
+}
+
+#[test]
+fn chaos_drill_parallel_matches_single() {
+    let single = run_chaos(0);
+    assert!(
+        single.0.delivered_updates > 0,
+        "world must actually deliver"
+    );
+    assert!(single.1 > 0, "the crash drill must force redials");
+    assert_eq!(single.2, 0, "no duplicate delivery under faults");
+    for workers in [1, 2, 3] {
+        let par = run_chaos(workers);
+        assert_eq!(single, par, "chaos drill diverged at W={workers}");
     }
 }
 

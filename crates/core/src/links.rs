@@ -67,6 +67,14 @@ pub struct Links {
     links: Vec<LinkState>,
     /// Links `0..parents` are parent uplinks; the rest are peers.
     parents: usize,
+    /// Recovery-probe redial attempts (see
+    /// [`moqdns_moqt::relay::RelayStats::redials`]). Cumulative: survives
+    /// [`Links::reset`] so a revived node's recovery history stays
+    /// visible to the drills gating on it.
+    redials: u64,
+    /// Dial attempts that failed outright at the endpoint layer (see
+    /// [`moqdns_moqt::relay::RelayStats::failed_dials`]). Cumulative.
+    failed_dials: u64,
 }
 
 impl Links {
@@ -77,6 +85,8 @@ impl Links {
         Links {
             links: parents.into_iter().map(LinkState::new).collect(),
             parents: parents_n,
+            redials: 0,
+            failed_dials: 0,
         }
     }
 
@@ -167,9 +177,16 @@ impl Links {
             Some(h) if stack.session(h).is_some() => Some(h),
             _ => {
                 let remote = link.remote;
-                let h = stack.connect(ctx.now(), Addr::new(remote.node, MOQT_PORT), true)?;
-                link.conn = Some(h);
-                Some(h)
+                match stack.connect(ctx.now(), Addr::new(remote.node, MOQT_PORT), true) {
+                    Some(h) => {
+                        link.conn = Some(h);
+                        Some(h)
+                    }
+                    None => {
+                        self.failed_dials += 1;
+                        None
+                    }
+                }
             }
         }
     }
@@ -286,9 +303,10 @@ impl Links {
             return;
         };
         // A previous probe's dial may be stuck retransmitting its
-        // handshake into a void (QUIC PTO backoff grows unbounded under
-        // an hour-long idle timeout); abandon it so each probe starts a
-        // fresh, promptly-answered handshake.
+        // handshake into a void (the QUIC PTO backoff is capped at
+        // `MAX_PTO_BACKOFF`× base, but under an hour-long idle timeout a
+        // stalled dial still probes forever); abandon it so each probe
+        // starts a fresh, promptly-answered handshake.
         if let Some(h) = link.conn.take() {
             match stack.session(h) {
                 Some(s) if s.is_ready() => {
@@ -299,7 +317,27 @@ impl Links {
                 None => {}
             }
         }
+        // Anything issued on the abandoned attempt never reached the
+        // remote. Requeue its subscriptions so the fresh dial's `Ready`
+        // replays them (via [`Links::on_session_ready`]) — without this a
+        // single-uplink relay that resubscribed at close time onto its
+        // own stalled dial comes back from an outage permanently deaf.
+        // In-flight fetches died with the attempt; their waiters were
+        // re-routed or rejected by the core's close handling.
+        let stale: Vec<FullTrackName> = link.subs.values().cloned().collect();
+        link.subs.clear();
+        link.by_track.clear();
+        link.fetches.clear();
+        link.queued.extend(stale);
+        self.redials += 1;
         self.ensure_conn(ctx, stack, id);
+    }
+
+    /// Cumulative recovery counters: `(redials, failed_dials)`. These
+    /// survive [`Links::reset`] — a revived node keeps its history — so
+    /// chaos drills can gate redial storms over a whole run.
+    pub fn recovery_stats(&self) -> (u64, u64) {
+        (self.redials, self.failed_dials)
     }
 
     /// Forgets every connection, subscription, and in-flight fetch on

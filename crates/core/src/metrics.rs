@@ -124,6 +124,8 @@ impl TierRelayStats {
             dropped_datagrams,
             throttled_fetches,
             evicted_sessions,
+            redials,
+            failed_dials,
         } = stats;
         self.totals.downstream_subscribes += downstream_subscribes;
         self.totals.upstream_subscribes += upstream_subscribes;
@@ -142,6 +144,8 @@ impl TierRelayStats {
         self.totals.dropped_datagrams += dropped_datagrams;
         self.totals.throttled_fetches += throttled_fetches;
         self.totals.evicted_sessions += evicted_sessions;
+        self.totals.redials += redials;
+        self.totals.failed_dials += failed_dials;
         self.upstream_subscriptions += live_upstream_subs;
     }
 
@@ -248,6 +252,8 @@ mod tests {
             dropped_datagrams: 5,
             throttled_fetches: 7,
             evicted_sessions: 1,
+            redials: 3,
+            failed_dials: 2,
         };
         let b = RelayStats {
             downstream_subscribes: 16,
@@ -267,6 +273,8 @@ mod tests {
             dropped_datagrams: 0,
             throttled_fetches: 0,
             evicted_sessions: 1,
+            redials: 1,
+            failed_dials: 0,
         };
         tier.accumulate(a, 1);
         tier.accumulate(b, 1);
@@ -280,6 +288,8 @@ mod tests {
         assert_eq!(tier.totals.dropped_datagrams, 5);
         assert_eq!(tier.totals.throttled_fetches, 7);
         assert_eq!(tier.totals.evicted_sessions, 2);
+        assert_eq!(tier.totals.redials, 4);
+        assert_eq!(tier.totals.failed_dials, 2);
         assert!((tier.aggregation_factor() - 16.0).abs() < 1e-9);
     }
 

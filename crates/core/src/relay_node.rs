@@ -20,7 +20,7 @@ use moqdns_moqt::relay::{
     FederationConfig, RelayAction, RelayCore, RelayLimits, RelayStats, RoutePolicy, StaticParent,
 };
 use moqdns_moqt::session::{IncomingFetchKind, SessionEvent};
-use moqdns_netsim::{Addr, Ctx, Node, Payload};
+use moqdns_netsim::{splitmix64, Addr, Ctx, Node, Payload};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -29,6 +29,13 @@ use std::time::Duration;
 /// Timer token for the uplink recovery probe (distinct from
 /// [`TOKEN_QUIC`]).
 pub const TOKEN_UPLINK_PROBE: u64 = (1 << 56) + 1;
+
+/// Ceiling on the probe backoff multiplier: consecutive unanswered probes
+/// double the interval up to `PROBE_MAX_BACKOFF ×` the base (16 s with
+/// the 2 s default) — long outages cost a bounded, sparse redial cadence
+/// instead of a fixed-rate redial storm, yet recovery detection stays
+/// prompt.
+pub const PROBE_MAX_BACKOFF: u32 = 8;
 
 /// The relay node.
 pub struct RelayNode {
@@ -39,12 +46,24 @@ pub struct RelayNode {
     sessions: BTreeMap<u64, ConnHandle>,
     /// Tier label for stats tables ("tier1", "edge", …).
     tier: String,
-    /// How often to redial uplinks the core believes down. When a probe
-    /// dial completes, the `Ready` event marks the uplink healthy and the
-    /// core rebalances tracks back onto it.
+    /// Base interval for redialing uplinks the core believes down. When a
+    /// probe dial completes, the `Ready` event marks the uplink healthy
+    /// and the core rebalances tracks back onto it. Consecutive
+    /// unanswered probes back off exponentially (capped at
+    /// [`PROBE_MAX_BACKOFF`]× this base, plus deterministic jitter) so a
+    /// fleet of relays facing a long outage does not redial in lockstep
+    /// at a fixed rate forever.
     probe_interval: Duration,
     /// A probe timer is currently armed.
     probe_armed: bool,
+    /// Consecutive probes that left at least one uplink down (drives the
+    /// backoff exponent; reset when everything recovers or a fresh
+    /// failure episode starts).
+    probe_attempt: u32,
+    /// Per-node jitter seed for the backed-off probe schedule. A pure
+    /// hash of this and the attempt number desynchronizes sibling relays
+    /// without touching the simulator's seeded RNG (determinism holds).
+    probe_seed: u64,
     /// Per-connection send backlog (estimated connection state bytes)
     /// past which a downstream session is evicted as a slow-loris: a
     /// subscriber that never drains its streams grows unacked state
@@ -81,6 +100,8 @@ impl RelayNode {
             tier: String::new(),
             probe_interval: Duration::from_secs(2),
             probe_armed: false,
+            probe_attempt: 0,
+            probe_seed: seed,
             max_session_backlog: 1 << 20,
             dead: false,
         }
@@ -139,12 +160,16 @@ impl RelayNode {
 
     /// Relay effectiveness counters (ablation A3), with the session-level
     /// hardening counters (violations, dropped datagrams) of every
-    /// session this node ever hosted folded in.
+    /// session this node ever hosted and the link layer's recovery
+    /// counters (redials, failed dials) folded in.
     pub fn stats(&self) -> RelayStats {
         let mut stats = self.core.stats();
         let sess = self.stack.session_stats_total();
         stats.violations += sess.violations;
         stats.dropped_datagrams += sess.dropped_datagrams;
+        let (redials, failed_dials) = self.links.recovery_stats();
+        stats.redials += redials;
+        stats.failed_dials += failed_dials;
         stats
     }
 
@@ -219,23 +244,47 @@ impl RelayNode {
         // dead-check without clearing this flag; leaving it set would keep
         // arm_probe() a no-op forever after revival.
         self.probe_armed = false;
+        self.probe_attempt = 0;
+    }
+
+    /// Current probe delay: the base interval for the first attempt of a
+    /// failure episode, then capped exponential backoff with
+    /// deterministic per-node jitter. The jitter is a pure hash of
+    /// `(probe_seed, attempt)` — no RNG draw, so the simulator's
+    /// determinism contract is untouched, but sibling relays dialing the
+    /// same dead parent spread out instead of redialing in lockstep.
+    fn probe_delay(&self) -> Duration {
+        if self.probe_attempt == 0 {
+            return self.probe_interval;
+        }
+        let exp = self.probe_attempt.min(PROBE_MAX_BACKOFF.ilog2());
+        let backed = self
+            .probe_interval
+            .saturating_mul(1 << exp)
+            .min(self.probe_interval.saturating_mul(PROBE_MAX_BACKOFF));
+        // Up to backed/8 of jitter (250 ms at the 2 s base, 2 s at the
+        // 16 s cap).
+        let span = (backed.as_nanos() as u64 / 8).max(1);
+        let jitter = splitmix64(self.probe_seed ^ u64::from(self.probe_attempt)) % span;
+        backed + Duration::from_nanos(jitter)
     }
 
     fn arm_probe(&mut self, ctx: &mut Ctx<'_>) {
         if !self.probe_armed && !self.probe_interval.is_zero() {
-            ctx.set_timer(self.probe_interval, TOKEN_UPLINK_PROBE);
+            ctx.set_timer(self.probe_delay(), TOKEN_UPLINK_PROBE);
             self.probe_armed = true;
         }
     }
 
     /// Redials every link (parent or peer) the core currently believes
-    /// down; re-arms the probe while any remain down.
+    /// down; re-arms the probe (backing off) while any remain down.
     fn probe_uplinks(&mut self, ctx: &mut Ctx<'_>) {
         self.probe_armed = false;
         let down: Vec<usize> = (0..self.links.len())
             .filter(|&u| !self.core.is_link_up(u))
             .collect();
         if down.is_empty() {
+            self.probe_attempt = 0;
             return;
         }
         for u in &down {
@@ -244,7 +293,10 @@ impl RelayNode {
         let evs = self.stack.flush(ctx);
         self.handle_events(ctx, evs);
         if (0..self.links.len()).any(|u| !self.core.is_link_up(u)) {
+            self.probe_attempt = self.probe_attempt.saturating_add(1);
             self.arm_probe(ctx);
+        } else {
+            self.probe_attempt = 0;
         }
     }
 
@@ -512,7 +564,11 @@ impl RelayNode {
                         self.links.on_closed(u);
                         let actions = self.core.on_uplink_closed(u);
                         self.run_actions(ctx, actions);
-                        // Keep probing until the uplink recovers.
+                        // Keep probing until the uplink recovers. A fresh
+                        // failure is a new episode: probe promptly at the
+                        // base interval rather than inheriting an old
+                        // episode's backoff.
+                        self.probe_attempt = 0;
                         self.arm_probe(ctx);
                     } else {
                         self.sessions.remove(&h.0);

@@ -27,7 +27,7 @@ use moqdns_moqt::track::FullTrackName;
 use moqdns_netsim::{Addr, Ctx, Node, Payload, SimTime};
 use moqdns_quic::{ConnHandle, TransportConfig};
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// Transport the stub uses toward its recursive resolver.
@@ -41,6 +41,7 @@ pub enum StubMode {
 
 const K_UDP: u64 = 2 << 56;
 const K_SWEEP: u64 = 4 << 56;
+const K_REDIAL: u64 = 8 << 56;
 const K_MASK: u64 = 0xFF << 56;
 
 /// A pending classic exchange.
@@ -79,6 +80,17 @@ pub struct StubResolver {
     sweep_interval: Duration,
     /// Initial RTO for classic exchanges (raise on long-delay paths).
     udp_rto: Duration,
+    /// When set, a lost MoQT connection re-dials this long after the
+    /// close and re-subscribes everything that was live, instead of
+    /// staying dark until the next application lookup. `None` (the
+    /// default) keeps the historical lookup-driven-only reconnect.
+    redial_delay: Option<Duration>,
+    /// Questions to re-subscribe on the next redial (captured from the
+    /// live subscriptions when the connection closed).
+    redial_questions: BTreeSet<Question>,
+    /// Times the stub re-dialed after a connection loss (only counted
+    /// when [`StubResolver::redial_after`] is configured).
+    pub redials: u64,
     /// Raw measurements.
     pub metrics: Metrics,
 }
@@ -99,6 +111,20 @@ impl StubResolver {
         let transport = TransportConfig::default()
             .idle_timeout(Duration::from_secs(3600))
             .keep_alive(Duration::from_secs(25));
+        StubResolver::with_transport(mode, server, seed, policy, transport)
+    }
+
+    /// Creates a stub with an explicit QUIC transport config. The chaos
+    /// drills use a short idle timeout so a SIGKILLed (silently dead)
+    /// resolver is detected in seconds instead of the patient hour-long
+    /// default, which only suits stable paths.
+    pub fn with_transport(
+        mode: StubMode,
+        server: Addr,
+        seed: u64,
+        policy: TeardownPolicy,
+        transport: TransportConfig,
+    ) -> StubResolver {
         StubResolver {
             mode,
             server,
@@ -113,8 +139,21 @@ impl StubResolver {
             tracker: SubscriptionTracker::new(policy),
             sweep_interval: Duration::from_secs(60),
             udp_rto: Duration::from_secs(1),
+            redial_delay: None,
+            redial_questions: BTreeSet::new(),
+            redials: 0,
             metrics: Metrics::default(),
         }
+    }
+
+    /// Makes the stub re-dial its resolver `delay` after a connection
+    /// loss and re-subscribe everything that was live (retrying at that
+    /// cadence until a session sticks). Pair with a short idle timeout
+    /// via [`StubResolver::with_transport`] so a dead resolver is
+    /// noticed fast — the crash/restart drills rely on both.
+    pub fn redial_after(mut self, delay: Duration) -> StubResolver {
+        self.redial_delay = Some(delay);
+        self
     }
 
     /// Sets the classic retransmission timeout (deep-space paths).
@@ -377,10 +416,21 @@ impl StubResolver {
                     self.subs.remove(&request_id);
                     self.tracker.remove(&request_id);
                 }
-                StackEvent::Closed(_) => {
+                StackEvent::Closed(h) => {
                     // §4.4: after a connection loss, subscriptions are gone;
-                    // the next lookup re-establishes with fetch-from-last.
+                    // the next lookup re-establishes with fetch-from-last. A
+                    // stale handle closing (an abandoned earlier attempt)
+                    // must not clobber the live connection's state.
+                    if self.conn != Some(h) {
+                        continue;
+                    }
                     self.conn = None;
+                    if let Some(delay) = self.redial_delay {
+                        for s in self.subs.values() {
+                            self.redial_questions.insert(s.question.clone());
+                        }
+                        ctx.set_timer(delay, K_REDIAL);
+                    }
                     self.subs.clear();
                 }
                 _ => {}
@@ -455,6 +505,40 @@ impl StubResolver {
         }
     }
 
+    fn on_redial(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(delay) = self.redial_delay else {
+            return;
+        };
+        if let Some(h) = self.conn.take() {
+            if self.stack.session(h).is_some() {
+                self.conn = Some(h);
+                return; // already reconnected (e.g. a fresh lookup)
+            }
+            // A dead handle with no session: drop it silently so its
+            // handshake stops retransmitting into the void.
+            self.stack.abandon(h);
+        }
+        self.redials += 1;
+        let peer = Addr::new(self.server.node, MOQT_PORT);
+        self.conn = self.stack.connect(ctx.now(), peer, true);
+        let Some(h) = self.conn else {
+            ctx.set_timer(delay, K_REDIAL);
+            return;
+        };
+        // Re-subscribe with joining fetches: each brings the track
+        // current immediately, so even a round published while we were
+        // dark is recovered without waiting for the next push. If this
+        // dial also stalls (resolver still down), its own idle timeout
+        // raises `Closed`, which recaptures the questions and re-arms.
+        let questions: Vec<Question> = std::mem::take(&mut self.redial_questions)
+            .into_iter()
+            .collect();
+        let started = ctx.now();
+        for q in questions {
+            self.issue_subscribe(ctx, h, q, started);
+        }
+    }
+
     /// The track of an active subscription (diagnostics).
     pub fn subscription_tracks(&self) -> Vec<FullTrackName> {
         self.subs
@@ -497,6 +581,7 @@ impl Node for StubResolver {
             }
             K_UDP => self.on_udp_timer(ctx, (token & 0xFFFF) as u16),
             K_SWEEP => self.on_sweep(ctx),
+            K_REDIAL => self.on_redial(ctx),
             _ => {}
         }
     }

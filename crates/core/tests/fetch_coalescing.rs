@@ -513,3 +513,142 @@ fn revived_uplink_reclaims_shard_through_probe() {
         "zero post-recovery loss"
     );
 }
+
+/// A relay facing a long uplink outage must redial on a *bounded,
+/// counted* schedule: capped exponential backoff (base, 2×, 4×, then
+/// flat at [`moqdns_core::relay_node::PROBE_MAX_BACKOFF`]× + jitter)
+/// instead of a fixed-rate storm, with every attempt visible in
+/// `RelayStats::redials` — and it must still reclaim the uplink promptly
+/// after revival, after which the counter stops moving.
+#[test]
+fn redial_storm_is_counted_and_bounded_by_backoff() {
+    const TRACKS: usize = 4;
+    let mut sim = Simulator::new(44);
+    let link = LinkConfig::with_delay(Duration::from_millis(10));
+    sim.set_default_link(link);
+    let zone = zone_with(TRACKS);
+    let questions: Vec<Question> = (0..TRACKS).map(question).collect();
+    let qs = questions.clone();
+
+    // A straight chain: auth → core → edge (1 s probe base) → 2 stubs.
+    let topo = TopoBuilder::new()
+        .tier("auth", 1, 0, link)
+        .tier("core", 1, 1, link)
+        .tier("edge", 1, 1, link)
+        .tier("stub", 2, 1, link)
+        .build(&mut sim, |sim, ctx| match ctx.tier_name {
+            "auth" => sim.add_node(
+                ctx.name.clone(),
+                Box::new(AuthServer::new(
+                    Authority::single(zone.clone()),
+                    TransportConfig::default()
+                        .idle_timeout(Duration::from_secs(3600))
+                        .keep_alive(Duration::from_secs(25)),
+                    11,
+                )),
+            ),
+            "core" | "edge" => {
+                let r = RelayNode::new(
+                    Addr::new(ctx.parents[0], MOQT_PORT),
+                    0,
+                    40 + ctx.index as u64,
+                )
+                .tier(ctx.tier_name);
+                let r = if ctx.tier_name == "edge" {
+                    r.probe_interval(Duration::from_secs(1))
+                } else {
+                    r
+                };
+                sim.add_node(ctx.name.clone(), Box::new(r))
+            }
+            _ => sim.add_node(
+                ctx.name.clone(),
+                Box::new(Sub::new(
+                    Addr::new(ctx.parents[0], MOQT_PORT),
+                    qs.clone(),
+                    100 + ctx.index as u64,
+                )),
+            ),
+        });
+    sim.run_until(sim.now() + Duration::from_secs(5));
+
+    let auth = topo.tier_named("auth")[0];
+    let core = topo.tier_named("core")[0];
+    let edge = topo.tier_named("edge")[0];
+    let stubs = topo.tier_named("stub").to_vec();
+
+    let update_all = |sim: &mut Simulator, octet: u8| {
+        for i in 0..TRACKS {
+            let name = record_name(i);
+            sim.with_node::<AuthServer, _>(auth, |a, ctx| {
+                a.update_zone(ctx, |authority| {
+                    if let Some(z) = authority.find_zone_mut(&name) {
+                        z.set_records(
+                            &name,
+                            RecordType::A,
+                            vec![Record::new(
+                                name.clone(),
+                                60,
+                                RData::A(Ipv4Addr::new(198, 51, 100, octet)),
+                            )],
+                        );
+                    }
+                });
+            });
+        }
+        sim.run_until(sim.now() + Duration::from_secs(5));
+    };
+    let delivered =
+        |sim: &Simulator| -> u64 { stubs.iter().map(|&s| sim.node_ref::<Sub>(s).updates).sum() };
+    let edge_redials = |sim: &Simulator| sim.node_ref::<RelayNode>(edge).stats().redials;
+
+    // Healthy baseline: full delivery, no redials anywhere.
+    update_all(&mut sim, 50);
+    assert_eq!(delivered(&sim), (TRACKS * stubs.len()) as u64);
+    assert_eq!(edge_redials(&sim), 0);
+
+    // Kill the core and hold the outage for 30 s. The edge's probe
+    // schedule from the close is ~1, +2, +4, +8, +8, +8 … (jittered), so
+    // a 30 s outage costs a handful of redials — a fixed 1 s cadence
+    // would burn ~30.
+    sim.with_node::<RelayNode, _>(core, |r, ctx| r.shutdown(ctx));
+    sim.run_until(sim.now() + Duration::from_secs(30));
+    let storm = edge_redials(&sim);
+    assert!(
+        (3..=8).contains(&storm),
+        "capped backoff should cost 3..=8 redials over 30 s, got {storm}"
+    );
+    assert_eq!(
+        sim.node_ref::<RelayNode>(edge).stats().failed_dials,
+        0,
+        "dials into a dark peer hang on the handshake, they don't error"
+    );
+
+    // Revive: the next (capped) probe lands within ~9 s and reclaims the
+    // uplink; the counter stops moving once healthy.
+    sim.with_node::<RelayNode, _>(core, |r, _| r.revive());
+    sim.run_until(sim.now() + Duration::from_secs(15));
+    assert_eq!(
+        sim.node_ref::<RelayNode>(edge)
+            .upstream_subscription_count(),
+        TRACKS,
+        "uplink reclaimed and every track resubscribed"
+    );
+    let after_recovery = edge_redials(&sim);
+    assert!(
+        after_recovery <= storm + 2,
+        "recovery costs at most the in-flight probe plus one: {storm} -> {after_recovery}"
+    );
+    let before = delivered(&sim);
+    update_all(&mut sim, 51);
+    assert_eq!(
+        delivered(&sim) - before,
+        (TRACKS * stubs.len()) as u64,
+        "zero post-recovery loss"
+    );
+    assert_eq!(
+        edge_redials(&sim),
+        after_recovery,
+        "a healthy uplink never redials"
+    );
+}

@@ -480,6 +480,15 @@ pub struct RelayStats {
     /// slow-loris sessions the node closed over backlog (reported via
     /// [`RelayCore::note_session_evicted`]).
     pub evicted_sessions: u64,
+    /// Recovery-probe redial attempts against uplinks believed down
+    /// (each abandons any stalled previous dial and starts a fresh
+    /// handshake). Counted by the owning node's link layer; chaos drills
+    /// gate on this staying bounded instead of eyeballing logs.
+    pub redials: u64,
+    /// Dial attempts (initial or redial) that could not even create a
+    /// connection — the remote address was unreachable at the endpoint
+    /// layer. Counted by the owning node's link layer.
+    pub failed_dials: u64,
 }
 
 /// Per-session abuse limits a relay enforces on its downstreams.

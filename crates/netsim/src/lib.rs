@@ -33,6 +33,10 @@
 //!   bytes;
 //! * per-directed-pair traffic accounting ([`TrafficStats`]) used by the
 //!   update-traffic experiments;
+//! * a declarative chaos plane ([`faults`]): seeded [`FaultPlan`]s of
+//!   link flaps, region partitions, loss bursts, and node
+//!   crash/restart events, applied at barrier points so the same plan
+//!   replays bit-identically single-threaded and under any sharding;
 //! * declarative tiered topologies ([`topo`]): k-ary relay trees and
 //!   multi-parent meshes with per-tier link configs, built once and
 //!   reused by every experiment binary.
@@ -54,6 +58,7 @@
 //! node sends bound for remote peers in an outbound queue the io driver
 //! flushes to the wire — the machinery `moqdns-relayd` is built on.
 
+pub mod faults;
 pub mod link;
 pub mod live;
 pub mod node;
@@ -64,11 +69,14 @@ pub mod stats;
 pub mod time;
 pub mod topo;
 
+pub use faults::{
+    run_plan, FaultAction, FaultEvent, FaultHost, FaultPlan, FaultPlanBuilder, NodeFault,
+};
 pub use link::LinkConfig;
 pub use live::{LiveSim, OutboundDatagram};
 pub use node::{Addr, Ctx, Node, NodeId};
 pub use par::ParSim;
-pub use sim::Simulator;
+pub use sim::{splitmix64, Simulator};
 pub use stats::{LinkStats, TrafficStats, TrafficStatsMut};
 pub use time::SimTime;
 pub use topo::{TopoBuilder, TopoHost, Topology};

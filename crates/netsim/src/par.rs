@@ -70,7 +70,12 @@ impl ParSim {
         let shards = (0..workers)
             .map(|i| {
                 let shard_seed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                Simulator::new_shard(shard_seed, i as u16)
+                let mut shard = Simulator::new_shard(shard_seed, i as u16);
+                // Per-link loss/jitter draws use the *base* seed on every
+                // shard: link randomness is a function of the world, not
+                // of which shard happens to run the transmit.
+                shard.set_link_seed(seed);
+                shard
             })
             .collect();
         ParSim {

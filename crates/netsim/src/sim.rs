@@ -29,6 +29,18 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// SplitMix64 finalizer: a strong, cheap, allocation-free 64-bit mixer.
+/// The simulator derives every per-link loss/jitter draw from it (see
+/// `SimCore::link_draw`); other deterministic schedules in the
+/// workspace (probe-backoff jitter, fault-plan window jitter) reuse it so
+/// "random-looking but replayable" always means the same thing.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Sentinel adjacency slot for deliveries whose transmit happened on a
 /// different shard (the sender's row is not in this core's tables).
 const FOREIGN_SLOT: (u32, u32) = (u32::MAX, u32::MAX);
@@ -70,6 +82,12 @@ struct LinkEntry {
     cfg: Option<LinkConfig>,
     busy_until: SimTime,
     stats: LinkStats,
+    /// Count of loss/jitter draws taken on this directed pair. Each draw
+    /// is `splitmix64(link_seed, src, dst, draw_seq)` — a pure function
+    /// of the pair's own transmit history, so lossy links are
+    /// bit-identical across any sharding (the same anchor as the event
+    /// key: source-local history only).
+    draw_seq: u64,
 }
 
 /// A datagram crossing a shard boundary, parked in the sender's outbox
@@ -108,6 +126,11 @@ pub(crate) struct SimCore {
     /// Sequence for driver-scheduled closures (source [`DRIVER_SRC`]).
     driver_seq: u32,
     rng: StdRng,
+    /// Seed for the per-link loss/jitter draw streams. Always the *base*
+    /// world seed — [`crate::par::ParSim`] sets it identically on every
+    /// shard even though each shard's `rng` stream is distinct — so link
+    /// randomness never depends on which shard runs the transmit.
+    link_seed: u64,
     default_link: LinkConfig,
     /// Flat per-node adjacency (indexed by source node id; NodeIds are
     /// dense). Entries are sorted by `dst` for binary search.
@@ -139,6 +162,7 @@ impl SimCore {
             node_seq: Vec::new(),
             driver_seq: 0,
             rng: StdRng::seed_from_u64(seed),
+            link_seed: seed,
             default_link: LinkConfig::default(),
             links: Vec::new(),
             timers: Vec::new(),
@@ -199,6 +223,7 @@ impl SimCore {
                         cfg: None,
                         busy_until: SimTime::ZERO,
                         stats: LinkStats::default(),
+                        draw_seq: 0,
                     },
                 );
                 i
@@ -210,6 +235,25 @@ impl SimCore {
     pub(crate) fn set_link_directed(&mut self, src: NodeId, dst: NodeId, cfg: LinkConfig) {
         let (s, i) = self.link_slot(src, dst);
         self.links[s][i].cfg = Some(cfg);
+    }
+
+    /// Next deterministic loss/jitter draw for the adjacency entry at
+    /// `(row, idx)`: `splitmix64` over `(link_seed, src, dst, draw_seq)`.
+    /// A pure function of the directed pair's own draw history — never of
+    /// the shard's RNG, other links' traffic, or global execution order —
+    /// so lossy-link outcomes are bit-identical single-threaded and under
+    /// any `--par` sharding, and node-level RNG consumption cannot shift
+    /// them.
+    fn link_draw(&mut self, row: usize, idx: usize) -> u64 {
+        let e = &mut self.links[row][idx];
+        let seq = e.draw_seq;
+        e.draw_seq += 1;
+        let pair = ((row as u64) << 32) | e.dst as u64;
+        splitmix64(
+            self.link_seed
+                .wrapping_add(splitmix64(pair))
+                .wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
     }
 
     pub(crate) fn transmit(&mut self, from: Addr, to: Addr, payload: Payload) {
@@ -227,11 +271,17 @@ impl SimCore {
             self.links[s][i].stats.dropped_mtu += 1;
             return;
         }
-        // The RNG is only consulted when the link can actually drop or
-        // jitter — lossless links must not perturb the seeded stream.
-        if cfg.loss > 0.0 && self.rng.random::<f64>() < cfg.loss {
-            self.links[s][i].stats.dropped_loss += 1;
-            return;
+        // Loss and jitter draw from the per-link deterministic stream
+        // (`link_draw`), never from the shard RNG: lossless links take no
+        // draws at all, and lossy links land identically regardless of
+        // sharding or of what else consumed the seeded RNG.
+        if cfg.loss > 0.0 {
+            let u = self.link_draw(s, i);
+            // 53-bit mantissa → uniform in [0, 1).
+            if (u >> 11) as f64 / ((1u64 << 53) as f64) < cfg.loss {
+                self.links[s][i].stats.dropped_loss += 1;
+                return;
+            }
         }
 
         // Store-and-forward: serialization occupies the link FIFO.
@@ -241,7 +291,8 @@ impl SimCore {
         entry.busy_until = tx_done;
 
         let jitter = if cfg.jitter > Duration::ZERO {
-            let ns = self.rng.random_range(0..=cfg.jitter.as_nanos() as u64);
+            let u = self.link_draw(s, i);
+            let ns = u % (cfg.jitter.as_nanos() as u64 + 1);
             Duration::from_nanos(ns)
         } else {
             Duration::ZERO
@@ -547,6 +598,13 @@ impl Simulator {
     /// with node creation by the parallel driver).
     pub(crate) fn push_owner(&mut self, shard: u16) {
         self.core.owner.push(shard);
+    }
+
+    /// Overrides the per-link draw-stream seed. The parallel driver sets
+    /// the *base* world seed on every shard (shard RNG seeds differ) so
+    /// lossy-link outcomes are sharding-independent.
+    pub(crate) fn set_link_seed(&mut self, seed: u64) {
+        self.core.link_seed = seed;
     }
 
     /// Drains the cross-shard outbox (empty in single-threaded runs).
@@ -1035,17 +1093,17 @@ mod tests {
     }
 
     #[test]
-    fn lossless_transmit_does_not_touch_the_rng() {
-        // Satellite invariant: when `loss == 0` and `jitter == 0`, a
-        // transmit draws nothing from the seeded RNG — heavy lossless
-        // traffic cannot shift the random stream of lossy links
-        // elsewhere in the world (committed CI baselines depend on it).
+    fn transmit_never_touches_the_rng() {
+        // Invariant: *no* transmit — lossless, lossy, or jittery —
+        // consumes the shard's seeded RNG. Loss and jitter draw from
+        // per-link deterministic streams instead, so link traffic cannot
+        // shift node-level randomness and vice versa (committed CI
+        // baselines and the parallel parity contract depend on it).
         let drain = |sim: &mut Simulator, a: NodeId| -> Vec<u64> {
             sim.with_node::<Recorder, _>(a, |_, ctx| (0..8).map(|_| ctx.random_u64()).collect())
         };
-        let run = |traffic: usize| -> Vec<u64> {
-            let (mut sim, a, b) =
-                two_recorders(77, LinkConfig::with_delay(Duration::from_millis(1)));
+        let run = |link: LinkConfig, traffic: usize| -> Vec<u64> {
+            let (mut sim, a, b) = two_recorders(77, link);
             sim.run_until_idle();
             for _ in 0..traffic {
                 sim.with_node::<Recorder, _>(a, |_, ctx| {
@@ -1055,21 +1113,56 @@ mod tests {
             sim.run_until_idle();
             drain(&mut sim, a)
         };
-        assert_eq!(run(0), run(1000), "lossless traffic perturbed the RNG");
+        let lossless = LinkConfig::with_delay(Duration::from_millis(1));
+        let hostile = LinkConfig::with_delay(Duration::from_millis(1))
+            .jitter(Duration::from_millis(5))
+            .loss(0.5);
+        let baseline = run(lossless, 0);
+        assert_eq!(
+            baseline,
+            run(lossless, 1000),
+            "lossless traffic perturbed the RNG"
+        );
+        assert_eq!(
+            baseline,
+            run(hostile, 1000),
+            "lossy/jittery traffic perturbed the RNG"
+        );
+    }
 
-        // A lossy link, by contrast, must consume the stream.
-        let lossy = {
-            let (mut sim, a, b) = two_recorders(77, LinkConfig::instant().loss(0.5));
+    #[test]
+    fn link_draws_are_independent_of_node_rng_use() {
+        // The converse direction: consuming the node-level RNG mid-run
+        // must not move any lossy link's drop/jitter pattern — per-link
+        // draws depend only on the pair's own transmit history.
+        let run = |rng_noise: bool| -> Vec<u64> {
+            let link = LinkConfig::with_delay(Duration::from_millis(1))
+                .jitter(Duration::from_millis(5))
+                .loss(0.4);
+            let (mut sim, a, b) = two_recorders(7, link);
             sim.run_until_idle();
-            for _ in 0..10 {
+            for i in 0..200 {
+                if rng_noise && i % 3 == 0 {
+                    sim.with_node::<Recorder, _>(a, |_, ctx| {
+                        ctx.random_u64();
+                    });
+                }
                 sim.with_node::<Recorder, _>(a, |_, ctx| {
-                    ctx.send(1, Addr::new(b, 1), vec![0; 100]);
+                    ctx.send(1, Addr::new(b, 1), vec![0; 10]);
                 });
             }
             sim.run_until_idle();
-            drain(&mut sim, a)
+            sim.node_ref::<Recorder>(b)
+                .heard
+                .iter()
+                .map(|(t, ..)| t.as_nanos())
+                .collect()
         };
-        assert_ne!(lossy, run(0), "lossy traffic must consume the RNG");
+        assert_eq!(
+            run(false),
+            run(true),
+            "node RNG consumption moved a lossy link's deliveries"
+        );
     }
 
     #[test]

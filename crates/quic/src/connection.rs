@@ -6,6 +6,14 @@
 //! `poll_timeout`, and consumes application-visible [`Event`]s from
 //! `poll_event`.
 //!
+//! The lifecycle is an explicit one-way machine — `Handshaking →
+//! Established → Draining → Closed` (see the internal `State` docs for the
+//! full edge set and the idle-timeout/keep-alive liveness contract).
+//! Every transition funnels through a single checked helper, and the
+//! machine is observable via [`Connection::conn_state`]; the property test
+//! in `tests/conn_model.rs` pins the legal-transition contract against
+//! arbitrary event interleavings.
+//!
 //! Handshake latency semantics (the properties the paper's §5.2 depends on):
 //!
 //! * fresh connection: ClientHello flies in an Initial packet; application
@@ -118,10 +126,52 @@ impl std::fmt::Display for ConnectionError {
 
 impl std::error::Error for ConnectionError {}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Connection lifecycle. Transitions are one-way and go through
+/// [`Connection::transition`], which asserts edge legality:
+///
+/// ```text
+/// Handshaking ──→ Established ──→ Draining ──→ Closed
+///      │                │                        ▲
+///      └────────────────┴────────────────────────┘
+/// ```
+///
+/// * `Handshaking` — waiting for the peer's handshake flight. No 1-RTT
+///   application data is accepted (clients may send 0-RTT).
+/// * `Established` — handshake complete; the liveness contract is active:
+///   we close after `max_idle_timeout` without receiving anything, and (if
+///   configured) send a keep-alive PING once `keep_alive_interval` passes
+///   without transmitting, so an idle-but-healthy connection never trips
+///   the peer's idle timer.
+/// * `Draining` — we initiated termination and the CONNECTION_CLOSE frame
+///   is queued but not yet flushed; the next `poll_transmit` emits it and
+///   moves to `Closed`. Incoming datagrams are still parsed (a crossing
+///   peer close is absorbed without a duplicate event), the application
+///   API already rejects with [`ConnectionError::Closed`], and all timers
+///   are off.
+/// * `Closed` — terminal and inert: nothing is sent, received datagrams
+///   are dropped, timers are off. Reached directly (skipping `Draining`)
+///   when there is nothing to say on the wire: peer-initiated close, idle
+///   timeout (QUIC closes silently), or a handshake refusal from the peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum State {
     Handshaking,
     Established,
+    Draining,
+    Closed,
+}
+
+/// Externally observable connection lifecycle phase (see the state diagram
+/// on the internal `State`). Exposed for drills and model tests that pin
+/// the state machine's legal-transition contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConnState {
+    /// Waiting for the peer's handshake flight.
+    Handshaking,
+    /// Handshake complete; idle-timeout/keep-alive contract active.
+    Established,
+    /// Locally closed; terminal CONNECTION_CLOSE not yet flushed.
+    Draining,
+    /// Terminal and inert.
     Closed,
 }
 
@@ -213,8 +263,9 @@ pub struct Connection {
     ping_pending: bool,
 
     // --- closing ---
+    /// Terminal CONNECTION_CLOSE queued while `Draining`; taken by the
+    /// flush in `poll_transmit`.
     close_frame: Option<(u64, Vec<u8>)>,
-    close_sent: bool,
 
     events: VecDeque<Event>,
     readable_notified: BTreeSet<StreamId>,
@@ -309,7 +360,6 @@ impl Connection {
             last_tx: now,
             ping_pending: false,
             close_frame: None,
-            close_sent: false,
             events: VecDeque::new(),
             readable_notified: BTreeSet::new(),
             stats: ConnStats::default(),
@@ -333,9 +383,47 @@ impl Connection {
         self.state == State::Established
     }
 
-    /// True once the connection terminated.
+    /// True once the connection is terminating or terminated (`Draining`
+    /// or `Closed`): the application API rejects, timers are off, and at
+    /// most one more datagram (the terminal close flush) will be emitted.
     pub fn is_closed(&self) -> bool {
-        self.state == State::Closed
+        self.state >= State::Draining
+    }
+
+    /// Current lifecycle phase (for drills and model tests).
+    pub fn conn_state(&self) -> ConnState {
+        match self.state {
+            State::Handshaking => ConnState::Handshaking,
+            State::Established => ConnState::Established,
+            State::Draining => ConnState::Draining,
+            State::Closed => ConnState::Closed,
+        }
+    }
+
+    /// Moves the machine to `next`, asserting the edge is one of the legal
+    /// one-way transitions in the `State` diagram. Every state change goes
+    /// through here so an illegal edge is a loud bug in debug builds, not
+    /// a silent wedge.
+    fn transition(&mut self, next: State) {
+        debug_assert!(
+            Self::legal_edge(self.state, next),
+            "illegal connection state transition {:?} -> {next:?}",
+            self.state,
+        );
+        self.state = next;
+    }
+
+    fn legal_edge(from: State, to: State) -> bool {
+        use State::*;
+        matches!(
+            (from, to),
+            (Handshaking, Established)
+                | (Handshaking, Draining)
+                | (Handshaking, Closed)
+                | (Established, Draining)
+                | (Established, Closed)
+                | (Draining, Closed)
+        )
     }
 
     /// Negotiated ALPN (after establishment).
@@ -409,7 +497,7 @@ impl Connection {
 
     /// Opens a new locally-initiated stream.
     pub fn open_stream(&mut self, dir: Dir) -> Result<StreamId, ConnectionError> {
-        if self.state == State::Closed {
+        if self.is_closed() {
             return Err(ConnectionError::Closed);
         }
         let index = match dir {
@@ -433,7 +521,7 @@ impl Connection {
     /// Writes application data to a stream; returns bytes accepted (may be
     /// short under flow control).
     pub fn send_stream(&mut self, id: StreamId, data: &[u8]) -> Result<usize, ConnectionError> {
-        if self.state == State::Closed {
+        if self.is_closed() {
             return Err(ConnectionError::Closed);
         }
         let s = self
@@ -503,7 +591,7 @@ impl Connection {
     /// instead of copying them.
     pub fn send_datagram(&mut self, data: impl Into<Payload>) -> Result<(), ConnectionError> {
         let data = data.into();
-        if self.state == State::Closed {
+        if self.is_closed() {
             return Err(ConnectionError::Closed);
         }
         if !self.config.datagrams_enabled || data.len() + 32 > self.config.max_udp_payload {
@@ -513,13 +601,15 @@ impl Connection {
         Ok(())
     }
 
-    /// Closes the connection with an error code and reason.
+    /// Closes the connection with an error code and reason. The machine
+    /// enters `Draining`; the next `poll_transmit` flushes the terminal
+    /// CONNECTION_CLOSE and completes the move to `Closed`.
     pub fn close(&mut self, error_code: u64, reason: &str) {
-        if self.state == State::Closed {
+        if self.is_closed() {
             return;
         }
         self.close_frame = Some((error_code, reason.as_bytes().to_vec()));
-        self.state = State::Closed;
+        self.transition(State::Draining);
         self.events.push_back(Event::Closed {
             error_code,
             reason: reason.to_string(),
@@ -540,7 +630,9 @@ impl Connection {
     /// parse zero-copy: DATAGRAM frames become sub-views of `data`, so a
     /// relay fanning an object out never copies payload bytes on receive.
     pub fn handle_datagram(&mut self, now: SimTime, data: &Payload) {
-        if self.state == State::Closed && self.close_sent {
+        // Closed is inert; Draining still parses (a crossing peer close or
+        // late ACK in the pre-flush window must not wedge the machine).
+        if self.state == State::Closed {
             return;
         }
         let Ok(packets) = decode_datagram_payload(data) else {
@@ -629,9 +721,11 @@ impl Connection {
                 }
             }
             Frame::ConnectionClose { error_code, reason } => {
-                if self.state != State::Closed {
-                    self.state = State::Closed;
-                    self.close_sent = true; // drain: do not reply
+                // Peer close goes straight to Closed (drain: do not
+                // reply). A crossing close while we are Draining is
+                // absorbed — our own Closed event already fired.
+                if !self.is_closed() {
+                    self.transition(State::Closed);
                     self.events.push_back(Event::Closed {
                         error_code,
                         reason: String::from_utf8_lossy(&reason).into_owned(),
@@ -645,6 +739,12 @@ impl Connection {
     fn handle_crypto(&mut self, data: &[u8]) {
         if self.handshake_processed {
             return; // retransmitted flight
+        }
+        if self.is_closed() {
+            // A handshake flight landing in the Draining window (e.g. a
+            // retransmit after we refused the first copy) must not
+            // resurrect the connection.
+            return;
         }
         let Ok(msg) = HandshakeMessage::decode(data) else {
             self.close(0x1, "malformed handshake");
@@ -663,7 +763,8 @@ impl Connection {
                 let Some(selected) = select_alpn(&alpn, &self.alpn_supported) else {
                     self.crypto_out = Some(HandshakeMessage::HelloRetry { code: 0x178 }.encode());
                     self.crypto_pending = true;
-                    self.state = State::Closed; // will emit retry then die
+                    // Drain: emit the retry + terminal close, then die.
+                    self.transition(State::Draining);
                     self.close_frame = Some((0x178, b"no ALPN overlap".to_vec()));
                     self.events.push_back(Event::Closed {
                         error_code: 0x178,
@@ -688,7 +789,7 @@ impl Connection {
                 self.crypto_out = Some(sh.encode());
                 self.crypto_pending = true;
                 self.selected_alpn = Some(selected.clone());
-                self.state = State::Established;
+                self.transition(State::Established);
                 // If early data was rejected, drop it (never ACKed — the
                 // client's recovery will resend as 1-RTT).
                 if !early_ok {
@@ -709,7 +810,7 @@ impl Connection {
             ) => {
                 self.handshake_processed = true;
                 self.selected_alpn = Some(alpn.clone());
-                self.state = State::Established;
+                self.transition(State::Established);
                 self.events.push_back(Event::Connected {
                     alpn,
                     early_data_accepted: if self.attempted_early_data {
@@ -722,8 +823,9 @@ impl Connection {
             }
             (Side::Client, HandshakeMessage::HelloRetry { code }) => {
                 self.handshake_processed = true;
-                self.state = State::Closed;
-                self.close_sent = true;
+                // Refused by the peer: nothing to say back, go straight
+                // to Closed.
+                self.transition(State::Closed);
                 self.events.push_back(Event::Closed {
                     error_code: code,
                     reason: "handshake refused".into(),
@@ -886,30 +988,32 @@ impl Connection {
     /// encoded once into a pooled buffer and returned as a shared
     /// [`Payload`].
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<Payload> {
-        // Terminal close frame (sent exactly once).
-        if self.state == State::Closed {
+        // Draining: flush the terminal close frame (exactly once), then
+        // the machine completes its move to Closed. Closed is inert.
+        if self.state == State::Draining {
+            self.transition(State::Closed);
             if let Some((code, reason)) = self.close_frame.take() {
-                if !self.close_sent {
-                    self.close_sent = true;
-                    let mut frames = Vec::new();
-                    if self.crypto_pending {
-                        // A HelloRetry rides along with the close.
-                        if let Some(c) = &self.crypto_out {
-                            frames.push(Frame::Crypto {
-                                offset: 0,
-                                data: c.clone(),
-                            });
-                        }
-                        self.crypto_pending = false;
+                let mut frames = Vec::new();
+                if self.crypto_pending {
+                    // A HelloRetry rides along with the close.
+                    if let Some(c) = &self.crypto_out {
+                        frames.push(Frame::Crypto {
+                            offset: 0,
+                            data: c.clone(),
+                        });
                     }
-                    frames.push(Frame::ConnectionClose {
-                        error_code: code,
-                        reason,
-                    });
-                    let pkt = self.seal(PacketType::OneRtt, frames, vec![], false);
-                    return Some(self.finish_datagram(now, vec![pkt]));
+                    self.crypto_pending = false;
                 }
+                frames.push(Frame::ConnectionClose {
+                    error_code: code,
+                    reason,
+                });
+                let pkt = self.seal(PacketType::OneRtt, frames, vec![], false);
+                return Some(self.finish_datagram(now, vec![pkt]));
             }
+            return None;
+        }
+        if self.state == State::Closed {
             return None;
         }
 
@@ -1095,8 +1199,14 @@ impl Connection {
     // ------------------------------------------------------------------
 
     /// The next instant `handle_timeout` should be called, if any.
+    ///
+    /// The liveness contract: while `Established`, the idle deadline is
+    /// `last_rx + max_idle_timeout` and (if configured) a keep-alive PING
+    /// is due at `last_tx + keep_alive_interval`; a conforming peer's
+    /// keep-alives therefore hold off our idle timer indefinitely. Once
+    /// closing (`Draining`/`Closed`) all timers are off.
     pub fn poll_timeout(&self) -> Option<SimTime> {
-        if self.state == State::Closed {
+        if self.is_closed() {
             return None;
         }
         let mut deadline: Option<SimTime> = None;
@@ -1121,13 +1231,13 @@ impl Connection {
     /// Processes timer expiry at `now`: loss detection / PTO, idle timeout,
     /// keep-alive. Spurious calls are harmless.
     pub fn handle_timeout(&mut self, now: SimTime) {
-        if self.state == State::Closed {
+        if self.is_closed() {
             return;
         }
-        // Idle timeout: silent death (QUIC does not signal it on the wire).
+        // Idle timeout: silent death (QUIC does not signal it on the
+        // wire), so skip Draining and go straight to Closed.
         if now >= self.last_rx + self.config.max_idle_timeout {
-            self.state = State::Closed;
-            self.close_sent = true;
+            self.transition(State::Closed);
             self.events.push_back(Event::Closed {
                 error_code: 0,
                 reason: "idle timeout".into(),

@@ -43,6 +43,8 @@ pub mod udp_batch;
 pub mod udp_driver;
 
 pub use config::TransportConfig;
-pub use connection::{alpn_list, Alpn, AlpnList, Connection, ConnectionError, Event, Side};
+pub use connection::{
+    alpn_list, Alpn, AlpnList, ConnState, Connection, ConnectionError, Event, Side,
+};
 pub use endpoint::{ConnHandle, ConnStateRow, Endpoint, SessionTicket};
 pub use streams::{Dir, StreamId};

@@ -3,7 +3,9 @@
 //! * RTT estimation: SRTT/RTTVAR per RFC 6298-style smoothing;
 //! * loss detection: packet threshold (default 3) plus a time threshold of
 //!   9/8 · max(SRTT, latest RTT);
-//! * probe timeout (PTO) with exponential backoff;
+//! * probe timeout (PTO) with exponential backoff, capped at
+//!   [`MAX_PTO_BACKOFF`]× the base PTO so a dark peer costs a bounded,
+//!   steady probe cadence instead of an unbounded timer;
 //! * congestion control: slow start + AIMD on loss (NewReno flavoured,
 //!   without recovery-period subtleties — fine for the low-bandwidth DNS
 //!   workloads this repo studies).
@@ -11,6 +13,16 @@
 use moqdns_netsim::SimTime;
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Ceiling on the PTO backoff multiplier: the probe interval never
+/// exceeds `MAX_PTO_BACKOFF × pto()`. 8× a ~100 ms base PTO keeps probes
+/// under a second while an order of magnitude sparser than the first
+/// retry — enough damping to survive a multi-second link flap without a
+/// retransmit storm, yet bounded so recovery after the flap is prompt.
+pub const MAX_PTO_BACKOFF: u32 = 8;
+/// `log2(MAX_PTO_BACKOFF)` — the exponent the per-PTO doubling is
+/// clamped to.
+const MAX_PTO_BACKOFF_EXP: u32 = MAX_PTO_BACKOFF.ilog2();
 
 /// Record of one in-flight packet.
 #[derive(Debug, Clone)]
@@ -288,14 +300,21 @@ impl Recovery {
         if let Some(t) = self.loss_time {
             return Some(t);
         }
-        // PTO from the oldest ack-eliciting in-flight packet.
+        // PTO from the oldest ack-eliciting in-flight packet. The backoff
+        // doubles per consecutive PTO but is capped at MAX_PTO_BACKOFF ×
+        // the base PTO: against a dark peer the probe cadence settles to a
+        // bounded, steady interval instead of growing without limit (the
+        // hazard `core::links::redial` works around — an uncapped timer
+        // under an hour-long idle timeout can exceed the idle window
+        // itself, leaving a stalled dial retransmitting into a void for
+        // minutes between probes).
         let oldest = self
             .sent
             .values()
             .filter(|p| p.ack_eliciting)
             .map(|p| p.time_sent)
             .min()?;
-        let backoff = 2u32.saturating_pow(self.pto_count.min(10));
+        let backoff = 2u32.saturating_pow(self.pto_count.min(MAX_PTO_BACKOFF_EXP));
         Some(oldest + self.rtt.pto() * backoff)
     }
 
@@ -474,6 +493,57 @@ mod tests {
         r.on_packet_sent(1, pkt(deadline.as_millis(), 500));
         let d2 = r.next_timeout().unwrap();
         assert!(d2 - deadline > r.rtt.pto());
+    }
+
+    #[test]
+    fn pto_backoff_is_capped_against_a_dark_peer() {
+        // Regression for the unbounded-backoff hazard: a peer that stays
+        // dark for many consecutive PTOs must leave the probe interval at
+        // a bounded multiple of the base PTO, so revival is detected
+        // promptly and each probe retransmits only the (bounded) set of
+        // outstanding frames — never a burst that grows with how long the
+        // peer was dark.
+        let mut r = Recovery::new(Duration::from_millis(100), 12_000, 3);
+        let mut now = t(0);
+        let mut intervals = Vec::new();
+        let mut largest_retx = 0usize;
+        for pn in 0..32u64 {
+            r.on_packet_sent(pn, pkt(now.as_millis(), 500));
+            let deadline = r.next_timeout().expect("PTO armed while in flight");
+            intervals.push(deadline - now);
+            now = deadline;
+            let ev = r.on_timeout(now);
+            assert!(ev.had_loss, "every dark-peer timeout is a PTO");
+            largest_retx = largest_retx.max(ev.lost.len());
+        }
+        let cap = r.rtt.pto() * MAX_PTO_BACKOFF;
+        for (i, d) in intervals.iter().enumerate() {
+            assert!(
+                *d <= cap,
+                "PTO {i} interval {d:?} exceeds the {MAX_PTO_BACKOFF}x cap {cap:?}"
+            );
+        }
+        // The interval stops growing once the cap is reached …
+        let tail = &intervals[MAX_PTO_BACKOFF.ilog2() as usize..];
+        assert!(
+            tail.windows(2).all(|w| w[0] == w[1]),
+            "interval kept growing past the cap: {tail:?}"
+        );
+        // … and each probe requeues exactly the one outstanding packet's
+        // frames: no accumulation across 32 dark PTOs.
+        assert_eq!(largest_retx, 1, "retransmit set grew while dark");
+        // Revival: a single ACK resets the backoff to the base PTO.
+        r.on_packet_sent(100, pkt(now.as_millis(), 500));
+        r.on_ack_received(now + Duration::from_millis(100), &[(100, 100)]);
+        r.on_packet_sent(
+            101,
+            pkt((now + Duration::from_millis(100)).as_millis(), 500),
+        );
+        let after = r.next_timeout().unwrap() - (now + Duration::from_millis(100));
+        assert!(
+            after <= r.rtt.pto() * 2,
+            "backoff did not reset on revival: {after:?}"
+        );
     }
 
     #[test]

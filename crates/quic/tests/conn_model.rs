@@ -1,0 +1,244 @@
+//! Model-based interleaving test of the QUIC connection state machine.
+//!
+//! Random op scripts drive a client/server [`Connection`] pair — transmit
+//! polls, delayed and *dropped* datagram deliveries, timer fires, local
+//! closes, app writes — and every step is checked against the machine's
+//! contract (`Handshaking → Established → Draining → Closed`):
+//!
+//! 1. **no panic** on any interleaving (the checked `transition` helper
+//!    turns an illegal edge into a debug assert, so this also pins edge
+//!    legality);
+//! 2. **monotone lifecycle** — `conn_state()` never moves backwards;
+//! 3. **closing rejects the app** — once `is_closed()`, `open_stream` /
+//!    `send_stream` / `send_datagram` return `ConnectionError::Closed`
+//!    and `poll_timeout()` is `None` (timers are off);
+//! 4. **`Draining` flushes exactly once** — the first `poll_transmit`
+//!    after a local close completes the move to `Closed`;
+//! 5. **`Closed` is inert** — `poll_transmit` yields nothing;
+//! 6. **exactly one `Closed` event** per connection, ever.
+//!
+//! The frame/packet decoders get their own fuzz in the `packet` module;
+//! this drives the lifecycle layer above them.
+
+use moqdns_netsim::SimTime;
+use moqdns_quic::connection::{alpn_list, AlpnList, ConnState, Connection, ConnectionError, Event};
+use moqdns_quic::streams::Dir;
+use moqdns_quic::TransportConfig;
+use moqdns_wire::Payload;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+fn alpns() -> AlpnList {
+    alpn_list(&[b"moq-dns/1"])
+}
+
+/// One endpoint under test plus its observed-contract bookkeeping.
+struct Harness {
+    conn: Connection,
+    /// Highest lifecycle phase seen so far (monotonicity check).
+    high_water: ConnState,
+    /// `Closed` events drained so far (must end ≤ 1).
+    closed_events: u64,
+}
+
+impl Harness {
+    fn new(conn: Connection) -> Harness {
+        Harness {
+            conn,
+            high_water: ConnState::Handshaking,
+            closed_events: 0,
+        }
+    }
+
+    /// Drains app events and checks the per-step state contract.
+    fn check(&mut self, now: SimTime) {
+        while let Some(e) = self.conn.poll_event() {
+            if matches!(e, Event::Closed { .. }) {
+                self.closed_events += 1;
+            }
+        }
+        prop_assert!(
+            self.closed_events <= 1,
+            "more than one Closed event emitted"
+        );
+        let s = self.conn.conn_state();
+        // Contract 2: the lifecycle only moves forward.
+        prop_assert!(
+            s >= self.high_water,
+            "state moved backwards: {:?} after {:?}",
+            s,
+            self.high_water
+        );
+        self.high_water = s;
+        // Accessors agree with the phase.
+        prop_assert_eq!(self.conn.is_established(), s == ConnState::Established);
+        prop_assert_eq!(self.conn.is_closed(), s >= ConnState::Draining);
+        if self.conn.is_closed() {
+            // Contract 3: app API rejects, timers are off.
+            prop_assert_eq!(self.conn.poll_timeout(), None);
+            prop_assert_eq!(
+                self.conn.open_stream(Dir::Uni).err(),
+                Some(ConnectionError::Closed)
+            );
+            prop_assert_eq!(
+                self.conn.send_datagram(vec![1u8, 2, 3]).err(),
+                Some(ConnectionError::Closed)
+            );
+            // A Closed event must have accompanied the phase change.
+            prop_assert_eq!(self.closed_events, 1);
+        }
+        // Contracts 4 + 5: Draining flushes at most one datagram and
+        // lands in Closed; Closed emits nothing. (Calling poll_transmit
+        // here is part of the model — it is idempotent once closing.)
+        if s == ConnState::Draining {
+            let _flush = self.conn.poll_transmit(now);
+            prop_assert_eq!(self.conn.conn_state(), ConnState::Closed);
+            self.high_water = ConnState::Closed;
+        }
+        if self.conn.conn_state() == ConnState::Closed {
+            prop_assert!(self.conn.poll_transmit(now).is_none());
+        }
+    }
+}
+
+/// Runs one op script against a fresh client/server pair.
+fn run_script(script: &[u8]) {
+    let cfg = || TransportConfig::default().keep_alive(Duration::from_secs(5));
+    let mut now = SimTime::ZERO;
+    let mut client = Harness::new(Connection::client(7, cfg(), alpns(), None, now));
+    let mut server = Harness::new(Connection::server(7, cfg(), alpns(), 99, now));
+    // In-flight datagrams, per direction.
+    let mut c2s: VecDeque<Payload> = VecDeque::new();
+    let mut s2c: VecDeque<Payload> = VecDeque::new();
+
+    for (i, &op) in script.iter().enumerate() {
+        match op % 16 {
+            // Transmit polls (queue whatever comes out).
+            0 | 1 => {
+                if let Some(d) = client.conn.poll_transmit(now) {
+                    c2s.push_back(d);
+                }
+            }
+            2 | 3 => {
+                if let Some(d) = server.conn.poll_transmit(now) {
+                    s2c.push_back(d);
+                }
+            }
+            // Deliveries, after a small propagation delay.
+            4 | 5 => {
+                if let Some(d) = c2s.pop_front() {
+                    now += Duration::from_millis(5);
+                    server.conn.handle_datagram(now, &d);
+                }
+            }
+            6 | 7 => {
+                if let Some(d) = s2c.pop_front() {
+                    now += Duration::from_millis(5);
+                    client.conn.handle_datagram(now, &d);
+                }
+            }
+            // Loss: drop an in-flight datagram on the floor.
+            8 => {
+                c2s.pop_front();
+            }
+            9 => {
+                s2c.pop_front();
+            }
+            // Timer fires after a modest advance (PTO / keep-alive).
+            10 => {
+                now += Duration::from_millis(200);
+                client.conn.handle_timeout(now);
+                server.conn.handle_timeout(now);
+            }
+            // Big silence: trips the 30 s default idle timeout.
+            11 => {
+                now += Duration::from_secs(40);
+                client.conn.handle_timeout(now);
+                server.conn.handle_timeout(now);
+            }
+            // Local closes.
+            12 => client.conn.close(0, "model client close"),
+            13 => server.conn.close(0, "model server close"),
+            // Application traffic (ignore Closed rejections — the
+            // contract for them is asserted in `check`).
+            14 => {
+                if let Ok(id) = client.conn.open_stream(Dir::Uni) {
+                    let _ = client.conn.send_stream(id, &[i as u8; 32]);
+                    let _ = client.conn.finish_stream(id);
+                }
+            }
+            _ => {
+                let _ = server.conn.send_datagram(vec![i as u8; 16]);
+            }
+        }
+        client.check(now);
+        server.check(now);
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_connection_machine_contract(
+        script in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        run_script(&script);
+    }
+
+    /// Close-heavy scripts: every prefix ends with a local close on both
+    /// sides, so the Draining flush and Closed inertness paths are hit on
+    /// every case, not just when the random script happens to close.
+    #[test]
+    fn prop_close_is_terminal_from_any_prefix(
+        script in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut full = script.clone();
+        full.push(12); // client close
+        full.push(13); // server close
+        full.push(0); // post-close polls stay inert
+        full.push(2);
+        run_script(&full);
+    }
+}
+
+/// Deterministic spot-checks of the canonical paths (not property-based,
+/// so failures here localize immediately).
+#[test]
+fn canonical_lifecycle_paths() {
+    let now = SimTime::ZERO;
+    let mk = || {
+        (
+            Connection::client(1, TransportConfig::default(), alpns(), None, now),
+            Connection::server(1, TransportConfig::default(), alpns(), 9, now),
+        )
+    };
+
+    // Handshake: both sides reach Established.
+    let (mut c, mut s) = mk();
+    assert_eq!(c.conn_state(), ConnState::Handshaking);
+    let ch = c.poll_transmit(now).expect("client hello");
+    s.handle_datagram(now, &ch);
+    assert_eq!(s.conn_state(), ConnState::Established);
+    let sh = s.poll_transmit(now).expect("server hello");
+    c.handle_datagram(now, &sh);
+    assert_eq!(c.conn_state(), ConnState::Established);
+
+    // Local close: Draining until the flush, then Closed; the flushed
+    // datagram closes the peer directly (no Draining on the receiver).
+    c.close(0, "done");
+    assert_eq!(c.conn_state(), ConnState::Draining);
+    assert!(c.is_closed());
+    let fin = c.poll_transmit(now).expect("terminal close datagram");
+    assert_eq!(c.conn_state(), ConnState::Closed);
+    assert!(c.poll_transmit(now).is_none());
+    s.handle_datagram(now, &fin);
+    assert_eq!(s.conn_state(), ConnState::Closed);
+    assert!(s.poll_transmit(now).is_none());
+
+    // Idle timeout: silent, straight to Closed, nothing transmitted.
+    let (mut c, _s) = mk();
+    let late = now + Duration::from_secs(60);
+    c.handle_timeout(late);
+    assert_eq!(c.conn_state(), ConnState::Closed);
+    assert!(c.poll_transmit(late).is_none());
+}

@@ -14,6 +14,15 @@
 //! machine), gives the workers a short grace window to flush the
 //! CONNECTION_CLOSE datagrams, then stops them. The process exits 0 only
 //! when every worker drained cleanly.
+//!
+//! Crash semantics: SIGKILL skips all of that — no CONNECTION_CLOSE, no
+//! drain — and the daemon is expected to be restarted on the same
+//! address while its peers still hold connections to the corpse. Two
+//! things make that survivable: peers detect the silence via their idle
+//! timeout and redial (`ci/live_chaos.sh` gates the whole loop), and
+//! each incarnation perturbs its QUIC cid seed with process entropy so
+//! the restart never replays the dead process's cid sequence into a
+//! peer's stale demux table (see the comment in [`run`]).
 
 use crate::netio::{bind_sharded, HostCore, LiveHost};
 use crate::signal;
@@ -172,13 +181,24 @@ pub fn run(opts: DaemonOpts) -> i32 {
     signal::install();
     let mut core = HostCore::new(opts.seed, true);
 
+    // Connection ids are generated deterministically from the stack seed.
+    // A live process restarted with the same `--seed` (the common case:
+    // same config, same supervisor) would replay its dead predecessor's
+    // exact cid sequence — and a peer that never saw a CONNECTION_CLOSE
+    // (SIGKILL sends nothing) still maps those cids to zombie
+    // connections, so the fresh handshake gets demuxed into a dead
+    // session and silently swallowed. Mix process-unique entropy into
+    // the stack seed so no two daemon incarnations share cid space; the
+    // simulator is unaffected (sim nodes are seeded directly, not here).
+    let stack_seed = opts.seed ^ (std::process::id() as u64) ^ (unix_nanos() as u64);
+
     let node: NodeId = match opts.mode {
         Mode::Auth => core.live().add_node(
             "auth",
             Box::new(AuthServer::new(
                 Authority::single(build_zone(&opts)),
                 transport(),
-                opts.seed,
+                stack_seed,
             )),
         ),
         Mode::Relay => {
@@ -189,7 +209,7 @@ pub fn run(opts: DaemonOpts) -> i32 {
                 Box::new(RelayNode::new(
                     Addr::new(parent, MOQT_PORT),
                     opts.cache,
-                    opts.seed,
+                    stack_seed,
                 )),
             )
         }

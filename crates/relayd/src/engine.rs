@@ -31,6 +31,13 @@
 //! doubles each step until achieved pps falls under 90% of offered, and
 //! the last sustainable step is reported as the knee.
 //!
+//! **Chaos profile** (`--idle-ms --keep-alive-ms --redial-ms`): clients
+//! run a short-idle transport and auto-redial after a connection loss,
+//! so a harness that SIGKILLs and restarts the daemon mid-run
+//! (`ci/live_chaos.sh`) can gate that every client redials, the retry
+//! count stays bounded, and the replay still converges on the final TXT
+//! version — crash/restart recovery end to end over real sockets.
+//!
 //! A churn bounce reuses the stub's §4.4 suspension hooks: the QUIC
 //! connection is dropped silently and local state forgotten, so the
 //! rejoin exercises reconnection with a fresh joining fetch against the
@@ -42,11 +49,13 @@ use moqdns_bench::cli::BenchOpts;
 use moqdns_bench::gate::InvariantGate;
 use moqdns_core::metrics::AnswerSource;
 use moqdns_core::stub::{StubMode, StubResolver};
+use moqdns_core::teardown::TeardownPolicy;
 use moqdns_core::MOQT_PORT;
 use moqdns_dns::message::Question;
 use moqdns_dns::rdata::RData;
 use moqdns_dns::rr::RecordType;
 use moqdns_netsim::{Addr, NodeId};
+use moqdns_quic::TransportConfig;
 use moqdns_stats::Summary;
 use moqdns_workload::live::{LivePlan, LiveSpec};
 use std::collections::BTreeMap;
@@ -75,6 +84,14 @@ pub struct LoadgenOpts {
     /// Saturation: ramp-search for the max sustainable rate instead of
     /// holding one target.
     pub ramp: bool,
+    /// Client QUIC idle timeout override (chaos runs shorten it so a
+    /// SIGKILLed daemon is detected in seconds, not the patient hour).
+    pub idle: Option<Duration>,
+    /// Client QUIC keep-alive override (paired with a short idle).
+    pub keep_alive: Option<Duration>,
+    /// When set, clients auto-redial this long after a connection loss
+    /// and re-subscribe; redial gates are armed (chaos profile).
+    pub redial: Option<Duration>,
     /// The replay plan parameters.
     pub spec: LiveSpec,
     /// Shared bench flags (`--check`, `--json`, `--smoke`).
@@ -95,6 +112,9 @@ impl LoadgenOpts {
             rate: None,
             duration: Duration::from_secs(10),
             ramp: false,
+            idle: None,
+            keep_alive: None,
+            redial: None,
             spec: LiveSpec::smoke(),
             bench,
         };
@@ -121,6 +141,19 @@ impl LoadgenOpts {
                     assert!(o.clients_per_socket >= 1, "--clients-per-socket K >= 1");
                 }
                 "--rate" => o.rate = Some(val("--rate").parse().expect("--rate pps")),
+                "--idle-ms" => {
+                    o.idle = Some(Duration::from_millis(val("--idle-ms").parse().expect("ms")))
+                }
+                "--keep-alive-ms" => {
+                    o.keep_alive = Some(Duration::from_millis(
+                        val("--keep-alive-ms").parse().expect("ms"),
+                    ))
+                }
+                "--redial-ms" => {
+                    o.redial = Some(Duration::from_millis(
+                        val("--redial-ms").parse().expect("ms"),
+                    ))
+                }
                 "--duration" => {
                     o.duration =
                         Duration::from_secs(val("--duration").parse().expect("--duration s"))
@@ -307,16 +340,22 @@ pub fn run(opts: LoadgenOpts) -> i32 {
     let mut core = HostCore::new(opts.spec.seed, false);
     let server = core.register_remote(opts.server);
     let server_addr = Addr::new(server, MOQT_PORT);
+    let transport = TransportConfig::default()
+        .idle_timeout(opts.idle.unwrap_or(Duration::from_secs(3600)))
+        .keep_alive(opts.keep_alive.unwrap_or(Duration::from_secs(25)));
     let nodes: Vec<NodeId> = (0..plan.clients.len())
         .map(|i| {
-            core.live().add_node(
-                format!("client{i}"),
-                Box::new(StubResolver::new(
-                    StubMode::Moqt,
-                    server_addr,
-                    1000 + i as u64,
-                )),
-            )
+            let mut stub = StubResolver::with_transport(
+                StubMode::Moqt,
+                server_addr,
+                1000 + i as u64,
+                TeardownPolicy::Never,
+                transport.clone(),
+            );
+            if let Some(delay) = opts.redial {
+                stub = stub.redial_after(delay);
+            }
+            core.live().add_node(format!("client{i}"), Box::new(stub))
         })
         .collect();
     let fronts: Vec<Vec<NodeId>> = nodes
@@ -420,6 +459,26 @@ pub fn run(opts: LoadgenOpts) -> i32 {
         std::thread::sleep(Duration::from_millis(5));
     };
     let converge_wall = host.now();
+    if !converged {
+        // Deadline diagnostics for the CI artifact: which pairs are
+        // stuck, and what their client's connection state looks like.
+        host.with_core(|core| {
+            for &(c, t) in &pairs {
+                let stub: &StubResolver = core.live().node_ref(nodes[c]);
+                let v = observed.get(&(c, t)).and_then(|o| o.version);
+                if v == Some(opts.rounds) {
+                    continue;
+                }
+                println!(
+                    "moqdns-loadgen: STUCK client{c} track{t} at v{:?} \
+                     (subs={} redials={})",
+                    v,
+                    stub.subscription_count(),
+                    stub.redials,
+                );
+            }
+        });
+    }
 
     // ---- Saturation phase (after convergence, before harvest) ---------
     let mut phase: Option<PhaseStats> = None;
@@ -470,9 +529,15 @@ pub fn run(opts: LoadgenOpts) -> i32 {
     let mut latency_us: Vec<f64> = Vec::new();
     let mut non_monotone = 0u64;
     let mut updates_received = 0u64;
+    let mut redial_total = 0u64;
+    let mut redialed_clients = 0u64;
     host.with_core(|core| {
         for &n in &nodes {
             let stub: &StubResolver = core.live().node_ref(n);
+            redial_total += stub.redials;
+            if stub.redials > 0 {
+                redialed_clients += 1;
+            }
             for l in &stub.metrics.lookups {
                 match l.source {
                     AnswerSource::Moqt if l.ok => {
@@ -524,6 +589,27 @@ pub fn run(opts: LoadgenOpts) -> i32 {
         clean,
         format!("all {} io workers stopped cleanly", fronts.len()),
     );
+    if let Some(redial) = opts.redial {
+        // Chaos profile: the script kills the daemon mid-run, so every
+        // client's connection dies and must come back through the redial
+        // path. The bound is the worst-case retry count — one failed
+        // dial per idle window across the whole deadline, plus slack for
+        // the first detection.
+        let idle = opts.idle.unwrap_or(Duration::from_secs(3600));
+        let per_client =
+            (opts.deadline.as_millis() / (idle + redial).as_millis().max(1)) as u64 + 2;
+        gate.check_eq(
+            "clients_redialed",
+            plan.clients.len() as u64,
+            redialed_clients,
+        );
+        gate.check_ge("stub_redials", redialed_clients, redial_total);
+        gate.check_le(
+            "stub_redials_bounded",
+            plan.clients.len() as u64 * per_client,
+            redial_total,
+        );
+    }
 
     // ---- Deterministic metrics (baseline-diffed) ----------------------
     gate.metric("clients", plan.clients.len() as u64);
@@ -532,6 +618,11 @@ pub fn run(opts: LoadgenOpts) -> i32 {
     gate.metric("final_version", opts.rounds);
     gate.metric("bounces", bounces);
     gate.metric("clients_per_socket", opts.clients_per_socket as u64);
+    if opts.redial.is_some() {
+        // Wall-clock shaped (retry count depends on kill/restart timing)
+        // but bounded by the gates above; never baseline-diffed.
+        gate.metric("stub_redials", redial_total);
+    }
     if let Some(rate) = opts.rate {
         gate.metric("probe_rate_pps", rate);
         gate.metric("probe_duration_ms", opts.duration.as_millis() as u64);

@@ -17,9 +17,13 @@
 //!   `BENCH_live` family;
 //! * [`signal`] — an async-signal-safe SIGTERM latch (no `libc` crate).
 //!
-//! The CI `live` job builds both binaries and runs `ci/live_smoke.sh`:
-//! auth daemon → relay daemon → loadgen over loopback, 30 s budget, with
-//! `results/live_smoke.json` uploaded and the hard invariants enforced.
+//! The CI `live` job builds both binaries and runs three loopback
+//! drills: `ci/live_smoke.sh` (auth daemon → relay daemon → loadgen,
+//! 30 s budget), `ci/live_saturation.sh` (open-loop sustained-rate probe
+//! through the mmsg + DCID-demux path), and `ci/live_chaos.sh` (SIGKILL
+//! the relay mid-run, restart it, gate that every short-idle client
+//! redials and reconverges on the final TXT version). Each uploads its
+//! `results/live_<profile>.json` and enforces the hard invariants.
 
 pub mod daemon;
 pub mod engine;

@@ -147,6 +147,9 @@ fn three_node_chain_over_real_loopback() {
         rate: None,
         duration: Duration::from_secs(1),
         ramp: false,
+        idle: None,
+        keep_alive: None,
+        redial: None,
         spec,
         bench: BenchOpts::default(),
     });

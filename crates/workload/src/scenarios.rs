@@ -1095,6 +1095,103 @@ impl AdversarialScenario {
     }
 }
 
+/// The **chaos** drill: the metro-class federation world driven through
+/// a composed, seeded fault plan — flap the busiest origin→core uplink
+/// through an update round, partition one whole region, and
+/// crash+restart an edge relay with a live subscriber cohort below it —
+/// gating the recovery invariants the paper's always-on distribution
+/// tree depends on:
+///
+/// 1. **zero honest post-recovery loss** — every update round pushed
+///    before, during, or after a fault window is eventually delivered in
+///    full (pushed objects ride reliable streams; flapped links
+///    retransmit after healing, partitioned regions drain on reunion);
+/// 2. **no duplicate delivery across a fault** — per-stub, per-track
+///    version sequences never regress, across link flaps *and* across a
+///    crash/redial/resubscribe cycle;
+/// 3. **bounded redial storms** — disconnected subscribers re-attach
+///    within a bounded number of dial attempts, and relay recovery
+///    probes back off exponentially (capped) instead of hammering;
+/// 4. **bounded state high-water** — relay session/state size returns to
+///    its steady-state envelope once the faults heal (no leaked sessions
+///    or subscriptions from the chaos).
+///
+/// The same plan replays bit-identically single-threaded and sharded
+/// (`--par N`) — the fault plane applies at simulation barriers and all
+/// loss draws are per-link deterministic (see `moqdns_netsim::faults`).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosScenario {
+    /// Scenario label.
+    pub name: &'static str,
+    /// The underlying metro-class world.
+    pub metro: MetroScenario,
+    /// Subscribers on the crash-target edge (the redial cohort).
+    pub chaos_stubs: usize,
+    /// Idle timeout for the redial cohort: short, so a dial into a dead
+    /// edge fails fast instead of probing into the void for an hour.
+    pub stub_idle: Duration,
+    /// Keep-alive interval for the redial cohort.
+    pub stub_keep_alive: Duration,
+    /// Redial cadence of the cohort after a lost connection.
+    pub stub_redial: Duration,
+    /// Length of the uplink flap window (covers an update round).
+    pub flap_len: Duration,
+    /// The region isolated by the partition drill.
+    pub partition_region: usize,
+    /// How long the partition holds (the paper-shaped drill: 10 s).
+    pub partition_len: Duration,
+    /// How long the crashed edge stays down before its restart.
+    pub edge_downtime: Duration,
+    /// Settle time after each fault heals before gating.
+    pub settle: Duration,
+    /// Seed for the fault plan's deterministic window jitter.
+    pub fault_seed: u64,
+}
+
+impl ChaosScenario {
+    /// The standing chaos drill on the metro world.
+    pub fn chaos() -> ChaosScenario {
+        ChaosScenario {
+            name: "chaos",
+            metro: MetroScenario::metro(),
+            chaos_stubs: 8,
+            stub_idle: Duration::from_secs(4),
+            stub_keep_alive: Duration::from_secs(1),
+            stub_redial: Duration::from_millis(500),
+            flap_len: Duration::from_secs(3),
+            partition_region: 1,
+            partition_len: Duration::from_secs(10),
+            edge_downtime: Duration::from_secs(12),
+            settle: Duration::from_secs(5),
+            fault_seed: 0xC4A05,
+        }
+    }
+
+    /// The CI smoke variant: only the metro population shrinks — every
+    /// fault window keeps its full length (the drill is about time
+    /// constants, not volume).
+    pub fn smoke(self) -> ChaosScenario {
+        ChaosScenario {
+            metro: self.metro.smoke(),
+            ..self
+        }
+    }
+
+    /// (stub, track) subscriptions held by the redial cohort — also the
+    /// deliveries it must see per update round while attached.
+    pub fn chaos_subscriptions(&self) -> u64 {
+        self.chaos_stubs as u64 * self.metro.tracks_per_stub as u64
+    }
+
+    /// Upper bound on dial attempts per cohort stub across the whole
+    /// run: the downtime divided by the fastest possible
+    /// redial-and-time-out cycle, plus slack for the reconnect race.
+    pub fn redials_per_stub_bound(&self) -> u64 {
+        let cycle = (self.stub_idle + self.stub_redial).as_millis().max(1);
+        (self.edge_downtime.as_millis() / cycle) as u64 + 3
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

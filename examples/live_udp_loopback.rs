@@ -6,14 +6,21 @@
 //! Starts a MoQT server endpoint and a client endpoint on 127.0.0.1,
 //! performs the QUIC-like handshake, MoQT session setup, a SUBSCRIBE +
 //! joining FETCH for a DNS question, and pushes one record update — all
-//! over the loopback interface with wall-clock time.
+//! over the loopback interface with wall-clock time. Then the crash
+//! drill: the server's io thread is stopped *without* sending
+//! CONNECTION_CLOSE (the in-process analog of `kill -9`), the client —
+//! running a short idle timeout, §5.1's liveness contract — detects the
+//! dead peer, and a fresh server on the same address serves the
+//! reconnect's joining FETCH.
 //!
 //! This is the minimal single-socket demo wired by hand at the endpoint
 //! layer. The **production path** is `moqdns-relayd` (`crates/relayd`):
 //! the full `AuthServer`/`RelayNode` nodes over N `SO_REUSEPORT` socket
 //! shards with worker threads, batched io, and a graceful SIGTERM drain —
 //! plus `moqdns-loadgen` replaying the workload models against it (the
-//! CI `live` job, `ci/live_smoke.sh`).
+//! CI `live` job, `ci/live_smoke.sh`). The full-process version of the
+//! crash drill — SIGKILL a relay daemon mid-run, restart it, gate that
+//! every auto-redialing client reconverges — is `ci/live_chaos.sh`.
 
 use moqdns::core::mapping::{
     object_from_response, question_from_track, track_from_question, RequestFlags,
@@ -45,7 +52,13 @@ fn main() {
     let sessions: Arc<Mutex<HashMap<u64, Session>>> = Arc::new(Mutex::new(HashMap::new()));
 
     // --- client ---
-    let client_ep: Endpoint<SocketAddr> = Endpoint::client(TransportConfig::default(), 1);
+    // Short idle timeout: a SIGKILLed peer sends nothing, so this timer
+    // *is* the crash detector (the keep-alive holds the timer off while
+    // the peer is actually alive).
+    let client_transport = TransportConfig::default()
+        .idle_timeout(Duration::from_millis(600))
+        .keep_alive(Duration::from_millis(200));
+    let client_ep: Endpoint<SocketAddr> = Endpoint::client(client_transport, 1);
     let client = UdpDriver::start(client_ep, "127.0.0.1:0").expect("bind client");
     let question = Question::new("www.example.com".parse().unwrap(), RecordType::A);
     let track = track_from_question(&question, RequestFlags::recursive()).unwrap();
@@ -112,9 +125,10 @@ fn main() {
 
     // Wait for the lookup to complete on the client side.
     let mut got_initial = false;
+    let mut got_push = false;
     let mut server_push_done = false;
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while std::time::Instant::now() < deadline {
+    while !got_push && std::time::Instant::now() < deadline {
         serve(&sessions, &server);
         {
             let ep = client.endpoint();
@@ -149,8 +163,7 @@ fn main() {
                             "[client] pushed update v{}: {}",
                             object.group_id, m.answers[0]
                         );
-                        println!("\nReal packets, real sockets, same state machines.");
-                        return;
+                        got_push = true;
                     }
                     _ => {}
                 }
@@ -179,5 +192,90 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    panic!("live loopback example timed out");
+    assert!(got_push, "live loopback example timed out");
+    println!("\nReal packets, real sockets, same state machines.");
+
+    // --- crash drill: silent server death, detection, reconnect ---
+    // `shutdown` stops the io thread without closing any connection — no
+    // CONNECTION_CLOSE ever reaches the client, exactly like `kill -9`
+    // on the relay daemon. The client's only signal is silence.
+    println!("\n[chaos] killing the server (no CONNECTION_CLOSE sent)");
+    server.shutdown();
+
+    let detected = client.wait_for(Duration::from_secs(5), |ep| {
+        while let Some((h, ev)) = ep.poll_event() {
+            if let (true, moqdns::quic::Event::Closed { reason, .. }) = (h == ch, ev) {
+                return Some(reason);
+            }
+        }
+        None
+    });
+    let reason = detected.expect("client never noticed the dead server");
+    println!("[client] peer declared dead: {reason}");
+
+    // Restart on the same address — a brand-new process image: fresh
+    // endpoint state, none of its predecessor's connections. The client
+    // redials and replays the SUBSCRIBE + joining FETCH; the fetch is
+    // what recovers the state published while the server was down.
+    let server2_ep: Endpoint<SocketAddr> = Endpoint::server(
+        TransportConfig::default(),
+        moqdns_quic::alpn_list(&[MOQT_ALPN]),
+        3,
+    );
+    let server2 = UdpDriver::start(server2_ep, &server_addr.to_string()).expect("rebind server");
+    println!("[chaos] server restarted on {server_addr}");
+    let sessions2: Arc<Mutex<HashMap<u64, Session>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let (ch2, mut rejoin_session) = {
+        let ep = client.endpoint();
+        let mut ep = ep.lock();
+        let now = client.now();
+        let ch2 = ep.connect(
+            now,
+            server_addr,
+            moqdns_quic::alpn_list(&[MOQT_ALPN]),
+            false,
+        );
+        let mut session = Session::client(SessionConfig::default());
+        session.start(ep.conn_mut(ch2).unwrap());
+        (ch2, session)
+    };
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        serve(&sessions2, &server2);
+        let ep = client.endpoint();
+        let mut ep = ep.lock();
+        let mut events = Vec::new();
+        while let Some((h, ev)) = ep.poll_event() {
+            if h == ch2 {
+                events.push(ev);
+            }
+        }
+        for ev in events {
+            if let Some(conn) = ep.conn_mut(ch2) {
+                rejoin_session.on_conn_event(conn, &ev);
+            }
+        }
+        if rejoin_session.is_ready() && rejoin_session.subscription_count() == 0 {
+            if let Some(conn) = ep.conn_mut(ch2) {
+                println!("[client] redialed; re-SUBSCRIBE + joining FETCH");
+                rejoin_session.subscribe_with_joining_fetch(conn, track.clone(), 1);
+            }
+        }
+        while let Some(sev) = rejoin_session.poll_event() {
+            if let SessionEvent::FetchObjects { objects, .. } = sev {
+                let m = moqdns::core::response_from_object(&objects[0]).unwrap();
+                println!(
+                    "[client] recovered answer from restarted server: {}",
+                    m.answers[0]
+                );
+                println!("\nCrash, silence, detection, redial — recovery is part of the protocol.");
+                return;
+            }
+        }
+        drop(ep);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("crash-recovery act timed out");
 }
